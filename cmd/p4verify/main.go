@@ -1,0 +1,137 @@
+// Command p4verify verifies an annotated P4_16 program: it translates the
+// program (optionally under a forwarding-rule configuration) into a
+// verification model and symbolically executes every path, reporting each
+// violated assertion with a counterexample packet.
+//
+// Usage:
+//
+//	p4verify [flags] program.p4
+//
+// Flags select the paper's speed-up techniques: -O3 (compiler optimization
+// passes), -opt (executor optimizations), -slice (program slicing),
+// -parallel N (submodel parallelization on N workers).
+//
+// Exit status: 0 when every assertion holds, 1 on violations, 2 on usage
+// or front-end errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"p4assert"
+)
+
+func main() {
+	var (
+		rulesFile = flag.String("rules", "", "forwarding-rule file (control-plane configuration)")
+		o3        = flag.Bool("O3", false, "apply compiler optimization passes to the model")
+		optFlag   = flag.Bool("opt", false, "enable executor-level optimizations")
+		slice     = flag.Bool("slice", false, "apply program slicing w.r.t. the assertions")
+		parallel  = flag.Int("parallel", 0, "split into submodels on N workers (0 = sequential)")
+		maxPaths  = flag.Int64("max-paths", 0, "abort after exploring this many paths (0 = unlimited)")
+		timeout   = flag.Duration("timeout", 0, "abort exploration after this duration (0 = none)")
+		loops     = flag.Int("max-parser-loops", 0, "parser loop unroll bound (default 8)")
+		quiet     = flag.Bool("q", false, "print only the verdict line")
+		autoValid = flag.Bool("auto-validity", false, "instrument header accesses with automatic validity assertions")
+		genTests  = flag.Bool("gen-tests", false, "generate one concrete test case per execution path and exit")
+		dumpModel = flag.Bool("dump-model", false, "print the translated verification model (pseudo-C) and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: p4verify [flags] program.p4\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := &p4assert.Options{
+		O3:                 *o3,
+		Opt:                *optFlag,
+		Slice:              *slice,
+		Parallel:           *parallel,
+		MaxPaths:           *maxPaths,
+		Timeout:            *timeout,
+		MaxParserLoops:     *loops,
+		AutoValidityChecks: *autoValid,
+	}
+	if *rulesFile != "" {
+		data, err := os.ReadFile(*rulesFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p4verify:", err)
+			os.Exit(2)
+		}
+		rs, err := p4assert.ParseRules(string(data))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p4verify:", err)
+			os.Exit(2)
+		}
+		opts.Rules = rs
+	}
+
+	if *dumpModel || *genTests {
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p4verify:", err)
+			os.Exit(2)
+		}
+		if *dumpModel {
+			dump, err := p4assert.DumpModel(flag.Arg(0), string(data), opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "p4verify:", err)
+				os.Exit(2)
+			}
+			fmt.Print(dump)
+			return
+		}
+		tests, err := p4assert.GenerateTests(flag.Arg(0), string(data), opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p4verify:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("# %d test cases (one per execution path)\n", len(tests))
+		for i := range tests {
+			fmt.Printf("%d: %s\n", i, tests[i].String())
+		}
+		return
+	}
+
+	rep, err := p4assert.VerifyFile(flag.Arg(0), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4verify:", err)
+		os.Exit(2)
+	}
+
+	if rep.SliceFailed != nil {
+		fmt.Fprintf(os.Stderr, "p4verify: slicing unavailable (%v); verified unsliced\n", rep.SliceFailed)
+	}
+	status := "OK"
+	if rep.Exhausted {
+		status = "EXHAUSTED"
+	}
+	if len(rep.Violations) > 0 {
+		status = "FAIL"
+	}
+	fmt.Printf("%s: %d assertion(s), %d violated; %d paths, %d instructions, %s\n",
+		status, rep.AssertionCount, len(rep.Violations),
+		rep.Stats.Paths, rep.Stats.Instructions, rep.Stats.Time.Round(time.Millisecond))
+	if !*quiet {
+		for _, v := range rep.Violations {
+			fmt.Printf("  %s\n", v)
+			if len(v.Trace) > 0 {
+				fmt.Printf("    trace: %v\n", v.Trace)
+			}
+		}
+		if rep.Stats.Submodels > 0 {
+			fmt.Printf("  submodels: %d (worst %d instructions)\n",
+				rep.Stats.Submodels, rep.Stats.WorstSubmodelInstructions)
+		}
+	}
+	if len(rep.Violations) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+// Speedup applies the paper's four §4 techniques to Dapper — the corpus's
+// heaviest program — and compares verification time and executed
+// instructions for each technique in isolation and combined, mirroring the
+// paper's Table 2 row and §5.5 closing experiment.
+//
+// Run with: go run ./examples/speedup
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"p4assert"
+	"p4assert/internal/progs"
+)
+
+type variant struct {
+	name   string
+	source func(p *progs.Program) string
+	opts   p4assert.Options
+}
+
+func main() {
+	dapper, err := progs.Get("dapper")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plain := func(p *progs.Program) string { return p.Source }
+	constrained := func(p *progs.Program) string { return p.ConstrainedSource() }
+
+	variants := []variant{
+		{"Original (no optimizations)", plain, p4assert.Options{}},
+		{"O3 (compiler passes)", plain, p4assert.Options{O3: true}},
+		{"Opt (executor optimizations)", plain, p4assert.Options{Opt: true}},
+		{"Constraints (@assume SYN-only)", constrained, p4assert.Options{}},
+		{"Parallel (4 workers)", plain, p4assert.Options{Parallel: 4}},
+		{"Slice (program slicing)", plain, p4assert.Options{Slice: true}},
+		{"Combined (constraints+O3+Opt+parallel)", constrained,
+			p4assert.Options{O3: true, Opt: true, Parallel: 4}},
+	}
+
+	fmt.Printf("Dapper: %s\n\n", dapper.Notes)
+	var baseTime time.Duration
+	var baseInstr int64
+	for i, v := range variants {
+		// Best of three for stable wall-clock numbers.
+		var best *p4assert.Report
+		for r := 0; r < 3; r++ {
+			rep, err := p4assert.Verify("dapper.p4", v.source(dapper), &v.opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if best == nil || rep.Stats.Time < best.Stats.Time {
+				best = rep
+			}
+		}
+		if i == 0 {
+			baseTime, baseInstr = best.Stats.Time, best.Stats.Instructions
+		}
+		fmt.Printf("%-40s %10v  %8d instructions  %4d paths",
+			v.name, best.Stats.Time.Round(time.Microsecond),
+			best.Stats.Instructions, best.Stats.Paths)
+		if i > 0 {
+			fmt.Printf("  (time %+.1f%%, instructions %+.1f%%)",
+				pct(baseTime.Seconds(), best.Stats.Time.Seconds()),
+				pct(float64(baseInstr), float64(best.Stats.Instructions)))
+		}
+		if len(best.Violations) > 0 {
+			fmt.Printf("  [bug still found]")
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(negative % = reduction; the paper reports -81.76% time for the combination)")
+}
+
+func pct(base, now float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (now - base) / base * 100
+}

@@ -1,0 +1,3 @@
+module p4assert
+
+go 1.22

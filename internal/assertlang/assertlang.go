@@ -1,0 +1,460 @@
+// Package assertlang implements the assertion language of the paper's
+// Figure 4. Assertions are boolean expressions over program values, header
+// fields and six primitive methods:
+//
+//	forward()          — packet is not dropped at end of execution
+//	traverse_path()    — this program location is eventually traversed
+//	constant(f)        — field f never changes from here to termination
+//	if(b1, b2, [b3])   — conditional assertion
+//	extract_header(h)  — header h has been / will be extracted
+//	emit_header(h)     — packet is transmitted with header h
+//
+// forward, traverse_path, constant, extract_header and emit_header are
+// location-unrestricted: they describe whole-execution behaviour and are
+// evaluated when a path terminates. Everything else is evaluated with the
+// values the referenced fields had at the assertion's location (paper §3.1).
+package assertlang
+
+import (
+	"fmt"
+
+	"p4assert/internal/p4"
+)
+
+// Expr is an assertion-language expression.
+type Expr interface{ assertExpr() }
+
+// Num is an integer literal.
+type Num struct{ Value uint64 }
+
+// FieldRef is a reference to a program value or header field by dotted path.
+type FieldRef struct{ Path string }
+
+// Not is logical negation.
+type Not struct{ X Expr }
+
+// BinOp enumerates assertion-language binary operators.
+type BinOp uint8
+
+// Binary operators: booleans, comparisons and integer arithmetic.
+const (
+	OpOr BinOp = iota
+	OpAnd
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+var binNames = map[BinOp]string{
+	OpOr: "||", OpAnd: "&&", OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=",
+	OpGt: ">", OpGe: ">=", OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+	OpMod: "%",
+}
+
+// String returns the operator spelling.
+func (op BinOp) String() string { return binNames[op] }
+
+// Bin is a binary operation.
+type Bin struct {
+	Op   BinOp
+	X, Y Expr
+}
+
+// Forward is the forward() method.
+type Forward struct{}
+
+// TraversePath is the traverse_path() method.
+type TraversePath struct{}
+
+// Constant is the constant(f) method.
+type Constant struct{ Field string }
+
+// IfM is the if(b1, b2, [b3]) method; Else may be nil (vacuously true).
+type IfM struct{ Cond, Then, Else Expr }
+
+// ExtractHeader is the extract_header(h) method.
+type ExtractHeader struct{ Header string }
+
+// EmitHeader is the emit_header(h) method.
+type EmitHeader struct{ Header string }
+
+// Valid is valid(h): header h is currently valid. This is a
+// location-restricted extension beyond the paper's Fig. 4 grammar, needed
+// to express the paper's own §5.1 Switch.p4 checks ("testing with an
+// assertion if the header is valid before setting its fields").
+type Valid struct{ Header string }
+
+func (*Num) assertExpr()           {}
+func (*FieldRef) assertExpr()      {}
+func (*Not) assertExpr()           {}
+func (*Bin) assertExpr()           {}
+func (*Forward) assertExpr()       {}
+func (*TraversePath) assertExpr()  {}
+func (*Constant) assertExpr()      {}
+func (*IfM) assertExpr()           {}
+func (*ExtractHeader) assertExpr() {}
+func (*EmitHeader) assertExpr()    {}
+func (*Valid) assertExpr()         {}
+
+// HasUnrestricted reports whether e contains a location-unrestricted method
+// (forward, traverse_path, constant, extract_header, emit_header). Such
+// assertions are checked when the path terminates; purely restricted ones
+// are checked in place.
+func HasUnrestricted(e Expr) bool {
+	switch x := e.(type) {
+	case *Forward, *TraversePath, *Constant, *ExtractHeader, *EmitHeader:
+		return true
+	case *Not:
+		return HasUnrestricted(x.X)
+	case *Bin:
+		return HasUnrestricted(x.X) || HasUnrestricted(x.Y)
+	case *IfM:
+		if HasUnrestricted(x.Cond) || HasUnrestricted(x.Then) {
+			return true
+		}
+		return x.Else != nil && HasUnrestricted(x.Else)
+	}
+	return false
+}
+
+// Fields appends the dotted paths of all field references in e (including
+// constant() arguments) to dst, deduplicated, preserving first-seen order.
+func Fields(e Expr, dst []string) []string {
+	add := func(p string) {
+		for _, s := range dst {
+			if s == p {
+				return
+			}
+		}
+		dst = append(dst, p)
+	}
+	switch x := e.(type) {
+	case *FieldRef:
+		add(x.Path)
+	case *Constant:
+		add(x.Field)
+	case *Not:
+		dst = Fields(x.X, dst)
+	case *Bin:
+		dst = Fields(x.X, dst)
+		dst = Fields(x.Y, dst)
+	case *IfM:
+		dst = Fields(x.Cond, dst)
+		dst = Fields(x.Then, dst)
+		if x.Else != nil {
+			dst = Fields(x.Else, dst)
+		}
+	}
+	return dst
+}
+
+// String renders the expression in assertion-language syntax.
+func String(e Expr) string {
+	switch x := e.(type) {
+	case *Num:
+		return fmt.Sprintf("%d", x.Value)
+	case *FieldRef:
+		return x.Path
+	case *Not:
+		return "!" + String(x.X)
+	case *Bin:
+		return "(" + String(x.X) + " " + x.Op.String() + " " + String(x.Y) + ")"
+	case *Forward:
+		return "forward()"
+	case *TraversePath:
+		return "traverse_path()"
+	case *Constant:
+		return "constant(" + x.Field + ")"
+	case *IfM:
+		if x.Else == nil {
+			return "if(" + String(x.Cond) + ", " + String(x.Then) + ")"
+		}
+		return "if(" + String(x.Cond) + ", " + String(x.Then) + ", " + String(x.Else) + ")"
+	case *ExtractHeader:
+		return "extract_header(" + x.Header + ")"
+	case *EmitHeader:
+		return "emit_header(" + x.Header + ")"
+	case *Valid:
+		return "valid(" + x.Header + ")"
+	}
+	return "?"
+}
+
+// Parse parses assertion-language source text. It reuses the P4 lexer, so
+// numeric literal syntax matches P4.
+func Parse(text string) (Expr, error) {
+	toks, err := p4.Tokenize("assert", text)
+	if err != nil {
+		return nil, err
+	}
+	pr := &parser{toks: toks}
+	e, err := pr.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if pr.cur().Kind != p4.TokEOF {
+		return nil, fmt.Errorf("assertion %q: trailing input at %s", text, pr.cur().Pos)
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []p4.Token
+	pos  int
+}
+
+func (p *parser) cur() p4.Token { return p.toks[p.pos] }
+
+func (p *parser) accept(k p4.TokenKind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k p4.TokenKind) (p4.Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, fmt.Errorf("assertion: expected %s at %s, found %q", k, t.Pos, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	lhs, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(p4.TokOrOr) {
+		rhs, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Bin{Op: OpOr, X: lhs, Y: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	lhs, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(p4.TokAndAnd) {
+		rhs, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Bin{Op: OpAnd, X: lhs, Y: rhs}
+	}
+	return lhs, nil
+}
+
+var cmpOps = map[p4.TokenKind]BinOp{
+	p4.TokEq: OpEq, p4.TokNe: OpNe, p4.TokLt: OpLt, p4.TokLe: OpLe,
+	p4.TokGt: OpGt, p4.TokGe: OpGe,
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	lhs, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[p.cur().Kind]; ok {
+		p.pos++
+		rhs, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &Bin{Op: op, X: lhs, Y: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	lhs, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch p.cur().Kind {
+		case p4.TokPlus:
+			op = OpAdd
+		case p4.TokMinus:
+			op = OpSub
+		default:
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Bin{Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch p.cur().Kind {
+		case p4.TokStar:
+			op = OpMul
+		case p4.TokSlash:
+			op = OpDiv
+		case p4.TokPercent:
+			op = OpMod
+		default:
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Bin{Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(p4.TokNot) {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case p4.TokNumber:
+		p.pos++
+		v, _, err := p4.ParseNumber(t.Text)
+		if err != nil {
+			return nil, err
+		}
+		return &Num{Value: v}, nil
+	case p4.TokLParen:
+		p.pos++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(p4.TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p4.TokIdent:
+		switch t.Text {
+		case "true":
+			p.pos++
+			return &Num{Value: 1}, nil
+		case "false":
+			p.pos++
+			return &Num{Value: 0}, nil
+		case "forward", "traverse_path":
+			p.pos++
+			if _, err := p.expect(p4.TokLParen); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(p4.TokRParen); err != nil {
+				return nil, err
+			}
+			if t.Text == "forward" {
+				return &Forward{}, nil
+			}
+			return &TraversePath{}, nil
+		case "constant", "extract_header", "emit_header", "valid":
+			p.pos++
+			if _, err := p.expect(p4.TokLParen); err != nil {
+				return nil, err
+			}
+			path, err := p.parsePath()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(p4.TokRParen); err != nil {
+				return nil, err
+			}
+			switch t.Text {
+			case "constant":
+				return &Constant{Field: path}, nil
+			case "extract_header":
+				return &ExtractHeader{Header: path}, nil
+			case "valid":
+				return &Valid{Header: path}, nil
+			default:
+				return &EmitHeader{Header: path}, nil
+			}
+		case "if":
+			p.pos++
+			if _, err := p.expect(p4.TokLParen); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(p4.TokComma); err != nil {
+				return nil, err
+			}
+			then, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			m := &IfM{Cond: cond, Then: then}
+			if p.accept(p4.TokComma) {
+				els, err := p.parseOr()
+				if err != nil {
+					return nil, err
+				}
+				m.Else = els
+			}
+			if _, err := p.expect(p4.TokRParen); err != nil {
+				return nil, err
+			}
+			return m, nil
+		}
+		// Plain field/value path.
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		return &FieldRef{Path: path}, nil
+	}
+	return nil, fmt.Errorf("assertion: unexpected token %q at %s", t.Text, t.Pos)
+}
+
+func (p *parser) parsePath() (string, error) {
+	id, err := p.expect(p4.TokIdent)
+	if err != nil {
+		return "", err
+	}
+	path := id.Text
+	for p.accept(p4.TokDot) {
+		part, err := p.expect(p4.TokIdent)
+		if err != nil {
+			return "", err
+		}
+		path += "." + part.Text
+	}
+	return path, nil
+}

@@ -1,0 +1,155 @@
+package assertlang
+
+import (
+	"testing"
+)
+
+func TestParsePaperAssertions(t *testing.T) {
+	// Every assertion that appears in the paper must parse.
+	cases := []string{
+		`if(traverse_path(), !forward())`,
+		`if(forward(), headers.ip.ttl > 0)`,
+		`if(ipv4.ttl == 0, !forward())`,
+		`constant(id)`,
+		`if(extract_header(id), emit_header(id))`,
+		`if(forward(), rtp.ts < max_timestamp)`,
+		`if(ingress_port == color_a && ipv4.dstAddr == color_b_host, !forward())`,
+		`if(traverse_path(), tcp.ack == false)`,
+		`if(tcp.ack == 1, traverse_path())`,
+		`if(traverse_path(), paxos.msgtype == 1)`,
+		`if(ipv4.dstAddr == blocked_addr, !forward())`,
+		`!(cloned_outport == original_port && constant(cloned_outport))`,
+		`if(ipv4.dstAddr == 0x0A000001, !forward())`,
+	}
+	for _, src := range cases {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if e == nil {
+			t.Fatalf("%q: nil expr", src)
+		}
+	}
+}
+
+func TestParseShapes(t *testing.T) {
+	e, err := Parse(`if(forward(), ip.ttl > 0, ip.ttl == 0)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifm, ok := e.(*IfM)
+	if !ok {
+		t.Fatalf("want IfM, got %T", e)
+	}
+	if _, ok := ifm.Cond.(*Forward); !ok {
+		t.Fatalf("cond should be Forward, got %T", ifm.Cond)
+	}
+	if ifm.Else == nil {
+		t.Fatal("else branch missing")
+	}
+
+	e2, _ := Parse(`a.b + 2 * c >= 10`)
+	cmp := e2.(*Bin)
+	if cmp.Op != OpGe {
+		t.Fatalf("top op = %v", cmp.Op)
+	}
+	add := cmp.X.(*Bin)
+	if add.Op != OpAdd {
+		t.Fatalf("lhs op = %v (precedence broken)", add.Op)
+	}
+	if add.Y.(*Bin).Op != OpMul {
+		t.Fatal("mul should bind tighter than add")
+	}
+}
+
+func TestHasUnrestricted(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`ip.ttl > 0`, false},
+		{`if(ip.ttl == 0, ip.proto == 6)`, false},
+		{`forward()`, true},
+		{`!forward()`, true},
+		{`if(traverse_path(), x == 1)`, true},
+		{`constant(f) || x == 2`, true},
+		{`if(x == 1, emit_header(h))`, true},
+		{`1 == 1`, false},
+	}
+	for _, tc := range cases {
+		e, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.src, err)
+		}
+		if got := HasUnrestricted(e); got != tc.want {
+			t.Errorf("HasUnrestricted(%q) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestFields(t *testing.T) {
+	e, err := Parse(`if(ip.ttl == 0 && ip.ttl < meta.max, constant(ip.src))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Fields(e, nil)
+	want := []string{"ip.ttl", "meta.max", "ip.src"}
+	if len(got) != len(want) {
+		t.Fatalf("Fields = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Fields = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`if(`,
+		`forward(`,
+		`forward() &&`,
+		`x ==`,
+		`(a == 1`,
+		`a == 1 extra`,
+		`constant()`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		`if(traverse_path(), !forward())`,
+		`constant(ip.src)`,
+		`((a.b + 1) * 2) >= c`,
+	}
+	for _, src := range srcs {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := String(e)
+		e2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", s, src, err)
+		}
+		if String(e2) != s {
+			t.Fatalf("String not stable: %q vs %q", String(e2), s)
+		}
+	}
+}
+
+func TestBooleanLiterals(t *testing.T) {
+	e, err := Parse(`tcp.ack == false`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.(*Bin).Y.(*Num).Value != 0 {
+		t.Fatal("false should parse as 0")
+	}
+}

@@ -1,0 +1,448 @@
+// Package bench regenerates the paper's evaluation: the Fig. 9 performance
+// sweeps, the Fig. 10 optimization-technique comparison, the Table 2
+// per-program technique gains, the §5.5 combined-techniques result, the
+// §5.1 bug-finding runs and the Table 1 expressiveness matrix. Both
+// cmd/p4bench and the repository's testing.B benchmarks drive it.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"p4assert/internal/core"
+	"p4assert/internal/progs"
+	"p4assert/internal/rules"
+	"p4assert/internal/whippersnapper"
+)
+
+// Variant names one pipeline configuration of Fig. 10 / Table 2.
+type Variant string
+
+// The paper's technique variants.
+const (
+	Original    Variant = "Original"
+	O3          Variant = "O3"
+	Opt         Variant = "Opt"
+	Parallel    Variant = "Parallel"
+	Slice       Variant = "Slice"
+	Constraints Variant = "Constraints"
+)
+
+// options maps a variant to pipeline options.
+func (v Variant) options() core.Options {
+	switch v {
+	case O3:
+		return core.Options{O3: true}
+	case Opt:
+		return core.Options{Opt: true}
+	case Parallel:
+		return core.Options{Parallel: 4} // the paper's 4-core VM
+	case Slice:
+		return core.Options{Slice: true}
+	default:
+		return core.Options{}
+	}
+}
+
+// Point is one measurement of a sweep.
+type Point struct {
+	X            int
+	Seconds      float64
+	Instructions int64
+	Paths        int64
+}
+
+// Sweep identifies one x-axis of Fig. 9/10.
+type Sweep string
+
+// The four sweeps of Figs. 9 and 10.
+const (
+	SweepTables     Sweep = "tables"     // Fig. 9(a)/10(a)
+	SweepAssertions Sweep = "assertions" // Fig. 9(b)/10(b)
+	SweepRules      Sweep = "rules"      // Fig. 9(c)/10(c)
+	SweepActions    Sweep = "actions"    // Fig. 9(d)/10(d)
+)
+
+// DefaultXs returns sweep points. full selects the paper's exact ranges
+// (slow); otherwise a reduced range with the same spacing structure.
+func DefaultXs(s Sweep, full bool) []int {
+	switch s {
+	case SweepTables:
+		if full {
+			return []int{12, 14, 16, 18, 20}
+		}
+		return []int{8, 10, 12, 14}
+	case SweepAssertions:
+		return []int{12, 16, 20, 24}
+	case SweepRules:
+		if full {
+			return []int{0, 80, 160, 240, 320}
+		}
+		return []int{0, 40, 80, 160}
+	case SweepActions:
+		if full {
+			return []int{30, 60, 90, 120, 150}
+		}
+		return []int{30, 60, 90, 120}
+	}
+	return nil
+}
+
+// config builds the Whippersnapper parameters for a sweep point, using the
+// paper's defaults (§5.3): no rules/assertions unless swept, 1 table for
+// the assertion sweep, 2 tables for the rules and actions sweeps, 3 actions
+// on the first table and 2 on the rest.
+func config(s Sweep, x int) whippersnapper.Config {
+	switch s {
+	case SweepTables:
+		return whippersnapper.Default(x)
+	case SweepAssertions:
+		cfg := whippersnapper.Default(1)
+		cfg.Assertions = x
+		return cfg
+	case SweepRules:
+		cfg := whippersnapper.Default(2)
+		cfg.RulesPerTable = x
+		return cfg
+	default: // SweepActions
+		cfg := whippersnapper.Default(2)
+		cfg.ActionsFirst = x
+		cfg.Actions = x
+		return cfg
+	}
+}
+
+// RunSweepPoint measures one (sweep, x, variant) cell.
+func RunSweepPoint(s Sweep, x int, v Variant) (Point, error) {
+	cfg := config(s, x)
+	src := whippersnapper.Generate(cfg)
+	opts := v.options()
+	opts.Rules = whippersnapper.GenerateRules(cfg)
+	t0 := time.Now()
+	rep, err := core.VerifySource("ws.p4", src, opts)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{
+		X:            x,
+		Seconds:      time.Since(t0).Seconds(),
+		Instructions: rep.Metrics.Instructions,
+		Paths:        rep.Metrics.Paths,
+	}, nil
+}
+
+// Figure9 runs one panel of Fig. 9 (no optimizations).
+func Figure9(s Sweep, xs []int) ([]Point, error) {
+	var out []Point
+	for _, x := range xs {
+		p, err := RunSweepPoint(s, x, Original)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Figure10 runs one panel of Fig. 10: the sweep under each technique.
+func Figure10(s Sweep, xs []int) (map[Variant][]Point, error) {
+	out := map[Variant][]Point{}
+	for _, v := range []Variant{Original, Parallel, O3, Opt} {
+		for _, x := range xs {
+			p, err := RunSweepPoint(s, x, v)
+			if err != nil {
+				return nil, err
+			}
+			out[v] = append(out[v], p)
+		}
+	}
+	return out, nil
+}
+
+// Table2Cell is one program × technique measurement.
+type Table2Cell struct {
+	// TimeReduction and InstrReduction are percentage gains versus the
+	// unoptimized baseline (negative = slower / more instructions), the
+	// paper's Table 2 quantities.
+	TimeReduction  float64
+	InstrReduction float64
+	// Failed marks technique failures (slicing a recursive parser),
+	// rendered as "-" like the paper's MRI row.
+	Failed bool
+}
+
+// Table2Row is one program's measurements.
+type Table2Row struct {
+	Program  string
+	BaseTime float64
+	BaseIns  int64
+	Cells    map[Variant]Table2Cell
+}
+
+// Table2Variants is the paper's column order.
+var Table2Variants = []Variant{O3, Opt, Constraints, Parallel, Slice}
+
+// runProgram measures a corpus program under the given options, averaging
+// over repeat runs for stable times.
+func runProgram(p *progs.Program, source string, opts core.Options, repeats int) (float64, int64, int64, error) {
+	if p.Rules != "" {
+		rs, err := rules.Parse(p.Rules)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		opts.Rules = rs
+	}
+	var best float64
+	var instr, worst int64
+	for i := 0; i < repeats; i++ {
+		t0 := time.Now()
+		rep, err := core.VerifySource(p.Name+".p4", source, opts)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if opts.Slice && rep.SliceErr != nil {
+			return 0, 0, 0, rep.SliceErr
+		}
+		sec := time.Since(t0).Seconds()
+		if i == 0 || sec < best {
+			best = sec
+		}
+		instr = rep.Metrics.Instructions
+		worst = rep.WorstSubmodelInstructions
+	}
+	return best, instr, worst, nil
+}
+
+// Table2 reproduces the paper's Table 2 over the six evaluated programs.
+// repeats > 1 stabilizes wall-clock numbers.
+func Table2(repeats int) ([]Table2Row, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	var rows []Table2Row
+	for _, p := range progs.Table2Programs() {
+		baseTime, baseIns, _, err := runProgram(p, p.Source, core.Options{}, repeats)
+		if err != nil {
+			return nil, fmt.Errorf("%s baseline: %w", p.Name, err)
+		}
+		row := Table2Row{Program: p.Title, BaseTime: baseTime, BaseIns: baseIns, Cells: map[Variant]Table2Cell{}}
+		for _, v := range Table2Variants {
+			source := p.Source
+			opts := v.options()
+			if v == Constraints {
+				source = p.ConstrainedSource()
+			}
+			sec, instr, worst, err := runProgram(p, source, opts, repeats)
+			if err != nil {
+				row.Cells[v] = Table2Cell{Failed: true}
+				continue
+			}
+			cell := Table2Cell{
+				TimeReduction:  reduction(baseTime, sec),
+				InstrReduction: reduction(float64(baseIns), float64(instr)),
+			}
+			if v == Parallel {
+				// The paper's tenth column: reduction achieved by the
+				// heaviest submodel versus the whole model.
+				cell.InstrReduction = reduction(float64(baseIns), float64(worst))
+			}
+			row.Cells[v] = cell
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func reduction(base, now float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - now) / base * 100
+}
+
+// Combined reproduces §5.5's closing experiment: Dapper under constraints,
+// parallelization and compiler optimization together (the paper reports
+// −81.76 % time and −89.25 % instructions).
+func Combined(repeats int) (timeRed, instrRed float64, err error) {
+	p, err := progs.Get("dapper")
+	if err != nil {
+		return 0, 0, err
+	}
+	baseTime, baseIns, _, err := runProgram(p, p.Source, core.Options{}, repeats)
+	if err != nil {
+		return 0, 0, err
+	}
+	sec, _, worst, err := runProgram(p, p.ConstrainedSource(),
+		core.Options{O3: true, Opt: true, Parallel: 4}, repeats)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Instruction reduction follows the paper's parallel convention
+	// (Table 2 col. 10): the heaviest submodel versus the whole baseline.
+	return reduction(baseTime, sec), reduction(float64(baseIns), float64(worst)), nil
+}
+
+// BugFinding reruns the §5.1 experiments: each buggy corpus program, the
+// violations found, and the time to find them.
+type BugResult struct {
+	Program    string
+	Seconds    float64
+	Found      []string // violated assertion sources
+	AllFound   bool
+	Violations int
+}
+
+// BugFinding runs the corpus bug hunts.
+func BugFinding() ([]BugResult, error) {
+	var out []BugResult
+	for _, p := range progs.All() {
+		if len(p.ExpectedViolations) == 0 {
+			continue
+		}
+		opts := core.Options{}
+		if p.Rules != "" {
+			rs, err := rules.Parse(p.Rules)
+			if err != nil {
+				return nil, err
+			}
+			opts.Rules = rs
+		}
+		t0 := time.Now()
+		rep, err := core.VerifySource(p.Name+".p4", p.Source, opts)
+		if err != nil {
+			return nil, err
+		}
+		r := BugResult{Program: p.Title, Seconds: time.Since(t0).Seconds(),
+			Violations: len(rep.Violations)}
+		got := map[int]bool{}
+		for _, v := range rep.Violations {
+			got[v.AssertID] = true
+			if v.Info != nil {
+				r.Found = append(r.Found, v.Info.Source)
+			}
+		}
+		r.AllFound = true
+		for _, id := range p.ExpectedViolations {
+			if !got[id] {
+				r.AllFound = false
+			}
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Program < out[j].Program })
+	return out, nil
+}
+
+// Table1Entry is one program's expressiveness check: all its assertions
+// parsed, translated and were decided.
+type Table1Entry struct {
+	Program    string
+	Assertions []string
+	Violated   []bool
+	Seconds    float64
+}
+
+// Table1 verifies every corpus program and reports its assertion matrix
+// (the paper's Table 1 demonstrates the properties are expressible and
+// checkable; violations are expected exactly for the seeded bugs).
+func Table1() ([]Table1Entry, error) {
+	var out []Table1Entry
+	for _, p := range progs.All() {
+		opts := core.Options{}
+		if p.Rules != "" {
+			rs, err := rules.Parse(p.Rules)
+			if err != nil {
+				return nil, err
+			}
+			opts.Rules = rs
+		}
+		t0 := time.Now()
+		rep, err := core.VerifySource(p.Name+".p4", p.Source, opts)
+		if err != nil {
+			return nil, err
+		}
+		e := Table1Entry{Program: p.Title, Seconds: time.Since(t0).Seconds()}
+		violated := map[int]bool{}
+		for _, v := range rep.Violations {
+			violated[v.AssertID] = true
+		}
+		for _, a := range rep.Asserts {
+			e.Assertions = append(e.Assertions, a.Source)
+			e.Violated = append(e.Violated, violated[a.ID])
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// ------------------------------------------------------------- rendering --
+
+// RenderPoints formats a single-series sweep as an aligned table.
+func RenderPoints(title, xlabel string, pts []Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-14s %12s %14s %10s\n", title, xlabel, "time (s)", "instructions", "paths")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-14d %12.3f %14d %10d\n", p.X, p.Seconds, p.Instructions, p.Paths)
+	}
+	return b.String()
+}
+
+// RenderSeries formats a multi-variant sweep (Fig. 10 panels).
+func RenderSeries(title, xlabel string, series map[Variant][]Point) string {
+	variants := []Variant{Original, Parallel, O3, Opt}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-10s", title, xlabel)
+	for _, v := range variants {
+		fmt.Fprintf(&b, " %14s", string(v)+" (s)")
+	}
+	b.WriteString("\n")
+	if len(series[Original]) == 0 {
+		return b.String()
+	}
+	for i, p := range series[Original] {
+		fmt.Fprintf(&b, "%-10d", p.X)
+		for _, v := range variants {
+			if i < len(series[v]) {
+				fmt.Fprintf(&b, " %14.3f", series[v][i].Seconds)
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderTable2 formats Table 2 rows like the paper.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2: performance gains of each technique (reduction vs no optimizations)\n")
+	fmt.Fprintf(&b, "%-28s |", "")
+	for _, v := range Table2Variants {
+		fmt.Fprintf(&b, " %11s", v)
+	}
+	fmt.Fprintf(&b, " | %11s", "base (s)")
+	b.WriteString("\n")
+	section := func(label string, get func(Table2Cell) (float64, bool)) {
+		fmt.Fprintf(&b, "-- %s --\n", label)
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%-28s |", r.Program)
+			for _, v := range Table2Variants {
+				cell, ok := r.Cells[v]
+				if !ok || cell.Failed {
+					fmt.Fprintf(&b, " %11s", "-")
+					continue
+				}
+				val, _ := get(cell)
+				fmt.Fprintf(&b, " %10.2f%%", val)
+			}
+			fmt.Fprintf(&b, " | %11.4f", r.BaseTime)
+			b.WriteString("\n")
+		}
+	}
+	section("Reduction in Verification Time", func(c Table2Cell) (float64, bool) { return c.TimeReduction, true })
+	section("Reduction in Number of Instructions", func(c Table2Cell) (float64, bool) { return c.InstrReduction, true })
+	return b.String()
+}

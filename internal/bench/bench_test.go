@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSweepPoint(t *testing.T) {
+	for _, s := range []Sweep{SweepTables, SweepAssertions, SweepRules, SweepActions} {
+		xs := DefaultXs(s, false)
+		if len(xs) == 0 {
+			t.Fatalf("%s: no default xs", s)
+		}
+		p, err := RunSweepPoint(s, xs[0], Original)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if p.Paths == 0 || p.Instructions == 0 || p.Seconds <= 0 {
+			t.Fatalf("%s: degenerate point %+v", s, p)
+		}
+	}
+}
+
+func TestFullRangesAreSupersets(t *testing.T) {
+	for _, s := range []Sweep{SweepTables, SweepRules, SweepActions} {
+		small := DefaultXs(s, false)
+		full := DefaultXs(s, true)
+		if full[len(full)-1] <= small[len(small)-1] {
+			t.Fatalf("%s: full range should extend further", s)
+		}
+	}
+}
+
+func TestTablesSweepGrowsExponentially(t *testing.T) {
+	p1, err := RunSweepPoint(SweepTables, 6, Original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := RunSweepPoint(SweepTables, 8, Original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two more tables at two actions each: exactly 4x the paths.
+	if p2.Paths != p1.Paths*4 {
+		t.Fatalf("paths %d -> %d, want exactly 4x", p1.Paths, p2.Paths)
+	}
+}
+
+func TestO3HelpsRulesSweep(t *testing.T) {
+	orig, err := RunSweepPoint(SweepRules, 40, Original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o3, err := RunSweepPoint(SweepRules, 40, O3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o3.Instructions >= orig.Instructions {
+		t.Fatalf("O3 should reduce instructions on the rules sweep: %d vs %d",
+			o3.Instructions, orig.Instructions)
+	}
+}
+
+func TestTable2ShapesHold(t *testing.T) {
+	rows, err := Table2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Program] = r
+	}
+	// MRI's slice column must be the failure marker (paper's "-").
+	mri := byName["MRI (multi-hop route inspection)"]
+	if !mri.Cells[Slice].Failed {
+		t.Fatal("MRI slice cell should be a failure")
+	}
+	// Dapper is the heaviest program.
+	dapper := byName["Dapper (TCP diagnosis)"]
+	for name, r := range byName {
+		if name != dapper.Program && r.BaseTime > dapper.BaseTime {
+			t.Fatalf("%s (%fs) outweighs Dapper (%fs)", name, r.BaseTime, dapper.BaseTime)
+		}
+	}
+	// Instruction reductions from O3 must be positive everywhere
+	// (paper: 20–75%).
+	for name, r := range byName {
+		if c := r.Cells[O3]; c.Failed || c.InstrReduction <= 0 {
+			t.Fatalf("%s: O3 instruction reduction = %+v", name, c)
+		}
+	}
+	// Constraints must reduce Dapper's instructions (paper: 50%).
+	if c := dapper.Cells[Constraints]; c.InstrReduction <= 0 {
+		t.Fatalf("Dapper constraints cell = %+v", c)
+	}
+}
+
+func TestCombinedReproducesDirection(t *testing.T) {
+	timeRed, instrRed, err := Combined(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports −81.76% time / −89.25% instructions; our substrate
+	// must at least reproduce large positive reductions.
+	if timeRed < 30 {
+		t.Fatalf("combined time reduction = %.2f%%, want substantial (paper 81.76%%)", timeRed)
+	}
+	if instrRed < 30 {
+		t.Fatalf("combined instruction reduction = %.2f%%, want substantial (paper 89.25%%)", instrRed)
+	}
+}
+
+func TestBugFindingFindsAll(t *testing.T) {
+	results, err := BugFinding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 5 {
+		t.Fatalf("expected ≥5 buggy programs, got %d", len(results))
+	}
+	for _, r := range results {
+		if !r.AllFound {
+			t.Fatalf("%s: expected violations missing", r.Program)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	pts := []Point{{X: 1, Seconds: 0.5, Instructions: 100, Paths: 3}}
+	out := RenderPoints("title", "x", pts)
+	if !strings.Contains(out, "title") || !strings.Contains(out, "0.500") {
+		t.Fatalf("RenderPoints output:\n%s", out)
+	}
+	series := map[Variant][]Point{
+		Original: pts, Parallel: pts, O3: pts, Opt: pts,
+	}
+	out2 := RenderSeries("t2", "x", series)
+	if !strings.Contains(out2, "Original (s)") {
+		t.Fatalf("RenderSeries output:\n%s", out2)
+	}
+	rows := []Table2Row{{
+		Program: "p", BaseTime: 1, BaseIns: 100,
+		Cells: map[Variant]Table2Cell{
+			O3:    {TimeReduction: 10, InstrReduction: 20},
+			Slice: {Failed: true},
+		},
+	}}
+	out3 := RenderTable2(rows)
+	if !strings.Contains(out3, "10.00%") || !strings.Contains(out3, "-") {
+		t.Fatalf("RenderTable2 output:\n%s", out3)
+	}
+}

@@ -1,0 +1,292 @@
+package bitblast
+
+import (
+	"math/rand"
+	"testing"
+
+	"p4assert/internal/bv"
+	"p4assert/internal/sat"
+)
+
+// checkFormula asserts e (width 1) and returns (sat, model).
+func checkFormula(t *testing.T, c *bv.Context, e *bv.Expr) (bool, map[string]uint64) {
+	t.Helper()
+	s := sat.New()
+	b := New(s)
+	b.AssertTrue(e)
+	if !s.Solve() {
+		return false, nil
+	}
+	return true, b.Model()
+}
+
+func TestSimpleEquality(t *testing.T) {
+	c := bv.NewContext()
+	x := c.Var("x", 16)
+	sat1, m := checkFormula(t, c, c.Eq(x, c.Const(16, 0xbeef)))
+	if !sat1 {
+		t.Fatal("x == 0xbeef should be SAT")
+	}
+	if m["x"] != 0xbeef {
+		t.Fatalf("model x = %#x, want 0xbeef", m["x"])
+	}
+}
+
+func TestContradiction(t *testing.T) {
+	c := bv.NewContext()
+	x := c.Var("x", 8)
+	e := c.And(c.Eq(x, c.Const(8, 1)), c.Eq(x, c.Const(8, 2)))
+	if ok, _ := checkFormula(t, c, e); ok {
+		t.Fatal("x==1 && x==2 should be UNSAT")
+	}
+}
+
+func TestArithmeticWitness(t *testing.T) {
+	c := bv.NewContext()
+	x := c.Var("x", 8)
+	y := c.Var("y", 8)
+	// x + y == 10 && x * y == 21  →  {3,7}
+	e := c.And(
+		c.Eq(c.Add(x, y), c.Const(8, 10)),
+		c.Eq(c.Mul(x, y), c.Const(8, 21)),
+	)
+	ok, m := checkFormula(t, c, e)
+	if !ok {
+		t.Fatal("should be SAT")
+	}
+	if (m["x"]+m["y"])&0xff != 10 || (m["x"]*m["y"])&0xff != 21 {
+		t.Fatalf("model {x:%d y:%d} does not satisfy constraints", m["x"], m["y"])
+	}
+}
+
+func TestOverflowSemantics(t *testing.T) {
+	c := bv.NewContext()
+	x := c.Var("x", 8)
+	// x + 1 == 0 has the unique solution 255 (wraparound).
+	ok, m := checkFormula(t, c, c.Eq(c.Add(x, c.Const(8, 1)), c.Const(8, 0)))
+	if !ok || m["x"] != 255 {
+		t.Fatalf("got sat=%v x=%d, want sat with x=255", ok, m["x"])
+	}
+}
+
+func TestDivisionByZeroSemantics(t *testing.T) {
+	c := bv.NewContext()
+	x := c.Var("x", 8)
+	// x / 0 == 255 must hold for all x (SMT-LIB), so its negation is UNSAT.
+	e := c.Ne(c.UDiv(x, c.Const(8, 0)), c.Const(8, 0xff))
+	if ok, _ := checkFormula(t, c, e); ok {
+		t.Fatal("x/0 != 255 should be UNSAT")
+	}
+	// x % 0 == x must hold for all x.
+	e2 := c.Ne(c.UMod(x, c.Const(8, 0)), x)
+	if ok, _ := checkFormula(t, c, e2); ok {
+		t.Fatal("x%0 != x should be UNSAT")
+	}
+}
+
+func TestUnsignedComparison(t *testing.T) {
+	c := bv.NewContext()
+	x := c.Var("x", 4)
+	// x < 3 && x > 1  →  x == 2
+	e := c.And(c.Ult(x, c.Const(4, 3)), c.Ugt(x, c.Const(4, 1)))
+	ok, m := checkFormula(t, c, e)
+	if !ok || m["x"] != 2 {
+		t.Fatalf("got sat=%v x=%d, want x=2", ok, m["x"])
+	}
+}
+
+func TestShiftSemantics(t *testing.T) {
+	c := bv.NewContext()
+	x := c.Var("x", 8)
+	sh := c.Var("sh", 8)
+	// (x << sh) == 0x80 && x == 1  →  sh == 7
+	e := c.And(
+		c.Eq(c.Shl(x, sh), c.Const(8, 0x80)),
+		c.Eq(x, c.Const(8, 1)),
+	)
+	ok, m := checkFormula(t, c, e)
+	if !ok || m["sh"] != 7 {
+		t.Fatalf("got sat=%v sh=%d, want sh=7", ok, m["sh"])
+	}
+	// Shift ≥ width zeroes: x<<9 != 0 is UNSAT.
+	e2 := c.Ne(c.Shl(x, c.Const(8, 9)), c.Const(8, 0))
+	if ok, _ := checkFormula(t, c, e2); ok {
+		t.Fatal("x<<9 != 0 should be UNSAT at width 8")
+	}
+}
+
+func TestConcatExtract(t *testing.T) {
+	c := bv.NewContext()
+	hi := c.Var("hi", 8)
+	lo := c.Var("lo", 8)
+	cc := c.Concat(hi, lo)
+	e := c.And(
+		c.Eq(cc, c.Const(16, 0xab12)),
+		c.True(),
+	)
+	ok, m := checkFormula(t, c, e)
+	if !ok || m["hi"] != 0xab || m["lo"] != 0x12 {
+		t.Fatalf("concat model wrong: %v", m)
+	}
+}
+
+func TestIteBlasting(t *testing.T) {
+	c := bv.NewContext()
+	p := c.Var("p", 1)
+	x := c.Var("x", 8)
+	e := c.And(
+		c.Eq(c.Ite(p, x, c.Const(8, 5)), c.Const(8, 9)),
+		c.Eq(x, c.Const(8, 9)),
+	)
+	ok, m := checkFormula(t, c, e)
+	if !ok {
+		t.Fatal("should be SAT")
+	}
+	if m["p"] != 1 {
+		t.Fatalf("p must be 1 to select x, got %d", m["p"])
+	}
+}
+
+// randBool builds a random width-1 formula over 8-bit vars a, b.
+func randBoolExpr(c *bv.Context, r *rand.Rand, depth int) *bv.Expr {
+	mkInt := func() *bv.Expr {
+		var e *bv.Expr
+		switch r.Intn(3) {
+		case 0:
+			e = c.Var("a", 8)
+		case 1:
+			e = c.Var("b", 8)
+		default:
+			e = c.Const(8, uint64(r.Intn(256)))
+		}
+		for i := 0; i < r.Intn(3); i++ {
+			o := c.Var("b", 8)
+			switch r.Intn(7) {
+			case 0:
+				e = c.Add(e, o)
+			case 1:
+				e = c.Sub(e, o)
+			case 2:
+				e = c.Mul(e, o)
+			case 3:
+				e = c.And(e, o)
+			case 4:
+				e = c.Xor(e, o)
+			case 5:
+				e = c.UDiv(e, o)
+			default:
+				e = c.UMod(e, o)
+			}
+		}
+		return e
+	}
+	if depth == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return c.Eq(mkInt(), mkInt())
+		case 1:
+			return c.Ult(mkInt(), mkInt())
+		default:
+			return c.Ule(mkInt(), mkInt())
+		}
+	}
+	a := randBoolExpr(c, r, depth-1)
+	b2 := randBoolExpr(c, r, depth-1)
+	switch r.Intn(3) {
+	case 0:
+		return c.And(a, b2)
+	case 1:
+		return c.Or(a, b2)
+	default:
+		return c.Not(a)
+	}
+}
+
+// TestRandomFormulaeAgainstEval is the bit-blaster's core property: the SAT
+// verdict must agree with brute-force evaluation over both 8-bit variables,
+// and any model returned must actually evaluate to true.
+func TestRandomFormulaeAgainstEval(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 120; iter++ {
+		c := bv.NewContext()
+		e := randBoolExpr(c, r, 2)
+		// Brute-force over a, b (256×256 = 64k evals of a small DAG).
+		want := false
+		env := map[string]uint64{}
+		for a := uint64(0); a < 256 && !want; a++ {
+			for b2 := uint64(0); b2 < 256; b2++ {
+				env["a"], env["b"] = a, b2
+				if bv.Eval(e, env) == 1 {
+					want = true
+					break
+				}
+			}
+		}
+		s := sat.New()
+		bl := New(s)
+		bl.AssertTrue(e)
+		got := s.Solve()
+		if got != want {
+			t.Fatalf("iter %d: blaster=%v brute=%v for %s", iter, got, want, e)
+		}
+		if got {
+			m := bl.Model()
+			if bv.Eval(e, m) != 1 {
+				t.Fatalf("iter %d: model %v does not satisfy %s", iter, m, e)
+			}
+		}
+	}
+}
+
+// TestWideOperations exercises 48- and 64-bit circuits (Ethernet-address
+// sized and maximal widths).
+func TestWideOperations(t *testing.T) {
+	c := bv.NewContext()
+	mac := c.Var("mac", 48)
+	ok, m := checkFormula(t, c, c.Eq(mac, c.Const(48, 0x0102030405ff)))
+	if !ok || m["mac"] != 0x0102030405ff {
+		t.Fatalf("48-bit equality failed: %v", m)
+	}
+	c2 := bv.NewContext()
+	x := c2.Var("x", 64)
+	e := c2.Eq(c2.Add(x, c2.Const(64, 1)), c2.Const(64, 0))
+	s := sat.New()
+	bl := New(s)
+	bl.AssertTrue(e)
+	if !s.Solve() {
+		t.Fatal("64-bit wraparound should be SAT")
+	}
+	if bl.Model()["x"] != ^uint64(0) {
+		t.Fatalf("64-bit model = %#x", bl.Model()["x"])
+	}
+}
+
+func TestSharedSubexpressionReuse(t *testing.T) {
+	c := bv.NewContext()
+	x := c.Var("x", 16)
+	sum := c.Add(x, c.Const(16, 3))
+	e := c.And(c.Ult(sum, c.Const(16, 100)), c.Ugt(sum, c.Const(16, 50)))
+	s := sat.New()
+	bl := New(s)
+	bl.AssertTrue(e)
+	if !s.Solve() {
+		t.Fatal("should be SAT")
+	}
+	v := (bl.Model()["x"] + 3) & 0xffff
+	if v >= 100 || v <= 50 {
+		t.Fatalf("model violates range: x+3 = %d", v)
+	}
+}
+
+func TestNonPowerOfTwoWidthShift(t *testing.T) {
+	// Width 5: shifting by 5 or 6 must zero even though 2^3 > 5.
+	c := bv.NewContext()
+	x := c.Var("x", 5)
+	e := c.And(
+		c.Ne(c.Lshr(x, c.Const(5, 5)), c.Const(5, 0)),
+		c.True(),
+	)
+	if ok, _ := checkFormula(t, c, e); ok {
+		t.Fatal("x>>5 != 0 should be UNSAT at width 5")
+	}
+}

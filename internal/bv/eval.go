@@ -1,0 +1,95 @@
+package bv
+
+// Eval computes the concrete value of e under the assignment env, with any
+// unassigned variable reading as zero (matching how the SAT layer completes
+// partial models). The result is masked to e.Width.
+//
+// Eval is the reference semantics: the simplifier, the bit-blaster and the
+// concrete interpreter are all property-tested against it.
+func Eval(e *Expr, env map[string]uint64) uint64 {
+	cache := make(map[*Expr]uint64)
+	return eval(e, env, cache)
+}
+
+func eval(e *Expr, env map[string]uint64, cache map[*Expr]uint64) uint64 {
+	if v, ok := cache[e]; ok {
+		return v
+	}
+	v := evalRaw(e, env, cache)
+	v &= Mask(e.Width)
+	cache[e] = v
+	return v
+}
+
+func evalRaw(e *Expr, env map[string]uint64, cache map[*Expr]uint64) uint64 {
+	arg := func(i int) uint64 { return eval(e.Args[i], env, cache) }
+	b2u := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch e.Op {
+	case OpConst:
+		return e.Val
+	case OpVar:
+		return env[e.Name] & Mask(e.Width)
+	case OpNot:
+		return ^arg(0)
+	case OpAnd:
+		return arg(0) & arg(1)
+	case OpOr:
+		return arg(0) | arg(1)
+	case OpXor:
+		return arg(0) ^ arg(1)
+	case OpAdd:
+		return arg(0) + arg(1)
+	case OpSub:
+		return arg(0) - arg(1)
+	case OpMul:
+		return arg(0) * arg(1)
+	case OpUDiv:
+		a, b := arg(0), arg(1)
+		if b == 0 {
+			return Mask(e.Width)
+		}
+		return a / b
+	case OpUMod:
+		a, b := arg(0), arg(1)
+		if b == 0 {
+			return a
+		}
+		return a % b
+	case OpShl:
+		a, b := arg(0), arg(1)
+		if b >= uint64(e.Width) {
+			return 0
+		}
+		return a << b
+	case OpLshr:
+		a, b := arg(0), arg(1)
+		if b >= uint64(e.Args[0].Width) {
+			return 0
+		}
+		return a >> b
+	case OpEq:
+		return b2u(arg(0) == arg(1))
+	case OpUlt:
+		return b2u(arg(0) < arg(1))
+	case OpUle:
+		return b2u(arg(0) <= arg(1))
+	case OpIte:
+		if arg(0) != 0 {
+			return arg(1)
+		}
+		return arg(2)
+	case OpConcat:
+		return arg(0)<<uint(e.Args[1].Width) | arg(1)
+	case OpExtract:
+		return arg(0) >> uint(e.Lo)
+	case OpZext:
+		return arg(0)
+	default:
+		panic("bv: eval of unknown op " + e.Op.String())
+	}
+}

@@ -1,0 +1,203 @@
+// Package bv implements a hash-consed bitvector expression DAG with an
+// algebraic simplifier. It is the value domain of the symbolic executor:
+// every packet field, metadata cell and path-condition term is a *Expr.
+//
+// Expressions are immutable and interned per Context, so structural equality
+// coincides with pointer equality within one Context. A Context is not safe
+// for concurrent use; parallel submodel executions each own a Context.
+//
+// Widths run from 1 to 64 bits. Boolean values are width-1 bitvectors
+// (0 = false, 1 = true), mirroring how the paper's C models encode the
+// instrumentation booleans for forward(), traverse_path() and friends.
+package bv
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxWidth is the widest supported bitvector. The widest field in any
+// program evaluated by the paper is 48 bits (Ethernet addresses), so a
+// 64-bit ceiling loses nothing relevant (see DESIGN.md §2).
+const MaxWidth = 64
+
+// Op enumerates expression node kinds.
+type Op uint8
+
+// Expression node kinds. Comparison results always have width 1.
+const (
+	OpConst   Op = iota // literal; Val holds the (masked) value
+	OpVar               // free symbolic variable; Name holds its identity
+	OpNot               // bitwise complement
+	OpAnd               // bitwise and
+	OpOr                // bitwise or
+	OpXor               // bitwise xor
+	OpAdd               // modular addition
+	OpSub               // modular subtraction
+	OpMul               // modular multiplication
+	OpUDiv              // unsigned division (x/0 = all-ones, as in SMT-LIB)
+	OpUMod              // unsigned remainder (x%0 = x, as in SMT-LIB)
+	OpShl               // shift left; shift amount is Args[1]
+	OpLshr              // logical shift right
+	OpEq                // equality, width-1 result
+	OpUlt               // unsigned less-than, width-1 result
+	OpUle               // unsigned less-or-equal, width-1 result
+	OpIte               // if-then-else; Args[0] has width 1
+	OpConcat            // Args[0] is high bits, Args[1] low bits
+	OpExtract           // bits Hi..Lo (inclusive) of Args[0]
+	OpZext              // zero extension of Args[0] to Width
+)
+
+var opNames = [...]string{
+	OpConst: "const", OpVar: "var", OpNot: "~", OpAnd: "&", OpOr: "|",
+	OpXor: "^", OpAdd: "+", OpSub: "-", OpMul: "*", OpUDiv: "/",
+	OpUMod: "%", OpShl: "<<", OpLshr: ">>", OpEq: "==", OpUlt: "<",
+	OpUle: "<=", OpIte: "ite", OpConcat: "++", OpExtract: "extract",
+	OpZext: "zext",
+}
+
+// String returns the operator's surface syntax.
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Expr is one immutable node of the expression DAG. Create Exprs only
+// through a Context; the zero value is not meaningful.
+type Expr struct {
+	Op    Op
+	Width int
+	Val   uint64  // OpConst only
+	Name  string  // OpVar only
+	Hi    int     // OpExtract only
+	Lo    int     // OpExtract only
+	Args  []*Expr // operands
+	id    uint64  // interning identity, unique per Context
+}
+
+// ID returns the node's interning identity. IDs are dense, start at 1 and
+// are stable for the lifetime of the owning Context.
+func (e *Expr) ID() uint64 { return e.id }
+
+// IsConst reports whether e is a literal.
+func (e *Expr) IsConst() bool { return e.Op == OpConst }
+
+// IsTrue reports whether e is the width-1 constant 1.
+func (e *Expr) IsTrue() bool { return e.Op == OpConst && e.Width == 1 && e.Val == 1 }
+
+// IsFalse reports whether e is the width-1 constant 0.
+func (e *Expr) IsFalse() bool { return e.Op == OpConst && e.Width == 1 && e.Val == 0 }
+
+// Mask returns the bitmask for a width in [1, MaxWidth].
+func Mask(width int) uint64 {
+	if width <= 0 {
+		panic(fmt.Sprintf("bv: non-positive width %d", width))
+	}
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(width)) - 1
+}
+
+// String renders the expression in a compact prefix/infix mix for reports
+// and debugging.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.write(&b)
+	return b.String()
+}
+
+func (e *Expr) write(b *strings.Builder) {
+	switch e.Op {
+	case OpConst:
+		fmt.Fprintf(b, "0x%x", e.Val)
+	case OpVar:
+		b.WriteString(e.Name)
+	case OpNot:
+		b.WriteString("~")
+		e.Args[0].write(b)
+	case OpIte:
+		b.WriteString("ite(")
+		e.Args[0].write(b)
+		b.WriteString(", ")
+		e.Args[1].write(b)
+		b.WriteString(", ")
+		e.Args[2].write(b)
+		b.WriteString(")")
+	case OpExtract:
+		e.Args[0].write(b)
+		fmt.Fprintf(b, "[%d:%d]", e.Hi, e.Lo)
+	case OpZext:
+		fmt.Fprintf(b, "zext%d(", e.Width)
+		e.Args[0].write(b)
+		b.WriteString(")")
+	default:
+		b.WriteString("(")
+		e.Args[0].write(b)
+		b.WriteString(" ")
+		b.WriteString(e.Op.String())
+		b.WriteString(" ")
+		e.Args[1].write(b)
+		b.WriteString(")")
+	}
+}
+
+// Vars appends the names of all free variables in e to dst, each once, and
+// returns the extended slice. Traversal order is deterministic.
+func Vars(e *Expr, dst []string) []string {
+	seen := make(map[*Expr]bool)
+	var walk func(x *Expr)
+	walk = func(x *Expr) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		if x.Op == OpVar {
+			for _, n := range dst {
+				if n == x.Name {
+					return
+				}
+			}
+			dst = append(dst, x.Name)
+			return
+		}
+		for _, a := range x.Args {
+			walk(a)
+		}
+	}
+	walk(e)
+	return dst
+}
+
+// ContainsVar reports whether variable name occurs free in e.
+func ContainsVar(e *Expr, name string) bool {
+	if e.Op == OpVar {
+		return e.Name == name
+	}
+	for _, a := range e.Args {
+		if ContainsVar(a, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns the number of distinct DAG nodes reachable from e.
+func Size(e *Expr) int {
+	seen := make(map[*Expr]bool)
+	var walk func(x *Expr) int
+	walk = func(x *Expr) int {
+		if seen[x] {
+			return 0
+		}
+		seen[x] = true
+		n := 1
+		for _, a := range x.Args {
+			n += walk(a)
+		}
+		return n
+	}
+	return walk(e)
+}

@@ -1,0 +1,213 @@
+// Package core orchestrates the verification pipeline of the paper's
+// Figure 3: parse and type-check the annotated P4 program, translate it
+// (optionally under a forwarding-rule configuration) into a model,
+// optionally optimize (the -O3 analogue), slice, and symbolically execute —
+// sequentially or parallelized over submodels.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"p4assert/internal/model"
+	"p4assert/internal/opt"
+	"p4assert/internal/p4"
+	"p4assert/internal/rules"
+	"p4assert/internal/slicer"
+	"p4assert/internal/submodel"
+	"p4assert/internal/sym"
+	"p4assert/internal/translate"
+)
+
+// Options selects the pipeline configuration, mirroring the paper's
+// technique matrix (§4): O3 compiler optimization, KLEE-style executor
+// optimization, constraints (via @assume in the source), program slicing,
+// and submodel parallelization.
+type Options struct {
+	// Rules optionally supplies forwarding rules (control-plane config).
+	Rules *rules.RuleSet
+	// O3 runs the IR optimization passes before execution.
+	O3 bool
+	// Opt enables executor-level optimizations (KLEE --optimize analogue).
+	Opt bool
+	// Slice applies backward slicing w.r.t. the program's assertions.
+	Slice bool
+	// Parallel > 0 splits into submodels and runs them on that many
+	// workers; 0 runs sequentially.
+	Parallel int
+	// MaxCallDepth bounds parser loops (default 8).
+	MaxCallDepth int
+	// MaxPaths caps exploration (0 = unlimited).
+	MaxPaths int64
+	// Timeout bounds total execution wall time (0 = none).
+	Timeout time.Duration
+	// RegisterCellLimit forwards to the translator.
+	RegisterCellLimit int
+	// AutoValidityChecks asks the translator to instrument every header
+	// field access with an automatic validity assertion.
+	AutoValidityChecks bool
+	// CollectTests records one concrete input per completed path.
+	CollectTests bool
+}
+
+// Report is the outcome of a verification run.
+type Report struct {
+	// Violations lists assertion failures with counterexamples.
+	Violations []*sym.Violation
+	// Metrics aggregates executor effort.
+	Metrics sym.Metrics
+	// WorstSubmodelInstructions is meaningful when Parallel > 0: the
+	// instruction count of the heaviest submodel (Table 2, column 10).
+	WorstSubmodelInstructions int64
+	// Submodels is how many submodels ran (0 for sequential runs).
+	Submodels int
+	// Model is the program that was executed (after optimization/slicing),
+	// for inspection.
+	Model *model.Program
+	// Asserts carries the assertion table of the translated program.
+	Asserts []*model.AssertInfo
+	// SliceErr records a slicing failure (e.g. recursive parser); when
+	// non-nil, execution proceeded on the unsliced model, matching how the
+	// paper reports "-" for MRI.
+	SliceErr error
+	// Durations of the pipeline stages.
+	TranslateTime time.Duration
+	OptimizeTime  time.Duration
+	SliceTime     time.Duration
+	ExecTime      time.Duration
+	// Tests holds one generated test case per completed path when
+	// Options.CollectTests is set (sequential runs only).
+	Tests []sym.PathTest
+	// Exhausted reports an aborted exploration (path/time budget).
+	Exhausted bool
+}
+
+// Ok reports whether verification completed with no violations.
+func (r *Report) Ok() bool { return !r.Exhausted && len(r.Violations) == 0 }
+
+// VerifySource parses, checks, translates and executes P4 source text.
+func VerifySource(filename, source string, opts Options) (*Report, error) {
+	prog, err := p4.Parse(filename, source)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Check(); err != nil {
+		return nil, err
+	}
+	return VerifyProgram(prog, opts)
+}
+
+// VerifyProgram runs the pipeline on a checked P4 program.
+func VerifyProgram(prog *p4.Program, opts Options) (*Report, error) {
+	rep := &Report{}
+
+	t0 := time.Now()
+	m, err := translate.Translate(prog, translate.Options{
+		Rules:              opts.Rules,
+		RegisterCellLimit:  opts.RegisterCellLimit,
+		AutoValidityChecks: opts.AutoValidityChecks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.TranslateTime = time.Since(t0)
+
+	return verifyModel(m, opts, rep)
+}
+
+// VerifyModel runs the post-translation pipeline stages on a model
+// directly (used by benchmarks that pre-build models).
+func VerifyModel(m *model.Program, opts Options) (*Report, error) {
+	return verifyModel(m, opts, &Report{})
+}
+
+func verifyModel(m *model.Program, opts Options, rep *Report) (*Report, error) {
+	rep.Asserts = m.Asserts
+
+	if opts.O3 {
+		t0 := time.Now()
+		m = opt.Apply(m, opt.O3())
+		rep.OptimizeTime = time.Since(t0)
+	} else if opts.Opt {
+		// KLEE's --optimize flag runs LLVM passes over the bitcode before
+		// executing it; mirror that with the light pass set (no global
+		// constant marking or match-chain compaction, which are -O3's).
+		t0 := time.Now()
+		m = opt.Apply(m, opt.Passes{ConstFold: true, DeadCode: true, Simplify: true})
+		rep.OptimizeTime = time.Since(t0)
+	}
+	if opts.Slice {
+		t0 := time.Now()
+		sliced, err := slicer.Slice(m)
+		if err != nil {
+			rep.SliceErr = err
+		} else {
+			m = sliced
+		}
+		rep.SliceTime = time.Since(t0)
+	}
+	rep.Model = m
+
+	symOpts := sym.Options{
+		MaxCallDepth: opts.MaxCallDepth,
+		MaxPaths:     opts.MaxPaths,
+		Opt:          opts.Opt,
+		CollectTests: opts.CollectTests,
+	}
+	if opts.Timeout > 0 {
+		symOpts.Deadline = time.Now().Add(opts.Timeout)
+	}
+
+	t0 := time.Now()
+	if opts.Parallel > 0 {
+		symOpts.CollectTests = false // test generation is sequential-only
+		res, err := submodel.Run(m, symOpts, opts.Parallel)
+		if err != nil {
+			return nil, err
+		}
+		rep.Violations = res.Agg.Violations
+		rep.Metrics = res.Agg.Metrics
+		rep.WorstSubmodelInstructions = res.WorstInstructions
+		rep.Submodels = len(res.PerModel)
+		rep.Exhausted = res.Agg.Exhausted
+	} else {
+		res, err := sym.Execute(m, symOpts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Violations = res.Violations
+		rep.Metrics = res.Metrics
+		rep.Tests = res.Tests
+		rep.Exhausted = res.Exhausted
+	}
+	rep.ExecTime = time.Since(t0)
+	return rep, nil
+}
+
+// Summary renders a human-readable report.
+func (r *Report) Summary() string {
+	s := fmt.Sprintf("paths=%d instructions=%d solver-queries=%d",
+		r.Metrics.Paths, r.Metrics.Instructions, r.Metrics.Solver.Queries)
+	if r.Submodels > 0 {
+		s += fmt.Sprintf(" submodels=%d", r.Submodels)
+	}
+	if r.Exhausted {
+		s += " (EXHAUSTED)"
+	}
+	if len(r.Violations) == 0 {
+		return "OK: all assertions hold; " + s
+	}
+	out := fmt.Sprintf("FAIL: %d assertion(s) violated; %s\n", len(r.Violations), s)
+	for _, v := range r.Violations {
+		src, loc := "?", "?"
+		if v.Info != nil {
+			src, loc = v.Info.Source, v.Info.Location
+		}
+		out += fmt.Sprintf("  assert #%d %q at %s\n    violated on %d path(s)\n    counterexample: %s\n",
+			v.AssertID, src, loc, v.Count, sym.FormatModel(v.Model))
+		if len(v.Trace) > 0 {
+			out += fmt.Sprintf("    trace: %v\n", v.Trace)
+		}
+	}
+	return out
+}

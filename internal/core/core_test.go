@@ -1,0 +1,546 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"p4assert/internal/rules"
+)
+
+// ttlProgram is a Fig.5-style pipeline: a dmac table that either drops or
+// forwards. With checkTTL, packets with TTL zero are dropped before the
+// table; without it they can be forwarded — the paper's Dapper-style bug.
+func ttlProgram(checkTTL bool) string {
+	guard := ""
+	if checkTTL {
+		guard = `if (hdr.ipv4.ttl == 0) { drop(); } else { dmac.apply(); }`
+	} else {
+		guard = `dmac.apply();`
+	}
+	return `
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> srcAddr; bit<32> dstAddr; }
+struct headers_t { ethernet_t ethernet; ipv4_t ipv4; }
+struct meta_t { bit<1> unused; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t standard_metadata) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x0800: parse_ipv4;
+            default: reject;
+        }
+    }
+    state parse_ipv4 { pkt.extract(hdr.ipv4); transition accept; }
+}
+
+control Ingress(inout headers_t hdr, inout meta_t meta,
+                inout standard_metadata_t standard_metadata) {
+    action drop() {
+        mark_to_drop(standard_metadata);
+        @assert("if(traverse_path(), !forward())");
+    }
+    action set_dmac(bit<48> dmac) {
+        hdr.ethernet.dstAddr = dmac;
+        standard_metadata.egress_spec = 1;
+    }
+    table dmac {
+        key = { hdr.ipv4.dstAddr : exact; }
+        actions = { drop; set_dmac; }
+        default_action = drop();
+    }
+    apply {
+        ` + guard + `
+        @assert("if(forward(), hdr.ipv4.ttl > 0)");
+    }
+}
+
+control Deparser(packet_out pkt, in headers_t hdr) {
+    apply { pkt.emit(hdr.ethernet); pkt.emit(hdr.ipv4); }
+}
+
+V1Switch(P, Ingress, Deparser) main;
+`
+}
+
+func TestCorrectProgramVerifies(t *testing.T) {
+	rep, err := VerifySource("ttl_ok.p4", ttlProgram(true), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("expected no violations, got:\n%s", rep.Summary())
+	}
+	if rep.Metrics.Paths == 0 {
+		t.Fatal("no paths explored")
+	}
+	if len(rep.Asserts) != 2 {
+		t.Fatalf("expected 2 assertions, got %d", len(rep.Asserts))
+	}
+}
+
+func TestTTLBugFound(t *testing.T) {
+	rep, err := VerifySource("ttl_bug.p4", ttlProgram(false), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatalf("expected a violation, got OK:\n%s", rep.Summary())
+	}
+	// The forward/ttl assertion (id 1, declared second) must be violated;
+	// the traverse_path/drop assertion (id 0) must hold.
+	if !violated(rep, 1) {
+		t.Fatalf("assertion 1 (ttl>0 on forward) should be violated:\n%s", rep.Summary())
+	}
+	if violated(rep, 0) {
+		t.Fatalf("assertion 0 (drop => !forward) should hold:\n%s", rep.Summary())
+	}
+	// The counterexample must be a zero-TTL IPv4 packet.
+	v := findViolation(rep, 1)
+	ttl, ok := modelValueWithPrefix(v.Model, "hdr.ipv4.ttl")
+	if !ok {
+		t.Fatalf("counterexample lacks a ttl assignment: %v", v.Model)
+	}
+	if ttl != 0 {
+		t.Fatalf("counterexample ttl = %d, want 0", ttl)
+	}
+	et, ok := modelValueWithPrefix(v.Model, "hdr.ethernet.etherType")
+	if !ok || et != 0x800 {
+		t.Fatalf("counterexample etherType = %#x, want 0x800 (model %v)", et, v.Model)
+	}
+}
+
+func violated(rep *Report, id int) bool {
+	for _, v := range rep.Violations {
+		if v.AssertID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func findViolation(rep *Report, id int) *violationT {
+	for _, v := range rep.Violations {
+		if v.AssertID == id {
+			return &violationT{Model: v.Model}
+		}
+	}
+	return nil
+}
+
+type violationT struct{ Model map[string]uint64 }
+
+// modelValueWithPrefix finds a model entry by name or fresh-symbolic name
+// ("name#3").
+func modelValueWithPrefix(m map[string]uint64, name string) (uint64, bool) {
+	if v, ok := m[name]; ok {
+		return v, true
+	}
+	for k, v := range m {
+		if strings.HasPrefix(k, name+"#") {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func TestOptionsMatrixAgreesOnVerdict(t *testing.T) {
+	// Every technique combination must find the same violation set.
+	for _, opts := range []Options{
+		{},
+		{O3: true},
+		{Opt: true},
+		{Slice: true},
+		{Parallel: 4},
+		{O3: true, Opt: true, Parallel: 4},
+		{O3: true, Slice: true},
+	} {
+		rep, err := VerifySource("ttl_bug.p4", ttlProgram(false), opts)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		if !violated(rep, 1) || violated(rep, 0) {
+			t.Fatalf("opts %+v: wrong verdict:\n%s", opts, rep.Summary())
+		}
+		rep2, err := VerifySource("ttl_ok.p4", ttlProgram(true), opts)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		if !rep2.Ok() {
+			t.Fatalf("opts %+v: correct program flagged:\n%s", opts, rep2.Summary())
+		}
+	}
+}
+
+func TestRulesRestrictBehaviour(t *testing.T) {
+	// With a rule set that never installs set_dmac, every packet drops and
+	// the ttl assertion holds even in the buggy program.
+	rs := rules.NewRuleSet()
+	rs.Add(rules.Rule{Table: "dmac", Action: "drop", Keys: []rules.Match{{Kind: rules.Wildcard}}})
+	rep, err := VerifySource("ttl_bug.p4", ttlProgram(false), Options{Rules: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violated(rep, 1) {
+		t.Fatalf("with drop-all rules the ttl assertion must hold:\n%s", rep.Summary())
+	}
+
+	// A rule forwarding one specific address re-exposes the bug.
+	rs2 := rules.NewRuleSet()
+	rs2.Add(rules.Rule{Table: "dmac", Action: "set_dmac",
+		Keys: []rules.Match{{Kind: rules.Exact, Value: 0x0a000001}}, Args: []uint64{0xaabbccddeeff}})
+	rep2, err := VerifySource("ttl_bug.p4", ttlProgram(false), Options{Rules: rs2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !violated(rep2, 1) {
+		t.Fatalf("forwarding rule should re-expose the ttl bug:\n%s", rep2.Summary())
+	}
+	v := findViolation(rep2, 1)
+	dst, ok := modelValueWithPrefix(v.Model, "hdr.ipv4.dstAddr")
+	if !ok || dst != 0x0a000001 {
+		t.Fatalf("counterexample dstAddr = %#x, want 0x0a000001", dst)
+	}
+}
+
+func TestAssumeConstrainsPaths(t *testing.T) {
+	// Constraining the etherType away from IPv4 removes the violating
+	// paths entirely (paper §4.1).
+	src := strings.Replace(ttlProgram(false),
+		"pkt.extract(hdr.ethernet);",
+		"pkt.extract(hdr.ethernet);\n        @assume(hdr.ethernet.etherType != 0x0800);", 1)
+	rep, err := VerifySource("ttl_assume.p4", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violated(rep, 1) {
+		t.Fatalf("assume should have pruned the IPv4 paths:\n%s", rep.Summary())
+	}
+}
+
+func TestAssumeReducesInstructions(t *testing.T) {
+	base, err := VerifySource("b.p4", ttlProgram(false), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := strings.Replace(ttlProgram(false),
+		"pkt.extract(hdr.ethernet);",
+		"pkt.extract(hdr.ethernet);\n        @assume(hdr.ethernet.etherType == 0x0800);", 1)
+	constrained, err := VerifySource("c.p4", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if constrained.Metrics.Instructions >= base.Metrics.Instructions {
+		t.Fatalf("constraints should reduce instructions: %d >= %d",
+			constrained.Metrics.Instructions, base.Metrics.Instructions)
+	}
+}
+
+func TestEmitExtractProperties(t *testing.T) {
+	// MRI-style property: every extracted header is emitted.
+	src := `
+header h_t { bit<8> v; }
+struct headers_t { h_t h; }
+struct meta_t { bit<1> u; }
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t standard_metadata) {
+    state start { pkt.extract(hdr.h); transition accept; }
+}
+control I(inout headers_t hdr, inout meta_t meta,
+          inout standard_metadata_t standard_metadata) {
+    apply { @assert("if(extract_header(hdr.h), emit_header(hdr.h))"); }
+}
+control D(packet_out pkt, in headers_t hdr) {
+    apply { pkt.emit(hdr.h); }
+}
+V1Switch(P, I, D) main;
+`
+	rep, err := VerifySource("emit.p4", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("extract=>emit should hold:\n%s", rep.Summary())
+	}
+	// Remove the emit: the property must now fail.
+	src2 := strings.Replace(src, "pkt.emit(hdr.h);", "", 1)
+	rep2, err := VerifySource("noemit.p4", src2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Ok() {
+		t.Fatal("missing emit should violate extract=>emit")
+	}
+}
+
+func TestConstantMethod(t *testing.T) {
+	// constant(f) fails when a later block mutates f.
+	src := `
+header h_t { bit<8> v; }
+struct headers_t { h_t h; }
+struct meta_t { bit<1> u; }
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t standard_metadata) {
+    state start { pkt.extract(hdr.h); transition accept; }
+}
+control I(inout headers_t hdr, inout meta_t meta,
+          inout standard_metadata_t standard_metadata) {
+    apply { @assert("constant(hdr.h.v)"); MUTATE }
+}
+control D(packet_out pkt, in headers_t hdr) { apply { } }
+V1Switch(P, I, D) main;
+`
+	ok := strings.Replace(src, "MUTATE", "", 1)
+	rep, err := VerifySource("const_ok.p4", ok, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("unmutated field: constant() should hold:\n%s", rep.Summary())
+	}
+	bad := strings.Replace(src, "MUTATE", "hdr.h.v = hdr.h.v + 1;", 1)
+	rep2, err := VerifySource("const_bad.p4", bad, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Ok() {
+		t.Fatal("mutation after the assertion should violate constant()")
+	}
+}
+
+func TestTernaryRuleSemantics(t *testing.T) {
+	// A ternary table where priority order decides overlapping matches:
+	// rule 0 masks the low nibble, rule 1 is an exact full match that is
+	// shadowed by rule 0 for the overlapping keys.
+	src := `
+header h_t { bit<8> k; }
+struct hs { h_t h; }
+struct ms { bit<8> out; }
+parser P(packet_in pkt, out hs hdr, inout ms meta,
+         inout standard_metadata_t standard_metadata) {
+    state start { pkt.extract(hdr.h); transition accept; }
+}
+control I(inout hs hdr, inout ms meta,
+          inout standard_metadata_t standard_metadata) {
+    action set_out(bit<8> v) { meta.out = v; }
+    table t {
+        key = { hdr.h.k : ternary; }
+        actions = { set_out; NoAction; }
+        default_action = set_out(0);
+    }
+    apply {
+        t.apply();
+        @assert("if(h.k == 0x15, out == 1)");  // low nibble 5: rule 0 wins
+        @assert("if(h.k == 0x27, out == 2)");  // exact rule 1
+        @assert("if(h.k == 0x33, out == 0)");  // no match: default
+    }
+}
+control D(packet_out pkt, in hs hdr) { apply { } }
+V1Switch(P, I, D) main;
+`
+	rs := rules.NewRuleSet()
+	rs.Add(rules.Rule{Table: "t", Action: "set_out", Priority: 0,
+		Keys: []rules.Match{{Kind: rules.Ternary, Value: 0x05, Mask: 0x0F}},
+		Args: []uint64{1}})
+	rs.Add(rules.Rule{Table: "t", Action: "set_out", Priority: 1,
+		Keys: []rules.Match{{Kind: rules.Exact, Value: 0x27}},
+		Args: []uint64{2}})
+	rep, err := VerifySource("tern.p4", src, Options{Rules: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("ternary priority semantics wrong:\n%s", rep.Summary())
+	}
+	// Shadowing: 0x25 has low nibble 5, so rule 0 shadows rule 1's miss.
+	src2 := strings.Replace(src,
+		`@assert("if(h.k == 0x15, out == 1)");  // low nibble 5: rule 0 wins`,
+		`@assert("if(h.k == 0x25, out == 1)");`, 1)
+	rep2, err := VerifySource("tern2.p4", src2, Options{Rules: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Ok() {
+		t.Fatalf("ternary shadowing wrong:\n%s", rep2.Summary())
+	}
+}
+
+func TestConstEntryMasks(t *testing.T) {
+	// const entries with &&& masks behave like installed ternary rules.
+	src := `
+header h_t { bit<8> k; }
+struct hs { h_t h; }
+struct ms { bit<8> out; }
+parser P(packet_in pkt, out hs hdr, inout ms meta,
+         inout standard_metadata_t standard_metadata) {
+    state start { pkt.extract(hdr.h); transition accept; }
+}
+control I(inout hs hdr, inout ms meta,
+          inout standard_metadata_t standard_metadata) {
+    action set_out(bit<8> v) { meta.out = v; }
+    table t {
+        key = { hdr.h.k : ternary; }
+        actions = { set_out; NoAction; }
+        default_action = set_out(0);
+        const entries = {
+            0x80 &&& 0x80 : set_out(1);   // high bit set
+            _             : set_out(2);   // everything else
+        }
+    }
+    apply {
+        t.apply();
+        @assert("if(h.k >= 0x80, out == 1)");
+        @assert("if(h.k < 0x80, out == 2)");
+    }
+}
+control D(packet_out pkt, in hs hdr) { apply { } }
+V1Switch(P, I, D) main;
+`
+	rep, err := VerifySource("mask.p4", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("const entry mask semantics wrong:\n%s", rep.Summary())
+	}
+}
+
+func TestApplyHitSemantics(t *testing.T) {
+	// With const entries, apply().hit is true exactly when a key matches.
+	src := `
+header h_t { bit<8> k; }
+struct hs { h_t h; }
+struct ms { bit<8> flag; }
+parser P(packet_in pkt, out hs hdr, inout ms meta,
+         inout standard_metadata_t standard_metadata) {
+    state start { pkt.extract(hdr.h); transition accept; }
+}
+control I(inout hs hdr, inout ms meta,
+          inout standard_metadata_t standard_metadata) {
+    action mark() { }
+    table t {
+        key = { hdr.h.k : exact; }
+        actions = { mark; NoAction; }
+        default_action = NoAction;
+        const entries = { 5 : mark(); 9 : mark(); }
+    }
+    apply {
+        if (t.apply().hit) {
+            meta.flag = 1;
+        } else {
+            meta.flag = 0;
+        }
+        @assert("if(h.k == 5, flag == 1)");
+        @assert("if(h.k == 9, flag == 1)");
+        @assert("if(h.k == 7, flag == 0)");
+    }
+}
+control D(packet_out pkt, in hs hdr) { apply { } }
+V1Switch(P, I, D) main;
+`
+	rep, err := VerifySource("hit.p4", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("hit semantics wrong:\n%s", rep.Summary())
+	}
+	// The miss form inverts the branch.
+	src2 := strings.Replace(src, "t.apply().hit", "t.apply().miss", 1)
+	src2 = strings.Replace(src2, `meta.flag = 1;
+        } else {
+            meta.flag = 0;`, `meta.flag = 0;
+        } else {
+            meta.flag = 1;`, 1)
+	rep2, err := VerifySource("miss.p4", src2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Ok() {
+		t.Fatalf("miss semantics wrong:\n%s", rep2.Summary())
+	}
+}
+
+func TestApplyHitUnknownRulesIsFree(t *testing.T) {
+	// Without rules, hit must be unconstrained: both branches reachable.
+	src := `
+header h_t { bit<8> k; }
+struct hs { h_t h; }
+struct ms { bit<8> flag; }
+parser P(packet_in pkt, out hs hdr, inout ms meta,
+         inout standard_metadata_t standard_metadata) {
+    state start { pkt.extract(hdr.h); transition accept; }
+}
+control I(inout hs hdr, inout ms meta,
+          inout standard_metadata_t standard_metadata) {
+    action mark() { }
+    table t {
+        key = { hdr.h.k : exact; }
+        actions = { mark; NoAction; }
+        default_action = NoAction;
+    }
+    apply {
+        if (t.apply().hit) {
+            meta.flag = 1;
+        }
+        @assert("flag == 0");
+    }
+}
+control D(packet_out pkt, in hs hdr) { apply { } }
+V1Switch(P, I, D) main;
+`
+	rep, err := VerifySource("hitfree.p4", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hit branch must be reachable, so the assertion is violated.
+	if rep.Ok() {
+		t.Fatal("symbolic hit should make the hit branch reachable")
+	}
+}
+
+func TestConstEntriesMisconfiguration(t *testing.T) {
+	// Paper Fig. 2: a mirror table clones to the same egress port.
+	src := `
+struct headers_t { }
+struct meta_t { bit<9> cloned_port; }
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t standard_metadata) {
+    state start { transition accept; }
+}
+control I(inout headers_t hdr, inout meta_t meta,
+          inout standard_metadata_t standard_metadata) {
+    action clone_packet(bit<9> port) { meta.cloned_port = port; }
+    table mirror {
+        key = { standard_metadata.egress_spec : exact; }
+        actions = { NoAction; clone_packet; }
+        default_action = NoAction;
+        const entries = {
+            0x001 : clone_packet(0x002);
+            0x002 : clone_packet(0x002);
+        }
+    }
+    apply {
+        standard_metadata.egress_spec = standard_metadata.ingress_port;
+        @assume(standard_metadata.ingress_port == 1 || standard_metadata.ingress_port == 2);
+        mirror.apply();
+        @assert("!(cloned_port == standard_metadata.egress_spec && constant(cloned_port))");
+    }
+}
+control D(packet_out pkt, in headers_t hdr) { apply { } }
+V1Switch(P, I, D) main;
+`
+	rep, err := VerifySource("mirror.p4", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("the rule cloning port 2 to port 2 must violate the mirror assertion")
+	}
+	v := rep.Violations[0]
+	port, ok := modelValueWithPrefix(v.Model, "standard_metadata.ingress_port")
+	if !ok || port != 2 {
+		t.Fatalf("counterexample ingress_port = %#x, want 0x2 (model %v)", port, v.Model)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"p4assert/internal/interp"
+	"p4assert/internal/model"
+	"p4assert/internal/sym"
+)
+
+// ReplayViolation runs a violation's counterexample concretely through the
+// model interpreter (internal/interp, the BMv2 stand-in of the paper's §6
+// validation) and reports whether the assertion indeed fails on that input.
+// A false result means the symbolic executor produced a spurious
+// counterexample — the differential check the paper performs between its C
+// models and BMv2.
+func ReplayViolation(m *model.Program, v *sym.Violation) (bool, error) {
+	traceIdx := 0
+	res, err := interp.Run(m, interp.Options{
+		Input: func(name string, width int) uint64 {
+			return v.Model[name]
+		},
+		Choose: func(selector string, labels []string) int {
+			// Follow the recorded fork trace: entries are "selector=label".
+			if traceIdx < len(v.Trace) {
+				entry := v.Trace[traceIdx]
+				if eq := strings.IndexByte(entry, '='); eq >= 0 && entry[:eq] == selector {
+					traceIdx++
+					want := entry[eq+1:]
+					for i, l := range labels {
+						if l == want {
+							return i
+						}
+					}
+					// Chain-compacted forks label branches by value.
+					return 0
+				}
+			}
+			return 0
+		},
+	})
+	if err != nil {
+		return false, fmt.Errorf("replay: %w", err)
+	}
+	if res.AssumeViolated {
+		return false, fmt.Errorf("replay: counterexample violates an assumption")
+	}
+	for _, id := range res.Failures {
+		if id == v.AssertID {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// ReplayAll replays every violation of a report against the executed
+// model, returning an error describing the first spurious one (nil if all
+// counterexamples validate).
+func ReplayAll(rep *Report) error {
+	for _, v := range rep.Violations {
+		ok, err := ReplayViolation(rep.Model, v)
+		if err != nil {
+			return fmt.Errorf("assert #%d: %w", v.AssertID, err)
+		}
+		if !ok {
+			return fmt.Errorf("assert #%d: counterexample %s does not reproduce concretely",
+				v.AssertID, sym.FormatModel(v.Model))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"p4assert/internal/progs"
+	"p4assert/internal/rules"
+)
+
+// TestDifferentialReplay is the paper's §6 model-validation experiment:
+// every counterexample the symbolic engine reports for every corpus
+// program must reproduce concretely in the independent interpreter.
+func TestDifferentialReplay(t *testing.T) {
+	for _, p := range progs.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			opts := Options{}
+			if p.Rules != "" {
+				rs, err := rules.Parse(p.Rules)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts.Rules = rs
+			}
+			rep, err := VerifySource(p.Name+".p4", p.Source, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ReplayAll(rep); err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+		})
+	}
+}
+
+// TestDifferentialReplayUnderO3: replays must also validate against the
+// optimized model actually executed.
+func TestDifferentialReplayUnderO3(t *testing.T) {
+	for _, name := range []string{"dapper", "netpaxos", "circumvent", "mirror", "switchlite"} {
+		p, err := progs.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{O3: true}
+		if p.Rules != "" {
+			rs, _ := rules.Parse(p.Rules)
+			opts.Rules = rs
+		}
+		rep, err := VerifySource(p.Name+".p4", p.Source, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ReplayAll(rep); err != nil {
+			t.Fatalf("%s (O3): %v", p.Name, err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"p4assert/internal/model"
+	"p4assert/internal/progs"
+	"p4assert/internal/rules"
+)
+
+func TestSummaryRendering(t *testing.T) {
+	p, err := progs.Get("circumvent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifySource("c.p4", p.Source, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Summary()
+	for _, frag := range []string{"FAIL", "violated on", "counterexample:", "paths="} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("summary missing %q:\n%s", frag, s)
+		}
+	}
+	ok, err := VerifySource("v.p4", mustGetSource(t, "vss"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ok.Summary(), "OK: all assertions hold") {
+		t.Fatalf("summary = %q", ok.Summary())
+	}
+	par, err := VerifySource("v.p4", mustGetSource(t, "vss"), Options{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(par.Summary(), "submodels=") {
+		t.Fatalf("parallel summary = %q", par.Summary())
+	}
+}
+
+func mustGetSource(t *testing.T, name string) string {
+	t.Helper()
+	p, err := progs.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Source
+}
+
+func TestVerifyModelDirect(t *testing.T) {
+	// Benchmarks pre-build models and run VerifyModel on them.
+	m := model.NewProgram()
+	m.AddGlobal("x", 8, true, 0)
+	m.AddFunc(&model.Func{Name: "main", Body: []model.Stmt{
+		&model.AssertCheck{ID: 0, Cond: &model.Bin{Op: model.OpLt,
+			X: &model.Ref{Name: "x"}, Y: &model.Const{Width: 8, Val: 200}}},
+	}})
+	m.Entry = []string{"main"}
+	m.Asserts = []*model.AssertInfo{{ID: 0, Source: "x < 200"}}
+	rep, err := VerifyModel(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("x < 200 is falsifiable")
+	}
+}
+
+func TestGenerateTestsInCore(t *testing.T) {
+	p, err := progs.Get("dcp4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := rules.Parse(p.Rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases, err := GenerateTestsSource("dcp4.p4", p.Source, Options{Rules: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifySource("dcp4.p4", p.Source, Options{Rules: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(cases)) != rep.Metrics.Paths {
+		t.Fatalf("%d tests for %d paths", len(cases), rep.Metrics.Paths)
+	}
+	// The known ACL leak must appear among the failing test cases when the
+	// inputs of some path pin the blocked address.
+	var sawForward, sawDrop bool
+	for _, tc := range cases {
+		if tc.Forwarded {
+			sawForward = true
+		} else {
+			sawDrop = true
+		}
+	}
+	if !sawForward || !sawDrop {
+		t.Fatalf("tests lack outcome diversity: fwd=%v drop=%v", sawForward, sawDrop)
+	}
+	// GenerateTests must also work from a parsed program.
+	if _, err := GenerateTestsSource("bad.p4", "header {", Options{}); err == nil {
+		t.Fatal("syntax error should propagate")
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"p4assert/internal/interp"
+	"p4assert/internal/model"
+	"p4assert/internal/p4"
+	"p4assert/internal/sym"
+)
+
+// TestCase is one generated end-to-end test for a P4 program: a concrete
+// input packet, the pipeline decisions it takes, and the observed output
+// behaviour from a concrete run. This implements the paper's §6 "ongoing
+// work": systematically generating test cases for the program under
+// verification (the role of p4pktgen).
+type TestCase struct {
+	// Inputs assigns packet fields and metadata (symbolic input names,
+	// possibly suffixed #n for re-extracted fields).
+	Inputs map[string]uint64
+	// Trace is the sequence of table/action decisions.
+	Trace []string
+	// Forwarded reports whether the packet leaves the switch.
+	Forwarded bool
+	// EgressSpec is the final egress port value.
+	EgressSpec uint64
+	// FailedAsserts lists assertion IDs that fail on this input.
+	FailedAsserts []int
+}
+
+// GenerateTests explores every path of the program and emits one concrete
+// test case per path, with expected outputs computed by the concrete
+// interpreter.
+func GenerateTests(prog *p4.Program, opts Options) ([]TestCase, error) {
+	opts.CollectTests = true
+	opts.Parallel = 0 // tests come from the sequential engine
+	rep, err := VerifyProgram(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	return materialize(rep)
+}
+
+// GenerateTestsSource is GenerateTests over source text.
+func GenerateTestsSource(filename, source string, opts Options) ([]TestCase, error) {
+	prog, err := p4.Parse(filename, source)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Check(); err != nil {
+		return nil, err
+	}
+	return GenerateTests(prog, opts)
+}
+
+func materialize(rep *Report) ([]TestCase, error) {
+	egressGlobal := findEgressGlobal(rep.Model)
+	out := make([]TestCase, 0, len(rep.Tests))
+	for i, pt := range rep.Tests {
+		tc, err := runTest(rep.Model, pt, egressGlobal)
+		if err != nil {
+			return nil, fmt.Errorf("test %d: %w", i, err)
+		}
+		out = append(out, tc)
+	}
+	return out, nil
+}
+
+func runTest(m *model.Program, pt sym.PathTest, egressGlobal string) (TestCase, error) {
+	traceIdx := 0
+	res, err := interp.Run(m, interp.Options{
+		Input: func(name string, width int) uint64 { return pt.Inputs[name] },
+		Choose: func(selector string, labels []string) int {
+			if traceIdx < len(pt.Trace) {
+				entry := pt.Trace[traceIdx]
+				if eq := strings.IndexByte(entry, '='); eq >= 0 && entry[:eq] == selector {
+					traceIdx++
+					want := entry[eq+1:]
+					for j, l := range labels {
+						if l == want {
+							return j
+						}
+					}
+				}
+			}
+			return 0
+		},
+	})
+	if err != nil {
+		return TestCase{}, err
+	}
+	tc := TestCase{
+		Inputs:        pt.Inputs,
+		Trace:         pt.Trace,
+		Forwarded:     res.Store[model.ForwardFlag] == 1,
+		FailedAsserts: res.Failures,
+	}
+	if egressGlobal != "" {
+		tc.EgressSpec = res.Store[egressGlobal]
+	}
+	return tc, nil
+}
+
+func findEgressGlobal(m *model.Program) string {
+	for _, g := range m.Globals {
+		if strings.HasSuffix(g.Name, ".egress_spec") {
+			return g.Name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,430 @@
+// Package model defines the verification model IR that P4 programs are
+// translated into. It plays the role of the generated C model in the paper
+// (Fig. 6): one function per parser state, table and action; all program
+// state lives in uniquely-named global variables; tables with unknown rules
+// fork over their actions via a symbolic selector; instrumentation booleans
+// implement the assertion-language methods.
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Flag-variable naming conventions shared by the translator, executor,
+// slicer and optimizer.
+const (
+	// ForwardFlag is the width-1 global that is 1 while the packet is
+	// destined to be forwarded. mark_to_drop and the reject parse state
+	// clear it (paper §3.2, "Assertions").
+	ForwardFlag = "$forward"
+	// ExitFlag prefixing is not needed: exit unwinds in the executor.
+
+	// TraversePrefix + id names the per-occurrence traverse_path flag.
+	TraversePrefix = "$tp."
+	// ExtractPrefix + header path names the extract_header flag.
+	ExtractPrefix = "$extract."
+	// EmitPrefix + header path names the emit_header flag.
+	EmitPrefix = "$emit."
+	// SnapPrefix + assertID + index names assertion-site snapshots.
+	SnapPrefix = "$snap."
+	// ValidSuffix marks a header's validity bit global.
+	ValidSuffix = ".$valid"
+)
+
+// Program is a complete verification model.
+type Program struct {
+	// Globals lists every global variable with its width; iteration order
+	// is declaration order and is deterministic.
+	Globals []*Global
+	// Funcs maps function names to bodies.
+	Funcs map[string]*Func
+	// Entry is the sequence of function names invoked for one packet:
+	// the parser start state wrapper, then each control, then the deparser.
+	Entry []string
+	// Asserts records assertion metadata, indexed by assertion ID.
+	Asserts []*AssertInfo
+
+	globalByName map[string]*Global
+}
+
+// Global is one model variable.
+type Global struct {
+	Name  string
+	Width int
+	// Symbolic marks inputs: the variable starts as a fresh symbolic
+	// value (packet header fields, metadata the environment controls).
+	Symbolic bool
+	// Init is the initial value for non-symbolic globals.
+	Init uint64
+}
+
+// AssertInfo describes one @assert annotation after translation.
+type AssertInfo struct {
+	ID int
+	// Source is the original assertion-language text.
+	Source string
+	// Location describes where the annotation sat in the P4 program.
+	Location string
+	// Deferred marks assertions containing location-unrestricted methods;
+	// they are checked when the path terminates rather than in place.
+	Deferred bool
+}
+
+// Func is one model function.
+type Func struct {
+	Name string
+	Body []Stmt
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{
+		Funcs:        map[string]*Func{},
+		globalByName: map[string]*Global{},
+	}
+}
+
+// AddGlobal declares a global; redeclaring the same name returns the
+// existing declaration (widths must agree).
+func (p *Program) AddGlobal(name string, width int, symbolic bool, init uint64) *Global {
+	if g, ok := p.globalByName[name]; ok {
+		if g.Width != width {
+			panic(fmt.Sprintf("model: global %s redeclared with width %d (was %d)", name, width, g.Width))
+		}
+		return g
+	}
+	g := &Global{Name: name, Width: width, Symbolic: symbolic, Init: init}
+	p.Globals = append(p.Globals, g)
+	p.globalByName[name] = g
+	return g
+}
+
+// Global looks up a global by name.
+func (p *Program) Global(name string) (*Global, bool) {
+	g, ok := p.globalByName[name]
+	return g, ok
+}
+
+// AddFunc registers a function, panicking on duplicates.
+func (p *Program) AddFunc(f *Func) {
+	if _, dup := p.Funcs[f.Name]; dup {
+		panic("model: duplicate function " + f.Name)
+	}
+	p.Funcs[f.Name] = f
+}
+
+// Clone returns a deep copy of the program's function table and entry list
+// sharing statement nodes (statements are immutable after translation), but
+// with independent Funcs/Globals slices so passes can rewrite bodies.
+func (p *Program) Clone() *Program {
+	q := NewProgram()
+	for _, g := range p.Globals {
+		q.AddGlobal(g.Name, g.Width, g.Symbolic, g.Init)
+	}
+	for name, f := range p.Funcs {
+		q.Funcs[name] = &Func{Name: name, Body: append([]Stmt(nil), f.Body...)}
+	}
+	q.Entry = append([]string(nil), p.Entry...)
+	q.Asserts = append([]*AssertInfo(nil), p.Asserts...)
+	return q
+}
+
+// NumStmts returns the total statement count across all functions
+// (statically, counting nested bodies).
+func (p *Program) NumStmts() int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += countStmts(f.Body)
+	}
+	return n
+}
+
+func countStmts(body []Stmt) int {
+	n := 0
+	for _, s := range body {
+		n++
+		switch st := s.(type) {
+		case *If:
+			n += countStmts(st.Then) + countStmts(st.Else)
+		case *Fork:
+			for _, b := range st.Branches {
+				n += countStmts(b)
+			}
+		}
+	}
+	return n
+}
+
+// ------------------------------------------------------------- statements --
+
+// Stmt is a model statement. Statements are immutable after construction so
+// they may be shared between program clones.
+type Stmt interface{ stmtNode() }
+
+// Assign stores RHS into the named global.
+type Assign struct {
+	LHS string
+	RHS Expr
+}
+
+// MakeSymbolic assigns a fresh symbolic value to the named global (used for
+// unknown table selectors, unknown action parameters, meter outputs).
+type MakeSymbolic struct {
+	Var string
+	// Hint names the symbolic value in counterexamples.
+	Hint string
+}
+
+// If branches on a width-1 condition.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// Fork explores each branch in a separate path, unconditionally: the
+// paper's model of a table whose rules are unknown ("a symbolic value
+// specially declared to force the creation of multiple execution paths").
+// Selector, when non-empty, names a global that records which branch was
+// taken (for counterexamples and submodel generation).
+type Fork struct {
+	Selector string
+	Labels   []string
+	Branches [][]Stmt
+}
+
+// Call invokes another model function.
+type Call struct{ Func string }
+
+// Assume constrains the path (klee_assume): paths where Cond cannot hold
+// are silently terminated.
+type Assume struct{ Cond Expr }
+
+// AssertCheck evaluates assertion ID. For deferred assertions the executor
+// snapshots Cond's referenced location-restricted values here and checks at
+// path end; for immediate assertions it checks in place.
+type AssertCheck struct {
+	ID   int
+	Cond Expr
+}
+
+// Return exits the current function.
+type Return struct{}
+
+// Exit terminates pipeline processing for this packet (the P4 exit
+// statement); the path continues to end-of-path assertion checking.
+type Exit struct{}
+
+// Halt terminates the path as rejected (parser reject state).
+type Halt struct{}
+
+func (*Assign) stmtNode()       {}
+func (*MakeSymbolic) stmtNode() {}
+func (*If) stmtNode()           {}
+func (*Fork) stmtNode()         {}
+func (*Call) stmtNode()         {}
+func (*Assume) stmtNode()       {}
+func (*AssertCheck) stmtNode()  {}
+func (*Return) stmtNode()       {}
+func (*Exit) stmtNode()         {}
+func (*Halt) stmtNode()         {}
+
+// ------------------------------------------------------------ expressions --
+
+// Expr is a model-IR expression: a syntactic tree over global references
+// and constants. The executor evaluates it to a bitvector value under the
+// current symbolic store.
+type Expr interface{ exprNode() }
+
+// Const is a literal with an explicit width.
+type Const struct {
+	Width int
+	Val   uint64
+}
+
+// Ref reads a global variable.
+type Ref struct{ Name string }
+
+// Op enumerates model expression operators.
+type Op uint8
+
+// Expression operators. Comparison and logical operators yield width-1
+// values; Cast resizes via zero-extension or truncation.
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpLAnd
+	OpLOr
+	OpNot    // logical not (width-1 result; operand coerced to truth value)
+	OpBitNot // bitwise complement
+	OpNeg    // arithmetic negation
+)
+
+var opNames = map[Op]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%", OpAnd: "&",
+	OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>", OpEq: "==", OpNe: "!=",
+	OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", OpLAnd: "&&", OpLOr: "||",
+	OpNot: "!", OpBitNot: "~", OpNeg: "-",
+}
+
+// String returns the operator spelling.
+func (o Op) String() string { return opNames[o] }
+
+// Bin is a binary operation.
+type Bin struct {
+	Op   Op
+	X, Y Expr
+}
+
+// Un is a unary operation.
+type Un struct {
+	Op Op
+	X  Expr
+}
+
+// Cond is a ternary conditional expression.
+type Cond struct{ C, T, F Expr }
+
+// Cast resizes X to Width bits (zero-extend or truncate).
+type Cast struct {
+	Width int
+	X     Expr
+}
+
+func (*Const) exprNode() {}
+func (*Ref) exprNode()   {}
+func (*Bin) exprNode()   {}
+func (*Un) exprNode()    {}
+func (*Cond) exprNode()  {}
+func (*Cast) exprNode()  {}
+
+// ExprString renders an expression for reports.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *Const:
+		return fmt.Sprintf("0x%x", x.Val)
+	case *Ref:
+		return x.Name
+	case *Bin:
+		return "(" + ExprString(x.X) + " " + x.Op.String() + " " + ExprString(x.Y) + ")"
+	case *Un:
+		return x.Op.String() + ExprString(x.X)
+	case *Cond:
+		return "(" + ExprString(x.C) + " ? " + ExprString(x.T) + " : " + ExprString(x.F) + ")"
+	case *Cast:
+		return fmt.Sprintf("(bit<%d>)%s", x.Width, ExprString(x.X))
+	}
+	return "?"
+}
+
+// Refs appends the names of all globals read by e to dst (with duplicates).
+func Refs(e Expr, dst []string) []string {
+	switch x := e.(type) {
+	case *Ref:
+		dst = append(dst, x.Name)
+	case *Bin:
+		dst = Refs(x.X, dst)
+		dst = Refs(x.Y, dst)
+	case *Un:
+		dst = Refs(x.X, dst)
+	case *Cond:
+		dst = Refs(x.C, dst)
+		dst = Refs(x.T, dst)
+		dst = Refs(x.F, dst)
+	case *Cast:
+		dst = Refs(x.X, dst)
+	}
+	return dst
+}
+
+// Dump renders the whole program as pseudo-C for debugging and golden
+// tests, in deterministic order.
+func (p *Program) Dump() string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		sym := ""
+		if g.Symbolic {
+			sym = " // symbolic"
+		}
+		fmt.Fprintf(&b, "bit<%d> %s = %d;%s\n", g.Width, g.Name, g.Init, sym)
+	}
+	for _, name := range p.Entry {
+		fmt.Fprintf(&b, "// entry: %s\n", name)
+	}
+	names := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "void %s() {\n", n)
+		dumpBody(&b, p.Funcs[n].Body, "  ")
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func dumpBody(b *strings.Builder, body []Stmt, indent string) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *Assign:
+			fmt.Fprintf(b, "%s%s = %s;\n", indent, st.LHS, ExprString(st.RHS))
+		case *MakeSymbolic:
+			fmt.Fprintf(b, "%smake_symbolic(%s);\n", indent, st.Var)
+		case *If:
+			fmt.Fprintf(b, "%sif (%s) {\n", indent, ExprString(st.Cond))
+			dumpBody(b, st.Then, indent+"  ")
+			if len(st.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", indent)
+				dumpBody(b, st.Else, indent+"  ")
+			}
+			fmt.Fprintf(b, "%s}\n", indent)
+		case *Fork:
+			fmt.Fprintf(b, "%sswitch (symbolic %s) {\n", indent, st.Selector)
+			for i, br := range st.Branches {
+				label := fmt.Sprintf("%d", i)
+				if i < len(st.Labels) {
+					label = st.Labels[i]
+				}
+				fmt.Fprintf(b, "%s case %s:\n", indent, label)
+				dumpBody(b, br, indent+"  ")
+			}
+			fmt.Fprintf(b, "%s}\n", indent)
+		case *Call:
+			fmt.Fprintf(b, "%s%s();\n", indent, st.Func)
+		case *Assume:
+			fmt.Fprintf(b, "%sklee_assume(%s);\n", indent, ExprString(st.Cond))
+		case *AssertCheck:
+			fmt.Fprintf(b, "%sklee_assert(#%d, %s);\n", indent, st.ID, ExprString(st.Cond))
+		case *Return:
+			fmt.Fprintf(b, "%sreturn;\n", indent)
+		case *Exit:
+			fmt.Fprintf(b, "%sexit;\n", indent)
+		case *Halt:
+			fmt.Fprintf(b, "%shalt;\n", indent)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildSample() *Program {
+	p := NewProgram()
+	p.AddGlobal("x", 8, true, 0)
+	p.AddGlobal("y", 8, false, 7)
+	p.AddGlobal(ForwardFlag, 1, false, 1)
+	p.AddFunc(&Func{Name: "main", Body: []Stmt{
+		&Assign{LHS: "y", RHS: &Bin{Op: OpAdd, X: &Ref{Name: "x"}, Y: &Const{Width: 8, Val: 1}}},
+		&If{
+			Cond: &Bin{Op: OpEq, X: &Ref{Name: "y"}, Y: &Const{Width: 8, Val: 0}},
+			Then: []Stmt{&Assign{LHS: ForwardFlag, RHS: &Const{Width: 1, Val: 0}}},
+		},
+		&Call{Func: "aux"},
+	}})
+	p.AddFunc(&Func{Name: "aux", Body: []Stmt{
+		&Fork{Selector: "sel", Labels: []string{"a", "b"}, Branches: [][]Stmt{
+			{&Return{}},
+			{&Assume{Cond: &Ref{Name: "x"}}},
+		}},
+	}})
+	p.Entry = []string{"main"}
+	return p
+}
+
+func TestGlobals(t *testing.T) {
+	p := buildSample()
+	g, ok := p.Global("y")
+	if !ok || g.Width != 8 || g.Init != 7 {
+		t.Fatalf("Global(y) = %+v, %v", g, ok)
+	}
+	if _, ok := p.Global("nope"); ok {
+		t.Fatal("unknown global found")
+	}
+	// Redeclaration returns the same object.
+	if p.AddGlobal("y", 8, false, 7) != g {
+		t.Fatal("redeclaration should return existing global")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width-mismatched redeclaration should panic")
+		}
+	}()
+	p.AddGlobal("y", 16, false, 0)
+}
+
+func TestDuplicateFuncPanics(t *testing.T) {
+	p := buildSample()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddFunc should panic")
+		}
+	}()
+	p.AddFunc(&Func{Name: "main"})
+}
+
+func TestNumStmts(t *testing.T) {
+	p := buildSample()
+	// main: assign, if (+1 nested), call = 4; aux: fork (+2 nested) = 3.
+	if got := p.NumStmts(); got != 7 {
+		t.Fatalf("NumStmts = %d, want 7", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := buildSample()
+	q := p.Clone()
+	if q.NumStmts() != p.NumStmts() || len(q.Globals) != len(p.Globals) {
+		t.Fatal("clone differs structurally")
+	}
+	// Mutating the clone's body slice must not affect the original.
+	q.Funcs["main"].Body = q.Funcs["main"].Body[:1]
+	if len(p.Funcs["main"].Body) != 3 {
+		t.Fatal("clone shares body slices with the original")
+	}
+	if _, ok := q.Global("x"); !ok {
+		t.Fatal("clone lost globals")
+	}
+}
+
+func TestRefs(t *testing.T) {
+	e := &Cond{
+		C: &Un{Op: OpNot, X: &Ref{Name: "a"}},
+		T: &Bin{Op: OpAdd, X: &Ref{Name: "b"}, Y: &Cast{Width: 8, X: &Ref{Name: "c"}}},
+		F: &Const{Width: 8, Val: 0},
+	}
+	got := Refs(e, nil)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("Refs = %v", got)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := &Bin{Op: OpLAnd,
+		X: &Un{Op: OpNot, X: &Ref{Name: "p"}},
+		Y: &Cond{C: &Ref{Name: "q"}, T: &Const{Width: 1, Val: 1}, F: &Cast{Width: 1, X: &Ref{Name: "r"}}},
+	}
+	s := ExprString(e)
+	for _, frag := range []string{"!p", "&&", "q ?", "(bit<1>)r"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("ExprString = %q, missing %q", s, frag)
+		}
+	}
+}
+
+func TestDumpDeterministic(t *testing.T) {
+	p := buildSample()
+	d1, d2 := p.Dump(), p.Dump()
+	if d1 != d2 {
+		t.Fatal("Dump is not deterministic")
+	}
+	for _, frag := range []string{
+		"void aux()", "void main()", "switch (symbolic sel)",
+		"klee_assume(x)", "bit<8> y = 7;", "// symbolic",
+	} {
+		if !strings.Contains(d1, frag) {
+			t.Fatalf("Dump missing %q:\n%s", frag, d1)
+		}
+	}
+}

@@ -1,0 +1,620 @@
+// Package opt implements ahead-of-time optimization passes over the model
+// IR, standing in for the LLVM -O3 pipeline the paper applies to its C
+// models (§4.3): constant folding and propagation, global-constant marking,
+// dead-code elimination, control-flow simplification, and match-chain
+// compaction (the cascading if-else optimization the paper credits for
+// turning Fig. 10(c)'s exponential growth linear).
+package opt
+
+import (
+	"fmt"
+
+	"p4assert/internal/model"
+)
+
+// Passes selects which passes Apply runs.
+type Passes struct {
+	ConstFold    bool // fold constant subexpressions
+	GlobalConst  bool // replace never-reassigned globals with their initializers
+	ChainCompact bool // rewrite same-key if-else cascades into assume-guarded forks
+	DeadCode     bool // remove assignments to never-read globals
+	Simplify     bool // prune constant branches and empty structures
+}
+
+// O3 is the full pass set, mirroring the paper's -O3 usage.
+func O3() Passes {
+	return Passes{ConstFold: true, GlobalConst: true, ChainCompact: true, DeadCode: true, Simplify: true}
+}
+
+// Apply runs the selected passes over a clone of p and returns the
+// optimized program; p itself is not modified.
+func Apply(p *model.Program, passes Passes) *model.Program {
+	q := p.Clone()
+	o := &optimizer{p: q}
+	// Two rounds: DCE exposes more constant branches and vice versa.
+	for round := 0; round < 2; round++ {
+		if passes.GlobalConst {
+			o.globalConsts()
+		}
+		if passes.ConstFold || passes.GlobalConst {
+			o.rewriteAll(o.foldExpr)
+		}
+		if passes.ChainCompact {
+			o.chainCompact()
+		}
+		if passes.Simplify {
+			o.simplifyAll()
+		}
+		if passes.DeadCode {
+			o.deadCode()
+		}
+		if passes.Simplify {
+			o.dropEmptyCalls()
+		}
+	}
+	return q
+}
+
+type optimizer struct {
+	p         *model.Program
+	constGlob map[string]*model.Const
+}
+
+// ------------------------------------------------------- global constants --
+
+// globalConsts finds non-symbolic globals that are never assigned (nor made
+// symbolic) anywhere and records them as constants.
+func (o *optimizer) globalConsts() {
+	assigned := map[string]bool{}
+	var scan func(body []model.Stmt)
+	scan = func(body []model.Stmt) {
+		for _, s := range body {
+			switch st := s.(type) {
+			case *model.Assign:
+				assigned[st.LHS] = true
+			case *model.MakeSymbolic:
+				assigned[st.Var] = true
+			case *model.If:
+				scan(st.Then)
+				scan(st.Else)
+			case *model.Fork:
+				for _, b := range st.Branches {
+					scan(b)
+				}
+			}
+		}
+	}
+	for _, f := range o.p.Funcs {
+		scan(f.Body)
+	}
+	o.constGlob = map[string]*model.Const{}
+	for _, g := range o.p.Globals {
+		if !g.Symbolic && !assigned[g.Name] {
+			o.constGlob[g.Name] = &model.Const{Width: g.Width, Val: g.Init}
+		}
+	}
+}
+
+// ------------------------------------------------------------- expression --
+
+// foldExpr rewrites an expression bottom-up, substituting known-constant
+// globals and folding constant operations.
+func (o *optimizer) foldExpr(e model.Expr) model.Expr {
+	switch x := e.(type) {
+	case *model.Const:
+		return x
+	case *model.Ref:
+		if c, ok := o.constGlob[x.Name]; ok {
+			return c
+		}
+		return x
+	case *model.Un:
+		inner := o.foldExpr(x.X)
+		if c, ok := inner.(*model.Const); ok {
+			switch x.Op {
+			case model.OpNot:
+				return boolConst(c.Val == 0)
+			case model.OpBitNot:
+				return &model.Const{Width: c.Width, Val: ^c.Val & mask(c.Width)}
+			case model.OpNeg:
+				return &model.Const{Width: c.Width, Val: (-c.Val) & mask(c.Width)}
+			}
+		}
+		return &model.Un{Op: x.Op, X: inner}
+	case *model.Cast:
+		inner := o.foldExpr(x.X)
+		if c, ok := inner.(*model.Const); ok {
+			return &model.Const{Width: x.Width, Val: c.Val & mask(x.Width)}
+		}
+		if c, ok := inner.(*model.Cast); ok {
+			if c.Width >= x.Width {
+				return o.foldExpr(&model.Cast{Width: x.Width, X: c.X})
+			}
+		}
+		return &model.Cast{Width: x.Width, X: inner}
+	case *model.Cond:
+		c := o.foldExpr(x.C)
+		t := o.foldExpr(x.T)
+		f := o.foldExpr(x.F)
+		if cc, ok := c.(*model.Const); ok {
+			if cc.Val != 0 {
+				return t
+			}
+			return f
+		}
+		return &model.Cond{C: c, T: t, F: f}
+	case *model.Bin:
+		a := o.foldExpr(x.X)
+		b := o.foldExpr(x.Y)
+		ca, aok := a.(*model.Const)
+		cb, bok := b.(*model.Const)
+		if aok && bok {
+			if c, ok := foldBin(x.Op, ca, cb); ok {
+				return c
+			}
+		}
+		// Identity simplifications that matter for generated matches.
+		if bok {
+			switch x.Op {
+			case model.OpLAnd:
+				if cb.Val != 0 {
+					return truthOf(a)
+				}
+				return boolConst(false)
+			case model.OpLOr:
+				if cb.Val == 0 {
+					return truthOf(a)
+				}
+				return boolConst(true)
+			}
+		}
+		if aok {
+			switch x.Op {
+			case model.OpLAnd:
+				if ca.Val != 0 {
+					return truthOf(b)
+				}
+				return boolConst(false)
+			case model.OpLOr:
+				if ca.Val == 0 {
+					return truthOf(b)
+				}
+				return boolConst(true)
+			}
+		}
+		return &model.Bin{Op: x.Op, X: a, Y: b}
+	}
+	return e
+}
+
+// truthOf wraps an expression as a truth value without changing semantics:
+// logical operators coerce operands to non-zero tests anyway, so the
+// operand itself is returned (the executor applies NonZero).
+func truthOf(e model.Expr) model.Expr {
+	return &model.Un{Op: model.OpNot, X: &model.Un{Op: model.OpNot, X: e}}
+}
+
+func boolConst(v bool) *model.Const {
+	if v {
+		return &model.Const{Width: 1, Val: 1}
+	}
+	return &model.Const{Width: 1, Val: 0}
+}
+
+func mask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+// foldBin evaluates a binary op over constants using the executor's
+// coercion rules (right operand resized to left's width for arithmetic,
+// max-widening for comparisons).
+func foldBin(op model.Op, a, b *model.Const) (model.Expr, bool) {
+	switch op {
+	case model.OpLAnd:
+		return boolConst(a.Val != 0 && b.Val != 0), true
+	case model.OpLOr:
+		return boolConst(a.Val != 0 || b.Val != 0), true
+	case model.OpEq, model.OpNe, model.OpLt, model.OpLe, model.OpGt, model.OpGe:
+		w := a.Width
+		if b.Width > w {
+			w = b.Width
+		}
+		av, bv := a.Val&mask(w), b.Val&mask(w)
+		switch op {
+		case model.OpEq:
+			return boolConst(av == bv), true
+		case model.OpNe:
+			return boolConst(av != bv), true
+		case model.OpLt:
+			return boolConst(av < bv), true
+		case model.OpLe:
+			return boolConst(av <= bv), true
+		case model.OpGt:
+			return boolConst(av > bv), true
+		default:
+			return boolConst(av >= bv), true
+		}
+	}
+	w := a.Width
+	av := a.Val & mask(w)
+	bv := b.Val & mask(w)
+	var v uint64
+	switch op {
+	case model.OpAdd:
+		v = av + bv
+	case model.OpSub:
+		v = av - bv
+	case model.OpMul:
+		v = av * bv
+	case model.OpDiv:
+		if bv == 0 {
+			v = mask(w)
+		} else {
+			v = av / bv
+		}
+	case model.OpMod:
+		if bv == 0 {
+			v = av
+		} else {
+			v = av % bv
+		}
+	case model.OpAnd:
+		v = av & bv
+	case model.OpOr:
+		v = av | bv
+	case model.OpXor:
+		v = av ^ bv
+	case model.OpShl:
+		if bv >= uint64(w) {
+			v = 0
+		} else {
+			v = av << bv
+		}
+	case model.OpShr:
+		if bv >= uint64(w) {
+			v = 0
+		} else {
+			v = av >> bv
+		}
+	default:
+		return nil, false
+	}
+	return &model.Const{Width: w, Val: v & mask(w)}, true
+}
+
+// rewriteAll applies an expression rewriter to every statement.
+func (o *optimizer) rewriteAll(rw func(model.Expr) model.Expr) {
+	for _, f := range o.p.Funcs {
+		f.Body = rewriteBody(f.Body, rw)
+	}
+}
+
+func rewriteBody(body []model.Stmt, rw func(model.Expr) model.Expr) []model.Stmt {
+	out := make([]model.Stmt, 0, len(body))
+	for _, s := range body {
+		switch st := s.(type) {
+		case *model.Assign:
+			out = append(out, &model.Assign{LHS: st.LHS, RHS: rw(st.RHS)})
+		case *model.If:
+			out = append(out, &model.If{
+				Cond: rw(st.Cond),
+				Then: rewriteBody(st.Then, rw),
+				Else: rewriteBody(st.Else, rw),
+			})
+		case *model.Fork:
+			nf := &model.Fork{Selector: st.Selector, Labels: st.Labels}
+			for _, b := range st.Branches {
+				nf.Branches = append(nf.Branches, rewriteBody(b, rw))
+			}
+			out = append(out, nf)
+		case *model.Assume:
+			out = append(out, &model.Assume{Cond: rw(st.Cond)})
+		case *model.AssertCheck:
+			out = append(out, &model.AssertCheck{ID: st.ID, Cond: rw(st.Cond)})
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ------------------------------------------------------------ simplification --
+
+// simplifyAll prunes branches with constant conditions and removes empty
+// Ifs and single-branch forks.
+func (o *optimizer) simplifyAll() {
+	for _, f := range o.p.Funcs {
+		f.Body = simplifyBody(f.Body)
+	}
+}
+
+func simplifyBody(body []model.Stmt) []model.Stmt {
+	out := make([]model.Stmt, 0, len(body))
+	for _, s := range body {
+		switch st := s.(type) {
+		case *model.If:
+			then := simplifyBody(st.Then)
+			els := simplifyBody(st.Else)
+			if c, ok := st.Cond.(*model.Const); ok {
+				if c.Val != 0 {
+					out = append(out, then...)
+				} else {
+					out = append(out, els...)
+				}
+				continue
+			}
+			if len(then) == 0 && len(els) == 0 {
+				continue
+			}
+			out = append(out, &model.If{Cond: st.Cond, Then: then, Else: els})
+		case *model.Fork:
+			branches := make([][]model.Stmt, len(st.Branches))
+			for i, b := range st.Branches {
+				branches[i] = simplifyBody(b)
+			}
+			if len(branches) == 1 {
+				out = append(out, branches[0]...)
+				continue
+			}
+			out = append(out, &model.Fork{Selector: st.Selector, Labels: st.Labels, Branches: branches})
+		case *model.Assume:
+			if c, ok := st.Cond.(*model.Const); ok && c.Val != 0 {
+				continue // assume(true) is a no-op
+			}
+			out = append(out, st)
+		case *model.AssertCheck:
+			if c, ok := st.Cond.(*model.Const); ok && c.Val != 0 {
+				continue // provably-true assertion
+			}
+			out = append(out, st)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- dead code --
+
+// deadCode removes assignments (and symbolic makes) whose targets are never
+// read by any expression in the program, iterating to a fixpoint.
+func (o *optimizer) deadCode() {
+	for {
+		read := map[string]bool{}
+		collect := func(e model.Expr) model.Expr {
+			for _, r := range model.Refs(e, nil) {
+				read[r] = true
+			}
+			return e
+		}
+		for _, f := range o.p.Funcs {
+			rewriteBody(f.Body, collect)
+		}
+		removed := false
+		for _, f := range o.p.Funcs {
+			f.Body = removeDead(f.Body, read, &removed)
+		}
+		if !removed {
+			return
+		}
+	}
+}
+
+func removeDead(body []model.Stmt, read map[string]bool, removed *bool) []model.Stmt {
+	out := make([]model.Stmt, 0, len(body))
+	for _, s := range body {
+		switch st := s.(type) {
+		case *model.Assign:
+			if !read[st.LHS] && st.LHS != model.ForwardFlag {
+				*removed = true
+				continue
+			}
+			out = append(out, st)
+		case *model.MakeSymbolic:
+			if !read[st.Var] {
+				*removed = true
+				continue
+			}
+			out = append(out, st)
+		case *model.If:
+			out = append(out, &model.If{
+				Cond: st.Cond,
+				Then: removeDead(st.Then, read, removed),
+				Else: removeDead(st.Else, read, removed),
+			})
+		case *model.Fork:
+			nf := &model.Fork{Selector: st.Selector, Labels: st.Labels}
+			for _, b := range st.Branches {
+				nf.Branches = append(nf.Branches, removeDead(b, read, removed))
+			}
+			out = append(out, nf)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// dropEmptyCalls removes calls to functions whose bodies became empty.
+func (o *optimizer) dropEmptyCalls() {
+	for pass := 0; pass < 4; pass++ {
+		empty := map[string]bool{}
+		for name, f := range o.p.Funcs {
+			if len(f.Body) == 0 {
+				empty[name] = true
+			}
+		}
+		if len(empty) == 0 {
+			return
+		}
+		changed := false
+		for _, f := range o.p.Funcs {
+			f.Body = dropCalls(f.Body, empty, &changed)
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+func dropCalls(body []model.Stmt, empty map[string]bool, changed *bool) []model.Stmt {
+	out := make([]model.Stmt, 0, len(body))
+	for _, s := range body {
+		switch st := s.(type) {
+		case *model.Call:
+			if empty[st.Func] {
+				*changed = true
+				continue
+			}
+			out = append(out, st)
+		case *model.If:
+			out = append(out, &model.If{
+				Cond: st.Cond,
+				Then: dropCalls(st.Then, empty, changed),
+				Else: dropCalls(st.Else, empty, changed),
+			})
+		case *model.Fork:
+			nf := &model.Fork{Selector: st.Selector, Labels: st.Labels}
+			for _, b := range st.Branches {
+				nf.Branches = append(nf.Branches, dropCalls(b, empty, changed))
+			}
+			out = append(out, nf)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------- chain compaction --
+
+// chainCompact rewrites a cascade
+//
+//	if (k == c1) B1 else if (k == c2) B2 ... else D
+//
+// over the same key expression with pairwise-distinct constants into a Fork
+// whose branches carry a single Assume each:
+//
+//	fork { assume(k==c1); B1 | assume(k==c2); B2 | ... | assume(k!=c1 && ...); D }
+//
+// The branches are mutually exclusive, so each path carries one equality
+// instead of i-1 accumulated disequalities — the same effect the paper
+// attributes to -O3 on rule-cascade models (§5.4).
+func (o *optimizer) chainCompact() {
+	for _, f := range o.p.Funcs {
+		f.Body = compactBody(f.Body)
+	}
+}
+
+func compactBody(body []model.Stmt) []model.Stmt {
+	out := make([]model.Stmt, 0, len(body))
+	for _, s := range body {
+		switch st := s.(type) {
+		case *model.If:
+			if fork, ok := tryCompact(st); ok {
+				out = append(out, fork)
+				continue
+			}
+			out = append(out, &model.If{
+				Cond: st.Cond,
+				Then: compactBody(st.Then),
+				Else: compactBody(st.Else),
+			})
+		case *model.Fork:
+			nf := &model.Fork{Selector: st.Selector, Labels: st.Labels}
+			for _, b := range st.Branches {
+				nf.Branches = append(nf.Branches, compactBody(b))
+			}
+			out = append(out, nf)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// tryCompact recognizes an equality cascade of length ≥ 3 on one key.
+func tryCompact(root *model.If) (model.Stmt, bool) {
+	var key model.Expr
+	var consts []*model.Const
+	var bodies [][]model.Stmt
+	cur := root
+	for {
+		bin, ok := cur.Cond.(*model.Bin)
+		if !ok || bin.Op != model.OpEq {
+			break
+		}
+		c, ok := bin.Y.(*model.Const)
+		if !ok {
+			break
+		}
+		if key == nil {
+			key = bin.X
+		} else if !sameExpr(key, bin.X) {
+			break
+		}
+		consts = append(consts, c)
+		bodies = append(bodies, cur.Then)
+		if len(cur.Else) == 1 {
+			if next, ok := cur.Else[0].(*model.If); ok {
+				cur = next
+				continue
+			}
+		}
+		// Chain ends; cur.Else is the default.
+		if len(consts) < 3 {
+			return nil, false
+		}
+		seen := map[uint64]bool{}
+		for _, c := range consts {
+			if seen[c.Val] {
+				return nil, false // duplicate constants: order matters
+			}
+			seen[c.Val] = true
+		}
+		fork := &model.Fork{Selector: "$match"}
+		for i := range consts {
+			branch := []model.Stmt{&model.Assume{Cond: &model.Bin{Op: model.OpEq, X: key, Y: consts[i]}}}
+			branch = append(branch, compactBody(bodies[i])...)
+			fork.Labels = append(fork.Labels, fmt.Sprintf("=0x%x", consts[i].Val))
+			fork.Branches = append(fork.Branches, branch)
+		}
+		var def []model.Stmt
+		for _, c := range consts {
+			def = append(def, &model.Assume{Cond: &model.Bin{Op: model.OpNe, X: key, Y: c}})
+		}
+		def = append(def, compactBody(cur.Else)...)
+		fork.Labels = append(fork.Labels, "default")
+		fork.Branches = append(fork.Branches, def)
+		return fork, true
+	}
+	return nil, false
+}
+
+// sameExpr reports structural equality of two IR expressions.
+func sameExpr(a, b model.Expr) bool {
+	switch x := a.(type) {
+	case *model.Const:
+		y, ok := b.(*model.Const)
+		return ok && x.Width == y.Width && x.Val == y.Val
+	case *model.Ref:
+		y, ok := b.(*model.Ref)
+		return ok && x.Name == y.Name
+	case *model.Un:
+		y, ok := b.(*model.Un)
+		return ok && x.Op == y.Op && sameExpr(x.X, y.X)
+	case *model.Cast:
+		y, ok := b.(*model.Cast)
+		return ok && x.Width == y.Width && sameExpr(x.X, y.X)
+	case *model.Bin:
+		y, ok := b.(*model.Bin)
+		return ok && x.Op == y.Op && sameExpr(x.X, y.X) && sameExpr(x.Y, y.Y)
+	case *model.Cond:
+		y, ok := b.(*model.Cond)
+		return ok && sameExpr(x.C, y.C) && sameExpr(x.T, y.T) && sameExpr(x.F, y.F)
+	}
+	return false
+}

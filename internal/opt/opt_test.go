@@ -1,0 +1,251 @@
+package opt
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"testing"
+
+	"p4assert/internal/interp"
+	"p4assert/internal/model"
+	"p4assert/internal/p4"
+	"p4assert/internal/sym"
+	"p4assert/internal/translate"
+	"p4assert/internal/whippersnapper"
+)
+
+func translateWS(t *testing.T, cfg whippersnapper.Config) *model.Program {
+	t.Helper()
+	src := whippersnapper.Generate(cfg)
+	prog, err := p4.Parse("ws.p4", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Check(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := translate.Translate(prog, translate.Options{Rules: whippersnapper.GenerateRules(cfg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestO3ReducesInstructions(t *testing.T) {
+	m := translateWS(t, whippersnapper.Config{Tables: 4, Assertions: 2})
+	o := Apply(m, O3())
+	if o.NumStmts() >= m.NumStmts() {
+		t.Fatalf("O3 should shrink the model statically: %d -> %d", m.NumStmts(), o.NumStmts())
+	}
+	// Dynamic effect: fewer executed instructions, same paths.
+	r1, err := sym.Execute(m, sym.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sym.Execute(o, sym.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Metrics.Paths != r1.Metrics.Paths {
+		t.Fatalf("O3 changed path count: %d vs %d", r2.Metrics.Paths, r1.Metrics.Paths)
+	}
+	if r2.Metrics.Instructions >= r1.Metrics.Instructions {
+		t.Fatalf("O3 should reduce executed instructions: %d vs %d",
+			r2.Metrics.Instructions, r1.Metrics.Instructions)
+	}
+	if len(r1.Violations) != 0 || len(r2.Violations) != 0 {
+		t.Fatal("synthetic program should verify in both forms")
+	}
+}
+
+func TestChainCompaction(t *testing.T) {
+	cfg := whippersnapper.Config{Tables: 1, RulesPerTable: 8}
+	m := translateWS(t, cfg)
+	o := Apply(m, Passes{ChainCompact: true})
+	dump := o.Dump()
+	if !strings.Contains(dump, "switch (symbolic $match)") {
+		t.Fatalf("rule cascade should compact into a fork:\n%s", dump)
+	}
+	// Verdict and coverage must be preserved: rules+1 outcomes.
+	r1, _ := sym.Execute(m, sym.Options{})
+	r2, _ := sym.Execute(o, sym.Options{})
+	if r1.Metrics.Paths != r2.Metrics.Paths {
+		t.Fatalf("compaction changed path count: %d vs %d", r1.Metrics.Paths, r2.Metrics.Paths)
+	}
+	// Compaction exists to shrink constraint sets: the compacted run must
+	// not issue more solver queries than the cascade.
+	if r2.Metrics.Solver.Queries > r1.Metrics.Solver.Queries {
+		t.Fatalf("compaction increased solver queries: %d vs %d",
+			r2.Metrics.Solver.Queries, r1.Metrics.Solver.Queries)
+	}
+}
+
+func TestChainCompactionPreservesVerdicts(t *testing.T) {
+	// A buggy rule-driven program: verdicts must survive compaction.
+	src := `
+header h_t { bit<16> k; bit<8> ttl; }
+struct hs { h_t h; }
+struct ms { bit<1> u; }
+parser P(packet_in pkt, out hs hdr, inout ms meta,
+         inout standard_metadata_t standard_metadata) {
+    state start { pkt.extract(hdr.h); transition accept; }
+}
+control I(inout hs hdr, inout ms meta,
+          inout standard_metadata_t standard_metadata) {
+    action fwd(bit<9> p) { standard_metadata.egress_spec = p; }
+    action drop() { mark_to_drop(standard_metadata); }
+    table t {
+        key = { hdr.h.k : exact; }
+        actions = { fwd; drop; }
+        default_action = drop;
+        const entries = {
+            1 : fwd(1);
+            2 : fwd(2);
+            3 : fwd(3);
+            4 : fwd(4);
+        }
+    }
+    apply {
+        t.apply();
+        @assert("if(forward(), h.ttl > 0)");
+    }
+}
+control D(packet_out pkt, in hs hdr) { apply { } }
+V1Switch(P, I, D) main;
+`
+	prog, err := p4.Parse("cc.p4", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Check(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := translate.Translate(prog, translate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Apply(m, O3())
+	r1, _ := sym.Execute(m, sym.Options{})
+	r2, _ := sym.Execute(o, sym.Options{})
+	if !r1.Violated(0) || !r2.Violated(0) {
+		t.Fatalf("ttl bug must be found in both forms: orig=%v opt=%v",
+			r1.Violations, r2.Violations)
+	}
+}
+
+func TestConstBranchPruning(t *testing.T) {
+	p := model.NewProgram()
+	p.AddGlobal("x", 8, true, 0)
+	p.AddGlobal("y", 8, false, 0)
+	p.AddGlobal("never", 8, false, 42) // no assignments anywhere
+	p.AddFunc(&model.Func{Name: "main", Body: []model.Stmt{
+		&model.If{
+			// never == 42 folds to true under global-const marking.
+			Cond: &model.Bin{Op: model.OpEq, X: &model.Ref{Name: "never"}, Y: &model.Const{Width: 8, Val: 42}},
+			Then: []model.Stmt{&model.Assign{LHS: "y", RHS: &model.Ref{Name: "x"}}},
+			Else: []model.Stmt{&model.Assign{LHS: "y", RHS: &model.Const{Width: 8, Val: 1}}},
+		},
+		&model.AssertCheck{ID: 0, Cond: &model.Bin{Op: model.OpEq, X: &model.Ref{Name: "y"}, Y: &model.Ref{Name: "x"}}},
+	}})
+	p.Entry = []string{"main"}
+	p.Asserts = []*model.AssertInfo{{ID: 0}}
+	o := Apply(p, O3())
+	body := o.Funcs["main"].Body
+	if _, isIf := body[0].(*model.If); isIf {
+		t.Fatalf("constant branch should be pruned:\n%s", o.Dump())
+	}
+	r, err := sym.Execute(o, sym.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Violations) != 0 {
+		t.Fatal("pruning changed semantics")
+	}
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	p := model.NewProgram()
+	p.AddGlobal("x", 8, true, 0)
+	p.AddGlobal("dead", 8, false, 0)
+	p.AddGlobal("live", 8, false, 0)
+	p.AddFunc(&model.Func{Name: "main", Body: []model.Stmt{
+		&model.Assign{LHS: "dead", RHS: &model.Ref{Name: "x"}},
+		&model.MakeSymbolic{Var: "dead", Hint: "dead"},
+		&model.Assign{LHS: "live", RHS: &model.Ref{Name: "x"}},
+		&model.AssertCheck{ID: 0, Cond: &model.Bin{Op: model.OpLe, X: &model.Ref{Name: "live"}, Y: &model.Ref{Name: "live"}}},
+	}})
+	p.Entry = []string{"main"}
+	p.Asserts = []*model.AssertInfo{{ID: 0}}
+	o := Apply(p, Passes{DeadCode: true})
+	if got := len(o.Funcs["main"].Body); got != 2 {
+		t.Fatalf("dead assignments should vanish; body = %d stmts:\n%s", got, o.Dump())
+	}
+}
+
+func TestEmptyCallRemoval(t *testing.T) {
+	p := model.NewProgram()
+	p.AddGlobal("x", 8, false, 0)
+	p.AddFunc(&model.Func{Name: "empty", Body: nil})
+	p.AddFunc(&model.Func{Name: "main", Body: []model.Stmt{
+		&model.Call{Func: "empty"},
+		&model.Assign{LHS: "x", RHS: &model.Const{Width: 8, Val: 1}},
+	}})
+	p.Entry = []string{"main"}
+	o := Apply(p, O3())
+	for _, s := range o.Funcs["main"].Body {
+		if c, ok := s.(*model.Call); ok && c.Func == "empty" {
+			t.Fatal("call to empty function should be removed")
+		}
+	}
+}
+
+// TestPassesPreserveConcreteSemantics is the DESIGN.md property: for random
+// inputs, the interpreter agrees on assertion verdicts and the forwarding
+// decision between the original and optimized models. ChainCompact is
+// exercised separately (it rewrites cascades into assume-guarded forks,
+// which concrete replay resolves differently).
+func TestPassesPreserveConcreteSemantics(t *testing.T) {
+	passes := Passes{ConstFold: true, GlobalConst: true, DeadCode: true, Simplify: true}
+	for _, cfg := range []whippersnapper.Config{
+		{Tables: 2, Assertions: 2},
+		{Tables: 3, ActionsFirst: 2, Actions: 2, Assertions: 1},
+		{Tables: 2, RulesPerTable: 3, Assertions: 2},
+	} {
+		m := translateWS(t, cfg)
+		o := Apply(m, passes)
+		for seed := 0; seed < 25; seed++ {
+			in := func(name string, width int) uint64 {
+				base := name
+				if i := strings.IndexByte(base, '#'); i >= 0 {
+					base = base[:i]
+				}
+				h := fnv.New64a()
+				fmt.Fprintf(h, "%s|%d", base, seed)
+				return h.Sum64()
+			}
+			choose := func(selector string, labels []string) int {
+				h := fnv.New64a()
+				fmt.Fprintf(h, "%s|%d", selector, seed)
+				return int(h.Sum64() % uint64(len(labels)))
+			}
+			r1, err := interp.Run(m, interp.Options{Input: in, Choose: choose})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := interp.Run(o, interp.Options{Input: in, Choose: choose})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(r1.Failures) != fmt.Sprint(r2.Failures) {
+				t.Fatalf("cfg %+v seed %d: failures diverge: %v vs %v",
+					cfg, seed, r1.Failures, r2.Failures)
+			}
+			if r1.Store[model.ForwardFlag] != r2.Store[model.ForwardFlag] {
+				t.Fatalf("cfg %+v seed %d: forwarding decision diverges", cfg, seed)
+			}
+			if r1.AssumeViolated != r2.AssumeViolated || r1.Halted != r2.Halted {
+				t.Fatalf("cfg %+v seed %d: control outcome diverges", cfg, seed)
+			}
+		}
+	}
+}

@@ -1,0 +1,528 @@
+package p4
+
+// This file defines the abstract syntax tree for the supported P4_16
+// subset. The tree is produced by Parser and decorated by the type checker
+// (typecheck.go) before translation to the model IR.
+
+// ---------------------------------------------------------------- types --
+
+// Type is a P4 type.
+type Type interface{ typeNode() }
+
+// BitType is bit<N>.
+type BitType struct{ Width int }
+
+// BoolType is bool.
+type BoolType struct{}
+
+// NamedType is an unresolved reference to a typedef/header/struct name.
+type NamedType struct{ Name string }
+
+// HeaderRef is a resolved reference to a header declaration.
+type HeaderRef struct{ Decl *HeaderDecl }
+
+// StructRef is a resolved reference to a struct declaration.
+type StructRef struct{ Decl *StructDecl }
+
+func (*BitType) typeNode()   {}
+func (*BoolType) typeNode()  {}
+func (*NamedType) typeNode() {}
+func (*HeaderRef) typeNode() {}
+func (*StructRef) typeNode() {}
+
+// Field is a named member of a header or struct.
+type Field struct {
+	Name string
+	Type Type
+	Pos  Pos
+}
+
+// ParamDir is a parameter direction.
+type ParamDir uint8
+
+// Parameter directions.
+const (
+	DirNone ParamDir = iota
+	DirIn
+	DirOut
+	DirInOut
+)
+
+// Param is a parser/control/action parameter.
+type Param struct {
+	Dir  ParamDir
+	Type Type
+	Name string
+	Pos  Pos
+}
+
+// ------------------------------------------------------------- program --
+
+// Program is a parsed compilation unit.
+type Program struct {
+	File     string
+	Typedefs []*TypedefDecl
+	Consts   []*ConstDecl
+	Headers  []*HeaderDecl
+	Structs  []*StructDecl
+	Parsers  []*ParserDecl
+	Controls []*ControlDecl
+	Package  *PackageDecl // the V1Switch(...) main instantiation
+
+	// Filled by the type checker:
+	headerByName map[string]*HeaderDecl
+	structByName map[string]*StructDecl
+	constByName  map[string]*ConstDecl
+	typedefs     map[string]Type
+}
+
+// TypedefDecl is "typedef <type> <name>;".
+type TypedefDecl struct {
+	Name string
+	Type Type
+	Pos  Pos
+}
+
+// ConstDecl is "const <type> <name> = <value>;".
+type ConstDecl struct {
+	Name  string
+	Type  Type
+	Value Expr
+	Pos   Pos
+
+	Resolved uint64 // filled by the checker
+	Width    int
+}
+
+// HeaderDecl declares a packet header type.
+type HeaderDecl struct {
+	Name   string
+	Fields []Field
+	Pos    Pos
+}
+
+// FieldWidth returns the width of a field, or 0 if absent.
+func (h *HeaderDecl) FieldWidth(name string) int {
+	for _, f := range h.Fields {
+		if f.Name == name {
+			if bt, ok := f.Type.(*BitType); ok {
+				return bt.Width
+			}
+			if _, ok := f.Type.(*BoolType); ok {
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+// StructDecl declares a struct (headers bundle or metadata).
+type StructDecl struct {
+	Name   string
+	Fields []Field
+	Pos    Pos
+}
+
+// PackageDecl is the main instantiation, e.g.
+// V1Switch(MyParser(), MyIngress(), MyEgress(), MyDeparser()) main;
+type PackageDecl struct {
+	TypeName string
+	Args     []string // names of instantiated parser/controls, in order
+	Name     string
+	Pos      Pos
+}
+
+// ------------------------------------------------------------- parsers --
+
+// ParserDecl declares a parser with its states.
+type ParserDecl struct {
+	Name   string
+	Params []Param
+	States []*StateDecl
+	Pos    Pos
+}
+
+// State returns the named state, or nil.
+func (p *ParserDecl) State(name string) *StateDecl {
+	for _, s := range p.States {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// StateDecl is one parser state.
+type StateDecl struct {
+	Name       string
+	Body       []Stmt
+	Transition Transition // nil means implicit accept
+	Pos        Pos
+}
+
+// Transition is a parser state transition.
+type Transition interface{ transitionNode() }
+
+// TransDirect is "transition <target>;" (accept/reject/state name).
+type TransDirect struct {
+	Target string
+	Pos    Pos
+}
+
+// TransSelect is "transition select(expr, ...) { cases }".
+type TransSelect struct {
+	Exprs []Expr
+	Cases []SelectCase
+	Pos   Pos
+}
+
+func (*TransDirect) transitionNode() {}
+func (*TransSelect) transitionNode() {}
+
+// SelectCase is one arm of a select: a tuple of key-set values and a target.
+type SelectCase struct {
+	Values []CaseValue // one per select expression
+	Target string
+	Pos    Pos
+}
+
+// CaseValue is a key-set expression in a select case or const entry.
+type CaseValue struct {
+	Default bool // "default" or "_"
+	Expr    Expr // literal or const name when !Default
+	Mask    Expr // optional "value &&& mask" — nil when absent
+}
+
+// ------------------------------------------------------------ controls --
+
+// ControlDecl declares a control block: actions, tables, locals, apply.
+type ControlDecl struct {
+	Name    string
+	Params  []Param
+	Actions []*ActionDecl
+	Tables  []*TableDecl
+	Locals  []*LocalDecl // variables and extern instantiations
+	Apply   *BlockStmt
+	Pos     Pos
+}
+
+// Action returns the named action declared in this control, or nil.
+func (c *ControlDecl) Action(name string) *ActionDecl {
+	for _, a := range c.Actions {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Table returns the named table declared in this control, or nil.
+func (c *ControlDecl) Table(name string) *TableDecl {
+	for _, t := range c.Tables {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// ActionDecl declares an action.
+type ActionDecl struct {
+	Name   string
+	Params []Param
+	Body   []Stmt
+	Pos    Pos
+}
+
+// MatchKind is a table key match kind.
+type MatchKind uint8
+
+// Match kinds supported by the translator.
+const (
+	MatchExact MatchKind = iota
+	MatchLPM
+	MatchTernary
+)
+
+// String returns the P4 spelling of the match kind.
+func (m MatchKind) String() string {
+	switch m {
+	case MatchExact:
+		return "exact"
+	case MatchLPM:
+		return "lpm"
+	default:
+		return "ternary"
+	}
+}
+
+// TableKey is one key entry of a table.
+type TableKey struct {
+	Expr  Expr
+	Match MatchKind
+	Pos   Pos
+}
+
+// TableDecl declares a match-action table.
+type TableDecl struct {
+	Name          string
+	Keys          []TableKey
+	Actions       []string
+	DefaultAction *ActionCall // nil if unspecified
+	Size          int
+	ConstEntries  []Entry
+	Pos           Pos
+}
+
+// ActionCall is an action invocation with constant arguments.
+type ActionCall struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// Entry is one const table entry: key-set values and the bound action.
+type Entry struct {
+	Keys   []CaseValue
+	Action ActionCall
+	Pos    Pos
+}
+
+// LocalDecl is a control-local declaration: either a variable or an extern
+// instantiation (register/counter/meter).
+type LocalDecl struct {
+	Kind     LocalKind
+	Name     string
+	Type     Type   // variable type or register cell type
+	Init     Expr   // optional variable initializer
+	Size     Expr   // extern instance size argument
+	ExternAr []Expr // remaining extern constructor args (e.g. CounterType)
+	Pos      Pos
+}
+
+// LocalKind discriminates LocalDecl.
+type LocalKind uint8
+
+// Local declaration kinds.
+const (
+	LocalVar LocalKind = iota
+	LocalRegister
+	LocalCounter
+	LocalMeter
+)
+
+// ------------------------------------------------------------- statements --
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is a braced sequence of statements.
+type BlockStmt struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// AssignStmt is "lhs = rhs;".
+type AssignStmt struct {
+	LHS Expr
+	RHS Expr
+	Pos Pos
+}
+
+// CallStmt is an expression statement that must be a call (extract, emit,
+// apply, mark_to_drop, setValid, register ops, ...).
+type CallStmt struct {
+	Call *CallExpr
+	Pos  Pos
+}
+
+// IfStmt is a conditional with optional else (which may be another IfStmt).
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // nil, *BlockStmt, or *IfStmt
+	Pos  Pos
+}
+
+// VarDeclStmt declares a local variable inside a body.
+type VarDeclStmt struct {
+	Name string
+	Type Type
+	Init Expr // may be nil
+	Pos  Pos
+}
+
+// AssertStmt is the @assert("...") annotation statement from the paper.
+type AssertStmt struct {
+	Text string // raw assertion-language source
+	Pos  Pos
+}
+
+// AssumeStmt is the @assume(...) annotation statement (paper §4.1).
+type AssumeStmt struct {
+	Cond Expr // a P4 boolean expression
+	Pos  Pos
+}
+
+// ExitStmt terminates pipeline processing for the packet.
+type ExitStmt struct{ Pos Pos }
+
+// ReturnStmt returns from the enclosing action or control.
+type ReturnStmt struct{ Pos Pos }
+
+func (*BlockStmt) stmtNode()   {}
+func (*AssignStmt) stmtNode()  {}
+func (*CallStmt) stmtNode()    {}
+func (*IfStmt) stmtNode()      {}
+func (*VarDeclStmt) stmtNode() {}
+func (*AssertStmt) stmtNode()  {}
+func (*AssumeStmt) stmtNode()  {}
+func (*ExitStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode()  {}
+
+// ------------------------------------------------------------ expressions --
+
+// Expr is an expression node. Ty is filled by the type checker.
+type Expr interface {
+	exprNode()
+	Position() Pos
+}
+
+// Ident is a bare name.
+type Ident struct {
+	Name string
+	Pos  Pos
+	Ty   Type
+}
+
+// Member is "x.name" (field access or method selection).
+type Member struct {
+	X    Expr
+	Name string
+	Pos  Pos
+	Ty   Type
+}
+
+// NumberLit is an integer literal; Width 0 means untyped.
+type NumberLit struct {
+	Value uint64
+	Width int
+	Pos   Pos
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Value bool
+	Pos   Pos
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp uint8
+
+// Unary operators.
+const (
+	UnNot    UnaryOp = iota // !
+	UnBitNot                // ~
+	UnNeg                   // -
+)
+
+// Unary is a unary operation.
+type Unary struct {
+	Op  UnaryOp
+	X   Expr
+	Pos Pos
+	Ty  Type
+}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp uint8
+
+// Binary operators.
+const (
+	BinAdd BinaryOp = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinMod
+	BinAnd // &
+	BinOr  // |
+	BinXor // ^
+	BinShl
+	BinShr
+	BinEq
+	BinNe
+	BinLt
+	BinLe
+	BinGt
+	BinGe
+	BinLAnd // &&
+	BinLOr  // ||
+)
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   BinaryOp
+	X, Y Expr
+	Pos  Pos
+	Ty   Type
+}
+
+// Ternary is "cond ? a : b".
+type Ternary struct {
+	Cond, Then, Else Expr
+	Pos              Pos
+	Ty               Type
+}
+
+// CallExpr is a function or method call. Fun is an Ident (free function) or
+// Member (method on a receiver such as pkt.extract or table.apply).
+type CallExpr struct {
+	Fun  Expr
+	Args []Expr
+	Pos  Pos
+	Ty   Type
+}
+
+// CastExpr is "(bit<N>) x" or "(bool) x".
+type CastExpr struct {
+	Type Type
+	X    Expr
+	Pos  Pos
+}
+
+func (*Ident) exprNode()     {}
+func (*Member) exprNode()    {}
+func (*NumberLit) exprNode() {}
+func (*BoolLit) exprNode()   {}
+func (*Unary) exprNode()     {}
+func (*Binary) exprNode()    {}
+func (*Ternary) exprNode()   {}
+func (*CallExpr) exprNode()  {}
+func (*CastExpr) exprNode()  {}
+
+// Position implementations.
+func (e *Ident) Position() Pos     { return e.Pos }
+func (e *Member) Position() Pos    { return e.Pos }
+func (e *NumberLit) Position() Pos { return e.Pos }
+func (e *BoolLit) Position() Pos   { return e.Pos }
+func (e *Unary) Position() Pos     { return e.Pos }
+func (e *Binary) Position() Pos    { return e.Pos }
+func (e *Ternary) Position() Pos   { return e.Pos }
+func (e *CallExpr) Position() Pos  { return e.Pos }
+func (e *CastExpr) Position() Pos  { return e.Pos }
+
+// PathString renders a Member/Ident chain like "hdr.ipv4.ttl"; it returns
+// "" for non-path expressions.
+func PathString(e Expr) string {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Name
+	case *Member:
+		base := PathString(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Name
+	}
+	return ""
+}

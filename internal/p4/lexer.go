@@ -1,0 +1,335 @@
+package p4
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer tokenizes P4_16 source text. It handles line and block comments,
+// width-prefixed number literals (8w0xFF), and double-quoted strings (used
+// by @assert / @assume annotation bodies).
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	file string
+}
+
+// NewLexer returns a lexer over src; file names error messages.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1, file: file}
+}
+
+// SyntaxError is a positioned lexing or parsing error.
+type SyntaxError struct {
+	File string
+	Pos  Pos
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%s:%s: %s", e.File, e.Pos, e.Msg)
+}
+
+func (l *Lexer) errorf(pos Pos, format string, args ...any) error {
+	return &SyntaxError{File: l.file, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	ch := l.src[l.off]
+	l.off++
+	if ch == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return ch
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		ch := l.peek()
+		switch {
+		case ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n':
+			l.advance()
+		case ch == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case ch == '/' && l.peek2() == '*':
+			start := Pos{l.line, l.col}
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(ch byte) bool {
+	return ch == '_' || ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z'
+}
+
+func isIdentCont(ch byte) bool { return isIdentStart(ch) || ch >= '0' && ch <= '9' }
+
+func isDigit(ch byte) bool { return ch >= '0' && ch <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := Pos{l.line, l.col}
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	ch := l.peek()
+
+	switch {
+	case isIdentStart(ch):
+		start := l.off
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		// A width-prefixed literal like 8w15 lexes as number below (it
+		// starts with a digit); plain "_" is its own token.
+		if text == "_" {
+			return Token{Kind: TokUnderscore, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+
+	case isDigit(ch):
+		start := l.off
+		for l.off < len(l.src) && (isIdentCont(l.peek())) {
+			// consume digits, hex letters, 'x', 'b', 'w' prefix parts
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		return Token{Kind: TokNumber, Text: text, Pos: pos}, nil
+
+	case ch == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.off >= len(l.src) {
+				return Token{}, l.errorf(pos, "unterminated string literal")
+			}
+			c := l.advance()
+			if c == '"' {
+				break
+			}
+			if c == '\\' && l.off < len(l.src) {
+				c = l.advance()
+			}
+			sb.WriteByte(c)
+		}
+		return Token{Kind: TokString, Text: sb.String(), Pos: pos}, nil
+	}
+
+	// Operators / punctuation.
+	two := func(k TokenKind) (Token, error) {
+		l.advance()
+		l.advance()
+		return Token{Kind: k, Text: tokenNames[k], Pos: pos}, nil
+	}
+	one := func(k TokenKind) (Token, error) {
+		l.advance()
+		return Token{Kind: k, Text: tokenNames[k], Pos: pos}, nil
+	}
+	switch ch {
+	case '{':
+		return one(TokLBrace)
+	case '}':
+		return one(TokRBrace)
+	case '(':
+		return one(TokLParen)
+	case ')':
+		return one(TokRParen)
+	case '[':
+		return one(TokLBracket)
+	case ']':
+		return one(TokRBracket)
+	case ';':
+		return one(TokSemi)
+	case ':':
+		return one(TokColon)
+	case ',':
+		return one(TokComma)
+	case '.':
+		return one(TokDot)
+	case '?':
+		return one(TokQuestion)
+	case '@':
+		return one(TokAt)
+	case '~':
+		return one(TokTilde)
+	case '^':
+		return one(TokCaret)
+	case '+':
+		return one(TokPlus)
+	case '-':
+		return one(TokMinus)
+	case '*':
+		return one(TokStar)
+	case '/':
+		return one(TokSlash)
+	case '%':
+		return one(TokPercent)
+	case '=':
+		if l.peek2() == '=' {
+			return two(TokEq)
+		}
+		return one(TokAssign)
+	case '!':
+		if l.peek2() == '=' {
+			return two(TokNe)
+		}
+		return one(TokNot)
+	case '<':
+		switch l.peek2() {
+		case '=':
+			return two(TokLe)
+		case '<':
+			return two(TokShl)
+		}
+		return one(TokLt)
+	case '>':
+		switch l.peek2() {
+		case '=':
+			return two(TokGe)
+		case '>':
+			return two(TokShr)
+		}
+		return one(TokGt)
+	case '&':
+		if l.peek2() == '&' {
+			return two(TokAndAnd)
+		}
+		return one(TokAmp)
+	case '|':
+		if l.peek2() == '|' {
+			return two(TokOrOr)
+		}
+		return one(TokPipe)
+	}
+	return Token{}, l.errorf(pos, "unexpected character %q", string(ch))
+}
+
+// Tokenize lexes the entire input, returning all tokens up to and including
+// the EOF token.
+func Tokenize(file, src string) ([]Token, error) {
+	l := NewLexer(file, src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+// ParseNumber decodes a P4 integer literal: decimal, 0x hex, 0b binary,
+// optionally width-prefixed as in "8w255" or "4w0xF". It returns the value,
+// the declared width (0 if none) and an error for malformed literals.
+func ParseNumber(text string) (value uint64, width int, err error) {
+	body := text
+	if i := strings.IndexByte(text, 'w'); i > 0 {
+		wpart := text[:i]
+		if allDigits(wpart) {
+			w, e := parseUint(wpart, 10)
+			if e != nil {
+				return 0, 0, fmt.Errorf("bad width prefix in %q", text)
+			}
+			width = int(w)
+			body = text[i+1:]
+		}
+	}
+	base := 10
+	switch {
+	case strings.HasPrefix(body, "0x") || strings.HasPrefix(body, "0X"):
+		base = 16
+		body = body[2:]
+	case strings.HasPrefix(body, "0b") || strings.HasPrefix(body, "0B"):
+		base = 2
+		body = body[2:]
+	}
+	if body == "" {
+		return 0, 0, fmt.Errorf("empty number literal %q", text)
+	}
+	v, e := parseUint(body, base)
+	if e != nil {
+		return 0, 0, fmt.Errorf("bad number literal %q: %v", text, e)
+	}
+	return v, width, nil
+}
+
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isDigit(s[i]) {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func parseUint(s string, base int) (uint64, error) {
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '_' {
+			continue
+		}
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("invalid digit %q", string(c))
+		}
+		if d >= uint64(base) {
+			return 0, fmt.Errorf("digit %q out of range for base %d", string(c), base)
+		}
+		v = v*uint64(base) + d
+	}
+	return v, nil
+}

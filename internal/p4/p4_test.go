@@ -1,0 +1,381 @@
+package p4
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleProgram = `
+// A small but representative program exercising most supported syntax.
+typedef bit<48> EthernetAddress;
+const bit<16> TYPE_IPV4 = 0x800;
+const bit<9> CPU_PORT = 64;
+
+header ethernet_t {
+    EthernetAddress dstAddr;
+    EthernetAddress srcAddr;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<4> version;
+    bit<4> ihl;
+    bit<8> diffserv;
+    bit<16> totalLen;
+    bit<16> identification;
+    bit<3> flags;
+    bit<13> fragOffset;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> hdrChecksum;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t ipv4;
+}
+
+struct metadata_t {
+    bit<8> hop_count;
+}
+
+parser MyParser(packet_in pkt, out headers_t hdr, inout metadata_t meta,
+                inout standard_metadata_t standard_metadata) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+
+control MyIngress(inout headers_t hdr, inout metadata_t meta,
+                  inout standard_metadata_t standard_metadata) {
+    register<bit<32>>(1024) flow_bytes;
+
+    action drop() {
+        mark_to_drop(standard_metadata);
+    }
+    action forward(bit<9> port) {
+        standard_metadata.egress_spec = port;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    table ipv4_lpm {
+        key = { hdr.ipv4.dstAddr : lpm; }
+        actions = { forward; drop; NoAction; }
+        size = 1024;
+        default_action = drop();
+        const entries = {
+            0x0a000001 : forward(1);
+            0x0a000002 : forward(CPU_PORT);
+        }
+    }
+    apply {
+        if (hdr.ipv4.isValid()) {
+            @assume(hdr.ipv4.version == 4);
+            ipv4_lpm.apply();
+            bit<32> tmp = 0;
+            flow_bytes.read(tmp, (bit<32>)standard_metadata.ingress_port);
+            flow_bytes.write((bit<32>)standard_metadata.ingress_port, tmp + 1);
+        }
+        @assert("if(forward(), hdr.ipv4.ttl > 0)");
+    }
+}
+
+control MyEgress(inout headers_t hdr, inout metadata_t meta,
+                 inout standard_metadata_t standard_metadata) {
+    apply { }
+}
+
+control MyDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+    }
+}
+
+V1Switch(MyParser(), MyIngress(), MyEgress(), MyDeparser()) main;
+`
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse("test.p4", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := prog.Check(); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return prog
+}
+
+func TestParseSampleProgram(t *testing.T) {
+	prog := mustParse(t, sampleProgram)
+	if len(prog.Headers) != 2 {
+		t.Fatalf("got %d headers, want 2", len(prog.Headers))
+	}
+	if len(prog.Parsers) != 1 || len(prog.Controls) != 3 {
+		t.Fatalf("got %d parsers / %d controls", len(prog.Parsers), len(prog.Controls))
+	}
+	if prog.Package == nil || prog.Package.TypeName != "V1Switch" {
+		t.Fatal("package instantiation missing")
+	}
+	if got := prog.Package.Args; len(got) != 4 || got[0] != "MyParser" || got[3] != "MyDeparser" {
+		t.Fatalf("package args = %v", got)
+	}
+}
+
+func TestConstResolution(t *testing.T) {
+	prog := mustParse(t, sampleProgram)
+	v, w, ok := prog.ConstValue("TYPE_IPV4")
+	if !ok || v != 0x800 || w != 16 {
+		t.Fatalf("TYPE_IPV4 = (%v,%d,%v)", v, w, ok)
+	}
+}
+
+func TestHeaderWidths(t *testing.T) {
+	prog := mustParse(t, sampleProgram)
+	h := prog.Header("ipv4_t")
+	if h == nil {
+		t.Fatal("ipv4_t missing")
+	}
+	if h.FieldWidth("ttl") != 8 || h.FieldWidth("dstAddr") != 32 || h.FieldWidth("flags") != 3 {
+		t.Fatal("field widths wrong")
+	}
+	eth := prog.Header("ethernet_t")
+	if eth.FieldWidth("dstAddr") != 48 {
+		t.Fatal("typedef-resolved field width wrong")
+	}
+}
+
+func TestTableStructure(t *testing.T) {
+	prog := mustParse(t, sampleProgram)
+	ing := prog.Controls[0]
+	tbl := ing.Table("ipv4_lpm")
+	if tbl == nil {
+		t.Fatal("table missing")
+	}
+	if len(tbl.Keys) != 1 || tbl.Keys[0].Match != MatchLPM {
+		t.Fatal("table key wrong")
+	}
+	if len(tbl.Actions) != 3 || tbl.DefaultAction == nil || tbl.DefaultAction.Name != "drop" {
+		t.Fatal("table actions wrong")
+	}
+	if len(tbl.ConstEntries) != 2 {
+		t.Fatal("const entries wrong")
+	}
+	if tbl.Size != 1024 {
+		t.Fatal("size wrong")
+	}
+}
+
+func TestAnnotationStatements(t *testing.T) {
+	prog := mustParse(t, sampleProgram)
+	ing := prog.Controls[0]
+	var asserts, assumes int
+	var walk func(stmts []Stmt)
+	walk = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *AssertStmt:
+				asserts++
+				if !strings.Contains(st.Text, "forward()") {
+					t.Fatalf("assert text = %q", st.Text)
+				}
+			case *AssumeStmt:
+				assumes++
+			case *IfStmt:
+				walk(st.Then.Stmts)
+				if st.Else != nil {
+					walk([]Stmt{st.Else})
+				}
+			case *BlockStmt:
+				walk(st.Stmts)
+			}
+		}
+	}
+	walk(ing.Apply.Stmts)
+	if asserts != 1 || assumes != 1 {
+		t.Fatalf("asserts=%d assumes=%d, want 1/1", asserts, assumes)
+	}
+}
+
+func TestNumberLiterals(t *testing.T) {
+	cases := []struct {
+		text  string
+		value uint64
+		width int
+	}{
+		{"42", 42, 0},
+		{"0x800", 0x800, 0},
+		{"0b1010", 10, 0},
+		{"8w255", 255, 8},
+		{"4w0xF", 15, 4},
+		{"16w0b11", 3, 16},
+	}
+	for _, tc := range cases {
+		v, w, err := ParseNumber(tc.text)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.text, err)
+		}
+		if v != tc.value || w != tc.width {
+			t.Fatalf("%q: got (%d,%d), want (%d,%d)", tc.text, v, w, tc.value, tc.width)
+		}
+	}
+	if _, _, err := ParseNumber("0x"); err == nil {
+		t.Fatal("empty hex literal should error")
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		"header h {",                      // unterminated
+		"header h { bit<0> x; }",          // zero width
+		"header h { bit<65> x; }",         // too wide
+		"control C() { }",                 // no apply
+		"parser P() { }",                  // no start state (checker)
+		"control C() { apply { x = ; } }", // bad expr
+	}
+	for i, src := range cases {
+		prog, err := Parse("bad.p4", src)
+		if err == nil {
+			err = prog.Check()
+		}
+		if err == nil {
+			t.Fatalf("case %d: expected error for %q", i, src)
+		}
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{
+			`header h_t { bit<8> a; } struct hs { h_t h; }
+			 control C(inout hs hdr) { apply { hdr.h.b = 1; } }`,
+			"no field b",
+		},
+		{
+			`control C() { apply { undefined_var = 1; } }`,
+			"undefined name",
+		},
+		{
+			`control C() { table t { actions = { missing; } } apply { t.apply(); } }`,
+			"unknown action",
+		},
+		{
+			`header h_t { bit<8> a; bit<16> b; } struct hs { h_t h; }
+			 control C(inout hs hdr) { apply { hdr.h.a = hdr.h.a + hdr.h.b; } }`,
+			"width mismatch",
+		},
+	}
+	for i, tc := range cases {
+		prog, err := Parse("bad.p4", tc.src)
+		if err == nil {
+			err = prog.Check()
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Fatalf("case %d: error = %v, want substring %q", i, err, tc.frag)
+		}
+	}
+}
+
+func TestSelectWithMaskAndTuple(t *testing.T) {
+	src := `
+header h_t { bit<8> a; bit<8> b; }
+struct hs { h_t h; }
+struct meta_t { bit<1> x; }
+parser P(packet_in pkt, out hs hdr, inout meta_t meta) {
+    state start {
+        pkt.extract(hdr.h);
+        transition select(hdr.h.a, hdr.h.b) {
+            (0x0F &&& 0x0F, 1): s1;
+            (default, _): accept;
+        }
+    }
+    state s1 { transition accept; }
+}
+control C(inout hs hdr) { apply { } }
+V1Switch(P, C) main;
+`
+	prog := mustParse(t, src)
+	sel := prog.Parsers[0].States[0].Transition.(*TransSelect)
+	if len(sel.Exprs) != 2 || len(sel.Cases) != 2 {
+		t.Fatalf("select shape wrong: %d exprs, %d cases", len(sel.Exprs), len(sel.Cases))
+	}
+	if sel.Cases[0].Values[0].Mask == nil {
+		t.Fatal("mask not parsed")
+	}
+	if !sel.Cases[1].Values[0].Default || !sel.Cases[1].Values[1].Default {
+		t.Fatal("default/don't-care not parsed")
+	}
+}
+
+func TestCommentsAndStrings(t *testing.T) {
+	src := `
+/* block
+   comment */
+control C() {
+    apply {
+        // line comment
+        @assert("constant(x) && forward()");
+    }
+}
+V1Switch(C) main;
+`
+	prog, err := Parse("t.p4", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := prog.Controls[0].Apply.Stmts[0].(*AssertStmt)
+	if st.Text != "constant(x) && forward()" {
+		t.Fatalf("assert text = %q", st.Text)
+	}
+}
+
+func TestParseExprString(t *testing.T) {
+	e, err := ParseExprString("x", "a.b + 3 == 7 && !c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, ok := e.(*Binary)
+	if !ok || bin.Op != BinLAnd {
+		t.Fatalf("top-level op wrong: %T", e)
+	}
+	if _, err := ParseExprString("x", "a +"); err == nil {
+		t.Fatal("truncated expr should error")
+	}
+	if _, err := ParseExprString("x", "a b"); err == nil {
+		t.Fatal("trailing input should error")
+	}
+}
+
+func TestTernaryExpr(t *testing.T) {
+	e, err := ParseExprString("x", "a == 1 ? b : c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*Ternary); !ok {
+		t.Fatalf("want Ternary, got %T", e)
+	}
+}
+
+func TestPathString(t *testing.T) {
+	e, _ := ParseExprString("x", "hdr.ipv4.ttl")
+	if got := PathString(e); got != "hdr.ipv4.ttl" {
+		t.Fatalf("PathString = %q", got)
+	}
+	e2, _ := ParseExprString("x", "f(1)")
+	if got := PathString(e2); got != "" {
+		t.Fatalf("PathString of call = %q", got)
+	}
+}

@@ -1,0 +1,1251 @@
+package p4
+
+import "fmt"
+
+// Parser is a recursive-descent parser over a token stream.
+type Parser struct {
+	file string
+	toks []Token
+	pos  int
+}
+
+// Parse parses a full P4 compilation unit.
+func Parse(file, src string) (*Program, error) {
+	toks, err := Tokenize(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{file: file, toks: toks}
+	return p.parseProgram()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) peekKind(k TokenKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) peekIdent(name string) bool {
+	return p.cur().Kind == TokIdent && p.cur().Text == name
+}
+
+func (p *Parser) at(offset int) Token {
+	i := p.pos + offset
+	if i >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[i]
+}
+
+func (p *Parser) errorf(pos Pos, format string, args ...any) error {
+	return &SyntaxError{File: p.file, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) expect(k TokenKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, p.errorf(t.Pos, "expected %s, found %q", k, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) expectIdent(name string) error {
+	t := p.cur()
+	if t.Kind != TokIdent || t.Text != name {
+		return p.errorf(t.Pos, "expected %q, found %q", name, t.Text)
+	}
+	p.pos++
+	return nil
+}
+
+// expectGt consumes a ">", splitting a ">>" token in two so that nested
+// generic types like register<bit<32>> parse.
+func (p *Parser) expectGt() error {
+	t := p.cur()
+	switch t.Kind {
+	case TokGt:
+		p.pos++
+		return nil
+	case TokShr:
+		p.toks[p.pos] = Token{Kind: TokGt, Text: ">", Pos: Pos{Line: t.Pos.Line, Col: t.Pos.Col + 1}}
+		return nil
+	}
+	return p.errorf(t.Pos, "expected >, found %q", t.Text)
+}
+
+// accept consumes the token if it matches.
+func (p *Parser) accept(k TokenKind) bool {
+	if p.peekKind(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// ------------------------------------------------------------- program --
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{File: p.file}
+	for !p.peekKind(TokEOF) {
+		t := p.cur()
+		if t.Kind != TokIdent {
+			return nil, p.errorf(t.Pos, "expected declaration, found %q", t.Text)
+		}
+		switch t.Text {
+		case "typedef":
+			d, err := p.parseTypedef()
+			if err != nil {
+				return nil, err
+			}
+			prog.Typedefs = append(prog.Typedefs, d)
+		case "const":
+			d, err := p.parseConst()
+			if err != nil {
+				return nil, err
+			}
+			prog.Consts = append(prog.Consts, d)
+		case "header":
+			d, err := p.parseHeader()
+			if err != nil {
+				return nil, err
+			}
+			prog.Headers = append(prog.Headers, d)
+		case "struct":
+			d, err := p.parseStruct()
+			if err != nil {
+				return nil, err
+			}
+			prog.Structs = append(prog.Structs, d)
+		case "parser":
+			d, err := p.parseParser()
+			if err != nil {
+				return nil, err
+			}
+			prog.Parsers = append(prog.Parsers, d)
+		case "control":
+			d, err := p.parseControl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Controls = append(prog.Controls, d)
+		default:
+			// Package instantiation: Name(args) main;
+			d, err := p.parsePackage()
+			if err != nil {
+				return nil, err
+			}
+			if prog.Package != nil {
+				return nil, p.errorf(t.Pos, "duplicate package instantiation")
+			}
+			prog.Package = d
+		}
+	}
+	return prog, nil
+}
+
+func (p *Parser) parseType() (Type, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return nil, p.errorf(t.Pos, "expected type, found %q", t.Text)
+	}
+	switch t.Text {
+	case "bit":
+		p.pos++
+		if _, err := p.expect(TokLt); err != nil {
+			return nil, err
+		}
+		n, err := p.expect(TokNumber)
+		if err != nil {
+			return nil, err
+		}
+		v, _, err := ParseNumber(n.Text)
+		if err != nil {
+			return nil, p.errorf(n.Pos, "%v", err)
+		}
+		if v < 1 || v > 64 {
+			return nil, p.errorf(n.Pos, "bit width %d out of supported range [1,64]", v)
+		}
+		if err := p.expectGt(); err != nil {
+			return nil, err
+		}
+		return &BitType{Width: int(v)}, nil
+	case "bool":
+		p.pos++
+		return &BoolType{}, nil
+	default:
+		p.pos++
+		return &NamedType{Name: t.Text}, nil
+	}
+}
+
+func (p *Parser) parseTypedef() (*TypedefDecl, error) {
+	pos := p.next().Pos // 'typedef'
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &TypedefDecl{Name: name.Text, Type: ty, Pos: pos}, nil
+}
+
+func (p *Parser) parseConst() (*ConstDecl, error) {
+	pos := p.next().Pos // 'const'
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	val, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &ConstDecl{Name: name.Text, Type: ty, Value: val, Pos: pos}, nil
+}
+
+func (p *Parser) parseFieldList() ([]Field, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	var fields []Field
+	for !p.peekKind(TokRBrace) {
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		fields = append(fields, Field{Name: name.Text, Type: ty, Pos: name.Pos})
+	}
+	p.next() // '}'
+	return fields, nil
+}
+
+func (p *Parser) parseHeader() (*HeaderDecl, error) {
+	pos := p.next().Pos // 'header'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	fields, err := p.parseFieldList()
+	if err != nil {
+		return nil, err
+	}
+	return &HeaderDecl{Name: name.Text, Fields: fields, Pos: pos}, nil
+}
+
+func (p *Parser) parseStruct() (*StructDecl, error) {
+	pos := p.next().Pos // 'struct'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	fields, err := p.parseFieldList()
+	if err != nil {
+		return nil, err
+	}
+	return &StructDecl{Name: name.Text, Fields: fields, Pos: pos}, nil
+}
+
+func (p *Parser) parsePackage() (*PackageDecl, error) {
+	name := p.next() // package type name
+	pos := name.Pos
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var args []string
+	for !p.peekKind(TokRParen) {
+		arg, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		// Allow and discard a trailing "()" instantiation.
+		if p.accept(TokLParen) {
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+		}
+		args = append(args, arg.Text)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	inst, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &PackageDecl{TypeName: name.Text, Args: args, Name: inst.Text, Pos: pos}, nil
+}
+
+// ------------------------------------------------------------- parsers --
+
+func (p *Parser) parseParams() ([]Param, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var params []Param
+	for !p.peekKind(TokRParen) {
+		dir := DirNone
+		switch {
+		case p.peekIdent("in"):
+			dir = DirIn
+			p.pos++
+		case p.peekIdent("out"):
+			dir = DirOut
+			p.pos++
+		case p.peekIdent("inout"):
+			dir = DirInOut
+			p.pos++
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, Param{Dir: dir, Type: ty, Name: name.Text, Pos: name.Pos})
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return params, nil
+}
+
+func (p *Parser) parseParser() (*ParserDecl, error) {
+	pos := p.next().Pos // 'parser'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.parseParams()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	decl := &ParserDecl{Name: name.Text, Params: params, Pos: pos}
+	for !p.peekKind(TokRBrace) {
+		if !p.peekIdent("state") {
+			return nil, p.errorf(p.cur().Pos, "expected state declaration in parser, found %q", p.cur().Text)
+		}
+		st, err := p.parseState()
+		if err != nil {
+			return nil, err
+		}
+		decl.States = append(decl.States, st)
+	}
+	p.next() // '}'
+	return decl, nil
+}
+
+func (p *Parser) parseState() (*StateDecl, error) {
+	pos := p.next().Pos // 'state'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	st := &StateDecl{Name: name.Text, Pos: pos}
+	for !p.peekKind(TokRBrace) {
+		if p.peekIdent("transition") {
+			tr, err := p.parseTransition()
+			if err != nil {
+				return nil, err
+			}
+			st.Transition = tr
+			break
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Body = append(st.Body, s)
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *Parser) parseTransition() (Transition, error) {
+	pos := p.next().Pos // 'transition'
+	if p.peekIdent("select") {
+		p.pos++
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		sel := &TransSelect{Pos: pos}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.Exprs = append(sel.Exprs, e)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLBrace); err != nil {
+			return nil, err
+		}
+		for !p.peekKind(TokRBrace) {
+			cs, err := p.parseSelectCase(len(sel.Exprs))
+			if err != nil {
+				return nil, err
+			}
+			sel.Cases = append(sel.Cases, cs)
+		}
+		p.next() // '}'
+		return sel, nil
+	}
+	target, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &TransDirect{Target: target.Text, Pos: pos}, nil
+}
+
+// parseCaseValue parses one key-set value: default, _, or expr [&&& mask].
+func (p *Parser) parseCaseValue() (CaseValue, error) {
+	t := p.cur()
+	if t.Kind == TokUnderscore || t.Kind == TokIdent && t.Text == "default" {
+		p.pos++
+		return CaseValue{Default: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return CaseValue{}, err
+	}
+	cv := CaseValue{Expr: e}
+	// "value &&& mask": the lexer emits && followed by &.
+	if p.peekKind(TokAndAnd) && p.at(1).Kind == TokAmp {
+		p.pos += 2
+		mask, err := p.parseExpr()
+		if err != nil {
+			return CaseValue{}, err
+		}
+		cv.Mask = mask
+	}
+	return cv, nil
+}
+
+func (p *Parser) parseSelectCase(nkeys int) (SelectCase, error) {
+	pos := p.cur().Pos
+	var vals []CaseValue
+	if p.accept(TokLParen) {
+		for {
+			cv, err := p.parseCaseValue()
+			if err != nil {
+				return SelectCase{}, err
+			}
+			vals = append(vals, cv)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return SelectCase{}, err
+		}
+	} else {
+		cv, err := p.parseCaseValue()
+		if err != nil {
+			return SelectCase{}, err
+		}
+		vals = append(vals, cv)
+	}
+	if len(vals) != nkeys {
+		return SelectCase{}, p.errorf(pos, "select case has %d values, want %d", len(vals), nkeys)
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return SelectCase{}, err
+	}
+	target, err := p.expect(TokIdent)
+	if err != nil {
+		return SelectCase{}, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return SelectCase{}, err
+	}
+	return SelectCase{Values: vals, Target: target.Text, Pos: pos}, nil
+}
+
+// ------------------------------------------------------------ controls --
+
+func (p *Parser) parseControl() (*ControlDecl, error) {
+	pos := p.next().Pos // 'control'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.parseParams()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	decl := &ControlDecl{Name: name.Text, Params: params, Pos: pos}
+	for !p.peekKind(TokRBrace) {
+		t := p.cur()
+		switch {
+		case p.peekIdent("action"):
+			a, err := p.parseAction()
+			if err != nil {
+				return nil, err
+			}
+			decl.Actions = append(decl.Actions, a)
+		case p.peekIdent("table"):
+			tb, err := p.parseTable()
+			if err != nil {
+				return nil, err
+			}
+			decl.Tables = append(decl.Tables, tb)
+		case p.peekIdent("apply"):
+			p.pos++
+			body, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			decl.Apply = body
+		case p.peekIdent("register") || p.peekIdent("counter") || p.peekIdent("meter"):
+			l, err := p.parseExternLocal()
+			if err != nil {
+				return nil, err
+			}
+			decl.Locals = append(decl.Locals, l)
+		case t.Kind == TokIdent:
+			// control-level variable: Type name [= init];
+			l, err := p.parseVarLocal()
+			if err != nil {
+				return nil, err
+			}
+			decl.Locals = append(decl.Locals, l)
+		default:
+			return nil, p.errorf(t.Pos, "unexpected token %q in control body", t.Text)
+		}
+	}
+	p.next() // '}'
+	if decl.Apply == nil {
+		return nil, p.errorf(pos, "control %s has no apply block", decl.Name)
+	}
+	return decl, nil
+}
+
+func (p *Parser) parseAction() (*ActionDecl, error) {
+	pos := p.next().Pos // 'action'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.parseParams()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ActionDecl{Name: name.Text, Params: params, Body: body.Stmts, Pos: pos}, nil
+}
+
+func (p *Parser) parseExternLocal() (*LocalDecl, error) {
+	kindTok := p.next()
+	var kind LocalKind
+	switch kindTok.Text {
+	case "register":
+		kind = LocalRegister
+	case "counter":
+		kind = LocalCounter
+	case "meter":
+		kind = LocalMeter
+	}
+	l := &LocalDecl{Kind: kind, Pos: kindTok.Pos}
+	if p.accept(TokLt) { // register<bit<W>>
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		l.Type = ty
+		if err := p.expectGt(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	first := true
+	for !p.peekKind(TokRParen) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			l.Size = e
+			first = false
+		} else {
+			l.ExternAr = append(l.ExternAr, e)
+		}
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	l.Name = name.Text
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func (p *Parser) parseVarLocal() (*LocalDecl, error) {
+	pos := p.cur().Pos
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	l := &LocalDecl{Kind: LocalVar, Name: name.Text, Type: ty, Pos: pos}
+	if p.accept(TokAssign) {
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		l.Init = init
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func (p *Parser) parseTable() (*TableDecl, error) {
+	pos := p.next().Pos // 'table'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	tbl := &TableDecl{Name: name.Text, Pos: pos}
+	for !p.peekKind(TokRBrace) {
+		prop := p.cur()
+		isConst := false
+		if prop.Kind == TokIdent && prop.Text == "const" {
+			isConst = true
+			p.pos++
+			prop = p.cur()
+		}
+		if prop.Kind != TokIdent {
+			return nil, p.errorf(prop.Pos, "expected table property, found %q", prop.Text)
+		}
+		switch prop.Text {
+		case "key":
+			p.pos++
+			if _, err := p.expect(TokAssign); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokLBrace); err != nil {
+				return nil, err
+			}
+			for !p.peekKind(TokRBrace) {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokColon); err != nil {
+					return nil, err
+				}
+				mk, err := p.expect(TokIdent)
+				if err != nil {
+					return nil, err
+				}
+				var match MatchKind
+				switch mk.Text {
+				case "exact":
+					match = MatchExact
+				case "lpm":
+					match = MatchLPM
+				case "ternary":
+					match = MatchTernary
+				default:
+					return nil, p.errorf(mk.Pos, "unsupported match kind %q", mk.Text)
+				}
+				if _, err := p.expect(TokSemi); err != nil {
+					return nil, err
+				}
+				tbl.Keys = append(tbl.Keys, TableKey{Expr: e, Match: match, Pos: mk.Pos})
+			}
+			p.next() // '}'
+			p.accept(TokSemi)
+		case "actions":
+			p.pos++
+			if _, err := p.expect(TokAssign); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokLBrace); err != nil {
+				return nil, err
+			}
+			for !p.peekKind(TokRBrace) {
+				a, err := p.expect(TokIdent)
+				if err != nil {
+					return nil, err
+				}
+				tbl.Actions = append(tbl.Actions, a.Text)
+				if _, err := p.expect(TokSemi); err != nil {
+					return nil, err
+				}
+			}
+			p.next() // '}'
+			p.accept(TokSemi)
+		case "size":
+			p.pos++
+			if _, err := p.expect(TokAssign); err != nil {
+				return nil, err
+			}
+			n, err := p.expect(TokNumber)
+			if err != nil {
+				return nil, err
+			}
+			v, _, err := ParseNumber(n.Text)
+			if err != nil {
+				return nil, p.errorf(n.Pos, "%v", err)
+			}
+			tbl.Size = int(v)
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+		case "default_action":
+			p.pos++
+			if _, err := p.expect(TokAssign); err != nil {
+				return nil, err
+			}
+			ac, err := p.parseActionCall()
+			if err != nil {
+				return nil, err
+			}
+			tbl.DefaultAction = &ac
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+		case "entries":
+			if !isConst {
+				return nil, p.errorf(prop.Pos, "entries must be declared const")
+			}
+			p.pos++
+			if _, err := p.expect(TokAssign); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokLBrace); err != nil {
+				return nil, err
+			}
+			for !p.peekKind(TokRBrace) {
+				ent, err := p.parseEntry()
+				if err != nil {
+					return nil, err
+				}
+				tbl.ConstEntries = append(tbl.ConstEntries, ent)
+			}
+			p.next() // '}'
+			p.accept(TokSemi)
+		default:
+			return nil, p.errorf(prop.Pos, "unsupported table property %q", prop.Text)
+		}
+	}
+	p.next() // '}'
+	return tbl, nil
+}
+
+func (p *Parser) parseActionCall() (ActionCall, error) {
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return ActionCall{}, err
+	}
+	ac := ActionCall{Name: name.Text, Pos: name.Pos}
+	if p.accept(TokLParen) {
+		for !p.peekKind(TokRParen) {
+			e, err := p.parseExpr()
+			if err != nil {
+				return ActionCall{}, err
+			}
+			ac.Args = append(ac.Args, e)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return ActionCall{}, err
+		}
+	}
+	return ac, nil
+}
+
+func (p *Parser) parseEntry() (Entry, error) {
+	pos := p.cur().Pos
+	var keys []CaseValue
+	if p.accept(TokLParen) {
+		for {
+			cv, err := p.parseCaseValue()
+			if err != nil {
+				return Entry{}, err
+			}
+			keys = append(keys, cv)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return Entry{}, err
+		}
+	} else {
+		cv, err := p.parseCaseValue()
+		if err != nil {
+			return Entry{}, err
+		}
+		keys = append(keys, cv)
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return Entry{}, err
+	}
+	ac, err := p.parseActionCall()
+	if err != nil {
+		return Entry{}, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return Entry{}, err
+	}
+	return Entry{Keys: keys, Action: ac, Pos: pos}, nil
+}
+
+// ------------------------------------------------------------- statements --
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: lb.Pos}
+	for !p.peekKind(TokRBrace) {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.next() // '}'
+	return blk, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokLBrace:
+		return p.parseBlock()
+	case t.Kind == TokAt:
+		return p.parseAnnotationStmt()
+	case p.peekIdent("if"):
+		return p.parseIf()
+	case p.peekIdent("exit"):
+		p.pos++
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ExitStmt{Pos: t.Pos}, nil
+	case p.peekIdent("return"):
+		p.pos++
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Pos: t.Pos}, nil
+	case p.peekIdent("bit") || p.peekIdent("bool"):
+		return p.parseVarDeclStmt()
+	case t.Kind == TokIdent && p.at(1).Kind == TokIdent && !IsKeyword(t.Text):
+		// "TypeName varName ..." — local declaration with a named type.
+		return p.parseVarDeclStmt()
+	default:
+		// Assignment or call statement.
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(TokAssign) {
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{LHS: e, RHS: rhs, Pos: t.Pos}, nil
+		}
+		call, ok := e.(*CallExpr)
+		if !ok {
+			return nil, p.errorf(t.Pos, "expression statement must be a call")
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &CallStmt{Call: call, Pos: t.Pos}, nil
+	}
+}
+
+func (p *Parser) parseVarDeclStmt() (Stmt, error) {
+	pos := p.cur().Pos
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	st := &VarDeclStmt{Name: name.Text, Type: ty, Pos: pos}
+	if p.accept(TokAssign) {
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Init = init
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// parseAnnotationStmt handles @assert("...") and @assume(expr).
+func (p *Parser) parseAnnotationStmt() (Stmt, error) {
+	pos := p.next().Pos // '@'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	switch name.Text {
+	case "assert":
+		s, err := p.expect(TokString)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		p.accept(TokSemi)
+		return &AssertStmt{Text: s.Text, Pos: pos}, nil
+	case "assume":
+		var cond Expr
+		if p.peekKind(TokString) {
+			// Also accept @assume("expr") for symmetry: the string body
+			// is parsed as a P4 expression.
+			s := p.next()
+			var err error
+			cond, err = ParseExprString(p.file, s.Text)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			var err error
+			cond, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		p.accept(TokSemi)
+		return &AssumeStmt{Cond: cond, Pos: pos}, nil
+	default:
+		return nil, p.errorf(name.Pos, "unsupported annotation @%s", name.Text)
+	}
+}
+
+// ParseExprString parses a standalone P4 expression (used for @assume
+// bodies supplied as strings and for rule files).
+func ParseExprString(file, src string) (Expr, error) {
+	toks, err := Tokenize(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{file: file, toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.peekKind(TokEOF) {
+		return nil, p.errorf(p.cur().Pos, "trailing input after expression")
+	}
+	return e, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	pos := p.next().Pos // 'if'
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then, Pos: pos}
+	if p.peekIdent("else") {
+		p.pos++
+		if p.peekIdent("if") {
+			els, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+// ------------------------------------------------------------ expressions --
+
+// Binary operator precedence, loosest first.
+var binPrec = map[TokenKind]int{
+	TokOrOr: 1, TokAndAnd: 2,
+	TokEq: 3, TokNe: 3,
+	TokLt: 4, TokLe: 4, TokGt: 4, TokGe: 4,
+	TokPipe: 5, TokCaret: 6, TokAmp: 7,
+	TokShl: 8, TokShr: 8,
+	TokPlus: 9, TokMinus: 9,
+	TokStar: 10, TokSlash: 10, TokPercent: 10,
+}
+
+var binOps = map[TokenKind]BinaryOp{
+	TokOrOr: BinLOr, TokAndAnd: BinLAnd, TokEq: BinEq, TokNe: BinNe,
+	TokLt: BinLt, TokLe: BinLe, TokGt: BinGt, TokGe: BinGe,
+	TokPipe: BinOr, TokCaret: BinXor, TokAmp: BinAnd,
+	TokShl: BinShl, TokShr: BinShr, TokPlus: BinAdd, TokMinus: BinSub,
+	TokStar: BinMul, TokSlash: BinDiv, TokPercent: BinMod,
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseTernary() }
+
+func (p *Parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(TokQuestion) {
+		return cond, nil
+	}
+	then, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	els, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Ternary{Cond: cond, Then: then, Else: els, Pos: cond.Position()}, nil
+}
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.cur().Kind
+		prec, ok := binPrec[k]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		// "&&&" (key-set mask) lexes as "&&" followed by "&"; it is not a
+		// binary operator, so stop and let parseCaseValue consume it.
+		if k == TokAndAnd && p.at(1).Kind == TokAmp {
+			return lhs, nil
+		}
+		op := binOps[k]
+		p.pos++
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: op, X: lhs, Y: rhs, Pos: lhs.Position()}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNot:
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: UnNot, X: x, Pos: t.Pos}, nil
+	case TokTilde:
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: UnBitNot, X: x, Pos: t.Pos}, nil
+	case TokMinus:
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: UnNeg, X: x, Pos: t.Pos}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(TokDot):
+			name, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			e = &Member{X: e, Name: name.Text, Pos: name.Pos}
+		case p.peekKind(TokLParen):
+			p.pos++
+			call := &CallExpr{Fun: e, Pos: e.Position()}
+			for !p.peekKind(TokRParen) {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			e = call
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.pos++
+		v, w, err := ParseNumber(t.Text)
+		if err != nil {
+			return nil, p.errorf(t.Pos, "%v", err)
+		}
+		return &NumberLit{Value: v, Width: w, Pos: t.Pos}, nil
+	case TokIdent:
+		switch t.Text {
+		case "true":
+			p.pos++
+			return &BoolLit{Value: true, Pos: t.Pos}, nil
+		case "false":
+			p.pos++
+			return &BoolLit{Value: false, Pos: t.Pos}, nil
+		}
+		p.pos++
+		return &Ident{Name: t.Text, Pos: t.Pos}, nil
+	case TokLParen:
+		// Cast or parenthesized expression.
+		if p.at(1).Kind == TokIdent && (p.at(1).Text == "bit" || p.at(1).Text == "bool") {
+			p.pos++
+			ty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{Type: ty, X: x, Pos: t.Pos}, nil
+		}
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errorf(t.Pos, "expected expression, found %q", t.Text)
+}

@@ -1,0 +1,128 @@
+package p4
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestNoPanicsOnMutatedInput: randomly truncating, deleting and swapping
+// chunks of a valid program must never panic the frontend — every outcome
+// is either a parsed program or a positioned error.
+func TestNoPanicsOnMutatedInput(t *testing.T) {
+	base := sampleProgram
+	r := rand.New(rand.NewSource(2024))
+	for i := 0; i < 500; i++ {
+		src := mutate(r, base)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on mutated input: %v\n---\n%s", p, src)
+				}
+			}()
+			prog, err := Parse("fuzz.p4", src)
+			if err == nil {
+				_ = prog.Check() // must also not panic
+			}
+		}()
+	}
+}
+
+func mutate(r *rand.Rand, s string) string {
+	b := []byte(s)
+	switch r.Intn(5) {
+	case 0: // truncate
+		if len(b) > 0 {
+			b = b[:r.Intn(len(b))]
+		}
+	case 1: // delete a span
+		if len(b) > 10 {
+			start := r.Intn(len(b) - 10)
+			end := start + r.Intn(10)
+			b = append(b[:start], b[end:]...)
+		}
+	case 2: // duplicate a span
+		if len(b) > 10 {
+			start := r.Intn(len(b) - 10)
+			end := start + r.Intn(10)
+			b = append(b[:end:end], append(append([]byte{}, b[start:end]...), b[end:]...)...)
+		}
+	case 3: // flip characters to structural tokens
+		for j := 0; j < 5 && len(b) > 0; j++ {
+			b[r.Intn(len(b))] = "{}();<>=!"[r.Intn(9)]
+		}
+	case 4: // splice two random halves
+		if len(b) > 2 {
+			cut1, cut2 := r.Intn(len(b)), r.Intn(len(b))
+			if cut1 > cut2 {
+				cut1, cut2 = cut2, cut1
+			}
+			b = append(b[:cut1:cut1], b[cut2:]...)
+		}
+	}
+	return string(b)
+}
+
+func TestLexerEdgeCases(t *testing.T) {
+	// Underscores in numbers.
+	v, w, err := ParseNumber("16w0xFF_FF")
+	if err != nil || v != 0xffff || w != 16 {
+		t.Fatalf("underscored literal: v=%#x w=%d err=%v", v, w, err)
+	}
+	// String escapes.
+	toks, err := Tokenize("t", `@assert("a \"quoted\" string")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, tk := range toks {
+		if tk.Kind == TokString && tk.Text == `a "quoted" string` {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("escaped string not lexed: %v", toks)
+	}
+	// Unterminated string / comment.
+	if _, err := Tokenize("t", `"never ends`); err == nil {
+		t.Fatal("unterminated string should error")
+	}
+	if _, err := Tokenize("t", `/* never ends`); err == nil {
+		t.Fatal("unterminated comment should error")
+	}
+	// Position tracking crosses lines.
+	toks, _ = Tokenize("t", "a\n  b")
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Fatalf("position = %v, want 2:3", toks[1].Pos)
+	}
+	// Unexpected character is a positioned error.
+	_, err = Tokenize("t", "a $ b")
+	if err == nil || !strings.Contains(err.Error(), "1:3") {
+		t.Fatalf("unexpected char error = %v", err)
+	}
+}
+
+func TestDeepNestingNoOverflow(t *testing.T) {
+	// Deeply nested expressions should parse without stack issues.
+	expr := strings.Repeat("(", 200) + "1" + strings.Repeat(")", 200)
+	e, err := ParseExprString("deep", expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*NumberLit); !ok {
+		t.Fatalf("want NumberLit, got %T", e)
+	}
+	// Deeply nested if/else chains.
+	var b strings.Builder
+	b.WriteString("control C() { apply {\n")
+	for i := 0; i < 100; i++ {
+		b.WriteString("if (1 == 1) {\n")
+	}
+	for i := 0; i < 100; i++ {
+		b.WriteString("}\n")
+	}
+	b.WriteString("} }\nV1Switch(C) main;")
+	if _, err := Parse("deep.p4", b.String()); err != nil {
+		t.Fatal(err)
+	}
+}

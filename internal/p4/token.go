@@ -1,0 +1,107 @@
+// Package p4 implements the frontend for the P4_16 subset verified by this
+// tool: lexer, parser, AST and type checker. It substitutes for the paper's
+// use of the p4c reference compiler, whose JSON output the original
+// prototype consumed (DESIGN.md §2).
+package p4
+
+import "fmt"
+
+// TokenKind enumerates lexical token classes.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber // integer literal, possibly width-prefixed (8w0xff)
+	TokString // double-quoted string (annotation bodies)
+
+	// Punctuation and operators.
+	TokLBrace     // {
+	TokRBrace     // }
+	TokLParen     // (
+	TokRParen     // )
+	TokLBracket   // [
+	TokRBracket   // ]
+	TokSemi       // ;
+	TokColon      // :
+	TokComma      // ,
+	TokDot        // .
+	TokAssign     // =
+	TokEq         // ==
+	TokNe         // !=
+	TokLt         // <
+	TokLe         // <=
+	TokGt         // >
+	TokGe         // >=
+	TokShl        // <<
+	TokShr        // >>
+	TokAndAnd     // &&
+	TokOrOr       // ||
+	TokNot        // !
+	TokTilde      // ~
+	TokAmp        // &
+	TokPipe       // |
+	TokCaret      // ^
+	TokPlus       // +
+	TokMinus      // -
+	TokStar       // *
+	TokSlash      // /
+	TokPercent    // %
+	TokQuestion   // ?
+	TokAt         // @
+	TokUnderscore // _ (don't-care in select/entries)
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokNumber: "number",
+	TokString: "string", TokLBrace: "{", TokRBrace: "}", TokLParen: "(",
+	TokRParen: ")", TokLBracket: "[", TokRBracket: "]", TokSemi: ";",
+	TokColon: ":", TokComma: ",", TokDot: ".", TokAssign: "=", TokEq: "==",
+	TokNe: "!=", TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+	TokShl: "<<", TokShr: ">>", TokAndAnd: "&&", TokOrOr: "||", TokNot: "!",
+	TokTilde: "~", TokAmp: "&", TokPipe: "|", TokCaret: "^", TokPlus: "+",
+	TokMinus: "-", TokStar: "*", TokSlash: "/", TokPercent: "%",
+	TokQuestion: "?", TokAt: "@", TokUnderscore: "_",
+}
+
+// String returns a printable token-kind name.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string // raw text for idents/numbers/strings (strings unquoted)
+	Pos  Pos
+}
+
+// keywords recognized by the parser (kept as idents at the lexer level but
+// listed here for IsKeyword checks).
+var keywords = map[string]bool{
+	"header": true, "struct": true, "typedef": true, "const": true,
+	"parser": true, "control": true, "state": true, "transition": true,
+	"select": true, "table": true, "key": true, "actions": true,
+	"size": true, "default_action": true, "entries": true, "action": true,
+	"apply": true, "if": true, "else": true, "return": true, "exit": true,
+	"bit": true, "bool": true, "true": true, "false": true, "in": true,
+	"out": true, "inout": true, "accept": true, "reject": true,
+	"default": true, "register": true, "counter": true, "meter": true,
+	"enum": true, "error": true, "switch": true,
+}
+
+// IsKeyword reports whether an identifier spelling is reserved.
+func IsKeyword(s string) bool { return keywords[s] }

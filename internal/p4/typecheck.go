@@ -1,0 +1,751 @@
+package p4
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Check resolves names and types across the program, evaluates const
+// declarations, validates parser/control structure and decorates expression
+// nodes with their types. It must be called before translation.
+func (prog *Program) Check() error {
+	c := &checker{prog: prog}
+	c.run()
+	if len(c.errs) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(c.errs))
+	for i, e := range c.errs {
+		msgs[i] = e.Error()
+	}
+	return fmt.Errorf("type errors:\n  %s", strings.Join(msgs, "\n  "))
+}
+
+// StandardMetadataFields is the builtin v1model-style standard metadata
+// layout. mark_to_drop sets egress_spec to DropPort.
+var StandardMetadataFields = []Field{
+	{Name: "ingress_port", Type: &BitType{Width: 9}},
+	{Name: "egress_spec", Type: &BitType{Width: 9}},
+	{Name: "egress_port", Type: &BitType{Width: 9}},
+	{Name: "instance_type", Type: &BitType{Width: 32}},
+	{Name: "packet_length", Type: &BitType{Width: 32}},
+	{Name: "mcast_grp", Type: &BitType{Width: 16}},
+	{Name: "egress_rid", Type: &BitType{Width: 16}},
+	{Name: "checksum_error", Type: &BitType{Width: 1}},
+	{Name: "priority", Type: &BitType{Width: 3}},
+}
+
+// DropPort is the egress_spec value that marks a packet for dropping.
+const DropPort = 511
+
+type checker struct {
+	prog *Program
+	errs []error
+}
+
+func (c *checker) errorf(pos Pos, format string, args ...any) {
+	c.errs = append(c.errs, &SyntaxError{File: c.prog.File, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) run() {
+	p := c.prog
+	p.headerByName = map[string]*HeaderDecl{}
+	p.structByName = map[string]*StructDecl{}
+	p.constByName = map[string]*ConstDecl{}
+	p.typedefs = map[string]Type{}
+
+	for _, h := range p.Headers {
+		if p.headerByName[h.Name] != nil {
+			c.errorf(h.Pos, "duplicate header %s", h.Name)
+		}
+		p.headerByName[h.Name] = h
+	}
+	for _, s := range p.Structs {
+		if p.structByName[s.Name] != nil {
+			c.errorf(s.Pos, "duplicate struct %s", s.Name)
+		}
+		p.structByName[s.Name] = s
+	}
+	if p.structByName["standard_metadata_t"] == nil {
+		std := &StructDecl{Name: "standard_metadata_t", Fields: StandardMetadataFields}
+		p.Structs = append(p.Structs, std)
+		p.structByName[std.Name] = std
+	}
+	for _, td := range p.Typedefs {
+		p.typedefs[td.Name] = td.Type
+	}
+	for _, cd := range p.Consts {
+		rt := p.ResolveType(cd.Type)
+		bt, ok := rt.(*BitType)
+		if !ok {
+			c.errorf(cd.Pos, "const %s must have a bit<N> type", cd.Name)
+			continue
+		}
+		v, ok := c.constEval(cd.Value)
+		if !ok {
+			c.errorf(cd.Pos, "const %s initializer is not a constant expression", cd.Name)
+			continue
+		}
+		cd.Width = bt.Width
+		cd.Resolved = v & maskOf(bt.Width)
+		p.constByName[cd.Name] = cd
+	}
+
+	// Resolve header/struct field types eagerly.
+	for _, h := range p.Headers {
+		for i := range h.Fields {
+			h.Fields[i].Type = c.resolveFieldType(h.Fields[i].Type, h.Fields[i].Pos)
+		}
+	}
+	for _, s := range p.Structs {
+		for i := range s.Fields {
+			s.Fields[i].Type = c.resolveFieldType(s.Fields[i].Type, s.Fields[i].Pos)
+		}
+	}
+
+	for _, pd := range p.Parsers {
+		c.checkParser(pd)
+	}
+	for _, cd := range p.Controls {
+		c.checkControl(cd)
+	}
+	if p.Package != nil {
+		c.checkPackage(p.Package)
+	}
+}
+
+func maskOf(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+// ResolveType chases typedefs and names to a concrete type.
+func (p *Program) ResolveType(t Type) Type {
+	for i := 0; i < 32; i++ {
+		nt, ok := t.(*NamedType)
+		if !ok {
+			return t
+		}
+		if under, ok := p.typedefs[nt.Name]; ok {
+			t = under
+			continue
+		}
+		if h, ok := p.headerByName[nt.Name]; ok {
+			return &HeaderRef{Decl: h}
+		}
+		if s, ok := p.structByName[nt.Name]; ok {
+			return &StructRef{Decl: s}
+		}
+		return t // unresolved: caller reports
+	}
+	return t
+}
+
+// Header returns a header declaration by name.
+func (p *Program) Header(name string) *HeaderDecl { return p.headerByName[name] }
+
+// Struct returns a struct declaration by name.
+func (p *Program) Struct(name string) *StructDecl { return p.structByName[name] }
+
+// ConstValue returns the resolved value and width of a global const.
+func (p *Program) ConstValue(name string) (uint64, int, bool) {
+	cd, ok := p.constByName[name]
+	if !ok {
+		return 0, 0, false
+	}
+	return cd.Resolved, cd.Width, true
+}
+
+// EvalConstExpr folds a constant expression (number literals, global
+// consts, arithmetic) to a value. It is used by the translator for const
+// entry keys, action arguments and extern sizes.
+func (p *Program) EvalConstExpr(e Expr) (uint64, bool) {
+	c := &checker{prog: p}
+	return c.constEval(e)
+}
+
+// TypeWidth returns the bit width of a scalar type, or 0 for aggregates.
+func (p *Program) TypeWidth(t Type) int {
+	switch rt := p.ResolveType(t).(type) {
+	case *BitType:
+		return rt.Width
+	case *BoolType:
+		return 1
+	}
+	return 0
+}
+
+func (c *checker) resolveFieldType(t Type, pos Pos) Type {
+	rt := c.prog.ResolveType(t)
+	switch rt.(type) {
+	case *BitType, *BoolType, *HeaderRef, *StructRef:
+		return rt
+	}
+	if nt, ok := rt.(*NamedType); ok {
+		c.errorf(pos, "unknown type %s", nt.Name)
+	}
+	return rt
+}
+
+// constEval folds a constant expression using global consts.
+func (c *checker) constEval(e Expr) (uint64, bool) {
+	switch x := e.(type) {
+	case *NumberLit:
+		return x.Value, true
+	case *BoolLit:
+		if x.Value {
+			return 1, true
+		}
+		return 0, true
+	case *Ident:
+		if cd, ok := c.prog.constByName[x.Name]; ok {
+			return cd.Resolved, true
+		}
+		return 0, false
+	case *Unary:
+		v, ok := c.constEval(x.X)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case UnNot:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		case UnBitNot:
+			return ^v, true
+		case UnNeg:
+			return -v, true
+		}
+	case *Binary:
+		a, ok1 := c.constEval(x.X)
+		b, ok2 := c.constEval(x.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch x.Op {
+		case BinAdd:
+			return a + b, true
+		case BinSub:
+			return a - b, true
+		case BinMul:
+			return a * b, true
+		case BinShl:
+			return a << b, true
+		case BinShr:
+			return a >> b, true
+		case BinAnd:
+			return a & b, true
+		case BinOr:
+			return a | b, true
+		case BinXor:
+			return a ^ b, true
+		}
+	case *CastExpr:
+		v, ok := c.constEval(x.X)
+		if !ok {
+			return 0, false
+		}
+		if w := c.prog.TypeWidth(x.Type); w > 0 {
+			return v & maskOf(w), true
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// scope is a lexical environment mapping names to types, with markers for
+// tables, actions and extern instances.
+type scope struct {
+	parent  *scope
+	vars    map[string]Type
+	control *ControlDecl // innermost control, for table/action lookup
+	parser  *ParserDecl
+}
+
+func newScope(parent *scope) *scope {
+	s := &scope{parent: parent, vars: map[string]Type{}}
+	if parent != nil {
+		s.control = parent.control
+		s.parser = parent.parser
+	}
+	return s
+}
+
+func (s *scope) lookup(name string) (Type, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if t, ok := cur.vars[name]; ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (c *checker) declareParams(sc *scope, params []Param) {
+	for i := range params {
+		pr := &params[i]
+		switch nt := pr.Type.(type) {
+		case *NamedType:
+			switch nt.Name {
+			case "packet_in", "packet_out":
+				sc.vars[pr.Name] = nt // opaque packet handles
+				continue
+			}
+		}
+		rt := c.prog.ResolveType(pr.Type)
+		if nt, ok := rt.(*NamedType); ok {
+			c.errorf(pr.Pos, "unknown parameter type %s", nt.Name)
+		}
+		pr.Type = rt
+		sc.vars[pr.Name] = rt
+	}
+}
+
+func (c *checker) checkParser(pd *ParserDecl) {
+	sc := newScope(nil)
+	sc.parser = pd
+	c.declareParams(sc, pd.Params)
+	if pd.State("start") == nil {
+		c.errorf(pd.Pos, "parser %s has no start state", pd.Name)
+	}
+	seen := map[string]bool{}
+	for _, st := range pd.States {
+		if seen[st.Name] {
+			c.errorf(st.Pos, "duplicate state %s", st.Name)
+		}
+		seen[st.Name] = true
+	}
+	for _, st := range pd.States {
+		ssc := newScope(sc)
+		for _, s := range st.Body {
+			c.checkStmt(ssc, s)
+		}
+		switch tr := st.Transition.(type) {
+		case *TransDirect:
+			c.checkStateTarget(pd, tr.Target, tr.Pos)
+		case *TransSelect:
+			for _, e := range tr.Exprs {
+				c.checkExpr(ssc, e)
+			}
+			for _, cs := range tr.Cases {
+				c.checkStateTarget(pd, cs.Target, cs.Pos)
+				for _, v := range cs.Values {
+					if v.Expr != nil {
+						c.checkExpr(ssc, v.Expr)
+					}
+					if v.Mask != nil {
+						c.checkExpr(ssc, v.Mask)
+					}
+				}
+			}
+		case nil:
+			// implicit accept
+		}
+	}
+}
+
+func (c *checker) checkStateTarget(pd *ParserDecl, target string, pos Pos) {
+	if target == "accept" || target == "reject" {
+		return
+	}
+	if pd.State(target) == nil {
+		c.errorf(pos, "transition to unknown state %s", target)
+	}
+}
+
+func (c *checker) checkControl(cd *ControlDecl) {
+	sc := newScope(nil)
+	sc.control = cd
+	c.declareParams(sc, cd.Params)
+
+	for _, l := range cd.Locals {
+		switch l.Kind {
+		case LocalVar:
+			rt := c.prog.ResolveType(l.Type)
+			l.Type = rt
+			sc.vars[l.Name] = rt
+			if l.Init != nil {
+				c.checkExpr(sc, l.Init)
+			}
+		default:
+			if l.Type != nil {
+				l.Type = c.prog.ResolveType(l.Type)
+			}
+			sc.vars[l.Name] = &NamedType{Name: externKindName(l.Kind)}
+		}
+	}
+
+	seenAct := map[string]bool{"NoAction": true}
+	for _, a := range cd.Actions {
+		if seenAct[a.Name] {
+			c.errorf(a.Pos, "duplicate action %s", a.Name)
+		}
+		seenAct[a.Name] = true
+		asc := newScope(sc)
+		c.declareParams(asc, a.Params)
+		for _, s := range a.Body {
+			c.checkStmt(asc, s)
+		}
+	}
+
+	seenTbl := map[string]bool{}
+	for _, t := range cd.Tables {
+		if seenTbl[t.Name] {
+			c.errorf(t.Pos, "duplicate table %s", t.Name)
+		}
+		seenTbl[t.Name] = true
+		for _, k := range t.Keys {
+			c.checkExpr(sc, k.Expr)
+		}
+		if len(t.Actions) == 0 {
+			c.errorf(t.Pos, "table %s lists no actions", t.Name)
+		}
+		for _, an := range t.Actions {
+			if an != "NoAction" && cd.Action(an) == nil {
+				c.errorf(t.Pos, "table %s references unknown action %s", t.Name, an)
+			}
+		}
+		if t.DefaultAction != nil {
+			if !actionListed(t, t.DefaultAction.Name) {
+				c.errorf(t.DefaultAction.Pos, "default_action %s is not in the actions list of %s", t.DefaultAction.Name, t.Name)
+			}
+		}
+		for _, ent := range t.ConstEntries {
+			if len(ent.Keys) != len(t.Keys) {
+				c.errorf(ent.Pos, "entry has %d keys, table %s has %d", len(ent.Keys), t.Name, len(t.Keys))
+			}
+			if !actionListed(t, ent.Action.Name) {
+				c.errorf(ent.Pos, "entry action %s is not in the actions list of %s", ent.Action.Name, t.Name)
+			}
+			for _, kv := range ent.Keys {
+				if kv.Expr != nil {
+					if _, ok := c.constEval(kv.Expr); !ok {
+						c.errorf(ent.Pos, "entry key is not a constant expression")
+					}
+				}
+			}
+			for _, arg := range ent.Action.Args {
+				if _, ok := c.constEval(arg); !ok {
+					c.errorf(ent.Pos, "entry action argument is not a constant expression")
+				}
+			}
+		}
+	}
+
+	c.checkBlock(newScope(sc), cd.Apply)
+}
+
+func externKindName(k LocalKind) string {
+	switch k {
+	case LocalRegister:
+		return "register"
+	case LocalCounter:
+		return "counter"
+	case LocalMeter:
+		return "meter"
+	}
+	return "var"
+}
+
+func actionListed(t *TableDecl, name string) bool {
+	for _, a := range t.Actions {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) checkPackage(pk *PackageDecl) {
+	if len(pk.Args) < 2 {
+		c.errorf(pk.Pos, "package instantiation needs at least a parser and a control")
+		return
+	}
+	if c.findParser(pk.Args[0]) == nil {
+		c.errorf(pk.Pos, "package argument %s is not a declared parser", pk.Args[0])
+	}
+	for _, a := range pk.Args[1:] {
+		if c.findControl(a) == nil {
+			c.errorf(pk.Pos, "package argument %s is not a declared control", a)
+		}
+	}
+}
+
+func (c *checker) findParser(name string) *ParserDecl {
+	for _, p := range c.prog.Parsers {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+func (c *checker) findControl(name string) *ControlDecl {
+	for _, cd := range c.prog.Controls {
+		if cd.Name == name {
+			return cd
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------------- statements --
+
+func (c *checker) checkBlock(sc *scope, b *BlockStmt) {
+	inner := newScope(sc)
+	for _, s := range b.Stmts {
+		c.checkStmt(inner, s)
+	}
+}
+
+func (c *checker) checkStmt(sc *scope, s Stmt) {
+	switch st := s.(type) {
+	case *BlockStmt:
+		c.checkBlock(sc, st)
+	case *AssignStmt:
+		lt := c.checkExpr(sc, st.LHS)
+		c.checkExpr(sc, st.RHS)
+		if !isLValue(st.LHS) {
+			c.errorf(st.Pos, "left side of assignment is not assignable")
+		}
+		if lt != nil {
+			if _, ok := lt.(*HeaderRef); ok {
+				c.errorf(st.Pos, "cannot assign whole headers; assign fields")
+			}
+		}
+	case *CallStmt:
+		c.checkCall(sc, st.Call, true)
+	case *IfStmt:
+		c.checkExpr(sc, st.Cond)
+		c.checkBlock(sc, st.Then)
+		if st.Else != nil {
+			c.checkStmt(sc, st.Else)
+		}
+	case *VarDeclStmt:
+		rt := c.prog.ResolveType(st.Type)
+		st.Type = rt
+		if nt, ok := rt.(*NamedType); ok {
+			c.errorf(st.Pos, "unknown type %s", nt.Name)
+		}
+		if st.Init != nil {
+			c.checkExpr(sc, st.Init)
+		}
+		sc.vars[st.Name] = rt
+	case *AssertStmt:
+		// Assertion text is parsed by internal/assertlang at translation
+		// time; nothing to resolve here.
+	case *AssumeStmt:
+		c.checkExpr(sc, st.Cond)
+	case *ExitStmt, *ReturnStmt:
+	}
+}
+
+func isLValue(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident:
+		return true
+	case *Member:
+		return isLValue(x.X)
+	}
+	return false
+}
+
+// ------------------------------------------------------------ expressions --
+
+// checkExpr types an expression; nil means "unknown/opaque".
+func (c *checker) checkExpr(sc *scope, e Expr) Type {
+	switch x := e.(type) {
+	case *NumberLit:
+		if x.Width > 0 {
+			return &BitType{Width: x.Width}
+		}
+		return nil // untyped literal; width adapts to context
+	case *BoolLit:
+		return &BoolType{}
+	case *Ident:
+		if t, ok := sc.lookup(x.Name); ok {
+			x.Ty = t
+			return t
+		}
+		if cd, ok := c.prog.constByName[x.Name]; ok {
+			x.Ty = &BitType{Width: cd.Width}
+			return x.Ty
+		}
+		// Table and action names are valid bare identifiers in call
+		// position; the CallExpr path validates them.
+		if sc.control != nil && (sc.control.Table(x.Name) != nil || sc.control.Action(x.Name) != nil || x.Name == "NoAction") {
+			return nil
+		}
+		c.errorf(x.Pos, "undefined name %s", x.Name)
+		return nil
+	case *Member:
+		// table.apply().hit / .miss yield a bool.
+		if call, ok := x.X.(*CallExpr); ok && (x.Name == "hit" || x.Name == "miss") {
+			if m, ok := call.Fun.(*Member); ok && m.Name == "apply" {
+				c.checkCall(sc, call, false)
+				x.Ty = &BoolType{}
+				return x.Ty
+			}
+		}
+		// Enum-style constants (e.g. CounterType.packets) are opaque.
+		if id, ok := x.X.(*Ident); ok {
+			if _, found := sc.lookup(id.Name); !found && c.prog.constByName[id.Name] == nil {
+				if isEnumNamespace(id.Name) {
+					return nil
+				}
+			}
+		}
+		bt := c.checkExpr(sc, x.X)
+		switch base := bt.(type) {
+		case *StructRef:
+			for _, f := range base.Decl.Fields {
+				if f.Name == x.Name {
+					x.Ty = f.Type
+					return f.Type
+				}
+			}
+			c.errorf(x.Pos, "struct %s has no field %s", base.Decl.Name, x.Name)
+		case *HeaderRef:
+			for _, f := range base.Decl.Fields {
+				if f.Name == x.Name {
+					x.Ty = f.Type
+					return f.Type
+				}
+			}
+			c.errorf(x.Pos, "header %s has no field %s", base.Decl.Name, x.Name)
+		case nil:
+			return nil
+		default:
+			c.errorf(x.Pos, "%s is not a struct or header", PathString(x.X))
+		}
+		return nil
+	case *Unary:
+		t := c.checkExpr(sc, x.X)
+		x.Ty = t
+		return t
+	case *Binary:
+		tx := c.checkExpr(sc, x.X)
+		ty := c.checkExpr(sc, x.Y)
+		switch x.Op {
+		case BinEq, BinNe, BinLt, BinLe, BinGt, BinGe, BinLAnd, BinLOr:
+			x.Ty = &BoolType{}
+		default:
+			if tx != nil {
+				x.Ty = tx
+			} else {
+				x.Ty = ty
+			}
+		}
+		if bx, ok1 := tx.(*BitType); ok1 {
+			if by, ok2 := ty.(*BitType); ok2 && bx.Width != by.Width && !isShift(x.Op) {
+				c.errorf(x.Pos, "width mismatch: bit<%d> vs bit<%d>", bx.Width, by.Width)
+			}
+		}
+		return x.Ty
+	case *Ternary:
+		c.checkExpr(sc, x.Cond)
+		tt := c.checkExpr(sc, x.Then)
+		te := c.checkExpr(sc, x.Else)
+		if tt != nil {
+			x.Ty = tt
+		} else {
+			x.Ty = te
+		}
+		return x.Ty
+	case *CastExpr:
+		c.checkExpr(sc, x.X)
+		return c.prog.ResolveType(x.Type)
+	case *CallExpr:
+		return c.checkCall(sc, x, false)
+	}
+	return nil
+}
+
+func isShift(op BinaryOp) bool { return op == BinShl || op == BinShr }
+
+func isEnumNamespace(name string) bool {
+	switch name {
+	case "CounterType", "MeterType", "HashAlgorithm":
+		return true
+	}
+	return false
+}
+
+// checkCall validates builtin method calls. stmt reports whether the call
+// appears in statement position.
+func (c *checker) checkCall(sc *scope, call *CallExpr, stmt bool) Type {
+	switch fun := call.Fun.(type) {
+	case *Ident:
+		switch fun.Name {
+		case "mark_to_drop":
+			return nil
+		case "NoAction":
+			return nil
+		}
+		if sc.control != nil && sc.control.Action(fun.Name) != nil {
+			act := sc.control.Action(fun.Name)
+			if len(call.Args) != len(act.Params) {
+				c.errorf(call.Pos, "action %s called with %d args, wants %d", fun.Name, len(call.Args), len(act.Params))
+			}
+			for _, a := range call.Args {
+				c.checkExpr(sc, a)
+			}
+			return nil
+		}
+		c.errorf(call.Pos, "call to unknown function %s", fun.Name)
+		return nil
+	case *Member:
+		recvName := PathString(fun.X)
+		switch fun.Name {
+		case "extract", "emit":
+			if len(call.Args) != 1 {
+				c.errorf(call.Pos, "%s wants 1 argument", fun.Name)
+				return nil
+			}
+			at := c.checkExpr(sc, call.Args[0])
+			if _, ok := at.(*HeaderRef); !ok && at != nil {
+				c.errorf(call.Pos, "%s argument must be a header", fun.Name)
+			}
+			return nil
+		case "apply":
+			if sc.control == nil || sc.control.Table(recvName) == nil {
+				c.errorf(call.Pos, "apply on unknown table %s", recvName)
+			}
+			return nil
+		case "isValid":
+			t := c.checkExpr(sc, fun.X)
+			if _, ok := t.(*HeaderRef); !ok && t != nil {
+				c.errorf(call.Pos, "isValid on non-header %s", recvName)
+			}
+			call.Ty = &BoolType{}
+			return call.Ty
+		case "setValid", "setInvalid":
+			t := c.checkExpr(sc, fun.X)
+			if _, ok := t.(*HeaderRef); !ok && t != nil {
+				c.errorf(call.Pos, "%s on non-header %s", fun.Name, recvName)
+			}
+			return nil
+		case "read", "write", "count", "execute_meter":
+			if t, ok := sc.lookup(recvName); ok {
+				if nt, isNamed := t.(*NamedType); isNamed {
+					switch nt.Name {
+					case "register", "counter", "meter":
+						for _, a := range call.Args {
+							c.checkExpr(sc, a)
+						}
+						return nil
+					}
+				}
+			}
+			c.errorf(call.Pos, "%s called on %s, which is not an extern instance", fun.Name, recvName)
+			return nil
+		}
+		c.errorf(call.Pos, "unsupported method %s", fun.Name)
+		return nil
+	}
+	c.errorf(call.Pos, "unsupported call target")
+	return nil
+}

@@ -1,0 +1,228 @@
+package progs
+
+// Dapper re-implements the data-plane TCP performance diagnosis pipeline of
+// Ghasemi et al. [11] at reduced scale: per-flow state in registers, SYN/ACK
+// handling, and an IPv4 forwarding stage.
+//
+// The paper's §5.1 finding is reproduced: Dapper decrements the IPv4 TTL
+// but never checks it before forwarding, so the assertion
+// if(ipv4.ttl == 0, !forward()) — assertion ID 0, placed at the beginning
+// of the ingress block exactly as in the paper — is violated. The two
+// Table 1 register-manipulation properties hold.
+var Dapper = register(&Program{
+	Name:               "dapper",
+	Title:              "Dapper (TCP diagnosis)",
+	ExpectedViolations: []int{0},
+	// The §4.1 scenario: the developer checks properties of connection
+	// setup only, so verification is constrained to SYN packets.
+	Constraint: "@assume(hdr.tcp.syn == 1);",
+	Notes: "TTL-zero forwarding bug (paper §5.1): IPv4 TTL is decremented " +
+		"but never checked before forwarding.",
+	Source: `
+const bit<16> TYPE_IPV4 = 0x0800;
+const bit<8> PROTO_TCP = 6;
+const bit<32> FLOW_SLOTS = 8;
+
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> totalLen;
+    bit<16> identification;
+    bit<3>  flags;
+    bit<13> fragOffset;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> hdrChecksum;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+header tcp_t {
+    bit<16> srcPort;
+    bit<16> dstPort;
+    bit<32> seqNo;
+    bit<32> ackNo;
+    bit<4>  dataOffset;
+    bit<4>  res;
+    bit<1>  cwr;
+    bit<1>  ece;
+    bit<1>  urg;
+    bit<1>  ack;
+    bit<1>  psh;
+    bit<1>  rst;
+    bit<1>  syn;
+    bit<1>  fin;
+    bit<16> window;
+    bit<16> checksum;
+    bit<16> urgentPtr;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t ipv4;
+    tcp_t tcp;
+}
+
+struct metadata_t {
+    bit<32> flow_idx;
+    bit<32> flow_seq;
+    bit<32> flow_ack;
+    bit<8>  flow_state;
+    bit<32> mss_est;
+}
+
+parser DapperParser(packet_in pkt, out headers_t hdr, inout metadata_t meta,
+                    inout standard_metadata_t standard_metadata) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            PROTO_TCP: parse_tcp;
+            default: accept;
+        }
+    }
+    state parse_tcp {
+        pkt.extract(hdr.tcp);
+        // constraint-point
+        transition accept;
+    }
+}
+
+control DapperIngress(inout headers_t hdr, inout metadata_t meta,
+                      inout standard_metadata_t standard_metadata) {
+    register<bit<32>>(8) flow_seq_reg;
+    register<bit<32>>(8) flow_ack_reg;
+    register<bit<8>>(8) flow_state_reg;
+    register<bit<32>>(8) srtt_reg;
+
+    action nop() { }
+    action set_nhop(bit<9> port, bit<48> dmac) {
+        standard_metadata.egress_spec = port;
+        hdr.ethernet.dstAddr = dmac;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    action drop_packet() {
+        mark_to_drop(standard_metadata);
+    }
+    table ipv4_fib {
+        key = { hdr.ipv4.dstAddr : lpm; }
+        actions = { set_nhop; drop_packet; nop; }
+        default_action = drop_packet;
+    }
+    action mark_flow(bit<8> class) {
+        hdr.ipv4.diffserv = class;
+    }
+    table l4_acl {
+        key = { hdr.tcp.dstPort : exact; }
+        actions = { drop_packet; mark_flow; nop; }
+        default_action = nop;
+    }
+    action set_queue(bit<3> q) {
+        standard_metadata.priority = q;
+    }
+    action police() {
+        hdr.ipv4.diffserv = hdr.ipv4.diffserv & 0xFC;
+    }
+    table qos {
+        key = { hdr.ipv4.diffserv : ternary; }
+        actions = { set_queue; police; nop; }
+        default_action = nop;
+    }
+
+    apply {
+        // Paper §5.1: "We placed a set of basic assertions at the
+        // beginning of the ingress control block".
+        @assert("if(ipv4.ttl == 0, !forward())");
+
+        if (hdr.tcp.isValid()) {
+            meta.flow_idx = (hdr.ipv4.srcAddr ^ hdr.ipv4.dstAddr) % FLOW_SLOTS;
+            if (hdr.tcp.syn == 1) {
+                // New flow: record the initial sequence state.
+                @assert("if(traverse_path(), tcp.syn == 1)");
+                flow_state_reg.write(meta.flow_idx, 1);
+                flow_seq_reg.write(meta.flow_idx, hdr.tcp.seqNo);
+                srtt_reg.write(meta.flow_idx, 0);
+            } else {
+                if (hdr.tcp.ack == 1) {
+                    // Established flow: load the recorded state.
+                    @assert("if(traverse_path(), tcp.ack == 1)");
+                    flow_state_reg.read(meta.flow_state, meta.flow_idx);
+                    flow_seq_reg.read(meta.flow_seq, meta.flow_idx);
+                    flow_ack_reg.read(meta.flow_ack, meta.flow_idx);
+                    if (meta.flow_state == 1) {
+                        // Handshake completion: estimate flight size.
+                        if (hdr.tcp.ackNo > meta.flow_seq) {
+                            meta.mss_est = hdr.tcp.ackNo - meta.flow_seq;
+                        }
+                        flow_state_reg.write(meta.flow_idx, 2);
+                    } else {
+                        flow_ack_reg.write(meta.flow_idx, hdr.tcp.ackNo);
+                    }
+                }
+                if (hdr.tcp.fin == 1 || hdr.tcp.rst == 1) {
+                    flow_state_reg.write(meta.flow_idx, 0);
+                }
+            }
+        }
+        if (hdr.tcp.isValid()) {
+            l4_acl.apply();
+            if (hdr.tcp.window == 0) {
+                // Zero-window: receiver-limited flow; remember it.
+                flow_state_reg.write(meta.flow_idx, 3);
+            }
+        }
+        if (hdr.ipv4.isValid()) {
+            qos.apply();
+            ipv4_fib.apply();
+        }
+    }
+}
+
+control DapperEgress(inout headers_t hdr, inout metadata_t meta,
+                     inout standard_metadata_t standard_metadata) {
+    counter(4, CounterType.packets) port_pkts;
+    action sample() {
+        hdr.ipv4.diffserv = hdr.ipv4.diffserv | 0x1;
+    }
+    action no_sample() { }
+    table monitor {
+        key = { standard_metadata.egress_spec : exact; }
+        actions = { sample; no_sample; }
+        default_action = no_sample;
+    }
+    apply {
+        if (hdr.ipv4.isValid()) {
+            port_pkts.count((bit<32>)standard_metadata.egress_spec % 4);
+            monitor.apply();
+            if (hdr.tcp.isValid() && hdr.tcp.ece == 1) {
+                // Congestion experienced: record the flow as limited.
+                hdr.ipv4.diffserv = hdr.ipv4.diffserv | 0x3;
+            }
+        }
+    }
+}
+
+control DapperDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.tcp);
+    }
+}
+
+V1Switch(DapperParser, DapperIngress, DapperEgress, DapperDeparser) main;
+`,
+})

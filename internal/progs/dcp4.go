@@ -1,0 +1,234 @@
+package progs
+
+// DCP4 re-implements, at reduced scale, the datacenter-switch pipeline of
+// Sivaraman et al.'s DC.p4 [31]: port mapping, L2 source/destination MAC
+// stages, an IPv4 FIB, an L3 ACL and a final system ACL, arranged as an
+// ingress pipeline followed by an egress pipeline.
+//
+// The paper's §5.1 scenario is reproduced: configuring only the L3 ACL to
+// "deny" a destination address does not drop the traffic — the L3 ACL only
+// flags packets, and the system ACL must also be configured to act on the
+// flag. Under Rules (L3 ACL only), assertion 0
+// (if(ipv4.dstAddr == BLOCKED, !forward())) is violated; under FixedRules
+// (system ACL also configured) it holds.
+var DCP4 = register(&Program{
+	Name:               "dcp4",
+	Title:              "DC.p4 (datacenter switch)",
+	ExpectedViolations: []int{0},
+	Notes: "Control misconfiguration (paper §5.1): the L3 ACL only flags " +
+		"packets; the system ACL must also be configured to drop them.",
+	Rules: `
+# Paper scenario: only the L3 ACL is configured to deny the blocked prefix.
+IngressPipe.l3_acl acl_deny 0x0adead00/24
+IngressPipe.ipv4_fib set_nhop 0/0 => 2 0x001122334455
+IngressPipe.port_mapping set_ifindex 1 => 11
+IngressPipe.port_mapping set_ifindex 2 => 12
+IngressPipe.dmac set_egress_port 0x001122334455 => 2
+`,
+	FixedRules: `
+# Complete configuration: the system ACL acts on the deny flag.
+IngressPipe.l3_acl acl_deny 0x0adead00/24
+IngressPipe.ipv4_fib set_nhop 0/0 => 2 0x001122334455
+IngressPipe.port_mapping set_ifindex 1 => 11
+IngressPipe.port_mapping set_ifindex 2 => 12
+IngressPipe.dmac set_egress_port 0x001122334455 => 2
+IngressPipe.system_acl drop_packet 1
+IngressPipe.system_acl permit 0
+`,
+	Source: `
+const bit<16> TYPE_IPV4 = 0x0800;
+const bit<16> TYPE_VLAN = 0x8100;
+const bit<8> PROTO_TCP = 6;
+const bit<8> PROTO_UDP = 17;
+const bit<32> BLOCKED_ADDR = 0x0adead01;
+
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header vlan_t {
+    bit<3>  pcp;
+    bit<1>  cfi;
+    bit<12> vid;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> totalLen;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+header tcp_t {
+    bit<16> srcPort;
+    bit<16> dstPort;
+    bit<32> seqNo;
+    bit<8>  flags;
+}
+
+header udp_t {
+    bit<16> srcPort;
+    bit<16> dstPort;
+    bit<16> length;
+    bit<16> checksum;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    vlan_t vlan;
+    ipv4_t ipv4;
+    tcp_t tcp;
+    udp_t udp;
+}
+
+struct metadata_t {
+    bit<16> ifindex;
+    bit<48> nhop_mac;
+    bit<1>  acl_deny;
+    bit<1>  l2_miss;
+}
+
+parser DcParser(packet_in pkt, out headers_t hdr, inout metadata_t meta,
+                inout standard_metadata_t standard_metadata) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_VLAN: parse_vlan;
+            TYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_vlan {
+        pkt.extract(hdr.vlan);
+        transition select(hdr.vlan.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            PROTO_TCP: parse_tcp;
+            PROTO_UDP: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_tcp {
+        pkt.extract(hdr.tcp);
+        transition accept;
+    }
+    state parse_udp {
+        pkt.extract(hdr.udp);
+        transition accept;
+    }
+}
+
+control IngressPipe(inout headers_t hdr, inout metadata_t meta,
+                    inout standard_metadata_t standard_metadata) {
+    action drop_packet() {
+        mark_to_drop(standard_metadata);
+    }
+    action permit() { }
+    action set_ifindex(bit<16> ifindex) {
+        meta.ifindex = ifindex;
+    }
+    table port_mapping {
+        key = { standard_metadata.ingress_port : exact; }
+        actions = { set_ifindex; drop_packet; }
+        default_action = drop_packet;
+    }
+
+    action smac_hit() { meta.l2_miss = 0; }
+    action smac_miss() { meta.l2_miss = 1; }
+    table smac {
+        key = { hdr.ethernet.srcAddr : exact; }
+        actions = { smac_hit; smac_miss; }
+        default_action = smac_miss;
+    }
+
+    action set_egress_port(bit<9> port) {
+        standard_metadata.egress_spec = port;
+    }
+    table dmac {
+        key = { hdr.ethernet.dstAddr : exact; }
+        actions = { set_egress_port; NoAction; }
+        default_action = NoAction;
+    }
+
+    action set_nhop(bit<9> port, bit<48> dmac_addr) {
+        standard_metadata.egress_spec = port;
+        meta.nhop_mac = dmac_addr;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    table ipv4_fib {
+        key = { hdr.ipv4.dstAddr : lpm; }
+        actions = { set_nhop; drop_packet; NoAction; }
+        default_action = NoAction;
+    }
+
+    // The L3 ACL only FLAGS packets for denial; the system ACL is the
+    // module that actually drops flagged traffic.
+    action acl_deny() { meta.acl_deny = 1; }
+    action acl_permit() { meta.acl_deny = 0; }
+    table l3_acl {
+        key = { hdr.ipv4.dstAddr : lpm; }
+        actions = { acl_deny; acl_permit; }
+        default_action = acl_permit;
+    }
+    table system_acl {
+        key = { meta.acl_deny : exact; }
+        actions = { drop_packet; permit; }
+        default_action = permit;
+    }
+
+    apply {
+        @assert("if(ipv4.dstAddr == 0x0adead01, !forward())");
+        port_mapping.apply();
+        smac.apply();
+        if (hdr.ipv4.isValid()) {
+            ipv4_fib.apply();
+            l3_acl.apply();
+        } else {
+            dmac.apply();
+        }
+        system_acl.apply();
+    }
+}
+
+control EgressPipe(inout headers_t hdr, inout metadata_t meta,
+                   inout standard_metadata_t standard_metadata) {
+    action rewrite_mac() {
+        hdr.ethernet.dstAddr = meta.nhop_mac;
+    }
+    table mac_rewrite {
+        key = { standard_metadata.egress_spec : exact; }
+        actions = { rewrite_mac; NoAction; }
+        default_action = NoAction;
+    }
+    apply {
+        if (hdr.ipv4.isValid()) {
+            mac_rewrite.apply();
+        }
+    }
+}
+
+control DcDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.vlan);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.tcp);
+        pkt.emit(hdr.udp);
+    }
+}
+
+V1Switch(DcParser, IngressPipe, EgressPipe, DcDeparser) main;
+`,
+})

@@ -1,0 +1,207 @@
+package progs
+
+// Circumvent reproduces the paper's Figure 1 motivating example: the L4
+// control block accidentally applies tcp_acl_table to UDP traffic, letting
+// UDP packets bypass the filtering mechanism. The filter policy blocks
+// destination port 53; assertion 0
+// (if(udp.dstPort == 53, !forward())) is violated by any UDP packet to
+// port 53, because the TCP ACL — keyed on the (invalid, all-zero) TCP
+// header — never matches it.
+var Circumvent = register(&Program{
+	Name:               "circumvent",
+	Title:              "Code circumvention (paper Fig. 1)",
+	ExpectedViolations: []int{0},
+	Notes:              "udp branch applies tcp_acl_table instead of udp_acl_table.",
+	Source: `
+const bit<16> TYPE_IPV4 = 0x0800;
+const bit<8> PROTO_TCP = 6;
+const bit<8> PROTO_UDP = 17;
+const bit<16> FILTERED_PORT = 53;
+
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> totalLen;
+    bit<8>  ttl;
+    bit<8>  nextHeader;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+header tcp_t {
+    bit<16> srcPort;
+    bit<16> dstPort;
+    bit<32> seqNo;
+}
+
+header udp_t {
+    bit<16> srcPort;
+    bit<16> dstPort;
+    bit<16> length;
+    bit<16> checksum;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t ip;
+    tcp_t tcp;
+    udp_t udp;
+}
+
+struct metadata_t {
+    bit<1> unused;
+}
+
+parser L4Parser(packet_in pkt, out headers_t headers, inout metadata_t meta,
+                inout standard_metadata_t standard_metadata) {
+    state start {
+        pkt.extract(headers.ethernet);
+        transition select(headers.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: reject;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(headers.ip);
+        transition select(headers.ip.nextHeader) {
+            PROTO_TCP: parse_tcp;
+            PROTO_UDP: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_tcp { pkt.extract(headers.tcp); transition accept; }
+    state parse_udp { pkt.extract(headers.udp); transition accept; }
+}
+
+control L4(inout headers_t headers, inout metadata_t meta,
+           inout standard_metadata_t standard_metadata) {
+    action drop_packet() {
+        mark_to_drop(standard_metadata);
+    }
+    action set_egress(bit<9> port) {
+        standard_metadata.egress_spec = port;
+    }
+    table tcp_table {
+        key = { headers.tcp.dstPort : exact; }
+        actions = { set_egress; NoAction; }
+        default_action = set_egress(1);
+    }
+    table udp_table {
+        key = { headers.udp.dstPort : exact; }
+        actions = { set_egress; NoAction; }
+        default_action = set_egress(1);
+    }
+    table tcp_acl_table {
+        key = { headers.tcp.dstPort : exact; }
+        actions = { drop_packet; NoAction; }
+        default_action = NoAction;
+        const entries = {
+            FILTERED_PORT : drop_packet();
+        }
+    }
+    table udp_acl_table {
+        key = { headers.udp.dstPort : exact; }
+        actions = { drop_packet; NoAction; }
+        default_action = NoAction;
+        const entries = {
+            FILTERED_PORT : drop_packet();
+        }
+    }
+    apply {
+        @assert("if(udp.dstPort == 53, !forward())");
+        if (headers.ip.nextHeader == PROTO_TCP) {
+            tcp_table.apply();
+            tcp_acl_table.apply();
+        } else {
+            if (headers.ip.nextHeader == PROTO_UDP) {
+                udp_table.apply();
+                tcp_acl_table.apply();   // BUG: should be udp_acl_table
+            }
+        }
+    }
+}
+
+control L4Deparser(packet_out pkt, in headers_t headers) {
+    apply {
+        pkt.emit(headers.ethernet);
+        pkt.emit(headers.ip);
+        pkt.emit(headers.tcp);
+        pkt.emit(headers.udp);
+    }
+}
+
+V1Switch(L4Parser, L4, L4Deparser) main;
+`,
+})
+
+// Mirror reproduces the paper's Figure 2 motivating example: a mirroring
+// table whose const entries clone packets leaving port 2 back to port 2,
+// so the receiver gets both the original and the clone. Assertion 0
+// (the paper's Table 1 DC.p4 clone property) is violated.
+var Mirror = register(&Program{
+	Name:               "mirror",
+	Title:              "Control misconfiguration (paper Fig. 2)",
+	ExpectedViolations: []int{0},
+	Notes:              "const entry clones packets to their own egress port.",
+	Source: `
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+}
+
+struct metadata_t {
+    bit<9> cloned_outport;
+    bit<1> was_cloned;
+}
+
+parser MirrorParser(packet_in pkt, out headers_t hdr, inout metadata_t meta,
+                    inout standard_metadata_t standard_metadata) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition accept;
+    }
+}
+
+control MirrorIngress(inout headers_t hdr, inout metadata_t meta,
+                      inout standard_metadata_t standard_metadata) {
+    action clone_packet(bit<9> port) {
+        meta.cloned_outport = port;
+        meta.was_cloned = 1;
+    }
+    table mirror {
+        key = { standard_metadata.egress_spec : exact; }
+        actions = { NoAction; clone_packet; }
+        default_action = NoAction;
+        const entries = {
+            0x001 : clone_packet(0x002);
+            0x002 : clone_packet(0x002);   // BUG: clones port 2 onto itself
+        }
+    }
+    apply {
+        standard_metadata.egress_spec = standard_metadata.ingress_port;
+        mirror.apply();
+        @assert("!(was_cloned == 1 && cloned_outport == standard_metadata.egress_spec && constant(cloned_outport))");
+    }
+}
+
+control MirrorDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+    }
+}
+
+V1Switch(MirrorParser, MirrorIngress, MirrorDeparser) main;
+`,
+})

@@ -1,0 +1,150 @@
+package progs
+
+// MRI re-implements the multi-hop route inspection tutorial program [19]:
+// an INT-style trace header carrying a chain of switch IDs that the parser
+// consumes in a loop (bottom-of-stack bit). The parser loop makes the
+// program's call structure recursive, which — exactly as the paper reports
+// for Frama-C in Table 2 — makes slicing fail.
+//
+// Table 1 properties: switch IDs added to packets are authentic
+// (constant(swid)) and added IDs are not removed
+// (if(extract_header(swtrace), emit_header(swtrace))). Both hold.
+var MRI = register(&Program{
+	Name:       "mri",
+	Title:      "MRI (multi-hop route inspection)",
+	Constraint: "@assume(hdr.ethernet.etherType == 0x0800);",
+	Notes:      "Correct program with a recursive parser; slicing must refuse it.",
+	Source: `
+const bit<16> TYPE_IPV4 = 0x0800;
+const bit<8> IPPROTO_MRI = 253;
+const bit<31> SWITCH_ID = 0x51;
+
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> totalLen;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+header mri_t {
+    bit<16> count;
+}
+
+header swtrace_t {
+    bit<1>  bos;
+    bit<31> swid;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t ipv4;
+    mri_t mri;
+    swtrace_t swtrace;
+}
+
+struct metadata_t {
+    bit<16> parsed_hops;
+}
+
+parser MriParser(packet_in pkt, out headers_t hdr, inout metadata_t meta,
+                 inout standard_metadata_t standard_metadata) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        // constraint-point
+        transition select(hdr.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            IPPROTO_MRI: parse_mri;
+            default: accept;
+        }
+    }
+    state parse_mri {
+        pkt.extract(hdr.mri);
+        transition select(hdr.mri.count) {
+            0: accept;
+            default: parse_swtrace;
+        }
+    }
+    state parse_swtrace {
+        // Recursive trace parsing: keep consuming swtrace entries until
+        // the bottom-of-stack bit is set. This is the recursion that
+        // defeats slicing (paper Table 2, MRI row).
+        pkt.extract(hdr.swtrace);
+        meta.parsed_hops = meta.parsed_hops + 1;
+        transition select(hdr.swtrace.bos) {
+            1: accept;
+            default: parse_swtrace;
+        }
+    }
+}
+
+control MriIngress(inout headers_t hdr, inout metadata_t meta,
+                   inout standard_metadata_t standard_metadata) {
+    action drop_packet() {
+        mark_to_drop(standard_metadata);
+    }
+    action forward_out(bit<9> port) {
+        standard_metadata.egress_spec = port;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    table ipv4_lpm {
+        key = { hdr.ipv4.dstAddr : lpm; }
+        actions = { forward_out; drop_packet; NoAction; }
+        default_action = drop_packet;
+    }
+    apply {
+        if (hdr.ipv4.isValid()) {
+            ipv4_lpm.apply();
+        } else {
+            drop_packet();
+        }
+    }
+}
+
+control MriEgress(inout headers_t hdr, inout metadata_t meta,
+                  inout standard_metadata_t standard_metadata) {
+    action add_swtrace() {
+        hdr.mri.count = hdr.mri.count + 1;
+        hdr.swtrace.swid = SWITCH_ID;
+        // The id written here must survive to the end of the pipeline.
+        @assert("constant(hdr.swtrace.swid)");
+    }
+    table swtrace_tbl {
+        actions = { add_swtrace; NoAction; }
+        default_action = NoAction;
+    }
+    apply {
+        if (hdr.mri.isValid() && hdr.swtrace.isValid()) {
+            swtrace_tbl.apply();
+        }
+        @assert("if(extract_header(hdr.swtrace), emit_header(hdr.swtrace))");
+    }
+}
+
+control MriDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.mri);
+        pkt.emit(hdr.swtrace);
+    }
+}
+
+V1Switch(MriParser, MriIngress, MriEgress, MriDeparser) main;
+`,
+})

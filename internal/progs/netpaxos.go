@@ -1,0 +1,182 @@
+package progs
+
+// NetPaxos re-implements the Paxos acceptor data plane of Dang et al.
+// [5, 6]: packets arrive pre-marked for dropping and the paxos table
+// dispatches on the message type to the phase-1a/phase-2a vote handlers.
+//
+// The paper's §5.1 finding is reproduced: the vote handlers add voting
+// information to the packet but never unmark it for forwarding, so valid
+// vote packets are dropped. The assertions
+// if(traverse_path(), forward()) inside handle_1a and handle_2a
+// (IDs 1 and 3) are violated. The Table 1 phase/msgtype properties
+// (IDs 0 and 2) hold.
+var NetPaxos = register(&Program{
+	Name:               "netpaxos",
+	Title:              "NetPaxos (acceptor)",
+	ExpectedViolations: []int{1, 3},
+	Constraint:         "@assume(hdr.ethernet.etherType == 0x0800);",
+	Notes: "Vote-drop bug (paper §5.1): packets are first marked to be " +
+		"dropped and the voting actions never unmark them.",
+	Source: `
+const bit<16> TYPE_IPV4 = 0x0800;
+const bit<8> PROTO_UDP = 17;
+const bit<16> PAXOS_PORT = 0x8888;
+const bit<16> MSGTYPE_1A = 1;
+const bit<16> MSGTYPE_2A = 2;
+const bit<16> ACCEPTOR_ID = 0x7;
+
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> totalLen;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+header udp_t {
+    bit<16> srcPort;
+    bit<16> dstPort;
+    bit<16> length;
+    bit<16> checksum;
+}
+
+header paxos_t {
+    bit<16> msgtype;
+    bit<32> inst;
+    bit<16> rnd;
+    bit<16> vrnd;
+    bit<16> acptid;
+    bit<32> paxosval;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t ipv4;
+    udp_t udp;
+    paxos_t paxos;
+}
+
+struct metadata_t {
+    bit<16> round;
+}
+
+parser PaxosParser(packet_in pkt, out headers_t hdr, inout metadata_t meta,
+                   inout standard_metadata_t standard_metadata) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        // constraint-point
+        transition select(hdr.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            PROTO_UDP: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_udp {
+        pkt.extract(hdr.udp);
+        transition select(hdr.udp.dstPort) {
+            PAXOS_PORT: parse_paxos;
+            default: accept;
+        }
+    }
+    state parse_paxos {
+        pkt.extract(hdr.paxos);
+        transition accept;
+    }
+}
+
+control Acceptor(inout headers_t hdr, inout metadata_t meta,
+                 inout standard_metadata_t standard_metadata) {
+    register<bit<16>>(8) rounds_reg;
+    register<bit<32>>(8) values_reg;
+
+    action _drop() {
+        mark_to_drop(standard_metadata);
+    }
+    action read_round() {
+        rounds_reg.read(meta.round, hdr.paxos.inst % 8);
+    }
+    action set_egress(bit<9> port) {
+        standard_metadata.egress_spec = port;
+    }
+    table dmac {
+        key = { hdr.ethernet.dstAddr : exact; }
+        actions = { set_egress; _drop; NoAction; }
+        default_action = NoAction;
+    }
+    action smac_hit() { }
+    table smac {
+        key = { hdr.ethernet.srcAddr : exact; }
+        actions = { smac_hit; NoAction; }
+        default_action = NoAction;
+    }
+    action handle_1a() {
+        // Phase 1a: promise. The acceptor answers with its vote state.
+        @assert("if(traverse_path(), paxos.msgtype == 1)");
+        @assert("if(traverse_path(), forward())");
+        rounds_reg.write(hdr.paxos.inst % 8, hdr.paxos.rnd);
+        hdr.paxos.acptid = ACCEPTOR_ID;
+        hdr.udp.checksum = 0;
+        // BUG (paper §5.1): the packet stays marked to drop; forwarding
+        // is never restored here.
+    }
+    action handle_2a() {
+        // Phase 2a: vote.
+        @assert("if(traverse_path(), paxos.msgtype == 2)");
+        @assert("if(traverse_path(), forward())");
+        rounds_reg.write(hdr.paxos.inst % 8, hdr.paxos.rnd);
+        values_reg.write(hdr.paxos.inst % 8, hdr.paxos.paxosval);
+        hdr.paxos.acptid = ACCEPTOR_ID;
+        hdr.udp.checksum = 0;
+        // BUG: same as handle_1a.
+    }
+    table paxos_tbl {
+        key = { hdr.paxos.msgtype : exact; }
+        actions = { handle_1a; handle_2a; _drop; }
+        default_action = _drop;
+        const entries = {
+            MSGTYPE_1A : handle_1a();
+            MSGTYPE_2A : handle_2a();
+        }
+    }
+    apply {
+        smac.apply();
+        dmac.apply();
+        // All packets start marked for dropping; only explicit forwarding
+        // decisions should unmark them.
+        _drop();
+        if (hdr.paxos.isValid()) {
+            read_round();
+            if (meta.round <= hdr.paxos.rnd) {
+                paxos_tbl.apply();
+            }
+        }
+    }
+}
+
+control PaxosDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.udp);
+        pkt.emit(hdr.paxos);
+    }
+}
+
+V1Switch(PaxosParser, Acceptor, PaxosDeparser) main;
+`,
+})

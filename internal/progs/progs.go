@@ -1,0 +1,105 @@
+// Package progs embeds the P4 application corpus used throughout the
+// paper's evaluation (§5): VSS, MRI, Timestamp switching, sTag, Dapper,
+// NetPaxos, a DC.p4-style datacenter switch, a Switch.p4-style program with
+// its two reported bugs, and the two motivating examples of §2. Each
+// program is a faithful reduced re-implementation in the supported P4_16
+// subset, annotated with the assertions the paper reports (Table 1), and —
+// where the paper found a bug — containing that bug.
+package progs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Program is one corpus entry.
+type Program struct {
+	// Name is the registry key (e.g. "dapper").
+	Name string
+	// Title is the paper's name for the application.
+	Title string
+	// Source is the annotated P4_16 program text.
+	Source string
+	// Rules, when non-empty, is the default forwarding-rule file
+	// (internal/rules text format) the paper's scenario assumes.
+	Rules string
+	// FixedRules, when non-empty, is an alternative configuration under
+	// which the program verifies (used for the DC.p4 misconfiguration
+	// scenario, where completing the configuration removes the violation).
+	FixedRules string
+	// ExpectedViolations lists assertion IDs (declaration order) that the
+	// paper's analysis finds violated; empty means the program verifies.
+	ExpectedViolations []int
+	// Constraint is an @assume statement focusing verification on the
+	// traffic class of interest (the paper's §4.1 packet/control-flow
+	// constraints). ConstrainedSource injects it at the source's
+	// "// constraint-point" marker.
+	Constraint string
+	// Notes documents the scenario and, for buggy programs, the bug.
+	Notes string
+}
+
+// ConstrainedSource returns the program with its §4.1 assumption injected
+// at the constraint-point marker, or the plain source if the program
+// defines no constraint.
+func (p *Program) ConstrainedSource() string {
+	if p.Constraint == "" {
+		return p.Source
+	}
+	const marker = "// constraint-point"
+	if !strings.Contains(p.Source, marker) {
+		return p.Source
+	}
+	return strings.Replace(p.Source, marker, p.Constraint, 1)
+}
+
+var registry = map[string]*Program{}
+
+func register(p *Program) *Program {
+	if _, dup := registry[p.Name]; dup {
+		panic("progs: duplicate program " + p.Name)
+	}
+	registry[p.Name] = p
+	return p
+}
+
+// Get returns a corpus program by name.
+func Get(name string) (*Program, error) {
+	p, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("progs: unknown program %q (have %v)", name, Names())
+	}
+	return p, nil
+}
+
+// Names returns all registry keys, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every corpus program, sorted by name.
+func All() []*Program {
+	names := Names()
+	out := make([]*Program, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}
+
+// Table2Programs lists the programs evaluated in the paper's Table 2, in
+// the paper's row order.
+func Table2Programs() []*Program {
+	var out []*Program
+	for _, n := range []string{"dapper", "stag", "netpaxos", "ts_switching", "vss", "mri"} {
+		p, _ := Get(n)
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package progs_test
+
+import (
+	"sort"
+	"testing"
+
+	"p4assert/internal/core"
+	"p4assert/internal/progs"
+	"p4assert/internal/rules"
+)
+
+func verify(t *testing.T, p *progs.Program, ruleText string, opts core.Options) *core.Report {
+	t.Helper()
+	if ruleText != "" {
+		rs, err := rules.Parse(ruleText)
+		if err != nil {
+			t.Fatalf("%s: rules: %v", p.Name, err)
+		}
+		opts.Rules = rs
+	}
+	rep, err := core.VerifySource(p.Name+".p4", p.Source, opts)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	if rep.Exhausted {
+		t.Fatalf("%s: exploration exhausted", p.Name)
+	}
+	return rep
+}
+
+func violatedIDs(rep *core.Report) []int {
+	var ids []int
+	for _, v := range rep.Violations {
+		ids = append(ids, v.AssertID)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCorpusExpectedViolations is the §5.1 bug-finding reproduction: every
+// corpus program must report exactly the violations the paper found.
+func TestCorpusExpectedViolations(t *testing.T) {
+	for _, p := range progs.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			rep := verify(t, p, p.Rules, core.Options{})
+			want := append([]int(nil), p.ExpectedViolations...)
+			sort.Ints(want)
+			got := violatedIDs(rep)
+			if !equalInts(got, want) {
+				t.Fatalf("%s: violated %v, want %v\n%s", p.Name, got, want, rep.Summary())
+			}
+		})
+	}
+}
+
+// TestDCP4FixedConfiguration: completing the configuration (system ACL
+// acting on the deny flag) removes the violation, confirming the finding
+// is a misconfiguration rather than a data-plane bug.
+func TestDCP4FixedConfiguration(t *testing.T) {
+	p, err := progs.Get("dcp4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := verify(t, p, p.FixedRules, core.Options{})
+	if len(rep.Violations) != 0 {
+		t.Fatalf("dcp4 under FixedRules should verify:\n%s", rep.Summary())
+	}
+}
+
+// TestMRISlicingFails reproduces the paper's Table 2 "-" entries: slicing
+// must refuse MRI's recursive parser but verification still succeeds on
+// the unsliced model.
+func TestMRISlicingFails(t *testing.T) {
+	p, err := progs.Get("mri")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := verify(t, p, "", core.Options{Slice: true})
+	if rep.SliceErr == nil {
+		t.Fatal("slicing MRI should fail (recursive parser)")
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("MRI should still verify unsliced:\n%s", rep.Summary())
+	}
+}
+
+// TestSlicingWorksOnNonRecursivePrograms: every other Table 2 program must
+// slice successfully and keep its verdict.
+func TestSlicingWorksOnNonRecursivePrograms(t *testing.T) {
+	for _, p := range progs.Table2Programs() {
+		if p.Name == "mri" {
+			continue
+		}
+		rep := verify(t, p, p.Rules, core.Options{Slice: true})
+		if rep.SliceErr != nil {
+			t.Fatalf("%s: slicing failed: %v", p.Name, rep.SliceErr)
+		}
+		want := append([]int(nil), p.ExpectedViolations...)
+		sort.Ints(want)
+		if got := violatedIDs(rep); !equalInts(got, want) {
+			t.Fatalf("%s sliced: violated %v, want %v", p.Name, got, want)
+		}
+	}
+}
+
+// TestTechniquesPreserveVerdicts runs the full §4 technique matrix over
+// the corpus: verdicts must be identical under every configuration.
+func TestTechniquesPreserveVerdicts(t *testing.T) {
+	configs := []core.Options{
+		{O3: true},
+		{Opt: true},
+		{Parallel: 4},
+		{O3: true, Opt: true, Parallel: 4},
+	}
+	for _, p := range progs.All() {
+		want := append([]int(nil), p.ExpectedViolations...)
+		sort.Ints(want)
+		for i, opts := range configs {
+			rep := verify(t, p, p.Rules, opts)
+			if got := violatedIDs(rep); !equalInts(got, want) {
+				t.Fatalf("%s config %d: violated %v, want %v", p.Name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestCounterexamplesAreConcrete: the reported models must bind the
+// packet fields that matter for each famous bug.
+func TestCounterexamplesAreConcrete(t *testing.T) {
+	p, _ := progs.Get("circumvent")
+	rep := verify(t, p, "", core.Options{})
+	if len(rep.Violations) == 0 {
+		t.Fatal("circumvent should be violated")
+	}
+	// The counterexample must be a UDP packet to port 53.
+	m := rep.Violations[0].Model
+	found := false
+	for k, v := range m {
+		if v == 53 && (hasPrefix(k, "headers.udp.dstPort")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("counterexample should bind udp.dstPort=53: %v", m)
+	}
+}
+
+func hasPrefix(s, p string) bool {
+	return len(s) >= len(p) && s[:len(p)] == p
+}
+
+// TestConstrainedSourcesKeepVerdicts: the §4.1 assumption-annotated
+// variants must parse and keep every expected violation (constraints focus
+// verification, they must not hide the seeded bugs).
+func TestConstrainedSourcesKeepVerdicts(t *testing.T) {
+	for _, p := range progs.Table2Programs() {
+		src := p.ConstrainedSource()
+		if p.Constraint != "" && src == p.Source {
+			t.Fatalf("%s: constraint not injected", p.Name)
+		}
+		rep := verify(t, &progs.Program{Name: p.Name, Source: src}, p.Rules, core.Options{})
+		want := append([]int(nil), p.ExpectedViolations...)
+		sort.Ints(want)
+		if got := violatedIDs(rep); !equalInts(got, want) {
+			t.Fatalf("%s constrained: violated %v, want %v", p.Name, got, want)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(progs.All()) < 9 {
+		t.Fatalf("corpus too small: %d", len(progs.All()))
+	}
+	if _, err := progs.Get("nope"); err == nil {
+		t.Fatal("unknown program should error")
+	}
+	t2 := progs.Table2Programs()
+	if len(t2) != 6 || t2[0].Name != "dapper" || t2[5].Name != "mri" {
+		t.Fatal("Table 2 program order wrong")
+	}
+}

@@ -1,0 +1,133 @@
+package progs
+
+// STag re-implements a color-based isolation data plane in the style the
+// paper cites for sTag [25]: every ingress port and every destination host
+// carries a color, and traffic may only flow between endpoints of the same
+// color.
+//
+// Table 1 property: hosts connected to ports of different colors cannot
+// communicate — if(ingress_port == color_a && ipv4.dstAddr ==
+// color_b_host, !forward()). Holds: the color comparison guards
+// forwarding.
+var STag = register(&Program{
+	Name:       "stag",
+	Title:      "sTag (color isolation)",
+	Constraint: "@assume(hdr.ethernet.etherType == 0x0800);",
+	Notes:      "Correct program; cross-color traffic is dropped.",
+	Source: `
+const bit<16> TYPE_IPV4 = 0x0800;
+// Port 1 is red (color 1), port 2 is green (color 2).
+const bit<9> PORT_RED = 1;
+const bit<9> PORT_GREEN = 2;
+// Host 10.0.1.1 is red, host 10.0.2.2 is green.
+const bit<32> HOST_RED = 0x0a000101;
+const bit<32> HOST_GREEN = 0x0a000202;
+
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> totalLen;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t ipv4;
+}
+
+struct metadata_t {
+    bit<8> src_color;
+    bit<8> dst_color;
+}
+
+parser StagParser(packet_in pkt, out headers_t hdr, inout metadata_t meta,
+                  inout standard_metadata_t standard_metadata) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        // constraint-point
+        transition select(hdr.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: reject;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+
+control StagIngress(inout headers_t hdr, inout metadata_t meta,
+                    inout standard_metadata_t standard_metadata) {
+    action drop_packet() {
+        mark_to_drop(standard_metadata);
+    }
+    action set_src_color(bit<8> color) {
+        meta.src_color = color;
+    }
+    action set_dst_color(bit<8> color, bit<9> port) {
+        meta.dst_color = color;
+        standard_metadata.egress_spec = port;
+    }
+    table port_color {
+        key = { standard_metadata.ingress_port : exact; }
+        actions = { set_src_color; drop_packet; }
+        default_action = drop_packet;
+        const entries = {
+            PORT_RED   : set_src_color(1);
+            PORT_GREEN : set_src_color(2);
+            3          : set_src_color(3);
+            4          : set_src_color(1);
+        }
+    }
+    table host_color {
+        key = { hdr.ipv4.dstAddr : exact; }
+        actions = { set_dst_color; drop_packet; }
+        default_action = drop_packet;
+        const entries = {
+            HOST_RED   : set_dst_color(1, 1);
+            HOST_GREEN : set_dst_color(2, 2);
+            0x0a000303 : set_dst_color(3, 3);
+            0x0a000404 : set_dst_color(1, 4);
+        }
+    }
+    action log_flow() { meta.src_color = meta.src_color | 0x80; }
+    table audit {
+        key = { standard_metadata.ingress_port : exact; }
+        actions = { log_flow; NoAction; }
+        default_action = NoAction;
+    }
+    apply {
+        @assert("if(ingress_port == 1 && ipv4.dstAddr == 0x0a000202, !forward())");
+        meta.src_color = 0;
+        meta.dst_color = 0;
+        port_color.apply();
+        host_color.apply();
+        if (meta.src_color != meta.dst_color || meta.src_color == 0) {
+            // Colors differ (or either endpoint is uncolored): isolate.
+            drop_packet();
+        } else {
+            audit.apply();
+        }
+    }
+}
+
+control StagDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+    }
+}
+
+V1Switch(StagParser, StagIngress, StagDeparser) main;
+`,
+})

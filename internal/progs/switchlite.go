@@ -1,0 +1,174 @@
+package progs
+
+// SwitchLite reproduces, in reduced form, the two Switch.p4 bugs the paper
+// replays in §5.1 from the switch repository's issue tracker:
+//
+//  1. tunnel encapsulation overwriting nested headers
+//     (github.com/p4lang/switch issue #97): encapsulation copies the outer
+//     IPv4 header into the inner slot even when an inner header is already
+//     present — assertion 0 ("!valid(hdr.inner_ipv4)", placed before the
+//     encapsulation) is violated for already-tunneled packets;
+//  2. modification of a field of an invalid header
+//     (github.com/p4lang/switch pull #102): the VLAN tagging action writes
+//     hdr.vlan.vid without checking validity — assertion 1
+//     ("valid(hdr.vlan)", placed just before the write) is violated.
+var SwitchLite = register(&Program{
+	Name:               "switchlite",
+	Title:              "Switch.p4 (reduced, two known bugs)",
+	ExpectedViolations: []int{0, 1},
+	Notes:              "Replays the invalid-header write and tunnel double-encapsulation bugs.",
+	Source: `
+const bit<16> TYPE_IPV4 = 0x0800;
+const bit<16> TYPE_VLAN = 0x8100;
+const bit<8> PROTO_IPIP = 4;
+
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header vlan_t {
+    bit<3>  pcp;
+    bit<1>  cfi;
+    bit<12> vid;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> totalLen;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+header inner_ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> totalLen;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    vlan_t vlan;
+    ipv4_t ipv4;
+    inner_ipv4_t inner_ipv4;
+}
+
+struct metadata_t {
+    bit<16> tunnel_id;
+}
+
+parser SwParser(packet_in pkt, out headers_t hdr, inout metadata_t meta,
+                inout standard_metadata_t standard_metadata) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_VLAN: parse_vlan;
+            TYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_vlan {
+        pkt.extract(hdr.vlan);
+        transition select(hdr.vlan.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            PROTO_IPIP: parse_inner_ipv4;
+            default: accept;
+        }
+    }
+    state parse_inner_ipv4 {
+        pkt.extract(hdr.inner_ipv4);
+        transition accept;
+    }
+}
+
+control SwIngress(inout headers_t hdr, inout metadata_t meta,
+                  inout standard_metadata_t standard_metadata) {
+    action drop_packet() {
+        mark_to_drop(standard_metadata);
+    }
+    action set_egress(bit<9> port) {
+        standard_metadata.egress_spec = port;
+    }
+    table fwd {
+        key = { hdr.ethernet.dstAddr : exact; }
+        actions = { set_egress; drop_packet; }
+        default_action = drop_packet;
+    }
+
+    // Bug 2 (switch issue #97): encapsulation assumes no tunnel is
+    // present; nested tunnels overwrite the existing inner header.
+    action encap_tunnel(bit<16> tunnel_id) {
+        @assert("!valid(hdr.inner_ipv4)");
+        meta.tunnel_id = tunnel_id;
+        hdr.inner_ipv4.setValid();
+        hdr.inner_ipv4.version = hdr.ipv4.version;
+        hdr.inner_ipv4.ihl = hdr.ipv4.ihl;
+        hdr.inner_ipv4.diffserv = hdr.ipv4.diffserv;
+        hdr.inner_ipv4.totalLen = hdr.ipv4.totalLen;
+        hdr.inner_ipv4.ttl = hdr.ipv4.ttl;
+        hdr.inner_ipv4.protocol = hdr.ipv4.protocol;
+        hdr.inner_ipv4.srcAddr = hdr.ipv4.srcAddr;
+        hdr.inner_ipv4.dstAddr = hdr.ipv4.dstAddr;
+        hdr.ipv4.protocol = PROTO_IPIP;
+    }
+    table tunnel_encap {
+        key = { hdr.ipv4.dstAddr : lpm; }
+        actions = { encap_tunnel; NoAction; }
+        default_action = NoAction;
+    }
+
+    apply {
+        fwd.apply();
+        if (hdr.ipv4.isValid()) {
+            tunnel_encap.apply();
+        }
+    }
+}
+
+control SwEgress(inout headers_t hdr, inout metadata_t meta,
+                 inout standard_metadata_t standard_metadata) {
+    // Bug 1 (switch PR #102): the VLAN id is written without validating
+    // (or adding) the VLAN header first.
+    action set_vlan(bit<12> vid) {
+        @assert("valid(hdr.vlan)");
+        hdr.vlan.vid = vid;
+    }
+    table vlan_xlate {
+        key = { standard_metadata.egress_spec : exact; }
+        actions = { set_vlan; NoAction; }
+        default_action = NoAction;
+    }
+    apply {
+        vlan_xlate.apply();
+    }
+}
+
+control SwDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.vlan);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.inner_ipv4);
+    }
+}
+
+V1Switch(SwParser, SwIngress, SwEgress, SwDeparser) main;
+`,
+})

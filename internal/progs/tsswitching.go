@@ -1,0 +1,155 @@
+package progs
+
+// TSSwitching re-implements the timestamp-aware RTP video switching data
+// plane of Edwards and Ciarleglio [10]: RTP flows are selected by SSRC and
+// frames with out-of-range timestamps are dropped at the switch point.
+//
+// Table 1 property: out-of-range timestamps are not forwarded to
+// receivers — if(forward(), rtp.ts < max_timestamp). Holds.
+var TSSwitching = register(&Program{
+	Name:       "ts_switching",
+	Title:      "Timestamp switching (RTP video)",
+	Constraint: "@assume(hdr.ethernet.etherType == 0x0800);",
+	Notes:      "Correct program; the timestamp range check precedes forwarding.",
+	Source: `
+const bit<16> TYPE_IPV4 = 0x0800;
+const bit<8> PROTO_UDP = 17;
+const bit<16> RTP_PORT = 5004;
+const bit<32> MAX_TIMESTAMP = 0x80000000;
+
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> totalLen;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+header udp_t {
+    bit<16> srcPort;
+    bit<16> dstPort;
+    bit<16> length;
+    bit<16> checksum;
+}
+
+header rtp_t {
+    bit<2>  version;
+    bit<1>  padding;
+    bit<1>  extension;
+    bit<4>  csrcCount;
+    bit<1>  marker;
+    bit<7>  payloadType;
+    bit<16> sequenceNumber;
+    bit<32> ts;
+    bit<32> ssrc;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t ipv4;
+    udp_t udp;
+    rtp_t rtp;
+}
+
+struct metadata_t {
+    bit<1> is_primary;
+}
+
+parser TsParser(packet_in pkt, out headers_t hdr, inout metadata_t meta,
+                inout standard_metadata_t standard_metadata) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        // constraint-point
+        transition select(hdr.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            PROTO_UDP: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_udp {
+        pkt.extract(hdr.udp);
+        transition select(hdr.udp.dstPort) {
+            RTP_PORT: parse_rtp;
+            default: accept;
+        }
+    }
+    state parse_rtp {
+        pkt.extract(hdr.rtp);
+        transition accept;
+    }
+}
+
+control TsIngress(inout headers_t hdr, inout metadata_t meta,
+                  inout standard_metadata_t standard_metadata) {
+    action drop_packet() {
+        mark_to_drop(standard_metadata);
+    }
+    action switch_to(bit<9> port, bit<1> primary) {
+        standard_metadata.egress_spec = port;
+        meta.is_primary = primary;
+    }
+    table source_select {
+        key = { hdr.rtp.ssrc : exact; }
+        actions = { switch_to; drop_packet; }
+        default_action = drop_packet;
+    }
+    action buffer_short() { meta.is_primary = 1; }
+    action buffer_long() { meta.is_primary = 0; }
+    table jitter {
+        key = { hdr.rtp.payloadType : exact; }
+        actions = { buffer_short; buffer_long; NoAction; }
+        default_action = NoAction;
+    }
+    action replicate(bit<16> group) {
+        standard_metadata.mcast_grp = group;
+    }
+    table receivers {
+        key = { standard_metadata.egress_spec : exact; }
+        actions = { replicate; NoAction; }
+        default_action = NoAction;
+    }
+    apply {
+        @assert("if(forward(), rtp.ts < 0x80000000)");
+        if (hdr.rtp.isValid()) {
+            if (hdr.rtp.ts >= MAX_TIMESTAMP) {
+                // Frames from a source whose clock ran out of range are
+                // never switched to a receiver.
+                drop_packet();
+            } else {
+                jitter.apply();
+                source_select.apply();
+                receivers.apply();
+            }
+        } else {
+            drop_packet();
+        }
+    }
+}
+
+control TsDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.udp);
+        pkt.emit(hdr.rtp);
+    }
+}
+
+V1Switch(TsParser, TsIngress, TsDeparser) main;
+`,
+})

@@ -1,0 +1,116 @@
+package progs
+
+// VSS reproduces the P4 specification's Very Simple Switch example [18]
+// with the paper's Table 1 properties:
+//
+//	"Packets with zero TTL values are dropped"  — if(ipv4.ttl == 0, !forward())
+//	"Marked to drop packets are not forwarded"  — if(traverse_path(), !forward())
+//
+// The program is correct: both assertions hold.
+var VSS = register(&Program{
+	Name:       "vss",
+	Title:      "VSS (Very Simple Switch)",
+	Constraint: "@assume(p.ethernet.etherType == 0x0800);",
+	Notes:      "Correct program; both Table 1 assertions hold.",
+	Source: `
+// Very Simple Switch: one pipeline stage forwarding on IPv4 destinations.
+const bit<16> TYPE_IPV4 = 0x0800;
+const bit<9> CPU_OUT_PORT = 14;
+
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> totalLen;
+    bit<16> identification;
+    bit<3>  flags;
+    bit<13> fragOffset;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> hdrChecksum;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+struct parsed_packet_t {
+    ethernet_t ethernet;
+    ipv4_t ip;
+}
+
+struct meta_t {
+    bit<32> nextHop;
+}
+
+parser TopParser(packet_in b, out parsed_packet_t p, inout meta_t meta,
+                 inout standard_metadata_t standard_metadata) {
+    state start {
+        b.extract(p.ethernet);
+        // constraint-point
+        transition select(p.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: reject;    // VSS raises a parser error on non-IPv4
+        }
+    }
+    state parse_ipv4 {
+        b.extract(p.ip);
+        transition select(p.ip.version) {
+            4: accept;
+            default: reject;
+        }
+    }
+}
+
+control TopPipe(inout parsed_packet_t p, inout meta_t meta,
+                inout standard_metadata_t standard_metadata) {
+    action Drop_action() {
+        mark_to_drop(standard_metadata);
+        @assert("if(traverse_path(), !forward())");
+    }
+    action Set_nhop(bit<32> nextHop, bit<9> port) {
+        meta.nextHop = nextHop;
+        p.ip.ttl = p.ip.ttl - 1;
+        standard_metadata.egress_spec = port;
+    }
+    action Send_to_cpu() {
+        standard_metadata.egress_spec = CPU_OUT_PORT;
+    }
+    table ipv4_match {
+        key = { p.ip.dstAddr : lpm; }
+        actions = { Drop_action; Set_nhop; Send_to_cpu; }
+        default_action = Drop_action;
+    }
+    action Set_dmac(bit<48> dmac) {
+        p.ethernet.dstAddr = dmac;
+    }
+    table dmac {
+        key = { meta.nextHop : exact; }
+        actions = { Drop_action; Set_dmac; }
+        default_action = Drop_action;
+    }
+    apply {
+        @assert("if(ip.ttl == 0, !forward())");
+        if (p.ip.ttl == 0) {
+            Drop_action();
+        } else {
+            ipv4_match.apply();
+            dmac.apply();
+        }
+    }
+}
+
+control TopDeparser(packet_out b, in parsed_packet_t p) {
+    apply {
+        b.emit(p.ethernet);
+        b.emit(p.ip);
+    }
+}
+
+V1Switch(TopParser, TopPipe, TopDeparser) main;
+`,
+})

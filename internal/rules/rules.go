@@ -1,0 +1,249 @@
+// Package rules represents control-plane forwarding configurations: sets of
+// table entries with exact, LPM and ternary matches. A RuleSet can be
+// supplied to the translator to restrict verification to one concrete
+// control-plane configuration (paper §3.2 "Tables", §6 "Interaction with
+// the control plane").
+//
+// The text format is line-oriented:
+//
+//	# comment
+//	<table> <action> <match>... [=> <arg>...]
+//
+// where each <match> is one of
+//
+//	<value>            exact match
+//	<value>/<bits>     LPM match with the given prefix length
+//	<value>&<mask>     ternary match
+//	*                  wildcard (ternary match-all)
+//
+// and values parse like P4 number literals (decimal, 0x..., 0b...).
+// Table names may be bare ("ipv4_lpm") or control-qualified
+// ("MyIngress.ipv4_lpm").
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"p4assert/internal/p4"
+)
+
+// MatchKind discriminates Match entries.
+type MatchKind uint8
+
+// Match kinds.
+const (
+	Exact MatchKind = iota
+	LPM
+	Ternary
+	Wildcard
+)
+
+// Match is one key match of a rule.
+type Match struct {
+	Kind      MatchKind
+	Value     uint64
+	Mask      uint64 // Ternary only
+	PrefixLen int    // LPM only
+}
+
+// Rule is one table entry.
+type Rule struct {
+	Table  string
+	Action string
+	Keys   []Match
+	Args   []uint64
+	// Priority orders ternary rules; lower wins. Defaults to line order.
+	Priority int
+}
+
+// RuleSet is a collection of rules grouped by table.
+type RuleSet struct {
+	byTable map[string][]Rule
+}
+
+// NewRuleSet returns an empty rule set.
+func NewRuleSet() *RuleSet { return &RuleSet{byTable: map[string][]Rule{}} }
+
+// Add appends a rule.
+func (rs *RuleSet) Add(r Rule) {
+	rs.byTable[r.Table] = append(rs.byTable[r.Table], r)
+}
+
+// ForTable returns the rules for a table, trying the qualified name
+// ("Control.table") first, then the bare table name.
+func (rs *RuleSet) ForTable(control, table string) []Rule {
+	if rs == nil {
+		return nil
+	}
+	if rules, ok := rs.byTable[control+"."+table]; ok {
+		return rules
+	}
+	return rs.byTable[table]
+}
+
+// NumRules returns the total number of rules.
+func (rs *RuleSet) NumRules() int {
+	if rs == nil {
+		return 0
+	}
+	n := 0
+	for _, v := range rs.byTable {
+		n += len(v)
+	}
+	return n
+}
+
+// Tables returns the table names that have rules, sorted.
+func (rs *RuleSet) Tables() []string {
+	var names []string
+	for n := range rs.byTable {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// Parse reads the text format described in the package comment.
+func Parse(text string) (*RuleSet, error) {
+	rs := NewRuleSet()
+	prio := 0
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rule, err := parseLine(line, prio)
+		if err != nil {
+			return nil, fmt.Errorf("rules: line %d: %w", lineNo+1, err)
+		}
+		rs.Add(rule)
+		prio++
+	}
+	return rs, nil
+}
+
+func parseLine(line string, prio int) (Rule, error) {
+	var argsPart string
+	if i := strings.Index(line, "=>"); i >= 0 {
+		argsPart = strings.TrimSpace(line[i+2:])
+		line = strings.TrimSpace(line[:i])
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Rule{}, fmt.Errorf("want '<table> <action> <match>...', got %q", line)
+	}
+	r := Rule{Table: fields[0], Action: fields[1], Priority: prio}
+	for _, m := range fields[2:] {
+		match, err := parseMatch(m)
+		if err != nil {
+			return Rule{}, err
+		}
+		r.Keys = append(r.Keys, match)
+	}
+	if argsPart != "" {
+		for _, a := range strings.Fields(strings.ReplaceAll(argsPart, ",", " ")) {
+			v, _, err := p4.ParseNumber(a)
+			if err != nil {
+				return Rule{}, fmt.Errorf("bad action argument %q: %v", a, err)
+			}
+			r.Args = append(r.Args, v)
+		}
+	}
+	return r, nil
+}
+
+func parseMatch(s string) (Match, error) {
+	if s == "*" {
+		return Match{Kind: Wildcard}, nil
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		v, _, err := p4.ParseNumber(s[:i])
+		if err != nil {
+			return Match{}, fmt.Errorf("bad LPM value %q: %v", s, err)
+		}
+		plen, _, err := p4.ParseNumber(s[i+1:])
+		if err != nil {
+			return Match{}, fmt.Errorf("bad LPM prefix %q: %v", s, err)
+		}
+		return Match{Kind: LPM, Value: v, PrefixLen: int(plen)}, nil
+	}
+	if i := strings.IndexByte(s, '&'); i >= 0 {
+		v, _, err := p4.ParseNumber(s[:i])
+		if err != nil {
+			return Match{}, fmt.Errorf("bad ternary value %q: %v", s, err)
+		}
+		mask, _, err := p4.ParseNumber(s[i+1:])
+		if err != nil {
+			return Match{}, fmt.Errorf("bad ternary mask %q: %v", s, err)
+		}
+		return Match{Kind: Ternary, Value: v, Mask: mask}, nil
+	}
+	v, _, err := p4.ParseNumber(s)
+	if err != nil {
+		return Match{}, fmt.Errorf("bad match %q: %v", s, err)
+	}
+	return Match{Kind: Exact, Value: v}, nil
+}
+
+// Render serializes the rule set back into the text format Parse reads,
+// grouped by table, preserving per-table priority order.
+func Render(rs *RuleSet) string {
+	var b strings.Builder
+	b.WriteString("# forwarding rules\n")
+	for _, table := range rs.Tables() {
+		for _, r := range rs.byTable[table] {
+			fmt.Fprintf(&b, "%s %s", r.Table, r.Action)
+			for _, k := range r.Keys {
+				switch k.Kind {
+				case Exact:
+					fmt.Fprintf(&b, " 0x%x", k.Value)
+				case LPM:
+					fmt.Fprintf(&b, " 0x%x/%d", k.Value, k.PrefixLen)
+				case Ternary:
+					fmt.Fprintf(&b, " 0x%x&0x%x", k.Value, k.Mask)
+				default:
+					b.WriteString(" *")
+				}
+			}
+			if len(r.Args) > 0 {
+				b.WriteString(" =>")
+				for _, a := range r.Args {
+					fmt.Fprintf(&b, " 0x%x", a)
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// MaskBits returns the effective (value, mask) pair of a match at the given
+// key width: the match holds iff key & mask == value & mask.
+func (m Match) MaskBits(width int) (uint64, uint64) {
+	full := ^uint64(0)
+	if width < 64 {
+		full = (uint64(1) << uint(width)) - 1
+	}
+	switch m.Kind {
+	case Exact:
+		return m.Value & full, full
+	case LPM:
+		if m.PrefixLen <= 0 {
+			return 0, 0
+		}
+		if m.PrefixLen >= width {
+			return m.Value & full, full
+		}
+		mask := full &^ ((uint64(1) << uint(width-m.PrefixLen)) - 1)
+		return m.Value & mask, mask
+	case Ternary:
+		return m.Value & m.Mask & full, m.Mask & full
+	default: // Wildcard
+		return 0, 0
+	}
+}

@@ -1,0 +1,151 @@
+package rules
+
+import "testing"
+
+func TestParseFormats(t *testing.T) {
+	rs, err := Parse(`
+# comment line
+
+ipv4_lpm set_nhop 0x0a000000/8 => 3 0x112233445566
+acl deny 0x0adead01
+Ingress.tern permit 0x10&0xF0
+wild drop *
+multi fwd 1 2/4 3&7 * => 9
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.NumRules() != 5 {
+		t.Fatalf("NumRules = %d, want 5", rs.NumRules())
+	}
+
+	lpm := rs.ForTable("X", "ipv4_lpm")
+	if len(lpm) != 1 || lpm[0].Keys[0].Kind != LPM || lpm[0].Keys[0].PrefixLen != 8 {
+		t.Fatalf("lpm rule wrong: %+v", lpm)
+	}
+	if len(lpm[0].Args) != 2 || lpm[0].Args[1] != 0x112233445566 {
+		t.Fatalf("lpm args wrong: %+v", lpm[0].Args)
+	}
+
+	// Qualified lookup wins over bare.
+	tern := rs.ForTable("Ingress", "tern")
+	if len(tern) != 1 || tern[0].Keys[0].Kind != Ternary || tern[0].Keys[0].Mask != 0xF0 {
+		t.Fatalf("ternary rule wrong: %+v", tern)
+	}
+
+	multi := rs.ForTable("X", "multi")
+	if len(multi[0].Keys) != 4 {
+		t.Fatalf("multi-key rule wrong: %+v", multi[0].Keys)
+	}
+	kinds := []MatchKind{Exact, LPM, Ternary, Wildcard}
+	for i, k := range kinds {
+		if multi[0].Keys[i].Kind != k {
+			t.Fatalf("key %d kind = %v, want %v", i, multi[0].Keys[i].Kind, k)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"justonetoken",
+		"t a zz",       // bad match value
+		"t a 1/x",      // bad prefix
+		"t a 1&y",      // bad mask
+		"t a 1 => foo", // bad arg
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestMaskBits(t *testing.T) {
+	cases := []struct {
+		m     Match
+		width int
+		value uint64
+		mask  uint64
+	}{
+		{Match{Kind: Exact, Value: 0xab}, 8, 0xab, 0xff},
+		{Match{Kind: Exact, Value: 0x1ab}, 8, 0xab, 0xff}, // masked to width
+		{Match{Kind: LPM, Value: 0x0a000000, PrefixLen: 8}, 32, 0x0a000000, 0xff000000},
+		{Match{Kind: LPM, Value: 0xffffffff, PrefixLen: 32}, 32, 0xffffffff, 0xffffffff},
+		{Match{Kind: LPM, Value: 5, PrefixLen: 0}, 32, 0, 0},
+		{Match{Kind: LPM, Value: 5, PrefixLen: 40}, 32, 5, 0xffffffff},
+		{Match{Kind: Ternary, Value: 0xff, Mask: 0x0f}, 8, 0x0f, 0x0f},
+		{Match{Kind: Wildcard}, 16, 0, 0},
+		{Match{Kind: Exact, Value: ^uint64(0)}, 64, ^uint64(0), ^uint64(0)},
+	}
+	for i, tc := range cases {
+		v, m := tc.m.MaskBits(tc.width)
+		if v != tc.value || m != tc.mask {
+			t.Errorf("case %d: got (%#x,%#x), want (%#x,%#x)", i, v, m, tc.value, tc.mask)
+		}
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	rs, err := Parse("t a 1\nt b 2\nt c 3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rs.ForTable("X", "t")
+	for i := 1; i < len(got); i++ {
+		if got[i].Priority <= got[i-1].Priority {
+			t.Fatal("line order should define ascending priority")
+		}
+	}
+}
+
+// TestRenderRoundTrip: Render output re-parses to an equivalent set.
+func TestRenderRoundTrip(t *testing.T) {
+	orig, err := Parse(`
+fib set_nhop 0x0a000000/8 => 3 0x112233445566
+acl deny 0xdead
+tern permit 0x10&0xF0
+wild drop * => 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(Render(orig))
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if back.NumRules() != orig.NumRules() {
+		t.Fatalf("round trip lost rules: %d vs %d", back.NumRules(), orig.NumRules())
+	}
+	for _, table := range orig.Tables() {
+		a, b := orig.byTable[table], back.byTable[table]
+		if len(a) != len(b) {
+			t.Fatalf("table %s: %d vs %d rules", table, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Action != b[i].Action || len(a[i].Keys) != len(b[i].Keys) ||
+				len(a[i].Args) != len(b[i].Args) {
+				t.Fatalf("table %s rule %d differs: %+v vs %+v", table, i, a[i], b[i])
+			}
+			for k := range a[i].Keys {
+				av, am := a[i].Keys[k].MaskBits(64)
+				bv, bm := b[i].Keys[k].MaskBits(64)
+				if av != bv || am != bm {
+					t.Fatalf("table %s rule %d key %d differs", table, i, k)
+				}
+			}
+		}
+	}
+}
+
+func TestTablesListing(t *testing.T) {
+	rs := NewRuleSet()
+	rs.Add(Rule{Table: "zeta"})
+	rs.Add(Rule{Table: "alpha"})
+	names := rs.Tables()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("Tables() = %v", names)
+	}
+	var nilSet *RuleSet
+	if nilSet.ForTable("a", "b") != nil || nilSet.NumRules() != 0 {
+		t.Fatal("nil RuleSet should behave as empty")
+	}
+}

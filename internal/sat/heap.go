@@ -1,0 +1,84 @@
+package sat
+
+// varHeap is a max-heap over variable activities used for VSIDS branching.
+// It keeps an index per variable so activities can be updated in place.
+type varHeap struct {
+	s    *Solver
+	data []int
+	pos  []int // variable -> heap index, -1 if absent
+}
+
+func (h *varHeap) less(a, b int) bool {
+	return h.s.activity[h.data[a]] > h.s.activity[h.data[b]]
+}
+
+func (h *varHeap) swap(a, b int) {
+	h.data[a], h.data[b] = h.data[b], h.data[a]
+	h.pos[h.data[a]] = a
+	h.pos[h.data[b]] = b
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.data)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(l, best) {
+			best = l
+		}
+		if r < n && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *varHeap) push(v int) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.data = append(h.data, v)
+	h.pos[v] = len(h.data) - 1
+	h.up(len(h.data) - 1)
+}
+
+func (h *varHeap) pushIfAbsent(v int) { h.push(v) }
+
+func (h *varHeap) pop() int {
+	if len(h.data) == 0 {
+		return -1
+	}
+	v := h.data[0]
+	last := len(h.data) - 1
+	h.swap(0, last)
+	h.data = h.data[:last]
+	h.pos[v] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return v
+}
+
+func (h *varHeap) update(v int) {
+	if v < len(h.pos) && h.pos[v] >= 0 {
+		h.up(h.pos[v])
+	}
+}

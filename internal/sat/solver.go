@@ -1,0 +1,516 @@
+// Package sat implements a CDCL (conflict-driven clause learning) boolean
+// satisfiability solver: two-watched-literal propagation, 1-UIP conflict
+// analysis with clause learning, VSIDS-style activity ordering, phase
+// saving and Luby restarts.
+//
+// It plays the role STP/Z3 play inside KLEE for the paper: the backend that
+// decides path feasibility and produces counterexample models after the
+// bitvector layer (internal/bitblast) has reduced formulas to CNF.
+package sat
+
+// Lit is a literal: variable index v (0-based) encoded as 2v for the
+// positive polarity and 2v+1 for the negative.
+type Lit int32
+
+// MkLit builds a literal from a variable index and polarity.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// lbool is a three-valued boolean.
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func boolToL(b bool) lbool {
+	if b {
+		return lTrue
+	}
+	return lFalse
+}
+
+type clause struct {
+	lits    []Lit
+	learned bool
+	act     float64
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit // cached literal; if true, clause is satisfied
+}
+
+// Solver holds all solver state. The zero value is not usable; call New.
+type Solver struct {
+	clauses  []*clause
+	learned  []*clause
+	watches  [][]watcher // indexed by literal
+	assign   []lbool     // indexed by variable
+	level    []int32     // decision level per variable
+	reason   []*clause   // antecedent clause per variable
+	trail    []Lit
+	trailLim []int // trail index per decision level
+	qhead    int
+
+	activity  []float64
+	varInc    float64
+	order     *varHeap
+	phase     []bool // saved phases
+	clauseInc float64
+
+	unsat     bool
+	conflicts int64
+	decisions int64
+	propags   int64
+
+	seen    []bool // scratch for conflict analysis
+	MaxConf int64  // optional conflict budget; 0 means unlimited
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1, clauseInc: 1}
+	s.order = &varHeap{s: s}
+	return s
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// Stats returns (decisions, propagations, conflicts) counters.
+func (s *Solver) Stats() (int64, int64, int64) { return s.decisions, s.propags, s.conflicts }
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assign)
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.push(v)
+	return v
+}
+
+func (s *Solver) litValue(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		if v == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return v
+}
+
+// AddClause adds a clause over the given literals. Returns false if the
+// formula became trivially unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if s.unsat {
+		return false
+	}
+	if len(s.trailLim) != 0 {
+		panic("sat: AddClause after Solve started")
+	}
+	// Deduplicate and drop falsified/tautological literals.
+	out := lits[:0:0]
+	for _, l := range lits {
+		switch s.litValue(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			continue
+		}
+		dup, taut := false, false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Not() {
+				taut = true
+				break
+			}
+		}
+		if taut {
+			return true
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.unsat = true
+		return false
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.unsat = true
+			return false
+		}
+		if s.propagate() != nil {
+			s.unsat = true
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.watch(c)
+	return true
+}
+
+func (s *Solver) watch(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, c.lits[0]})
+}
+
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.litValue(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	s.assign[v] = boolToL(!l.Neg())
+	s.level[v] = int32(len(s.trailLim))
+	s.reason[v] = from
+	s.phase[v] = !l.Neg()
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate runs unit propagation; returns the conflicting clause, if any.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is now true
+		s.qhead++
+		s.propags++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var confl *clause
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if confl != nil {
+				kept = append(kept, ws[i:]...)
+				break
+			}
+			if s.litValue(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Ensure the false literal (p.Not()) is at position 1.
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.litValue(first) == lTrue {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue // watcher moved; drop from this list
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c, first})
+			if s.litValue(first) == lFalse {
+				confl = c
+				s.qhead = len(s.trail)
+			} else if !s.enqueue(first, c) {
+				confl = c
+				s.qhead = len(s.trail)
+			}
+		}
+		s.watches[p] = kept
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) newDecisionLevel() { s.trailLim = append(s.trailLim, len(s.trail)) }
+
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[level]; i-- {
+		v := s.trail[i].Var()
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+		s.order.pushIfAbsent(v)
+	}
+	s.trail = s.trail[:s.trailLim[level]]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.clauseInc
+	if c.act > 1e20 {
+		for _, lc := range s.learned {
+			lc.act *= 1e-20
+		}
+		s.clauseInc *= 1e-20
+	}
+}
+
+// analyze performs 1-UIP conflict analysis, returning the learned clause
+// (with the asserting literal first) and the backjump level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // slot 0 reserved for the asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		s.bumpClause(confl)
+		start := 0
+		if p != -1 {
+			start = 1 // skip the asserting literal slot of the reason
+		}
+		for j := start; j < len(confl.lits); j++ {
+			q := confl.lits[j]
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if int(s.level[v]) >= s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find the next literal to resolve on.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			learnt[0] = p.Not()
+			break
+		}
+		confl = s.reason[v]
+	}
+
+	// Compute backjump level: the max level among the non-asserting lits.
+	bt := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		bt = int(s.level[learnt[1].Var()])
+	}
+	for _, l := range learnt {
+		s.seen[l.Var()] = false
+	}
+	return learnt, bt
+}
+
+func (s *Solver) record(learnt []Lit) {
+	if len(learnt) == 1 {
+		s.enqueue(learnt[0], nil)
+		return
+	}
+	c := &clause{lits: learnt, learned: true, act: s.clauseInc}
+	s.learned = append(s.learned, c)
+	s.watch(c)
+	s.enqueue(learnt[0], c)
+}
+
+// reduceDB removes the less active half of the learned clauses.
+func (s *Solver) reduceDB() {
+	if len(s.learned) < 4 {
+		return
+	}
+	// Partial selection: keep binary clauses and the more active half.
+	lim := medianAct(s.learned)
+	kept := s.learned[:0]
+	for _, c := range s.learned {
+		if len(c.lits) <= 2 || c.act >= lim || s.locked(c) {
+			kept = append(kept, c)
+		} else {
+			s.unwatch(c)
+		}
+	}
+	s.learned = kept
+}
+
+func (s *Solver) locked(c *clause) bool {
+	v := c.lits[0].Var()
+	return s.reason[v] == c && s.assign[v] != lUndef
+}
+
+func (s *Solver) unwatch(c *clause) {
+	for _, wl := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+		ws := s.watches[wl]
+		for i := range ws {
+			if ws[i].c == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[wl] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+func medianAct(cs []*clause) float64 {
+	var sum float64
+	for _, c := range cs {
+		sum += c.act
+	}
+	return sum / float64(len(cs))
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<uint(k))-1 {
+			return 1 << uint(k-1)
+		}
+		if i >= 1<<uint(k-1) && i < (1<<uint(k))-1 {
+			return luby(i - (1 << uint(k-1)) + 1)
+		}
+	}
+}
+
+// Solve decides satisfiability of the accumulated clauses. It returns true
+// for SAT (a model is then available via Value) and false for UNSAT. If a
+// conflict budget was set and exhausted, Solve returns false with
+// Budget() reporting the exhaustion.
+func (s *Solver) Solve() bool {
+	if s.unsat {
+		return false
+	}
+	if confl := s.propagate(); confl != nil {
+		s.unsat = true
+		return false
+	}
+	restart := int64(1)
+	for {
+		budget := 100 * luby(restart)
+		res := s.search(budget)
+		switch res {
+		case lTrue:
+			return true
+		case lFalse:
+			s.unsat = true
+			return false
+		}
+		if s.MaxConf > 0 && s.conflicts >= s.MaxConf {
+			s.cancelUntil(0)
+			return false
+		}
+		restart++
+		s.cancelUntil(0)
+		if restart%8 == 0 {
+			s.reduceDB()
+		}
+	}
+}
+
+func (s *Solver) search(budget int64) lbool {
+	for n := int64(0); ; {
+		confl := s.propagate()
+		if confl != nil {
+			s.conflicts++
+			n++
+			if s.decisionLevel() == 0 {
+				return lFalse
+			}
+			learnt, bt := s.analyze(confl)
+			s.cancelUntil(bt)
+			s.record(learnt)
+			s.varInc *= 1.0 / 0.95
+			s.clauseInc *= 1.0 / 0.999
+			if n >= budget || (s.MaxConf > 0 && s.conflicts >= s.MaxConf) {
+				return lUndef
+			}
+			continue
+		}
+		// Pick a branching variable.
+		v := s.pickBranch()
+		if v < 0 {
+			return lTrue // all assigned: model found
+		}
+		s.decisions++
+		s.newDecisionLevel()
+		s.enqueue(MkLit(v, !s.phase[v]), nil)
+	}
+}
+
+func (s *Solver) pickBranch() int {
+	for {
+		v := s.order.pop()
+		if v < 0 {
+			return -1
+		}
+		if s.assign[v] == lUndef {
+			return v
+		}
+	}
+}
+
+// Value returns the assignment of variable v in the found model.
+func (s *Solver) Value(v int) bool { return s.assign[v] == lTrue }
+
+// Okay reports whether no top-level contradiction has been derived.
+func (s *Solver) Okay() bool { return !s.unsat }

@@ -1,0 +1,292 @@
+// Package slicer implements backward program slicing over the model IR,
+// standing in for the paper's use of the Frama-C slicing plug-in (§4.2).
+// The slicing criteria are the variables the program's assertions observe;
+// everything that cannot affect them — data or control — is removed, which
+// shrinks the path space the symbolic executor must cover.
+//
+// Like Frama-C, the slicer refuses programs with recursive call structure
+// (the paper reports exactly this failure on MRI's recursive parser and
+// shows "-" entries in Table 2).
+package slicer
+
+import (
+	"errors"
+	"fmt"
+
+	"p4assert/internal/model"
+)
+
+// ErrRecursion is reported for models with recursive (cyclic) call graphs.
+var ErrRecursion = errors.New("slicer: program has a recursive parser/call cycle; slicing unsupported")
+
+// Slice returns a reduced clone of p preserving the behaviour of all
+// assertion checks. It fails with ErrRecursion on cyclic call graphs.
+func Slice(p *model.Program) (*model.Program, error) {
+	if err := checkAcyclic(p); err != nil {
+		return nil, err
+	}
+	s := &slicer{p: p, relevant: map[string]bool{}}
+	s.seed()
+	s.fixpoint()
+	q := p.Clone()
+	for name, f := range q.Funcs {
+		f.Body = s.sliceBody(f.Body)
+		q.Funcs[name] = f
+	}
+	// Iteratively drop calls to functions that sliced to nothing.
+	for i := 0; i < 8; i++ {
+		empty := map[string]bool{}
+		for name, f := range q.Funcs {
+			if len(f.Body) == 0 {
+				empty[name] = true
+			}
+		}
+		changed := false
+		for _, f := range q.Funcs {
+			f.Body = dropEmptyCalls(f.Body, empty, &changed)
+		}
+		if !changed {
+			break
+		}
+	}
+	return q, nil
+}
+
+// checkAcyclic walks the call graph looking for cycles.
+func checkAcyclic(p *model.Program) error {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(fn string) error
+	visit = func(fn string) error {
+		switch color[fn] {
+		case grey:
+			return fmt.Errorf("%w (via %s)", ErrRecursion, fn)
+		case black:
+			return nil
+		}
+		color[fn] = grey
+		f, ok := p.Funcs[fn]
+		if ok {
+			for _, callee := range calls(f.Body, nil) {
+				if err := visit(callee); err != nil {
+					return err
+				}
+			}
+		}
+		color[fn] = black
+		return nil
+	}
+	for _, e := range p.Entry {
+		if err := visit(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func calls(body []model.Stmt, dst []string) []string {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *model.Call:
+			dst = append(dst, st.Func)
+		case *model.If:
+			dst = calls(st.Then, dst)
+			dst = calls(st.Else, dst)
+		case *model.Fork:
+			for _, b := range st.Branches {
+				dst = calls(b, dst)
+			}
+		}
+	}
+	return dst
+}
+
+type slicer struct {
+	p        *model.Program
+	relevant map[string]bool
+}
+
+// seed initializes the criteria: variables observed by assertion checks
+// plus everything assumptions constrain (dropping an assume would change
+// which paths exist, hence which violations are reported).
+func (s *slicer) seed() {
+	var scan func(body []model.Stmt)
+	scan = func(body []model.Stmt) {
+		for _, st := range body {
+			switch x := st.(type) {
+			case *model.AssertCheck:
+				for _, r := range model.Refs(x.Cond, nil) {
+					s.relevant[r] = true
+				}
+			case *model.Assume:
+				for _, r := range model.Refs(x.Cond, nil) {
+					s.relevant[r] = true
+				}
+			case *model.If:
+				scan(x.Then)
+				scan(x.Else)
+			case *model.Fork:
+				for _, b := range x.Branches {
+					scan(b)
+				}
+			}
+		}
+	}
+	for _, f := range s.p.Funcs {
+		scan(f.Body)
+	}
+	// The forward flag participates in path-termination semantics.
+	s.relevant[model.ForwardFlag] = s.relevant[model.ForwardFlag] || false
+}
+
+// fixpoint grows the relevant set: an assignment to a relevant variable
+// makes everything its RHS reads relevant; a branch containing relevant
+// effects makes its condition's reads relevant (control dependence).
+func (s *slicer) fixpoint() {
+	for {
+		changed := false
+		var scan func(body []model.Stmt) bool // reports "contains relevant effect"
+		scan = func(body []model.Stmt) bool {
+			has := false
+			for _, st := range body {
+				switch x := st.(type) {
+				case *model.Assign:
+					if s.relevant[x.LHS] {
+						has = true
+						for _, r := range model.Refs(x.RHS, nil) {
+							if !s.relevant[r] {
+								s.relevant[r] = true
+								changed = true
+							}
+						}
+					}
+				case *model.MakeSymbolic:
+					if s.relevant[x.Var] {
+						has = true
+					}
+				case *model.AssertCheck, *model.Assume, *model.Halt, *model.Exit:
+					has = true
+				case *model.Return:
+					// Control flow within a kept function; not itself a
+					// relevant effect.
+				case *model.Call:
+					if f, ok := s.p.Funcs[x.Func]; ok {
+						if scan(f.Body) {
+							has = true
+						}
+					}
+				case *model.If:
+					inner := scan(x.Then) || scan(x.Else)
+					if inner {
+						has = true
+						for _, r := range model.Refs(x.Cond, nil) {
+							if !s.relevant[r] {
+								s.relevant[r] = true
+								changed = true
+							}
+						}
+					}
+				case *model.Fork:
+					for _, b := range x.Branches {
+						if scan(b) {
+							has = true
+						}
+					}
+				}
+			}
+			return has
+		}
+		for _, e := range s.p.Entry {
+			if f, ok := s.p.Funcs[e]; ok {
+				scan(f.Body)
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// sliceBody removes statements that cannot affect the criteria.
+func (s *slicer) sliceBody(body []model.Stmt) []model.Stmt {
+	out := make([]model.Stmt, 0, len(body))
+	for _, st := range body {
+		switch x := st.(type) {
+		case *model.Assign:
+			if s.relevant[x.LHS] {
+				out = append(out, x)
+			}
+		case *model.MakeSymbolic:
+			if s.relevant[x.Var] {
+				out = append(out, x)
+			}
+		case *model.If:
+			then := s.sliceBody(x.Then)
+			els := s.sliceBody(x.Else)
+			if len(then) == 0 && len(els) == 0 {
+				continue // branch is irrelevant: remove the whole decision
+			}
+			out = append(out, &model.If{Cond: x.Cond, Then: then, Else: els})
+		case *model.Fork:
+			branches := make([][]model.Stmt, len(x.Branches))
+			allEmpty := true
+			for i, b := range x.Branches {
+				branches[i] = s.sliceBody(b)
+				if len(branches[i]) > 0 {
+					allEmpty = false
+				}
+			}
+			if allEmpty {
+				continue // the table cannot affect the criteria
+			}
+			out = append(out, &model.Fork{Selector: x.Selector, Labels: x.Labels, Branches: branches})
+		default:
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+func dropEmptyCalls(body []model.Stmt, empty map[string]bool, changed *bool) []model.Stmt {
+	out := make([]model.Stmt, 0, len(body))
+	for _, s := range body {
+		switch st := s.(type) {
+		case *model.Call:
+			if empty[st.Func] {
+				*changed = true
+				continue
+			}
+			out = append(out, st)
+		case *model.If:
+			then := dropEmptyCalls(st.Then, empty, changed)
+			els := dropEmptyCalls(st.Else, empty, changed)
+			if len(then) == 0 && len(els) == 0 {
+				*changed = true
+				continue
+			}
+			out = append(out, &model.If{Cond: st.Cond, Then: then, Else: els})
+		case *model.Fork:
+			nf := &model.Fork{Selector: st.Selector, Labels: st.Labels}
+			allEmpty := true
+			for _, b := range st.Branches {
+				nb := dropEmptyCalls(b, empty, changed)
+				if len(nb) > 0 {
+					allEmpty = false
+				}
+				nf.Branches = append(nf.Branches, nb)
+			}
+			if allEmpty {
+				*changed = true
+				continue
+			}
+			out = append(out, nf)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package slicer
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"p4assert/internal/model"
+	"p4assert/internal/p4"
+	"p4assert/internal/sym"
+	"p4assert/internal/translate"
+	"p4assert/internal/whippersnapper"
+)
+
+func TestRecursionRefused(t *testing.T) {
+	p := model.NewProgram()
+	p.AddFunc(&model.Func{Name: "a", Body: []model.Stmt{&model.Call{Func: "b"}}})
+	p.AddFunc(&model.Func{Name: "b", Body: []model.Stmt{&model.Call{Func: "a"}}})
+	p.Entry = []string{"a"}
+	_, err := Slice(p)
+	if !errors.Is(err, ErrRecursion) {
+		t.Fatalf("err = %v, want ErrRecursion", err)
+	}
+}
+
+func TestSelfLoopRefused(t *testing.T) {
+	p := model.NewProgram()
+	p.AddFunc(&model.Func{Name: "s", Body: []model.Stmt{&model.Call{Func: "s"}}})
+	p.Entry = []string{"s"}
+	if _, err := Slice(p); !errors.Is(err, ErrRecursion) {
+		t.Fatalf("self-loop: err = %v", err)
+	}
+}
+
+func TestIrrelevantTableRemoved(t *testing.T) {
+	// A table whose actions touch nothing the assertion observes must
+	// vanish from the slice, removing its fork entirely.
+	src := `
+header h_t { bit<8> a; bit<8> b; }
+struct hs { h_t h; }
+struct ms { bit<1> u; }
+parser P(packet_in pkt, out hs hdr, inout ms meta,
+         inout standard_metadata_t standard_metadata) {
+    state start { pkt.extract(hdr.h); transition accept; }
+}
+control I(inout hs hdr, inout ms meta,
+          inout standard_metadata_t standard_metadata) {
+    action touch_b(bit<8> v) { hdr.h.b = v; }
+    action nop() { }
+    table irrelevant {
+        key = { hdr.h.b : exact; }
+        actions = { touch_b; nop; }
+        default_action = nop;
+    }
+    apply {
+        irrelevant.apply();
+        @assert("h.a == h.a");
+    }
+}
+control D(packet_out pkt, in hs hdr) { apply { } }
+V1Switch(P, I, D) main;
+`
+	prog, err := p4.Parse("s.p4", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Check(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := translate.Translate(prog, translate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sliced, err := Slice(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := sym.Execute(m, sym.Options{})
+	r2, _ := sym.Execute(sliced, sym.Options{})
+	if r2.Metrics.Paths >= r1.Metrics.Paths {
+		t.Fatalf("slice should remove the irrelevant fork: %d vs %d paths",
+			r2.Metrics.Paths, r1.Metrics.Paths)
+	}
+	if r2.Metrics.Paths != 1 {
+		t.Fatalf("sliced program should have 1 path, got %d", r2.Metrics.Paths)
+	}
+}
+
+// TestSliceVerdictEquivalence is the DESIGN.md property: slicing preserves
+// the set of violated assertions on sliceable programs.
+func TestSliceVerdictEquivalence(t *testing.T) {
+	for _, cfg := range []whippersnapper.Config{
+		{Tables: 2, Assertions: 3},
+		{Tables: 3, Assertions: 1},
+		{Tables: 2, RulesPerTable: 4, Assertions: 2},
+	} {
+		src := whippersnapper.Generate(cfg)
+		prog, err := p4.Parse("ws.p4", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := prog.Check(); err != nil {
+			t.Fatal(err)
+		}
+		m, err := translate.Translate(prog, translate.Options{Rules: whippersnapper.GenerateRules(cfg)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sliced, err := Slice(m)
+		if err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		r1, _ := sym.Execute(m, sym.Options{})
+		r2, _ := sym.Execute(sliced, sym.Options{})
+		if !sameIDs(r1, r2) {
+			t.Fatalf("cfg %+v: verdicts differ: %v vs %v", cfg, r1.Violations, r2.Violations)
+		}
+		if r2.Metrics.Instructions > r1.Metrics.Instructions {
+			t.Fatalf("cfg %+v: slice increased instructions", cfg)
+		}
+	}
+}
+
+func sameIDs(a, b *sym.Result) bool {
+	ids := func(r *sym.Result) []int {
+		var out []int
+		for _, v := range r.Violations {
+			out = append(out, v.AssertID)
+		}
+		sort.Ints(out)
+		return out
+	}
+	x, y := ids(a), ids(b)
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAssumesSurviveSlicing(t *testing.T) {
+	// Dropping assumes would change which paths exist; they must be kept.
+	p := model.NewProgram()
+	p.AddGlobal("x", 8, true, 0)
+	p.AddFunc(&model.Func{Name: "main", Body: []model.Stmt{
+		&model.Assume{Cond: &model.Bin{Op: model.OpEq, X: &model.Ref{Name: "x"}, Y: &model.Const{Width: 8, Val: 3}}},
+		&model.AssertCheck{ID: 0, Cond: &model.Bin{Op: model.OpEq, X: &model.Ref{Name: "x"}, Y: &model.Const{Width: 8, Val: 3}}},
+	}})
+	p.Entry = []string{"main"}
+	p.Asserts = []*model.AssertInfo{{ID: 0}}
+	sliced, err := Slice(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sliced.Funcs["main"].Body) != 2 {
+		t.Fatalf("assume or assert dropped:\n%s", sliced.Dump())
+	}
+	r, _ := sym.Execute(sliced, sym.Options{})
+	if len(r.Violations) != 0 {
+		t.Fatal("verdict changed by slicing")
+	}
+}

@@ -1,0 +1,305 @@
+// Package solver decides satisfiability of sets of bitvector constraints.
+// It layers cheap decision procedures in front of full bit-blasting:
+//
+//  1. constant inspection — a constraint already folded to false is UNSAT,
+//     and a set folded entirely to true is trivially SAT;
+//  2. assignment guessing — path conditions of P4 models are dominated by
+//     equalities between fields and constants, so a model assembled from
+//     those equalities (all other variables zero) very often satisfies the
+//     whole set and avoids the SAT solver entirely;
+//  3. bit-blasting to CNF and CDCL search (internal/bitblast, internal/sat).
+//
+// This mirrors the role of the solver stack under KLEE in the paper, where
+// most path-feasibility queries are shallow and only assertion checks on
+// arithmetic-heavy paths need real search.
+package solver
+
+import (
+	"p4assert/internal/bitblast"
+	"p4assert/internal/bv"
+	"p4assert/internal/sat"
+)
+
+// Result reports the outcome of a satisfiability check.
+type Result struct {
+	Sat   bool
+	Model map[string]uint64 // valid only when Sat; variables not mentioned are zero
+	Quick bool              // answered without invoking the SAT solver
+}
+
+// Stats counts solver activity for the paper's instruction/
+// query metrics.
+type Stats struct {
+	Queries     int64
+	QuickSAT    int64
+	QuickUNSAT  int64
+	FullQueries int64
+}
+
+// Checker decides constraint sets built in a single bv.Context. The zero
+// value is ready to use. A Checker is not safe for concurrent use; parallel
+// submodel executions each own one.
+type Checker struct {
+	Ctx   *bv.Context
+	Stats Stats
+}
+
+// New returns a Checker for expressions created in ctx.
+func New(ctx *bv.Context) *Checker { return &Checker{Ctx: ctx} }
+
+// Check decides whether the conjunction of constraints is satisfiable.
+// Every constraint must have width 1.
+func (c *Checker) Check(constraints []*bv.Expr) Result {
+	c.Stats.Queries++
+
+	// Layer 1: constant inspection.
+	live := constraints[:0:0]
+	for _, e := range constraints {
+		if e.IsFalse() {
+			c.Stats.QuickUNSAT++
+			return Result{Sat: false, Quick: true}
+		}
+		if !e.IsTrue() {
+			live = append(live, e)
+		}
+	}
+	if len(live) == 0 {
+		c.Stats.QuickSAT++
+		return Result{Sat: true, Model: map[string]uint64{}, Quick: true}
+	}
+
+	// Layer 2: guessed assignment from equality constraints.
+	if env, ok := c.guessFromEqualities(live); ok {
+		if evalAll(live, env) {
+			c.Stats.QuickSAT++
+			return Result{Sat: true, Model: completeModel(live, env), Quick: true}
+		}
+	}
+	// All-zeros is another very common witness (e.g. "no header valid").
+	zero := map[string]uint64{}
+	if evalAll(live, zero) {
+		c.Stats.QuickSAT++
+		return Result{Sat: true, Model: completeModel(live, zero), Quick: true}
+	}
+	// Per-variable interval/exclusion probing: table-miss paths carry long
+	// runs of key != rule_i constraints, for which a value outside the
+	// exclusion set is an immediate witness.
+	if env, ok := c.probeBounds(live); ok && evalAll(live, env) {
+		c.Stats.QuickSAT++
+		return Result{Sat: true, Model: completeModel(live, env), Quick: true}
+	}
+
+	// Layer 3: full bit-blasting.
+	c.Stats.FullQueries++
+	s := sat.New()
+	b := bitblast.New(s)
+	for _, e := range live {
+		b.AssertTrue(e)
+	}
+	if !s.Solve() {
+		return Result{Sat: false}
+	}
+	return Result{Sat: true, Model: b.Model()}
+}
+
+// guessFromEqualities walks top-level conjunctions collecting var == const
+// bindings. Returns ok=false on a visible conflict between bindings, which
+// is itself a strong UNSAT hint but not proof (so we fall through).
+func (c *Checker) guessFromEqualities(constraints []*bv.Expr) (map[string]uint64, bool) {
+	env := map[string]uint64{}
+	ok := true
+	var visit func(e *bv.Expr)
+	visit = func(e *bv.Expr) {
+		switch e.Op {
+		case bv.OpAnd:
+			if e.Width == 1 {
+				visit(e.Args[0])
+				visit(e.Args[1])
+			}
+		case bv.OpEq:
+			a, b := e.Args[0], e.Args[1]
+			if a.Op == bv.OpConst {
+				a, b = b, a
+			}
+			if a.Op == bv.OpVar && b.Op == bv.OpConst {
+				if old, seen := env[a.Name]; seen && old != b.Val {
+					ok = false
+					return
+				}
+				env[a.Name] = b.Val
+			}
+		case bv.OpVar:
+			if e.Width == 1 {
+				env[e.Name] = 1
+			}
+		case bv.OpNot:
+			if e.Args[0].Op == bv.OpVar && e.Width == 1 {
+				env[e.Args[0].Name] = 0
+			}
+		}
+	}
+	for _, e := range constraints {
+		visit(e)
+	}
+	return env, ok
+}
+
+// varInfo accumulates per-variable facts from top-level conjuncts.
+type varInfo struct {
+	width    int
+	lo, hi   uint64 // inclusive bounds
+	eq       uint64
+	hasEq    bool
+	excluded map[uint64]bool
+}
+
+// probeBounds collects per-variable equalities, disequalities and unsigned
+// bounds from top-level conjuncts and proposes the smallest in-bounds,
+// non-excluded value for each variable. The caller re-checks the proposal
+// against every constraint, so this is purely a sound SAT witness guesser.
+func (c *Checker) probeBounds(constraints []*bv.Expr) (map[string]uint64, bool) {
+	infos := map[string]*varInfo{}
+	get := func(v *bv.Expr) *varInfo {
+		in, ok := infos[v.Name]
+		if !ok {
+			in = &varInfo{width: v.Width, hi: bv.Mask(v.Width), excluded: map[uint64]bool{}}
+			infos[v.Name] = in
+		}
+		return in
+	}
+	ok := true
+	var visit func(e *bv.Expr, neg bool)
+	visit = func(e *bv.Expr, neg bool) {
+		switch e.Op {
+		case bv.OpAnd:
+			if e.Width == 1 && !neg {
+				visit(e.Args[0], false)
+				visit(e.Args[1], false)
+			}
+		case bv.OpNot:
+			visit(e.Args[0], !neg)
+		case bv.OpEq:
+			a, b := e.Args[0], e.Args[1]
+			if a.Op == bv.OpConst {
+				a, b = b, a
+			}
+			if a.Op != bv.OpVar || b.Op != bv.OpConst {
+				return
+			}
+			in := get(a)
+			if neg {
+				in.excluded[b.Val] = true
+			} else {
+				if in.hasEq && in.eq != b.Val {
+					ok = false
+				}
+				in.hasEq, in.eq = true, b.Val
+			}
+		case bv.OpUlt, bv.OpUle:
+			a, b := e.Args[0], e.Args[1]
+			strict := e.Op == bv.OpUlt
+			switch {
+			case a.Op == bv.OpVar && b.Op == bv.OpConst:
+				in := get(a)
+				if !neg { // a < c  or a <= c
+					hi := b.Val
+					if strict {
+						if hi == 0 {
+							ok = false
+							return
+						}
+						hi--
+					}
+					if hi < in.hi {
+						in.hi = hi
+					}
+				} else { // !(a < c) => a >= c ; !(a <= c) => a > c
+					lo := b.Val
+					if !strict {
+						lo++
+					}
+					if lo > in.lo {
+						in.lo = lo
+					}
+				}
+			case a.Op == bv.OpConst && b.Op == bv.OpVar:
+				in := get(b)
+				if !neg { // c < b  or c <= b
+					lo := a.Val
+					if strict {
+						lo++
+					}
+					if lo > in.lo {
+						in.lo = lo
+					}
+				} else { // !(c < b) => b <= c ; !(c <= b) => b < c
+					hi := a.Val
+					if strict {
+						if hi == 0 {
+							ok = false
+							return
+						}
+						hi--
+					}
+					if hi < in.hi {
+						in.hi = hi
+					}
+				}
+			}
+		case bv.OpVar:
+			if e.Width == 1 {
+				in := get(e)
+				v := uint64(1)
+				if neg {
+					v = 0
+				}
+				if in.hasEq && in.eq != v {
+					ok = false
+				}
+				in.hasEq, in.eq = true, v
+			}
+		}
+	}
+	for _, e := range constraints {
+		visit(e, false)
+	}
+	if !ok {
+		return nil, false
+	}
+	env := map[string]uint64{}
+	for name, in := range infos {
+		if in.hasEq {
+			env[name] = in.eq
+			continue
+		}
+		v := in.lo
+		for in.excluded[v] && v < in.hi {
+			v++
+		}
+		env[name] = v
+	}
+	return env, true
+}
+
+// completeModel extends a witness with explicit zero entries for every
+// variable the constraints mention, so counterexamples always show the full
+// relevant input assignment.
+func completeModel(constraints []*bv.Expr, env map[string]uint64) map[string]uint64 {
+	for _, e := range constraints {
+		for _, name := range bv.Vars(e, nil) {
+			if _, ok := env[name]; !ok {
+				env[name] = 0
+			}
+		}
+	}
+	return env
+}
+
+func evalAll(constraints []*bv.Expr, env map[string]uint64) bool {
+	for _, e := range constraints {
+		if bv.Eval(e, env) != 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,202 @@
+// Package submodel implements the paper's parallelization strategy (§4.4):
+// the model is statically divided into submodels at early decision points —
+// the first branching in the parser and the first table dispatch — by
+// replacing the decision with an assumption per branch (Fig. 8). Submodels
+// are independent and run concurrently on a bounded worker pool; results
+// are merged.
+package submodel
+
+import (
+	"sync"
+
+	"p4assert/internal/model"
+	"p4assert/internal/sym"
+)
+
+// splitPoint locates a top-level statement reachable from an entry chain.
+type splitPoint struct {
+	fn  string
+	idx int
+}
+
+// findSplit walks the call chain from startFn, visiting top-level
+// statements, and returns the first If or Fork. It looks through Calls
+// (depth-first, cycle-guarded).
+func findSplit(p *model.Program, startFn string) *splitPoint {
+	visited := map[string]bool{}
+	var walk func(fn string) *splitPoint
+	walk = func(fn string) *splitPoint {
+		if visited[fn] {
+			return nil
+		}
+		visited[fn] = true
+		f, ok := p.Funcs[fn]
+		if !ok {
+			return nil
+		}
+		for i, s := range f.Body {
+			switch st := s.(type) {
+			case *model.If, *model.Fork:
+				_ = st
+				return &splitPoint{fn: fn, idx: i}
+			case *model.Call:
+				if sp := walk(st.Func); sp != nil {
+					return sp
+				}
+			}
+		}
+		return nil
+	}
+	return walk(startFn)
+}
+
+// expand returns the replacement statement lists for each branch of the
+// decision at sp: assumption-guarded branch bodies (Fig. 8(b)/(c)).
+func expand(p *model.Program, sp *splitPoint) [][]model.Stmt {
+	stmt := p.Funcs[sp.fn].Body[sp.idx]
+	switch st := stmt.(type) {
+	case *model.Fork:
+		return st.Branches
+	case *model.If:
+		// Flatten an if-else cascade: one submodel per arm plus the final
+		// default ("each action in a table is traversed using a different
+		// submodel").
+		var out [][]model.Stmt
+		var negs []model.Stmt
+		cur := st
+		for {
+			branch := append([]model.Stmt(nil), negs...)
+			branch = append(branch, &model.Assume{Cond: cur.Cond})
+			branch = append(branch, cur.Then...)
+			out = append(out, branch)
+			negs = append(negs, &model.Assume{Cond: &model.Un{Op: model.OpNot, X: cur.Cond}})
+			if len(cur.Else) == 1 {
+				if next, ok := cur.Else[0].(*model.If); ok {
+					cur = next
+					continue
+				}
+			}
+			def := append([]model.Stmt(nil), negs...)
+			def = append(def, cur.Else...)
+			out = append(out, def)
+			return out
+		}
+	}
+	return nil
+}
+
+// withReplacement clones p, replacing the statement at sp with repl.
+func withReplacement(p *model.Program, sp *splitPoint, repl []model.Stmt) *model.Program {
+	q := p.Clone()
+	f := q.Funcs[sp.fn]
+	body := make([]model.Stmt, 0, len(f.Body)+len(repl)-1)
+	body = append(body, f.Body[:sp.idx]...)
+	body = append(body, repl...)
+	body = append(body, f.Body[sp.idx+1:]...)
+	f.Body = body
+	return q
+}
+
+// Split generates submodels per the paper's heuristic: divide at the first
+// parser decision, then subdivide each submodel at the first table decision
+// in the control pipeline. If no decision point exists the original program
+// is returned as the only submodel.
+func Split(p *model.Program) []*model.Program {
+	first := []*model.Program{p}
+	if len(p.Entry) > 0 {
+		if sp := findSplit(p, p.Entry[0]); sp != nil {
+			first = nil
+			for _, repl := range expand(p, sp) {
+				first = append(first, withReplacement(p, sp, repl))
+			}
+		}
+	}
+	var out []*model.Program
+	for _, sub := range first {
+		split := false
+		for _, entry := range sub.Entry[1:] {
+			if entry == "$checks" {
+				continue
+			}
+			if sp := findSplit(sub, entry); sp != nil {
+				for _, repl := range expand(sub, sp) {
+					out = append(out, withReplacement(sub, sp, repl))
+				}
+				split = true
+				break
+			}
+		}
+		if !split {
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+// Result aggregates a parallel run.
+type Result struct {
+	// Agg merges all submodels: violation union, metric sums.
+	Agg sym.Result
+	// PerModel records each submodel's metrics.
+	PerModel []sym.Metrics
+	// WorstInstructions is the instruction count of the heaviest submodel
+	// (the paper's Table 2 parallel-reduction metric).
+	WorstInstructions int64
+}
+
+// Run splits p and executes the submodels on workers goroutines
+// (the paper's experiments use 4, matching their VM's cores).
+func Run(p *model.Program, opts sym.Options, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = 4
+	}
+	subs := Split(p)
+	results := make([]*sym.Result, len(subs))
+	errs := make([]error, len(subs))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, sub := range subs {
+		wg.Add(1)
+		go func(i int, sub *model.Program) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = sym.Execute(sub, opts)
+		}(i, sub)
+	}
+	wg.Wait()
+
+	out := &Result{}
+	seen := map[int]*sym.Violation{}
+	for i, r := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out.PerModel = append(out.PerModel, r.Metrics)
+		m := &out.Agg.Metrics
+		m.Paths += r.Metrics.Paths
+		m.KilledInfeasible += r.Metrics.KilledInfeasible
+		m.BoundExceeded += r.Metrics.BoundExceeded
+		m.Instructions += r.Metrics.Instructions
+		m.Forks += r.Metrics.Forks
+		m.Solver.Queries += r.Metrics.Solver.Queries
+		m.Solver.QuickSAT += r.Metrics.Solver.QuickSAT
+		m.Solver.QuickUNSAT += r.Metrics.Solver.QuickUNSAT
+		m.Solver.FullQueries += r.Metrics.Solver.FullQueries
+		if r.Metrics.Instructions > out.WorstInstructions {
+			out.WorstInstructions = r.Metrics.Instructions
+		}
+		out.Agg.Exhausted = out.Agg.Exhausted || r.Exhausted
+		for _, v := range r.Violations {
+			if prev, ok := seen[v.AssertID]; ok {
+				prev.Count += v.Count
+				continue
+			}
+			cp := *v
+			seen[v.AssertID] = &cp
+			out.Agg.Violations = append(out.Agg.Violations, &cp)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package submodel
+
+import (
+	"testing"
+
+	"p4assert/internal/model"
+	"p4assert/internal/p4"
+	"p4assert/internal/sym"
+	"p4assert/internal/translate"
+	"p4assert/internal/whippersnapper"
+)
+
+func translateWS(t *testing.T, cfg whippersnapper.Config) *model.Program {
+	t.Helper()
+	src := whippersnapper.Generate(cfg)
+	prog, err := p4.Parse("ws.p4", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Check(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := translate.Translate(prog, translate.Options{Rules: whippersnapper.GenerateRules(cfg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSplitCountForkTable(t *testing.T) {
+	// No parser branch; the first table has 3 actions → 3 submodels.
+	m := translateWS(t, whippersnapper.Config{Tables: 3})
+	subs := Split(m)
+	if len(subs) != 3 {
+		t.Fatalf("submodels = %d, want 3", len(subs))
+	}
+}
+
+func TestSplitCountRuleCascade(t *testing.T) {
+	// With R rules the first table is an R-arm cascade plus a default:
+	// R+1 submodels (the growth behind Fig. 10(c)'s parallel overhead).
+	m := translateWS(t, whippersnapper.Config{Tables: 2, RulesPerTable: 5})
+	subs := Split(m)
+	if len(subs) != 6 {
+		t.Fatalf("submodels = %d, want 6", len(subs))
+	}
+}
+
+func TestSplitParserAndTable(t *testing.T) {
+	// A parser select (2 outcomes) times the table decision.
+	src := `
+header h_t { bit<8> k; }
+struct hs { h_t h; }
+struct ms { bit<1> u; }
+parser P(packet_in pkt, out hs hdr, inout ms meta,
+         inout standard_metadata_t standard_metadata) {
+    state start {
+        pkt.extract(hdr.h);
+        transition select(hdr.h.k) {
+            1: s1;
+            default: accept;
+        }
+    }
+    state s1 { transition accept; }
+}
+control I(inout hs hdr, inout ms meta,
+          inout standard_metadata_t standard_metadata) {
+    action a() { }
+    action b() { }
+    table t { actions = { a; b; } default_action = a; }
+    apply { t.apply(); }
+}
+control D(packet_out pkt, in hs hdr) { apply { } }
+V1Switch(P, I, D) main;
+`
+	prog, err := p4.Parse("pt.p4", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Check(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := translate.Translate(prog, translate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := Split(m)
+	// 2 parser outcomes × 2 table actions.
+	if len(subs) != 4 {
+		t.Fatalf("submodels = %d, want 4", len(subs))
+	}
+}
+
+func TestNoDecisionPoints(t *testing.T) {
+	p := model.NewProgram()
+	p.AddGlobal("x", 8, false, 0)
+	p.AddFunc(&model.Func{Name: "main", Body: []model.Stmt{
+		&model.Assign{LHS: "x", RHS: &model.Const{Width: 8, Val: 1}},
+	}})
+	p.Entry = []string{"main"}
+	subs := Split(p)
+	if len(subs) != 1 || subs[0] != p {
+		t.Fatal("straight-line model should come back unsplit")
+	}
+}
+
+// TestRunCoverageEquivalence: the union of submodel paths equals the
+// sequential exploration, and the heaviest submodel does a fraction of the
+// work (Table 2, column 10).
+func TestRunCoverageEquivalence(t *testing.T) {
+	m := translateWS(t, whippersnapper.Config{Tables: 3, Assertions: 2})
+	seq, err := sym.Execute(m, sym.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(m, sym.Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Agg.Metrics.Paths != seq.Metrics.Paths {
+		t.Fatalf("paths: parallel %d vs sequential %d", par.Agg.Metrics.Paths, seq.Metrics.Paths)
+	}
+	if len(par.PerModel) != 3 {
+		t.Fatalf("expected 3 submodels, got %d", len(par.PerModel))
+	}
+	if par.WorstInstructions >= seq.Metrics.Instructions {
+		t.Fatalf("worst submodel (%d) should be lighter than the whole (%d)",
+			par.WorstInstructions, seq.Metrics.Instructions)
+	}
+}
+
+func TestRunMergesViolations(t *testing.T) {
+	// A model whose bug lives in one table branch: the merged result must
+	// carry it no matter which submodel finds it.
+	p := model.NewProgram()
+	p.AddGlobal("k", 8, true, 0)
+	p.AddGlobal("sel", 8, false, 0)
+	p.AddFunc(&model.Func{Name: "main", Body: []model.Stmt{
+		&model.Fork{Selector: "sel", Labels: []string{"good", "bad"}, Branches: [][]model.Stmt{
+			{},
+			{&model.AssertCheck{ID: 0, Cond: &model.Bin{Op: model.OpNe,
+				X: &model.Ref{Name: "k"}, Y: &model.Const{Width: 8, Val: 9}}}},
+		}},
+	}})
+	p.Entry = []string{"main"}
+	p.Asserts = []*model.AssertInfo{{ID: 0, Source: "k != 9"}}
+	res, err := Run(p, sym.Options{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Agg.Violations) != 1 || res.Agg.Violations[0].Model["k"] != 9 {
+		t.Fatalf("merged violations wrong: %+v", res.Agg.Violations)
+	}
+}
+
+func TestInfeasibleSubmodelContributesNothing(t *testing.T) {
+	// Splitting an if-cascade produces a default submodel whose assumes
+	// may be unsatisfiable; it must simply contribute zero paths.
+	p := model.NewProgram()
+	p.AddGlobal("b", 1, true, 0)
+	p.AddFunc(&model.Func{Name: "main", Body: []model.Stmt{
+		&model.If{
+			Cond: &model.Ref{Name: "b"},
+			Then: []model.Stmt{},
+			Else: []model.Stmt{&model.If{
+				Cond: &model.Un{Op: model.OpNot, X: &model.Ref{Name: "b"}},
+				Then: []model.Stmt{},
+				Else: []model.Stmt{}, // unreachable default
+			}},
+		},
+	}})
+	p.Entry = []string{"main"}
+	res, err := Run(p, sym.Options{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agg.Metrics.Paths != 2 {
+		t.Fatalf("paths = %d, want 2", res.Agg.Metrics.Paths)
+	}
+}

@@ -1,0 +1,886 @@
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"p4assert/internal/assertlang"
+	"p4assert/internal/model"
+	"p4assert/internal/p4"
+)
+
+// translateStmt lowers one P4 statement to model statements.
+func (t *translator) translateStmt(c *ctx, s p4.Stmt) ([]model.Stmt, error) {
+	switch st := s.(type) {
+	case *p4.BlockStmt:
+		var out []model.Stmt
+		for _, inner := range st.Stmts {
+			stmts, err := t.translateStmt(c, inner)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, stmts...)
+		}
+		return out, nil
+
+	case *p4.AssignStmt:
+		lhs, width, err := t.resolveLValue(c, st.LHS)
+		if err != nil {
+			return nil, err
+		}
+		rhs, rw, err := t.translateExpr(c, st.RHS, width)
+		if err != nil {
+			return nil, err
+		}
+		if rw != width {
+			rhs = &model.Cast{Width: width, X: rhs}
+		}
+		var out []model.Stmt
+		if t.opts.AutoValidityChecks {
+			refs := model.Refs(rhs, []string{lhs})
+			out = t.autoValidityChecks(refs, st.Pos, c.block)
+		}
+		return append(out, &model.Assign{LHS: lhs, RHS: rhs}), nil
+
+	case *p4.IfStmt:
+		var prelude []model.Stmt
+		var cond model.Expr
+		// "if (t.apply().hit)" applies the table, then branches on its
+		// hit flag (the only expression position P4 allows apply in).
+		if table, negate, ok := applyHitPattern(st.Cond); ok {
+			if c.control == nil || c.control.Table(table) == nil {
+				return nil, t.errf(st.Pos, "apply().hit on unknown table %s", table)
+			}
+			prelude = append(prelude, &model.Call{Func: c.block + "." + table})
+			cond = &model.Ref{Name: c.block + "." + table + hitSuffix}
+			if negate {
+				cond = &model.Un{Op: model.OpNot, X: cond}
+			}
+		} else {
+			var err error
+			cond, _, err = t.translateExpr(c, st.Cond, 1)
+			if err != nil {
+				return nil, err
+			}
+		}
+		then, err := t.translateStmt(c, st.Then)
+		if err != nil {
+			return nil, err
+		}
+		var els []model.Stmt
+		if st.Else != nil {
+			els, err = t.translateStmt(c, st.Else)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return append(prelude, &model.If{Cond: cond, Then: then, Else: els}), nil
+
+	case *p4.VarDeclStmt:
+		g := c.block + "." + st.Name
+		w := t.p.TypeWidth(st.Type)
+		if w == 0 {
+			return nil, t.errf(st.Pos, "unsupported local variable type for %s", st.Name)
+		}
+		t.m.AddGlobal(g, w, false, 0)
+		c.locals[st.Name] = g
+		if st.Init != nil {
+			rhs, rw, err := t.translateExpr(c, st.Init, w)
+			if err != nil {
+				return nil, err
+			}
+			if rw != w {
+				rhs = &model.Cast{Width: w, X: rhs}
+			}
+			return []model.Stmt{&model.Assign{LHS: g, RHS: rhs}}, nil
+		}
+		return []model.Stmt{&model.Assign{LHS: g, RHS: &model.Const{Width: w, Val: 0}}}, nil
+
+	case *p4.CallStmt:
+		return t.translateCallStmt(c, st.Call)
+
+	case *p4.AssumeStmt:
+		cond, _, err := t.translateExpr(c, st.Cond, 1)
+		if err != nil {
+			return nil, err
+		}
+		return []model.Stmt{&model.Assume{Cond: cond}}, nil
+
+	case *p4.AssertStmt:
+		return t.translateAssert(c, st)
+
+	case *p4.ExitStmt:
+		return []model.Stmt{&model.Exit{}}, nil
+	case *p4.ReturnStmt:
+		return []model.Stmt{&model.Return{}}, nil
+	}
+	return nil, fmt.Errorf("unsupported statement %T", s)
+}
+
+// translateCallStmt handles the builtin statement-position calls.
+func (t *translator) translateCallStmt(c *ctx, call *p4.CallExpr) ([]model.Stmt, error) {
+	switch fun := call.Fun.(type) {
+	case *p4.Ident:
+		switch fun.Name {
+		case "mark_to_drop":
+			return []model.Stmt{
+				&model.Assign{LHS: model.ForwardFlag, RHS: &model.Const{Width: 1, Val: 0}},
+				&model.Assign{
+					LHS: t.stdMetaField("egress_spec"),
+					RHS: &model.Const{Width: 9, Val: p4.DropPort},
+				},
+			}, nil
+		case "NoAction":
+			return []model.Stmt{&model.Call{Func: c.block + ".NoAction"}}, nil
+		}
+		// Direct action invocation.
+		if c.control != nil {
+			if act := c.control.Action(fun.Name); act != nil {
+				var out []model.Stmt
+				for i, pr := range act.Params {
+					w := t.p.TypeWidth(pr.Type)
+					arg, aw, err := t.translateExpr(c, call.Args[i], w)
+					if err != nil {
+						return nil, err
+					}
+					if aw != w {
+						arg = &model.Cast{Width: w, X: arg}
+					}
+					out = append(out, &model.Assign{LHS: c.block + "." + fun.Name + "." + pr.Name, RHS: arg})
+				}
+				out = append(out, &model.Call{Func: c.block + "." + fun.Name})
+				return out, nil
+			}
+		}
+		return nil, t.errf(call.Pos, "call to unknown function %s", fun.Name)
+
+	case *p4.Member:
+		recv := p4.PathString(fun.X)
+		switch fun.Name {
+		case "extract":
+			return t.translateExtract(c, call)
+		case "emit":
+			return t.translateEmit(c, call)
+		case "apply":
+			if c.control == nil || c.control.Table(recv) == nil {
+				return nil, t.errf(call.Pos, "apply on unknown table %s", recv)
+			}
+			return []model.Stmt{&model.Call{Func: c.block + "." + recv}}, nil
+		case "setValid", "setInvalid":
+			path, err := t.resolveHeaderPath(c, fun.X)
+			if err != nil {
+				return nil, err
+			}
+			v := uint64(0)
+			if fun.Name == "setValid" {
+				v = 1
+			}
+			return []model.Stmt{&model.Assign{
+				LHS: path + model.ValidSuffix,
+				RHS: &model.Const{Width: 1, Val: v},
+			}}, nil
+		case "read", "write", "count", "execute_meter":
+			return t.translateExternCall(c, recv, fun.Name, call)
+		}
+		return nil, t.errf(call.Pos, "unsupported method %s", fun.Name)
+	}
+	return nil, t.errf(call.Pos, "unsupported call")
+}
+
+func (t *translator) stdMetaField(field string) string {
+	inst, ok := t.instances["standard_metadata_t"]
+	if !ok {
+		inst = "standard_metadata"
+		std := t.p.Struct("standard_metadata_t")
+		t.instances["standard_metadata_t"] = inst
+		t.declareStorage(inst, &p4.StructRef{Decl: std}, true)
+	}
+	return inst + "." + field
+}
+
+// translateExtract models pkt.extract(hdr.x): every field of the header
+// receives a fresh symbolic value (the packet bytes), the validity bit is
+// set, and the extract_header flag is raised (paper §3.2 "Assertions").
+func (t *translator) translateExtract(c *ctx, call *p4.CallExpr) ([]model.Stmt, error) {
+	if len(call.Args) != 1 {
+		return nil, t.errf(call.Pos, "extract wants 1 argument")
+	}
+	path, err := t.resolveHeaderPath(c, call.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	hdr, err := t.headerDeclFor(c, call.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	var out []model.Stmt
+	for _, f := range hdr.Fields {
+		g := path + "." + f.Name
+		out = append(out, &model.MakeSymbolic{Var: g, Hint: g})
+	}
+	out = append(out,
+		&model.Assign{LHS: path + model.ValidSuffix, RHS: &model.Const{Width: 1, Val: 1}},
+		&model.Assign{LHS: t.extractFlag(path), RHS: &model.Const{Width: 1, Val: 1}},
+	)
+	return out, nil
+}
+
+// translateEmit models pkt.emit(hdr.x): the emit_header flag records
+// whether the header was actually on the wire, i.e. emitted while valid.
+func (t *translator) translateEmit(c *ctx, call *p4.CallExpr) ([]model.Stmt, error) {
+	if len(call.Args) != 1 {
+		return nil, t.errf(call.Pos, "emit wants 1 argument")
+	}
+	path, err := t.resolveHeaderPath(c, call.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	return []model.Stmt{&model.Assign{
+		LHS: t.emitFlag(path),
+		RHS: &model.Ref{Name: path + model.ValidSuffix},
+	}}, nil
+}
+
+// hitSuffix names the per-table hit flag global.
+const hitSuffix = ".$hit"
+
+// applyHitPattern recognizes "t.apply().hit", "t.apply().miss" and their
+// negations, returning the table name and whether the condition is
+// inverted relative to hit.
+func applyHitPattern(e p4.Expr) (table string, negate bool, ok bool) {
+	if un, isNot := e.(*p4.Unary); isNot && un.Op == p4.UnNot {
+		tbl, neg, inner := applyHitPattern(un.X)
+		return tbl, !neg, inner
+	}
+	m, isMember := e.(*p4.Member)
+	if !isMember || (m.Name != "hit" && m.Name != "miss") {
+		return "", false, false
+	}
+	call, isCall := m.X.(*p4.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	fun, isFun := call.Fun.(*p4.Member)
+	if !isFun || fun.Name != "apply" {
+		return "", false, false
+	}
+	return p4.PathString(fun.X), m.Name == "miss", true
+}
+
+// autoValidityChecks emits one assertion per distinct header whose fields
+// the given globals touch, requiring that header to be valid at this
+// point. Used by Options.AutoValidityChecks.
+func (t *translator) autoValidityChecks(refs []string, pos p4.Pos, block string) []model.Stmt {
+	var out []model.Stmt
+	seen := map[string]bool{}
+	for _, ref := range refs {
+		hp, ok := t.headerPrefixOf(ref)
+		if !ok || seen[hp] {
+			continue
+		}
+		seen[hp] = true
+		id := len(t.m.Asserts)
+		t.m.Asserts = append(t.m.Asserts, &model.AssertInfo{
+			ID:       id,
+			Source:   fmt.Sprintf("auto: valid(%s)", hp),
+			Location: fmt.Sprintf("%s:%s (%s)", t.p.File, pos, block),
+		})
+		out = append(out, &model.AssertCheck{
+			ID:   id,
+			Cond: &model.Ref{Name: hp + model.ValidSuffix},
+		})
+	}
+	return out
+}
+
+// headerPrefixOf maps a field global like "hdr.ipv4.ttl" to its header
+// instance path ("hdr.ipv4"); validity bits themselves don't count.
+func (t *translator) headerPrefixOf(global string) (string, bool) {
+	if strings.HasSuffix(global, model.ValidSuffix) {
+		return "", false
+	}
+	for _, hp := range t.headerPaths {
+		if strings.HasPrefix(global, hp+".") {
+			return hp, true
+		}
+	}
+	return "", false
+}
+
+func (t *translator) extractFlag(headerPath string) string {
+	name := model.ExtractPrefix + headerPath
+	t.m.AddGlobal(name, 1, false, 0)
+	return name
+}
+
+func (t *translator) emitFlag(headerPath string) string {
+	name := model.EmitPrefix + headerPath
+	t.m.AddGlobal(name, 1, false, 0)
+	return name
+}
+
+func (t *translator) translateExternCall(c *ctx, recv, method string, call *p4.CallExpr) ([]model.Stmt, error) {
+	inst, ok := t.externs[c.block+"."+recv]
+	if !ok {
+		return nil, t.errf(call.Pos, "unknown extern instance %s", recv)
+	}
+	switch method {
+	case "read":
+		if len(call.Args) != 2 {
+			return nil, t.errf(call.Pos, "register read wants (dst, index)")
+		}
+		dst, dw, err := t.resolveLValue(c, call.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if inst.cells == nil {
+			// Large register: any value may be stored (paper §6 option i).
+			return []model.Stmt{&model.MakeSymbolic{Var: dst, Hint: dst}}, nil
+		}
+		idx, iw, err := t.translateExpr(c, call.Args[1], 32)
+		if err != nil {
+			return nil, err
+		}
+		// Ite chain over the cells, last cell as the fallback.
+		var e model.Expr = &model.Ref{Name: inst.cells[len(inst.cells)-1]}
+		for i := len(inst.cells) - 2; i >= 0; i-- {
+			e = &model.Cond{
+				C: &model.Bin{Op: model.OpEq, X: idx, Y: &model.Const{Width: iw, Val: uint64(i)}},
+				T: &model.Ref{Name: inst.cells[i]},
+				F: e,
+			}
+		}
+		if inst.width != dw {
+			e = &model.Cast{Width: dw, X: e}
+		}
+		return []model.Stmt{&model.Assign{LHS: dst, RHS: e}}, nil
+
+	case "write":
+		if len(call.Args) != 2 {
+			return nil, t.errf(call.Pos, "register write wants (index, value)")
+		}
+		if inst.cells == nil {
+			return nil, nil // writes to symbolic registers are absorbed
+		}
+		idx, iw, err := t.translateExpr(c, call.Args[0], 32)
+		if err != nil {
+			return nil, err
+		}
+		val, vw, err := t.translateExpr(c, call.Args[1], inst.width)
+		if err != nil {
+			return nil, err
+		}
+		if vw != inst.width {
+			val = &model.Cast{Width: inst.width, X: val}
+		}
+		var out []model.Stmt
+		for i, cell := range inst.cells {
+			out = append(out, &model.Assign{
+				LHS: cell,
+				RHS: &model.Cond{
+					C: &model.Bin{Op: model.OpEq, X: idx, Y: &model.Const{Width: iw, Val: uint64(i)}},
+					T: val,
+					F: &model.Ref{Name: cell},
+				},
+			})
+		}
+		return out, nil
+
+	case "count":
+		if inst.cells == nil {
+			return nil, nil
+		}
+		if len(call.Args) != 1 {
+			return nil, t.errf(call.Pos, "count wants (index)")
+		}
+		idx, iw, err := t.translateExpr(c, call.Args[0], 32)
+		if err != nil {
+			return nil, err
+		}
+		var out []model.Stmt
+		for i, cell := range inst.cells {
+			out = append(out, &model.Assign{
+				LHS: cell,
+				RHS: &model.Cond{
+					C: &model.Bin{Op: model.OpEq, X: idx, Y: &model.Const{Width: iw, Val: uint64(i)}},
+					T: &model.Bin{Op: model.OpAdd, X: &model.Ref{Name: cell}, Y: &model.Const{Width: inst.width, Val: 1}},
+					F: &model.Ref{Name: cell},
+				},
+			})
+		}
+		return out, nil
+
+	case "execute_meter":
+		if len(call.Args) != 2 {
+			return nil, t.errf(call.Pos, "execute_meter wants (index, result)")
+		}
+		dst, _, err := t.resolveLValue(c, call.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		// Meter colors are environment-determined: fully symbolic.
+		return []model.Stmt{&model.MakeSymbolic{Var: dst, Hint: dst}}, nil
+	}
+	return nil, t.errf(call.Pos, "unsupported extern method %s", method)
+}
+
+// ------------------------------------------------------------ assertions --
+
+// translateAssert compiles an @assert annotation. Location-restricted
+// assertions check in place; assertions containing unrestricted methods
+// snapshot their restricted parts here and are checked at every path's
+// final state (paper §3.2 "Assertions").
+func (t *translator) translateAssert(c *ctx, st *p4.AssertStmt) ([]model.Stmt, error) {
+	ast, err := assertlang.Parse(st.Text)
+	if err != nil {
+		return nil, t.errf(st.Pos, "bad assertion: %v", err)
+	}
+	id := len(t.m.Asserts)
+	info := &model.AssertInfo{
+		ID:       id,
+		Source:   st.Text,
+		Location: fmt.Sprintf("%s:%s (%s)", t.p.File, st.Pos, c.block),
+		Deferred: assertlang.HasUnrestricted(ast),
+	}
+	t.m.Asserts = append(t.m.Asserts, info)
+
+	ac := &assertCompiler{t: t, c: c, id: id, deferred: info.Deferred}
+	cond, err := ac.compile(ast)
+	if err != nil {
+		return nil, t.errf(st.Pos, "assertion %q: %v", st.Text, err)
+	}
+
+	if !info.Deferred {
+		return append(ac.site, &model.AssertCheck{ID: id, Cond: cond}), nil
+	}
+	reached := fmt.Sprintf("%s%d.$reached", model.SnapPrefix, id)
+	t.m.AddGlobal(reached, 1, false, 0)
+	site := append(ac.site, &model.Assign{LHS: reached, RHS: &model.Const{Width: 1, Val: 1}})
+	t.deferred = append(t.deferred, &model.AssertCheck{ID: id, Cond: cond})
+	return site, nil
+}
+
+// assertCompiler builds the IR condition for one assertion, accumulating
+// the instrumentation statements that must run at the annotation site.
+type assertCompiler struct {
+	t        *translator
+	c        *ctx
+	id       int
+	deferred bool
+	site     []model.Stmt
+	snaps    map[string]string // field global -> snapshot global
+	tpFlag   string
+}
+
+func (ac *assertCompiler) snapshot(fieldGlobal string, width int) string {
+	if ac.snaps == nil {
+		ac.snaps = map[string]string{}
+	}
+	if s, ok := ac.snaps[fieldGlobal]; ok {
+		return s
+	}
+	name := fmt.Sprintf("%s%d.%s", model.SnapPrefix, ac.id, fieldGlobal)
+	ac.t.m.AddGlobal(name, width, false, 0)
+	ac.site = append(ac.site, &model.Assign{LHS: name, RHS: &model.Ref{Name: fieldGlobal}})
+	ac.snaps[fieldGlobal] = name
+	return name
+}
+
+func (ac *assertCompiler) compile(e assertlang.Expr) (model.Expr, error) {
+	switch x := e.(type) {
+	case *assertlang.Num:
+		return &model.Const{Width: 32, Val: x.Value}, nil
+
+	case *assertlang.FieldRef:
+		g, w, err := ac.t.resolveAssertPath(ac.c, x.Path)
+		if err != nil {
+			return nil, err
+		}
+		if ac.deferred {
+			// Restricted elements of a deferred assertion read the value
+			// the field had at the annotation site.
+			return &model.Ref{Name: ac.snapshot(g, w)}, nil
+		}
+		return &model.Ref{Name: g}, nil
+
+	case *assertlang.Not:
+		inner, err := ac.compile(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &model.Un{Op: model.OpNot, X: inner}, nil
+
+	case *assertlang.Bin:
+		lhs, err := ac.compile(x.X)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := ac.compile(x.Y)
+		if err != nil {
+			return nil, err
+		}
+		op, ok := assertBinOps[x.Op]
+		if !ok {
+			return nil, fmt.Errorf("unsupported operator %v", x.Op)
+		}
+		return &model.Bin{Op: op, X: lhs, Y: rhs}, nil
+
+	case *assertlang.Forward:
+		return &model.Ref{Name: model.ForwardFlag}, nil
+
+	case *assertlang.TraversePath:
+		if ac.tpFlag == "" {
+			ac.tpFlag = fmt.Sprintf("%s%d", model.TraversePrefix, ac.id)
+			ac.t.m.AddGlobal(ac.tpFlag, 1, false, 0)
+			// The flag is raised just before the assertion location.
+			ac.site = append(ac.site, &model.Assign{LHS: ac.tpFlag, RHS: &model.Const{Width: 1, Val: 1}})
+		}
+		return &model.Ref{Name: ac.tpFlag}, nil
+
+	case *assertlang.Constant:
+		g, w, err := ac.t.resolveAssertPath(ac.c, x.Field)
+		if err != nil {
+			return nil, err
+		}
+		snap := ac.snapshot(g, w)
+		// constant(f) holds iff the value at the site equals the final
+		// value; the bare Ref reads the final state when checked deferred.
+		return &model.Bin{Op: model.OpEq, X: &model.Ref{Name: snap}, Y: &model.Ref{Name: g}}, nil
+
+	case *assertlang.IfM:
+		cond, err := ac.compile(x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		then, err := ac.compile(x.Then)
+		if err != nil {
+			return nil, err
+		}
+		var els model.Expr = &model.Const{Width: 1, Val: 1}
+		if x.Else != nil {
+			els, err = ac.compile(x.Else)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &model.Cond{C: cond, T: then, F: els}, nil
+
+	case *assertlang.ExtractHeader:
+		path, err := ac.t.resolveAssertHeader(ac.c, x.Header)
+		if err != nil {
+			return nil, err
+		}
+		return &model.Ref{Name: ac.t.extractFlag(path)}, nil
+
+	case *assertlang.EmitHeader:
+		path, err := ac.t.resolveAssertHeader(ac.c, x.Header)
+		if err != nil {
+			return nil, err
+		}
+		return &model.Ref{Name: ac.t.emitFlag(path)}, nil
+
+	case *assertlang.Valid:
+		path, err := ac.t.resolveAssertHeader(ac.c, x.Header)
+		if err != nil {
+			return nil, err
+		}
+		g := path + model.ValidSuffix
+		if ac.deferred {
+			// valid() is location-restricted: snapshot at the site.
+			return &model.Ref{Name: ac.snapshot(g, 1)}, nil
+		}
+		return &model.Ref{Name: g}, nil
+	}
+	return nil, fmt.Errorf("unsupported assertion expression %T", e)
+}
+
+var assertBinOps = map[assertlang.BinOp]model.Op{
+	assertlang.OpOr: model.OpLOr, assertlang.OpAnd: model.OpLAnd,
+	assertlang.OpEq: model.OpEq, assertlang.OpNe: model.OpNe,
+	assertlang.OpLt: model.OpLt, assertlang.OpLe: model.OpLe,
+	assertlang.OpGt: model.OpGt, assertlang.OpGe: model.OpGe,
+	assertlang.OpAdd: model.OpAdd, assertlang.OpSub: model.OpSub,
+	assertlang.OpMul: model.OpMul, assertlang.OpDiv: model.OpDiv,
+	assertlang.OpMod: model.OpMod,
+}
+
+// ---------------------------------------------------------- name resolution --
+
+// resolveLValue maps an assignable P4 expression to a global name.
+func (t *translator) resolveLValue(c *ctx, e p4.Expr) (string, int, error) {
+	path := p4.PathString(e)
+	if path == "" {
+		return "", 0, t.errf(e.Position(), "expression is not assignable")
+	}
+	return t.resolvePath(c, path, e.Position())
+}
+
+func (t *translator) resolvePath(c *ctx, path string, pos p4.Pos) (string, int, error) {
+	segs := strings.SplitN(path, ".", 2)
+	var global string
+	if inst, ok := c.params[segs[0]]; ok {
+		if len(segs) == 1 {
+			global = inst
+		} else {
+			global = inst + "." + segs[1]
+		}
+	} else if g, ok := c.locals[segs[0]]; ok {
+		if len(segs) > 1 {
+			return "", 0, t.errf(pos, "%s is scalar; cannot select %s", segs[0], segs[1])
+		}
+		global = g
+	} else {
+		global = path
+	}
+	g, ok := t.m.Global(global)
+	if !ok {
+		return "", 0, t.errf(pos, "cannot resolve %s (tried %s)", path, global)
+	}
+	return g.Name, g.Width, nil
+}
+
+// resolveAssertPath resolves a dotted path from assertion text to a global.
+// Assertions are written against source-level names, which may omit the
+// enclosing instance ("ipv4.ttl" for "hdr.ipv4.ttl"), so resolution also
+// tries unique-suffix matching over the globals and block-qualified locals.
+func (t *translator) resolveAssertPath(c *ctx, path string) (string, int, error) {
+	if g, w, err := t.resolvePath(c, path, p4.Pos{}); err == nil {
+		return g, w, nil
+	}
+	if g, ok := t.m.Global(path); ok {
+		return g.Name, g.Width, nil
+	}
+	if c.block != "" {
+		if g, ok := t.m.Global(c.block + "." + path); ok {
+			return g.Name, g.Width, nil
+		}
+	}
+	suffix := "." + path
+	for _, g := range t.m.Globals {
+		if strings.HasSuffix(g.Name, suffix) && !strings.HasPrefix(g.Name, model.SnapPrefix) {
+			return g.Name, g.Width, nil
+		}
+	}
+	return "", 0, fmt.Errorf("cannot resolve field %s", path)
+}
+
+// resolveAssertHeader resolves a header path from assertion text to a
+// flattened header instance path.
+func (t *translator) resolveAssertHeader(c *ctx, path string) (string, error) {
+	segs := strings.SplitN(path, ".", 2)
+	if inst, ok := c.params[segs[0]]; ok {
+		full := inst
+		if len(segs) > 1 {
+			full += "." + segs[1]
+		}
+		for _, hp := range t.headerPaths {
+			if hp == full {
+				return hp, nil
+			}
+		}
+	}
+	for _, hp := range t.headerPaths {
+		if hp == path || strings.HasSuffix(hp, "."+path) {
+			return hp, nil
+		}
+	}
+	return "", fmt.Errorf("cannot resolve header %s", path)
+}
+
+// headerDeclFor returns the header declaration of a header-typed expression.
+func (t *translator) headerDeclFor(c *ctx, e p4.Expr) (*p4.HeaderDecl, error) {
+	path, err := t.resolveHeaderPath(c, e)
+	if err != nil {
+		return nil, err
+	}
+	// Walk the instance type by path segments.
+	segs := strings.Split(path, ".")
+	ty, ok := t.instTypes[segs[0]]
+	if !ok {
+		return nil, t.errf(e.Position(), "unknown instance %s", segs[0])
+	}
+	for _, seg := range segs[1:] {
+		sr, ok := ty.(*p4.StructRef)
+		if !ok {
+			return nil, t.errf(e.Position(), "bad header path %s", path)
+		}
+		found := false
+		for _, f := range sr.Decl.Fields {
+			if f.Name == seg {
+				ty = f.Type
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, t.errf(e.Position(), "no field %s in %s", seg, path)
+		}
+	}
+	hr, ok := ty.(*p4.HeaderRef)
+	if !ok {
+		return nil, t.errf(e.Position(), "%s is not a header", path)
+	}
+	return hr.Decl, nil
+}
+
+// resolveHeaderPath maps a header-typed P4 expression to its flattened
+// instance path (e.g. hdr.ipv4).
+func (t *translator) resolveHeaderPath(c *ctx, e p4.Expr) (string, error) {
+	path := p4.PathString(e)
+	if path == "" {
+		return "", t.errf(e.Position(), "expected a header reference")
+	}
+	segs := strings.SplitN(path, ".", 2)
+	if inst, ok := c.params[segs[0]]; ok {
+		full := inst
+		if len(segs) > 1 {
+			full += "." + segs[1]
+		}
+		return full, nil
+	}
+	return path, nil
+}
+
+// ------------------------------------------------------------ expressions --
+
+// translateExpr lowers a P4 expression; hint suggests a width for untyped
+// literals (0 = none, literals default to 32 bits). It returns the
+// expression and its width.
+func (t *translator) translateExpr(c *ctx, e p4.Expr, hint int) (model.Expr, int, error) {
+	switch x := e.(type) {
+	case *p4.NumberLit:
+		w := x.Width
+		if w == 0 {
+			w = hint
+		}
+		if w == 0 {
+			w = 32
+		}
+		return &model.Const{Width: w, Val: x.Value & fullMask(w)}, w, nil
+
+	case *p4.BoolLit:
+		v := uint64(0)
+		if x.Value {
+			v = 1
+		}
+		return &model.Const{Width: 1, Val: v}, 1, nil
+
+	case *p4.Ident:
+		if v, w, ok := t.p.ConstValue(x.Name); ok {
+			return &model.Const{Width: w, Val: v}, w, nil
+		}
+		g, w, err := t.resolvePath(c, x.Name, x.Pos)
+		if err != nil {
+			return nil, 0, err
+		}
+		return &model.Ref{Name: g}, w, nil
+
+	case *p4.Member:
+		g, w, err := t.resolvePath(c, p4.PathString(x), x.Pos)
+		if err != nil {
+			return nil, 0, err
+		}
+		return &model.Ref{Name: g}, w, nil
+
+	case *p4.Unary:
+		inner, w, err := t.translateExpr(c, x.X, hint)
+		if err != nil {
+			return nil, 0, err
+		}
+		switch x.Op {
+		case p4.UnNot:
+			return &model.Un{Op: model.OpNot, X: inner}, 1, nil
+		case p4.UnBitNot:
+			return &model.Un{Op: model.OpBitNot, X: inner}, w, nil
+		default:
+			return &model.Un{Op: model.OpNeg, X: inner}, w, nil
+		}
+
+	case *p4.Binary:
+		// Translate the non-literal side first so its width propagates to
+		// an untyped literal on the other side.
+		var lhs, rhs model.Expr
+		var lw, rw int
+		var err error
+		_, lLit := x.X.(*p4.NumberLit)
+		_, rLit := x.Y.(*p4.NumberLit)
+		if lLit && !rLit {
+			rhs, rw, err = t.translateExpr(c, x.Y, hint)
+			if err != nil {
+				return nil, 0, err
+			}
+			lhs, lw, err = t.translateExpr(c, x.X, rw)
+		} else {
+			lhs, lw, err = t.translateExpr(c, x.X, hint)
+			if err != nil {
+				return nil, 0, err
+			}
+			rhsHint := lw
+			if isShiftOp(x.Op) {
+				rhsHint = lw // shift amounts share the operand width in the model
+			}
+			rhs, rw, err = t.translateExpr(c, x.Y, rhsHint)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		op := p4BinOps[x.Op]
+		outW := lw
+		switch x.Op {
+		case p4.BinEq, p4.BinNe, p4.BinLt, p4.BinLe, p4.BinGt, p4.BinGe,
+			p4.BinLAnd, p4.BinLOr:
+			outW = 1
+		}
+		_ = rw
+		return &model.Bin{Op: op, X: lhs, Y: rhs}, outW, nil
+
+	case *p4.Ternary:
+		cond, _, err := t.translateExpr(c, x.Cond, 1)
+		if err != nil {
+			return nil, 0, err
+		}
+		then, tw, err := t.translateExpr(c, x.Then, hint)
+		if err != nil {
+			return nil, 0, err
+		}
+		els, _, err := t.translateExpr(c, x.Else, tw)
+		if err != nil {
+			return nil, 0, err
+		}
+		return &model.Cond{C: cond, T: then, F: els}, tw, nil
+
+	case *p4.CastExpr:
+		w := t.p.TypeWidth(x.Type)
+		if w == 0 {
+			return nil, 0, t.errf(x.Pos, "unsupported cast target type")
+		}
+		inner, _, err := t.translateExpr(c, x.X, w)
+		if err != nil {
+			return nil, 0, err
+		}
+		return &model.Cast{Width: w, X: inner}, w, nil
+
+	case *p4.CallExpr:
+		// Only isValid() is an expression-position builtin.
+		if m, ok := x.Fun.(*p4.Member); ok && m.Name == "isValid" {
+			path, err := t.resolveHeaderPath(c, m.X)
+			if err != nil {
+				return nil, 0, err
+			}
+			return &model.Ref{Name: path + model.ValidSuffix}, 1, nil
+		}
+		return nil, 0, t.errf(x.Pos, "unsupported call in expression position")
+	}
+	return nil, 0, fmt.Errorf("unsupported expression %T", e)
+}
+
+func isShiftOp(op p4.BinaryOp) bool { return op == p4.BinShl || op == p4.BinShr }
+
+var p4BinOps = map[p4.BinaryOp]model.Op{
+	p4.BinAdd: model.OpAdd, p4.BinSub: model.OpSub, p4.BinMul: model.OpMul,
+	p4.BinDiv: model.OpDiv, p4.BinMod: model.OpMod, p4.BinAnd: model.OpAnd,
+	p4.BinOr: model.OpOr, p4.BinXor: model.OpXor, p4.BinShl: model.OpShl,
+	p4.BinShr: model.OpShr, p4.BinEq: model.OpEq, p4.BinNe: model.OpNe,
+	p4.BinLt: model.OpLt, p4.BinLe: model.OpLe, p4.BinGt: model.OpGt,
+	p4.BinGe: model.OpGe, p4.BinLAnd: model.OpLAnd, p4.BinLOr: model.OpLOr,
+}

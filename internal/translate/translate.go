@@ -1,0 +1,733 @@
+// Package translate lowers a type-checked P4 program (internal/p4) to the
+// verification model IR (internal/model), implementing the paper's P4-to-C
+// translation (§3.2, Fig. 6):
+//
+//   - headers and structs flatten into uniquely-named global variables, with
+//     an extra validity bit per header;
+//   - each parser state, table and action becomes a model function;
+//   - tables with known rules (const entries or a supplied RuleSet) compile
+//     to cascading if-else matches; tables with unknown rules compile to a
+//     Fork over their actions with symbolic action parameters;
+//   - @assert annotations compile to assertion checks plus the
+//     instrumentation assignments (traverse-path flags, snapshots) their
+//     location-unrestricted methods require; @assume compiles to Assume;
+//   - registers, counters and meters compile to per-cell globals (small
+//     instances) or symbolic reads (large instances), per §6 "Stateful
+//     verification".
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"p4assert/internal/model"
+	"p4assert/internal/p4"
+	"p4assert/internal/rules"
+)
+
+// Options configures translation.
+type Options struct {
+	// Rules optionally supplies a control-plane configuration. Tables with
+	// const entries use those; other tables look up Rules; tables with
+	// neither fork symbolically over their actions.
+	Rules *rules.RuleSet
+	// RegisterCellLimit bounds how many cells a register/counter may have
+	// and still be modeled concretely per cell; larger instances fall back
+	// to symbolic reads. 0 means the default of 32.
+	RegisterCellLimit int
+	// AutoValidityChecks inserts an assertion before every assignment that
+	// reads or writes a header field, requiring the header to be valid —
+	// the automatic instrumentation the paper proposes as future work
+	// ("verify general properties such as reading fields of invalid
+	// headers") and that Vera performs built-in.
+	AutoValidityChecks bool
+	// SymbolicRegisters forces the paper's §6 stateful-verification option
+	// (i) for every register regardless of size: reads return fresh
+	// symbolic values ("assume that registers can take any value") instead
+	// of tracking small instances cell by cell.
+	SymbolicRegisters bool
+}
+
+// Translate lowers prog. The program must have passed Check.
+func Translate(prog *p4.Program, opts Options) (*model.Program, error) {
+	if opts.RegisterCellLimit == 0 {
+		opts.RegisterCellLimit = 32
+	}
+	t := &translator{
+		p:         prog,
+		m:         model.NewProgram(),
+		opts:      opts,
+		instances: map[string]string{},
+		instTypes: map[string]p4.Type{},
+		externs:   map[string]*externInst{},
+	}
+	if err := t.run(); err != nil {
+		return nil, err
+	}
+	return t.m, nil
+}
+
+type externInst struct {
+	kind    p4.LocalKind
+	cells   []string // cell global names; nil when modeled symbolically
+	width   int
+	size    int
+	control string
+}
+
+type translator struct {
+	p    *p4.Program
+	m    *model.Program
+	opts Options
+
+	// instances maps resolved struct/header type names to the canonical
+	// storage prefix (the first parameter name seen with that type), so the
+	// hdr/meta/standard_metadata structs are shared across pipeline blocks
+	// as in the paper's global-variable modeling.
+	instances map[string]string
+	instTypes map[string]p4.Type
+
+	headerPaths []string // all flattened header instance paths, e.g. "hdr.ipv4"
+	externs     map[string]*externInst
+
+	deferred []*model.AssertCheck
+}
+
+func (t *translator) errf(pos p4.Pos, format string, args ...any) error {
+	return fmt.Errorf("%s:%s: %s", t.p.File, pos, fmt.Sprintf(format, args...))
+}
+
+func (t *translator) run() error {
+	pk := t.p.Package
+	if pk == nil {
+		return fmt.Errorf("%s: no package instantiation (V1Switch-style main) found", t.p.File)
+	}
+	// Register canonical storage for every block parameter, in pipeline
+	// order, so instance names come from the parser's parameter list.
+	var blocks []any
+	for _, pd := range t.p.Parsers {
+		if pd.Name == pk.Args[0] {
+			blocks = append(blocks, pd)
+		}
+	}
+	if len(blocks) == 0 {
+		return fmt.Errorf("%s: parser %s not found", t.p.File, pk.Args[0])
+	}
+	for _, name := range pk.Args[1:] {
+		found := false
+		for _, cd := range t.p.Controls {
+			if cd.Name == name {
+				blocks = append(blocks, cd)
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("%s: control %s not found", t.p.File, name)
+		}
+	}
+	for _, b := range blocks {
+		var params []p4.Param
+		switch d := b.(type) {
+		case *p4.ParserDecl:
+			params = d.Params
+		case *p4.ControlDecl:
+			params = d.Params
+		}
+		for _, pr := range params {
+			t.registerParam(pr)
+		}
+	}
+
+	// Core flags.
+	t.m.AddGlobal(model.ForwardFlag, 1, false, 1)
+
+	// Translate blocks in pipeline order and build the entry sequence.
+	for _, b := range blocks {
+		switch d := b.(type) {
+		case *p4.ParserDecl:
+			if err := t.translateParser(d); err != nil {
+				return err
+			}
+			t.m.Entry = append(t.m.Entry, d.Name)
+		case *p4.ControlDecl:
+			if err := t.translateControl(d); err != nil {
+				return err
+			}
+			t.m.Entry = append(t.m.Entry, d.Name)
+		}
+	}
+
+	// Deferred assertions are tested at the path's final state, gated on
+	// the annotation site having been reached: snapshots taken at the site
+	// are meaningless (zero) on paths that never execute it, and the
+	// paper's own evaluation only ever interprets these assertions over
+	// executions of the annotated location.
+	if len(t.deferred) > 0 {
+		body := make([]model.Stmt, len(t.deferred))
+		for i, chk := range t.deferred {
+			reached := fmt.Sprintf("%s%d.$reached", model.SnapPrefix, chk.ID)
+			body[i] = &model.If{
+				Cond: &model.Ref{Name: reached},
+				Then: []model.Stmt{chk},
+			}
+		}
+		t.m.AddFunc(&model.Func{Name: "$checks", Body: body})
+		t.m.Entry = append(t.m.Entry, "$checks")
+	}
+	return nil
+}
+
+// registerParam assigns canonical storage to a block parameter and declares
+// the flattened globals on first sight.
+func (t *translator) registerParam(pr p4.Param) {
+	switch rt := t.p.ResolveType(pr.Type).(type) {
+	case *p4.StructRef:
+		if _, ok := t.instances[rt.Decl.Name]; ok {
+			return
+		}
+		inst := pr.Name
+		t.instances[rt.Decl.Name] = inst
+		t.instTypes[inst] = rt
+		t.declareStorage(inst, rt, pr.Name == "standard_metadata" || rt.Decl.Name == "standard_metadata_t")
+	case *p4.HeaderRef:
+		if _, ok := t.instances[rt.Decl.Name]; ok {
+			return
+		}
+		inst := pr.Name
+		t.instances[rt.Decl.Name] = inst
+		t.instTypes[inst] = rt
+		t.declareStorage(inst, rt, false)
+	case *p4.BitType:
+		t.m.AddGlobal(pr.Name, rt.Width, true, 0)
+	case *p4.BoolType:
+		t.m.AddGlobal(pr.Name, 1, true, 0)
+	}
+}
+
+// declareStorage flattens a struct/header instance into globals.
+// stdMeta marks the standard-metadata instance, whose ingress_port is
+// environment-controlled (symbolic).
+func (t *translator) declareStorage(prefix string, ty p4.Type, stdMeta bool) {
+	switch rt := ty.(type) {
+	case *p4.StructRef:
+		for _, f := range rt.Decl.Fields {
+			t.declareStorage(prefix+"."+f.Name, f.Type, stdMeta)
+		}
+	case *p4.HeaderRef:
+		t.m.AddGlobal(prefix+model.ValidSuffix, 1, false, 0)
+		t.headerPaths = append(t.headerPaths, prefix)
+		for _, f := range rt.Decl.Fields {
+			w := t.p.TypeWidth(f.Type)
+			if w == 0 {
+				w = 1
+			}
+			t.m.AddGlobal(prefix+"."+f.Name, w, false, 0)
+		}
+	case *p4.BitType:
+		sym := stdMeta && strings.HasSuffix(prefix, ".ingress_port")
+		t.m.AddGlobal(prefix, rt.Width, sym, 0)
+	case *p4.BoolType:
+		t.m.AddGlobal(prefix, 1, false, 0)
+	}
+}
+
+// ctx carries the lexical environment of the block being translated.
+type ctx struct {
+	block   string            // control or parser name
+	params  map[string]string // param name -> storage prefix
+	locals  map[string]string // local/action-param name -> global name
+	control *p4.ControlDecl   // nil in parsers
+	parser  *p4.ParserDecl    // nil in controls
+}
+
+func (t *translator) newCtx(block string, params []p4.Param, control *p4.ControlDecl, parser *p4.ParserDecl) *ctx {
+	c := &ctx{
+		block:   block,
+		params:  map[string]string{},
+		locals:  map[string]string{},
+		control: control,
+		parser:  parser,
+	}
+	for _, pr := range params {
+		switch rt := t.p.ResolveType(pr.Type).(type) {
+		case *p4.StructRef:
+			c.params[pr.Name] = t.instances[rt.Decl.Name]
+		case *p4.HeaderRef:
+			c.params[pr.Name] = t.instances[rt.Decl.Name]
+		case *p4.BitType, *p4.BoolType:
+			c.locals[pr.Name] = pr.Name
+		case *p4.NamedType:
+			// packet_in / packet_out handles: no storage.
+		}
+	}
+	return c
+}
+
+// ----------------------------------------------------------------- parser --
+
+func (t *translator) translateParser(pd *p4.ParserDecl) error {
+	c := t.newCtx(pd.Name, pd.Params, nil, pd)
+	for _, st := range pd.States {
+		body, err := t.translateStateBody(c, st)
+		if err != nil {
+			return err
+		}
+		t.m.AddFunc(&model.Func{Name: pd.Name + "." + st.Name, Body: body})
+	}
+	t.m.AddFunc(&model.Func{Name: pd.Name, Body: []model.Stmt{
+		&model.Call{Func: pd.Name + ".start"},
+	}})
+	return nil
+}
+
+func (t *translator) translateStateBody(c *ctx, st *p4.StateDecl) ([]model.Stmt, error) {
+	var out []model.Stmt
+	for _, s := range st.Body {
+		stmts, err := t.translateStmt(c, s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, stmts...)
+	}
+	tr, err := t.translateTransition(c, st.Transition)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, tr...), nil
+}
+
+func (t *translator) stateTarget(c *ctx, target string) []model.Stmt {
+	switch target {
+	case "accept":
+		return nil
+	case "reject":
+		// Paper §3.2: forward() is assigned false in the reject parse state.
+		return []model.Stmt{
+			&model.Assign{LHS: model.ForwardFlag, RHS: &model.Const{Width: 1, Val: 0}},
+			&model.Halt{},
+		}
+	default:
+		return []model.Stmt{&model.Call{Func: c.parser.Name + "." + target}}
+	}
+}
+
+func (t *translator) translateTransition(c *ctx, tr p4.Transition) ([]model.Stmt, error) {
+	switch x := tr.(type) {
+	case nil:
+		return nil, nil // implicit accept
+	case *p4.TransDirect:
+		return t.stateTarget(c, x.Target), nil
+	case *p4.TransSelect:
+		keys := make([]model.Expr, len(x.Exprs))
+		widths := make([]int, len(x.Exprs))
+		for i, e := range x.Exprs {
+			ke, w, err := t.translateExpr(c, e, 0)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = ke
+			widths[i] = w
+		}
+		// Build the cascade from the last case backwards. A select with no
+		// matching case rejects.
+		elseBody := []model.Stmt{
+			&model.Assign{LHS: model.ForwardFlag, RHS: &model.Const{Width: 1, Val: 0}},
+			&model.Halt{},
+		}
+		for i := len(x.Cases) - 1; i >= 0; i-- {
+			cs := x.Cases[i]
+			cond, err := t.caseCond(c, keys, widths, cs.Values)
+			if err != nil {
+				return nil, err
+			}
+			body := t.stateTarget(c, cs.Target)
+			if cond == nil { // all-default case: unconditional
+				elseBody = body
+				continue
+			}
+			elseBody = []model.Stmt{&model.If{Cond: cond, Then: body, Else: elseBody}}
+		}
+		return elseBody, nil
+	}
+	return nil, fmt.Errorf("unknown transition")
+}
+
+// caseCond builds the conjunction for one select case; nil means
+// "matches everything".
+func (t *translator) caseCond(c *ctx, keys []model.Expr, widths []int, values []p4.CaseValue) (model.Expr, error) {
+	var cond model.Expr
+	for i, v := range values {
+		if v.Default {
+			continue
+		}
+		val, ok := t.p.EvalConstExpr(v.Expr)
+		if !ok {
+			return nil, t.errf(v.Expr.Position(), "select case value must be constant")
+		}
+		var leg model.Expr
+		if v.Mask != nil {
+			mask, ok := t.p.EvalConstExpr(v.Mask)
+			if !ok {
+				return nil, t.errf(v.Mask.Position(), "select case mask must be constant")
+			}
+			leg = &model.Bin{
+				Op: model.OpEq,
+				X:  &model.Bin{Op: model.OpAnd, X: keys[i], Y: &model.Const{Width: widths[i], Val: mask}},
+				Y:  &model.Const{Width: widths[i], Val: val & mask},
+			}
+		} else {
+			leg = &model.Bin{Op: model.OpEq, X: keys[i], Y: &model.Const{Width: widths[i], Val: val}}
+		}
+		if cond == nil {
+			cond = leg
+		} else {
+			cond = &model.Bin{Op: model.OpLAnd, X: cond, Y: leg}
+		}
+	}
+	return cond, nil
+}
+
+// ---------------------------------------------------------------- control --
+
+func (t *translator) translateControl(cd *p4.ControlDecl) error {
+	c := t.newCtx(cd.Name, cd.Params, cd, nil)
+
+	// Control-level locals and extern instances.
+	for _, l := range cd.Locals {
+		switch l.Kind {
+		case p4.LocalVar:
+			g := cd.Name + "." + l.Name
+			w := t.p.TypeWidth(l.Type)
+			if w == 0 {
+				return t.errf(l.Pos, "unsupported local variable type for %s", l.Name)
+			}
+			var init uint64
+			if l.Init != nil {
+				v, ok := t.p.EvalConstExpr(l.Init)
+				if !ok {
+					return t.errf(l.Pos, "control-level initializer for %s must be constant", l.Name)
+				}
+				init = v
+			}
+			t.m.AddGlobal(g, w, false, init)
+			c.locals[l.Name] = g
+		default:
+			if err := t.declareExtern(cd, l); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Actions become functions; parameters become globals.
+	for _, a := range cd.Actions {
+		ac := t.newCtx(cd.Name, cd.Params, cd, nil)
+		for k, v := range c.locals {
+			ac.locals[k] = v
+		}
+		for _, pr := range a.Params {
+			g := cd.Name + "." + a.Name + "." + pr.Name
+			w := t.p.TypeWidth(pr.Type)
+			if w == 0 {
+				return t.errf(pr.Pos, "unsupported action parameter type for %s", pr.Name)
+			}
+			t.m.AddGlobal(g, w, false, 0)
+			ac.locals[pr.Name] = g
+		}
+		var body []model.Stmt
+		for _, s := range a.Body {
+			stmts, err := t.translateStmt(ac, s)
+			if err != nil {
+				return err
+			}
+			body = append(body, stmts...)
+		}
+		t.m.AddFunc(&model.Func{Name: cd.Name + "." + a.Name, Body: body})
+	}
+	// Implicit NoAction.
+	t.m.AddFunc(&model.Func{Name: cd.Name + ".NoAction", Body: nil})
+
+	// Tables become functions.
+	for _, tb := range cd.Tables {
+		body, err := t.translateTable(c, cd, tb)
+		if err != nil {
+			return err
+		}
+		t.m.AddFunc(&model.Func{Name: cd.Name + "." + tb.Name, Body: body})
+	}
+
+	// The apply block becomes the control's own function.
+	var body []model.Stmt
+	for _, s := range cd.Apply.Stmts {
+		stmts, err := t.translateStmt(c, s)
+		if err != nil {
+			return err
+		}
+		body = append(body, stmts...)
+	}
+	t.m.AddFunc(&model.Func{Name: cd.Name, Body: body})
+	return nil
+}
+
+func (t *translator) declareExtern(cd *p4.ControlDecl, l *p4.LocalDecl) error {
+	size := 0
+	if l.Size != nil {
+		v, ok := t.p.EvalConstExpr(l.Size)
+		if !ok {
+			return t.errf(l.Pos, "extern size for %s must be constant", l.Name)
+		}
+		size = int(v)
+	}
+	width := 48 // counters/meters default cell width
+	if l.Type != nil {
+		if w := t.p.TypeWidth(l.Type); w > 0 {
+			width = w
+		}
+	}
+	inst := &externInst{kind: l.Kind, width: width, size: size, control: cd.Name}
+	if size > 0 && size <= t.opts.RegisterCellLimit && l.Kind != p4.LocalMeter &&
+		!(t.opts.SymbolicRegisters && l.Kind == p4.LocalRegister) {
+		inst.cells = make([]string, size)
+		for i := 0; i < size; i++ {
+			name := fmt.Sprintf("%s.%s[%d]", cd.Name, l.Name, i)
+			t.m.AddGlobal(name, width, false, 0)
+			inst.cells[i] = name
+		}
+	}
+	t.externs[cd.Name+"."+l.Name] = inst
+	return nil
+}
+
+// translateTable compiles one table to a model function body, following the
+// paper's two modeling strategies.
+func (t *translator) translateTable(c *ctx, cd *p4.ControlDecl, tb *p4.TableDecl) ([]model.Stmt, error) {
+	// Resolve key expressions once.
+	keyExprs := make([]model.Expr, len(tb.Keys))
+	keyWidths := make([]int, len(tb.Keys))
+	for i, k := range tb.Keys {
+		e, w, err := t.translateExpr(c, k.Expr, 0)
+		if err != nil {
+			return nil, err
+		}
+		keyExprs[i] = e
+		keyWidths[i] = w
+	}
+
+	hitG := cd.Name + "." + tb.Name + ".$hit"
+	t.m.AddGlobal(hitG, 1, false, 0)
+
+	concrete := t.tableRules(cd, tb)
+	if concrete == nil {
+		return t.forkTable(c, cd, tb)
+	}
+
+	// Known rules: cascading if-else in match-priority order.
+	ordered := orderRules(tb, concrete)
+	defaultBody, err := t.defaultActionBody(c, cd, tb)
+	if err != nil {
+		return nil, err
+	}
+	body := append([]model.Stmt{
+		&model.Assign{LHS: hitG, RHS: &model.Const{Width: 1, Val: 0}},
+	}, defaultBody...)
+	for i := len(ordered) - 1; i >= 0; i-- {
+		r := ordered[i]
+		var cond model.Expr
+		for ki := range tb.Keys {
+			var m rules.Match
+			if ki < len(r.Keys) {
+				m = r.Keys[ki]
+			} else {
+				m = rules.Match{Kind: rules.Wildcard}
+			}
+			val, mask := m.MaskBits(keyWidths[ki])
+			var leg model.Expr
+			switch {
+			case mask == 0:
+				continue // wildcard: no constraint
+			case mask == fullMask(keyWidths[ki]):
+				leg = &model.Bin{Op: model.OpEq, X: keyExprs[ki], Y: &model.Const{Width: keyWidths[ki], Val: val}}
+			default:
+				leg = &model.Bin{
+					Op: model.OpEq,
+					X:  &model.Bin{Op: model.OpAnd, X: keyExprs[ki], Y: &model.Const{Width: keyWidths[ki], Val: mask}},
+					Y:  &model.Const{Width: keyWidths[ki], Val: val},
+				}
+			}
+			if cond == nil {
+				cond = leg
+			} else {
+				cond = &model.Bin{Op: model.OpLAnd, X: cond, Y: leg}
+			}
+		}
+		branch, err := t.ruleActionBody(c, cd, tb, r)
+		if err != nil {
+			return nil, err
+		}
+		branch = append([]model.Stmt{
+			&model.Assign{LHS: hitG, RHS: &model.Const{Width: 1, Val: 1}},
+		}, branch...)
+		if cond == nil {
+			// Match-all rule: everything below it is dead.
+			body = branch
+			continue
+		}
+		body = []model.Stmt{&model.If{Cond: cond, Then: branch, Else: body}}
+	}
+	return body, nil
+}
+
+func fullMask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+// tableRules returns the concrete rules for a table, or nil when the table
+// should be modeled symbolically.
+func (t *translator) tableRules(cd *p4.ControlDecl, tb *p4.TableDecl) []rules.Rule {
+	if len(tb.ConstEntries) > 0 {
+		out := make([]rules.Rule, 0, len(tb.ConstEntries))
+		for i, ent := range tb.ConstEntries {
+			r := rules.Rule{Table: tb.Name, Action: ent.Action.Name, Priority: i}
+			for _, arg := range ent.Action.Args {
+				v, _ := t.p.EvalConstExpr(arg)
+				r.Args = append(r.Args, v)
+			}
+			for ki, kv := range ent.Keys {
+				if kv.Default {
+					r.Keys = append(r.Keys, rules.Match{Kind: rules.Wildcard})
+					continue
+				}
+				val, _ := t.p.EvalConstExpr(kv.Expr)
+				if kv.Mask != nil {
+					mask, _ := t.p.EvalConstExpr(kv.Mask)
+					r.Keys = append(r.Keys, rules.Match{Kind: rules.Ternary, Value: val, Mask: mask})
+				} else if ki < len(tb.Keys) && tb.Keys[ki].Match == p4.MatchLPM {
+					r.Keys = append(r.Keys, rules.Match{Kind: rules.LPM, Value: val, PrefixLen: 64})
+				} else {
+					r.Keys = append(r.Keys, rules.Match{Kind: rules.Exact, Value: val})
+				}
+			}
+			out = append(out, r)
+		}
+		return out
+	}
+	if rs := t.opts.Rules.ForTable(cd.Name, tb.Name); len(rs) > 0 {
+		return rs
+	}
+	return nil
+}
+
+// orderRules sorts rules by match semantics: longest prefix first for LPM
+// keys, then ascending priority (stable).
+func orderRules(tb *p4.TableDecl, in []rules.Rule) []rules.Rule {
+	out := append([]rules.Rule(nil), in...)
+	lpmKey := -1
+	for i, k := range tb.Keys {
+		if k.Match == p4.MatchLPM {
+			lpmKey = i
+			break
+		}
+	}
+	less := func(a, b rules.Rule) bool {
+		if lpmKey >= 0 && lpmKey < len(a.Keys) && lpmKey < len(b.Keys) {
+			pa, pb := a.Keys[lpmKey].PrefixLen, b.Keys[lpmKey].PrefixLen
+			if a.Keys[lpmKey].Kind != rules.LPM {
+				pa = -1
+			}
+			if b.Keys[lpmKey].Kind != rules.LPM {
+				pb = -1
+			}
+			if pa != pb {
+				return pa > pb
+			}
+		}
+		return a.Priority < b.Priority
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ruleActionBody assigns the rule's constant arguments to the action's
+// parameter globals and calls the action.
+func (t *translator) ruleActionBody(c *ctx, cd *p4.ControlDecl, tb *p4.TableDecl, r rules.Rule) ([]model.Stmt, error) {
+	var out []model.Stmt
+	if r.Action != "NoAction" {
+		act := cd.Action(r.Action)
+		if act == nil {
+			return nil, t.errf(tb.Pos, "rule for table %s references unknown action %s", tb.Name, r.Action)
+		}
+		if len(r.Args) != len(act.Params) {
+			return nil, t.errf(tb.Pos, "rule for %s.%s passes %d args to %s, want %d",
+				cd.Name, tb.Name, len(r.Args), r.Action, len(act.Params))
+		}
+		for i, pr := range act.Params {
+			w := t.p.TypeWidth(pr.Type)
+			out = append(out, &model.Assign{
+				LHS: cd.Name + "." + r.Action + "." + pr.Name,
+				RHS: &model.Const{Width: w, Val: r.Args[i] & fullMask(w)},
+			})
+		}
+	}
+	out = append(out, &model.Call{Func: cd.Name + "." + r.Action})
+	return out, nil
+}
+
+func (t *translator) defaultActionBody(c *ctx, cd *p4.ControlDecl, tb *p4.TableDecl) ([]model.Stmt, error) {
+	if tb.DefaultAction == nil {
+		return []model.Stmt{&model.Call{Func: cd.Name + ".NoAction"}}, nil
+	}
+	da := tb.DefaultAction
+	var out []model.Stmt
+	if da.Name != "NoAction" {
+		act := cd.Action(da.Name)
+		for i, pr := range act.Params {
+			if i >= len(da.Args) {
+				return nil, t.errf(da.Pos, "default_action %s needs %d args", da.Name, len(act.Params))
+			}
+			v, ok := t.p.EvalConstExpr(da.Args[i])
+			if !ok {
+				return nil, t.errf(da.Pos, "default_action argument must be constant")
+			}
+			w := t.p.TypeWidth(pr.Type)
+			out = append(out, &model.Assign{
+				LHS: cd.Name + "." + da.Name + "." + pr.Name,
+				RHS: &model.Const{Width: w, Val: v & fullMask(w)},
+			})
+		}
+	}
+	out = append(out, &model.Call{Func: cd.Name + "." + da.Name})
+	return out, nil
+}
+
+// forkTable models a table with unknown rules: a fork with one branch per
+// action, each with fully symbolic action parameters (paper Fig. 6,
+// "Tables"/"Actions").
+func (t *translator) forkTable(c *ctx, cd *p4.ControlDecl, tb *p4.TableDecl) ([]model.Stmt, error) {
+	sel := cd.Name + "." + tb.Name + ".$action"
+	t.m.AddGlobal(sel, 8, false, 0)
+	// With unknown rules, whether the lookup hits is also
+	// control-plane-determined: the hit flag is a fresh symbolic value.
+	hitG := cd.Name + "." + tb.Name + ".$hit"
+	fork := &model.Fork{Selector: sel}
+	for i, an := range tb.Actions {
+		var branch []model.Stmt
+		branch = append(branch, &model.Assign{LHS: sel, RHS: &model.Const{Width: 8, Val: uint64(i)}})
+		if an != "NoAction" {
+			act := cd.Action(an)
+			for _, pr := range act.Params {
+				g := cd.Name + "." + an + "." + pr.Name
+				branch = append(branch, &model.MakeSymbolic{Var: g, Hint: g})
+			}
+		}
+		branch = append(branch, &model.Call{Func: cd.Name + "." + an})
+		fork.Labels = append(fork.Labels, an)
+		fork.Branches = append(fork.Branches, branch)
+	}
+	return []model.Stmt{&model.MakeSymbolic{Var: hitG, Hint: hitG}, fork}, nil
+}

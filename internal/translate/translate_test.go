@@ -1,0 +1,310 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"p4assert/internal/model"
+	"p4assert/internal/p4"
+	"p4assert/internal/rules"
+)
+
+const pipelineSrc = `
+const bit<16> TYPE_IPV4 = 0x0800;
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> dstAddr; }
+struct headers_t { ethernet_t ethernet; ipv4_t ipv4; }
+struct meta_t { bit<16> acc; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t standard_metadata) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: reject;
+        }
+    }
+    state parse_ipv4 { pkt.extract(hdr.ipv4); transition accept; }
+}
+
+control I(inout headers_t hdr, inout meta_t meta,
+          inout standard_metadata_t standard_metadata) {
+    register<bit<16>>(2) small_reg;
+    register<bit<16>>(4096) big_reg;
+    action drop() { mark_to_drop(standard_metadata); }
+    action fwd(bit<9> port) { standard_metadata.egress_spec = port; }
+    table t {
+        key = { hdr.ipv4.dstAddr : exact; }
+        actions = { fwd; drop; NoAction; }
+        default_action = drop;
+    }
+    apply {
+        t.apply();
+        small_reg.write((bit<32>)hdr.ipv4.ttl, meta.acc);
+        small_reg.read(meta.acc, (bit<32>)hdr.ipv4.ttl);
+        big_reg.read(meta.acc, hdr.ipv4.dstAddr);
+        @assert("if(forward(), ipv4.ttl > 0)");
+    }
+}
+control D(packet_out pkt, in headers_t hdr) {
+    apply { pkt.emit(hdr.ethernet); pkt.emit(hdr.ipv4); }
+}
+V1Switch(P, I, D) main;
+`
+
+func mustTranslate(t *testing.T, src string, opts Options) *model.Program {
+	t.Helper()
+	prog, err := p4.Parse("t.p4", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Check(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Translate(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestModelStructure(t *testing.T) {
+	m := mustTranslate(t, pipelineSrc, Options{})
+	// Entry: parser, two controls, deferred checks.
+	want := []string{"P", "I", "D", "$checks"}
+	if len(m.Entry) != len(want) {
+		t.Fatalf("entry = %v", m.Entry)
+	}
+	for i := range want {
+		if m.Entry[i] != want[i] {
+			t.Fatalf("entry = %v, want %v", m.Entry, want)
+		}
+	}
+	// One function per parser state, table, action, control.
+	for _, fn := range []string{"P.start", "P.parse_ipv4", "I.t", "I.fwd", "I.drop", "I.NoAction", "I", "D"} {
+		if _, ok := m.Funcs[fn]; !ok {
+			t.Fatalf("missing function %s (have %v)", fn, m.Dump())
+		}
+	}
+	// Flattened globals with validity bits and flags.
+	for _, g := range []string{
+		"hdr.ethernet.dstAddr", "hdr.ipv4.ttl", "hdr.ipv4.$valid",
+		"standard_metadata.egress_spec", model.ForwardFlag,
+		"I.fwd.port", "I.small_reg[0]", "I.small_reg[1]",
+	} {
+		if _, ok := m.Global(g); !ok {
+			t.Fatalf("missing global %s", g)
+		}
+	}
+	// Big register must NOT be modeled per cell.
+	if _, ok := m.Global("I.big_reg[0]"); ok {
+		t.Fatal("4096-cell register should be symbolic, not per-cell")
+	}
+	if len(m.Asserts) != 1 || !m.Asserts[0].Deferred {
+		t.Fatalf("asserts = %+v", m.Asserts)
+	}
+}
+
+func TestUnknownRulesFork(t *testing.T) {
+	m := mustTranslate(t, pipelineSrc, Options{})
+	body := m.Funcs["I.t"].Body
+	if len(body) != 2 {
+		t.Fatalf("table body = %d stmts, want [hit-symbolic, fork]", len(body))
+	}
+	if ms, ok := body[0].(*model.MakeSymbolic); !ok || ms.Var != "I.t.$hit" {
+		t.Fatalf("first stmt should make the hit flag symbolic, got %T", body[0])
+	}
+	fork, ok := body[1].(*model.Fork)
+	if !ok {
+		t.Fatalf("table without rules should fork, got %T", body[1])
+	}
+	if len(fork.Branches) != 3 || fork.Labels[0] != "fwd" {
+		t.Fatalf("fork shape wrong: %v", fork.Labels)
+	}
+	// The fwd branch makes its parameter symbolic.
+	found := false
+	for _, s := range fork.Branches[0] {
+		if ms, ok := s.(*model.MakeSymbolic); ok && ms.Var == "I.fwd.port" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("unknown-rules action parameter should be symbolic")
+	}
+}
+
+func TestKnownRulesCascade(t *testing.T) {
+	rs := rules.NewRuleSet()
+	rs.Add(rules.Rule{Table: "t", Action: "fwd",
+		Keys: []rules.Match{{Kind: rules.Exact, Value: 0x0a000001}}, Args: []uint64{3}})
+	rs.Add(rules.Rule{Table: "t", Action: "drop",
+		Keys: []rules.Match{{Kind: rules.Exact, Value: 0x0a000002}}})
+	m := mustTranslate(t, pipelineSrc, Options{Rules: rs})
+	body := m.Funcs["I.t"].Body
+	ifStmt, ok := body[0].(*model.If)
+	if !ok {
+		t.Fatalf("table with rules should be an if-cascade, got %T", body[0])
+	}
+	// First rule branch raises the hit flag, assigns the const arg, then
+	// calls the action.
+	if asg, ok := ifStmt.Then[0].(*model.Assign); !ok || asg.LHS != "I.t.$hit" {
+		t.Fatalf("rule branch should set the hit flag first: %+v", ifStmt.Then)
+	}
+	if asg, ok := ifStmt.Then[1].(*model.Assign); !ok || asg.LHS != "I.fwd.port" {
+		t.Fatalf("rule branch shape wrong: %+v", ifStmt.Then)
+	}
+	// The innermost else is the default action call.
+	inner := ifStmt.Else[0].(*model.If)
+	if call, ok := inner.Else[len(inner.Else)-1].(*model.Call); !ok || call.Func != "I.drop" {
+		t.Fatalf("default action wrong: %+v", inner.Else)
+	}
+}
+
+func TestLPMOrdering(t *testing.T) {
+	src := strings.Replace(pipelineSrc, "hdr.ipv4.dstAddr : exact", "hdr.ipv4.dstAddr : lpm", 1)
+	rs := rules.NewRuleSet()
+	// Insert shorter prefix first: translation must test longest first.
+	rs.Add(rules.Rule{Table: "t", Action: "drop",
+		Keys: []rules.Match{{Kind: rules.LPM, Value: 0x0a000000, PrefixLen: 8}}, Priority: 0})
+	rs.Add(rules.Rule{Table: "t", Action: "fwd",
+		Keys: []rules.Match{{Kind: rules.LPM, Value: 0x0a000100, PrefixLen: 24}}, Args: []uint64{3}, Priority: 1})
+	m := mustTranslate(t, src, Options{Rules: rs})
+	ifStmt := m.Funcs["I.t"].Body[0].(*model.If)
+	// The first test must be the /24 rule (fwd).
+	if call, ok := ifStmt.Then[len(ifStmt.Then)-1].(*model.Call); !ok || call.Func != "I.fwd" {
+		t.Fatalf("longest prefix should match first: %+v", ifStmt.Then)
+	}
+}
+
+func TestSelectRejectDefault(t *testing.T) {
+	// A select with no default case must fall through to reject.
+	src := `
+header h_t { bit<8> k; }
+struct hs { h_t h; }
+struct ms { bit<1> u; }
+parser P(packet_in pkt, out hs hdr, inout ms meta,
+         inout standard_metadata_t standard_metadata) {
+    state start {
+        pkt.extract(hdr.h);
+        transition select(hdr.h.k) { 1: accept; }
+    }
+}
+control I(inout hs hdr, inout ms meta,
+          inout standard_metadata_t standard_metadata) { apply { } }
+control D(packet_out pkt, in hs hdr) { apply { } }
+V1Switch(P, I, D) main;
+`
+	m := mustTranslate(t, src, Options{})
+	dump := m.Dump()
+	if !strings.Contains(dump, "halt") {
+		t.Fatalf("missing-case select should reject:\n%s", dump)
+	}
+}
+
+func TestAssertInstrumentation(t *testing.T) {
+	m := mustTranslate(t, pipelineSrc, Options{})
+	// The deferred forward/ttl assertion snapshots the ttl at the site and
+	// gates the final check on reaching it.
+	if _, ok := m.Global("$snap.0.hdr.ipv4.ttl"); !ok {
+		t.Fatalf("missing ttl snapshot global; globals: %v", globalNames(m))
+	}
+	if _, ok := m.Global("$snap.0.$reached"); !ok {
+		t.Fatal("missing reached gate global")
+	}
+	checks, ok := m.Funcs["$checks"]
+	if !ok || len(checks.Body) != 1 {
+		t.Fatal("missing $checks function")
+	}
+	gate, ok := checks.Body[0].(*model.If)
+	if !ok {
+		t.Fatalf("deferred check should be gated, got %T", checks.Body[0])
+	}
+	if _, ok := gate.Then[0].(*model.AssertCheck); !ok {
+		t.Fatal("gated body should be the assert check")
+	}
+}
+
+func globalNames(m *model.Program) []string {
+	var out []string
+	for _, g := range m.Globals {
+		out = append(out, g.Name)
+	}
+	return out
+}
+
+func TestTranslateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		frag string
+	}{
+		{"no package", "header h_t { bit<8> x; }", "no package instantiation"},
+		{"missing parser", "control C() { apply { } } V1Switch(Nope, C) main;", "not a declared parser"},
+		{"bad assertion", `
+struct hs { bit<8> f; }
+parser P(packet_in p, out hs h) { state start { transition accept; } }
+control C(inout hs h) { apply { @assert("if("); } }
+V1Switch(P, C) main;`, "bad assertion"},
+		{"unresolvable assert field", `
+struct hs { bit<8> f; }
+parser P(packet_in p, out hs h) { state start { transition accept; } }
+control C(inout hs h) { apply { @assert("nosuch.field == 1"); } }
+V1Switch(P, C) main;`, "cannot resolve"},
+	}
+	for _, tc := range cases {
+		prog, err := p4.Parse("e.p4", tc.src)
+		if err == nil {
+			err = prog.Check()
+		}
+		if err == nil {
+			_, err = Translate(prog, Options{})
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.frag)
+		}
+	}
+}
+
+func TestSymbolicRegistersOption(t *testing.T) {
+	m := mustTranslate(t, pipelineSrc, Options{SymbolicRegisters: true})
+	if _, ok := m.Global("I.small_reg[0]"); ok {
+		t.Fatal("SymbolicRegisters should suppress per-cell modeling")
+	}
+	// The read becomes a fresh symbolic value.
+	dump := m.Dump()
+	if !strings.Contains(dump, "make_symbolic(I.acc)") &&
+		!strings.Contains(dump, "make_symbolic(meta.acc)") {
+		t.Fatalf("symbolic register read missing:\n%s", dump)
+	}
+}
+
+func TestCounterAndMeter(t *testing.T) {
+	src := `
+struct hs { bit<8> f; }
+struct ms { bit<8> color; }
+parser P(packet_in p, out hs h, inout ms m,
+         inout standard_metadata_t standard_metadata) {
+    state start { transition accept; }
+}
+control C(inout hs h, inout ms m, inout standard_metadata_t standard_metadata) {
+    counter(2, CounterType.packets) pkts;
+    meter(4, MeterType.bytes) rate;
+    apply {
+        pkts.count((bit<32>)h.f);
+        rate.execute_meter((bit<32>)h.f, m.color);
+    }
+}
+control D(packet_out p, in hs h) { apply { } }
+V1Switch(P, C, D) main;
+`
+	m := mustTranslate(t, src, Options{})
+	if _, ok := m.Global("C.pkts[1]"); !ok {
+		t.Fatal("counter cells missing")
+	}
+	dump := m.Dump()
+	if !strings.Contains(dump, "make_symbolic(ms.color)") &&
+		!strings.Contains(dump, "make_symbolic(m.color)") {
+		t.Fatalf("meter result should be symbolic:\n%s", dump)
+	}
+}

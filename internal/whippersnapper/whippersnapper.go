@@ -1,0 +1,235 @@
+// Package whippersnapper generates synthetic P4 programs in the style of
+// the Whippersnapper benchmark suite [7] used by the paper's performance
+// analysis (§5.3): parameterized chains of match-action tables with
+// configurable actions per table, forwarding rules per table, and assertion
+// counts. The paper's parameter defaults are preserved: three actions on
+// the first table, two on every subsequent one, and no rules or assertions
+// unless requested.
+package whippersnapper
+
+import (
+	"fmt"
+	"strings"
+
+	"p4assert/internal/rules"
+)
+
+// Config parameterizes one synthetic program.
+type Config struct {
+	// Tables is the pipeline depth (≥ 1).
+	Tables int
+	// ActionsFirst is the number of real actions on the first table
+	// (default 3, per the paper).
+	ActionsFirst int
+	// Actions is the number of real actions on subsequent tables
+	// (default 2, per the paper).
+	Actions int
+	// RulesPerTable, when > 0, generates that many exact-match forwarding
+	// rules for every table (the Fig. 9(c) sweep). Zero leaves rules
+	// unknown so tables fork over their actions.
+	RulesPerTable int
+	// Assertions is the number of @assert annotations appended to the
+	// first pipeline stage (the Fig. 9(b) sweep).
+	Assertions int
+	// Protocols adds parser branching: the packet carries a protocol
+	// selector and the parser extracts one of Protocols alternative
+	// headers before the table pipeline (≤ 1 means a straight-line
+	// parser). Parser decision points are where the paper's submodel
+	// heuristic splits first (§4.4).
+	Protocols int
+}
+
+// Default returns the paper's default parameters for a given table count.
+func Default(tables int) Config {
+	return Config{Tables: tables, ActionsFirst: 3, Actions: 2}
+}
+
+func (c Config) normalize() Config {
+	if c.Tables < 1 {
+		c.Tables = 1
+	}
+	if c.ActionsFirst < 1 {
+		c.ActionsFirst = 3
+	}
+	if c.Actions < 1 {
+		c.Actions = 2
+	}
+	return c
+}
+
+// numActions returns the action count of table t (0-based).
+func (c Config) numActions(t int) int {
+	if t == 0 {
+		return c.ActionsFirst
+	}
+	return c.Actions
+}
+
+// PathCount returns the closed-form number of completed execution paths of
+// the generated program when rules are unknown: the product over tables of
+// (actions per table), times the parser branch count. With rules supplied,
+// each table contributes (rules+1) outcomes instead.
+func (c Config) PathCount() int64 {
+	c = c.normalize()
+	perParse := int64(1)
+	for t := 0; t < c.Tables; t++ {
+		branch := int64(c.numActions(t))
+		if c.RulesPerTable > 0 {
+			branch = int64(c.RulesPerTable) + 1
+		}
+		perParse *= branch
+	}
+	if c.Protocols > 1 {
+		// One pipeline traversal per accepted protocol, plus the single
+		// rejected-packet path that skips the pipeline.
+		return int64(c.Protocols)*perParse + 1
+	}
+	return perParse
+}
+
+// Generate produces the P4 source of the synthetic program.
+func Generate(cfg Config) string {
+	cfg = cfg.normalize()
+	var b strings.Builder
+
+	// One 16-bit data field per table (the table's key), plus one spare
+	// written by actions.
+	b.WriteString("// Synthetic Whippersnapper-style pipeline program.\n")
+	b.WriteString("header data_t {\n")
+	if cfg.Protocols > 1 {
+		b.WriteString("    bit<8> proto;\n")
+	}
+	for t := 0; t < cfg.Tables; t++ {
+		fmt.Fprintf(&b, "    bit<16> f%d;\n", t)
+	}
+	b.WriteString("    bit<16> scratch;\n")
+	b.WriteString("}\n\n")
+	if cfg.Protocols > 1 {
+		for p := 0; p < cfg.Protocols; p++ {
+			fmt.Fprintf(&b, "header proto%d_t { bit<16> tag; bit<16> body; }\n", p)
+		}
+	}
+	b.WriteString("struct headers_t {\n    data_t data;\n")
+	if cfg.Protocols > 1 {
+		for p := 0; p < cfg.Protocols; p++ {
+			fmt.Fprintf(&b, "    proto%d_t proto%d;\n", p, p)
+		}
+	}
+	b.WriteString("}\n")
+	b.WriteString("struct metadata_t { bit<16> acc; }\n\n")
+
+	b.WriteString(`parser WsParser(packet_in pkt, out headers_t hdr, inout metadata_t meta,
+                inout standard_metadata_t standard_metadata) {
+`)
+	if cfg.Protocols > 1 {
+		b.WriteString("    state start {\n        pkt.extract(hdr.data);\n")
+		b.WriteString("        transition select(hdr.data.proto) {\n")
+		for p := 0; p < cfg.Protocols; p++ {
+			fmt.Fprintf(&b, "            %d: parse_proto%d;\n", p, p)
+		}
+		b.WriteString("            default: reject;\n        }\n    }\n")
+		for p := 0; p < cfg.Protocols; p++ {
+			fmt.Fprintf(&b, "    state parse_proto%d { pkt.extract(hdr.proto%d); transition accept; }\n", p, p)
+		}
+		b.WriteString("}\n\n")
+	} else {
+		b.WriteString(`    state start {
+        pkt.extract(hdr.data);
+        transition accept;
+    }
+}
+
+`)
+	}
+
+	b.WriteString("control WsIngress(inout headers_t hdr, inout metadata_t meta,\n")
+	b.WriteString("                  inout standard_metadata_t standard_metadata) {\n")
+	for t := 0; t < cfg.Tables; t++ {
+		for a := 0; a < cfg.numActions(t); a++ {
+			// Each action rewrites the scratch field and the egress port;
+			// action 0 of each table also feeds the accumulator so later
+			// tables depend on earlier ones.
+			fmt.Fprintf(&b, "    action act_%d_%d(bit<16> p) {\n", t, a)
+			fmt.Fprintf(&b, "        hdr.data.scratch = p + %d;\n", t*16+a)
+			if a == 0 {
+				fmt.Fprintf(&b, "        meta.acc = meta.acc + hdr.data.f%d;\n", t)
+			}
+			fmt.Fprintf(&b, "        standard_metadata.egress_spec = %d;\n", (t+a)%8+1)
+			b.WriteString("    }\n")
+		}
+		fmt.Fprintf(&b, "    table table_%d {\n", t)
+		fmt.Fprintf(&b, "        key = { hdr.data.f%d : exact; }\n", t)
+		b.WriteString("        actions = {\n")
+		for a := 0; a < cfg.numActions(t); a++ {
+			fmt.Fprintf(&b, "            act_%d_%d;\n", t, a)
+		}
+		b.WriteString("        }\n")
+		fmt.Fprintf(&b, "        default_action = act_%d_0(0);\n", t)
+		fmt.Fprintf(&b, "        size = %d;\n", max(cfg.RulesPerTable, 16))
+		b.WriteString("    }\n")
+	}
+
+	b.WriteString("    apply {\n")
+	for t := 0; t < cfg.Tables; t++ {
+		fmt.Fprintf(&b, "        table_%d.apply();\n", t)
+	}
+	for i := 0; i < cfg.Assertions; i++ {
+		// Non-trivial but valid properties, placed after the pipeline so
+		// each explored path checks them. They alternate between an
+		// immediate range property and a deferred forward() property;
+		// both require an UNSAT solver verdict rather than folding away
+		// syntactically.
+		field := i % cfg.Tables
+		bound := 0x4000 + i*7
+		if i%2 == 0 {
+			fmt.Fprintf(&b, "        @assert(\"if(hdr.data.f%d < 0x%x, hdr.data.f%d <= 0x%x)\");\n",
+				field, bound, field, bound)
+		} else {
+			fmt.Fprintf(&b, "        @assert(\"if(forward(), hdr.data.f%d + %d != hdr.data.f%d)\");\n",
+				field, i+1, field)
+		}
+	}
+	b.WriteString("    }\n}\n\n")
+
+	b.WriteString(`control WsDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.data);
+    }
+}
+
+V1Switch(WsParser, WsIngress, WsDeparser) main;
+`)
+	return b.String()
+}
+
+// GenerateRules builds the forwarding-rule set matching Generate's tables:
+// RulesPerTable exact-match entries per table with distinct key values.
+func GenerateRules(cfg Config) *rules.RuleSet {
+	cfg = cfg.normalize()
+	rs := rules.NewRuleSet()
+	if cfg.RulesPerTable <= 0 {
+		return rs
+	}
+	prio := 0
+	for t := 0; t < cfg.Tables; t++ {
+		n := cfg.numActions(t)
+		for r := 0; r < cfg.RulesPerTable; r++ {
+			rs.Add(rules.Rule{
+				Table:    fmt.Sprintf("table_%d", t),
+				Action:   fmt.Sprintf("act_%d_%d", t, r%n),
+				Keys:     []rules.Match{{Kind: rules.Exact, Value: uint64(r)}},
+				Args:     []uint64{uint64(r * 3)},
+				Priority: prio,
+			})
+			prio++
+		}
+	}
+	return rs
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,183 @@
+package whippersnapper
+
+import (
+	"testing"
+
+	"p4assert/internal/core"
+	"p4assert/internal/p4"
+	"p4assert/internal/translate"
+)
+
+// TestGeneratedProgramsCompile: every configuration in a parameter grid
+// must parse, type-check and translate.
+func TestGeneratedProgramsCompile(t *testing.T) {
+	for _, cfg := range []Config{
+		{Tables: 1},
+		{Tables: 4},
+		{Tables: 2, ActionsFirst: 5, Actions: 4},
+		{Tables: 2, RulesPerTable: 8},
+		{Tables: 1, Assertions: 6},
+		{Tables: 3, RulesPerTable: 4, Assertions: 3},
+	} {
+		src := Generate(cfg)
+		prog, err := p4.Parse("ws.p4", src)
+		if err != nil {
+			t.Fatalf("cfg %+v: parse: %v\n%s", cfg, err, src)
+		}
+		if err := prog.Check(); err != nil {
+			t.Fatalf("cfg %+v: check: %v", cfg, err)
+		}
+		if _, err := translate.Translate(prog, translate.Options{Rules: GenerateRules(cfg)}); err != nil {
+			t.Fatalf("cfg %+v: translate: %v", cfg, err)
+		}
+	}
+}
+
+// TestPathCountClosedForm: the executor's completed path count must match
+// the generator's closed-form prediction (DESIGN.md invariant).
+func TestPathCountClosedForm(t *testing.T) {
+	for _, cfg := range []Config{
+		{Tables: 1},
+		{Tables: 2},
+		{Tables: 3},
+		{Tables: 2, ActionsFirst: 4, Actions: 3},
+		{Tables: 2, RulesPerTable: 3},
+		{Tables: 1, RulesPerTable: 5},
+		{Tables: 2, Protocols: 3},
+		{Tables: 1, Protocols: 2, RulesPerTable: 2},
+	} {
+		rep, err := core.VerifySource("ws.p4", Generate(cfg), core.Options{Rules: GenerateRules(cfg)})
+		if err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		if got, want := rep.Metrics.Paths, cfg.PathCount(); got != want {
+			t.Fatalf("cfg %+v: %d paths, want %d", cfg, got, want)
+		}
+		if len(rep.Violations) != 0 {
+			t.Fatalf("cfg %+v: synthetic program must verify:\n%s", cfg, rep.Summary())
+		}
+	}
+}
+
+// TestAssertionsVerifyAndCost: assertions hold, and each one adds solver
+// work (the Fig. 9(b) driver).
+func TestAssertionsVerifyAndCost(t *testing.T) {
+	run := func(asserts int) *core.Report {
+		cfg := Config{Tables: 1, Assertions: asserts}
+		rep, err := core.VerifySource("ws.p4", Generate(cfg), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Violations) != 0 {
+			t.Fatalf("asserts=%d: %s", asserts, rep.Summary())
+		}
+		return rep
+	}
+	r0 := run(0)
+	r8 := run(8)
+	if r8.Metrics.Solver.Queries <= r0.Metrics.Solver.Queries {
+		t.Fatalf("assertions should add solver queries: %d vs %d",
+			r8.Metrics.Solver.Queries, r0.Metrics.Solver.Queries)
+	}
+}
+
+// TestTablesGrowPaths: path counts grow multiplicatively with pipeline
+// depth (the Fig. 9(a) driver).
+func TestTablesGrowPaths(t *testing.T) {
+	paths := func(tables int) int64 {
+		rep, err := core.VerifySource("ws.p4", Generate(Default(tables)), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Metrics.Paths
+	}
+	p2, p4n := paths(2), paths(4)
+	if p4n != p2*4 { // two more tables at 2 actions each
+		t.Fatalf("paths(4)=%d, want paths(2)*4=%d", p4n, p2*4)
+	}
+}
+
+// TestRulesGeneration sanity-checks the rule builder.
+func TestRulesGeneration(t *testing.T) {
+	cfg := Config{Tables: 2, RulesPerTable: 5}
+	rs := GenerateRules(cfg)
+	if rs.NumRules() != 10 {
+		t.Fatalf("NumRules = %d, want 10", rs.NumRules())
+	}
+	if got := rs.ForTable("WsIngress", "table_1"); len(got) != 5 {
+		t.Fatalf("table_1 rules = %d, want 5", len(got))
+	}
+	if rs2 := GenerateRules(Config{Tables: 2}); rs2.NumRules() != 0 {
+		t.Fatal("no rules requested but some generated")
+	}
+}
+
+// TestSubmodelParallelMatchesSequential: the Fig. 10 comparison is only
+// meaningful if parallel execution preserves results on the synthetic
+// family.
+func TestSubmodelParallelMatchesSequential(t *testing.T) {
+	cfg := Config{Tables: 3, Assertions: 2}
+	src := Generate(cfg)
+	seq, err := core.VerifySource("ws.p4", src, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.VerifySource("ws.p4", src, core.Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Violations) != 0 || len(par.Violations) != 0 {
+		t.Fatal("synthetic program must verify under both modes")
+	}
+	if par.Submodels < 2 {
+		t.Fatalf("expected multiple submodels, got %d", par.Submodels)
+	}
+	if par.Metrics.Paths != seq.Metrics.Paths {
+		t.Fatalf("parallel paths %d != sequential %d", par.Metrics.Paths, seq.Metrics.Paths)
+	}
+}
+
+// TestParserBranchesSplitSubmodels: with protocol branching the submodel
+// heuristic splits at the parser first, multiplying the submodel count by
+// the parser's arm count (paper §4.4's two-level strategy).
+func TestParserBranchesSplitSubmodels(t *testing.T) {
+	plain, err := core.VerifySource("ws.p4", Generate(Config{Tables: 2}), core.Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	branched, err := core.VerifySource("ws.p4", Generate(Config{Tables: 2, Protocols: 3}), core.Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if branched.Submodels <= plain.Submodels {
+		t.Fatalf("parser branching should add submodels: %d vs %d",
+			branched.Submodels, plain.Submodels)
+	}
+	// Sequential exploration matches the closed form exactly.
+	seq, err := core.VerifySource("ws.p4", Generate(Config{Tables: 2, Protocols: 3}), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (Config{Tables: 2, Protocols: 3}).PathCount()
+	if seq.Metrics.Paths != want {
+		t.Fatalf("sequential paths = %d, want %d", seq.Metrics.Paths, want)
+	}
+	// Submodels may re-walk paths that never reach their assumed decision
+	// point (the reject path never reaches the table split), so the
+	// parallel union covers at least the sequential path set — the same
+	// duplication overhead the paper's §5.4 analysis describes.
+	if branched.Metrics.Paths < want {
+		t.Fatalf("parallel coverage incomplete: %d paths, want ≥ %d", branched.Metrics.Paths, want)
+	}
+}
+
+// BenchmarkGenerate measures generator throughput (it runs inside the
+// figure harness loops).
+func BenchmarkGenerate(b *testing.B) {
+	cfg := Config{Tables: 8, Assertions: 8, RulesPerTable: 16}
+	for i := 0; i < b.N; i++ {
+		if len(Generate(cfg)) == 0 {
+			b.Fatal("empty source")
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package p4assert verifies P4_16 programs annotated with assertions, as
+// described in "Verification of P4 Programs in Feasible Time using
+// Assertions" (Neves, Freire, Schaeffer-Filho, Barcellos — CoNEXT 2018).
+//
+// Programs carry @assert("...") annotations written in the paper's
+// assertion language (forward(), traverse_path(), constant(f),
+// if(b1,b2,[b3]), extract_header(h), emit_header(h)) and optional
+// @assume(...) constraints. Verify translates the program into a
+// verification model — optionally restricted by a forwarding-rule
+// configuration — and symbolically executes every path, reporting each
+// violated assertion with a concrete counterexample packet.
+//
+// The four speed-up techniques of the paper are available through Options:
+// assumption constraints (in the source), compiler optimization passes
+// (O3), executor optimizations (Opt), program slicing (Slice), and
+// submodel parallelization (Parallel).
+//
+// Quick start:
+//
+//	rep, err := p4assert.Verify("prog.p4", source, nil)
+//	if err != nil { ... }
+//	for _, v := range rep.Violations {
+//	    fmt.Println(v.Assertion, "violated:", v.Counterexample)
+//	}
+package p4assert
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"p4assert/internal/core"
+	"p4assert/internal/rules"
+	"p4assert/internal/sym"
+)
+
+// Options configures verification. The zero value (or nil) verifies all
+// paths with no optimizations, mirroring the paper's "Original" setup.
+type Options struct {
+	// Rules restricts verification to a control-plane configuration.
+	Rules *RuleSet
+	// O3 enables the IR optimization passes (the paper's LLVM -O3 role).
+	O3 bool
+	// Opt enables executor-level optimizations (KLEE --optimize role).
+	Opt bool
+	// Slice applies backward program slicing w.r.t. the assertions
+	// (the paper's Frama-C role). If slicing fails (recursive parser),
+	// verification proceeds unsliced and Report.SliceFailed is set.
+	Slice bool
+	// Parallel, when > 0, splits the model into submodels executed on that
+	// many workers (the paper's §4.4 strategy; their setup used 4).
+	Parallel int
+	// MaxParserLoops bounds recursive parser unrolling (default 8).
+	MaxParserLoops int
+	// MaxPaths aborts after exploring this many paths (0 = unlimited).
+	MaxPaths int64
+	// Timeout aborts exploration after this duration (0 = none).
+	Timeout time.Duration
+	// AutoValidityChecks instruments every header-field access with an
+	// automatic validity assertion (reading or writing a field of an
+	// invalid header is then reported even without manual annotations) —
+	// the automatic-instrumentation extension the paper proposes as
+	// future work.
+	AutoValidityChecks bool
+}
+
+// RuleSet is a forwarding-rule configuration (table entries).
+type RuleSet struct {
+	rs *rules.RuleSet
+}
+
+// ParseRules reads the rule text format:
+//
+//	# table        action      match            args
+//	ipv4_lpm       set_nhop    0x0a000000/8  => 3 0x112233445566
+//	acl            deny        0x0adead01
+//	port_mapping   set_index   *             => 7
+//
+// Matches are exact values, value/prefixLen (LPM), value&mask (ternary) or
+// "*" (wildcard). Table names may be control-qualified ("Ingress.acl").
+func ParseRules(text string) (*RuleSet, error) {
+	rs, err := rules.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return &RuleSet{rs: rs}, nil
+}
+
+// NumRules returns the number of entries in the set.
+func (r *RuleSet) NumRules() int {
+	if r == nil || r.rs == nil {
+		return 0
+	}
+	return r.rs.NumRules()
+}
+
+// Violation reports one failed assertion.
+type Violation struct {
+	// Assertion is the annotation's source text.
+	Assertion string
+	// Location is the file:line:col and block of the annotation.
+	Location string
+	// Paths is how many execution paths violated it.
+	Paths int64
+	// Counterexample assigns concrete values to the symbolic inputs
+	// (packet fields, ports) of one violating execution.
+	Counterexample map[string]uint64
+	// Trace lists the table/action decisions of that execution.
+	Trace []string
+}
+
+// String renders the violation compactly.
+func (v *Violation) String() string {
+	return fmt.Sprintf("assertion %q at %s violated on %d path(s); counterexample: %s",
+		v.Assertion, v.Location, v.Paths, FormatCounterexample(v.Counterexample))
+}
+
+// FormatCounterexample renders an input assignment deterministically.
+func FormatCounterexample(m map[string]uint64) string {
+	return sym.FormatModel(m)
+}
+
+// Stats summarizes verification effort, the paper's two metrics first.
+type Stats struct {
+	// Time is the wall-clock verification time (paper metric i).
+	Time time.Duration
+	// Instructions is the number of model statements the symbolic engine
+	// executed (paper metric ii).
+	Instructions int64
+	// Paths is the number of completed execution paths.
+	Paths int64
+	// InfeasiblePaths counts paths pruned by the solver.
+	InfeasiblePaths int64
+	// SolverQueries counts satisfiability checks (QuickSolved of them
+	// answered without the SAT backend).
+	SolverQueries int64
+	QuickSolved   int64
+	// Submodels is the number of parallel submodels (0 when sequential).
+	Submodels int
+	// WorstSubmodelInstructions is the heaviest submodel's instruction
+	// count (Table 2's parallel-reduction metric).
+	WorstSubmodelInstructions int64
+}
+
+// Report is the verification outcome.
+type Report struct {
+	// Violations lists failed assertions; empty means the program is
+	// correct with respect to the analyzed properties.
+	Violations []*Violation
+	// AssertionCount is how many @assert annotations were checked.
+	AssertionCount int
+	// Stats summarizes effort.
+	Stats Stats
+	// SliceFailed is set when Options.Slice was requested but the program
+	// could not be sliced (e.g. a recursive parser, as the paper reports
+	// for MRI); verification then ran unsliced.
+	SliceFailed error
+	// Exhausted reports that MaxPaths or Timeout stopped exploration
+	// before covering every path; absence of violations is then not a
+	// proof.
+	Exhausted bool
+}
+
+// Ok reports whether every assertion was proven to hold.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 && !r.Exhausted }
+
+// Verify checks the P4 source text. filename is used in messages only.
+// A nil opts verifies with defaults.
+func Verify(filename, source string, opts *Options) (*Report, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	co := core.Options{
+		O3:                 opts.O3,
+		Opt:                opts.Opt,
+		Slice:              opts.Slice,
+		Parallel:           opts.Parallel,
+		MaxCallDepth:       opts.MaxParserLoops,
+		MaxPaths:           opts.MaxPaths,
+		Timeout:            opts.Timeout,
+		AutoValidityChecks: opts.AutoValidityChecks,
+	}
+	if opts.Rules != nil {
+		co.Rules = opts.Rules.rs
+	}
+	t0 := time.Now()
+	rep, err := core.VerifySource(filename, source, co)
+	if err != nil {
+		return nil, err
+	}
+	return convert(rep, time.Since(t0)), nil
+}
+
+// VerifyFile checks a P4 program on disk.
+func VerifyFile(path string, opts *Options) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("p4assert: %w", err)
+	}
+	return Verify(path, string(data), opts)
+}
+
+func convert(rep *core.Report, elapsed time.Duration) *Report {
+	out := &Report{
+		AssertionCount: len(rep.Asserts),
+		SliceFailed:    rep.SliceErr,
+		Exhausted:      rep.Exhausted,
+		Stats: Stats{
+			Time:                      elapsed,
+			Instructions:              rep.Metrics.Instructions,
+			Paths:                     rep.Metrics.Paths,
+			InfeasiblePaths:           rep.Metrics.KilledInfeasible,
+			SolverQueries:             rep.Metrics.Solver.Queries,
+			QuickSolved:               rep.Metrics.Solver.QuickSAT + rep.Metrics.Solver.QuickUNSAT,
+			Submodels:                 rep.Submodels,
+			WorstSubmodelInstructions: rep.WorstSubmodelInstructions,
+		},
+	}
+	for _, v := range rep.Violations {
+		nv := &Violation{
+			Paths:          v.Count,
+			Counterexample: v.Model,
+			Trace:          v.Trace,
+		}
+		if v.Info != nil {
+			nv.Assertion = v.Info.Source
+			nv.Location = v.Info.Location
+		}
+		out.Violations = append(out.Violations, nv)
+	}
+	sort.Slice(out.Violations, func(i, j int) bool {
+		return out.Violations[i].Location < out.Violations[j].Location
+	})
+	return out
+}

@@ -1,0 +1,150 @@
+package p4assert_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"p4assert"
+	"p4assert/internal/progs"
+)
+
+const quickProgram = `
+header ipv4_t { bit<8> ttl; bit<32> dstAddr; }
+struct headers_t { ipv4_t ipv4; }
+struct meta_t { bit<1> u; }
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t standard_metadata) {
+    state start { pkt.extract(hdr.ipv4); transition accept; }
+}
+control I(inout headers_t hdr, inout meta_t meta,
+          inout standard_metadata_t standard_metadata) {
+    action drop() { mark_to_drop(standard_metadata); }
+    action fwd(bit<9> port) { standard_metadata.egress_spec = port; }
+    table t {
+        key = { hdr.ipv4.dstAddr : exact; }
+        actions = { fwd; drop; }
+        default_action = drop;
+    }
+    apply {
+        t.apply();
+        @assert("if(forward(), ipv4.ttl > 0)");
+    }
+}
+control D(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.ipv4); } }
+V1Switch(P, I, D) main;
+`
+
+func TestVerifyFindsBug(t *testing.T) {
+	rep, err := p4assert.Verify("quick.p4", quickProgram, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("expected a violation (forwarding without TTL check)")
+	}
+	if rep.AssertionCount != 1 || len(rep.Violations) != 1 {
+		t.Fatalf("asserts=%d violations=%d", rep.AssertionCount, len(rep.Violations))
+	}
+	v := rep.Violations[0]
+	if !strings.Contains(v.Assertion, "forward()") {
+		t.Fatalf("assertion text = %q", v.Assertion)
+	}
+	if v.Paths == 0 || len(v.Counterexample) == 0 {
+		t.Fatalf("violation incomplete: %+v", v)
+	}
+	if !strings.Contains(v.String(), "counterexample") {
+		t.Fatal("String() should mention the counterexample")
+	}
+	if rep.Stats.Paths == 0 || rep.Stats.Instructions == 0 || rep.Stats.Time <= 0 {
+		t.Fatalf("stats incomplete: %+v", rep.Stats)
+	}
+}
+
+func TestVerifyWithRules(t *testing.T) {
+	rs, err := p4assert.ParseRules(`
+# drop everything: the assertion then holds
+t drop *
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.NumRules() != 1 {
+		t.Fatalf("NumRules = %d", rs.NumRules())
+	}
+	rep, err := p4assert.Verify("quick.p4", quickProgram, &p4assert.Options{Rules: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatal("drop-all configuration should verify")
+	}
+}
+
+func TestVerifyOptionPlumbing(t *testing.T) {
+	for _, opts := range []*p4assert.Options{
+		{O3: true},
+		{Opt: true},
+		{Slice: true},
+		{Parallel: 2},
+	} {
+		rep, err := p4assert.Verify("quick.p4", quickProgram, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if rep.Ok() {
+			t.Fatalf("%+v: should still find the bug", opts)
+		}
+	}
+	par, _ := p4assert.Verify("quick.p4", quickProgram, &p4assert.Options{Parallel: 2})
+	if par.Stats.Submodels < 2 {
+		t.Fatalf("parallel run should report submodels, got %d", par.Stats.Submodels)
+	}
+}
+
+func TestVerifyParseError(t *testing.T) {
+	if _, err := p4assert.Verify("bad.p4", "header {", nil); err == nil {
+		t.Fatal("syntax error should be reported")
+	}
+}
+
+func TestVerifyFile(t *testing.T) {
+	if _, err := p4assert.VerifyFile("/nonexistent/x.p4", nil); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestTimeoutExhausts(t *testing.T) {
+	p, err := progs.Get("dapper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p4assert.Verify("dapper.p4", p.Source, &p4assert.Options{MaxPaths: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Exhausted {
+		t.Fatal("MaxPaths=1 should exhaust on Dapper")
+	}
+	if rep.Ok() {
+		t.Fatal("an exhausted run must not claim Ok")
+	}
+	_ = time.Now()
+}
+
+func TestSliceFailureSurfaces(t *testing.T) {
+	p, err := progs.Get("mri")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p4assert.Verify("mri.p4", p.Source, &p4assert.Options{Slice: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SliceFailed == nil {
+		t.Fatal("MRI slicing failure should surface in the report")
+	}
+	if !rep.Ok() {
+		t.Fatal("MRI should verify unsliced")
+	}
+}

@@ -1,0 +1,106 @@
+package p4assert
+
+import (
+	"fmt"
+	"strings"
+
+	"p4assert/internal/core"
+)
+
+// TestCase is one generated end-to-end test for a P4 program: a concrete
+// input packet driving one specific execution path, together with the
+// expected observable behaviour. This implements the test-case generation
+// the paper describes as ongoing work in §6 ("we use a packet generator to
+// systematically generate test cases", the role of p4pktgen).
+type TestCase struct {
+	// Inputs assigns concrete values to the packet fields and metadata
+	// the path depends on (unlisted inputs are unconstrained; zero works).
+	Inputs map[string]uint64
+	// Trace is the sequence of table/action decisions the packet takes.
+	Trace []string
+	// Forwarded reports whether the packet leaves the switch.
+	Forwarded bool
+	// EgressSpec is the egress port the pipeline selects.
+	EgressSpec uint64
+	// FailedAsserts counts assertions that fail on this input (non-empty
+	// test cases double as regression reproducers for found bugs).
+	FailedAsserts int
+}
+
+// String renders the test case as one line.
+func (tc *TestCase) String() string {
+	verdict := "dropped"
+	if tc.Forwarded {
+		verdict = fmt.Sprintf("forwarded to port %d", tc.EgressSpec)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "input{%s} -> %s", FormatCounterexample(tc.Inputs), verdict)
+	if len(tc.Trace) > 0 {
+		fmt.Fprintf(&b, " via %v", tc.Trace)
+	}
+	if tc.FailedAsserts > 0 {
+		fmt.Fprintf(&b, " [%d assertion failure(s)]", tc.FailedAsserts)
+	}
+	return b.String()
+}
+
+// DumpModel translates the program and renders the verification model as
+// pseudo-C — the equivalent of inspecting the C model the paper's
+// prototype generates (Fig. 6). Optimization and slicing options are
+// applied first, so the dump shows exactly what the executor would run.
+func DumpModel(filename, source string, opts *Options) (string, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	co := core.Options{
+		O3:                 opts.O3,
+		Opt:                opts.Opt,
+		Slice:              opts.Slice,
+		AutoValidityChecks: opts.AutoValidityChecks,
+		MaxPaths:           1, // translation only; stop execution immediately
+	}
+	if opts.Rules != nil {
+		co.Rules = opts.Rules.rs
+	}
+	rep, err := core.VerifySource(filename, source, co)
+	if err != nil {
+		return "", err
+	}
+	return rep.Model.Dump(), nil
+}
+
+// GenerateTests explores every execution path of the program and returns
+// one concrete test case per path, with expected outputs computed by the
+// concrete model interpreter. Options.Rules and the optimization flags are
+// honored; Parallel is ignored (tests come from the sequential engine).
+func GenerateTests(filename, source string, opts *Options) ([]TestCase, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	co := core.Options{
+		O3:                 opts.O3,
+		Opt:                opts.Opt,
+		MaxCallDepth:       opts.MaxParserLoops,
+		MaxPaths:           opts.MaxPaths,
+		Timeout:            opts.Timeout,
+		AutoValidityChecks: opts.AutoValidityChecks,
+	}
+	if opts.Rules != nil {
+		co.Rules = opts.Rules.rs
+	}
+	cases, err := core.GenerateTestsSource(filename, source, co)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TestCase, len(cases))
+	for i, c := range cases {
+		out[i] = TestCase{
+			Inputs:        c.Inputs,
+			Trace:         c.Trace,
+			Forwarded:     c.Forwarded,
+			EgressSpec:    c.EgressSpec,
+			FailedAsserts: len(c.FailedAsserts),
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+package p4assert_test
+
+import (
+	"strings"
+	"testing"
+
+	"p4assert"
+	"p4assert/internal/progs"
+)
+
+func TestGenerateTestsCoversAllPaths(t *testing.T) {
+	tests, err := p4assert.GenerateTests("quick.p4", quickProgram, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p4assert.Verify("quick.p4", quickProgram, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(tests)) != rep.Stats.Paths {
+		t.Fatalf("generated %d tests for %d paths", len(tests), rep.Stats.Paths)
+	}
+	// Both pipeline outcomes (forward via fwd, drop via drop) must appear.
+	var forwarded, dropped bool
+	for _, tc := range tests {
+		if tc.Forwarded {
+			forwarded = true
+		} else {
+			dropped = true
+		}
+		if tc.String() == "" {
+			t.Fatal("empty rendering")
+		}
+	}
+	if !forwarded || !dropped {
+		t.Fatalf("tests do not cover both outcomes: forwarded=%v dropped=%v", forwarded, dropped)
+	}
+	// Path tests bind the inputs their path constrains: the forwarding
+	// path goes through the table's fwd action, so its test must carry a
+	// trace entry naming it.
+	for _, tc := range tests {
+		if tc.Forwarded {
+			if len(tc.Trace) == 0 || !strings.Contains(tc.Trace[0], "fwd") {
+				t.Fatalf("forwarded test lacks the fwd decision: %s", tc.String())
+			}
+		}
+	}
+}
+
+func TestGenerateTestsOnCorpus(t *testing.T) {
+	// Path-complete test suites for a correct program: every test runs the
+	// concrete model without assertion failures.
+	p, err := progs.Get("vss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests, err := p4assert.GenerateTests("vss.p4", p.Source, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tests) == 0 {
+		t.Fatal("no tests generated")
+	}
+	for i, tc := range tests {
+		if tc.FailedAsserts != 0 {
+			t.Fatalf("test %d fails assertions on a correct program: %s", i, tc.String())
+		}
+	}
+}
+
+func TestDumpModel(t *testing.T) {
+	dump, err := p4assert.DumpModel("quick.p4", quickProgram, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"void I()", "void I.t()", "switch (symbolic", "klee_assert",
+		"bit<8> hdr.ipv4.ttl", "$forward",
+	} {
+		if !strings.Contains(dump, frag) {
+			t.Fatalf("dump missing %q:\n%s", frag, dump)
+		}
+	}
+	// O3 dump is smaller.
+	o3, err := p4assert.DumpModel("quick.p4", quickProgram, &p4assert.Options{O3: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o3) >= len(dump) {
+		t.Fatal("O3 dump should be smaller than the plain model")
+	}
+}
+
+func TestAutoValidityChecks(t *testing.T) {
+	// Strip the manual assertions from the Switch.p4 corpus program; the
+	// automatic instrumentation must still find the invalid-header write.
+	p, err := progs.Get("switchlite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	for _, line := range strings.Split(p.Source, "\n") {
+		if strings.Contains(line, "@assert") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	source := strings.Join(kept, "\n")
+
+	// Without auto checks the stripped program "verifies".
+	plain, err := p4assert.Verify("sw.p4", source, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Ok() {
+		t.Fatalf("stripped program should have no manual assertions:\n%+v", plain.Violations)
+	}
+
+	// With auto checks the vlan-field write on an invalid header surfaces.
+	auto, err := p4assert.Verify("sw.p4", source, &p4assert.Options{AutoValidityChecks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Ok() {
+		t.Fatal("auto validity checks should find the invalid-header write")
+	}
+	found := false
+	for _, v := range auto.Violations {
+		if strings.Contains(v.Assertion, "auto: valid(hdr.vlan)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected an auto vlan validity violation, got %+v", auto.Violations)
+	}
+}
+
+func TestAutoValidityChecksCleanProgram(t *testing.T) {
+	// A program that always validates headers before touching them should
+	// stay clean under the instrumentation.
+	src := `
+header h_t { bit<8> v; }
+struct hs { h_t h; }
+struct ms { bit<8> x; }
+parser P(packet_in pkt, out hs hdr, inout ms meta,
+         inout standard_metadata_t standard_metadata) {
+    state start { pkt.extract(hdr.h); transition accept; }
+}
+control I(inout hs hdr, inout ms meta,
+          inout standard_metadata_t standard_metadata) {
+    apply {
+        if (hdr.h.isValid()) {
+            hdr.h.v = hdr.h.v + 1;
+        }
+        meta.x = 3;
+    }
+}
+control D(packet_out pkt, in hs hdr) { apply { pkt.emit(hdr.h); } }
+V1Switch(P, I, D) main;
+`
+	rep, err := p4assert.Verify("clean.p4", src, &p4assert.Options{AutoValidityChecks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("validity-guarded program flagged:\n%+v", rep.Violations)
+	}
+}
