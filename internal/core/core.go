@@ -64,6 +64,10 @@ type Report struct {
 	// Model is the program that was executed (after optimization/slicing),
 	// for inspection.
 	Model *model.Program
+	// ViolationModels, set for parallel runs, maps each violated assertion
+	// to the submodel whose execution found it; counterexample traces are
+	// relative to that submodel, so replay runs it instead of Model.
+	ViolationModels map[int]*model.Program
 	// Asserts carries the assertion table of the translated program.
 	Asserts []*model.AssertInfo
 	// SliceErr records a slicing failure (e.g. recursive parser); when
@@ -170,6 +174,7 @@ func verifyModel(m *model.Program, opts Options, rep *Report) (*Report, error) {
 		rep.WorstSubmodelInstructions = res.WorstInstructions
 		rep.Submodels = len(res.PerModel)
 		rep.Exhausted = res.Agg.Exhausted
+		rep.ViolationModels = res.ViolationModels
 	} else {
 		res, err := sym.Execute(m, symOpts)
 		if err != nil {

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"p4assert/internal/progs"
+	"p4assert/internal/rules"
+)
+
+// TestVerdictEquivalenceMatrix is the metamorphic-equivalence check over
+// the seed corpus: for every program, the violated-assertion set must be
+// identical under every semantics-preserving pipeline configuration —
+// baseline, -O3 compiler passes, executor optimizations, backward slicing,
+// and submodel parallelization. (Violating-path counts may legitimately
+// differ: optimization merges paths.)
+func TestVerdictEquivalenceMatrix(t *testing.T) {
+	configs := []struct {
+		name string
+		opts Options
+	}{
+		{"baseline", Options{}},
+		{"O3", Options{O3: true}},
+		{"opt", Options{Opt: true}},
+		{"slice", Options{Slice: true}},
+		{"parallel", Options{Parallel: 4}},
+	}
+	for _, p := range progs.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			var rs *rules.RuleSet
+			if p.Rules != "" {
+				parsed, err := rules.Parse(p.Rules)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rs = parsed
+			}
+			var base *Report
+			for _, cfg := range configs {
+				opts := cfg.opts
+				opts.Rules = rs
+				rep, err := VerifySource(p.Name+".p4", p.Source, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", cfg.name, err)
+				}
+				if rep.Exhausted {
+					t.Fatalf("%s: exploration exhausted", cfg.name)
+				}
+				if base == nil {
+					base = rep
+					continue
+				}
+				if !SameVerdictSet(base, rep) {
+					t.Fatalf("%s: verdicts diverge: baseline %s, %s %s",
+						p.Name, base.VerdictDigest(), cfg.name, rep.VerdictDigest())
+				}
+			}
+		})
+	}
+}
+
+// TestRulesRunIsSubsetOfSymbolic: for corpus programs that ship a
+// forwarding-rule configuration, the violations found under that concrete
+// configuration must be a subset of the fully symbolic run's (a rule set
+// restricts the table behaviours the symbolic fork ranges over).
+func TestRulesRunIsSubsetOfSymbolic(t *testing.T) {
+	ran := 0
+	for _, p := range progs.All() {
+		if p.Rules == "" {
+			continue
+		}
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			rs, err := rules.Parse(p.Rules)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ruled, err := VerifySource(p.Name+".p4", p.Source, Options{Rules: rs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			symb, err := VerifySource(p.Name+".p4", p.Source, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !SubsetVerdictSet(ruled, symb) {
+				t.Fatalf("%s: rules-run violations %v not a subset of symbolic %v",
+					p.Name, ruled.VerdictSet(), symb.VerdictSet())
+			}
+		})
+		ran++
+	}
+	if ran == 0 {
+		t.Skip("no corpus program ships rules")
+	}
+}

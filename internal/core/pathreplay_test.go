@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"p4assert/internal/progs"
+	"p4assert/internal/rules"
+)
+
+// collectFor runs a corpus program with CollectTests under its default
+// forwarding rules.
+func collectFor(t *testing.T, p *progs.Program) *Report {
+	t.Helper()
+	opts := Options{CollectTests: true}
+	if p.Rules != "" {
+		rs, err := rules.Parse(p.Rules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Rules = rs
+	}
+	rep, err := VerifySource(p.Name+".p4", p.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestPathTestsReplayDifferentially is the whole-path differential oracle
+// over the corpus: every collected path test — not only violating paths —
+// must replay through the independent concrete interpreter to exactly the
+// outcome the symbolic engine predicted (halt status, forward flag, egress
+// port, per-assertion verdicts).
+func TestPathTestsReplayDifferentially(t *testing.T) {
+	total := 0
+	for _, p := range progs.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			rep := collectFor(t, p)
+			if err := ReplayTests(rep); err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+			total += len(rep.Tests)
+		})
+	}
+	if total == 0 {
+		t.Fatal("no path tests were collected across the whole corpus")
+	}
+}
+
+// TestPathTestOutcomesCoverVerdicts: the per-path outcomes must be
+// consistent with the report's violation set — every assertion that some
+// path test marks failed is reported violated.
+func TestPathTestOutcomesCoverVerdicts(t *testing.T) {
+	for _, p := range progs.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			rep := collectFor(t, p)
+			violated := map[int]bool{}
+			for _, id := range rep.VerdictSet() {
+				violated[id] = true
+			}
+			for i, pt := range rep.Tests {
+				for _, id := range pt.Outcome.Failures {
+					if !violated[id] {
+						t.Fatalf("%s: path test %d fails assert #%d which the report does not flag",
+							p.Name, i, id)
+					}
+				}
+			}
+		})
+	}
+}

@@ -9,63 +9,151 @@ import (
 	"p4assert/internal/sym"
 )
 
+// traceFollower drives the concrete interpreter's fork choices along a
+// trace recorded by the symbolic executor (entries are "selector=label").
+// Any divergence between the forks the concrete run reaches and the
+// recorded decisions is an error: a replay that silently wanders onto a
+// different path would mask exactly the engine disagreements the
+// differential oracle exists to catch.
+type traceFollower struct {
+	trace []string
+	idx   int
+	err   error
+}
+
+func (tf *traceFollower) choose(selector string, labels []string) int {
+	if tf.err != nil {
+		return 0
+	}
+	if tf.idx >= len(tf.trace) {
+		// The recorded prefix is fully replayed. A violation recorded
+		// mid-path carries no entries for forks after the assertion site;
+		// branch 0 is an arbitrary (and irrelevant) continuation.
+		return 0
+	}
+	entry := tf.trace[tf.idx]
+	eq := strings.IndexByte(entry, '=')
+	if eq < 0 || entry[:eq] != selector {
+		tf.err = fmt.Errorf("trace mismatch: concrete run reached fork %q but the trace records %q",
+			selector, entry)
+		return 0
+	}
+	tf.idx++
+	want := entry[eq+1:]
+	for i, l := range labels {
+		if l == want {
+			return i
+		}
+	}
+	tf.err = fmt.Errorf("trace mismatch: fork %q has no branch labelled %q (branches %v)",
+		selector, want, labels)
+	return 0
+}
+
 // ReplayViolation runs a violation's counterexample concretely through the
 // model interpreter (internal/interp, the BMv2 stand-in of the paper's §6
 // validation) and reports whether the assertion indeed fails on that input.
 // A false result means the symbolic executor produced a spurious
 // counterexample — the differential check the paper performs between its C
-// models and BMv2.
+// models and BMv2. A trace divergence between the recorded path and the
+// concrete run is reported as an error, never papered over by falling back
+// to an arbitrary branch.
 func ReplayViolation(m *model.Program, v *sym.Violation) (bool, error) {
-	traceIdx := 0
+	tf := &traceFollower{trace: v.Trace}
 	res, err := interp.Run(m, interp.Options{
 		Input: func(name string, width int) uint64 {
 			return v.Model[name]
 		},
-		Choose: func(selector string, labels []string) int {
-			// Follow the recorded fork trace: entries are "selector=label".
-			if traceIdx < len(v.Trace) {
-				entry := v.Trace[traceIdx]
-				if eq := strings.IndexByte(entry, '='); eq >= 0 && entry[:eq] == selector {
-					traceIdx++
-					want := entry[eq+1:]
-					for i, l := range labels {
-						if l == want {
-							return i
-						}
-					}
-					// Chain-compacted forks label branches by value.
-					return 0
-				}
-			}
-			return 0
-		},
+		Choose: tf.choose,
 	})
 	if err != nil {
 		return false, fmt.Errorf("replay: %w", err)
 	}
-	if res.AssumeViolated {
-		return false, fmt.Errorf("replay: counterexample violates an assumption")
+	if tf.err != nil {
+		return false, fmt.Errorf("replay: %w", tf.err)
 	}
+	// The failure check comes before the assumption check: once the
+	// recorded trace is exhausted (mid-path violations), the continuation
+	// is arbitrary and may legitimately trip an assume after the assertion
+	// already failed.
 	for _, id := range res.Failures {
 		if id == v.AssertID {
 			return true, nil
 		}
+	}
+	if res.AssumeViolated {
+		return false, fmt.Errorf("replay: counterexample violates an assumption")
 	}
 	return false, nil
 }
 
 // ReplayAll replays every violation of a report against the executed
 // model, returning an error describing the first spurious one (nil if all
-// counterexamples validate).
+// counterexamples validate). Violations found by parallel submodel runs
+// carry traces relative to their submodel (the split decision is an
+// assumption there, not a fork), so those replay against the recorded
+// submodel instead of the merged report's full model.
 func ReplayAll(rep *Report) error {
 	for _, v := range rep.Violations {
-		ok, err := ReplayViolation(rep.Model, v)
+		m := rep.Model
+		if sub, ok := rep.ViolationModels[v.AssertID]; ok {
+			m = sub
+		}
+		ok, err := ReplayViolation(m, v)
 		if err != nil {
 			return fmt.Errorf("assert #%d: %w", v.AssertID, err)
 		}
 		if !ok {
 			return fmt.Errorf("assert #%d: counterexample %s does not reproduce concretely",
 				v.AssertID, sym.FormatModel(v.Model))
+		}
+	}
+	return nil
+}
+
+// ReplayTest replays one collected path test concretely and compares the
+// observable outcome (halt status, forward flag, egress port, assertion
+// verdicts) against the symbolic engine's prediction. This is the
+// whole-path differential oracle: the two independent IR implementations
+// must agree on every completed path, not only on violating ones.
+func ReplayTest(m *model.Program, pt *sym.PathTest) error {
+	tf := &traceFollower{trace: pt.Trace}
+	res, err := interp.Run(m, interp.Options{
+		Input: func(name string, width int) uint64 {
+			return pt.Inputs[name]
+		},
+		Choose: tf.choose,
+	})
+	if err != nil {
+		return err
+	}
+	if tf.err != nil {
+		return tf.err
+	}
+	if tf.idx != len(pt.Trace) {
+		return fmt.Errorf("trace mismatch: concrete run consumed %d of %d fork decisions",
+			tf.idx, len(pt.Trace))
+	}
+	if res.AssumeViolated {
+		return fmt.Errorf("differential mismatch: inputs %s violate an assumption concretely",
+			sym.FormatModel(pt.Inputs))
+	}
+	got := res.Outcome().Digest()
+	want := pt.Outcome.Digest()
+	if got != want {
+		return fmt.Errorf("differential mismatch on inputs %s:\n  symbolic: %s\n  concrete: %s",
+			sym.FormatModel(pt.Inputs), want, got)
+	}
+	return nil
+}
+
+// ReplayTests replays every collected path test of a report (CollectTests
+// runs), returning an error describing the first disagreement between the
+// symbolic executor and the concrete interpreter.
+func ReplayTests(rep *Report) error {
+	for i := range rep.Tests {
+		if err := ReplayTest(rep.Model, &rep.Tests[i]); err != nil {
+			return fmt.Errorf("path test %d: %w", i, err)
 		}
 	}
 	return nil

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"strings"
 
 	"p4assert/internal/interp"
 	"p4assert/internal/model"
@@ -55,10 +54,9 @@ func GenerateTestsSource(filename, source string, opts Options) ([]TestCase, err
 }
 
 func materialize(rep *Report) ([]TestCase, error) {
-	egressGlobal := findEgressGlobal(rep.Model)
 	out := make([]TestCase, 0, len(rep.Tests))
 	for i, pt := range rep.Tests {
-		tc, err := runTest(rep.Model, pt, egressGlobal)
+		tc, err := runTest(rep.Model, pt)
 		if err != nil {
 			return nil, fmt.Errorf("test %d: %w", i, err)
 		}
@@ -67,46 +65,24 @@ func materialize(rep *Report) ([]TestCase, error) {
 	return out, nil
 }
 
-func runTest(m *model.Program, pt sym.PathTest, egressGlobal string) (TestCase, error) {
-	traceIdx := 0
+func runTest(m *model.Program, pt sym.PathTest) (TestCase, error) {
+	tf := &traceFollower{trace: pt.Trace}
 	res, err := interp.Run(m, interp.Options{
-		Input: func(name string, width int) uint64 { return pt.Inputs[name] },
-		Choose: func(selector string, labels []string) int {
-			if traceIdx < len(pt.Trace) {
-				entry := pt.Trace[traceIdx]
-				if eq := strings.IndexByte(entry, '='); eq >= 0 && entry[:eq] == selector {
-					traceIdx++
-					want := entry[eq+1:]
-					for j, l := range labels {
-						if l == want {
-							return j
-						}
-					}
-				}
-			}
-			return 0
-		},
+		Input:  func(name string, width int) uint64 { return pt.Inputs[name] },
+		Choose: tf.choose,
 	})
 	if err != nil {
 		return TestCase{}, err
 	}
-	tc := TestCase{
+	if tf.err != nil {
+		return TestCase{}, tf.err
+	}
+	o := res.Outcome()
+	return TestCase{
 		Inputs:        pt.Inputs,
 		Trace:         pt.Trace,
-		Forwarded:     res.Store[model.ForwardFlag] == 1,
-		FailedAsserts: res.Failures,
-	}
-	if egressGlobal != "" {
-		tc.EgressSpec = res.Store[egressGlobal]
-	}
-	return tc, nil
-}
-
-func findEgressGlobal(m *model.Program) string {
-	for _, g := range m.Globals {
-		if strings.HasSuffix(g.Name, ".egress_spec") {
-			return g.Name
-		}
-	}
-	return ""
+		Forwarded:     o.Forward == 1,
+		EgressSpec:    o.Egress,
+		FailedAsserts: o.Failures,
+	}, nil
 }

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VerdictSummary extracts the per-assertion verdict of a report: each
+// violated assertion ID mapped to the number of violating paths. It is the
+// comparison form the metamorphic oracle (internal/difftest) and the
+// cross-configuration equivalence tests work on.
+func (r *Report) VerdictSummary() map[int]int64 {
+	out := make(map[int]int64, len(r.Violations))
+	for _, v := range r.Violations {
+		out[v.AssertID] += v.Count
+	}
+	return out
+}
+
+// VerdictSet returns the sorted IDs of the violated assertions.
+func (r *Report) VerdictSet() []int {
+	ids := make([]int, 0, len(r.Violations))
+	for _, v := range r.Violations {
+		ids = append(ids, v.AssertID)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// VerdictDigest renders the violated-assertion set canonically, e.g.
+// "violated=[0 2]" or "violated=[] (exhausted)". Two runs of the same
+// program under semantics-preserving configurations must digest equally.
+func (r *Report) VerdictDigest() string {
+	s := fmt.Sprintf("violated=%v", r.VerdictSet())
+	if r.Exhausted {
+		s += " (exhausted)"
+	}
+	return s
+}
+
+// SameVerdictSet reports whether two reports flag exactly the same
+// assertion IDs — the metamorphic equivalence relation that must hold
+// across the technique matrix (baseline, O3, Opt, Slice, Parallel) and
+// that rule-restricted runs must satisfy as a subset of symbolic runs.
+func SameVerdictSet(a, b *Report) bool {
+	as, bs := a.VerdictSet(), b.VerdictSet()
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetVerdictSet reports whether every assertion violated in a is also
+// violated in b. A run under a concrete rule configuration explores a
+// subset of the behaviours of the fully symbolic run, so its violations
+// must be a subset of the symbolic run's.
+func SubsetVerdictSet(a, b *Report) bool {
+	bs := map[int]bool{}
+	for _, id := range b.VerdictSet() {
+		bs[id] = true
+	}
+	for _, id := range a.VerdictSet() {
+		if !bs[id] {
+			return false
+		}
+	}
+	return true
+}

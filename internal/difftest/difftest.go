@@ -1,0 +1,298 @@
+// Package difftest is the oracle battery of the differential fuzzing
+// subsystem: it drives generated programs (internal/fuzzgen) through the
+// verification pipeline and checks two oracle families.
+//
+// Differential oracles compare the two independent implementations of the
+// IR semantics: every path test collected by the symbolic executor must
+// replay to an identical observable outcome in the concrete interpreter
+// (core.ReplayTests), and every violation counterexample must reproduce
+// its assertion failure concretely (core.ReplayAll). This mirrors the
+// paper's §6 validation of its C models against BMv2.
+//
+// Metamorphic oracles compare the pipeline against itself under
+// semantics-preserving transformations: the set of violated assertions
+// must be invariant across the technique matrix (baseline, -O3, executor
+// optimization, slicing, submodel parallelization), and a run under a
+// concrete forwarding-rule configuration must find a subset of the
+// violations of the fully symbolic run.
+package difftest
+
+import (
+	"fmt"
+	"sort"
+
+	"p4assert/internal/core"
+	"p4assert/internal/fuzzgen"
+	"p4assert/internal/model"
+	"p4assert/internal/p4"
+)
+
+// DefaultMaxPaths bounds exploration per run; generated programs are small
+// (typically well under a thousand paths), so hitting the bound marks the
+// program as skipped rather than failing an oracle.
+const DefaultMaxPaths = 20000
+
+// Config is one pipeline configuration of the metamorphic matrix.
+type Config struct {
+	Name string
+	Opts core.Options
+}
+
+// Matrix returns the technique matrix, baseline first. Every configuration
+// must produce the same violated-assertion set on the same program.
+func Matrix() []Config {
+	return []Config{
+		{Name: "baseline", Opts: core.Options{}},
+		{Name: "O3", Opts: core.Options{O3: true}},
+		{Name: "opt", Opts: core.Options{Opt: true}},
+		{Name: "slice", Opts: core.Options{Slice: true}},
+		{Name: "parallel", Opts: core.Options{Parallel: 4}},
+	}
+}
+
+// Result summarizes one checked program.
+type Result struct {
+	Seed uint64
+	// Paths is the baseline run's completed path count.
+	Paths int64
+	// Tests is how many collected path tests were replayed differentially.
+	Tests int
+	// Violated is the baseline violated-assertion set.
+	Violated []int
+	// Configs is how many matrix configurations were compared.
+	Configs int
+	// RulesRun reports that the rules-vs-symbolic oracle also ran.
+	RulesRun bool
+	// Skipped reports that exploration exhausted its budget, so the
+	// cross-configuration comparisons were not performed.
+	Skipped bool
+}
+
+// Mismatch is an oracle failure: the fuzzer found a disagreement between
+// pipeline components that must agree.
+type Mismatch struct {
+	Seed   uint64
+	Oracle string // "differential", "replay", "metamorphic", "rules"
+	Config string // matrix configuration involved
+	Err    error
+}
+
+func (m *Mismatch) Error() string {
+	return fmt.Sprintf("seed %d: %s oracle failed (config %s): %v",
+		m.Seed, m.Oracle, m.Config, m.Err)
+}
+
+func (m *Mismatch) Unwrap() error { return m.Err }
+
+// CheckSeed generates and checks the program for one seed.
+func CheckSeed(seed uint64) (*Result, error) {
+	return Check(fuzzgen.Generate(seed))
+}
+
+// Check runs one generated program through the full oracle battery. A nil
+// error means every oracle agreed; a *Mismatch describes the first
+// disagreement (any other error is an infrastructure failure — those are
+// findings too, since generated programs are well-typed by construction).
+func Check(p *fuzzgen.Program) (*Result, error) {
+	prog, err := p4.Parse(p.Name()+".p4", p.Source())
+	if err != nil {
+		return nil, fmt.Errorf("seed %d: generated program does not parse: %w", p.Seed, err)
+	}
+	if err := prog.Check(); err != nil {
+		return nil, fmt.Errorf("seed %d: generated program does not typecheck: %w", p.Seed, err)
+	}
+	res := &Result{Seed: p.Seed}
+
+	matrix := Matrix()
+	baseOpts := matrix[0].Opts
+	baseOpts.CollectTests = true
+	baseOpts.MaxPaths = DefaultMaxPaths
+	base, err := core.VerifyProgram(prog, baseOpts)
+	if err != nil {
+		return nil, fmt.Errorf("seed %d: baseline run: %w", p.Seed, err)
+	}
+	res.Paths = base.Metrics.Paths
+	res.Tests = len(base.Tests)
+	res.Violated = base.VerdictSet()
+
+	// Differential family: whole-path outcomes and counterexamples must
+	// replay identically through the independent concrete interpreter.
+	if err := core.ReplayTests(base); err != nil {
+		return res, &Mismatch{Seed: p.Seed, Oracle: "differential", Config: "baseline", Err: err}
+	}
+	if err := core.ReplayAll(base); err != nil {
+		return res, &Mismatch{Seed: p.Seed, Oracle: "replay", Config: "baseline", Err: err}
+	}
+	if base.Exhausted {
+		res.Skipped = true
+		return res, nil
+	}
+
+	// Metamorphic family: the violated-assertion set is invariant across
+	// the technique matrix, and each configuration's counterexamples must
+	// reproduce on that configuration's own model.
+	for _, cfg := range matrix[1:] {
+		opts := cfg.Opts
+		opts.MaxPaths = DefaultMaxPaths
+		rep, err := core.VerifyProgram(prog, opts)
+		if err != nil {
+			return res, fmt.Errorf("seed %d: %s run: %w", p.Seed, cfg.Name, err)
+		}
+		if rep.Exhausted {
+			res.Skipped = true
+			continue
+		}
+		if !core.SameVerdictSet(base, rep) {
+			return res, &Mismatch{
+				Seed: p.Seed, Oracle: "metamorphic", Config: cfg.Name,
+				Err: fmt.Errorf("verdicts diverge: baseline %s, %s %s",
+					base.VerdictDigest(), cfg.Name, rep.VerdictDigest()),
+			}
+		}
+		if err := core.ReplayAll(rep); err != nil {
+			return res, &Mismatch{Seed: p.Seed, Oracle: "replay", Config: cfg.Name, Err: err}
+		}
+		res.Configs++
+	}
+
+	// Rules oracle: a concrete control-plane configuration restricts the
+	// symbolic run's behaviours, so its violations are a subset; its paths
+	// must also replay differentially on the rules-specialized model.
+	rs, err := p.Rules()
+	if err != nil {
+		return nil, fmt.Errorf("seed %d: rules: %w", p.Seed, err)
+	}
+	if rs != nil {
+		opts := core.Options{Rules: rs, CollectTests: true, MaxPaths: DefaultMaxPaths}
+		rep, err := core.VerifyProgram(prog, opts)
+		if err != nil {
+			return res, fmt.Errorf("seed %d: rules run: %w", p.Seed, err)
+		}
+		if err := core.ReplayTests(rep); err != nil {
+			return res, &Mismatch{Seed: p.Seed, Oracle: "differential", Config: "rules", Err: err}
+		}
+		if err := core.ReplayAll(rep); err != nil {
+			return res, &Mismatch{Seed: p.Seed, Oracle: "replay", Config: "rules", Err: err}
+		}
+		if !rep.Exhausted && !core.SubsetVerdictSet(rep, base) {
+			return res, &Mismatch{
+				Seed: p.Seed, Oracle: "rules", Config: "rules",
+				Err: fmt.Errorf("rules-run violations %v not a subset of symbolic %s",
+					rep.VerdictSet(), base.VerdictDigest()),
+			}
+		}
+		res.RulesRun = true
+	}
+	return res, nil
+}
+
+// Oracle classifies an error from Check for minimization: shrunk
+// candidates must fail the same oracle as the original to count as
+// reproducing.
+func Oracle(err error) string {
+	if m, ok := err.(*Mismatch); ok {
+		return m.Oracle
+	}
+	if err != nil {
+		return "error"
+	}
+	return ""
+}
+
+// Shrink minimizes a failing program: deletions are kept while the
+// candidate still fails the same oracle. Returns p unchanged when p does
+// not fail at all.
+func Shrink(p *fuzzgen.Program, maxAttempts int) *fuzzgen.Program {
+	_, err := Check(p)
+	if err == nil {
+		return p
+	}
+	oracle := Oracle(err)
+	return fuzzgen.Minimize(p, func(c *fuzzgen.Program) bool {
+		_, cerr := Check(c)
+		return Oracle(cerr) == oracle
+	}, maxAttempts)
+}
+
+// FlipFirstCompare rewrites the model in place, inverting the first
+// comparison operator it encounters (Lt→Ge, Eq→Ne, ...). It is the
+// canonical injected semantics bug for validating the oracle battery: a
+// pipeline stage miscompiling a comparison this way must be caught by the
+// metamorphic (verdict-set) or differential (outcome digest) oracle within
+// a small number of generated programs. Returns false when the model
+// contains no comparison.
+func FlipFirstCompare(m *model.Program) bool {
+	flip := map[model.Op]model.Op{
+		model.OpEq: model.OpNe, model.OpNe: model.OpEq,
+		model.OpLt: model.OpGe, model.OpGe: model.OpLt,
+		model.OpLe: model.OpGt, model.OpGt: model.OpLe,
+	}
+	done := false
+	var visitExpr func(e model.Expr)
+	visitExpr = func(e model.Expr) {
+		if done || e == nil {
+			return
+		}
+		switch x := e.(type) {
+		case *model.Bin:
+			if to, ok := flip[x.Op]; ok {
+				x.Op = to
+				done = true
+				return
+			}
+			visitExpr(x.X)
+			visitExpr(x.Y)
+		case *model.Un:
+			visitExpr(x.X)
+		case *model.Cond:
+			visitExpr(x.C)
+			visitExpr(x.T)
+			visitExpr(x.F)
+		case *model.Cast:
+			visitExpr(x.X)
+		}
+	}
+	var visitBody func(body []model.Stmt)
+	visitBody = func(body []model.Stmt) {
+		for _, s := range body {
+			if done {
+				return
+			}
+			switch st := s.(type) {
+			case *model.Assign:
+				visitExpr(st.RHS)
+			case *model.If:
+				visitExpr(st.Cond)
+				visitBody(st.Then)
+				visitBody(st.Else)
+			case *model.Fork:
+				for _, b := range st.Branches {
+					visitBody(b)
+				}
+			case *model.Assume:
+				visitExpr(st.Cond)
+			case *model.AssertCheck:
+				visitExpr(st.Cond)
+			}
+		}
+	}
+	for _, name := range m.Entry {
+		if fn, ok := m.Funcs[name]; ok && !done {
+			visitBody(fn.Body)
+		}
+	}
+	if !done {
+		names := make([]string, 0, len(m.Funcs))
+		for name := range m.Funcs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if done {
+				break
+			}
+			visitBody(m.Funcs[name].Body)
+		}
+	}
+	return done
+}

@@ -1,0 +1,41 @@
+package difftest
+
+import (
+	"testing"
+
+	"p4assert/internal/fuzzgen"
+)
+
+// FuzzPipeline is the native `go test -fuzz` entry point over the
+// generator corpus: the fuzzing engine explores the 64-bit seed space and
+// every seed's generated program must satisfy the full oracle battery.
+// Any saved crasher is a one-number reproducer (`p4fuzz -seed N -count 1`).
+func FuzzPipeline(f *testing.F) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if _, err := CheckSeed(seed); err != nil {
+			t.Fatalf("oracle battery failed: %v", err)
+		}
+	})
+}
+
+// FuzzGenerate exercises the generator itself across the seed space:
+// generation must terminate, be deterministic, and render a program that
+// the shrinker's site census can walk.
+func FuzzGenerate(f *testing.F) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		a := fuzzgen.Generate(seed)
+		b := fuzzgen.Generate(seed)
+		if a.Source() != b.Source() {
+			t.Fatalf("seed %d: generation is not deterministic", seed)
+		}
+		if a.Source() == "" {
+			t.Fatalf("seed %d: empty program", seed)
+		}
+	})
+}

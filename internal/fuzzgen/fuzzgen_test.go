@@ -1,0 +1,94 @@
+package fuzzgen
+
+import (
+	"strings"
+	"testing"
+
+	"p4assert/internal/p4"
+)
+
+// TestDeterministic: the generator is a pure function of its seed.
+func TestDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		a := Generate(seed).Source()
+		b := Generate(seed).Source()
+		if a != b {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+	}
+	if Generate(1).Source() == Generate(2).Source() {
+		t.Fatalf("seeds 1 and 2 produced identical programs")
+	}
+}
+
+// TestWellTyped: every generated program parses, typechecks, and carries at
+// least one assertion; any rule lines parse in the rules format.
+func TestWellTyped(t *testing.T) {
+	for seed := uint64(0); seed < 150; seed++ {
+		p := Generate(seed)
+		src := p.Source()
+		prog, err := p4.Parse(p.Name()+".p4", src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		if err := prog.Check(); err != nil {
+			t.Fatalf("seed %d: check: %v\n%s", seed, err, src)
+		}
+		if !strings.Contains(src, "@assert(") {
+			t.Fatalf("seed %d: program has no assertions\n%s", seed, src)
+		}
+		if _, err := p.Rules(); err != nil {
+			t.Fatalf("seed %d: rules: %v\n%s", seed, err, strings.Join(p.Spec.RuleLines, "\n"))
+		}
+	}
+}
+
+// TestCloneIndependent: mutating a clone leaves the original untouched.
+func TestCloneIndependent(t *testing.T) {
+	p := Generate(7)
+	orig := p.Source()
+	c := p.Clone()
+	c.Spec.Apply = nil
+	c.Spec.Emits = nil
+	c.Spec.RuleLines = nil
+	if p.Source() != orig {
+		t.Fatalf("mutating clone changed the original")
+	}
+	if c.Source() == orig {
+		t.Fatalf("clone mutation had no effect")
+	}
+}
+
+// TestMinimize: shrinking against a syntactic predicate reaches a small
+// still-failing program, and every candidate the minimizer accepts renders
+// to valid P4.
+func TestMinimize(t *testing.T) {
+	var p *Program
+	for seed := uint64(0); ; seed++ {
+		p = Generate(seed)
+		if countSites(p.Spec) >= 8 {
+			break
+		}
+	}
+	// Failure predicate: the program still applies table t0. Everything
+	// else is deletable noise.
+	fails := func(c *Program) bool {
+		src := c.Source()
+		if prog, err := p4.Parse("m.p4", src); err != nil || prog.Check() != nil {
+			t.Fatalf("minimizer produced invalid candidate:\n%s", src)
+		}
+		return strings.Contains(src, "t0.apply()")
+	}
+	m := Minimize(p, fails, 0)
+	if !strings.Contains(m.Source(), "t0.apply()") {
+		t.Fatalf("minimized program lost the failure")
+	}
+	if got, orig := countSites(m.Spec), countSites(p.Spec); got >= orig {
+		t.Fatalf("minimizer did not shrink: %d -> %d sites", orig, got)
+	}
+	// The surviving deletable sites should be few: the apply statement
+	// itself (possibly under a wrapper) plus undeletable residue.
+	if countSites(m.Spec) > 4 {
+		t.Logf("minimized to %d sites:\n%s", countSites(m.Spec), m.Source())
+	}
+}

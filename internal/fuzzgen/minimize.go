@@ -1,0 +1,136 @@
+package fuzzgen
+
+// Structured minimization: a fuzz-found failure is shrunk by repeatedly
+// deleting one spec element (an apply/body statement, a const entry, a rule
+// line, a select case, an emit) and keeping the deletion whenever the
+// failure predicate still holds. Because edits happen on the Spec and the
+// candidate is re-rendered, every shrunk program is syntactically valid by
+// construction; candidates the pipeline rejects for other reasons are
+// simply not "failing" and the deletion is rolled back.
+
+// shrinker walks a spec in a fixed pre-order, assigning an index to every
+// deletable element; the element whose index equals target is removed.
+type shrinker struct {
+	target int
+	n      int
+	done   bool
+}
+
+func (sh *shrinker) slot(del func()) {
+	if sh.done {
+		return
+	}
+	if sh.n == sh.target {
+		del()
+		sh.done = true
+	}
+	sh.n++
+}
+
+func (sh *shrinker) body(b *[]Stmt) {
+	for i := 0; i < len(*b); i++ {
+		if sh.done {
+			return
+		}
+		idx := i
+		sh.slot(func() { *b = append((*b)[:idx], (*b)[idx+1:]...) })
+		if sh.done {
+			return
+		}
+		switch st := (*b)[i].(type) {
+		case *IfStmt:
+			sh.body(&st.Then)
+			sh.body(&st.Else)
+		case *ApplyStmt:
+			sh.body(&st.HitThen)
+			sh.body(&st.HitElse)
+		}
+	}
+}
+
+func (sh *shrinker) walk(s *Spec) {
+	sh.body(&s.Apply)
+	for i := range s.Actions {
+		sh.body(&s.Actions[i].Body)
+	}
+	for i := range s.Tables {
+		t := &s.Tables[i]
+		for j := 0; j < len(t.Entries); j++ {
+			idx := j
+			sh.slot(func() { t.Entries = append(t.Entries[:idx], t.Entries[idx+1:]...) })
+			if sh.done {
+				return
+			}
+		}
+	}
+	for i := 0; i < len(s.RuleLines); i++ {
+		idx := i
+		sh.slot(func() { s.RuleLines = append(s.RuleLines[:idx], s.RuleLines[idx+1:]...) })
+		if sh.done {
+			return
+		}
+	}
+	if s.Select != nil {
+		for i := 0; i < len(s.Select.Cases); i++ {
+			idx := i
+			sh.slot(func() { s.Select.Cases = append(s.Select.Cases[:idx], s.Select.Cases[idx+1:]...) })
+			if sh.done {
+				return
+			}
+		}
+		// Dropping the whole select collapses the parser to straight-line;
+		// the dispatch states go with it.
+		sh.slot(func() { s.Select = nil; s.States = nil })
+		if sh.done {
+			return
+		}
+	}
+	for i := 0; i < len(s.Emits); i++ {
+		idx := i
+		sh.slot(func() { s.Emits = append(s.Emits[:idx], s.Emits[idx+1:]...) })
+		if sh.done {
+			return
+		}
+	}
+}
+
+func countSites(s *Spec) int {
+	sh := &shrinker{target: -1}
+	sh.walk(s)
+	return sh.n
+}
+
+// Minimize shrinks p by greedy single-element deletion to a fixpoint,
+// bounded by maxAttempts predicate evaluations (0 means 400). The fails
+// predicate must report whether a candidate still reproduces the original
+// failure; it is never called on the input program itself.
+func Minimize(p *Program, fails func(*Program) bool, maxAttempts int) *Program {
+	if maxAttempts <= 0 {
+		maxAttempts = 400
+	}
+	cur := p
+	attempts := 0
+	for {
+		shrunk := false
+		for k := 0; k < countSites(cur.Spec); k++ {
+			if attempts >= maxAttempts {
+				return cur
+			}
+			cand := cur.Clone()
+			sh := &shrinker{target: k}
+			sh.walk(cand.Spec)
+			if !sh.done {
+				break
+			}
+			attempts++
+			if fails(cand) {
+				cur = cand
+				shrunk = true
+				k-- // indices shifted down; retry the same slot
+			}
+		}
+		if !shrunk {
+			return cur
+		}
+	}
+}

@@ -9,6 +9,8 @@ package interp
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"p4assert/internal/model"
 )
@@ -29,6 +31,8 @@ type Options struct {
 
 // Result is the outcome of a concrete run.
 type Result struct {
+	// Program is the model that was run (for outcome extraction).
+	Program *model.Program
 	// Store holds the final value of every global.
 	Store map[string]uint64
 	// Failures lists assertion IDs whose checks evaluated false.
@@ -61,7 +65,7 @@ func Run(p *model.Program, opts Options) (*Result, error) {
 	if opts.MaxCallDepth == 0 {
 		opts.MaxCallDepth = 8
 	}
-	in := &interp{p: p, opts: opts, res: &Result{Store: map[string]uint64{}}}
+	in := &interp{p: p, opts: opts, res: &Result{Program: p, Store: map[string]uint64{}}}
 	for _, g := range p.Globals {
 		if g.Symbolic {
 			in.res.Store[g.Name] = in.input(g.Name, g.Width)
@@ -202,6 +206,46 @@ func Run(p *model.Program, opts Options) (*Result, error) {
 		}
 	}
 	return in.res, nil
+}
+
+// Outcome is the externally observable result of a concrete run, in the
+// same canonical shape the symbolic engine predicts for a path
+// (sym.PathOutcome). The two types are deliberately independent — the
+// differential oracle compares their digests, not shared code.
+type Outcome struct {
+	Halted   bool
+	Forward  uint64
+	Egress   uint64
+	Failures []int
+}
+
+// Digest renders the outcome canonically. The format matches
+// sym.PathOutcome.Digest byte for byte.
+func (o Outcome) Digest() string {
+	return fmt.Sprintf("halt=%t fwd=0x%x egress=0x%x fail=%v",
+		o.Halted, o.Forward, o.Egress, o.Failures)
+}
+
+// Outcome summarizes the run: the final forward flag, the egress-port
+// global (first global named *.egress_spec, as the translator emits), the
+// halt status, and the sorted, deduplicated assertion failures.
+func (r *Result) Outcome() Outcome {
+	o := Outcome{Halted: r.Halted, Forward: r.Store[model.ForwardFlag]}
+	for _, g := range r.Program.Globals {
+		if strings.HasSuffix(g.Name, ".egress_spec") {
+			o.Egress = r.Store[g.Name]
+			break
+		}
+	}
+	ids := append([]int(nil), r.Failures...)
+	sort.Ints(ids)
+	for i, id := range ids {
+		if i > 0 && id == ids[i-1] {
+			continue
+		}
+		o.Failures = append(o.Failures, id)
+	}
+	return o
 }
 
 func (in *interp) input(name string, width int) uint64 {

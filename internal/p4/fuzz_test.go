@@ -1,0 +1,86 @@
+package p4
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"p4assert/internal/progs"
+)
+
+// seedCorpus feeds the fuzzer the whole embedded application corpus plus
+// the checked-in regression seeds under testdata/fuzz/seeds.
+func seedCorpus(f *testing.F) {
+	for _, p := range progs.All() {
+		f.Add(p.Source)
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "fuzz", "seeds"))
+	if err != nil {
+		f.Fatalf("fuzz seed directory: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join("testdata", "fuzz", "seeds", e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+}
+
+// FuzzLexer: tokenization must terminate and either yield tokens or a
+// *SyntaxError — never panic, never return a bare error of another type.
+func FuzzLexer(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Tokenize("fuzz.p4", src)
+		if err != nil {
+			if _, ok := err.(*SyntaxError); !ok {
+				t.Fatalf("Tokenize returned a non-syntax error %T: %v", err, err)
+			}
+			return
+		}
+		if len(toks) == 0 {
+			t.Fatal("Tokenize returned no tokens and no error (missing EOF?)")
+		}
+	})
+}
+
+// FuzzParse: the front end must be total — any input either parses (and
+// then the typechecker must also terminate without panicking) or fails
+// with a *SyntaxError. A program that parses and checks must round-trip
+// through a second parse of the same source to the same declaration count.
+func FuzzParse(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse("fuzz.p4", src)
+		if err != nil {
+			if _, ok := err.(*SyntaxError); !ok {
+				t.Fatalf("Parse returned a non-syntax error %T: %v", err, err)
+			}
+			return
+		}
+		// The checker may reject, but it must not panic and must report
+		// rejections as errors, not by other means.
+		if err := prog.Check(); err != nil {
+			if strings.TrimSpace(err.Error()) == "" {
+				t.Fatal("Check returned an empty error")
+			}
+			return
+		}
+		prog2, err := Parse("fuzz.p4", src)
+		if err != nil {
+			t.Fatalf("accepted source failed to re-parse: %v", err)
+		}
+		if len(prog2.Headers) != len(prog.Headers) ||
+			len(prog2.Parsers) != len(prog.Parsers) ||
+			len(prog2.Controls) != len(prog.Controls) {
+			t.Fatalf("re-parse declaration counts differ: %d/%d/%d vs %d/%d/%d",
+				len(prog2.Headers), len(prog2.Parsers), len(prog2.Controls),
+				len(prog.Headers), len(prog.Parsers), len(prog.Controls))
+		}
+	})
+}

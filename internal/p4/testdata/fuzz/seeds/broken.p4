@@ -1,0 +1,1 @@
+header h_t { bit<8> f; ÿş garbage }} ((( @assert("unterminated

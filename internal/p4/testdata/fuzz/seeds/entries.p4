@@ -1,0 +1,23 @@
+header h_t { bit<8> f; }
+struct headers_t { h_t h; }
+struct metadata_t { bit<8> m; }
+parser P(packet_in pkt, out headers_t hdr, inout metadata_t meta,
+         inout standard_metadata_t standard_metadata) {
+    state start { pkt.extract(hdr.h); transition accept; }
+}
+control I(inout headers_t hdr, inout metadata_t meta,
+          inout standard_metadata_t standard_metadata) {
+    action a(bit<9> p) { standard_metadata.egress_spec = p; }
+    table t {
+        key = { hdr.h.f : ternary; }
+        actions = { a; NoAction; }
+        default_action = NoAction;
+        const entries = {
+            1 &&& 255 : a(3);
+            _ : a(9);
+        }
+    }
+    apply { if (t.apply().hit) { meta.m = (bit<8>)standard_metadata.egress_spec; } }
+}
+control D(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.h); } }
+V1Switch(P, I, D) main;

@@ -1,0 +1,74 @@
+header h0_t {
+    bit<1> f0;
+    bit<1> f1;
+    bit<16> f2;
+}
+header h1_t {
+    bit<4> f0;
+    bit<48> f1;
+    bit<8> f2;
+}
+struct headers_t {
+    h0_t h0;
+    h1_t h1;
+}
+struct metadata_t {
+    bit<4> m0;
+}
+
+parser FP(packet_in pkt, out headers_t hdr, inout metadata_t meta,
+          inout standard_metadata_t standard_metadata) {
+    state start {
+        pkt.extract(hdr.h0);
+        transition select(hdr.h0.f1) {
+            1: parse_h1;
+            default: accept;
+        }
+    }
+    state parse_h1 { pkt.extract(hdr.h1); transition accept; }
+}
+
+control FI(inout headers_t hdr, inout metadata_t meta,
+           inout standard_metadata_t standard_metadata) {
+    action a0(bit<16> p0) {
+        standard_metadata.egress_spec = standard_metadata.egress_spec;
+        hdr.h0.f2 = p0;
+        hdr.h1.f0 = (~(2 - meta.m0));
+    }
+    action a1() {
+        hdr.h0.f1 = (0 & (1 + 0));
+        hdr.h1.f2 = (bit<8>)standard_metadata.egress_spec;
+    }
+    table t0 {
+        key = { hdr.h0.f2 : ternary; }
+        actions = { a1; NoAction; }
+        default_action = NoAction;
+    }
+    table t1 {
+        key = { hdr.h1.f0 : exact; }
+        actions = { a0; a1; NoAction; }
+        default_action = a0(65535);
+    }
+    apply {
+        if (hdr.h0.f1 <= 1) {
+            mark_to_drop(standard_metadata);
+        }
+        @assert("constant(meta.m0)");
+        @assume(hdr.h1.f1 < 35);
+        t1.apply();
+        standard_metadata.egress_spec = (((bit<9>)hdr.h0.f0 - (bit<9>)hdr.h0.f1) & (standard_metadata.egress_spec + 511));
+        t0.apply();
+        @assert("standard_metadata.egress_spec != 6");
+        @assert("if(hdr.h1.f2 >= 255, !forward())");
+        hdr.h1.f1 = hdr.h1.f1;
+    }
+}
+
+control FD(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.h0);
+        pkt.emit(hdr.h1);
+    }
+}
+
+V1Switch(FP, FI, FD) main;

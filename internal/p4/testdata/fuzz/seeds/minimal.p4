@@ -1,0 +1,13 @@
+header h_t { bit<8> f; }
+struct headers_t { h_t h; }
+struct metadata_t { bit<8> m; }
+parser P(packet_in pkt, out headers_t hdr, inout metadata_t meta,
+         inout standard_metadata_t standard_metadata) {
+    state start { pkt.extract(hdr.h); transition accept; }
+}
+control I(inout headers_t hdr, inout metadata_t meta,
+          inout standard_metadata_t standard_metadata) {
+    apply { @assert("hdr.h.f == 0"); }
+}
+control D(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.h); } }
+V1Switch(P, I, D) main;

@@ -1,0 +1,105 @@
+package progs
+
+import "strings"
+
+// RegisterFuzz registers a minimized differential-fuzzing reproducer
+// (cmd/p4fuzz) as a corpus regression. Reproducer names carry the "fuzz_"
+// prefix so they are recognizable in reports; like every corpus entry they
+// are then covered by the expected-violation and technique-matrix tests.
+func RegisterFuzz(p *Program) *Program {
+	if !strings.HasPrefix(p.Name, "fuzz_") {
+		panic("progs: fuzz reproducer names must start with fuzz_: " + p.Name)
+	}
+	return register(p)
+}
+
+// FuzzReproducers returns the registered fuzz regressions, sorted by name.
+func FuzzReproducers() []*Program {
+	var out []*Program
+	for _, p := range All() {
+		if strings.HasPrefix(p.Name, "fuzz_") {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// fuzz_slicer_shortcircuit is the minimized reproducer for a slicer bug
+// found by differential fuzzing (p4fuzz seed 69): the relevance fixpoint
+// short-circuited past an If's else arm whenever the then arm contained a
+// relevant effect, so the else-branch assignment "hdr.h0.f0 = hdr.h1.f0 &
+// ..." was kept while make_symbolic(hdr.h1.f0) was sliced away — h1.f0
+// stayed concretely zero and the second assertion's violation vanished
+// under -slice while the baseline reported it.
+var _ = RegisterFuzz(&Program{
+	Name:  "fuzz_slicer_shortcircuit",
+	Title: "fuzz reproducer: slicer else-arm relevance",
+	Notes: "Minimized from cmd/p4fuzz seed 69. The then arm's assertion " +
+		"snapshot is a relevant effect; the else arm both depends on and " +
+		"feeds the second assertion. A correct slice must keep the else " +
+		"arm's data dependencies (hdr.h1.f0 symbolic), so the verdict " +
+		"{assert #1 violated} is identical with and without -slice.",
+	ExpectedViolations: []int{1},
+	Source: `
+header h0_t {
+    bit<48> f0;
+}
+header h1_t {
+    bit<48> f0;
+    bit<8> f1;
+    bit<32> f2;
+}
+header h2_t {
+    bit<9> f0;
+}
+struct headers_t {
+    h0_t h0;
+    h1_t h1;
+    h2_t h2;
+}
+struct metadata_t {
+    bit<8> m0;
+}
+
+parser FP(packet_in pkt, out headers_t hdr, inout metadata_t meta,
+          inout standard_metadata_t standard_metadata) {
+    state start {
+        pkt.extract(hdr.h0);
+        transition select(hdr.h0.f0) {
+            2: parse_h1;
+            default: reject;
+        }
+    }
+    state parse_h1 { pkt.extract(hdr.h1); transition accept; }
+    state parse_h2 { pkt.extract(hdr.h2); transition accept; }
+}
+
+control FI(inout headers_t hdr, inout metadata_t meta,
+           inout standard_metadata_t standard_metadata) {
+    action a0() {
+    }
+    action a1(bit<32> p0) {
+    }
+    table t0 {
+        key = { hdr.h1.f2 : exact; }
+        actions = { a1; NoAction; }
+        default_action = NoAction;
+    }
+    apply {
+        if (hdr.h1.f2 > 4294967295) {
+            @assert("if(forward(), standard_metadata.egress_spec < 465)");
+        } else {
+            hdr.h0.f0 = (hdr.h1.f0 & 281474976710655);
+        }
+        @assert("if(hdr.h0.f0 >= 217222680164832, hdr.h1.f1 == 255)");
+    }
+}
+
+control FD(packet_out pkt, in headers_t hdr) {
+    apply {
+    }
+}
+
+V1Switch(FP, FI, FD) main;
+`,
+})

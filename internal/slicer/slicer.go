@@ -180,8 +180,15 @@ func (s *slicer) fixpoint() {
 						}
 					}
 				case *model.If:
-					inner := scan(x.Then) || scan(x.Else)
-					if inner {
+					// Both arms must be scanned unconditionally: || would
+					// short-circuit past the else arm whenever the then arm
+					// has a relevant effect, leaving reads there unmarked
+					// (found by differential fuzzing: the sliced model kept
+					// an else-branch assignment whose RHS input was never
+					// made symbolic, silently masking a violation).
+					thenHas := scan(x.Then)
+					elseHas := scan(x.Else)
+					if thenHas || elseHas {
 						has = true
 						for _, r := range model.Refs(x.Cond, nil) {
 							if !s.relevant[r] {

@@ -142,6 +142,12 @@ type Result struct {
 	// WorstInstructions is the instruction count of the heaviest submodel
 	// (the paper's Table 2 parallel-reduction metric).
 	WorstInstructions int64
+	// ViolationModels maps each violated assertion ID to the submodel that
+	// first found it. Counterexample traces are recorded relative to the
+	// submodel that ran (the split decision is replaced by assumptions
+	// there), so concrete replay must execute that submodel, not the full
+	// model.
+	ViolationModels map[int]*model.Program
 }
 
 // Run splits p and executes the submodels on workers goroutines
@@ -167,7 +173,7 @@ func Run(p *model.Program, opts sym.Options, workers int) (*Result, error) {
 	}
 	wg.Wait()
 
-	out := &Result{}
+	out := &Result{ViolationModels: map[int]*model.Program{}}
 	seen := map[int]*sym.Violation{}
 	for i, r := range results {
 		if errs[i] != nil {
@@ -196,6 +202,7 @@ func Run(p *model.Program, opts sym.Options, workers int) (*Result, error) {
 			cp := *v
 			seen[v.AssertID] = &cp
 			out.Agg.Violations = append(out.Agg.Violations, &cp)
+			out.ViolationModels[v.AssertID] = subs[i]
 		}
 	}
 	return out, nil

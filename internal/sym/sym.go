@@ -58,6 +58,59 @@ type PathTest struct {
 	Inputs map[string]uint64
 	// Trace lists the fork decisions of the path.
 	Trace []string
+	// Outcome is the expected observable behaviour of the path under
+	// Inputs, computed by concretizing the final symbolic state. It is the
+	// symbolic engine's half of the differential oracle: an independent
+	// concrete run (internal/interp) of the same inputs must reproduce it
+	// exactly.
+	Outcome PathOutcome
+}
+
+// PathOutcome is the externally observable result of one execution path
+// under a concrete input: the facts the differential oracle compares
+// between the symbolic engine and the concrete interpreter.
+type PathOutcome struct {
+	// Halted reports parser rejection.
+	Halted bool
+	// Forward is the final value of the $forward flag (0 if the model
+	// defines none).
+	Forward uint64
+	// Egress is the final value of the *.egress_spec global (0 if none).
+	Egress uint64
+	// Failures lists the assertion IDs whose checks evaluate false on this
+	// path under Inputs, sorted and deduplicated.
+	Failures []int
+}
+
+// Digest renders the outcome canonically for comparison and reporting.
+func (o PathOutcome) Digest() string {
+	return fmt.Sprintf("halt=%t fwd=0x%x egress=0x%x fail=%v",
+		o.Halted, o.Forward, o.Egress, o.Failures)
+}
+
+// NormalizeFailures sorts and deduplicates a failure list in place,
+// returning the normalized slice. Both engines apply it before digesting so
+// repeated checks of one assertion (parser loops) compare equal.
+func NormalizeFailures(ids []int) []int {
+	sort.Ints(ids)
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// EgressGlobal returns the name of the model's egress-port global
+// (suffix ".egress_spec"), or "" when the model defines none.
+func EgressGlobal(p *model.Program) string {
+	for _, g := range p.Globals {
+		if strings.HasSuffix(g.Name, ".egress_spec") {
+			return g.Name
+		}
+	}
+	return ""
 }
 
 // Violation aggregates the failures of one assertion across paths.
@@ -129,6 +182,16 @@ type state struct {
 	symSeq int
 	// lastModel caches a satisfying assignment for pc (Opt mode).
 	lastModel map[string]uint64
+	// checks records every assertion condition evaluated along the path
+	// (CollectTests only): concretizing them under the test inputs yields
+	// the path's expected assertion verdicts.
+	checks []pathCheck
+}
+
+// pathCheck is one AssertCheck evaluation site on a path.
+type pathCheck struct {
+	id   int
+	cond *bv.Expr
 }
 
 func (s *state) clone() *state {
@@ -142,6 +205,7 @@ func (s *state) clone() *state {
 		depth:     make(map[string]int, len(s.depth)),
 		symSeq:    s.symSeq,
 		lastModel: s.lastModel,
+		checks:    s.checks[:len(s.checks):len(s.checks)],
 	}
 	for k, v := range s.store {
 		n.store[k] = v
@@ -162,6 +226,8 @@ type executor struct {
 	byID    map[int]*Violation
 	ordered []*Violation
 	tests   []PathTest
+	// egress caches the model's egress-port global name (CollectTests).
+	egress string
 }
 
 // Execute symbolically runs the program over all paths.
@@ -176,6 +242,9 @@ func Execute(p *model.Program, opts Options) (*Result, error) {
 		ctx:  ctx,
 		chk:  solver.New(ctx),
 		byID: map[int]*Violation{},
+	}
+	if opts.CollectTests {
+		ex.egress = EgressGlobal(p)
 	}
 
 	init := &state{
@@ -232,7 +301,7 @@ func Execute(p *model.Program, opts Options) (*Result, error) {
 }
 
 // collectTest solves the completed path's constraints into one concrete
-// input assignment.
+// input assignment and concretizes the path's observable outcome under it.
 func (ex *executor) collectTest(st *state) {
 	var inputs map[string]uint64
 	if st.lastModel != nil && allSat(st.pc, st.lastModel) {
@@ -248,7 +317,22 @@ func (ex *executor) collectTest(st *state) {
 	for k, v := range inputs {
 		cp[k] = v
 	}
-	ex.tests = append(ex.tests, PathTest{Inputs: cp, Trace: append([]string(nil), st.trace...)})
+	out := PathOutcome{Halted: st.halted}
+	if v, ok := st.store[model.ForwardFlag]; ok {
+		out.Forward = bv.Eval(v, cp)
+	}
+	if ex.egress != "" {
+		if v, ok := st.store[ex.egress]; ok {
+			out.Egress = bv.Eval(v, cp)
+		}
+	}
+	for _, c := range st.checks {
+		if bv.Eval(c.cond, cp) == 0 {
+			out.Failures = append(out.Failures, c.id)
+		}
+	}
+	out.Failures = NormalizeFailures(out.Failures)
+	ex.tests = append(ex.tests, PathTest{Inputs: cp, Trace: append([]string(nil), st.trace...), Outcome: out})
 }
 
 func allSat(pc []*bv.Expr, env map[string]uint64) bool {
@@ -404,6 +488,9 @@ func (ex *executor) run(st *state) ([]*state, error) {
 				return nil, err
 			}
 			cond := ex.ctx.NonZero(v)
+			if ex.opts.CollectTests {
+				st.checks = append(st.checks, pathCheck{id: s.ID, cond: cond})
+			}
 			if cond.IsTrue() {
 				continue
 			}
