@@ -13,18 +13,24 @@
 // Runs are reproducible: the program for iteration i is derived purely
 // from -seed + i, so a reported failing seed regenerates its program
 // exactly. On a failure, -minimize shrinks the program by iterative
-// statement deletion before printing it.
+// statement deletion before printing it. With -emit FILE, the reproducer
+// source is written to FILE and the baseline verification report of a
+// re-check of that reproducer is written next to it as FILE.report.json
+// in the machine-readable core.Report form shared with p4verify -json and
+// the verification service.
 //
 // Exit status: 0 when all programs pass, 1 on an oracle mismatch, 2 on
 // usage errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"p4assert/internal/core"
 	"p4assert/internal/difftest"
 	"p4assert/internal/fuzzgen"
 )
@@ -86,6 +92,18 @@ func main() {
 		}
 		if *emit != "" {
 			if werr := os.WriteFile(*emit, []byte(p.Source()), 0o644); werr != nil {
+				fmt.Fprintln(os.Stderr, "p4fuzz:", werr)
+			}
+			// Re-check the reproducer under baseline options and record the
+			// report in the serialization shared with p4verify -json, so the
+			// mismatch evidence can be diffed and replayed by tooling.
+			rep, rerr := core.VerifySource(p.Name()+".p4", p.Source(),
+				core.Options{MaxPaths: difftest.DefaultMaxPaths})
+			if rerr != nil {
+				fmt.Fprintln(os.Stderr, "p4fuzz: reproducer re-check:", rerr)
+			} else if data, jerr := json.MarshalIndent(rep, "", "  "); jerr != nil {
+				fmt.Fprintln(os.Stderr, "p4fuzz:", jerr)
+			} else if werr := os.WriteFile(*emit+".report.json", append(data, '\n'), 0o644); werr != nil {
 				fmt.Fprintln(os.Stderr, "p4fuzz:", werr)
 			}
 		}

@@ -1,0 +1,103 @@
+// Command p4served is the verification-as-a-service daemon: it accepts
+// P4 verification jobs over HTTP, runs them on a bounded worker pool with
+// per-job timeout and cancellation, and serves repeat requests from a
+// content-addressed result cache (in-memory LRU with an optional on-disk
+// tier that survives restarts).
+//
+// Usage:
+//
+//	p4served [flags]
+//
+// API (see docs/service.md):
+//
+//	POST   /v1/jobs             submit {filename, source, rules, options}
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/report done job's report (core.Report JSON)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/healthz          liveness
+//	GET    /v1/stats            queue depth, cache counters, latency histograms
+//
+// SIGINT/SIGTERM drain gracefully: queued jobs finish, then the process
+// exits; a second signal (or -drain-timeout) forces cancellation.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"p4assert/internal/service"
+	"p4assert/internal/vcache"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:9464", "listen address")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 256, "job queue depth; submissions beyond it are rejected")
+		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "per-job wall-time cap (0 = none)")
+		cacheSize    = flag.Int("cache-entries", vcache.DefaultMaxEntries, "in-memory result-cache entries (0 = disable cache)")
+		cacheDir     = flag.String("cache-dir", "", "directory for the persistent cache tier (empty = memory only)")
+		retainJobs   = flag.Int("retain-jobs", 4096, "finished jobs kept queryable")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for queued jobs on shutdown before cancelling them")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: p4served [flags]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var cache *vcache.Cache
+	if *cacheSize > 0 || *cacheDir != "" {
+		var err error
+		cache, err = vcache.New(*cacheSize, *cacheDir)
+		if err != nil {
+			log.Fatalf("p4served: %v", err)
+		}
+	}
+	mgr := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		Cache:      cache,
+		JobTimeout: *jobTimeout,
+		RetainJobs: *retainJobs,
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: service.Handler(mgr)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("p4served: listening on %s (queue=%d, cache=%v, dir=%q)",
+		*addr, *queueDepth, cache != nil, *cacheDir)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatalf("p4served: %v", err)
+	case s := <-sig:
+		log.Printf("p4served: %v: draining (second signal cancels immediately)", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	go func() {
+		<-sig
+		cancel()
+	}()
+	srv.Shutdown(context.Background())
+	if err := mgr.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("p4served: forced drain: %v", err)
+	}
+	cancel()
+	log.Printf("p4served: stopped")
+}

@@ -11,17 +11,25 @@
 // passes), -opt (executor optimizations), -slice (program slicing),
 // -parallel N (submodel parallelization on N workers).
 //
+// -json emits the machine-readable core.Report (the serialization shared
+// with the verification service). -remote ADDR offloads the job to a
+// p4served daemon instead of verifying in-process.
+//
 // Exit status: 0 when every assertion holds, 1 on violations, 2 on usage
 // or front-end errors.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"p4assert"
+	"p4assert/internal/core"
+	"p4assert/internal/service"
 )
 
 func main() {
@@ -38,6 +46,8 @@ func main() {
 		autoValid = flag.Bool("auto-validity", false, "instrument header accesses with automatic validity assertions")
 		genTests  = flag.Bool("gen-tests", false, "generate one concrete test case per execution path and exit")
 		dumpModel = flag.Bool("dump-model", false, "print the translated verification model (pseudo-C) and exit")
+		jsonOut   = flag.Bool("json", false, "emit the machine-readable report (core.Report JSON) instead of text")
+		remote    = flag.String("remote", "", "offload to a p4served daemon at this address (e.g. http://127.0.0.1:9464)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: p4verify [flags] program.p4\n\n")
@@ -59,18 +69,25 @@ func main() {
 		MaxParserLoops:     *loops,
 		AutoValidityChecks: *autoValid,
 	}
+	rulesText := ""
 	if *rulesFile != "" {
 		data, err := os.ReadFile(*rulesFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "p4verify:", err)
 			os.Exit(2)
 		}
-		rs, err := p4assert.ParseRules(string(data))
+		rulesText = string(data)
+		rs, err := p4assert.ParseRules(rulesText)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "p4verify:", err)
 			os.Exit(2)
 		}
 		opts.Rules = rs
+	}
+
+	if *remote != "" || *jsonOut {
+		runCoreMode(*remote, *jsonOut, flag.Arg(0), rulesText, coreTechniques(opts))
+		return
 	}
 
 	if *dumpModel || *genTests {
@@ -130,6 +147,74 @@ func main() {
 			fmt.Printf("  submodels: %d (worst %d instructions)\n",
 				rep.Stats.Submodels, rep.Stats.WorstSubmodelInstructions)
 		}
+	}
+	if len(rep.Violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+// coreTechniques maps the CLI flag set onto the service wire form, so the
+// local -json path and the -remote path verify under identical options.
+func coreTechniques(o *p4assert.Options) service.Techniques {
+	t := service.Techniques{
+		O3:                 o.O3,
+		Opt:                o.Opt,
+		Slice:              o.Slice,
+		Parallel:           o.Parallel,
+		MaxParserLoops:     o.MaxParserLoops,
+		MaxPaths:           o.MaxPaths,
+		AutoValidityChecks: o.AutoValidityChecks,
+	}
+	if o.Timeout > 0 {
+		t.Timeout = o.Timeout.String()
+	}
+	return t
+}
+
+// runCoreMode handles -json and -remote: both work in terms of core.Report
+// (the serialization shared with the service) rather than the summary-only
+// p4assert.Report. Exit status matches the default path: 0 ok, 1 violations,
+// 2 front-end or transport errors.
+func runCoreMode(remoteAddr string, jsonOut bool, file, rulesText string, tech service.Techniques) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4verify:", err)
+		os.Exit(2)
+	}
+
+	var rep *core.Report
+	if remoteAddr != "" {
+		client := &service.Client{Base: remoteAddr}
+		rep, _, err = client.Verify(context.Background(), service.JobRequest{
+			Filename: file,
+			Source:   string(data),
+			Rules:    rulesText,
+			Options:  tech,
+		})
+	} else {
+		var opts core.Options
+		opts, err = tech.CoreOptions(rulesText)
+		if err == nil {
+			rep, err = core.VerifySource(file, string(data), opts)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4verify:", err)
+		os.Exit(2)
+	}
+
+	if jsonOut {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p4verify:", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(out))
+	} else {
+		if rep.SliceErr != nil {
+			fmt.Fprintf(os.Stderr, "p4verify: slicing unavailable (%v); verified unsliced\n", rep.SliceErr)
+		}
+		fmt.Println(rep.Summary())
 	}
 	if len(rep.Violations) > 0 {
 		os.Exit(1)

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"p4assert/internal/progs"
+	"p4assert/internal/rules"
+)
+
+// TestCanonicalViolationOrdering is the determinism regression over the
+// corpus: the serialized violation list must be byte-identical across a
+// sequential run, parallel runs at several worker counts, and a
+// JSON round-trip of the sequential report (the cache-replay path).
+// Without canonical ordering, parallel submodel aggregation reports
+// violations in submodel-completion order and cached reports would not
+// compare equal to live ones.
+func TestCanonicalViolationOrdering(t *testing.T) {
+	for _, p := range progs.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			var rs *rules.RuleSet
+			if p.Rules != "" {
+				parsed, err := rules.Parse(p.Rules)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rs = parsed
+			}
+			seq, err := VerifySource(p.Name+".p4", p.Source, Options{Rules: rs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := seq.ViolationsJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Cache-replay path: round-trip the report through the wire
+			// format and re-serialize.
+			wire, err := json.Marshal(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var replay Report
+			if err := json.Unmarshal(wire, &replay); err != nil {
+				t.Fatal(err)
+			}
+			got, err := replay.ViolationsJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("cache-replayed violations differ:\nlive:   %s\nreplay: %s", want, got)
+			}
+
+			for _, workers := range []int{1, 2, 4} {
+				par, err := VerifySource(p.Name+".p4", p.Source, Options{Rules: rs, Parallel: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !SameVerdictSet(seq, par) {
+					t.Fatalf("parallel(%d) verdicts diverge: %s vs %s",
+						workers, seq.VerdictDigest(), par.VerdictDigest())
+				}
+				got, err := par.ViolationsJSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(want, got) {
+					t.Fatalf("parallel(%d) violations not byte-identical to sequential:\nseq: %s\npar: %s",
+						workers, want, got)
+				}
+			}
+		})
+	}
+}

@@ -6,7 +6,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"p4assert/internal/model"
@@ -91,6 +93,14 @@ func (r *Report) Ok() bool { return !r.Exhausted && len(r.Violations) == 0 }
 
 // VerifySource parses, checks, translates and executes P4 source text.
 func VerifySource(filename, source string, opts Options) (*Report, error) {
+	return VerifySourceCtx(context.Background(), filename, source, opts)
+}
+
+// VerifySourceCtx is VerifySource with early cancellation: when ctx is
+// cancelled (or its deadline passes) the symbolic-execution loop stops and
+// ctx.Err() is returned. The verification service uses this for per-job
+// timeouts and client-requested cancellation.
+func VerifySourceCtx(ctx context.Context, filename, source string, opts Options) (*Report, error) {
 	prog, err := p4.Parse(filename, source)
 	if err != nil {
 		return nil, err
@@ -98,11 +108,16 @@ func VerifySource(filename, source string, opts Options) (*Report, error) {
 	if err := prog.Check(); err != nil {
 		return nil, err
 	}
-	return VerifyProgram(prog, opts)
+	return VerifyProgramCtx(ctx, prog, opts)
 }
 
 // VerifyProgram runs the pipeline on a checked P4 program.
 func VerifyProgram(prog *p4.Program, opts Options) (*Report, error) {
+	return VerifyProgramCtx(context.Background(), prog, opts)
+}
+
+// VerifyProgramCtx is VerifyProgram with early cancellation via ctx.
+func VerifyProgramCtx(ctx context.Context, prog *p4.Program, opts Options) (*Report, error) {
 	rep := &Report{}
 
 	t0 := time.Now()
@@ -116,16 +131,16 @@ func VerifyProgram(prog *p4.Program, opts Options) (*Report, error) {
 	}
 	rep.TranslateTime = time.Since(t0)
 
-	return verifyModel(m, opts, rep)
+	return verifyModel(ctx, m, opts, rep)
 }
 
 // VerifyModel runs the post-translation pipeline stages on a model
 // directly (used by benchmarks that pre-build models).
 func VerifyModel(m *model.Program, opts Options) (*Report, error) {
-	return verifyModel(m, opts, &Report{})
+	return verifyModel(context.Background(), m, opts, &Report{})
 }
 
-func verifyModel(m *model.Program, opts Options, rep *Report) (*Report, error) {
+func verifyModel(ctx context.Context, m *model.Program, opts Options, rep *Report) (*Report, error) {
 	rep.Asserts = m.Asserts
 
 	if opts.O3 {
@@ -161,6 +176,9 @@ func verifyModel(m *model.Program, opts Options, rep *Report) (*Report, error) {
 	if opts.Timeout > 0 {
 		symOpts.Deadline = time.Now().Add(opts.Timeout)
 	}
+	if ctx != nil && ctx != context.Background() {
+		symOpts.Ctx = ctx
+	}
 
 	t0 := time.Now()
 	if opts.Parallel > 0 {
@@ -186,7 +204,32 @@ func verifyModel(m *model.Program, opts Options, rep *Report) (*Report, error) {
 		rep.Exhausted = res.Exhausted
 	}
 	rep.ExecTime = time.Since(t0)
+	CanonicalizeViolations(rep.Violations)
 	return rep, nil
+}
+
+// CanonicalizeViolations sorts a violation list into its canonical order:
+// by assertion site (annotation location, then assertion ID), then by the
+// counterexample model. Sequential, parallel and cache-replayed runs of the
+// same request then serialize their violations byte-identically, which the
+// content-addressed result cache relies on for replay fidelity.
+func CanonicalizeViolations(vs []*sym.Violation) {
+	sort.SliceStable(vs, func(i, j int) bool {
+		li, lj := "", ""
+		if vs[i].Info != nil {
+			li = vs[i].Info.Location
+		}
+		if vs[j].Info != nil {
+			lj = vs[j].Info.Location
+		}
+		if li != lj {
+			return li < lj
+		}
+		if vs[i].AssertID != vs[j].AssertID {
+			return vs[i].AssertID < vs[j].AssertID
+		}
+		return sym.FormatModel(vs[i].Model) < sym.FormatModel(vs[j].Model)
+	})
 }
 
 // Summary renders a human-readable report.

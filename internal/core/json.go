@@ -1,0 +1,91 @@
+// JSON serialization of verification reports: the wire format shared by
+// the -json CLI mode, the verification service (cmd/p4served), and the
+// content-addressed result cache (internal/vcache). A Report round-trips
+// through Marshal/Unmarshal: every field that can be represented in JSON
+// survives byte-identically; the executed model itself (Report.Model,
+// Report.ViolationModels) is process-local and deliberately not part of the
+// wire format — consumers that need replay re-translate from source.
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"time"
+
+	"p4assert/internal/model"
+	"p4assert/internal/sym"
+)
+
+// wireReport is Report's JSON shadow. SliceErr (an error) travels as its
+// message string; Model and ViolationModels are dropped (see package
+// comment above).
+type wireReport struct {
+	Violations                []*sym.Violation    `json:"violations,omitempty"`
+	Metrics                   sym.Metrics         `json:"metrics"`
+	WorstSubmodelInstructions int64               `json:"worst_submodel_instructions,omitempty"`
+	Submodels                 int                 `json:"submodels,omitempty"`
+	Asserts                   []*model.AssertInfo `json:"asserts,omitempty"`
+	SliceError                string              `json:"slice_error,omitempty"`
+	TranslateTimeNS           int64               `json:"translate_time_ns,omitempty"`
+	OptimizeTimeNS            int64               `json:"optimize_time_ns,omitempty"`
+	SliceTimeNS               int64               `json:"slice_time_ns,omitempty"`
+	ExecTimeNS                int64               `json:"exec_time_ns,omitempty"`
+	Tests                     []sym.PathTest      `json:"tests,omitempty"`
+	Exhausted                 bool                `json:"exhausted,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	w := wireReport{
+		Violations:                r.Violations,
+		Metrics:                   r.Metrics,
+		WorstSubmodelInstructions: r.WorstSubmodelInstructions,
+		Submodels:                 r.Submodels,
+		Asserts:                   r.Asserts,
+		TranslateTimeNS:           int64(r.TranslateTime),
+		OptimizeTimeNS:            int64(r.OptimizeTime),
+		SliceTimeNS:               int64(r.SliceTime),
+		ExecTimeNS:                int64(r.ExecTime),
+		Tests:                     r.Tests,
+		Exhausted:                 r.Exhausted,
+	}
+	if r.SliceErr != nil {
+		w.SliceError = r.SliceErr.Error()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *Report) UnmarshalJSON(data []byte) error {
+	var w wireReport
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*r = Report{
+		Violations:                w.Violations,
+		Metrics:                   w.Metrics,
+		WorstSubmodelInstructions: w.WorstSubmodelInstructions,
+		Submodels:                 w.Submodels,
+		Asserts:                   w.Asserts,
+		TranslateTime:             time.Duration(w.TranslateTimeNS),
+		OptimizeTime:              time.Duration(w.OptimizeTimeNS),
+		SliceTime:                 time.Duration(w.SliceTimeNS),
+		ExecTime:                  time.Duration(w.ExecTimeNS),
+		Tests:                     w.Tests,
+		Exhausted:                 w.Exhausted,
+	}
+	if w.SliceError != "" {
+		r.SliceErr = errors.New(w.SliceError)
+	}
+	return nil
+}
+
+// ViolationsJSON serializes only the canonical violation list — the part of
+// a report that must compare byte-equal across sequential, parallel and
+// cache-replayed runs of the same request (metrics legitimately differ:
+// submodel runs execute extra assumption statements).
+func (r *Report) ViolationsJSON() ([]byte, error) {
+	vs := append([]*sym.Violation(nil), r.Violations...)
+	CanonicalizeViolations(vs)
+	return json.Marshal(vs)
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"p4assert/internal/progs"
+	"p4assert/internal/rules"
+)
+
+// TestReportJSONRoundTrip verifies that a Report survives a
+// marshal→unmarshal→marshal cycle byte-identically for every corpus
+// program — the property the content-addressed result cache depends on.
+func TestReportJSONRoundTrip(t *testing.T) {
+	for _, p := range progs.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			var rs *rules.RuleSet
+			if p.Rules != "" {
+				parsed, err := rules.Parse(p.Rules)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rs = parsed
+			}
+			rep, err := VerifySource(p.Name+".p4", p.Source, Options{Rules: rs, Slice: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := json.Marshal(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back Report
+			if err := json.Unmarshal(first, &back); err != nil {
+				t.Fatal(err)
+			}
+			second, err := json.Marshal(&back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first, second) {
+				t.Fatalf("report JSON not stable under round-trip:\n%s\nvs\n%s", first, second)
+			}
+			if back.Ok() != rep.Ok() {
+				t.Fatalf("verdict changed across round-trip: %v vs %v", back.Ok(), rep.Ok())
+			}
+			if !SameVerdictSet(rep, &back) {
+				t.Fatalf("verdict set changed: %s vs %s", rep.VerdictDigest(), back.VerdictDigest())
+			}
+		})
+	}
+}
+
+// TestReportJSONSliceErr checks that a slicing failure survives the wire
+// format as its message.
+func TestReportJSONSliceErr(t *testing.T) {
+	mri, err := progs.Get("mri")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifySource("mri.p4", mri.Source, Options{Slice: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SliceErr == nil {
+		t.Skip("mri now slices; no error to round-trip")
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SliceErr == nil || back.SliceErr.Error() != rep.SliceErr.Error() {
+		t.Fatalf("SliceErr lost: %v vs %v", back.SliceErr, rep.SliceErr)
+	}
+}

@@ -50,6 +50,26 @@ func (tf *traceFollower) choose(selector string, labels []string) int {
 	return 0
 }
 
+// note consumes a TraceNote entry (a submodel's record of its replaced
+// split decision). The entry must match the recorded trace exactly, with
+// the same strictness as fork choices.
+func (tf *traceFollower) note(label string) {
+	if tf.err != nil {
+		return
+	}
+	if tf.idx >= len(tf.trace) {
+		// Past the recorded prefix (mid-path violation): the continuation
+		// is arbitrary, notes included.
+		return
+	}
+	if tf.trace[tf.idx] != label {
+		tf.err = fmt.Errorf("trace mismatch: submodel records decision %q but the trace has %q",
+			label, tf.trace[tf.idx])
+		return
+	}
+	tf.idx++
+}
+
 // ReplayViolation runs a violation's counterexample concretely through the
 // model interpreter (internal/interp, the BMv2 stand-in of the paper's §6
 // validation) and reports whether the assertion indeed fails on that input.
@@ -65,6 +85,7 @@ func ReplayViolation(m *model.Program, v *sym.Violation) (bool, error) {
 			return v.Model[name]
 		},
 		Choose: tf.choose,
+		Note:   tf.note,
 	})
 	if err != nil {
 		return false, fmt.Errorf("replay: %w", err)
@@ -123,6 +144,7 @@ func ReplayTest(m *model.Program, pt *sym.PathTest) error {
 			return pt.Inputs[name]
 		},
 		Choose: tf.choose,
+		Note:   tf.note,
 	})
 	if err != nil {
 		return err

@@ -24,6 +24,9 @@ type Options struct {
 	// Choose picks a branch for Fork statements (tables with unknown
 	// rules). Nil always picks branch 0.
 	Choose func(selector string, labels []string) int
+	// Note observes TraceNote statements (submodels record the replaced
+	// split decision this way); nil ignores them.
+	Note func(label string)
 	// MaxCallDepth bounds recursion as in the symbolic executor
 	// (0 = default 8).
 	MaxCallDepth int
@@ -199,6 +202,11 @@ func Run(p *model.Program, opts Options) (*Result, error) {
 				depth = map[string]int{}
 				halted = true
 				in.res.Halted = true
+
+			case *model.TraceNote:
+				if in.opts.Note != nil {
+					in.opts.Note(s.Label)
+				}
 
 			default:
 				return nil, fmt.Errorf("interp: unknown statement %T", stmt)

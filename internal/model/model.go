@@ -219,6 +219,13 @@ type Exit struct{}
 // Halt terminates the path as rejected (parser reject state).
 type Halt struct{}
 
+// TraceNote records a fork-trace entry without forking. The submodel
+// splitter (internal/submodel) replaces a Fork with per-branch
+// assumption-guarded bodies and prepends each with the trace entry the
+// Fork would have appended, so counterexample traces from parallel runs
+// stay byte-identical to sequential ones.
+type TraceNote struct{ Label string }
+
 func (*Assign) stmtNode()       {}
 func (*MakeSymbolic) stmtNode() {}
 func (*If) stmtNode()           {}
@@ -229,6 +236,7 @@ func (*AssertCheck) stmtNode()  {}
 func (*Return) stmtNode()       {}
 func (*Exit) stmtNode()         {}
 func (*Halt) stmtNode()         {}
+func (*TraceNote) stmtNode()    {}
 
 // ------------------------------------------------------------ expressions --
 
@@ -425,6 +433,8 @@ func dumpBody(b *strings.Builder, body []Stmt, indent string) {
 			fmt.Fprintf(b, "%sexit;\n", indent)
 		case *Halt:
 			fmt.Fprintf(b, "%shalt;\n", indent)
+		case *TraceNote:
+			fmt.Fprintf(b, "%strace_note(%q);\n", indent, st.Label)
 		}
 	}
 }

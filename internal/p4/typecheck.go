@@ -67,7 +67,10 @@ func (c *checker) run() {
 		p.structByName[s.Name] = s
 	}
 	if p.structByName["standard_metadata_t"] == nil {
-		std := &StructDecl{Name: "standard_metadata_t", Fields: StandardMetadataFields}
+		// Each program gets its own copy of the builtin layout: field-type
+		// resolution below writes into the Fields slice, and programs are
+		// checked concurrently by the verification service's worker pool.
+		std := &StructDecl{Name: "standard_metadata_t", Fields: append([]Field(nil), StandardMetadataFields...)}
 		p.Structs = append(p.Structs, std)
 		p.structByName[std.Name] = std
 	}

@@ -1,0 +1,178 @@
+// Wire types of the verification service HTTP API (v1), shared by the
+// daemon (cmd/p4served), the manager (this package) and the remote client
+// (p4verify -remote).
+package service
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"p4assert/internal/core"
+	"p4assert/internal/rules"
+)
+
+// Techniques is the JSON form of the core.Options technique matrix. The
+// rule configuration travels separately (JobRequest.Rules) in the rules
+// text format.
+type Techniques struct {
+	O3                 bool   `json:"o3,omitempty"`
+	Opt                bool   `json:"opt,omitempty"`
+	Slice              bool   `json:"slice,omitempty"`
+	Parallel           int    `json:"parallel,omitempty"`
+	MaxParserLoops     int    `json:"max_parser_loops,omitempty"`
+	MaxPaths           int64  `json:"max_paths,omitempty"`
+	Timeout            string `json:"timeout,omitempty"` // Go duration, e.g. "30s"
+	RegisterCellLimit  int    `json:"register_cell_limit,omitempty"`
+	AutoValidityChecks bool   `json:"auto_validity_checks,omitempty"`
+	CollectTests       bool   `json:"collect_tests,omitempty"`
+}
+
+// CoreOptions converts the wire form into executable pipeline options.
+// rulesText, when non-empty, is parsed in the rules text format.
+func (t Techniques) CoreOptions(rulesText string) (core.Options, error) {
+	opts := core.Options{
+		O3:                 t.O3,
+		Opt:                t.Opt,
+		Slice:              t.Slice,
+		Parallel:           t.Parallel,
+		MaxCallDepth:       t.MaxParserLoops,
+		MaxPaths:           t.MaxPaths,
+		RegisterCellLimit:  t.RegisterCellLimit,
+		AutoValidityChecks: t.AutoValidityChecks,
+		CollectTests:       t.CollectTests,
+	}
+	if t.Timeout != "" {
+		d, err := time.ParseDuration(t.Timeout)
+		if err != nil {
+			return opts, fmt.Errorf("invalid timeout: %w", err)
+		}
+		opts.Timeout = d
+	}
+	if rulesText != "" {
+		rs, err := rules.Parse(rulesText)
+		if err != nil {
+			return opts, fmt.Errorf("invalid rules: %w", err)
+		}
+		opts.Rules = rs
+	}
+	return opts, nil
+}
+
+// Label names the technique combination for the per-technique latency
+// histograms, e.g. "original", "O3+slice" or "opt+parallel".
+func (t Techniques) Label() string {
+	var parts []string
+	if t.O3 {
+		parts = append(parts, "O3")
+	}
+	if t.Opt {
+		parts = append(parts, "opt")
+	}
+	if t.Slice {
+		parts = append(parts, "slice")
+	}
+	if t.Parallel > 0 {
+		parts = append(parts, "parallel")
+	}
+	if len(parts) == 0 {
+		return "original"
+	}
+	return strings.Join(parts, "+")
+}
+
+// JobRequest is the POST /v1/jobs body.
+type JobRequest struct {
+	// Filename appears in diagnostics only; it does not affect the
+	// verification outcome or the cache key.
+	Filename string `json:"filename,omitempty"`
+	// Source is the annotated P4_16 program text.
+	Source string `json:"source"`
+	// Rules optionally carries a forwarding-rule configuration in the
+	// rules text format.
+	Rules string `json:"rules,omitempty"`
+	// Options selects the technique matrix.
+	Options Techniques `json:"options"`
+}
+
+// JobState is the lifecycle state of a job:
+// pending → running → done | failed | cancelled
+// (a pending job cancelled before a worker picks it up goes straight to
+// cancelled).
+type JobState string
+
+// Job lifecycle states.
+const (
+	StatePending   JobState = "pending"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobStatus is the GET /v1/jobs/{id} body.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Error describes a failed job (front-end error, timeout, ...).
+	Error string `json:"error,omitempty"`
+	// CacheHit marks a done job served from the result cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Technique is the histogram label of the job's option combination.
+	Technique string `json:"technique"`
+	// Verdict summarizes a done job: "ok", "violations" or "exhausted".
+	Verdict string `json:"verdict,omitempty"`
+	// Violations is the violated-assertion count of a done job.
+	Violations int `json:"violations,omitempty"`
+	// Timestamps (RFC 3339); zero values are omitted.
+	EnqueuedAt time.Time  `json:"enqueued_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+}
+
+// StatsResponse is the GET /v1/stats body.
+type StatsResponse struct {
+	// QueueDepth is the number of jobs waiting for a worker;
+	// QueueCapacity is the bound beyond which submissions are rejected.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	Workers       int `json:"workers"`
+	// Running is the number of jobs currently executing.
+	Running int64 `json:"running"`
+	// Counters over the process lifetime.
+	Submitted int64 `json:"submitted"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	CacheHits int64 `json:"cache_hits"`
+	// Cache is the result-cache counter snapshot (zero value when the
+	// daemon runs without a cache).
+	Cache CacheStats `json:"cache"`
+	// Techniques maps a technique label to the latency histogram of the
+	// jobs that actually executed under it (cache hits are excluded: they
+	// measure the cache, not the verifier).
+	Techniques map[string]HistogramSnapshot `json:"techniques,omitempty"`
+}
+
+// CacheStats mirrors vcache.Stats on the wire.
+type CacheStats struct {
+	Enabled    bool  `json:"enabled"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	MemHits    int64 `json:"mem_hits"`
+	DiskHits   int64 `json:"disk_hits"`
+	Evictions  int64 `json:"evictions"`
+	Entries    int   `json:"entries"`
+	MaxEntries int   `json:"max_entries"`
+	DiskTier   bool  `json:"disk_tier"`
+}
+
+// errorResponse is the body of every non-2xx API response.
+type errorResponse struct {
+	Error string `json:"error"`
+}

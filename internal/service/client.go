@@ -1,0 +1,181 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"p4assert/internal/core"
+)
+
+// Client talks to a p4served daemon. The zero PollInterval polls every
+// 100ms; the zero HTTP client is http.DefaultClient.
+type Client struct {
+	// Base is the daemon address, e.g. "http://127.0.0.1:9464".
+	Base         string
+	HTTP         *http.Client
+	PollInterval time.Duration
+}
+
+func (c *Client) http_() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// apiError decodes a non-2xx response into an error.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e errorResponse
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http_().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit enqueues a verification job.
+func (c *Client) Submit(ctx context.Context, jr JobRequest) (JobStatus, error) {
+	var st JobStatus
+	body, err := json.Marshal(jr)
+	if err != nil {
+		return st, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs"), bytes.NewReader(body))
+	if err != nil {
+		return st, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http_().Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return st, apiError(resp)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// Status fetches a job's current status.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.getJSON(ctx, "/v1/jobs/"+id, &st)
+	return st, err
+}
+
+// Report fetches a done job's report, both parsed and as the server's
+// exact serialized bytes.
+func (c *Client) Report(ctx context.Context, id string) (*core.Report, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/report"), nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := c.http_().Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, apiError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rep core.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, nil, fmt.Errorf("malformed report: %w", err)
+	}
+	return &rep, data, nil
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.url("/v1/jobs/"+id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http_().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return nil
+}
+
+// Stats fetches the daemon's counters.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var s StatsResponse
+	err := c.getJSON(ctx, "/v1/stats", &s)
+	return s, err
+}
+
+// Wait polls until the job reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// Verify submits a job, waits for it, and fetches the report: the
+// round-trip behind p4verify -remote. A failed or cancelled job returns
+// an error carrying the server's message.
+func (c *Client) Verify(ctx context.Context, jr JobRequest) (*core.Report, JobStatus, error) {
+	st, err := c.Submit(ctx, jr)
+	if err != nil {
+		return nil, st, err
+	}
+	st, err = c.Wait(ctx, st.ID)
+	if err != nil {
+		return nil, st, err
+	}
+	if st.State != StateDone {
+		return nil, st, fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	rep, _, err := c.Report(ctx, st.ID)
+	return rep, st, err
+}

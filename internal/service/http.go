@@ -1,0 +1,102 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// MaxRequestBytes bounds a POST /v1/jobs body (16 MiB — far beyond any
+// real P4 program, small enough to shed abusive payloads).
+const MaxRequestBytes = 16 << 20
+
+// Handler exposes a Manager over the v1 HTTP API:
+//
+//	POST   /v1/jobs             submit a job (202, body: JobStatus)
+//	GET    /v1/jobs/{id}        job status (JobStatus)
+//	GET    /v1/jobs/{id}/report done job's core.Report JSON
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/healthz          liveness probe
+//	GET    /v1/stats            queue/cache/latency counters (StatsResponse)
+func Handler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req JobRequest
+		body := http.MaxBytesReader(w, r.Body, MaxRequestBytes)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+			return
+		}
+		st, err := m.Submit(req)
+		if err != nil {
+			writeError(w, submitStatus(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		data, err := m.Report(r.PathValue("id"))
+		switch {
+		case errors.Is(err, ErrUnknownJob):
+			writeError(w, http.StatusNotFound, err.Error())
+		case errors.Is(err, ErrNotFinished):
+			writeError(w, http.StatusConflict, err.Error())
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			w.Write(data)
+		}
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.Cancel(r.PathValue("id")); err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "cancelling"})
+	})
+
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Stats())
+	})
+
+	return mux
+}
+
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

@@ -1,0 +1,179 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"p4assert/internal/core"
+	"p4assert/internal/progs"
+	"p4assert/internal/vcache"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Client, *Manager) {
+	t.Helper()
+	m := New(cfg)
+	srv := httptest.NewServer(Handler(m))
+	t.Cleanup(func() {
+		srv.Close()
+		m.Shutdown(context.Background())
+	})
+	c := &Client{Base: srv.URL, HTTP: srv.Client(), PollInterval: 2 * time.Millisecond}
+	return srv, c, m
+}
+
+// TestHTTPEndToEnd drives the full daemon surface over real HTTP: submit,
+// poll, report, stats, cache hit on resubmission — the acceptance-criteria
+// flow.
+func TestHTTPEndToEnd(t *testing.T) {
+	cache, err := vcache.New(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, client, _ := newTestServer(t, Config{Workers: 2, Cache: cache})
+	ctx := context.Background()
+
+	p, err := progs.Get("switchlite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := JobRequest{Filename: "switchlite.p4", Source: p.Source, Rules: p.Rules}
+
+	rep, st, err := client.Verify(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHit {
+		t.Fatal("first run reported a cache hit")
+	}
+
+	// Served verdict must equal the in-process one.
+	opts, err := req.Options.CoreOptions(req.Rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := core.VerifySource(req.Filename, req.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.SameVerdictSet(local, rep) {
+		t.Fatalf("verdicts differ: local %s, served %s", local.VerdictDigest(), rep.VerdictDigest())
+	}
+	want, _ := local.ViolationsJSON()
+	got, _ := rep.ViolationsJSON()
+	if !bytes.Equal(want, got) {
+		t.Fatalf("violations differ:\nlocal:  %s\nserved: %s", want, got)
+	}
+
+	// Resubmission: cache hit, byte-identical report bytes.
+	_, firstBytes, err := client.Report(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2, err := client.Verify(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.CacheHit {
+		t.Fatal("resubmission was not served from cache")
+	}
+	_, secondBytes, err := client.Report(ctx, st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(firstBytes, secondBytes) {
+		t.Fatal("cached report bytes differ from live ones")
+	}
+
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 1 || stats.Cache.Hits != 1 || stats.Cache.Misses != 1 {
+		t.Fatalf("stats after hit: %+v", stats)
+	}
+	if stats.Techniques["original"].Count != 1 {
+		t.Fatalf("expected exactly one executed-job latency sample, got %+v", stats.Techniques)
+	}
+}
+
+// TestHTTPErrorStatuses exercises the non-happy-path status codes.
+func TestHTTPErrorStatuses(t *testing.T) {
+	srv, client, m := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	if resp := get("/v1/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+	if resp := get("/v1/jobs/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status: %d", resp.StatusCode)
+	}
+	if resp := get("/v1/jobs/nope/report"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job report: %d", resp.StatusCode)
+	}
+
+	// Malformed body → 400.
+	resp, err := srv.Client().Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: %d", resp.StatusCode)
+	}
+
+	// Validation failure → 400 with a JSON error.
+	resp, err = srv.Client().Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"source":"x","options":{"timeout":"bogus"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad options: %d", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Errorf("bad options response not a JSON error: %v %+v", err, e)
+	}
+
+	// Report of an unfinished job → 409.
+	st, err := client.Submit(ctx, JobRequest{Filename: "slow.p4", Source: slowSource()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := get("/v1/jobs/" + st.ID + "/report"); resp.StatusCode != http.StatusConflict {
+		t.Errorf("unfinished report: %d", resp.StatusCode)
+	}
+
+	// Cancel over HTTP.
+	if err := client.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := client.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateCancelled {
+		t.Errorf("cancelled job state: %s", final.State)
+	}
+
+	// Shutdown → 503 on submit.
+	m.Shutdown(context.Background())
+	if _, err := client.Submit(ctx, JobRequest{Source: "x"}); err == nil ||
+		!strings.Contains(err.Error(), "503") {
+		t.Errorf("post-shutdown submit error = %v, want HTTP 503", err)
+	}
+}

@@ -1,0 +1,446 @@
+// Package service is the verification-as-a-service subsystem: a job
+// manager with a bounded FIFO queue and a worker pool that runs
+// core.Verify jobs with per-job timeout and cancellation, backed by the
+// content-addressed result cache (internal/vcache). cmd/p4served exposes
+// it over HTTP; p4verify -remote is its client.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"p4assert/internal/core"
+	"p4assert/internal/vcache"
+)
+
+// Submission errors.
+var (
+	// ErrQueueFull rejects a submission when the FIFO queue is at
+	// capacity (HTTP 429).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrShuttingDown rejects submissions after Shutdown began (HTTP 503).
+	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrUnknownJob reports a job ID the manager does not know (HTTP 404).
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrNotFinished reports a report request for an unfinished job
+	// (HTTP 409).
+	ErrNotFinished = errors.New("service: job not finished")
+)
+
+// Config sizes a Manager. The zero value is usable: GOMAXPROCS workers, a
+// 256-deep queue, no cache, no per-job timeout.
+type Config struct {
+	// Workers is the worker-pool size; non-positive means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the FIFO queue; non-positive means 256.
+	QueueDepth int
+	// Cache, when non-nil, serves repeat requests content-addressed.
+	Cache *vcache.Cache
+	// JobTimeout, when positive, caps each job's execution wall time via
+	// context cancellation (independent of a Timeout the client sets in
+	// Techniques, which bounds exploration and reports Exhausted).
+	JobTimeout time.Duration
+	// RetainJobs bounds how many finished jobs stay queryable;
+	// non-positive means 4096. The oldest finished jobs are forgotten
+	// first.
+	RetainJobs int
+}
+
+// job is the manager-internal job record. Fields are guarded by
+// Manager.mu except req/opts/key/technique, which are immutable after
+// Submit.
+type job struct {
+	id        string
+	req       JobRequest
+	opts      core.Options
+	key       string
+	technique string
+
+	state      JobState
+	err        string
+	cacheHit   bool
+	reportData []byte // serialized core.Report of a done job
+	verdict    string
+	violations int
+	enqueued   time.Time
+	started    time.Time
+	finished   time.Time
+	cancel     context.CancelFunc // non-nil while running
+}
+
+// Manager owns the queue, the worker pool, the job table and the
+// counters. Create with New, stop with Shutdown.
+type Manager struct {
+	cfg   Config
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // finished-job retention ring, oldest first
+	seq      int64
+	closed   bool
+	running  int64
+	counters struct {
+		submitted, done, failed, cancelled, cacheHits int64
+	}
+
+	histMu sync.Mutex
+	hist   map[string]*Histogram
+}
+
+// New starts a manager and its worker pool.
+func New(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = 4096
+	}
+	m := &Manager{
+		cfg:   cfg,
+		queue: make(chan *job, cfg.QueueDepth),
+		jobs:  map[string]*job{},
+		hist:  map[string]*Histogram{},
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit validates and enqueues a request, returning the pending job's
+// status. Validation failures (bad options, bad rules, empty source)
+// return an error without creating a job.
+func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
+	if req.Source == "" {
+		return JobStatus{}, errors.New("service: empty source")
+	}
+	opts, err := req.Options.CoreOptions(req.Rules)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("service: %w", err)
+	}
+	j := &job{
+		req:       req,
+		opts:      opts,
+		key:       vcache.Key(req.Source, opts),
+		technique: req.Options.Label(),
+		state:     StatePending,
+		enqueued:  time.Now(),
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return JobStatus{}, ErrShuttingDown
+	}
+	m.seq++
+	j.id = fmt.Sprintf("job-%d", m.seq)
+	select {
+	case m.queue <- j:
+	default:
+		return JobStatus{}, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.counters.submitted++
+	return j.statusLocked(), nil
+}
+
+// Get returns a job's status.
+func (m *Manager) Get(id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	return j.statusLocked(), nil
+}
+
+// Report returns a done job's serialized core.Report.
+func (m *Manager) Report(id string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	if j.state != StateDone {
+		if j.state.Terminal() {
+			return nil, fmt.Errorf("%w: job %s %s (%s)", ErrNotFinished, id, j.state, j.err)
+		}
+		return nil, fmt.Errorf("%w: job %s is %s", ErrNotFinished, id, j.state)
+	}
+	return j.reportData, nil
+}
+
+// Cancel stops a job: a pending job is marked cancelled in place (the
+// worker that eventually pops it skips it), a running job has its context
+// cancelled. Cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return ErrUnknownJob
+	}
+	switch j.state {
+	case StatePending:
+		j.state = StateCancelled
+		j.finished = time.Now()
+		m.counters.cancelled++
+		m.retireLocked(j)
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return nil
+}
+
+// Shutdown drains the service: no new submissions are accepted, queued
+// jobs run to completion, and the call returns when every worker has
+// exited. If ctx expires first, all queued and running jobs are cancelled
+// and the drain completes with ctx's error.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	close(m.queue)
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+
+	// Forced drain: cancel everything still alive, then wait for the
+	// workers to observe the cancellations.
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		switch j.state {
+		case StatePending:
+			j.state = StateCancelled
+			j.finished = time.Now()
+			m.counters.cancelled++
+		case StateRunning:
+			if j.cancel != nil {
+				j.cancel()
+			}
+		}
+	}
+	m.mu.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+// Stats snapshots the service counters.
+func (m *Manager) Stats() StatsResponse {
+	m.mu.Lock()
+	s := StatsResponse{
+		QueueDepth:    len(m.queue),
+		QueueCapacity: m.cfg.QueueDepth,
+		Workers:       m.cfg.Workers,
+		Running:       m.running,
+		Submitted:     m.counters.submitted,
+		Done:          m.counters.done,
+		Failed:        m.counters.failed,
+		Cancelled:     m.counters.cancelled,
+		CacheHits:     m.counters.cacheHits,
+	}
+	m.mu.Unlock()
+	if m.cfg.Cache != nil {
+		cs := m.cfg.Cache.Stats()
+		s.Cache = CacheStats{
+			Enabled:    true,
+			Hits:       cs.Hits,
+			Misses:     cs.Misses,
+			MemHits:    cs.MemHits,
+			DiskHits:   cs.DiskHits,
+			Evictions:  cs.Evictions,
+			Entries:    cs.Entries,
+			MaxEntries: cs.MaxEntries,
+			DiskTier:   cs.DiskTier,
+		}
+	}
+	m.histMu.Lock()
+	if len(m.hist) > 0 {
+		s.Techniques = make(map[string]HistogramSnapshot, len(m.hist))
+		for label, h := range m.hist {
+			s.Techniques[label] = h.Snapshot()
+		}
+	}
+	m.histMu.Unlock()
+	return s
+}
+
+// worker pops jobs until the queue closes (Shutdown).
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+// runJob drives one job through its lifecycle.
+func (m *Manager) runJob(j *job) {
+	base := context.Background()
+	ctx, cancel := context.WithCancel(base)
+	if m.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(base, m.cfg.JobTimeout)
+	}
+	defer cancel()
+
+	m.mu.Lock()
+	if j.state != StatePending {
+		// Cancelled while queued.
+		m.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	m.running++
+	m.mu.Unlock()
+
+	// Cache lookup first: a hit finishes the job without touching the
+	// executor (no new metrics, near-zero latency).
+	if m.cfg.Cache != nil {
+		if data, ok := m.cfg.Cache.GetBytes(j.key); ok {
+			m.finish(j, data, true, nil)
+			return
+		}
+	}
+
+	rep, err := core.VerifySourceCtx(ctx, j.req.Filename, j.req.Source, j.opts)
+	if err != nil {
+		m.finish(j, nil, false, err)
+		return
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		m.finish(j, nil, false, err)
+		return
+	}
+	// Exhausted reports depend on how far a budget-bounded run happened
+	// to get; they are not content-determined, so they are not cached.
+	if m.cfg.Cache != nil && !rep.Exhausted {
+		m.cfg.Cache.PutBytes(j.key, data)
+	}
+	m.finish(j, data, false, nil)
+}
+
+// finish moves a running job to its terminal state.
+func (m *Manager) finish(j *job, data []byte, cacheHit bool, err error) {
+	now := time.Now()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running--
+	j.cancel = nil
+	j.finished = now
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.cacheHit = cacheHit
+		j.reportData = data
+		j.verdict, j.violations = summarize(data)
+		m.counters.done++
+		if cacheHit {
+			m.counters.cacheHits++
+		} else {
+			m.observe(j.technique, now.Sub(j.started))
+		}
+	case errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.err = "cancelled"
+		m.counters.cancelled++
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state = StateFailed
+		j.err = fmt.Sprintf("job timeout (%s) exceeded", m.cfg.JobTimeout)
+		m.counters.failed++
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+		m.counters.failed++
+	}
+	m.retireLocked(j)
+}
+
+// retireLocked enters a finished job into the retention ring, forgetting
+// the oldest finished job beyond the bound. Callers hold m.mu.
+func (m *Manager) retireLocked(j *job) {
+	m.order = append(m.order, j.id)
+	for len(m.order) > m.cfg.RetainJobs {
+		delete(m.jobs, m.order[0])
+		m.order = m.order[1:]
+	}
+}
+
+func (m *Manager) observe(label string, d time.Duration) {
+	m.histMu.Lock()
+	h, ok := m.hist[label]
+	if !ok {
+		h = &Histogram{}
+		m.hist[label] = h
+	}
+	m.histMu.Unlock()
+	h.Observe(d)
+}
+
+// summarize extracts the verdict line of a serialized report.
+func summarize(data []byte) (string, int) {
+	var rep core.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return "", 0
+	}
+	switch {
+	case rep.Exhausted:
+		return "exhausted", len(rep.Violations)
+	case len(rep.Violations) > 0:
+		return "violations", len(rep.Violations)
+	default:
+		return "ok", 0
+	}
+}
+
+// statusLocked renders a job's status. Callers hold Manager.mu.
+func (j *job) statusLocked() JobStatus {
+	s := JobStatus{
+		ID:         j.id,
+		State:      j.state,
+		Error:      j.err,
+		CacheHit:   j.cacheHit,
+		Technique:  j.technique,
+		Verdict:    j.verdict,
+		Violations: j.violations,
+		EnqueuedAt: j.enqueued,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.FinishedAt = &t
+	}
+	return s
+}

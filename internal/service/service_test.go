@@ -1,0 +1,471 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"p4assert/internal/core"
+	"p4assert/internal/progs"
+	"p4assert/internal/vcache"
+)
+
+// waitTerminal polls the manager until the job finishes.
+func waitTerminal(t *testing.T, m *Manager, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", id, st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func corpusRequest(t *testing.T, name string) JobRequest {
+	t.Helper()
+	p, err := progs.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return JobRequest{Filename: name + ".p4", Source: p.Source, Rules: p.Rules}
+}
+
+// TestJobLifecycleMatchesInProcess submits a corpus program and checks
+// the served report equals an in-process core.Verify run: same verdict,
+// byte-identical canonical violations.
+func TestJobLifecycleMatchesInProcess(t *testing.T) {
+	m := New(Config{Workers: 2})
+	defer m.Shutdown(context.Background())
+
+	req := corpusRequest(t, "switchlite")
+	st, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StatePending {
+		t.Fatalf("fresh job state = %s, want pending", st.State)
+	}
+	st = waitTerminal(t, m, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("job %s: state %s (%s)", st.ID, st.State, st.Error)
+	}
+	data, err := m.Report(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var served core.Report
+	if err := served.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+
+	opts, err := req.Options.CoreOptions(req.Rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := core.VerifySource(req.Filename, req.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.SameVerdictSet(local, &served) {
+		t.Fatalf("verdicts differ: local %s, served %s", local.VerdictDigest(), served.VerdictDigest())
+	}
+	want, _ := local.ViolationsJSON()
+	got, _ := served.ViolationsJSON()
+	if !bytes.Equal(want, got) {
+		t.Fatalf("violations differ:\nlocal:  %s\nserved: %s", want, got)
+	}
+	if st.Verdict != "violations" || st.Violations != len(served.Violations) {
+		t.Fatalf("status summary %q/%d does not match report (%d violations)",
+			st.Verdict, st.Violations, len(served.Violations))
+	}
+}
+
+// TestCacheHitOnResubmission checks the acceptance criterion: an
+// identical resubmission is served from the cache (hit counter up, no new
+// per-technique latency observation), while changing options or rules
+// misses.
+func TestCacheHitOnResubmission(t *testing.T) {
+	cache, err := vcache.New(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{Workers: 2, Cache: cache})
+	defer m.Shutdown(context.Background())
+
+	req := corpusRequest(t, "vss")
+	first, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first = waitTerminal(t, m, first.ID)
+	if first.State != StateDone || first.CacheHit {
+		t.Fatalf("first run: state %s cacheHit %v", first.State, first.CacheHit)
+	}
+	firstReport, err := m.Report(first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats1 := m.Stats()
+	if stats1.CacheHits != 0 || stats1.Cache.Misses != 1 {
+		t.Fatalf("after first run: %+v", stats1)
+	}
+	execObs := stats1.Techniques["original"].Count
+
+	second, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second = waitTerminal(t, m, second.ID)
+	if second.State != StateDone || !second.CacheHit {
+		t.Fatalf("resubmission: state %s cacheHit %v (%s)", second.State, second.CacheHit, second.Error)
+	}
+	secondReport, err := m.Report(second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(firstReport, secondReport) {
+		t.Fatal("cached report is not byte-identical to the live one")
+	}
+	stats2 := m.Stats()
+	if stats2.CacheHits != 1 || stats2.Cache.Hits != 1 {
+		t.Fatalf("hit counters after resubmission: %+v", stats2)
+	}
+	if got := stats2.Techniques["original"].Count; got != execObs {
+		t.Fatalf("cache hit produced a new executor latency observation (%d -> %d)", execObs, got)
+	}
+
+	// A changed technique matrix must miss ...
+	reqO3 := req
+	reqO3.Options.O3 = true
+	third, err := m.Submit(reqO3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third = waitTerminal(t, m, third.ID); third.CacheHit {
+		t.Fatal("changed options were served from cache")
+	}
+	// ... and so must a changed rule set.
+	reqRules := req
+	reqRules.Rules = "fwd set_out 0x1 => 2\n"
+	fourth, err := m.Submit(reqRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fourth = waitTerminal(t, m, fourth.ID); fourth.CacheHit {
+		t.Fatal("changed rules were served from cache")
+	}
+}
+
+// TestSubmitValidation rejects malformed requests without creating jobs.
+func TestSubmitValidation(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Shutdown(context.Background())
+	if _, err := m.Submit(JobRequest{}); err == nil {
+		t.Error("empty source accepted")
+	}
+	if _, err := m.Submit(JobRequest{Source: "x", Options: Techniques{Timeout: "bogus"}}); err == nil {
+		t.Error("bad timeout accepted")
+	}
+	if _, err := m.Submit(JobRequest{Source: "x", Rules: "one-token-only"}); err == nil {
+		t.Error("bad rules accepted")
+	}
+	if s := m.Stats(); s.Submitted != 0 {
+		t.Errorf("validation failures counted as submissions: %+v", s)
+	}
+}
+
+// TestFrontEndFailure marks a job failed when the program does not parse.
+func TestFrontEndFailure(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Shutdown(context.Background())
+	st, err := m.Submit(JobRequest{Filename: "bad.p4", Source: "not a p4 program"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitTerminal(t, m, st.ID)
+	if st.State != StateFailed || st.Error == "" {
+		t.Fatalf("state %s, error %q", st.State, st.Error)
+	}
+	if _, err := m.Report(st.ID); err == nil {
+		t.Error("report served for a failed job")
+	}
+}
+
+// slowSource is a fuzzgen-free path-explosion program: 16 independent
+// symbolic branches ≈ 65k paths, slow enough to observe cancellation.
+func slowSource() string {
+	var b strings.Builder
+	b.WriteString("header h_t {")
+	for i := 0; i < 16; i++ {
+		fmt.Fprintf(&b, " bit<8> f%d;", i)
+	}
+	b.WriteString(" }\nstruct headers_t { h_t h; }\nstruct metadata_t { bit<8> m; }\n")
+	b.WriteString(`parser P(packet_in pkt, out headers_t hdr, inout metadata_t meta,
+         inout standard_metadata_t standard_metadata) {
+    state start { pkt.extract(hdr.h); transition accept; }
+}
+control I(inout headers_t hdr, inout metadata_t meta,
+          inout standard_metadata_t standard_metadata) {
+    apply {
+`)
+	for i := 0; i < 16; i++ {
+		fmt.Fprintf(&b, "        if (hdr.h.f%d > 7) { meta.m = meta.m + 1; }\n", i)
+	}
+	b.WriteString(`        @assert("meta.m != 255");
+    }
+}
+control D(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.h); } }
+V1Switch(P, I, D) main;
+`)
+	return b.String()
+}
+
+// TestCancelRunningJob cancels mid-execution and expects the cancelled
+// state, promptly.
+func TestCancelRunningJob(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Shutdown(context.Background())
+	st, err := m.Submit(JobRequest{Filename: "slow.p4", Source: slowSource()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until it is actually running, then cancel.
+	for {
+		cur, err := m.Get(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == StateRunning {
+			break
+		}
+		if cur.State.Terminal() {
+			t.Fatalf("job finished (%s) before it could be cancelled; make slowSource slower", cur.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	st = waitTerminal(t, m, st.ID)
+	if st.State != StateCancelled {
+		t.Fatalf("state %s, want cancelled", st.State)
+	}
+}
+
+// TestCancelPendingJob cancels a job stuck behind a long one; it must
+// never run.
+func TestCancelPendingJob(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Shutdown(context.Background())
+	blocker, err := m.Submit(JobRequest{Filename: "slow.p4", Source: slowSource()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(corpusRequest(t, "vss"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Get(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCancelled {
+		t.Fatalf("pending job state %s, want cancelled", st.State)
+	}
+	if st.StartedAt != nil {
+		t.Error("cancelled pending job has a start time")
+	}
+	m.Cancel(blocker.ID)
+}
+
+// TestJobTimeout fails a job that exceeds the per-job wall-time cap.
+func TestJobTimeout(t *testing.T) {
+	m := New(Config{Workers: 1, JobTimeout: 50 * time.Millisecond})
+	defer m.Shutdown(context.Background())
+	st, err := m.Submit(JobRequest{Filename: "slow.p4", Source: slowSource()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitTerminal(t, m, st.ID)
+	if st.State != StateFailed || !strings.Contains(st.Error, "timeout") {
+		t.Fatalf("state %s error %q, want failed with timeout", st.State, st.Error)
+	}
+}
+
+// TestQueueFull rejects submissions beyond the queue bound.
+func TestQueueFull(t *testing.T) {
+	m := New(Config{Workers: 1, QueueDepth: 2})
+	defer m.Shutdown(context.Background())
+	// One long job occupies the worker ...
+	blocker, err := m.Submit(JobRequest{Filename: "slow.p4", Source: slowSource()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		st, err := m.Get(blocker.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateRunning {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ... and two more fill the queue.
+	ids := []string{blocker.ID}
+	for i := 0; i < 2; i++ {
+		st, err := m.Submit(JobRequest{Filename: "slow.p4", Source: slowSource()})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, st.ID)
+	}
+	if _, err := m.Submit(corpusRequest(t, "vss")); err != ErrQueueFull {
+		t.Fatalf("4th submit error = %v, want ErrQueueFull", err)
+	}
+	for _, id := range ids {
+		m.Cancel(id)
+	}
+}
+
+// TestGracefulDrain checks Shutdown runs queued jobs to completion and
+// that later submissions are refused.
+func TestGracefulDrain(t *testing.T) {
+	cache, _ := vcache.New(16, "")
+	m := New(Config{Workers: 1, Cache: cache})
+	var ids []string
+	for _, name := range []string{"vss", "ts_switching"} {
+		st, err := m.Submit(corpusRequest(t, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		st, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("job %s not drained: %s (%s)", id, st.State, st.Error)
+		}
+	}
+	if _, err := m.Submit(corpusRequest(t, "vss")); err != ErrShuttingDown {
+		t.Fatalf("post-shutdown submit error = %v, want ErrShuttingDown", err)
+	}
+	// Idempotent.
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForcedDrain checks an expired shutdown context cancels what is
+// still alive instead of hanging.
+func TestForcedDrain(t *testing.T) {
+	m := New(Config{Workers: 1})
+	var ids []string
+	for i := 0; i < 2; i++ {
+		st, err := m.Submit(JobRequest{Filename: "slow.p4", Source: slowSource()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown = %v, want DeadlineExceeded", err)
+	}
+	for _, id := range ids {
+		st, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateCancelled {
+			t.Fatalf("job %s state %s, want cancelled", id, st.State)
+		}
+	}
+}
+
+// TestConcurrentSubmissionStress is the -race hot-spot test: many
+// goroutines submit, poll, cancel and read stats against a small worker
+// pool with a shared cache.
+func TestConcurrentSubmissionStress(t *testing.T) {
+	cache, err := vcache.New(32, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{Workers: 4, QueueDepth: 512, Cache: cache})
+	defer m.Shutdown(context.Background())
+
+	names := progs.Names()
+	var wg sync.WaitGroup
+	errs := make(chan error, 256)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				name := names[(g*12+i)%len(names)]
+				st, err := m.Submit(corpusRequest(t, name))
+				if err == ErrQueueFull {
+					continue
+				}
+				if err != nil {
+					errs <- fmt.Errorf("submit %s: %w", name, err)
+					return
+				}
+				if i%5 == g%5 {
+					m.Cancel(st.ID)
+				}
+				m.Stats()
+				for {
+					cur, err := m.Get(st.ID)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if cur.State.Terminal() {
+						if cur.State == StateFailed {
+							errs <- fmt.Errorf("%s failed: %s", name, cur.Error)
+						}
+						break
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	s := m.Stats()
+	if s.Submitted == 0 || s.Done == 0 {
+		t.Fatalf("stress ran nothing: %+v", s)
+	}
+	if s.Cache.Hits == 0 {
+		t.Error("stress produced no cache hits despite repeat submissions")
+	}
+	t.Logf("stress: %d submitted, %d done, %d cancelled, %d cache hits",
+		s.Submitted, s.Done, s.Cancelled, s.CacheHits)
+}

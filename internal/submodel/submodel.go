@@ -7,6 +7,7 @@
 package submodel
 
 import (
+	"fmt"
 	"sync"
 
 	"p4assert/internal/model"
@@ -56,7 +57,19 @@ func expand(p *model.Program, sp *splitPoint) [][]model.Stmt {
 	stmt := p.Funcs[sp.fn].Body[sp.idx]
 	switch st := stmt.(type) {
 	case *model.Fork:
-		return st.Branches
+		// Each branch body is prefixed with the trace entry the Fork would
+		// have recorded, so counterexample traces from submodel runs are
+		// byte-identical to the sequential executor's.
+		out := make([][]model.Stmt, len(st.Branches))
+		for i, br := range st.Branches {
+			label := ""
+			if i < len(st.Labels) {
+				label = st.Labels[i]
+			}
+			note := &model.TraceNote{Label: fmt.Sprintf("%s=%s", st.Selector, label)}
+			out[i] = append([]model.Stmt{note}, br...)
+		}
+		return out
 	case *model.If:
 		// Flatten an if-else cascade: one submodel per arm plus the final
 		// default ("each action in a table is traversed using a different

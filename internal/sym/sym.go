@@ -13,6 +13,7 @@
 package sym
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -25,6 +26,10 @@ import (
 
 // Options configures an execution.
 type Options struct {
+	// Ctx, when non-nil, cancels exploration early: Execute returns
+	// Ctx.Err() as soon as cancellation is observed (checked at the same
+	// cadence as Deadline). A nil Ctx means no cancellation.
+	Ctx context.Context
 	// MaxCallDepth bounds recursive function activation (parser loops such
 	// as MRI's). Paths exceeding it terminate with BoundExceeded.
 	// 0 means the default of 8.
@@ -285,6 +290,11 @@ func Execute(p *model.Program, opts Options) (*Result, error) {
 			exhausted = true
 			break
 		}
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		st := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		forks, err := ex.run(st)
@@ -528,6 +538,9 @@ func (ex *executor) run(st *state) ([]*state, error) {
 			st.frames = st.frames[:0]
 			st.depth = map[string]int{}
 			st.halted = true
+
+		case *model.TraceNote:
+			st.trace = append(st.trace, s.Label)
 
 		default:
 			return nil, fmt.Errorf("sym: unknown statement %T", stmt)

@@ -1,0 +1,258 @@
+// Package vcache is the content-addressed verification-result cache of the
+// service subsystem. Most verification requests differ only in forwarding
+// rules or pipeline options while the program text is unchanged, so a
+// repeat request is a hash lookup instead of a symbolic-execution run.
+//
+// Keys are SHA-256 digests over the canonicalized program source, the
+// canonically rendered rule set, and every field of the core.Options
+// technique matrix (walked by reflection, so a newly added Options field
+// can never silently alias two distinct configurations). Values are
+// JSON-serialized core.Reports — the wire format is canonical (sorted
+// violations, deterministic counterexamples), so a cache-replayed report
+// compares byte-equal to a live one.
+//
+// The cache has two tiers: a bounded in-memory LRU holding serialized
+// reports, and an optional on-disk tier (one file per key) that survives
+// process restarts. Disk reads promote entries back into memory.
+package vcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+
+	"p4assert/internal/core"
+	"p4assert/internal/rules"
+)
+
+// DefaultMaxEntries bounds the in-memory tier when New is given a
+// non-positive capacity.
+const DefaultMaxEntries = 512
+
+// Key derives the content address of a verification request: program
+// source (canonicalized), rule configuration (canonically rendered), and
+// the full options matrix. The program's file name is deliberately not
+// part of the key — it appears only in diagnostics and does not affect
+// the verification outcome.
+func Key(source string, opts core.Options) string {
+	h := sha256.New()
+	io.WriteString(h, "p4assert-vcache-v1\x00")
+	io.WriteString(h, CanonicalizeSource(source))
+	io.WriteString(h, "\x00")
+
+	// Walk every Options field by reflection so a field added to the
+	// technique matrix is automatically part of the key. Rules (a pointer
+	// to an unordered set) is the one field needing a canonical rendering.
+	v := reflect.ValueOf(opts)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.Name == "Rules" {
+			fmt.Fprintf(h, "Rules=%s\x00", canonicalRules(opts.Rules))
+			continue
+		}
+		fmt.Fprintf(h, "%s=%v\x00", f.Name, v.Field(i).Interface())
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CanonicalizeSource normalizes program text so formatting-only variants
+// share a cache entry: CRLF becomes LF, trailing whitespace is stripped
+// per line, and the text ends with exactly one newline.
+func CanonicalizeSource(source string) string {
+	source = strings.ReplaceAll(source, "\r\n", "\n")
+	lines := strings.Split(source, "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimRight(l, " \t")
+	}
+	return strings.TrimRight(strings.Join(lines, "\n"), "\n") + "\n"
+}
+
+func canonicalRules(rs *rules.RuleSet) string {
+	if rs == nil {
+		return ""
+	}
+	return rules.Render(rs)
+}
+
+// Stats counts cache activity. Hits = MemHits + DiskHits.
+type Stats struct {
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	MemHits    int64 `json:"mem_hits"`
+	DiskHits   int64 `json:"disk_hits"`
+	Evictions  int64 `json:"evictions"`
+	Entries    int   `json:"entries"`
+	MaxEntries int   `json:"max_entries"`
+	DiskTier   bool  `json:"disk_tier"`
+}
+
+type entry struct {
+	key  string
+	data []byte
+}
+
+// Cache is a two-tier content-addressed report cache. It is safe for
+// concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List               // front = most recent
+	byKey map[string]*list.Element // -> *entry
+	dir   string                   // "" = no disk tier
+	stats Stats
+}
+
+// New returns a cache bounded to maxEntries in memory (non-positive means
+// DefaultMaxEntries). A non-empty dir enables the disk tier; the directory
+// is created if missing.
+func New(maxEntries int, dir string) (*Cache, error) {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("vcache: %w", err)
+		}
+	}
+	return &Cache{
+		max:   maxEntries,
+		ll:    list.New(),
+		byKey: map[string]*list.Element{},
+		dir:   dir,
+	}, nil
+}
+
+// GetBytes returns the serialized report for key, consulting memory first
+// and then the disk tier (promoting on a disk hit). The returned slice
+// must not be modified.
+func (c *Cache) GetBytes(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		c.stats.MemHits++
+		return el.Value.(*entry).data, true
+	}
+	if c.dir != "" {
+		if data, err := os.ReadFile(c.path(key)); err == nil {
+			c.insert(key, data)
+			c.stats.Hits++
+			c.stats.DiskHits++
+			return data, true
+		}
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// Get returns the cached report for key, or (nil, false).
+func (c *Cache) Get(key string) (*core.Report, bool) {
+	data, ok := c.GetBytes(key)
+	if !ok {
+		return nil, false
+	}
+	var rep core.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		// A corrupt entry (e.g. a truncated disk file) reads as a miss.
+		c.mu.Lock()
+		c.evictKey(key)
+		c.stats.Hits--
+		c.stats.Misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	return &rep, true
+}
+
+// PutBytes stores a serialized report under key in both tiers.
+func (c *Cache) PutBytes(key string, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insert(key, data)
+	if c.dir == "" {
+		return nil
+	}
+	// Atomic write: the disk tier must never expose a half-written report
+	// to a concurrent reader or a restarted process.
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("vcache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("vcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("vcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("vcache: %w", err)
+	}
+	return nil
+}
+
+// Put serializes and stores a report under key.
+func (c *Cache) Put(key string, rep *core.Report) error {
+	data, err := json.Marshal(rep)
+	if err != nil {
+		return fmt.Errorf("vcache: %w", err)
+	}
+	return c.PutBytes(key, data)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	s.MaxEntries = c.max
+	s.DiskTier = c.dir != ""
+	return s
+}
+
+// insert adds or refreshes a memory-tier entry, evicting from the LRU
+// tail. Callers hold c.mu.
+func (c *Cache) insert(key string, data []byte) {
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*entry).data = data
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&entry{key: key, data: data})
+	for c.ll.Len() > c.max {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.byKey, tail.Value.(*entry).key)
+		c.stats.Evictions++
+	}
+}
+
+// evictKey drops a key from the memory tier and the disk tier. Callers
+// hold c.mu.
+func (c *Cache) evictKey(key string) {
+	if el, ok := c.byKey[key]; ok {
+		c.ll.Remove(el)
+		delete(c.byKey, key)
+	}
+	if c.dir != "" {
+		os.Remove(c.path(key))
+	}
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

@@ -1,0 +1,287 @@
+package vcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"p4assert/internal/core"
+	"p4assert/internal/progs"
+	"p4assert/internal/rules"
+)
+
+const sampleRules = `
+ipv4_lpm  set_nhop  0x0a000000/8 => 3 0x112233445566
+acl       deny      0x0adead01
+`
+
+// flipField returns a copy of opts with field i set to a non-zero value.
+// It fails the test for field kinds it does not know how to flip, so a
+// new Options field of an exotic type cannot silently escape key coverage.
+func flipField(t *testing.T, opts core.Options, i int) core.Options {
+	t.Helper()
+	v := reflect.ValueOf(&opts).Elem()
+	f := v.Field(i)
+	name := v.Type().Field(i).Name
+	switch f.Kind() {
+	case reflect.Bool:
+		f.SetBool(true)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		f.SetInt(7)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		f.SetUint(7)
+	case reflect.String:
+		f.SetString("x")
+	case reflect.Ptr:
+		if name != "Rules" {
+			t.Fatalf("core.Options field %s: pointer field the key test cannot flip; extend flipField and Key", name)
+		}
+		rs, err := rules.Parse(sampleRules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Set(reflect.ValueOf(rs))
+	default:
+		t.Fatalf("core.Options field %s has kind %s; extend flipField (and check Key covers it)", name, f.Kind())
+	}
+	return opts
+}
+
+// TestKeySensitivity flips every core.Options field in turn and checks
+// that each flip — and any rules change — produces a distinct cache key.
+// The walk is reflection-driven: adding a field to core.Options extends
+// this test automatically.
+func TestKeySensitivity(t *testing.T) {
+	const src = "control I() { apply {} }\n"
+	base := core.Options{}
+	keys := map[string]string{"<baseline>": Key(src, base)}
+
+	n := reflect.TypeOf(base).NumField()
+	for i := 0; i < n; i++ {
+		name := reflect.TypeOf(base).Field(i).Name
+		k := Key(src, flipField(t, base, i))
+		for prev, pk := range keys {
+			if pk == k {
+				t.Errorf("flipping %s collides with %s", name, prev)
+			}
+		}
+		keys[name] = k
+	}
+
+	// Distinct rule sets must key differently even with identical options.
+	rs1, err := rules.Parse(sampleRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := rules.Parse("ipv4_lpm set_nhop 0x0a000000/8 => 4 0x112233445566")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := Key(src, core.Options{Rules: rs1})
+	k2 := Key(src, core.Options{Rules: rs2})
+	if k1 == k2 {
+		t.Error("different rule sets share a key")
+	}
+
+	// And a source change must too.
+	if Key(src, base) == Key(src+"// changed\n", base) {
+		t.Error("different sources share a key")
+	}
+}
+
+// TestKeyCanonicalization checks that formatting-only source variants and
+// rule-text reorderings share a key.
+func TestKeyCanonicalization(t *testing.T) {
+	opts := core.Options{}
+	a := Key("control I() { apply {} }\n", opts)
+	b := Key("control I() { apply {} }   \r\n\n\n", opts)
+	if a != b {
+		t.Error("trailing-whitespace/CRLF variant changed the key")
+	}
+
+	// rules.Render sorts by table, so line order within the text must not
+	// affect the key.
+	rs1, err := rules.Parse("t1 a 1\nt2 b 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := rules.Parse("t2 b 2\nt1 a 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Key("x", core.Options{Rules: rs1}) != Key("x", core.Options{Rules: rs2}) {
+		t.Error("rule line order changed the key")
+	}
+}
+
+func verifiedReport(t *testing.T) *core.Report {
+	t.Helper()
+	p, err := progs.Get("vss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.VerifySource("vss.p4", p.Source, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestRoundTrip checks that a report read back from the cache serializes
+// byte-identically to the live one.
+func TestRoundTrip(t *testing.T) {
+	c, err := New(4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := verifiedReport(t)
+	if err := c.Put("k", rep); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("k")
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	want, _ := rep.ViolationsJSON()
+	have, _ := got.ViolationsJSON()
+	if string(want) != string(have) {
+		t.Fatalf("cached violations differ:\n%s\nvs\n%s", want, have)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.MemHits != 1 || s.Misses != 0 {
+		t.Fatalf("unexpected stats after one hit: %+v", s)
+	}
+}
+
+// TestLRUEviction fills the memory tier past capacity and checks
+// least-recently-used entries fall out first.
+func TestLRUEviction(t *testing.T) {
+	c, err := New(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.PutBytes(fmt.Sprintf("k%d", i), []byte("{}")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.GetBytes("k0"); ok {
+		t.Error("k0 should have been evicted")
+	}
+	if _, ok := c.GetBytes("k2"); !ok {
+		t.Error("k2 should be resident")
+	}
+	// Touch k1 so k2 becomes the LRU victim of the next insert.
+	if _, ok := c.GetBytes("k1"); !ok {
+		t.Error("k1 should be resident")
+	}
+	if err := c.PutBytes("k3", []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetBytes("k2"); ok {
+		t.Error("k2 should have been evicted after k1 was touched")
+	}
+	s := c.Stats()
+	if s.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", s.Evictions)
+	}
+	if s.Entries != 2 {
+		t.Errorf("entries = %d, want 2", s.Entries)
+	}
+}
+
+// TestDiskTierRestartSurvival writes through a disk-backed cache, then
+// opens a fresh cache over the same directory and expects a disk hit that
+// yields the identical report.
+func TestDiskTierRestartSurvival(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := verifiedReport(t)
+	if err := c1.Put("k", rep); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a brand-new cache instance with a cold memory tier.
+	c2, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get("k")
+	if !ok {
+		t.Fatal("disk tier did not survive restart")
+	}
+	s := c2.Stats()
+	if s.DiskHits != 1 {
+		t.Errorf("disk hits = %d, want 1", s.DiskHits)
+	}
+	want, _ := rep.ViolationsJSON()
+	have, _ := got.ViolationsJSON()
+	if string(want) != string(have) {
+		t.Fatal("restart-survived report differs")
+	}
+
+	// The disk hit promoted the entry; a second read is a memory hit.
+	if _, ok := c2.GetBytes("k"); !ok {
+		t.Fatal("promotion lost the entry")
+	}
+	if s := c2.Stats(); s.MemHits != 1 {
+		t.Errorf("mem hits after promotion = %d, want 1", s.MemHits)
+	}
+}
+
+// TestCorruptDiskEntry checks that a truncated disk file reads as a miss
+// and is removed.
+func TestCorruptDiskEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{trunc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("bad"); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bad.json")); !os.IsNotExist(err) {
+		t.Error("corrupt entry not removed")
+	}
+}
+
+// TestConcurrentAccess hammers one cache from many goroutines under -race.
+func TestConcurrentAccess(t *testing.T) {
+	c, err := New(8, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%16)
+				if i%3 == 0 {
+					c.PutBytes(key, []byte("{}"))
+				} else {
+					c.GetBytes(key)
+				}
+				if i%50 == 0 {
+					c.Stats()
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("timeout")
+		}
+	}
+}
