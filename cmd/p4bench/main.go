@@ -6,6 +6,9 @@
 //	-exp table2          Table 2 per-program technique gains
 //	-exp combined        §5.5 combined techniques on Dapper
 //	-exp bugs            §5.1 bug-finding runs
+//	-exp incremental     edit one action of the largest corpus program and
+//	                     measure incremental vs cold re-verification
+//	                     (writes BENCH_incremental.json)
 //	-exp all             everything above
 //
 // Absolute numbers differ from the paper's (different machine, engine and
@@ -14,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,16 +28,20 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig9a-d, fig10a-d, table1, table2, combined, bugs, all)")
+		exp     = flag.String("exp", "all", "experiment id (fig9a-d, fig10a-d, table1, table2, combined, bugs, incremental, all)")
 		full    = flag.Bool("full", false, "use the paper's full parameter ranges (slow)")
-		repeats = flag.Int("repeats", 3, "repetitions for wall-clock rows (table2/combined)")
+		repeats = flag.Int("repeats", 3, "repetitions for wall-clock rows (table2/combined/incremental)")
+		smoke   = flag.Bool("smoke", false, "CI smoke mode: single repetition, still enforcing result invariants")
 	)
 	flag.Parse()
+	if *smoke {
+		*repeats = 1
+	}
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = []string{"bugs", "table1", "fig9a", "fig9b", "fig9c", "fig9d",
-			"fig10a", "fig10b", "fig10c", "fig10d", "table2", "combined"}
+			"fig10a", "fig10b", "fig10c", "fig10d", "table2", "combined", "incremental"}
 	}
 	for _, id := range ids {
 		if err := run(strings.TrimSpace(id), *full, *repeats); err != nil {
@@ -122,6 +130,32 @@ func run(id string, full bool, repeats int) error {
 			}
 		}
 		fmt.Println()
+		return nil
+
+	case id == "incremental":
+		res, err := bench.Incremental(repeats, nil)
+		if err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile("BENCH_incremental.json", append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("Incremental re-verification (%s, %d lines; edit %s):\n",
+			res.Program, res.ProgramLines, res.EditedUnit)
+		for _, r := range res.Runs {
+			fmt.Printf("  workers=%d  cold %.3fs  incremental %.3fs  speedup %.1fx\n",
+				r.Workers, r.ColdSeconds, r.IncrementalSeconds, r.Speedup)
+		}
+		fmt.Printf("  %d/%d submodel verdicts reused; byte-identical report: %v\n",
+			res.Reused, res.Submodels, res.ByteIdentical)
+		fmt.Printf("  wrote BENCH_incremental.json\n\n")
+		if !res.ByteIdentical {
+			return fmt.Errorf("incremental report diverged from the cold run")
+		}
 		return nil
 
 	case id == "table1":

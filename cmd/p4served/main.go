@@ -44,7 +44,8 @@ func main() {
 		queueDepth   = flag.Int("queue", 256, "job queue depth; submissions beyond it are rejected")
 		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "per-job wall-time cap (0 = none)")
 		cacheSize    = flag.Int("cache-entries", vcache.DefaultMaxEntries, "in-memory result-cache entries (0 = disable cache)")
-		cacheDir     = flag.String("cache-dir", "", "directory for the persistent cache tier (empty = memory only)")
+		cacheDir     = flag.String("cache-dir", "", "directory for the persistent cache tiers (empty = memory only)")
+		subCacheSize = flag.Int("subcache-entries", vcache.SubmodelDefaultMaxEntries, "in-memory submodel-cache entries for incremental re-verification (0 = disable)")
 		retainJobs   = flag.Int("retain-jobs", 4096, "finished jobs kept queryable")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for queued jobs on shutdown before cancelling them")
 	)
@@ -66,10 +67,19 @@ func main() {
 			log.Fatalf("p4served: %v", err)
 		}
 	}
+	var subCache *vcache.Cache
+	if *subCacheSize > 0 {
+		var err error
+		subCache, err = vcache.NewSubmodelTier(*subCacheSize, *cacheDir)
+		if err != nil {
+			log.Fatalf("p4served: %v", err)
+		}
+	}
 	mgr := service.New(service.Config{
 		Workers:    *workers,
 		QueueDepth: *queueDepth,
 		Cache:      cache,
+		SubCache:   subCache,
 		JobTimeout: *jobTimeout,
 		RetainJobs: *retainJobs,
 	})

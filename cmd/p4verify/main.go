@@ -13,7 +13,12 @@
 //
 // -json emits the machine-readable core.Report (the serialization shared
 // with the verification service). -remote ADDR offloads the job to a
-// p4served daemon instead of verifying in-process.
+// p4served daemon instead of verifying in-process. -watch re-verifies on
+// every save through the incremental engine (internal/incr) — only the
+// submodels an edit can affect re-execute — and prints the delta: changed
+// units, the submodel reuse ratio, and violations that appeared or
+// disappeared (with -json, one NDJSON record per rebuild including the
+// submodel-cache counters).
 //
 // Exit status: 0 when every assertion holds, 1 on violations, 2 on usage
 // or front-end errors.
@@ -48,6 +53,8 @@ func main() {
 		dumpModel = flag.Bool("dump-model", false, "print the translated verification model (pseudo-C) and exit")
 		jsonOut   = flag.Bool("json", false, "emit the machine-readable report (core.Report JSON) instead of text")
 		remote    = flag.String("remote", "", "offload to a p4served daemon at this address (e.g. http://127.0.0.1:9464)")
+		watch     = flag.Bool("watch", false, "re-verify incrementally on every save, printing only the delta")
+		watchIvl  = flag.Duration("watch-interval", 200*time.Millisecond, "poll interval for -watch")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: p4verify [flags] program.p4\n\n")
@@ -83,6 +90,15 @@ func main() {
 			os.Exit(2)
 		}
 		opts.Rules = rs
+	}
+
+	if *watch {
+		if *remote != "" || *dumpModel || *genTests {
+			fmt.Fprintln(os.Stderr, "p4verify: -watch is local-only and excludes -remote, -dump-model and -gen-tests")
+			os.Exit(2)
+		}
+		runWatch(flag.Arg(0), rulesText, coreTechniques(opts), *jsonOut, *watchIvl)
+		return
 	}
 
 	if *remote != "" || *jsonOut {

@@ -1,0 +1,204 @@
+package main
+
+// -watch: the edit-verify loop as a mode. The file is polled for changes;
+// every save re-verifies incrementally against an in-memory submodel cache
+// (internal/incr via core.VerifyIncrementalSource), so only the submodels
+// the edit can affect re-execute. Output after the first run is
+// delta-oriented: the changed units, the reuse ratio, and the violations
+// that appeared or disappeared relative to the previous verdict.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"time"
+
+	"p4assert/internal/core"
+	"p4assert/internal/incr"
+	"p4assert/internal/service"
+	"p4assert/internal/sym"
+	"p4assert/internal/vcache"
+)
+
+// watchEvent is one -watch -json output record (NDJSON, one per rebuild).
+type watchEvent struct {
+	Seq      int            `json:"seq"`
+	Report   *core.Report   `json:"report"`
+	Manifest *incr.Manifest `json:"manifest"`
+	// SubmodelCache snapshots the in-memory verdict tier after the run:
+	// the hit/miss/eviction counters of the session.
+	SubmodelCache vcache.Stats `json:"submodel_cache"`
+	// NewViolations and Resolved list assertion IDs that changed verdict
+	// relative to the previous rebuild.
+	NewViolations []int `json:"new_violations,omitempty"`
+	Resolved      []int `json:"resolved,omitempty"`
+}
+
+// runWatch polls file and re-verifies on every content change until
+// interrupted. Exit status: 0 on interrupt, 2 on option errors or a
+// failed first read.
+func runWatch(file, rulesText string, tech service.Techniques, jsonOut bool, interval time.Duration) {
+	opts, err := tech.CoreOptions(rulesText)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4verify:", err)
+		os.Exit(2)
+	}
+	store, err := vcache.NewSubmodelTier(0, "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4verify:", err)
+		os.Exit(2)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+
+	var (
+		prevSource string // last successfully verified version
+		prevRep    *core.Report
+		lastStamp  string // mtime+size of the last attempted version
+		seq        int
+	)
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+
+	for first := true; ; first = false {
+		if !first {
+			select {
+			case <-sig:
+				return
+			case <-tick.C:
+			}
+		}
+		st, err := os.Stat(file)
+		if err != nil {
+			if first {
+				fmt.Fprintln(os.Stderr, "p4verify:", err)
+				os.Exit(2)
+			}
+			continue // transient: editors replace files non-atomically
+		}
+		stamp := fmt.Sprintf("%d/%d", st.ModTime().UnixNano(), st.Size())
+		if stamp == lastStamp {
+			continue
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			continue
+		}
+		lastStamp = stamp
+		source := string(data)
+		if source == prevSource {
+			continue
+		}
+
+		start := time.Now()
+		rep, man, err := core.VerifyIncrementalSource(context.Background(), file, prevSource, source, opts, store)
+		if err != nil {
+			// A half-saved or broken program keeps the previous verdict:
+			// report the front-end error and wait for the next save.
+			fmt.Fprintf(os.Stderr, "p4verify: %v (watching)\n", err)
+			continue
+		}
+		seq++
+		added, resolved := violationDelta(prevRep, rep)
+
+		if jsonOut {
+			ev := watchEvent{
+				Seq:           seq,
+				Report:        rep,
+				Manifest:      man,
+				SubmodelCache: store.Stats(),
+				NewViolations: added,
+				Resolved:      resolved,
+			}
+			out, err := json.Marshal(ev)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "p4verify:", err)
+				os.Exit(2)
+			}
+			fmt.Println(string(out))
+		} else {
+			printWatchDelta(seq, rep, man, prevRep, added, resolved, time.Since(start))
+		}
+		prevSource, prevRep = source, rep
+	}
+}
+
+// violationDelta diffs two reports' violated-assertion ID sets.
+func violationDelta(prev, next *core.Report) (added, resolved []int) {
+	prevIDs := map[int]bool{}
+	if prev != nil {
+		for _, v := range prev.Violations {
+			prevIDs[v.AssertID] = true
+		}
+	}
+	nextIDs := map[int]bool{}
+	for _, v := range next.Violations {
+		nextIDs[v.AssertID] = true
+		if !prevIDs[v.AssertID] {
+			added = append(added, v.AssertID)
+		}
+	}
+	for id := range prevIDs {
+		if !nextIDs[id] {
+			resolved = append(resolved, id)
+		}
+	}
+	sort.Ints(added)
+	sort.Ints(resolved)
+	return added, resolved
+}
+
+// printWatchDelta renders one rebuild in text mode: verdict, reuse ratio,
+// changed units, and the violations delta. The first rebuild prints every
+// violation; later ones print only what changed.
+func printWatchDelta(seq int, rep *core.Report, man *incr.Manifest, prev *core.Report, added, resolved []int, took time.Duration) {
+	verdict := "OK"
+	if rep.Exhausted {
+		verdict = "EXHAUSTED"
+	}
+	if len(rep.Violations) > 0 {
+		verdict = "FAIL"
+	}
+	fmt.Printf("[%d] %s: %d violation(s); %d/%d submodels reused, %s\n",
+		seq, verdict, len(rep.Violations), man.Reused, man.Submodels, took.Round(time.Millisecond))
+	if man.Delta != nil && !man.Delta.Empty() {
+		for _, u := range man.Delta.Changed {
+			fmt.Printf("    ~ %s\n", u)
+		}
+		for _, u := range man.Delta.Added {
+			fmt.Printf("    + %s\n", u)
+		}
+		for _, u := range man.Delta.Removed {
+			fmt.Printf("    - %s\n", u)
+		}
+	}
+	byID := map[int]*sym.Violation{}
+	for _, v := range rep.Violations {
+		byID[v.AssertID] = v
+	}
+	show := added
+	if prev == nil {
+		show = show[:0]
+		for _, v := range rep.Violations {
+			show = append(show, v.AssertID)
+		}
+	}
+	for _, id := range show {
+		v := byID[id]
+		src, loc := "?", "?"
+		if v.Info != nil {
+			src, loc = v.Info.Source, v.Info.Location
+		}
+		fmt.Printf("    FAIL assert #%d %q at %s (%d path(s))\n", id, src, loc, v.Count)
+	}
+	for _, id := range resolved {
+		fmt.Printf("    resolved assert #%d\n", id)
+	}
+}

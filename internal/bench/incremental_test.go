@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestIncrementalShapesHold checks the benchmark's structural invariants
+// (wall-clock ratios are asserted loosely — CI machines vary; the hard
+// ≥3× claim is validated by the committed BENCH_incremental.json run).
+func TestIncrementalShapesHold(t *testing.T) {
+	res, err := Incremental(1, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Program != LargestProgram().Name {
+		t.Fatalf("subject %s is not the largest corpus program", res.Program)
+	}
+	if !strings.Contains(res.EditedUnit, "action ") {
+		t.Fatalf("benchmark must edit an action, edited %q", res.EditedUnit)
+	}
+	if !res.ByteIdentical {
+		t.Fatal("incremental report diverged from the cold run")
+	}
+	if res.Reused == 0 || res.Executed == 0 || res.Reused+res.Executed != res.Submodels {
+		t.Fatalf("implausible plan: reused %d + executed %d vs %d submodels",
+			res.Reused, res.Executed, res.Submodels)
+	}
+	if res.Reused <= res.Executed {
+		t.Fatalf("a single-action edit should reuse most submodels: reused %d, executed %d",
+			res.Reused, res.Executed)
+	}
+	if res.Speedup <= 1 {
+		t.Fatalf("incremental run slower than cold: %.2fx", res.Speedup)
+	}
+}

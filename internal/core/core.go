@@ -140,9 +140,13 @@ func VerifyModel(m *model.Program, opts Options) (*Report, error) {
 	return verifyModel(context.Background(), m, opts, &Report{})
 }
 
-func verifyModel(ctx context.Context, m *model.Program, opts Options, rep *Report) (*Report, error) {
-	rep.Asserts = m.Asserts
-
+// applyPasses runs the model-level pipeline stages selected by opts —
+// optimization (O3 or the light executor-opt set) and slicing — recording
+// stage durations and a slicing failure in rep. Shared by the cold
+// pipeline (verifyModel) and the incremental engine (VerifyIncremental),
+// which must transform models identically for cached submodel verdicts to
+// stay comparable to cold ones.
+func applyPasses(m *model.Program, opts Options, rep *Report) *model.Program {
 	if opts.O3 {
 		t0 := time.Now()
 		m = opt.Apply(m, opt.O3())
@@ -165,8 +169,11 @@ func verifyModel(ctx context.Context, m *model.Program, opts Options, rep *Repor
 		}
 		rep.SliceTime = time.Since(t0)
 	}
-	rep.Model = m
+	return m
+}
 
+// buildSymOpts maps pipeline options onto executor options.
+func buildSymOpts(ctx context.Context, opts Options) sym.Options {
 	symOpts := sym.Options{
 		MaxCallDepth: opts.MaxCallDepth,
 		MaxPaths:     opts.MaxPaths,
@@ -179,6 +186,16 @@ func verifyModel(ctx context.Context, m *model.Program, opts Options, rep *Repor
 	if ctx != nil && ctx != context.Background() {
 		symOpts.Ctx = ctx
 	}
+	return symOpts
+}
+
+func verifyModel(ctx context.Context, m *model.Program, opts Options, rep *Report) (*Report, error) {
+	rep.Asserts = m.Asserts
+
+	m = applyPasses(m, opts, rep)
+	rep.Model = m
+
+	symOpts := buildSymOpts(ctx, opts)
 
 	t0 := time.Now()
 	if opts.Parallel > 0 {

@@ -1,0 +1,110 @@
+// Incremental verification: the diff-aware re-verification entry points.
+// The engine mechanics — unit fingerprints, the AST diff, the submodel
+// dependency graph, content keys and the verdict codec — live in
+// internal/incr; this file wires them into the pipeline so an edit-verify
+// loop re-executes only the submodels an edit can affect and replays every
+// other submodel's memoized verdict, producing a Report byte-identical
+// (ComparableJSON) to a cold parallel run of the edited program.
+package core
+
+import (
+	"context"
+	"time"
+
+	"p4assert/internal/incr"
+	"p4assert/internal/p4"
+	"p4assert/internal/submodel"
+	"p4assert/internal/translate"
+)
+
+// VerifyIncremental verifies next, reusing cached submodel verdicts from
+// store where next's executable content is unchanged. prev, when non-nil,
+// is the previously verified version of the program: its unit diff against
+// next annotates the returned manifest with the changed-unit set and
+// attributes each re-executed submodel to the edits it can reach. prev is
+// advisory — correctness never depends on it, only the manifest's
+// explanations do. A nil prev is the warm-up run of a watch session.
+//
+// The incremental engine always runs the submodel-split pipeline (the
+// paper's parallelization strategy): the resulting Report matches a cold
+// run with Options.Parallel > 0. CollectTests is unsupported (as in every
+// parallel run) and is ignored. Both programs must already be checked.
+func VerifyIncremental(ctx context.Context, prev, next *p4.Program, opts Options, store incr.Store) (*Report, *incr.Manifest, error) {
+	rep := &Report{}
+
+	t0 := time.Now()
+	m, err := translate.Translate(next, translate.Options{
+		Rules:              opts.Rules,
+		RegisterCellLimit:  opts.RegisterCellLimit,
+		AutoValidityChecks: opts.AutoValidityChecks,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.TranslateTime = time.Since(t0)
+	rep.Asserts = m.Asserts
+
+	m = applyPasses(m, opts, rep)
+	rep.Model = m
+
+	symOpts := buildSymOpts(ctx, opts)
+	symOpts.CollectTests = false // test generation is sequential-only
+
+	plan := incr.NewPlan(m, next, symOpts)
+
+	var delta *incr.Delta
+	if prev != nil {
+		delta = incr.Diff(
+			incr.Units(prev, opts.Rules, opts.AutoValidityChecks),
+			incr.Units(next, opts.Rules, opts.AutoValidityChecks),
+		)
+	}
+
+	t0 = time.Now()
+	results, stats, err := plan.Run(ctx, store, opts.Parallel, delta.Touched())
+	if err != nil {
+		return nil, nil, err
+	}
+	res := submodel.Aggregate(plan.Submodels, results)
+	rep.Violations = res.Agg.Violations
+	rep.Metrics = res.Agg.Metrics
+	rep.WorstSubmodelInstructions = res.WorstInstructions
+	rep.Submodels = len(res.PerModel)
+	rep.Exhausted = res.Agg.Exhausted
+	rep.ViolationModels = res.ViolationModels
+	rep.ExecTime = time.Since(t0)
+	CanonicalizeViolations(rep.Violations)
+
+	manifest := &incr.Manifest{
+		Delta:     delta,
+		Submodels: len(plan.Submodels),
+		Reused:    stats.Reused,
+		Executed:  stats.Executed,
+		Runs:      stats.Runs,
+	}
+	return rep, manifest, nil
+}
+
+// VerifyIncrementalSource is VerifyIncremental over source text: it parses
+// and checks both versions (prevSource may be empty for a warm-up run).
+func VerifyIncrementalSource(ctx context.Context, filename, prevSource, nextSource string, opts Options, store incr.Store) (*Report, *incr.Manifest, error) {
+	var prev *p4.Program
+	if prevSource != "" {
+		p, err := p4.Parse(filename, prevSource)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := p.Check(); err != nil {
+			return nil, nil, err
+		}
+		prev = p
+	}
+	next, err := p4.Parse(filename, nextSource)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := next.Check(); err != nil {
+		return nil, nil, err
+	}
+	return VerifyIncremental(ctx, prev, next, opts, store)
+}

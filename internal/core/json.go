@@ -80,6 +80,17 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// ComparableJSON serializes the report with its wall-clock duration fields
+// zeroed: the representation that must compare byte-equal between an
+// incremental run (cached submodel verdicts merged with fresh executions)
+// and a cold parallel run of the same program under the same options —
+// violations, counterexamples, metrics, assertion table and all.
+func (r *Report) ComparableJSON() ([]byte, error) {
+	cp := *r
+	cp.TranslateTime, cp.OptimizeTime, cp.SliceTime, cp.ExecTime = 0, 0, 0, 0
+	return json.Marshal(&cp)
+}
+
 // ViolationsJSON serializes only the canonical violation list — the part of
 // a report that must compare byte-equal across sequential, parallel and
 // cache-replayed runs of the same request (metrics legitimately differ:

@@ -1,0 +1,40 @@
+package incr
+
+// Serialization of cached submodel verdicts. The payload is the
+// deterministic part of a sym.Result — violations (with counterexample
+// models and fork traces) and effort metrics. Exhausted results are never
+// encoded: how far a budget-cut run got is wall-clock-dependent, not
+// content-determined.
+
+import (
+	"encoding/json"
+	"errors"
+
+	"p4assert/internal/sym"
+)
+
+// cachedResult is the stored form of one submodel's verdict.
+type cachedResult struct {
+	Violations []*sym.Violation `json:"violations,omitempty"`
+	Metrics    sym.Metrics      `json:"metrics"`
+}
+
+// ErrExhausted rejects caching a result whose exploration was cut short.
+var ErrExhausted = errors.New("incr: exhausted results are not cacheable")
+
+// EncodeResult serializes a submodel verdict for the store.
+func EncodeResult(res *sym.Result) ([]byte, error) {
+	if res.Exhausted {
+		return nil, ErrExhausted
+	}
+	return json.Marshal(&cachedResult{Violations: res.Violations, Metrics: res.Metrics})
+}
+
+// DecodeResult deserializes a stored submodel verdict.
+func DecodeResult(data []byte) (*sym.Result, error) {
+	var c cachedResult
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, err
+	}
+	return &sym.Result{Violations: c.Violations, Metrics: c.Metrics}, nil
+}

@@ -1,0 +1,71 @@
+// Package incr is the incremental verification engine: diff-aware
+// re-verification with per-submodel memoization. It sits between the
+// pipeline orchestrator (internal/core) and the submodel splitter
+// (internal/submodel), and lets an edit-verify loop re-execute only the
+// submodels an edit can affect while every other submodel replays its
+// cached verdict.
+//
+// Three mechanisms cooperate:
+//
+//   - Unit fingerprints (units.go): every program unit — parser state,
+//     table, action, control block, assertion site, type declarations,
+//     rule set — gets a stable content digest over its canonical AST
+//     rendering. Diffing two versions' fingerprint maps yields the
+//     changed-unit set of an edit.
+//
+//   - The submodel dependency graph (plan.go): each submodel is linked to
+//     the units its entry chain can reach, so the engine can explain which
+//     edit invalidated which submodel and report the blast radius of a
+//     change.
+//
+//   - Executable content keys (key.go): the cache key of a submodel is a
+//     digest of everything that determines its execution — the global
+//     store, the reachable function bodies, the reachable assertion table
+//     and the executor options. Symbolic execution is deterministic, so a
+//     key hit replays a byte-identical sym.Result without re-exploration.
+//     The key, not the AST diff, is the soundness anchor: a cached verdict
+//     is reused only when the submodel's executable content is identical,
+//     even under edits the unit diff cannot attribute (e.g. assertion-ID
+//     renumbering after an inserted @assert).
+//
+// Cached verdicts live in a Store — a byte-addressed tier the caller
+// supplies; internal/vcache's submodel tier implements it with an LRU and
+// an optional disk level.
+package incr
+
+// Store is the submodel-verdict tier the engine memoizes into. It is
+// satisfied by *vcache.Cache; keys are content digests, values are
+// EncodeResult payloads.
+type Store interface {
+	GetBytes(key string) ([]byte, bool)
+	PutBytes(key string, data []byte) error
+}
+
+// Manifest describes one incremental run: what changed between the two
+// program versions and how much cached work was replayed.
+type Manifest struct {
+	// Delta is the changed-unit set (nil on a warm-up run with no
+	// predecessor).
+	Delta *Delta `json:"delta,omitempty"`
+	// Submodels is how many submodels the program split into.
+	Submodels int `json:"submodels"`
+	// Reused counts submodels whose verdicts replayed from the store;
+	// Executed counts submodels that ran symbolically.
+	Reused   int `json:"reused"`
+	Executed int `json:"executed"`
+	// Runs details each submodel's disposition, in submodel order.
+	Runs []SubmodelRun `json:"runs,omitempty"`
+}
+
+// SubmodelRun is one submodel's disposition in a Manifest.
+type SubmodelRun struct {
+	Index int `json:"index"`
+	// Key is the submodel's executable content digest (abbreviated).
+	Key string `json:"key"`
+	// Reused marks a verdict replayed from the store.
+	Reused bool `json:"reused"`
+	// Reasons lists the changed units this submodel reaches — why it had
+	// to re-execute. Empty for reused submodels and for invalidations the
+	// unit diff cannot attribute.
+	Reasons []string `json:"reasons,omitempty"`
+}

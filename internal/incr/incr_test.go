@@ -1,0 +1,232 @@
+package incr_test
+
+// The engine's three mechanisms are tested in isolation here — fingerprint
+// stability, diff attribution, key precision, and the verdict codec. The
+// end-to-end guarantee (incremental report byte-identical to a cold run
+// across the whole corpus) lives in internal/difftest.
+
+import (
+	"strings"
+	"testing"
+
+	"p4assert/internal/incr"
+	"p4assert/internal/p4"
+	"p4assert/internal/submodel"
+	"p4assert/internal/sym"
+	"p4assert/internal/translate"
+)
+
+// twoArm is a minimal pipeline whose first control decision is a two-action
+// table dispatch: the submodel heuristic isolates each action.
+const twoArm = `
+header h_t { bit<8> a; bit<8> b; }
+struct headers_t { h_t h; }
+struct metadata_t { bit<8> x; }
+
+parser P(packet_in pkt, out headers_t hdr, inout metadata_t meta,
+         inout standard_metadata_t standard_metadata) {
+    state start {
+        pkt.extract(hdr.h);
+        transition accept;
+    }
+}
+
+control Ing(inout headers_t hdr, inout metadata_t meta,
+            inout standard_metadata_t standard_metadata) {
+    action left() {
+        hdr.h.a = 1;
+    }
+    action right() {
+        hdr.h.b = 2;
+    }
+    table t {
+        key = { hdr.h.a : exact; }
+        actions = { left; right; }
+        default_action = left;
+    }
+    apply {
+        t.apply();
+        @assert("if(traverse_path(), h.a == h.a)");
+    }
+}
+
+control Eg(inout headers_t hdr, inout metadata_t meta,
+           inout standard_metadata_t standard_metadata) {
+    apply { }
+}
+
+control Dep(packet_out pkt, in headers_t hdr) {
+    apply { pkt.emit(hdr.h); }
+}
+
+V1Switch(P, Ing, Eg, Dep) main;
+`
+
+func parse(t *testing.T, src string) *p4.Program {
+	t.Helper()
+	prog, err := p4.Parse("twoarm.p4", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Check(); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestFingerprintsStable(t *testing.T) {
+	a := incr.Units(parse(t, twoArm), nil, false)
+	b := incr.Units(parse(t, twoArm), nil, false)
+	if len(a) == 0 {
+		t.Fatal("no units fingerprinted")
+	}
+	if d := incr.Diff(a, b); !d.Empty() {
+		t.Fatalf("re-parsing the same source changed fingerprints: %+v", d)
+	}
+}
+
+func TestFingerprintsIgnoreFormatting(t *testing.T) {
+	// Reformat one action body: extra indentation and a comment. The
+	// canonical rendering must be unaffected (positions are not part of
+	// fingerprints unless auto-validity instrumentation is on).
+	reformatted := strings.Replace(twoArm,
+		"        hdr.h.a = 1;",
+		"            // set the left mark\n            hdr.h.a   =   1  ;", 1)
+	a := incr.Units(parse(t, twoArm), nil, false)
+	b := incr.Units(parse(t, reformatted), nil, false)
+	// The edit moves every later statement down, so position-bearing units
+	// (assert sites) may move; the action unit itself must not change.
+	if a["control Ing/action left"] != b["control Ing/action left"] {
+		t.Fatal("formatting-only edit changed an action fingerprint")
+	}
+}
+
+func TestDiffAttributesEdit(t *testing.T) {
+	edited := strings.Replace(twoArm, "hdr.h.b = 2;", "hdr.h.b = 3;", 1)
+	d := incr.Diff(
+		incr.Units(parse(t, twoArm), nil, false),
+		incr.Units(parse(t, edited), nil, false),
+	)
+	want := []string{"control Ing/action right"}
+	if len(d.Changed) != 1 || d.Changed[0] != want[0] || len(d.Added)+len(d.Removed) != 0 {
+		t.Fatalf("single-action edit attributed to %+v, want changed=%v", d, want)
+	}
+	if !d.Touched()["control Ing/action right"] {
+		t.Fatal("Touched() misses the changed unit")
+	}
+}
+
+func TestDiffSeesAddedAssert(t *testing.T) {
+	edited := strings.Replace(twoArm, "hdr.h.b = 2;",
+		"hdr.h.b = 2;\n        @assert(\"if(traverse_path(), h.b == 2)\")", 1)
+	d := incr.Diff(
+		incr.Units(parse(t, twoArm), nil, false),
+		incr.Units(parse(t, edited), nil, false),
+	)
+	var sawAssert bool
+	for _, u := range d.Added {
+		if strings.HasPrefix(u, "assert control Ing/action right") {
+			sawAssert = true
+		}
+	}
+	if !sawAssert {
+		t.Fatalf("inserted @assert not in added units: %+v", d)
+	}
+}
+
+func TestSubmodelKeysArePrecise(t *testing.T) {
+	subsOf := func(src string) ([]string, int) {
+		m, err := translate.Translate(parse(t, src), translate.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs := submodel.Split(m)
+		keys := make([]string, len(subs))
+		for i, sub := range subs {
+			keys[i] = incr.SubmodelKey(sub, sym.Options{})
+		}
+		return keys, len(subs)
+	}
+	base, n := subsOf(twoArm)
+	edited, n2 := subsOf(strings.Replace(twoArm, "hdr.h.b = 2;", "hdr.h.b = 3;", 1))
+	if n != n2 || n < 2 {
+		t.Fatalf("split shape changed or too small: %d vs %d submodels", n, n2)
+	}
+	same, diff := 0, 0
+	for i := range base {
+		if base[i] == edited[i] {
+			same++
+		} else {
+			diff++
+		}
+	}
+	// The edit to action right must invalidate the submodels that reach it
+	// and no others: at least one key unchanged, at least one changed.
+	if same == 0 || diff == 0 {
+		t.Fatalf("edit invalidated %d/%d submodels; keys are not precise", diff, n)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	m, err := translate.Translate(parse(t, twoArm), translate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sym.Execute(m, sym.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := incr.EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := incr.DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Metrics != res.Metrics {
+		t.Fatalf("metrics changed across codec: %+v vs %+v", back.Metrics, res.Metrics)
+	}
+	if len(back.Violations) != len(res.Violations) {
+		t.Fatalf("violation count changed: %d vs %d", len(back.Violations), len(res.Violations))
+	}
+	again, err := incr.EncodeResult(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatal("codec is not a fixed point: re-encoding differs")
+	}
+}
+
+func TestMutateUnitFlipsOneLiteral(t *testing.T) {
+	prog, mut, err := incr.MutateUnit("twoarm.p4", twoArm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog == nil || mut == nil {
+		t.Fatal("no mutation produced")
+	}
+	if mut.Old == mut.New {
+		t.Fatalf("mutation did not change the literal: %+v", mut)
+	}
+	if !strings.HasPrefix(mut.Unit, "control Ing/action ") {
+		t.Fatalf("mutation should prefer action bodies, hit %q", mut.Unit)
+	}
+}
+
+func TestMutateActionTargets(t *testing.T) {
+	_, mut, err := incr.MutateAction("twoarm.p4", twoArm, "right")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mut.Unit != "control Ing/action right" {
+		t.Fatalf("MutateAction hit %q, want control Ing/action right", mut.Unit)
+	}
+	// An action with no integer literal must be rejected, not silently
+	// redirected to another unit.
+	noLit := strings.Replace(twoArm, "hdr.h.a = 1;", "hdr.h.a = hdr.h.b;", 1)
+	if _, _, err := incr.MutateAction("twoarm.p4", noLit, "left"); err == nil {
+		t.Fatal("MutateAction on a literal-free action should error")
+	}
+}

@@ -1,0 +1,159 @@
+package incr
+
+// Single-unit program mutation: the edit generator behind the corpus-wide
+// incremental-vs-cold equivalence test (internal/difftest) and the
+// incremental benchmark (internal/bench). It simulates the canonical
+// edit-verify-loop step — a developer touching exactly one action — by
+// flipping the low bit of one integer literal inside one unit's body,
+// which changes semantics (so cached verdicts for affected submodels are
+// genuinely stale) while preserving positions, types and program shape
+// (so the edit stays confined to that unit's fingerprint).
+
+import (
+	"fmt"
+
+	"p4assert/internal/p4"
+)
+
+// Mutation describes one applied single-unit edit.
+type Mutation struct {
+	// Unit names the edited unit (e.g. "control Ing/action set_port").
+	Unit string
+	// Pos is the edited literal's source position.
+	Pos p4.Pos
+	// Old and New are the literal values before and after.
+	Old, New uint64
+}
+
+// MutateUnit parses source afresh and flips the low bit of the first
+// integer literal found in a unit body — action bodies first (the
+// edit-loop case the paper's workflow optimizes for), then control apply
+// blocks, then parser states. The mutated program is type-checked before
+// being returned. Returns an error when the program offers no mutable
+// literal.
+func MutateUnit(filename, source string) (*p4.Program, *Mutation, error) {
+	return mutate(filename, source, "")
+}
+
+// MutateAction is MutateUnit restricted to one named action (the benchmark
+// edits a specific action of the largest corpus program). action is the
+// bare action name; it must contain a mutable integer literal.
+func MutateAction(filename, source, action string) (*p4.Program, *Mutation, error) {
+	return mutate(filename, source, action)
+}
+
+func mutate(filename, source, action string) (*p4.Program, *Mutation, error) {
+	prog, err := p4.Parse(filename, source)
+	if err != nil {
+		return nil, nil, err
+	}
+	mut := findLiteral(prog, action)
+	if mut == nil {
+		if action != "" {
+			return nil, nil, fmt.Errorf("incr: no mutable integer literal in action %s of %s", action, filename)
+		}
+		return nil, nil, fmt.Errorf("incr: no mutable integer literal in %s", filename)
+	}
+	if err := prog.Check(); err != nil {
+		return nil, nil, fmt.Errorf("incr: mutated %s no longer checks: %w", filename, err)
+	}
+	return prog, mut, nil
+}
+
+// findLiteral locates and flips the first literal, preferring action
+// bodies. A non-empty action name restricts the search to that action.
+// It returns nil when no candidate unit contains an integer literal.
+func findLiteral(prog *p4.Program, action string) *Mutation {
+	for _, cd := range prog.Controls {
+		for _, a := range cd.Actions {
+			if action != "" && a.Name != action {
+				continue
+			}
+			if m := flipInBody(a.Body); m != nil {
+				m.Unit = fmt.Sprintf("control %s/action %s", cd.Name, a.Name)
+				return m
+			}
+		}
+	}
+	if action != "" {
+		return nil
+	}
+	for _, cd := range prog.Controls {
+		if cd.Apply == nil {
+			continue
+		}
+		if m := flipInBody(cd.Apply.Stmts); m != nil {
+			m.Unit = fmt.Sprintf("control %s/apply", cd.Name)
+			return m
+		}
+	}
+	for _, pd := range prog.Parsers {
+		for _, st := range pd.States {
+			if m := flipInBody(st.Body); m != nil {
+				m.Unit = fmt.Sprintf("parser %s/%s", pd.Name, st.Name)
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// flipInBody flips the first integer literal on the right-hand side of an
+// assignment (or in a call argument) within body. Only value-position
+// literals are touched: select-case and table-entry key sets keep their
+// shape so the program still checks.
+func flipInBody(body []p4.Stmt) *Mutation {
+	var found *Mutation
+	walkStmts(body, func(s p4.Stmt) {
+		if found != nil {
+			return
+		}
+		switch x := s.(type) {
+		case *p4.AssignStmt:
+			found = flipInExpr(x.RHS)
+		case *p4.CallStmt:
+			for _, a := range x.Call.Args {
+				if found = flipInExpr(a); found != nil {
+					return
+				}
+			}
+		case *p4.IfStmt:
+			found = flipInExpr(x.Cond)
+		}
+	})
+	return found
+}
+
+// flipInExpr flips the first NumberLit in e, returning its description.
+func flipInExpr(e p4.Expr) *Mutation {
+	switch x := e.(type) {
+	case *p4.NumberLit:
+		old := x.Value
+		x.Value ^= 1
+		return &Mutation{Pos: x.Pos, Old: old, New: x.Value}
+	case *p4.Unary:
+		return flipInExpr(x.X)
+	case *p4.Binary:
+		if m := flipInExpr(x.X); m != nil {
+			return m
+		}
+		return flipInExpr(x.Y)
+	case *p4.Ternary:
+		if m := flipInExpr(x.Cond); m != nil {
+			return m
+		}
+		if m := flipInExpr(x.Then); m != nil {
+			return m
+		}
+		return flipInExpr(x.Else)
+	case *p4.CallExpr:
+		for _, a := range x.Args {
+			if m := flipInExpr(a); m != nil {
+				return m
+			}
+		}
+	case *p4.CastExpr:
+		return flipInExpr(x.X)
+	}
+	return nil
+}

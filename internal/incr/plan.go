@@ -1,0 +1,269 @@
+package incr
+
+// A Plan binds one program version's submodels to their content keys and
+// their reachable units (the dependency graph). Run then replays every
+// submodel whose key hits the store and symbolically executes the rest on
+// a bounded worker pool — the incremental analogue of submodel.Run.
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+
+	"p4assert/internal/model"
+	"p4assert/internal/p4"
+	"p4assert/internal/submodel"
+	"p4assert/internal/sym"
+)
+
+// Plan is the prepared incremental run for one translated program.
+type Plan struct {
+	// Submodels are the split submodels, in canonical split order.
+	Submodels []*model.Program
+	// Keys holds each submodel's executable content key.
+	Keys []string
+	// Reachable lists, per submodel, the named units its entry chain can
+	// reach (sorted): the dependency-graph edges used to attribute
+	// invalidations to edits.
+	Reachable [][]string
+
+	symOpts sym.Options
+}
+
+// NewPlan splits the translated model and computes each submodel's content
+// key and reachable-unit set. prog is the typed AST the model was
+// translated from; it names the units the dependency graph maps model
+// functions back to.
+func NewPlan(m *model.Program, prog *p4.Program, symOpts sym.Options) *Plan {
+	subs := submodel.Split(m)
+	p := &Plan{
+		Submodels: subs,
+		Keys:      make([]string, len(subs)),
+		Reachable: make([][]string, len(subs)),
+		symOpts:   symOpts,
+	}
+	units := newUnitMapper(prog)
+	for i, sub := range subs {
+		p.Keys[i] = SubmodelKey(sub, symOpts)
+		p.Reachable[i] = units.reachableUnits(sub)
+	}
+	return p
+}
+
+// RunStats summarizes a Run's cache behaviour.
+type RunStats struct {
+	Reused   int
+	Executed int
+	Runs     []SubmodelRun
+}
+
+// Run produces every submodel's sym.Result: store hits replay their cached
+// verdict, misses execute on up to workers goroutines and are stored back.
+// touched, when non-nil, is the changed-unit set of the edit (Delta.Touched)
+// used to annotate each re-executed submodel with the reachable units that
+// changed. A nil store disables memoization (every submodel executes).
+func (p *Plan) Run(ctx context.Context, store Store, workers int, touched map[string]bool) ([]*sym.Result, *RunStats, error) {
+	if workers <= 0 {
+		workers = 4
+	}
+	n := len(p.Submodels)
+	results := make([]*sym.Result, n)
+	errs := make([]error, n)
+	stats := &RunStats{Runs: make([]SubmodelRun, n)}
+
+	var missed []int
+	for i := range p.Submodels {
+		run := SubmodelRun{Index: i, Key: shortKey(p.Keys[i])}
+		if store != nil {
+			if data, ok := store.GetBytes(p.Keys[i]); ok {
+				if res, err := DecodeResult(data); err == nil {
+					results[i] = res
+					run.Reused = true
+					stats.Reused++
+					stats.Runs[i] = run
+					continue
+				}
+				// A corrupt entry re-executes and is overwritten below.
+			}
+		}
+		run.Reasons = intersect(p.Reachable[i], touched)
+		stats.Runs[i] = run
+		missed = append(missed, i)
+	}
+	stats.Executed = len(missed)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for _, i := range missed {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = sym.Execute(p.Submodels[i], p.symOpts)
+		}(i)
+	}
+	wg.Wait()
+
+	for _, i := range missed {
+		if errs[i] != nil {
+			return nil, nil, errs[i]
+		}
+		if store != nil && !results[i].Exhausted {
+			if data, err := EncodeResult(results[i]); err == nil {
+				store.PutBytes(p.Keys[i], data)
+			}
+		}
+	}
+	_ = ctx // cancellation travels inside symOpts.Ctx
+	return results, stats, nil
+}
+
+// shortKey abbreviates a content key for manifests and logs.
+func shortKey(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	return k
+}
+
+// intersect returns the sorted members of names present in set.
+func intersect(names []string, set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	var out []string
+	for _, n := range names {
+		if set[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------- dependency mapping --
+
+// unitMapper maps model function names and assertion sites back to the
+// named units of the AST they were translated from.
+type unitMapper struct {
+	// funcUnit maps a model function name to its unit name.
+	funcUnit map[string]string
+	// controlOf maps a "<Control>." prefix to the control's signature unit
+	// (locals, registers): the fallback for generated helper functions.
+	controlOf map[string]string
+	// assertAt maps a "line:col" position to the assertion-site unit there.
+	assertAt map[string]string
+	// always lists units every submodel depends on: the type environment,
+	// the rule set, the package instantiation and the source file name.
+	always []string
+}
+
+func newUnitMapper(prog *p4.Program) *unitMapper {
+	um := &unitMapper{
+		funcUnit:  map[string]string{},
+		controlOf: map[string]string{},
+		assertAt:  map[string]string{},
+	}
+	if prog == nil {
+		return um
+	}
+	um.always = append(um.always, UnitSourceFile, UnitRules)
+	if prog.Package != nil {
+		um.always = append(um.always, UnitPackage)
+	}
+	for _, d := range prog.Typedefs {
+		um.always = append(um.always, "typedef "+d.Name)
+	}
+	for _, d := range prog.Consts {
+		um.always = append(um.always, "const "+d.Name)
+	}
+	for _, d := range prog.Headers {
+		um.always = append(um.always, "header "+d.Name)
+	}
+	for _, d := range prog.Structs {
+		um.always = append(um.always, "struct "+d.Name)
+	}
+	for _, pd := range prog.Parsers {
+		um.funcUnit[pd.Name] = "parser " + pd.Name
+		um.controlOf[pd.Name+"."] = "parser " + pd.Name
+		for _, st := range pd.States {
+			scope := "parser " + pd.Name + "/" + st.Name
+			um.funcUnit[pd.Name+"."+st.Name] = scope
+			indexAsserts(um, st.Body, scope)
+		}
+	}
+	for _, cd := range prog.Controls {
+		um.funcUnit[cd.Name] = "control " + cd.Name + "/apply"
+		um.controlOf[cd.Name+"."] = "control " + cd.Name
+		for _, a := range cd.Actions {
+			scope := "control " + cd.Name + "/action " + a.Name
+			um.funcUnit[cd.Name+"."+a.Name] = scope
+			indexAsserts(um, a.Body, scope)
+		}
+		for _, tb := range cd.Tables {
+			um.funcUnit[cd.Name+"."+tb.Name] = "control " + cd.Name + "/table " + tb.Name
+		}
+		if cd.Apply != nil {
+			indexAsserts(um, cd.Apply.Stmts, "control "+cd.Name+"/apply")
+		}
+	}
+	return um
+}
+
+func indexAsserts(um *unitMapper, body []p4.Stmt, scope string) {
+	walkStmts(body, func(s p4.Stmt) {
+		if a, ok := s.(*p4.AssertStmt); ok {
+			um.assertAt[a.Pos.String()] = "assert " + scope + " @" + a.Pos.String()
+		}
+	})
+}
+
+// reachableUnits resolves a submodel's reachable functions and assertion
+// checks to unit names (sorted, deduplicated).
+func (um *unitMapper) reachableUnits(sub *model.Program) []string {
+	seen := map[string]bool{}
+	for _, u := range um.always {
+		seen[u] = true
+	}
+	reach := ReachableFuncs(sub)
+	for name := range reach {
+		if u, ok := um.funcUnit[name]; ok {
+			seen[u] = true
+			continue
+		}
+		for prefix, u := range um.controlOf {
+			if strings.HasPrefix(name, prefix) {
+				seen[u] = true
+				break
+			}
+		}
+	}
+	for _, id := range reachableAssertIDs(sub, reach) {
+		if id < 0 || id >= len(sub.Asserts) {
+			continue
+		}
+		if u, ok := um.assertAt[locationPos(sub.Asserts[id].Location)]; ok {
+			seen[u] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// locationPos extracts the "line:col" of an AssertInfo.Location, which is
+// rendered as "file:line:col (block)".
+func locationPos(loc string) string {
+	if i := strings.LastIndex(loc, " ("); i >= 0 {
+		loc = loc[:i]
+	}
+	parts := strings.Split(loc, ":")
+	if len(parts) < 2 {
+		return ""
+	}
+	return parts[len(parts)-2] + ":" + parts[len(parts)-1]
+}

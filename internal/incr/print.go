@@ -1,0 +1,313 @@
+package incr
+
+// Canonical AST rendering for unit fingerprints. The rendering is a
+// deterministic, whitespace-normalized serialization of the typed AST
+// (internal/p4): two units render identically iff they are structurally
+// identical. Source positions are omitted except where they leak into
+// verification output — @assert sites embed their position because the
+// translator bakes it into AssertInfo.Location, which appears verbatim in
+// reports — so formatting-only edits elsewhere do not perturb fingerprints.
+//
+// A printer with IncludePositions set renders every statement with its
+// position; the engine switches this on under Options.AutoValidityChecks,
+// where the translator stamps each instrumented header access with its
+// source position.
+
+import (
+	"fmt"
+	"strings"
+
+	"p4assert/internal/p4"
+)
+
+// printer accumulates the canonical rendering.
+type printer struct {
+	b strings.Builder
+	// IncludePositions renders every statement position, not only @assert
+	// sites (needed under AutoValidityChecks instrumentation).
+	withPos bool
+}
+
+func (pr *printer) ws(parts ...string) {
+	for _, p := range parts {
+		pr.b.WriteString(p)
+	}
+}
+
+func (pr *printer) wf(format string, args ...any) {
+	fmt.Fprintf(&pr.b, format, args...)
+}
+
+// ------------------------------------------------------------------ types --
+
+func (pr *printer) typ(t p4.Type) {
+	switch x := t.(type) {
+	case nil:
+		pr.ws("<nil>")
+	case *p4.BitType:
+		pr.wf("bit<%d>", x.Width)
+	case *p4.BoolType:
+		pr.ws("bool")
+	case *p4.NamedType:
+		pr.ws("named(", x.Name, ")")
+	case *p4.HeaderRef:
+		pr.ws("headerref(", x.Decl.Name, ")")
+	case *p4.StructRef:
+		pr.ws("structref(", x.Decl.Name, ")")
+	default:
+		pr.wf("type(%T)", t)
+	}
+}
+
+func (pr *printer) params(ps []p4.Param) {
+	pr.ws("(")
+	for i, p := range ps {
+		if i > 0 {
+			pr.ws(", ")
+		}
+		pr.wf("dir%d ", p.Dir)
+		pr.typ(p.Type)
+		pr.ws(" ", p.Name)
+	}
+	pr.ws(")")
+}
+
+func (pr *printer) fields(fs []p4.Field) {
+	pr.ws("{")
+	for _, f := range fs {
+		pr.typ(f.Type)
+		pr.ws(" ", f.Name, "; ")
+	}
+	pr.ws("}")
+}
+
+// ------------------------------------------------------------ expressions --
+
+func (pr *printer) expr(e p4.Expr) {
+	switch x := e.(type) {
+	case nil:
+		pr.ws("<nil>")
+	case *p4.Ident:
+		pr.ws(x.Name)
+	case *p4.Member:
+		pr.expr(x.X)
+		pr.ws(".", x.Name)
+	case *p4.NumberLit:
+		pr.wf("%dw%d", x.Width, x.Value)
+	case *p4.BoolLit:
+		pr.wf("%t", x.Value)
+	case *p4.Unary:
+		pr.wf("u%d(", x.Op)
+		pr.expr(x.X)
+		pr.ws(")")
+	case *p4.Binary:
+		pr.wf("b%d(", x.Op)
+		pr.expr(x.X)
+		pr.ws(", ")
+		pr.expr(x.Y)
+		pr.ws(")")
+	case *p4.Ternary:
+		pr.ws("cond(")
+		pr.expr(x.Cond)
+		pr.ws(", ")
+		pr.expr(x.Then)
+		pr.ws(", ")
+		pr.expr(x.Else)
+		pr.ws(")")
+	case *p4.CallExpr:
+		pr.ws("call(")
+		pr.expr(x.Fun)
+		for _, a := range x.Args {
+			pr.ws(", ")
+			pr.expr(a)
+		}
+		pr.ws(")")
+	case *p4.CastExpr:
+		pr.ws("cast[")
+		pr.typ(x.Type)
+		pr.ws("](")
+		pr.expr(x.X)
+		pr.ws(")")
+	default:
+		pr.wf("expr(%T)", e)
+	}
+}
+
+func (pr *printer) caseValue(cv p4.CaseValue) {
+	if cv.Default {
+		pr.ws("default")
+		return
+	}
+	pr.expr(cv.Expr)
+	if cv.Mask != nil {
+		pr.ws(" &&& ")
+		pr.expr(cv.Mask)
+	}
+}
+
+// ------------------------------------------------------------- statements --
+
+func (pr *printer) stmts(body []p4.Stmt) {
+	pr.ws("{")
+	for _, s := range body {
+		pr.stmt(s)
+	}
+	pr.ws("}")
+}
+
+func (pr *printer) stmt(s p4.Stmt) {
+	switch x := s.(type) {
+	case nil:
+		pr.ws("<nil>;")
+	case *p4.BlockStmt:
+		pr.pos(x.Pos)
+		pr.stmts(x.Stmts)
+	case *p4.AssignStmt:
+		pr.pos(x.Pos)
+		pr.expr(x.LHS)
+		pr.ws(" = ")
+		pr.expr(x.RHS)
+		pr.ws("; ")
+	case *p4.CallStmt:
+		pr.pos(x.Pos)
+		pr.expr(x.Call)
+		pr.ws("; ")
+	case *p4.IfStmt:
+		pr.pos(x.Pos)
+		pr.ws("if (")
+		pr.expr(x.Cond)
+		pr.ws(") ")
+		pr.stmts(x.Then.Stmts)
+		if x.Else != nil {
+			pr.ws(" else ")
+			pr.stmt(x.Else)
+		}
+	case *p4.VarDeclStmt:
+		pr.pos(x.Pos)
+		pr.ws("var ")
+		pr.typ(x.Type)
+		pr.ws(" ", x.Name)
+		if x.Init != nil {
+			pr.ws(" = ")
+			pr.expr(x.Init)
+		}
+		pr.ws("; ")
+	case *p4.AssertStmt:
+		// Position always included: the translator embeds it in the
+		// assertion's report Location.
+		pr.wf("@%s:assert(%q); ", x.Pos, x.Text)
+	case *p4.AssumeStmt:
+		pr.pos(x.Pos)
+		pr.ws("assume(")
+		pr.expr(x.Cond)
+		pr.ws("); ")
+	case *p4.ExitStmt:
+		pr.pos(x.Pos)
+		pr.ws("exit; ")
+	case *p4.ReturnStmt:
+		pr.pos(x.Pos)
+		pr.ws("return; ")
+	default:
+		pr.wf("stmt(%T); ", s)
+	}
+}
+
+// pos renders a statement position only under IncludePositions.
+func (pr *printer) pos(p p4.Pos) {
+	if pr.withPos {
+		pr.wf("@%s:", p)
+	}
+}
+
+// ------------------------------------------------------------ declarations --
+
+func (pr *printer) transition(tr p4.Transition) {
+	switch x := tr.(type) {
+	case nil:
+		pr.ws("transition accept; ")
+	case *p4.TransDirect:
+		pr.ws("transition ", x.Target, "; ")
+	case *p4.TransSelect:
+		pr.ws("transition select(")
+		for i, e := range x.Exprs {
+			if i > 0 {
+				pr.ws(", ")
+			}
+			pr.expr(e)
+		}
+		pr.ws(") {")
+		for _, c := range x.Cases {
+			for i, v := range c.Values {
+				if i > 0 {
+					pr.ws(", ")
+				}
+				pr.caseValue(v)
+			}
+			pr.ws(": ", c.Target, "; ")
+		}
+		pr.ws("} ")
+	default:
+		pr.wf("transition(%T); ", tr)
+	}
+}
+
+func (pr *printer) actionCall(ac *p4.ActionCall) {
+	if ac == nil {
+		pr.ws("<none>")
+		return
+	}
+	pr.ws(ac.Name, "(")
+	for i, a := range ac.Args {
+		if i > 0 {
+			pr.ws(", ")
+		}
+		pr.expr(a)
+	}
+	pr.ws(")")
+}
+
+func (pr *printer) table(tb *p4.TableDecl) {
+	pr.ws("table ", tb.Name, " key {")
+	for _, k := range tb.Keys {
+		pr.expr(k.Expr)
+		pr.ws(": ", k.Match.String(), "; ")
+	}
+	pr.ws("} actions {")
+	for _, a := range tb.Actions {
+		pr.ws(a, "; ")
+	}
+	pr.ws("} default ")
+	pr.actionCall(tb.DefaultAction)
+	pr.wf(" size %d entries {", tb.Size)
+	for _, e := range tb.ConstEntries {
+		for i, v := range e.Keys {
+			if i > 0 {
+				pr.ws(", ")
+			}
+			pr.caseValue(v)
+		}
+		pr.ws(": ")
+		pr.actionCall(&e.Action)
+		pr.ws("; ")
+	}
+	pr.ws("}")
+}
+
+func (pr *printer) local(l *p4.LocalDecl) {
+	pr.wf("local k%d ", l.Kind)
+	pr.typ(l.Type)
+	pr.ws(" ", l.Name)
+	if l.Init != nil {
+		pr.ws(" = ")
+		pr.expr(l.Init)
+	}
+	if l.Size != nil {
+		pr.ws(" size ")
+		pr.expr(l.Size)
+	}
+	for _, a := range l.ExternAr {
+		pr.ws(" arg ")
+		pr.expr(a)
+	}
+	pr.ws("; ")
+}

@@ -1,0 +1,204 @@
+package incr
+
+// Unit fingerprinting: every program unit — parser state, table, action,
+// control apply block, assertion site, plus the type environment and the
+// forwarding-rule configuration — gets a stable content fingerprint
+// (SHA-256 of its canonical rendering). The fingerprint map of a program is
+// the input to Diff, which turns two program versions into a changed-unit
+// set, and to the dependency graph (plan.go), which links each submodel to
+// the units it can reach.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"p4assert/internal/p4"
+	"p4assert/internal/rules"
+)
+
+// Well-known pseudo-unit names. Every submodel depends on these: type
+// widths shape every global, the rule set specializes every table, and the
+// source file name is embedded in every assertion's report location.
+const (
+	UnitRules      = "$rules"
+	UnitSourceFile = "$file"
+	UnitPackage    = "$package"
+)
+
+// Fingerprints maps unit names (e.g. "control Ing/action set_port") to
+// content digests.
+type Fingerprints map[string]string
+
+// Units fingerprints every unit of a checked program under the given rule
+// configuration. autoValidity must match Options.AutoValidityChecks: the
+// instrumentation embeds statement positions into report locations, so
+// fingerprints become position-sensitive under it.
+func Units(prog *p4.Program, rs *rules.RuleSet, autoValidity bool) Fingerprints {
+	u := Fingerprints{}
+	put := func(name string, render func(pr *printer)) {
+		pr := &printer{withPos: autoValidity}
+		render(pr)
+		sum := sha256.Sum256([]byte(pr.b.String()))
+		u[name] = hex.EncodeToString(sum[:8])
+	}
+
+	put(UnitSourceFile, func(pr *printer) { pr.ws(prog.File) })
+	put(UnitRules, func(pr *printer) {
+		if rs != nil {
+			pr.ws(rules.Render(rs))
+		}
+	})
+	if prog.Package != nil {
+		put(UnitPackage, func(pr *printer) {
+			pr.ws(prog.Package.TypeName, " ", prog.Package.Name, "(")
+			for _, a := range prog.Package.Args {
+				pr.ws(a, ", ")
+			}
+			pr.ws(")")
+		})
+	}
+	for _, d := range prog.Typedefs {
+		d := d
+		put("typedef "+d.Name, func(pr *printer) { pr.typ(d.Type) })
+	}
+	for _, d := range prog.Consts {
+		d := d
+		put("const "+d.Name, func(pr *printer) {
+			pr.typ(d.Type)
+			pr.ws(" = ")
+			pr.expr(d.Value)
+		})
+	}
+	for _, d := range prog.Headers {
+		d := d
+		put("header "+d.Name, func(pr *printer) { pr.fields(d.Fields) })
+	}
+	for _, d := range prog.Structs {
+		d := d
+		put("struct "+d.Name, func(pr *printer) { pr.fields(d.Fields) })
+	}
+	for _, pd := range prog.Parsers {
+		pd := pd
+		put("parser "+pd.Name, func(pr *printer) { pr.params(pd.Params) })
+		for _, st := range pd.States {
+			st := st
+			put(fmt.Sprintf("parser %s/%s", pd.Name, st.Name), func(pr *printer) {
+				pr.stmts(st.Body)
+				pr.transition(st.Transition)
+			})
+			collectAsserts(u, st.Body, fmt.Sprintf("parser %s/%s", pd.Name, st.Name))
+		}
+	}
+	for _, cd := range prog.Controls {
+		cd := cd
+		put("control "+cd.Name, func(pr *printer) {
+			pr.params(cd.Params)
+			for _, l := range cd.Locals {
+				pr.local(l)
+			}
+		})
+		for _, a := range cd.Actions {
+			a := a
+			put(fmt.Sprintf("control %s/action %s", cd.Name, a.Name), func(pr *printer) {
+				pr.params(a.Params)
+				pr.stmts(a.Body)
+			})
+			collectAsserts(u, a.Body, fmt.Sprintf("control %s/action %s", cd.Name, a.Name))
+		}
+		for _, tb := range cd.Tables {
+			tb := tb
+			put(fmt.Sprintf("control %s/table %s", cd.Name, tb.Name), func(pr *printer) {
+				pr.table(tb)
+			})
+		}
+		if cd.Apply != nil {
+			put(fmt.Sprintf("control %s/apply", cd.Name), func(pr *printer) {
+				pr.stmts(cd.Apply.Stmts)
+			})
+			collectAsserts(u, cd.Apply.Stmts, fmt.Sprintf("control %s/apply", cd.Name))
+		}
+	}
+	return u
+}
+
+// collectAsserts adds one unit per @assert site nested in body. The unit
+// name carries the site position (assertion identity in reports is
+// positional), the fingerprint covers text and position.
+func collectAsserts(u Fingerprints, body []p4.Stmt, scope string) {
+	walkStmts(body, func(s p4.Stmt) {
+		if a, ok := s.(*p4.AssertStmt); ok {
+			sum := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%s", a.Pos, a.Text)))
+			u[fmt.Sprintf("assert %s @%s", scope, a.Pos)] = hex.EncodeToString(sum[:8])
+		}
+	})
+}
+
+// walkStmts visits every statement in body, depth-first.
+func walkStmts(body []p4.Stmt, visit func(p4.Stmt)) {
+	for _, s := range body {
+		visit(s)
+		switch x := s.(type) {
+		case *p4.BlockStmt:
+			walkStmts(x.Stmts, visit)
+		case *p4.IfStmt:
+			walkStmts(x.Then.Stmts, visit)
+			if x.Else != nil {
+				walkStmts([]p4.Stmt{x.Else}, visit)
+			}
+		}
+	}
+}
+
+// Delta is the outcome of diffing two fingerprint maps.
+type Delta struct {
+	// Changed lists units present in both versions with differing
+	// fingerprints; Added/Removed list units present in only one version.
+	// All three are sorted.
+	Changed []string `json:"changed,omitempty"`
+	Added   []string `json:"added,omitempty"`
+	Removed []string `json:"removed,omitempty"`
+}
+
+// Empty reports a structurally identical pair of programs.
+func (d *Delta) Empty() bool {
+	return d == nil || len(d.Changed)+len(d.Added)+len(d.Removed) == 0
+}
+
+// Touched returns the union of changed, added and removed unit names.
+func (d *Delta) Touched() map[string]bool {
+	if d == nil {
+		return nil
+	}
+	t := make(map[string]bool, len(d.Changed)+len(d.Added)+len(d.Removed))
+	for _, lists := range [][]string{d.Changed, d.Added, d.Removed} {
+		for _, n := range lists {
+			t[n] = true
+		}
+	}
+	return t
+}
+
+// Diff structurally compares two unit fingerprint maps.
+func Diff(prev, next Fingerprints) *Delta {
+	d := &Delta{}
+	for name, fp := range next {
+		old, ok := prev[name]
+		switch {
+		case !ok:
+			d.Added = append(d.Added, name)
+		case old != fp:
+			d.Changed = append(d.Changed, name)
+		}
+	}
+	for name := range prev {
+		if _, ok := next[name]; !ok {
+			d.Removed = append(d.Removed, name)
+		}
+	}
+	sort.Strings(d.Changed)
+	sort.Strings(d.Added)
+	sort.Strings(d.Removed)
+	return d
+}

@@ -387,6 +387,16 @@ func (p *Program) Dump() string {
 	return b.String()
 }
 
+// DumpStmts renders a statement list in the Dump pseudo-C format. The
+// incremental engine (internal/incr) hashes this rendering as part of a
+// submodel's executable content key, so it must stay deterministic and
+// cover every statement kind.
+func DumpStmts(body []Stmt) string {
+	var b strings.Builder
+	dumpBody(&b, body, "")
+	return b.String()
+}
+
 func sortStrings(s []string) {
 	for i := 1; i < len(s); i++ {
 		for j := i; j > 0 && s[j] < s[j-1]; j-- {

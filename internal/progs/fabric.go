@@ -1,0 +1,234 @@
+package progs
+
+// Fabric is a leaf-spine datacenter fabric switch in the style of
+// fabric.p4 (the ONOS/Trellis pipeline): VLAN-aware edge parsing, a
+// six-way next-hop routing stage, an ACL, traffic-class marking, and an
+// egress rewrite stage. It is the largest program in the corpus and the
+// subject of the incremental-verification benchmark (cmd/p4bench
+// -exp incremental): the routing table is the pipeline's first decision,
+// so the submodel heuristic isolates each routing action in its own
+// submodels and an edit to one action invalidates only those — the
+// edit-verify-loop case internal/incr optimizes for.
+//
+// Both parser branches extract IPv4 (the VLAN path decapsulates to the
+// same inner protocol), every header access is validity-safe, and both
+// assertions hold by construction: the program verifies cleanly under
+// every technique configuration.
+var Fabric = register(&Program{
+	Name:  "fabric",
+	Title: "Fabric (leaf-spine switch)",
+	Notes: "Clean verification scenario at production pipeline scale: " +
+		"six-way routing dispatch, ACL, traffic classing and egress " +
+		"rewrite. Benchmark subject for incremental re-verification.",
+	Source: `
+const bit<16> TYPE_VLAN = 0x8100;
+const bit<16> TYPE_IPV4 = 0x0800;
+const bit<9>  CPU_PORT = 255;
+const bit<8>  DSCP_EF = 0x2E;
+
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header vlan_t {
+    bit<3>  pcp;
+    bit<1>  cfi;
+    bit<12> vid;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> totalLen;
+    bit<16> identification;
+    bit<3>  flags;
+    bit<13> fragOffset;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> hdrChecksum;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    vlan_t vlan;
+    ipv4_t ipv4;
+}
+
+struct metadata_t {
+    bit<12> tunnel_vid;
+    bit<32> ecmp_hash;
+    bit<1>  uplink;
+    bit<9>  mirror_port;
+    bit<1>  mirrored;
+}
+
+parser FabricParser(packet_in pkt, out headers_t hdr, inout metadata_t meta,
+                    inout standard_metadata_t standard_metadata) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_VLAN: parse_vlan;
+            default: parse_ipv4;
+        }
+    }
+    state parse_vlan {
+        pkt.extract(hdr.vlan);
+        transition parse_ipv4;
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+
+control FabricIngress(inout headers_t hdr, inout metadata_t meta,
+                      inout standard_metadata_t standard_metadata) {
+    // ------------------------------------------------ next-hop routing --
+    action route_leaf(bit<9> port, bit<48> dmac) {
+        standard_metadata.egress_spec = port;
+        hdr.ethernet.dstAddr = dmac;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    action route_spine(bit<9> port) {
+        standard_metadata.egress_spec = port;
+        meta.uplink = 1;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    action route_ecmp(bit<9> base) {
+        meta.ecmp_hash = hdr.ipv4.srcAddr ^ hdr.ipv4.dstAddr;
+        standard_metadata.egress_spec = base;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    action route_tunnel(bit<12> vid) {
+        meta.tunnel_vid = vid;
+        hdr.ipv4.diffserv = hdr.ipv4.diffserv | 0x4;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    action send_to_cpu() {
+        standard_metadata.egress_spec = CPU_PORT;
+        hdr.ipv4.diffserv = DSCP_EF;
+    }
+    action drop_packet() {
+        mark_to_drop(standard_metadata);
+    }
+    table nexthop {
+        key = { hdr.ipv4.dstAddr : lpm; }
+        actions = { route_leaf; route_spine; route_ecmp; route_tunnel;
+                    send_to_cpu; drop_packet; }
+        default_action = drop_packet;
+    }
+
+    // --------------------------------------------------------------- acl --
+    action acl_permit() { }
+    action acl_deny() {
+        mark_to_drop(standard_metadata);
+    }
+    action acl_mirror(bit<9> mport) {
+        meta.mirror_port = mport;
+        meta.mirrored = 1;
+    }
+    action acl_mark(bit<8> dscp) {
+        hdr.ipv4.diffserv = dscp;
+    }
+    table acl {
+        key = { hdr.ipv4.srcAddr : ternary;
+                hdr.ipv4.protocol : exact; }
+        actions = { acl_permit; acl_deny; acl_mirror; acl_mark; }
+        default_action = acl_permit;
+    }
+
+    // ----------------------------------------------------- traffic class --
+    action tc_best_effort() { }
+    action tc_assured(bit<3> q) {
+        standard_metadata.priority = q;
+    }
+    action tc_expedited() {
+        standard_metadata.priority = 7;
+        hdr.ipv4.diffserv = DSCP_EF;
+    }
+    action tc_scavenger() {
+        standard_metadata.priority = 1;
+        hdr.ipv4.diffserv = hdr.ipv4.diffserv & 0xFC;
+    }
+    table tclass {
+        key = { hdr.ipv4.diffserv : ternary; }
+        actions = { tc_best_effort; tc_assured; tc_expedited; tc_scavenger; }
+        default_action = tc_best_effort;
+    }
+
+    apply {
+        // Stamp the fabric transit mark before any stage runs; the egress
+        // assertion checks it survived the whole pipeline.
+        hdr.ipv4.identification = 0x7777;
+        nexthop.apply();
+        if (hdr.vlan.isValid()) {
+            // VLAN frames only enter through the 802.1Q parser branch.
+            @assert("if(traverse_path(), ethernet.etherType == 0x8100)");
+            meta.tunnel_vid = hdr.vlan.vid;
+        }
+        acl.apply();
+        tclass.apply();
+    }
+}
+
+control FabricEgress(inout headers_t hdr, inout metadata_t meta,
+                     inout standard_metadata_t standard_metadata) {
+    counter(4, CounterType.packets) egress_pkts;
+
+    action rw_set_smac(bit<48> smac) {
+        hdr.ethernet.srcAddr = smac;
+    }
+    action rw_decap() {
+        hdr.ipv4.diffserv = hdr.ipv4.diffserv & 0xFC;
+    }
+    action rw_noop() { }
+    table egress_rewrite {
+        key = { standard_metadata.egress_spec : exact; }
+        actions = { rw_set_smac; rw_decap; rw_noop; }
+        default_action = rw_noop;
+    }
+
+    // Telemetry export: sample or span selected egress flows.
+    action tm_span(bit<9> span_port) {
+        meta.mirror_port = span_port;
+    }
+    action tm_sample() {
+        hdr.ipv4.diffserv = hdr.ipv4.diffserv | 0x2;
+    }
+    action tm_none() { }
+    table telemetry {
+        key = { hdr.ipv4.dstAddr : ternary; }
+        actions = { tm_span; tm_sample; tm_none; }
+        default_action = tm_none;
+    }
+
+    apply {
+        // The ingress-stamped transit mark must reach egress unmodified on
+        // every path: no stage writes identification after the stamp.
+        @assert("if(traverse_path(), ipv4.identification == 0x7777)");
+        egress_pkts.count(0);
+        egress_rewrite.apply();
+        telemetry.apply();
+        if (meta.mirrored == 1) {
+            hdr.ipv4.diffserv = hdr.ipv4.diffserv | 0x1;
+        }
+    }
+}
+
+control FabricDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.vlan);
+        pkt.emit(hdr.ipv4);
+    }
+}
+
+V1Switch(FabricParser, FabricIngress, FabricEgress, FabricDeparser) main;
+`,
+})

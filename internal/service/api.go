@@ -93,6 +93,13 @@ type JobRequest struct {
 	Rules string `json:"rules,omitempty"`
 	// Options selects the technique matrix.
 	Options Techniques `json:"options"`
+	// BaseJob optionally names a previously submitted job this request is
+	// an edit of. The job runs through the incremental engine
+	// (internal/incr): submodels whose executable content the base job's
+	// run already verified replay from the daemon's submodel cache, and
+	// the edit is attributed unit-by-unit against the base job's source.
+	// Requires the daemon's submodel cache and options.parallel > 0.
+	BaseJob string `json:"base_job,omitempty"`
 }
 
 // JobState is the lifecycle state of a job:
@@ -129,6 +136,12 @@ type JobStatus struct {
 	Verdict string `json:"verdict,omitempty"`
 	// Violations is the violated-assertion count of a done job.
 	Violations int `json:"violations,omitempty"`
+	// SubmodelsReused and SubmodelsExecuted report the incremental
+	// engine's cache behaviour for a job that ran through it (the daemon
+	// has a submodel cache and the job ran with parallel > 0): how many
+	// submodel verdicts replayed from the cache vs executed symbolically.
+	SubmodelsReused   int `json:"submodels_reused,omitempty"`
+	SubmodelsExecuted int `json:"submodels_executed,omitempty"`
 	// Timestamps (RFC 3339); zero values are omitted.
 	EnqueuedAt time.Time  `json:"enqueued_at"`
 	StartedAt  *time.Time `json:"started_at,omitempty"`
@@ -150,9 +163,12 @@ type StatsResponse struct {
 	Failed    int64 `json:"failed"`
 	Cancelled int64 `json:"cancelled"`
 	CacheHits int64 `json:"cache_hits"`
-	// Cache is the result-cache counter snapshot (zero value when the
-	// daemon runs without a cache).
+	// Cache is the whole-program result-cache counter snapshot (zero
+	// value when the daemon runs without a cache).
 	Cache CacheStats `json:"cache"`
+	// SubmodelCache is the submodel-granular tier's counter snapshot (the
+	// incremental engine's memoization store; zero value when disabled).
+	SubmodelCache CacheStats `json:"submodel_cache"`
 	// Techniques maps a technique label to the latency histogram of the
 	// jobs that actually executed under it (cache hits are excluded: they
 	// measure the cache, not the verifier).

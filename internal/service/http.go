@@ -70,7 +70,15 @@ func Handler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		// The liveness body carries the queue bound and current depth so a
+		// load balancer can shed before hitting 429s on submission.
+		s := m.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":         "ok",
+			"queue_depth":    s.QueueDepth,
+			"queue_capacity": s.QueueCapacity,
+			"workers":        s.Workers,
+		})
 	})
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {

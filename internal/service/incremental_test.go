@@ -1,0 +1,137 @@
+package service
+
+// The daemon's incremental path: a job naming a base_job re-executes only
+// the submodels its edit can affect, replaying the rest from the submodel
+// cache — and the served report stays byte-identical (ComparableJSON) to a
+// cold parallel run of the edited program.
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"p4assert/internal/core"
+	"p4assert/internal/vcache"
+)
+
+func TestBaseJobIncrementalResubmission(t *testing.T) {
+	subCache, err := vcache.NewSubmodelTier(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{Workers: 2, SubCache: subCache})
+	defer m.Shutdown(context.Background())
+
+	req := corpusRequest(t, "fabric")
+	req.Options.Parallel = 4
+	base, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSt := waitTerminal(t, m, base.ID)
+	if baseSt.State != StateDone {
+		t.Fatalf("base job: %s (%s)", baseSt.State, baseSt.Error)
+	}
+	if baseSt.SubmodelsExecuted == 0 || baseSt.SubmodelsReused != 0 {
+		t.Fatalf("cold base job reused %d / executed %d submodels",
+			baseSt.SubmodelsReused, baseSt.SubmodelsExecuted)
+	}
+
+	// Edit one routing action and resubmit against the base job.
+	edited := req
+	edited.Source = strings.Replace(req.Source, "meta.uplink = 1;", "meta.uplink = 0;", 1)
+	if edited.Source == req.Source {
+		t.Fatal("edit did not apply")
+	}
+	edited.BaseJob = base.ID
+	st, err := m.Submit(edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitTerminal(t, m, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("incremental job: %s (%s)", st.State, st.Error)
+	}
+	if st.SubmodelsReused == 0 {
+		t.Fatal("edited resubmission replayed no submodel verdicts")
+	}
+	if st.SubmodelsExecuted >= st.SubmodelsReused {
+		t.Fatalf("single-action edit executed %d submodels, reused only %d",
+			st.SubmodelsExecuted, st.SubmodelsReused)
+	}
+
+	// Served report must match a cold parallel run of the edited program.
+	data, err := m.Report(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var served core.Report
+	if err := served.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	opts, err := edited.Options.CoreOptions(edited.Rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := core.VerifySource(edited.Filename, edited.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cold.ComparableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := served.ComparableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("served incremental report differs from cold run\ncold:   %s\nserved: %s", want, got)
+	}
+
+	// The submodel tier's counters surface on Stats.
+	stats := m.Stats()
+	if !stats.SubmodelCache.Enabled || stats.SubmodelCache.Hits == 0 {
+		t.Fatalf("submodel cache stats missing: %+v", stats.SubmodelCache)
+	}
+}
+
+func TestBaseJobValidation(t *testing.T) {
+	subCache, err := vcache.NewSubmodelTier(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No submodel cache configured.
+	m := New(Config{Workers: 1})
+	req := corpusRequest(t, "vss")
+	req.Options.Parallel = 4
+	req.BaseJob = "job-1"
+	if _, err := m.Submit(req); err == nil {
+		t.Fatal("base_job accepted without a submodel cache")
+	}
+	m.Shutdown(context.Background())
+
+	m = New(Config{Workers: 1, SubCache: subCache})
+	defer m.Shutdown(context.Background())
+
+	// Unknown base job.
+	if _, err := m.Submit(req); err == nil {
+		t.Fatal("unknown base_job accepted")
+	}
+
+	// Sequential options cannot take the incremental path.
+	base := corpusRequest(t, "vss")
+	base.Options.Parallel = 4
+	st, err := m.Submit(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, st.ID)
+	seq := corpusRequest(t, "vss")
+	seq.BaseJob = st.ID
+	if _, err := m.Submit(seq); err == nil {
+		t.Fatal("base_job accepted with options.parallel == 0")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"p4assert/internal/core"
+	"p4assert/internal/incr"
 	"p4assert/internal/vcache"
 )
 
@@ -41,6 +42,12 @@ type Config struct {
 	QueueDepth int
 	// Cache, when non-nil, serves repeat requests content-addressed.
 	Cache *vcache.Cache
+	// SubCache, when non-nil, is the submodel-granular tier
+	// (vcache.NewSubmodelTier): parallel jobs then run through the
+	// incremental engine, memoizing per-submodel verdicts so an edited
+	// resubmission (JobRequest.BaseJob) re-executes only the submodels
+	// the edit can affect.
+	SubCache *vcache.Cache
 	// JobTimeout, when positive, caps each job's execution wall time via
 	// context cancellation (independent of a Timeout the client sets in
 	// Techniques, which bounds exploration and reports Exhausted).
@@ -60,10 +67,15 @@ type job struct {
 	opts      core.Options
 	key       string
 	technique string
+	// baseSource is the BaseJob's program text, captured at submit time
+	// (the base job may be retired from the table before this job runs).
+	baseSource string
 
-	state      JobState
-	err        string
-	cacheHit   bool
+	state       JobState
+	err         string
+	cacheHit    bool
+	subReused   int
+	subExecuted int
 	reportData []byte // serialized core.Report of a done job
 	verdict    string
 	violations int
@@ -140,6 +152,19 @@ func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if req.BaseJob != "" {
+		if m.cfg.SubCache == nil {
+			return JobStatus{}, errors.New("service: base_job requires the daemon's submodel cache")
+		}
+		if opts.Parallel <= 0 {
+			return JobStatus{}, errors.New("service: base_job requires options.parallel > 0 (the incremental engine runs the submodel-split pipeline)")
+		}
+		base, ok := m.jobs[req.BaseJob]
+		if !ok {
+			return JobStatus{}, fmt.Errorf("service: %w: base_job %s", ErrUnknownJob, req.BaseJob)
+		}
+		j.baseSource = base.req.Source
+	}
 	if m.closed {
 		return JobStatus{}, ErrShuttingDown
 	}
@@ -268,18 +293,10 @@ func (m *Manager) Stats() StatsResponse {
 	}
 	m.mu.Unlock()
 	if m.cfg.Cache != nil {
-		cs := m.cfg.Cache.Stats()
-		s.Cache = CacheStats{
-			Enabled:    true,
-			Hits:       cs.Hits,
-			Misses:     cs.Misses,
-			MemHits:    cs.MemHits,
-			DiskHits:   cs.DiskHits,
-			Evictions:  cs.Evictions,
-			Entries:    cs.Entries,
-			MaxEntries: cs.MaxEntries,
-			DiskTier:   cs.DiskTier,
-		}
+		s.Cache = wireCacheStats(m.cfg.Cache.Stats())
+	}
+	if m.cfg.SubCache != nil {
+		s.SubmodelCache = wireCacheStats(m.cfg.SubCache.Stats())
 	}
 	m.histMu.Lock()
 	if len(m.hist) > 0 {
@@ -290,6 +307,21 @@ func (m *Manager) Stats() StatsResponse {
 	}
 	m.histMu.Unlock()
 	return s
+}
+
+// wireCacheStats converts a vcache counter snapshot to the wire form.
+func wireCacheStats(cs vcache.Stats) CacheStats {
+	return CacheStats{
+		Enabled:    true,
+		Hits:       cs.Hits,
+		Misses:     cs.Misses,
+		MemHits:    cs.MemHits,
+		DiskHits:   cs.DiskHits,
+		Evictions:  cs.Evictions,
+		Entries:    cs.Entries,
+		MaxEntries: cs.MaxEntries,
+		DiskTier:   cs.DiskTier,
+	}
 }
 
 // worker pops jobs until the queue closes (Shutdown).
@@ -330,7 +362,24 @@ func (m *Manager) runJob(j *job) {
 		}
 	}
 
-	rep, err := core.VerifySourceCtx(ctx, j.req.Filename, j.req.Source, j.opts)
+	// Parallel jobs run through the incremental engine whenever the
+	// submodel tier exists: every run memoizes its per-submodel verdicts,
+	// so a later edit (base_job) — or any job sharing submodel content —
+	// replays them instead of re-exploring. The report is byte-identical
+	// (modulo wall-clock fields) to a cold parallel run.
+	var rep *core.Report
+	var err error
+	if m.cfg.SubCache != nil && j.opts.Parallel > 0 {
+		var man *incr.Manifest
+		rep, man, err = core.VerifyIncrementalSource(ctx, j.req.Filename, j.baseSource, j.req.Source, j.opts, m.cfg.SubCache)
+		if man != nil {
+			m.mu.Lock()
+			j.subReused, j.subExecuted = man.Reused, man.Executed
+			m.mu.Unlock()
+		}
+	} else {
+		rep, err = core.VerifySourceCtx(ctx, j.req.Filename, j.req.Source, j.opts)
+	}
 	if err != nil {
 		m.finish(j, nil, false, err)
 		return
@@ -433,6 +482,9 @@ func (j *job) statusLocked() JobStatus {
 		Verdict:    j.verdict,
 		Violations: j.violations,
 		EnqueuedAt: j.enqueued,
+
+		SubmodelsReused:   j.subReused,
+		SubmodelsExecuted: j.subExecuted,
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -186,12 +186,25 @@ func Run(p *model.Program, opts sym.Options, workers int) (*Result, error) {
 	}
 	wg.Wait()
 
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return Aggregate(subs, results), nil
+}
+
+// Aggregate merges per-submodel results into one Result, in submodel
+// order: violation union (first submodel finding an assertion claims its
+// counterexample, later ones add their path counts), metric sums, and the
+// worst-submodel instruction count. The merge is deterministic in the
+// submodel order, never in execution completion order — the incremental
+// engine (internal/incr) relies on this to mix cached and freshly executed
+// submodel results into a report byte-identical to a cold run's.
+func Aggregate(subs []*model.Program, results []*sym.Result) *Result {
 	out := &Result{ViolationModels: map[int]*model.Program{}}
 	seen := map[int]*sym.Violation{}
 	for i, r := range results {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
 		out.PerModel = append(out.PerModel, r.Metrics)
 		m := &out.Agg.Metrics
 		m.Paths += r.Metrics.Paths
@@ -218,5 +231,5 @@ func Run(p *model.Program, opts sym.Options, workers int) (*Result, error) {
 			out.ViolationModels[v.AssertID] = subs[i]
 		}
 	}
-	return out, nil
+	return out
 }

@@ -37,6 +37,28 @@ import (
 // non-positive capacity.
 const DefaultMaxEntries = 512
 
+// SubmodelDefaultMaxEntries bounds the submodel-granular tier when
+// NewSubmodelTier is given a non-positive capacity. Submodel verdicts are
+// far smaller than whole-program reports and a single program contributes
+// many of them, so the tier holds more entries.
+const SubmodelDefaultMaxEntries = 8192
+
+// NewSubmodelTier returns the submodel-granular cache tier used by the
+// incremental verification engine (internal/incr): keys are submodel
+// executable-content digests (incr.SubmodelKey), values are serialized
+// per-submodel verdicts (incr.EncodeResult). A non-empty dir places the
+// disk tier in dir/submodels, beside but disjoint from the whole-program
+// tier. *Cache satisfies incr.Store.
+func NewSubmodelTier(maxEntries int, dir string) (*Cache, error) {
+	if maxEntries <= 0 {
+		maxEntries = SubmodelDefaultMaxEntries
+	}
+	if dir != "" {
+		dir = filepath.Join(dir, "submodels")
+	}
+	return New(maxEntries, dir)
+}
+
 // Key derives the content address of a verification request: program
 // source (canonicalized), rule configuration (canonically rendered), and
 // the full options matrix. The program's file name is deliberately not
