@@ -16,6 +16,12 @@
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/healthz          liveness
 //	GET    /v1/stats            queue depth, cache counters, latency histograms
+//	GET    /v1/metrics          Prometheus text exposition (docs/observability.md)
+//
+// Every request is logged as a structured (log/slog) access-log line with
+// a request ID, which is also echoed in the X-Request-Id response header.
+// -debug-addr starts a second, loopback-only listener serving
+// net/http/pprof (never exposed on the API listener).
 //
 // SIGINT/SIGTERM drain gracefully: queued jobs finish, then the process
 // exits; a second signal (or -drain-timeout) forces cancellation.
@@ -23,11 +29,14 @@ package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +49,7 @@ import (
 func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:9464", "listen address")
+		debugAddr    = flag.String("debug-addr", "", "optional debug listen address serving net/http/pprof (keep loopback-only)")
 		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		queueDepth   = flag.Int("queue", 256, "job queue depth; submissions beyond it are rejected")
 		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "per-job wall-time cap (0 = none)")
@@ -48,6 +58,7 @@ func main() {
 		subCacheSize = flag.Int("subcache-entries", vcache.SubmodelDefaultMaxEntries, "in-memory submodel-cache entries for incremental re-verification (0 = disable)")
 		retainJobs   = flag.Int("retain-jobs", 4096, "finished jobs kept queryable")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for queued jobs on shutdown before cancelling them")
+		logJSON      = flag.Bool("log-json", false, "emit logs as JSON (default: logfmt-style text)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: p4served [flags]\n\n")
@@ -59,12 +70,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
 	var cache *vcache.Cache
 	if *cacheSize > 0 || *cacheDir != "" {
 		var err error
 		cache, err = vcache.New(*cacheSize, *cacheDir)
 		if err != nil {
-			log.Fatalf("p4served: %v", err)
+			logger.Error("cache init failed", "err", err)
+			os.Exit(1)
 		}
 	}
 	var subCache *vcache.Cache
@@ -72,7 +90,8 @@ func main() {
 		var err error
 		subCache, err = vcache.NewSubmodelTier(*subCacheSize, *cacheDir)
 		if err != nil {
-			log.Fatalf("p4served: %v", err)
+			logger.Error("submodel cache init failed", "err", err)
+			os.Exit(1)
 		}
 	}
 	mgr := service.New(service.Config{
@@ -84,19 +103,31 @@ func main() {
 		RetainJobs: *retainJobs,
 	})
 
-	srv := &http.Server{Addr: *addr, Handler: service.Handler(mgr)}
+	srv := &http.Server{Addr: *addr, Handler: accessLog(logger, service.Handler(mgr))}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("p4served: listening on %s (queue=%d, cache=%v, dir=%q)",
-		*addr, *queueDepth, cache != nil, *cacheDir)
+	logger.Info("listening", "addr", *addr, "queue", *queueDepth,
+		"cache", cache != nil, "cache_dir", *cacheDir)
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: pprofMux()}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("debug listener (pprof)", "addr", *debugAddr)
+	}
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		log.Fatalf("p4served: %v", err)
+		logger.Error("listener failed", "err", err)
+		os.Exit(1)
 	case s := <-sig:
-		log.Printf("p4served: %v: draining (second signal cancels immediately)", s)
+		logger.Info("draining (second signal cancels immediately)", "signal", s.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
@@ -105,9 +136,78 @@ func main() {
 		cancel()
 	}()
 	srv.Shutdown(context.Background())
+	if debugSrv != nil {
+		debugSrv.Shutdown(context.Background())
+	}
 	if err := mgr.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) {
-		log.Printf("p4served: forced drain: %v", err)
+		logger.Warn("forced drain", "err", err)
 	}
 	cancel()
-	log.Printf("p4served: stopped")
+	logger.Info("stopped")
+}
+
+// pprofMux exposes the net/http/pprof endpoints on a dedicated mux, so
+// the profiling surface exists only on the -debug-addr listener and
+// never on the public API one.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// statusRecorder captures the response status and size for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// accessLog wraps the API handler with request-ID assignment and one
+// structured log line per request. A client-supplied X-Request-Id is
+// honoured (trusted proxies stamp one); otherwise a fresh ID is minted.
+// The ID is echoed in the response so clients can correlate.
+func accessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		logger.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"duration_ms", time.Since(start).Milliseconds(),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// newRequestID mints a 16-hex-digit random request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
 }

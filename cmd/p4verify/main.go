@@ -12,7 +12,10 @@
 // -parallel N (submodel parallelization on N workers).
 //
 // -json emits the machine-readable core.Report (the serialization shared
-// with the verification service). -remote ADDR offloads the job to a
+// with the verification service). -trace FILE records the pipeline's span
+// tree — including one span per submodel under -parallel — as a Chrome
+// trace-event file loadable in chrome://tracing or https://ui.perfetto.dev
+// (see docs/observability.md). -remote ADDR offloads the job to a
 // p4served daemon instead of verifying in-process. -watch re-verifies on
 // every save through the incremental engine (internal/incr) — only the
 // submodels an edit can affect re-execute — and prints the delta: changed
@@ -35,6 +38,7 @@ import (
 	"p4assert"
 	"p4assert/internal/core"
 	"p4assert/internal/service"
+	"p4assert/internal/telemetry"
 )
 
 func main() {
@@ -55,6 +59,7 @@ func main() {
 		remote    = flag.String("remote", "", "offload to a p4served daemon at this address (e.g. http://127.0.0.1:9464)")
 		watch     = flag.Bool("watch", false, "re-verify incrementally on every save, printing only the delta")
 		watchIvl  = flag.Duration("watch-interval", 200*time.Millisecond, "poll interval for -watch")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event file (Perfetto-loadable) of the pipeline span tree")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: p4verify [flags] program.p4\n\n")
@@ -92,6 +97,19 @@ func main() {
 		opts.Rules = rs
 	}
 
+	// -trace records the span tree of the local pipeline; it excludes the
+	// modes that never run it (remote offload, watch loops, model dumps).
+	ctx := context.Background()
+	var tr *telemetry.Trace
+	if *traceOut != "" {
+		if *remote != "" || *watch || *dumpModel || *genTests {
+			fmt.Fprintln(os.Stderr, "p4verify: -trace records a single local verification and excludes -remote, -watch, -dump-model and -gen-tests")
+			os.Exit(2)
+		}
+		tr = telemetry.NewTrace()
+		ctx = telemetry.WithTrace(ctx, tr)
+	}
+
 	if *watch {
 		if *remote != "" || *dumpModel || *genTests {
 			fmt.Fprintln(os.Stderr, "p4verify: -watch is local-only and excludes -remote, -dump-model and -gen-tests")
@@ -102,8 +120,9 @@ func main() {
 	}
 
 	if *remote != "" || *jsonOut {
-		runCoreMode(*remote, *jsonOut, flag.Arg(0), rulesText, coreTechniques(opts))
-		return
+		code := runCoreMode(ctx, *remote, *jsonOut, flag.Arg(0), rulesText, coreTechniques(opts))
+		writeTrace(tr, *traceOut)
+		os.Exit(code)
 	}
 
 	if *dumpModel || *genTests {
@@ -133,11 +152,17 @@ func main() {
 		return
 	}
 
-	rep, err := p4assert.VerifyFile(flag.Arg(0), opts)
+	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "p4verify:", err)
 		os.Exit(2)
 	}
+	rep, err := p4assert.VerifyCtx(ctx, flag.Arg(0), string(src), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4verify:", err)
+		os.Exit(2)
+	}
+	writeTrace(tr, *traceOut)
 
 	if rep.SliceFailed != nil {
 		fmt.Fprintf(os.Stderr, "p4verify: slicing unavailable (%v); verified unsliced\n", rep.SliceFailed)
@@ -189,19 +214,20 @@ func coreTechniques(o *p4assert.Options) service.Techniques {
 
 // runCoreMode handles -json and -remote: both work in terms of core.Report
 // (the serialization shared with the service) rather than the summary-only
-// p4assert.Report. Exit status matches the default path: 0 ok, 1 violations,
-// 2 front-end or transport errors.
-func runCoreMode(remoteAddr string, jsonOut bool, file, rulesText string, tech service.Techniques) {
+// p4assert.Report. It returns the exit status rather than exiting so the
+// caller can flush a -trace file first: 0 ok, 1 violations, 2 front-end or
+// transport errors.
+func runCoreMode(ctx context.Context, remoteAddr string, jsonOut bool, file, rulesText string, tech service.Techniques) int {
 	data, err := os.ReadFile(file)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "p4verify:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	var rep *core.Report
 	if remoteAddr != "" {
 		client := &service.Client{Base: remoteAddr}
-		rep, _, err = client.Verify(context.Background(), service.JobRequest{
+		rep, _, err = client.Verify(ctx, service.JobRequest{
 			Filename: file,
 			Source:   string(data),
 			Rules:    rulesText,
@@ -211,19 +237,19 @@ func runCoreMode(remoteAddr string, jsonOut bool, file, rulesText string, tech s
 		var opts core.Options
 		opts, err = tech.CoreOptions(rulesText)
 		if err == nil {
-			rep, err = core.VerifySource(file, string(data), opts)
+			rep, err = core.VerifySourceCtx(ctx, file, string(data), opts)
 		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "p4verify:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	if jsonOut {
 		out, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "p4verify:", err)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Println(string(out))
 	} else {
@@ -233,6 +259,26 @@ func runCoreMode(remoteAddr string, jsonOut bool, file, rulesText string, tech s
 		fmt.Println(rep.Summary())
 	}
 	if len(rep.Violations) > 0 {
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+// writeTrace exports the recorded span tree as a Chrome trace-event file
+// (chrome://tracing, https://ui.perfetto.dev). No-op without -trace.
+func writeTrace(tr *telemetry.Trace, path string) {
+	if tr == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4verify: -trace:", err)
+		return
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		fmt.Fprintln(os.Stderr, "p4verify: -trace:", err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "p4verify: -trace:", err)
 	}
 }

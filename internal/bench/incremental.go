@@ -32,6 +32,14 @@ type IncrementalRun struct {
 	ColdSeconds        float64 `json:"cold_seconds"`
 	IncrementalSeconds float64 `json:"incremental_seconds"`
 	Speedup            float64 `json:"speedup"`
+	// ColdStages and IncrementalStages break one repetition's run into
+	// the pipeline-stage wall times (the report's telemetry section), so
+	// the BENCH json shows where cold and incremental runs spend their
+	// time — e.g. that an incremental run's execute stage collapses while
+	// translate stays constant. Taken from the last repetition; the
+	// *_seconds fields above remain best-of.
+	ColdStages        []core.ReportStage `json:"cold_stages,omitempty"`
+	IncrementalStages []core.ReportStage `json:"incremental_stages,omitempty"`
 }
 
 // IncrementalResult is the BENCH_incremental.json payload.
@@ -128,6 +136,9 @@ func Incremental(repeats int, workerCounts []int) (*IncrementalResult, error) {
 				row.ColdSeconds = sec
 			}
 			coldRep = rep
+			if rep.Telemetry != nil {
+				row.ColdStages = rep.Telemetry.Stages
+			}
 		}
 
 		for i := 0; i < repeats; i++ {
@@ -153,6 +164,9 @@ func Incremental(repeats int, workerCounts []int) (*IncrementalResult, error) {
 			sec := time.Since(t0).Seconds()
 			if i == 0 || sec < row.IncrementalSeconds {
 				row.IncrementalSeconds = sec
+			}
+			if rep.Telemetry != nil {
+				row.IncrementalStages = rep.Telemetry.Stages
 			}
 			res.Submodels, res.Reused, res.Executed = man.Submodels, man.Reused, man.Executed
 

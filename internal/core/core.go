@@ -18,6 +18,7 @@ import (
 	"p4assert/internal/slicer"
 	"p4assert/internal/submodel"
 	"p4assert/internal/sym"
+	"p4assert/internal/telemetry"
 	"p4assert/internal/translate"
 )
 
@@ -76,11 +77,20 @@ type Report struct {
 	// non-nil, execution proceeded on the unsliced model, matching how the
 	// paper reports "-" for MRI.
 	SliceErr error
-	// Durations of the pipeline stages.
+	// Durations of the pipeline stages. ParseTime and CheckTime are only
+	// recorded when verification starts from source text.
+	ParseTime     time.Duration
+	CheckTime     time.Duration
 	TranslateTime time.Duration
 	OptimizeTime  time.Duration
 	SliceTime     time.Duration
 	ExecTime      time.Duration
+	// Telemetry is the observability section of the report: the stage
+	// wall-time breakdown and the executor work counters, in the named
+	// form external consumers (p4bench BENCH json, dashboards) read
+	// without knowing the Report field layout. Populated by every cold
+	// and incremental pipeline run; nil on reports built elsewhere.
+	Telemetry *ReportTelemetry
 	// Tests holds one generated test case per completed path when
 	// Options.CollectTests is set (sequential runs only).
 	Tests []sym.PathTest
@@ -101,14 +111,34 @@ func VerifySource(filename, source string, opts Options) (*Report, error) {
 // ctx.Err() is returned. The verification service uses this for per-job
 // timeouts and client-requested cancellation.
 func VerifySourceCtx(ctx context.Context, filename, source string, opts Options) (*Report, error) {
-	prog, err := p4.Parse(filename, source)
+	rep := &Report{}
+	prog, err := parseChecked(ctx, filename, source, rep)
 	if err != nil {
 		return nil, err
 	}
-	if err := prog.Check(); err != nil {
+	return verifyProgram(ctx, prog, opts, rep, true)
+}
+
+// parseChecked runs the front end (parse + typecheck) under spans,
+// recording the two stage durations in rep.
+func parseChecked(ctx context.Context, filename, source string, rep *Report) (*p4.Program, error) {
+	t0 := time.Now()
+	_, sp := telemetry.StartSpan(ctx, "parse")
+	prog, err := p4.Parse(filename, source)
+	sp.End()
+	rep.ParseTime = time.Since(t0)
+	if err != nil {
 		return nil, err
 	}
-	return VerifyProgramCtx(ctx, prog, opts)
+	t0 = time.Now()
+	_, sp = telemetry.StartSpan(ctx, "typecheck")
+	err = prog.Check()
+	sp.End()
+	rep.CheckTime = time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
 }
 
 // VerifyProgram runs the pipeline on a checked P4 program.
@@ -118,26 +148,40 @@ func VerifyProgram(prog *p4.Program, opts Options) (*Report, error) {
 
 // VerifyProgramCtx is VerifyProgram with early cancellation via ctx.
 func VerifyProgramCtx(ctx context.Context, prog *p4.Program, opts Options) (*Report, error) {
-	rep := &Report{}
+	return verifyProgram(ctx, prog, opts, &Report{}, false)
+}
 
+func verifyProgram(ctx context.Context, prog *p4.Program, opts Options, rep *Report, fromSource bool) (*Report, error) {
+	m, err := translateStage(ctx, prog, opts, rep)
+	if err != nil {
+		return nil, err
+	}
+	return verifyModel(ctx, m, opts, rep, fromSource)
+}
+
+// translateStage runs the translator under its span, recording the stage
+// duration in rep. Shared by the cold pipeline and the incremental
+// engine.
+func translateStage(ctx context.Context, prog *p4.Program, opts Options, rep *Report) (*model.Program, error) {
 	t0 := time.Now()
+	_, sp := telemetry.StartSpan(ctx, "translate")
 	m, err := translate.Translate(prog, translate.Options{
 		Rules:              opts.Rules,
 		RegisterCellLimit:  opts.RegisterCellLimit,
 		AutoValidityChecks: opts.AutoValidityChecks,
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	rep.TranslateTime = time.Since(t0)
-
-	return verifyModel(ctx, m, opts, rep)
+	return m, nil
 }
 
 // VerifyModel runs the post-translation pipeline stages on a model
 // directly (used by benchmarks that pre-build models).
 func VerifyModel(m *model.Program, opts Options) (*Report, error) {
-	return verifyModel(context.Background(), m, opts, &Report{})
+	return verifyModel(context.Background(), m, opts, &Report{}, false)
 }
 
 // applyPasses runs the model-level pipeline stages selected by opts —
@@ -146,22 +190,27 @@ func VerifyModel(m *model.Program, opts Options) (*Report, error) {
 // pipeline (verifyModel) and the incremental engine (VerifyIncremental),
 // which must transform models identically for cached submodel verdicts to
 // stay comparable to cold ones.
-func applyPasses(m *model.Program, opts Options, rep *Report) *model.Program {
-	if opts.O3 {
+func applyPasses(ctx context.Context, m *model.Program, opts Options, rep *Report) *model.Program {
+	if opts.O3 || opts.Opt {
 		t0 := time.Now()
-		m = opt.Apply(m, opt.O3())
-		rep.OptimizeTime = time.Since(t0)
-	} else if opts.Opt {
-		// KLEE's --optimize flag runs LLVM passes over the bitcode before
-		// executing it; mirror that with the light pass set (no global
-		// constant marking or match-chain compaction, which are -O3's).
-		t0 := time.Now()
-		m = opt.Apply(m, opt.Passes{ConstFold: true, DeadCode: true, Simplify: true})
+		_, sp := telemetry.StartSpan(ctx, "optimize")
+		if opts.O3 {
+			m = opt.Apply(m, opt.O3())
+		} else {
+			// KLEE's --optimize flag runs LLVM passes over the bitcode
+			// before executing it; mirror that with the light pass set (no
+			// global constant marking or match-chain compaction, which are
+			// -O3's).
+			m = opt.Apply(m, opt.Passes{ConstFold: true, DeadCode: true, Simplify: true})
+		}
+		sp.End()
 		rep.OptimizeTime = time.Since(t0)
 	}
 	if opts.Slice {
 		t0 := time.Now()
+		_, sp := telemetry.StartSpan(ctx, "slice")
 		sliced, err := slicer.Slice(m)
+		sp.End()
 		if err != nil {
 			rep.SliceErr = err
 		} else {
@@ -189,19 +238,21 @@ func buildSymOpts(ctx context.Context, opts Options) sym.Options {
 	return symOpts
 }
 
-func verifyModel(ctx context.Context, m *model.Program, opts Options, rep *Report) (*Report, error) {
+func verifyModel(ctx context.Context, m *model.Program, opts Options, rep *Report, fromSource bool) (*Report, error) {
 	rep.Asserts = m.Asserts
 
-	m = applyPasses(m, opts, rep)
+	m = applyPasses(ctx, m, opts, rep)
 	rep.Model = m
 
 	symOpts := buildSymOpts(ctx, opts)
 
 	t0 := time.Now()
+	ectx, execSp := telemetry.StartSpan(ctx, "execute")
 	if opts.Parallel > 0 {
 		symOpts.CollectTests = false // test generation is sequential-only
-		res, err := submodel.Run(m, symOpts, opts.Parallel)
+		res, err := submodel.RunCtx(ectx, m, symOpts, opts.Parallel)
 		if err != nil {
+			execSp.End()
 			return nil, err
 		}
 		rep.Violations = res.Agg.Violations
@@ -213,6 +264,7 @@ func verifyModel(ctx context.Context, m *model.Program, opts Options, rep *Repor
 	} else {
 		res, err := sym.Execute(m, symOpts)
 		if err != nil {
+			execSp.End()
 			return nil, err
 		}
 		rep.Violations = res.Violations
@@ -220,8 +272,11 @@ func verifyModel(ctx context.Context, m *model.Program, opts Options, rep *Repor
 		rep.Tests = res.Tests
 		rep.Exhausted = res.Exhausted
 	}
+	submodel.AnnotateSpan(execSp, rep.Metrics)
+	execSp.End()
 	rep.ExecTime = time.Since(t0)
 	CanonicalizeViolations(rep.Violations)
+	fillTelemetry(rep, opts, fromSource)
 	return rep, nil
 }
 

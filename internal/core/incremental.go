@@ -14,7 +14,7 @@ import (
 	"p4assert/internal/incr"
 	"p4assert/internal/p4"
 	"p4assert/internal/submodel"
-	"p4assert/internal/translate"
+	"p4assert/internal/telemetry"
 )
 
 // VerifyIncremental verifies next, reusing cached submodel verdicts from
@@ -30,21 +30,17 @@ import (
 // run with Options.Parallel > 0. CollectTests is unsupported (as in every
 // parallel run) and is ignored. Both programs must already be checked.
 func VerifyIncremental(ctx context.Context, prev, next *p4.Program, opts Options, store incr.Store) (*Report, *incr.Manifest, error) {
-	rep := &Report{}
+	return verifyIncremental(ctx, prev, next, opts, store, &Report{}, false)
+}
 
-	t0 := time.Now()
-	m, err := translate.Translate(next, translate.Options{
-		Rules:              opts.Rules,
-		RegisterCellLimit:  opts.RegisterCellLimit,
-		AutoValidityChecks: opts.AutoValidityChecks,
-	})
+func verifyIncremental(ctx context.Context, prev, next *p4.Program, opts Options, store incr.Store, rep *Report, fromSource bool) (*Report, *incr.Manifest, error) {
+	m, err := translateStage(ctx, next, opts, rep)
 	if err != nil {
 		return nil, nil, err
 	}
-	rep.TranslateTime = time.Since(t0)
 	rep.Asserts = m.Asserts
 
-	m = applyPasses(m, opts, rep)
+	m = applyPasses(ctx, m, opts, rep)
 	rep.Model = m
 
 	symOpts := buildSymOpts(ctx, opts)
@@ -60,9 +56,11 @@ func VerifyIncremental(ctx context.Context, prev, next *p4.Program, opts Options
 		)
 	}
 
-	t0 = time.Now()
-	results, stats, err := plan.Run(ctx, store, opts.Parallel, delta.Touched())
+	t0 := time.Now()
+	ectx, execSp := telemetry.StartSpan(ctx, "execute")
+	results, stats, err := plan.Run(ectx, store, opts.Parallel, delta.Touched())
 	if err != nil {
+		execSp.End()
 		return nil, nil, err
 	}
 	res := submodel.Aggregate(plan.Submodels, results)
@@ -72,8 +70,12 @@ func VerifyIncremental(ctx context.Context, prev, next *p4.Program, opts Options
 	rep.Submodels = len(res.PerModel)
 	rep.Exhausted = res.Agg.Exhausted
 	rep.ViolationModels = res.ViolationModels
+	submodel.AnnotateSpan(execSp, rep.Metrics)
+	execSp.SetAttr("reused", int64(stats.Reused))
+	execSp.End()
 	rep.ExecTime = time.Since(t0)
 	CanonicalizeViolations(rep.Violations)
+	fillTelemetry(rep, opts, fromSource)
 
 	manifest := &incr.Manifest{
 		Delta:     delta,
@@ -87,6 +89,8 @@ func VerifyIncremental(ctx context.Context, prev, next *p4.Program, opts Options
 
 // VerifyIncrementalSource is VerifyIncremental over source text: it parses
 // and checks both versions (prevSource may be empty for a warm-up run).
+// Only the next version's front end runs under the parse/typecheck spans
+// and stage timings; the prev version is advisory diff input.
 func VerifyIncrementalSource(ctx context.Context, filename, prevSource, nextSource string, opts Options, store incr.Store) (*Report, *incr.Manifest, error) {
 	var prev *p4.Program
 	if prevSource != "" {
@@ -99,12 +103,10 @@ func VerifyIncrementalSource(ctx context.Context, filename, prevSource, nextSour
 		}
 		prev = p
 	}
-	next, err := p4.Parse(filename, nextSource)
+	rep := &Report{}
+	next, err := parseChecked(ctx, filename, nextSource, rep)
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := next.Check(); err != nil {
-		return nil, nil, err
-	}
-	return VerifyIncremental(ctx, prev, next, opts, store)
+	return verifyIncremental(ctx, prev, next, opts, store, rep, true)
 }

@@ -26,10 +26,13 @@ type wireReport struct {
 	Submodels                 int                 `json:"submodels,omitempty"`
 	Asserts                   []*model.AssertInfo `json:"asserts,omitempty"`
 	SliceError                string              `json:"slice_error,omitempty"`
+	ParseTimeNS               int64               `json:"parse_time_ns,omitempty"`
+	CheckTimeNS               int64               `json:"check_time_ns,omitempty"`
 	TranslateTimeNS           int64               `json:"translate_time_ns,omitempty"`
 	OptimizeTimeNS            int64               `json:"optimize_time_ns,omitempty"`
 	SliceTimeNS               int64               `json:"slice_time_ns,omitempty"`
 	ExecTimeNS                int64               `json:"exec_time_ns,omitempty"`
+	Telemetry                 *ReportTelemetry    `json:"telemetry,omitempty"`
 	Tests                     []sym.PathTest      `json:"tests,omitempty"`
 	Exhausted                 bool                `json:"exhausted,omitempty"`
 }
@@ -42,10 +45,13 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		WorstSubmodelInstructions: r.WorstSubmodelInstructions,
 		Submodels:                 r.Submodels,
 		Asserts:                   r.Asserts,
+		ParseTimeNS:               int64(r.ParseTime),
+		CheckTimeNS:               int64(r.CheckTime),
 		TranslateTimeNS:           int64(r.TranslateTime),
 		OptimizeTimeNS:            int64(r.OptimizeTime),
 		SliceTimeNS:               int64(r.SliceTime),
 		ExecTimeNS:                int64(r.ExecTime),
+		Telemetry:                 r.Telemetry,
 		Tests:                     r.Tests,
 		Exhausted:                 r.Exhausted,
 	}
@@ -67,10 +73,13 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 		WorstSubmodelInstructions: w.WorstSubmodelInstructions,
 		Submodels:                 w.Submodels,
 		Asserts:                   w.Asserts,
+		ParseTime:                 time.Duration(w.ParseTimeNS),
+		CheckTime:                 time.Duration(w.CheckTimeNS),
 		TranslateTime:             time.Duration(w.TranslateTimeNS),
 		OptimizeTime:              time.Duration(w.OptimizeTimeNS),
 		SliceTime:                 time.Duration(w.SliceTimeNS),
 		ExecTime:                  time.Duration(w.ExecTimeNS),
+		Telemetry:                 w.Telemetry,
 		Tests:                     w.Tests,
 		Exhausted:                 w.Exhausted,
 	}
@@ -87,7 +96,14 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 // violations, counterexamples, metrics, assertion table and all.
 func (r *Report) ComparableJSON() ([]byte, error) {
 	cp := *r
+	cp.ParseTime, cp.CheckTime = 0, 0
 	cp.TranslateTime, cp.OptimizeTime, cp.SliceTime, cp.ExecTime = 0, 0, 0, 0
+	if cp.Telemetry != nil {
+		// Stage wall times vary run to run, and which stages exist depends
+		// on whether the run started from source text; the work counters
+		// are deterministic and must match, so keep only those.
+		cp.Telemetry = &ReportTelemetry{Counters: cp.Telemetry.Counters}
+	}
 	return json.Marshal(&cp)
 }
 

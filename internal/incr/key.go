@@ -33,8 +33,10 @@ import (
 )
 
 // keyVersion invalidates every cached verdict when the serialization or
-// executor semantics change incompatibly.
-const keyVersion = "p4assert-subkey-v1"
+// executor semantics change incompatibly. v2: sym.Metrics gained
+// assert-check/frontier and bitblast counters; v1 verdicts would replay
+// them as zero and diverge from a cold run's report.
+const keyVersion = "p4assert-subkey-v2"
 
 // SubmodelKey digests a submodel's executable content under the given
 // executor options.

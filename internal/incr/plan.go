@@ -7,6 +7,7 @@ package incr
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"p4assert/internal/p4"
 	"p4assert/internal/submodel"
 	"p4assert/internal/sym"
+	"p4assert/internal/telemetry"
 )
 
 // Plan is the prepared incremental run for one translated program.
@@ -82,6 +84,14 @@ func (p *Plan) Run(ctx context.Context, store Store, workers int, touched map[st
 					run.Reused = true
 					stats.Reused++
 					stats.Runs[i] = run
+					// A reused submodel appears in the trace as a zero-cost
+					// cached span (same name and attributes as a cold run's)
+					// rather than as a gap, so trace timelines stay
+					// structurally comparable between cold and warm runs.
+					_, sp := telemetry.StartLane(ctx, fmt.Sprintf("submodel[%d]", i))
+					sp.MarkCached()
+					submodel.AnnotateSpan(sp, res.Metrics)
+					sp.End()
 					continue
 				}
 				// A corrupt entry re-executes and is overwritten below.
@@ -101,7 +111,13 @@ func (p *Plan) Run(ctx context.Context, store Store, workers int, touched map[st
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// Cancellation travels inside symOpts.Ctx; ctx carries telemetry.
+			_, sp := telemetry.StartLane(ctx, fmt.Sprintf("submodel[%d]", i))
 			results[i], errs[i] = sym.Execute(p.Submodels[i], p.symOpts)
+			if results[i] != nil {
+				submodel.AnnotateSpan(sp, results[i].Metrics)
+			}
+			sp.End()
 		}(i)
 	}
 	wg.Wait()
@@ -116,7 +132,6 @@ func (p *Plan) Run(ctx context.Context, store Store, workers int, touched map[st
 			}
 		}
 	}
-	_ = ctx // cancellation travels inside symOpts.Ctx
 	return results, stats, nil
 }
 

@@ -94,6 +94,11 @@ func New() *Solver {
 // NumVars returns the number of allocated variables.
 func (s *Solver) NumVars() int { return len(s.assign) }
 
+// NumClauses returns the number of stored problem clauses. Unit clauses
+// are enqueued directly rather than stored, and learned clauses are
+// tracked separately; neither is counted here.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
 // Stats returns (decisions, propagations, conflicts) counters.
 func (s *Solver) Stats() (int64, int64, int64) { return s.decisions, s.propags, s.conflicts }
 

@@ -1,74 +1,20 @@
 package service
 
-import (
-	"sync"
-	"time"
+import "p4assert/internal/telemetry"
+
+// The exponential-bucket latency histogram began life here and was
+// promoted to internal/telemetry when the observability layer grew a
+// registry and Prometheus exposition around it. These aliases keep the
+// service API (StatsResponse.Techniques and its wire types) source- and
+// wire-compatible.
+type (
+	// Histogram is an exponential-bucket latency histogram
+	// (telemetry.Histogram). The zero value is ready to use; it is safe
+	// for concurrent observation.
+	Histogram = telemetry.Histogram
+	// HistogramSnapshot is the wire form of a histogram.
+	HistogramSnapshot = telemetry.HistogramSnapshot
+	// HistogramBucket is one cumulative bucket; LeMS is its inclusive
+	// upper bound in milliseconds, -1 for the overflow (+Inf) bucket.
+	HistogramBucket = telemetry.HistogramBucket
 )
-
-// histBuckets is the number of exponential latency buckets: bucket i
-// counts jobs with latency < 1ms·2^i, the last bucket is the overflow
-// (+Inf). 1ms·2^20 ≈ 17.5 min, comfortably past any sane job timeout.
-const histBuckets = 21
-
-// Histogram is an exponential-bucket latency histogram. The zero value is
-// ready to use; it is safe for concurrent observation.
-type Histogram struct {
-	mu     sync.Mutex
-	counts [histBuckets]int64
-	count  int64
-	sum    time.Duration
-}
-
-// Observe records one latency sample.
-func (h *Histogram) Observe(d time.Duration) {
-	i := 0
-	for bound := time.Millisecond; i < histBuckets-1 && d >= bound; bound *= 2 {
-		i++
-	}
-	h.mu.Lock()
-	h.counts[i]++
-	h.count++
-	h.sum += d
-	h.mu.Unlock()
-}
-
-// HistogramSnapshot is the wire form of a histogram.
-type HistogramSnapshot struct {
-	Count int64 `json:"count"`
-	// SumMS is the total observed latency in milliseconds.
-	SumMS int64 `json:"sum_ms"`
-	// Buckets lists cumulative counts per upper bound, Prometheus-style.
-	Buckets []HistogramBucket `json:"buckets"`
-}
-
-// HistogramBucket is one cumulative bucket; LeMS is its inclusive upper
-// bound in milliseconds, -1 for the overflow (+Inf) bucket.
-type HistogramBucket struct {
-	LeMS  int64 `json:"le_ms"`
-	Count int64 `json:"count"`
-}
-
-// Snapshot renders the histogram. Empty buckets beyond the last occupied
-// one are trimmed, except the overflow marker when it is occupied.
-func (h *Histogram) Snapshot() HistogramSnapshot {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	s := HistogramSnapshot{Count: h.count, SumMS: h.sum.Milliseconds()}
-	cum := int64(0)
-	bound := int64(1)
-	for i := 0; i < histBuckets; i++ {
-		cum += h.counts[i]
-		le := bound
-		if i == histBuckets-1 {
-			le = -1
-		}
-		s.Buckets = append(s.Buckets, HistogramBucket{LeMS: le, Count: cum})
-		bound *= 2
-	}
-	// Trim the all-cumulative tail: buckets after the first one that
-	// already covers every sample carry no information.
-	for len(s.Buckets) > 1 && s.Buckets[len(s.Buckets)-2].Count == h.count {
-		s.Buckets = s.Buckets[:len(s.Buckets)-1]
-	}
-	return s
-}

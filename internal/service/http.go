@@ -18,6 +18,7 @@ const MaxRequestBytes = 16 << 20
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/healthz          liveness probe
 //	GET    /v1/stats            queue/cache/latency counters (StatsResponse)
+//	GET    /v1/metrics          Prometheus text exposition (service/metrics.go)
 func Handler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
@@ -83,6 +84,11 @@ func Handler(m *Manager) http.Handler {
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Stats())
+	})
+
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WriteMetrics(w)
 	})
 
 	return mux

@@ -1,0 +1,104 @@
+package service
+
+// Prometheus exposition for the service: every Manager owns a
+// telemetry.Registry fed by the job lifecycle (submission/terminal-state
+// counters, per-technique job-latency histograms) and by each finished
+// report's telemetry section (per-stage latency histograms, executor and
+// solver work counters). Point-in-time figures (queue depth, running
+// jobs, cache occupancy and hit counts) are refreshed from the live
+// structures at scrape time.
+
+import (
+	"io"
+	"time"
+
+	"p4assert/internal/core"
+	"p4assert/internal/telemetry"
+	"p4assert/internal/vcache"
+)
+
+// Registry returns the manager's metric registry, for embedding into a
+// larger exposition or inspecting in tests.
+func (m *Manager) Registry() *telemetry.Registry { return m.reg }
+
+// WriteMetrics renders the registry in Prometheus text exposition format
+// (the GET /v1/metrics body), refreshing the point-in-time gauges first.
+func (m *Manager) WriteMetrics(w io.Writer) error {
+	m.mu.Lock()
+	queueDepth := int64(len(m.queue))
+	running := m.running
+	m.mu.Unlock()
+	m.reg.Gauge("p4served_queue_depth", "Jobs waiting in the FIFO queue.").Set(queueDepth)
+	m.reg.Gauge("p4served_jobs_running", "Jobs currently executing on the worker pool.").Set(running)
+	m.reg.Gauge("p4served_workers", "Worker-pool size.").Set(int64(m.cfg.Workers))
+	if m.cfg.Cache != nil {
+		m.scrapeCache("report", m.cfg.Cache.Stats())
+	}
+	if m.cfg.SubCache != nil {
+		m.scrapeCache("submodel", m.cfg.SubCache.Stats())
+	}
+	return m.reg.WritePrometheus(w)
+}
+
+// scrapeCache mirrors a vcache counter snapshot into per-tier gauges.
+// The cache keeps its own authoritative counters; gauges set at scrape
+// time avoid double-counting while still exposing the running totals.
+func (m *Manager) scrapeCache(tier string, cs vcache.Stats) {
+	l := telemetry.L("tier", tier)
+	m.reg.Gauge("p4served_vcache_hits", "Result-cache hits since start, by tier.", l).Set(cs.Hits)
+	m.reg.Gauge("p4served_vcache_misses", "Result-cache misses since start, by tier.", l).Set(cs.Misses)
+	m.reg.Gauge("p4served_vcache_entries", "Live result-cache entries, by tier.", l).Set(int64(cs.Entries))
+	m.reg.Gauge("p4served_vcache_evictions", "Result-cache LRU evictions since start, by tier.", l).Set(cs.Evictions)
+}
+
+// recordJobMetrics feeds a job's terminal state into the registry.
+// Called from finish (outside m.mu is not required; all instruments are
+// internally synchronized).
+func (m *Manager) recordJobMetrics(j *job, state JobState, cacheHit bool, latency time.Duration) {
+	switch state {
+	case StateDone:
+		m.reg.Counter("p4served_jobs_done_total", "Jobs finished successfully.").Inc()
+		if cacheHit {
+			m.reg.Counter("p4served_cache_hits_total", "Jobs answered from the report cache.").Inc()
+		} else {
+			m.reg.Histogram("p4served_job_duration_seconds",
+				"End-to-end job execution latency (cache hits excluded), by technique.",
+				telemetry.L("technique", j.technique)).Observe(latency)
+		}
+	case StateFailed:
+		m.reg.Counter("p4served_jobs_failed_total", "Jobs that ended in error or timeout.").Inc()
+	case StateCancelled:
+		m.reg.Counter("p4served_jobs_cancelled_total", "Jobs cancelled by the client or shutdown.").Inc()
+	}
+}
+
+// recordReportMetrics feeds a fresh (non-cache-hit) report's telemetry
+// section into the registry: stage latencies and work counters.
+func (m *Manager) recordReportMetrics(j *job, rep *core.Report) {
+	if rep == nil || rep.Telemetry == nil {
+		return
+	}
+	for _, st := range rep.Telemetry.Stages {
+		m.reg.Histogram("p4served_stage_duration_seconds",
+			"Pipeline stage wall time, by stage.",
+			telemetry.L("stage", st.Name)).Observe(time.Duration(st.DurationNS))
+	}
+	l := telemetry.L("technique", j.technique)
+	add := func(name, help, key string) {
+		m.reg.Counter(name, help, l).Add(rep.Telemetry.Counters[key])
+	}
+	add("p4served_paths_explored_total", "Completed symbolic execution paths, by technique.", "paths")
+	add("p4served_states_forked_total", "Symbolic state forks, by technique.", "forks")
+	add("p4served_instructions_total", "Model instructions interpreted, by technique.", "instructions")
+	add("p4served_assert_checks_total", "Assertion checks evaluated, by technique.", "assert_checks")
+	add("p4served_solver_queries_total", "Solver satisfiability queries, by technique.", "solver_queries")
+	add("p4served_solver_full_total", "Queries that reached bit-blasting (layer 3), by technique.", "solver_full")
+	add("p4served_bitblast_vars_total", "SAT variables allocated by bit-blasting, by technique.", "bitblast_vars")
+	add("p4served_bitblast_clauses_total", "CNF clauses emitted by bit-blasting, by technique.", "bitblast_clauses")
+	if j.subReused > 0 || j.subExecuted > 0 {
+		m.reg.Counter("p4served_submodels_reused_total",
+			"Submodel verdicts replayed from the submodel cache.").Add(int64(j.subReused))
+		m.reg.Counter("p4served_submodels_executed_total",
+			"Submodels symbolically executed (cache misses).").Add(int64(j.subExecuted))
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"p4assert/internal/core"
 	"p4assert/internal/incr"
+	"p4assert/internal/telemetry"
 	"p4assert/internal/vcache"
 )
 
@@ -104,6 +105,9 @@ type Manager struct {
 
 	histMu sync.Mutex
 	hist   map[string]*Histogram
+
+	// reg is the Prometheus-exposed metric registry (service/metrics.go).
+	reg *telemetry.Registry
 }
 
 // New starts a manager and its worker pool.
@@ -122,6 +126,7 @@ func New(cfg Config) *Manager {
 		queue: make(chan *job, cfg.QueueDepth),
 		jobs:  map[string]*job{},
 		hist:  map[string]*Histogram{},
+		reg:   telemetry.NewRegistry(),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -177,6 +182,7 @@ func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 	}
 	m.jobs[j.id] = j
 	m.counters.submitted++
+	m.reg.Counter("p4served_jobs_submitted_total", "Jobs accepted into the queue.").Inc()
 	return j.statusLocked(), nil
 }
 
@@ -223,6 +229,7 @@ func (m *Manager) Cancel(id string) error {
 		j.state = StateCancelled
 		j.finished = time.Now()
 		m.counters.cancelled++
+		m.reg.Counter("p4served_jobs_cancelled_total", "Jobs cancelled by the client or shutdown.").Inc()
 		m.retireLocked(j)
 	case StateRunning:
 		if j.cancel != nil {
@@ -266,6 +273,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 			j.state = StateCancelled
 			j.finished = time.Now()
 			m.counters.cancelled++
+			m.reg.Counter("p4served_jobs_cancelled_total", "Jobs cancelled by the client or shutdown.").Inc()
 		case StateRunning:
 			if j.cancel != nil {
 				j.cancel()
@@ -394,6 +402,7 @@ func (m *Manager) runJob(j *job) {
 	if m.cfg.Cache != nil && !rep.Exhausted {
 		m.cfg.Cache.PutBytes(j.key, data)
 	}
+	m.recordReportMetrics(j, rep)
 	m.finish(j, data, false, nil)
 }
 
@@ -431,6 +440,7 @@ func (m *Manager) finish(j *job, data []byte, cacheHit bool, err error) {
 		j.err = err.Error()
 		m.counters.failed++
 	}
+	m.recordJobMetrics(j, j.state, cacheHit, now.Sub(j.started))
 	m.retireLocked(j)
 }
 

@@ -34,6 +34,12 @@ type Stats struct {
 	QuickSAT    int64
 	QuickUNSAT  int64
 	FullQueries int64
+	// BitblastVars and BitblastClauses accumulate the CNF sizes of the
+	// full (layer 3) queries: SAT variables allocated and problem clauses
+	// emitted by bit-blasting, measured before search so the counts are a
+	// deterministic function of the query formulas.
+	BitblastVars    int64
+	BitblastClauses int64
 }
 
 // Checker decides constraint sets built in a single bv.Context. The zero
@@ -96,6 +102,8 @@ func (c *Checker) Check(constraints []*bv.Expr) Result {
 	for _, e := range live {
 		b.AssertTrue(e)
 	}
+	c.Stats.BitblastVars += int64(s.NumVars())
+	c.Stats.BitblastClauses += int64(s.NumClauses())
 	if !s.Solve() {
 		return Result{Sat: false}
 	}

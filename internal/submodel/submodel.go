@@ -7,11 +7,13 @@
 package submodel
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"p4assert/internal/model"
 	"p4assert/internal/sym"
+	"p4assert/internal/telemetry"
 )
 
 // splitPoint locates a top-level statement reachable from an entry chain.
@@ -166,10 +168,23 @@ type Result struct {
 // Run splits p and executes the submodels on workers goroutines
 // (the paper's experiments use 4, matching their VM's cores).
 func Run(p *model.Program, opts sym.Options, workers int) (*Result, error) {
+	return RunCtx(context.Background(), p, opts, workers)
+}
+
+// RunCtx is Run with telemetry: when ctx carries a telemetry.Trace, the
+// split gets a "split" span and every submodel executes under its own
+// "submodel[i]" span (on a fresh lane, since workers overlap in time)
+// annotated with the executor's work counters. Cancellation still
+// travels in opts.Ctx, not ctx.
+func RunCtx(ctx context.Context, p *model.Program, opts sym.Options, workers int) (*Result, error) {
 	if workers <= 0 {
 		workers = 4
 	}
+	_, splitSp := telemetry.StartSpan(ctx, "split")
 	subs := Split(p)
+	splitSp.SetAttr("submodels", int64(len(subs)))
+	splitSp.End()
+
 	results := make([]*sym.Result, len(subs))
 	errs := make([]error, len(subs))
 
@@ -181,7 +196,12 @@ func Run(p *model.Program, opts sym.Options, workers int) (*Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			_, sp := telemetry.StartLane(ctx, fmt.Sprintf("submodel[%d]", i))
 			results[i], errs[i] = sym.Execute(sub, opts)
+			if results[i] != nil {
+				AnnotateSpan(sp, results[i].Metrics)
+			}
+			sp.End()
 		}(i, sub)
 	}
 	wg.Wait()
@@ -192,6 +212,21 @@ func Run(p *model.Program, opts sym.Options, workers int) (*Result, error) {
 		}
 	}
 	return Aggregate(subs, results), nil
+}
+
+// AnnotateSpan attaches a submodel execution's work counters to its
+// span. Shared with the incremental engine, whose re-executed submodels
+// must carry the same attributes as cold ones.
+func AnnotateSpan(sp *telemetry.Span, m sym.Metrics) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("paths", m.Paths)
+	sp.SetAttr("forks", m.Forks)
+	sp.SetAttr("instructions", m.Instructions)
+	sp.SetAttr("assert_checks", m.AssertChecks)
+	sp.SetAttr("max_frontier", m.MaxFrontier)
+	sp.SetAttr("solver_queries", m.Solver.Queries)
 }
 
 // Aggregate merges per-submodel results into one Result, in submodel
@@ -212,10 +247,19 @@ func Aggregate(subs []*model.Program, results []*sym.Result) *Result {
 		m.BoundExceeded += r.Metrics.BoundExceeded
 		m.Instructions += r.Metrics.Instructions
 		m.Forks += r.Metrics.Forks
+		m.AssertChecks += r.Metrics.AssertChecks
+		if r.Metrics.MaxFrontier > m.MaxFrontier {
+			// The frontier bound is per-executor: submodels run in
+			// parallel with independent worklists, so the merged figure is
+			// the worst single submodel, not a sum.
+			m.MaxFrontier = r.Metrics.MaxFrontier
+		}
 		m.Solver.Queries += r.Metrics.Solver.Queries
 		m.Solver.QuickSAT += r.Metrics.Solver.QuickSAT
 		m.Solver.QuickUNSAT += r.Metrics.Solver.QuickUNSAT
 		m.Solver.FullQueries += r.Metrics.Solver.FullQueries
+		m.Solver.BitblastVars += r.Metrics.Solver.BitblastVars
+		m.Solver.BitblastClauses += r.Metrics.Solver.BitblastClauses
 		if r.Metrics.Instructions > out.WorstInstructions {
 			out.WorstInstructions = r.Metrics.Instructions
 		}

@@ -138,7 +138,12 @@ type Metrics struct {
 	BoundExceeded    int64 // paths cut by the call-depth bound
 	Instructions     int64 // model statements executed
 	Forks            int64
-	Solver           solver.Stats
+	AssertChecks     int64 // assertion check sites evaluated
+	// MaxFrontier is the peak size of the DFS worklist: how many
+	// suspended states coexisted at the widest point of exploration (the
+	// executor's memory high-water mark, in states).
+	MaxFrontier int64
+	Solver      solver.Stats
 }
 
 // Result is the outcome of Execute.
@@ -280,6 +285,7 @@ func Execute(p *model.Program, opts Options) (*Result, error) {
 	}
 
 	stack := []*state{init}
+	ex.met.MaxFrontier = 1
 	exhausted := false
 	for len(stack) > 0 {
 		if opts.MaxPaths > 0 && ex.met.Paths >= opts.MaxPaths {
@@ -304,6 +310,9 @@ func Execute(p *model.Program, opts Options) (*Result, error) {
 		// Push forks in reverse for in-order DFS.
 		for i := len(forks) - 1; i >= 0; i-- {
 			stack = append(stack, forks[i])
+		}
+		if n := int64(len(stack)); n > ex.met.MaxFrontier {
+			ex.met.MaxFrontier = n
 		}
 	}
 	ex.met.Solver = ex.chk.Stats
@@ -493,6 +502,7 @@ func (ex *executor) run(st *state) ([]*state, error) {
 			if ex.opts.SkipChecks {
 				continue
 			}
+			ex.met.AssertChecks++
 			v, err := ex.eval(s.Cond, st)
 			if err != nil {
 				return nil, err

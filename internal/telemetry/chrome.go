@@ -1,0 +1,103 @@
+package telemetry
+
+// Chrome trace-event export: the span tree rendered in the Trace Event
+// Format (complete "X" events), loadable in Perfetto (ui.perfetto.dev)
+// and chrome://tracing. The file is a JSON array with exactly one event
+// per line — line-delimited for streaming consumers, still a valid JSON
+// document for strict parsers. Lanes map to trace "threads": spans on one
+// lane nest by time containment; each parallel submodel worker gets its
+// own lane. Cached (memoized-replay) spans carry "cached":1 in their
+// args, so a reused submodel shows as an explicit zero-cost slice rather
+// than a gap.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one Trace Event Format record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`            // microseconds since trace start
+	Dur  *float64       `json:"dur,omitempty"` // microseconds
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the trace. Spans still open at export time are
+// closed at the current instant.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	now := time.Now()
+
+	events := make([]chromeEvent, 0, len(spans)+2)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1, TID: 0,
+		Args: map[string]any{"name": "p4assert"},
+	})
+	lanes := map[int64]bool{}
+	for _, sp := range spans {
+		if !lanes[sp.Lane] {
+			lanes[sp.Lane] = true
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: sp.Lane,
+				Args: map[string]any{"name": fmt.Sprintf("lane %d", sp.Lane)},
+			})
+		}
+		end := sp.EndTime()
+		if end.IsZero() {
+			end = now
+		}
+		dur := float64(end.Sub(sp.Start)) / float64(time.Microsecond)
+		ev := chromeEvent{
+			Name: sp.Name,
+			Cat:  "p4assert",
+			Ph:   "X",
+			TS:   float64(sp.Start.Sub(t.start)) / float64(time.Microsecond),
+			Dur:  &dur,
+			PID:  1,
+			TID:  sp.Lane,
+		}
+		if attrs := sp.attrsCopy(); len(attrs) != 0 || sp.IsCached() {
+			args := map[string]any{}
+			keys := make([]string, 0, len(attrs))
+			for k := range attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				args[k] = attrs[k]
+			}
+			if sp.IsCached() {
+				args["cached"] = 1
+			}
+			ev.Args = args
+		}
+		events = append(events, ev)
+	}
+
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(events)-1 {
+			sep = "\n"
+		}
+		if _, err := w.Write(append(data, sep...)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}

@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestChromeTraceWellFormed checks the exporter's two format contracts:
+// the whole file is a valid JSON array of trace events, and every event
+// sits alone on its own line (the line-delimited form streaming
+// consumers rely on).
+func TestChromeTraceWellFormed(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "execute")
+	_, sub := StartLane(ctx, "submodel[0]")
+	sub.SetAttr("paths", 7)
+	sub.End()
+	_, cached := StartLane(ctx, "submodel[1]")
+	cached.MarkCached()
+	cached.End()
+	root.End()
+
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(out), &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v\n%s", err, out)
+	}
+
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "[" || lines[len(lines)-1] != "]" {
+		t.Fatalf("trace not bracketed one-event-per-line:\n%s", out)
+	}
+	for _, l := range lines[1 : len(lines)-1] {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(strings.TrimSuffix(l, ",")), &ev); err != nil {
+			t.Fatalf("line %q is not one JSON event: %v", l, err)
+		}
+	}
+
+	var sawCached, sawAttr bool
+	spans := 0
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "M":
+			continue
+		case "X":
+			spans++
+		default:
+			t.Fatalf("unexpected event phase %v", ev["ph"])
+		}
+		if _, ok := ev["dur"]; !ok {
+			t.Fatalf("complete event missing dur: %v", ev)
+		}
+		if args, ok := ev["args"].(map[string]any); ok {
+			if args["cached"] == float64(1) {
+				sawCached = true
+			}
+			if args["paths"] == float64(7) {
+				sawAttr = true
+			}
+		}
+	}
+	if spans != 3 {
+		t.Fatalf("%d span events, want 3", spans)
+	}
+	if !sawCached {
+		t.Fatal("cached submodel span lost its cached marker")
+	}
+	if !sawAttr {
+		t.Fatal("span attribute lost in export")
+	}
+}
+
+// TestChromeTraceClosesOpenSpans: spans never ended still export with a
+// duration up to the export instant, not a hole.
+func TestChromeTraceClosesOpenSpans(t *testing.T) {
+	tr := NewTrace()
+	_, sp := StartSpan(WithTrace(context.Background(), tr), "open")
+	time.Sleep(2 * time.Millisecond)
+
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if ev["name"] == "open" {
+			if d, _ := ev["dur"].(float64); d <= 0 {
+				t.Fatalf("open span exported with dur %v", ev["dur"])
+			}
+			return
+		}
+	}
+	t.Fatal("open span missing from export")
+	_ = sp
+}
+
+func TestLintPrometheusAcceptsRegistryOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("p4_jobs_total", "jobs").Add(3)
+	r.Gauge("p4_queue_depth", "depth").Set(1)
+	h := r.Histogram("p4_stage_duration_seconds", "stage time", L("stage", "execute"))
+	h.Observe(3 * time.Millisecond)
+	h.Observe(40 * time.Minute) // lands in +Inf
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintPrometheus(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("registry output fails lint: %v\n%s", err, b.String())
+	}
+}
+
+func TestLintPrometheusRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"p4_orphan_total 1\n",                       // sample without TYPE
+		"# TYPE m counter\nm{ 1\n",                  // malformed sample
+		"# TYPE m histogram\nm_bucket{le=\"1\"} 2\nm_bucket{le=\"+Inf\"} 1\nm_count 1\n", // non-cumulative
+	}
+	for _, c := range cases {
+		if err := LintPrometheus(strings.NewReader(c)); err == nil {
+			t.Fatalf("lint accepted malformed exposition:\n%s", c)
+		}
+	}
+}

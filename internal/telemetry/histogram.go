@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// HistBuckets is the number of exponential latency buckets: bucket i
+// counts samples with latency < 1ms·2^i, the last bucket is the overflow
+// (+Inf). 1ms·2^20 ≈ 17.5 min, comfortably past any sane job timeout.
+const HistBuckets = 21
+
+// Histogram is an exponential-bucket latency histogram. The zero value is
+// ready to use; it is safe for concurrent observation.
+type Histogram struct {
+	mu     sync.Mutex
+	counts [HistBuckets]int64
+	count  int64
+	sum    time.Duration
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	i := 0
+	for bound := time.Millisecond; i < HistBuckets-1 && d >= bound; bound *= 2 {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	h.sum += d
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is the wire form of a histogram.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	// SumMS is the total observed latency in milliseconds.
+	SumMS int64 `json:"sum_ms"`
+	// Buckets lists cumulative counts per upper bound, Prometheus-style.
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
+// HistogramBucket is one cumulative bucket; LeMS is its inclusive upper
+// bound in milliseconds, -1 for the overflow (+Inf) bucket.
+type HistogramBucket struct {
+	LeMS  int64 `json:"le_ms"`
+	Count int64 `json:"count"`
+}
+
+// Snapshot renders the histogram. Empty buckets beyond the last occupied
+// one are trimmed, except the overflow marker when it is occupied.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	counts, count, sum := h.export()
+	s := HistogramSnapshot{Count: count, SumMS: sum.Milliseconds()}
+	cum := int64(0)
+	bound := int64(1)
+	for i := 0; i < HistBuckets; i++ {
+		cum += counts[i]
+		le := bound
+		if i == HistBuckets-1 {
+			le = -1
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{LeMS: le, Count: cum})
+		bound *= 2
+	}
+	// Trim the all-cumulative tail: buckets after the first one that
+	// already covers every sample carry no information.
+	for len(s.Buckets) > 1 && s.Buckets[len(s.Buckets)-2].Count == count {
+		s.Buckets = s.Buckets[:len(s.Buckets)-1]
+	}
+	return s
+}
+
+// export returns a consistent copy of the raw counters: the untrimmed
+// per-bucket counts, the sample count and the duration sum. The
+// Prometheus writer uses it so every scrape sees the full, stable bucket
+// set (a trimmed set would change shape between scrapes).
+func (h *Histogram) export() (counts [HistBuckets]int64, count int64, sum time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.counts, h.count, h.sum
+}

@@ -1,0 +1,181 @@
+package telemetry
+
+// A small Prometheus text-exposition linter, used by the format tests
+// (this package and the service's /v1/metrics test) to keep the scrape
+// surface well-formed and the metric names stable. It checks the subset
+// of the format this package emits: HELP/TYPE comment ordering, sample
+// name syntax, samples belonging to a declared family, histogram bucket
+// monotonicity and the mandatory +Inf bucket matching _count.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9.eE+-]+|NaN)$`)
+
+// LintPrometheus validates Prometheus text exposition read from r,
+// returning the first violation found.
+func LintPrometheus(r io.Reader) error {
+	type histState struct {
+		lastCum  map[string]int64 // base label set -> last cumulative bucket
+		infCum   map[string]int64
+		count    map[string]int64
+		hasCount map[string]bool
+	}
+	types := map[string]string{}
+	hists := map[string]*histState{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", n, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE %q", n, line)
+				}
+				name, kind := fields[2], fields[3]
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", n, name)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", n, kind)
+				}
+				types[name] = kind
+				if kind == "histogram" {
+					hists[name] = &histState{
+						lastCum:  map[string]int64{},
+						infCum:   map[string]int64{},
+						count:    map[string]int64{},
+						hasCount: map[string]bool{},
+					}
+				}
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample %q", n, line)
+		}
+		name, labels, valStr := m[1], m[2], m[3]
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		famKind, known := types[name]
+		if !known {
+			famKind, known = types[base]
+		}
+		if !known {
+			return fmt.Errorf("line %d: sample %s has no TYPE declaration", n, name)
+		}
+		if famKind != "histogram" {
+			continue
+		}
+		h := hists[base]
+		stripped, le, hasLE := extractLE(labels)
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			if !hasLE {
+				return fmt.Errorf("line %d: histogram bucket without le label", n)
+			}
+			cum, err := strconv.ParseInt(valStr, 10, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: non-integer bucket count %q", n, valStr)
+			}
+			if cum < h.lastCum[stripped] {
+				return fmt.Errorf("line %d: bucket counts not cumulative for %s%s", n, base, stripped)
+			}
+			h.lastCum[stripped] = cum
+			if le == "+Inf" {
+				h.infCum[stripped] = cum
+			}
+		case strings.HasSuffix(name, "_count"):
+			cnt, err := strconv.ParseInt(valStr, 10, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: non-integer count %q", n, valStr)
+			}
+			h.count[stripped] = cnt
+			h.hasCount[stripped] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for name, h := range hists {
+		for series, inf := range h.infCum {
+			if !h.hasCount[series] {
+				return fmt.Errorf("histogram %s%s has buckets but no _count", name, series)
+			}
+			if h.count[series] != inf {
+				return fmt.Errorf("histogram %s%s: +Inf bucket %d != count %d", name, series, inf, h.count[series])
+			}
+		}
+		for series := range h.hasCount {
+			if _, ok := h.infCum[series]; !ok {
+				return fmt.Errorf("histogram %s%s is missing its +Inf bucket", name, series)
+			}
+		}
+	}
+	return nil
+}
+
+// extractLE removes the le label from a rendered label set, returning the
+// remaining canonical set and the le value.
+func extractLE(labels string) (stripped, le string, ok bool) {
+	if labels == "" {
+		return "", "", false
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	if inner == "" {
+		return "", "", false
+	}
+	var kept []string
+	for _, pair := range splitLabelPairs(inner) {
+		if strings.HasPrefix(pair, "le=") {
+			le = strings.Trim(strings.TrimPrefix(pair, "le="), `"`)
+			ok = true
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	if len(kept) == 0 {
+		return "", le, ok
+	}
+	return "{" + strings.Join(kept, ",") + "}", le, ok
+}
+
+// splitLabelPairs splits k="v" pairs on commas outside quoted values.
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// metric kinds, as rendered on the Prometheus TYPE line.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// family is one named metric with its help text, kind and labeled series.
+type family struct {
+	name   string
+	help   string
+	kind   string
+	series map[string]*series // keyed by canonical label rendering
+}
+
+// series is one (name, labels) instrument.
+type series struct {
+	labels []Label // sorted by key
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+// Registry holds named metrics and renders them in Prometheus text
+// exposition format. It is safe for concurrent use; instrument getters
+// are idempotent (the same name+labels returns the same instrument), so
+// callers may re-resolve on every observation or hold the pointer.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+// It panics if name is already registered with a different kind, or if a
+// name or label key is not a valid Prometheus identifier — both are
+// programming errors, caught by the exposition-lint tests.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.seriesFor(name, help, kindCounter, labels)
+	return s.ctr
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.seriesFor(name, help, kindGauge, labels)
+	return s.gauge
+}
+
+// Histogram returns the histogram for name+labels, creating it on first
+// use.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	s := r.seriesFor(name, help, kindHistogram, labels)
+	return s.hist
+}
+
+func (r *Registry) seriesFor(name, help, kind string, labels []Label) *series {
+	if !validName(name) {
+		panic("telemetry: invalid metric name " + name)
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	for _, l := range ls {
+		if !validName(l.Key) || l.Key == "le" {
+			panic("telemetry: invalid label key " + l.Key + " on metric " + name)
+		}
+	}
+	key := renderLabels(ls, "")
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: map[string]*series{}}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %s registered as %s, requested as %s", name, f.kind, kind))
+	}
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: ls}
+		switch kind {
+		case kindCounter:
+			s.ctr = &Counter{}
+		case kindGauge:
+			s.gauge = &Gauge{}
+		case kindHistogram:
+			s.hist = &Histogram{}
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4), deterministically: families sorted by name,
+// series sorted by their label rendering. Histograms expose the full
+// untrimmed bucket set in seconds, plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+
+		keys := make([]string, 0, len(f.series))
+		byKey := make(map[string]*series, len(f.series))
+		// Snapshot under the registry lock so a concurrent getter
+		// creating a series does not race the map iteration.
+		r.mu.Lock()
+		for k, s := range f.series {
+			keys = append(keys, k)
+			byKey[k] = s
+		}
+		r.mu.Unlock()
+		sort.Strings(keys)
+
+		for _, k := range keys {
+			s := byKey[k]
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, renderLabels(s.labels, ""), s.ctr.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, renderLabels(s.labels, ""), s.gauge.Value())
+			case kindHistogram:
+				writePromHistogram(&b, f.name, s)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromHistogram renders one histogram series: cumulative _bucket
+// lines with le in seconds, the +Inf bucket, _sum (seconds) and _count.
+func writePromHistogram(b *strings.Builder, name string, s *series) {
+	counts, count, sum := s.hist.export()
+	cum := int64(0)
+	boundMS := int64(1)
+	for i := 0; i < HistBuckets; i++ {
+		cum += counts[i]
+		if i == HistBuckets-1 {
+			fmt.Fprintf(b, "%s_bucket%s %d\n", name, renderLabels(s.labels, "+Inf"), cum)
+			break
+		}
+		le := fmt.Sprintf("%g", float64(boundMS)/1000)
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, renderLabels(s.labels, le), cum)
+		boundMS *= 2
+	}
+	fmt.Fprintf(b, "%s_sum%s %g\n", name, renderLabels(s.labels, ""), sum.Seconds())
+	fmt.Fprintf(b, "%s_count%s %d\n", name, renderLabels(s.labels, ""), count)
+}
+
+// renderLabels renders a sorted label set as {k="v",...}; le, when
+// non-empty, is appended as the histogram bucket bound. An empty set with
+// no le renders as the empty string.
+func renderLabels(ls []Label, le string) string {
+	if len(ls) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// Go's %q escaping (backslash, quote, \n) matches the exposition
+		// format for the ASCII label values used here.
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	if le != "" {
+		if len(ls) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "le=%q", le)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeHelp escapes a HELP text (backslash and newline).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// validName reports whether s is a legal Prometheus metric or label name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace collects the span tree of one verification run. Create with
+// NewTrace, attach to a context with WithTrace, and open spans with
+// StartSpan/StartLane. It is safe for concurrent use by the parallel
+// submodel worker pool.
+type Trace struct {
+	start time.Time
+
+	mu       sync.Mutex
+	nextID   int64
+	nextLane int64
+	spans    []*Span
+}
+
+// NewTrace returns an empty trace anchored at the current time.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now()}
+}
+
+// Span is one named, timed region of the pipeline. A nil *Span is a
+// valid no-op receiver for every method, so instrumented code needs no
+// "is telemetry on" branches.
+type Span struct {
+	tr *Trace
+
+	// ID and Parent identify the span within its trace (Parent 0 = root).
+	ID     int64
+	Parent int64
+	// Lane is the span's display track in the trace viewer: spans on one
+	// lane nest by time containment, concurrent workers get fresh lanes.
+	Lane int64
+	Name string
+
+	Start time.Time
+
+	mu sync.Mutex
+	// end is zero until the span ends (read via EndTime/Duration).
+	end time.Time
+	// cached marks a zero-cost span replayed from a memoization tier
+	// rather than executed (the incremental engine's reused submodels).
+	cached bool
+	attrs  map[string]int64
+}
+
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	spanKey
+)
+
+// WithTrace returns a context carrying tr; StartSpan on the result (and
+// its descendants) records into tr.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, traceKey, tr)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(traceKey).(*Trace)
+	return tr
+}
+
+// SpanFrom returns the innermost span carried by ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey).(*Span)
+	return sp
+}
+
+// StartSpan opens a span named name under the context's current span, on
+// the same lane, and returns a context carrying the new span. Without a
+// trace in ctx it returns (ctx, nil) — and a nil span is a no-op.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return start(ctx, name, false)
+}
+
+// StartLane is StartSpan on a fresh display lane: use it for the first
+// span of a concurrent worker (parallel submodels), whose duration
+// overlaps its siblings'.
+func StartLane(ctx context.Context, name string) (context.Context, *Span) {
+	return start(ctx, name, true)
+}
+
+func start(ctx context.Context, name string, newLane bool) (context.Context, *Span) {
+	tr := TraceFrom(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	parent := SpanFrom(ctx)
+	sp := &Span{tr: tr, Name: name, Start: time.Now()}
+	if parent != nil {
+		sp.Parent = parent.ID
+		sp.Lane = parent.Lane
+	}
+	tr.mu.Lock()
+	tr.nextID++
+	sp.ID = tr.nextID
+	if newLane || parent == nil {
+		tr.nextLane++
+		sp.Lane = tr.nextLane
+	}
+	tr.spans = append(tr.spans, sp)
+	tr.mu.Unlock()
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// End closes the span at the current time. Ending twice keeps the first
+// end time; ending a nil span is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// EndTime returns when the span ended (zero if still open).
+func (s *Span) EndTime() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.end
+}
+
+// SetAttr attaches a named integer attribute (a work counter) to the
+// span. No-op on a nil span.
+func (s *Span) SetAttr(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]int64{}
+	}
+	s.attrs[key] = v
+	s.mu.Unlock()
+}
+
+// MarkCached flags the span as a zero-cost memoized replay. No-op on a
+// nil span.
+func (s *Span) MarkCached() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.cached = true
+	s.mu.Unlock()
+}
+
+// IsCached reports whether the span was marked as a memoized replay.
+func (s *Span) IsCached() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cached
+}
+
+// Duration returns the span's wall time (zero if un-ended).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return 0
+	}
+	return s.end.Sub(s.Start)
+}
+
+// attrsCopy snapshots the attribute map (nil when empty).
+func (s *Span) attrsCopy() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.attrs) == 0 {
+		return nil
+	}
+	cp := make(map[string]int64, len(s.attrs))
+	for k, v := range s.attrs {
+		cp[k] = v
+	}
+	return cp
+}
+
+// Spans returns the trace's spans sorted by start time (ties by ID).
+// Un-ended spans are included with a zero EndTime.
+func (t *Trace) Spans() []*Span {
+	t.mu.Lock()
+	out := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Find returns the first span with the given name, or nil.
+func (t *Trace) Find(name string) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, sp := range t.spans {
+		if sp.Name == name {
+			return sp
+		}
+	}
+	return nil
+}

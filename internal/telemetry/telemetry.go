@@ -1,0 +1,67 @@
+// Package telemetry is the pipeline's observability layer: a
+// zero-dependency metric registry (atomic counters, gauges and the
+// exponential-bucket latency histogram), a span tree threaded through
+// context.Context, a Prometheus text-exposition writer, and a Chrome
+// trace-event exporter.
+//
+// The paper's contribution is *feasible time*, so the verifier must be
+// able to say where its time goes: every pipeline stage (parse →
+// typecheck → translate → slice → opt → submodel split → symbolic
+// execution → solver) opens a named span, and the executor attributes its
+// work (paths, forks, frontier depth, assertion checks, solver queries,
+// bit-blast sizes) to counters. Consumers:
+//
+//   - p4served exports the registry at GET /v1/metrics in Prometheus
+//     text exposition format;
+//   - p4verify -trace writes the span tree as a Chrome trace-event file
+//     loadable in Perfetto (ui.perfetto.dev);
+//   - core.Report carries a Telemetry section (per-stage wall time +
+//     work counters) on the report wire format.
+//
+// Everything here is safe for concurrent use; spans tolerate the
+// parallel submodel worker pool, and a nil *Span or absent Trace in the
+// context degrades every operation to a no-op so un-instrumented callers
+// pay only a context lookup.
+package telemetry
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be non-negative for the
+// Prometheus counter contract; this is not enforced).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically updated instantaneous value. The zero value is
+// ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Label is one metric dimension. Registry series are keyed by the full
+// (name, labels) pair, Prometheus-style.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }

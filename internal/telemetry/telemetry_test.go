@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	h.Observe(500 * time.Microsecond) // bucket 0 (<1ms)
+	h.Observe(3 * time.Millisecond)   // bucket 2 (<4ms)
+	h.Observe(3 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if s.SumMS != 6 {
+		t.Fatalf("sum_ms = %d, want 6", s.SumMS)
+	}
+	// Cumulative: bucket le=1 holds 1, le=2 holds 1, le=4 holds 3; the
+	// tail beyond the first all-covering bucket is trimmed.
+	want := []HistogramBucket{{1, 1}, {2, 1}, {4, 3}}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", s.Buckets, want)
+	}
+	for i, b := range want {
+		if s.Buckets[i] != b {
+			t.Fatalf("bucket %d = %+v, want %+v", i, s.Buckets[i], b)
+		}
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(30 * time.Minute) // beyond the largest finite bound
+	s := h.Snapshot()
+	last := s.Buckets[len(s.Buckets)-1]
+	if last.LeMS != -1 || last.Count != 1 {
+		t.Fatalf("overflow bucket = %+v, want {-1 1}", last)
+	}
+}
+
+func TestRegistryIdempotentAndConcurrent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", L("k", "v"))
+	b := r.Counter("x_total", "help", L("k", "v"))
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	if r.Counter("x_total", "help", L("k", "w")) == a {
+		t.Fatal("distinct labels returned the same counter")
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("x_total", "help", L("k", "v")).Inc()
+				r.Gauge("g", "help").Set(int64(j))
+				r.Histogram("h_seconds", "help").Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gauge registration over a counter name did not panic")
+		}
+	}()
+	r.Gauge("m", "help")
+}
+
+func TestSpanNestingAndLanes(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+
+	ctx, root := StartSpan(ctx, "root")
+	if root == nil {
+		t.Fatal("no span with a trace in context")
+	}
+	cctx, child := StartSpan(ctx, "child")
+	if child.Parent != root.ID {
+		t.Fatalf("child parent = %d, want %d", child.Parent, root.ID)
+	}
+	if child.Lane != root.Lane {
+		t.Fatalf("child lane = %d, want root's %d", child.Lane, root.Lane)
+	}
+	_, worker := StartLane(cctx, "worker")
+	if worker.Parent != child.ID {
+		t.Fatalf("worker parent = %d, want %d", worker.Parent, child.ID)
+	}
+	if worker.Lane == child.Lane {
+		t.Fatal("StartLane reused the parent's lane")
+	}
+	worker.End()
+	child.End()
+	root.End()
+
+	if got := len(tr.Spans()); got != 3 {
+		t.Fatalf("%d spans recorded, want 3", got)
+	}
+	if tr.Find("worker") == nil {
+		t.Fatal("Find missed the worker span")
+	}
+}
+
+func TestSpanNoTraceNoOp(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), "orphan")
+	if sp != nil {
+		t.Fatal("span created without a trace")
+	}
+	// Every method must be a safe no-op on the nil span.
+	sp.SetAttr("k", 1)
+	sp.MarkCached()
+	sp.End()
+	if sp.Duration() != 0 || sp.IsCached() || !sp.EndTime().IsZero() {
+		t.Fatal("nil span is not inert")
+	}
+	if SpanFrom(ctx) != nil {
+		t.Fatal("no-op StartSpan polluted the context")
+	}
+}
+
+func TestSpanEndIsIdempotent(t *testing.T) {
+	tr := NewTrace()
+	_, sp := StartSpan(WithTrace(context.Background(), tr), "s")
+	sp.End()
+	first := sp.EndTime()
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if !sp.EndTime().Equal(first) {
+		t.Fatal("second End moved the end time")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "execute")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, sp := StartLane(ctx, "submodel")
+			sp.SetAttr("paths", 1)
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+
+	lanes := map[int64]bool{}
+	for _, sp := range tr.Spans() {
+		if sp.Name != "submodel" {
+			continue
+		}
+		if sp.Parent != root.ID {
+			t.Fatalf("submodel parent = %d, want %d", sp.Parent, root.ID)
+		}
+		if lanes[sp.Lane] {
+			t.Fatalf("lane %d assigned to two concurrent submodel spans", sp.Lane)
+		}
+		lanes[sp.Lane] = true
+	}
+	if len(lanes) != 16 {
+		t.Fatalf("%d submodel lanes, want 16", len(lanes))
+	}
+}
+
+func TestPrometheusOutputIsSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "last").Add(1)
+	r.Counter("aa_total", "first", L("t", "b")).Add(2)
+	r.Counter("aa_total", "first", L("t", "a")).Add(3)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	ia, iz := strings.Index(out, "aa_total"), strings.Index(out, "zz_total")
+	if ia < 0 || iz < 0 || ia > iz {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+	if strings.Index(out, `t="a"`) > strings.Index(out, `t="b"`) {
+		t.Fatalf("series not sorted:\n%s", out)
+	}
+}

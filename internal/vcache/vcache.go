@@ -66,7 +66,9 @@ func NewSubmodelTier(maxEntries int, dir string) (*Cache, error) {
 // the verification outcome.
 func Key(source string, opts core.Options) string {
 	h := sha256.New()
-	io.WriteString(h, "p4assert-vcache-v1\x00")
+	// v2: report JSON gained the telemetry section and new metric fields;
+	// v1 entries would replay without them.
+	io.WriteString(h, "p4assert-vcache-v2\x00")
 	io.WriteString(h, CanonicalizeSource(source))
 	io.WriteString(h, "\x00")
 
@@ -153,42 +155,61 @@ func New(maxEntries int, dir string) (*Cache, error) {
 	}, nil
 }
 
+// hit tiers reported by getBytes.
+const (
+	tierMiss = iota
+	tierMem
+	tierDisk
+)
+
 // GetBytes returns the serialized report for key, consulting memory first
 // and then the disk tier (promoting on a disk hit). The returned slice
 // must not be modified.
 func (c *Cache) GetBytes(key string) ([]byte, bool) {
+	data, tier := c.getBytes(key)
+	return data, tier != tierMiss
+}
+
+func (c *Cache) getBytes(key string) ([]byte, int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
 		c.stats.Hits++
 		c.stats.MemHits++
-		return el.Value.(*entry).data, true
+		return el.Value.(*entry).data, tierMem
 	}
 	if c.dir != "" {
 		if data, err := os.ReadFile(c.path(key)); err == nil {
 			c.insert(key, data)
 			c.stats.Hits++
 			c.stats.DiskHits++
-			return data, true
+			return data, tierDisk
 		}
 	}
 	c.stats.Misses++
-	return nil, false
+	return nil, tierMiss
 }
 
 // Get returns the cached report for key, or (nil, false).
 func (c *Cache) Get(key string) (*core.Report, bool) {
-	data, ok := c.GetBytes(key)
-	if !ok {
+	data, tier := c.getBytes(key)
+	if tier == tierMiss {
 		return nil, false
 	}
 	var rep core.Report
 	if err := json.Unmarshal(data, &rep); err != nil {
-		// A corrupt entry (e.g. a truncated disk file) reads as a miss.
+		// A corrupt entry (e.g. a truncated disk file) reads as a miss:
+		// reverse the hit — in the tier it actually came from, keeping
+		// the Hits == MemHits + DiskHits invariant Stats readers rely on.
 		c.mu.Lock()
 		c.evictKey(key)
 		c.stats.Hits--
+		if tier == tierMem {
+			c.stats.MemHits--
+		} else {
+			c.stats.DiskHits--
+		}
 		c.stats.Misses++
 		c.mu.Unlock()
 		return nil, false

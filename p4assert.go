@@ -25,6 +25,7 @@
 package p4assert
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -168,6 +169,14 @@ func (r *Report) Ok() bool { return len(r.Violations) == 0 && !r.Exhausted }
 // Verify checks the P4 source text. filename is used in messages only.
 // A nil opts verifies with defaults.
 func Verify(filename, source string, opts *Options) (*Report, error) {
+	return VerifyCtx(context.Background(), filename, source, opts)
+}
+
+// VerifyCtx is Verify with a context: cancellation (or a deadline) stops
+// the symbolic-execution loop early, and a telemetry.Trace carried in ctx
+// (telemetry.WithTrace) records the span tree of the pipeline stages —
+// p4verify's -trace flag uses this to export a Chrome trace.
+func VerifyCtx(ctx context.Context, filename, source string, opts *Options) (*Report, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -185,7 +194,7 @@ func Verify(filename, source string, opts *Options) (*Report, error) {
 		co.Rules = opts.Rules.rs
 	}
 	t0 := time.Now()
-	rep, err := core.VerifySource(filename, source, co)
+	rep, err := core.VerifySourceCtx(ctx, filename, source, co)
 	if err != nil {
 		return nil, err
 	}

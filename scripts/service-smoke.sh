@@ -57,11 +57,26 @@ hits=$(stat_field cache_hits)
 [ "$hits" -eq 2 ] || { echo "FAIL: cache_hits=$hits after resubmission, want 2"; exit 1; }
 echo "   cache_hits=$hits"
 
+echo "== metrics exposition"
+# The families asserted here are the monitoring contract; the list is
+# mirrored in internal/service/metrics_test.go (requiredFamilies).
+curl -sf "$BASE/v1/metrics" >"$WORK/metrics.txt"
+for fam in p4served_jobs_submitted_total p4served_jobs_done_total \
+           p4served_job_duration_seconds p4served_stage_duration_seconds \
+           p4served_paths_explored_total p4served_solver_queries_total \
+           p4served_queue_depth p4served_workers; do
+    grep -q "^# TYPE $fam " "$WORK/metrics.txt" || {
+        echo "FAIL: metric family $fam missing from /v1/metrics"; exit 1; }
+done
+grep -q 'technique=' "$WORK/metrics.txt" || { echo "FAIL: no per-technique series"; exit 1; }
+grep -q 'stage="execute"' "$WORK/metrics.txt" || { echo "FAIL: no per-stage series"; exit 1; }
+echo "   $(grep -c '^# TYPE ' "$WORK/metrics.txt") metric families exposed"
+
 echo "== restart daemon: disk tier must survive"
 kill "$SERVED_PID" && wait "$SERVED_PID" 2>/dev/null || true
 start_daemon
 "$WORK/p4verify" -remote "$BASE" -O3 "$WORK/dapper.p4" >/dev/null || true
-disk=$(curl -sf "$BASE/v1/stats" | grep -o '"disk_hits":[0-9]*' | cut -d: -f2)
+disk=$(stat_field disk_hits)
 [ "$disk" -eq 1 ] || { echo "FAIL: disk_hits=$disk after restart, want 1"; exit 1; }
 echo "   disk_hits=$disk"
 
