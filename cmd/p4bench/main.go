@@ -9,6 +9,8 @@
 //	-exp incremental     edit one action of the largest corpus program and
 //	                     measure incremental vs cold re-verification
 //	                     (writes BENCH_incremental.json)
+//	-exp testgen         generate the fabric test suite and measure batch
+//	                     replay throughput (writes BENCH_testgen.json)
 //	-exp all             everything above
 //
 // Absolute numbers differ from the paper's (different machine, engine and
@@ -28,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig9a-d, fig10a-d, table1, table2, combined, bugs, incremental, all)")
+		exp     = flag.String("exp", "all", "experiment id (fig9a-d, fig10a-d, table1, table2, combined, bugs, incremental, testgen, all)")
 		full    = flag.Bool("full", false, "use the paper's full parameter ranges (slow)")
 		repeats = flag.Int("repeats", 3, "repetitions for wall-clock rows (table2/combined/incremental)")
 		smoke   = flag.Bool("smoke", false, "CI smoke mode: single repetition, still enforcing result invariants")
@@ -41,7 +43,7 @@ func main() {
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = []string{"bugs", "table1", "fig9a", "fig9b", "fig9c", "fig9d",
-			"fig10a", "fig10b", "fig10c", "fig10d", "table2", "combined", "incremental"}
+			"fig10a", "fig10b", "fig10c", "fig10d", "table2", "combined", "incremental", "testgen"}
 	}
 	for _, id := range ids {
 		if err := run(strings.TrimSpace(id), *full, *repeats); err != nil {
@@ -156,6 +158,25 @@ func run(id string, full bool, repeats int) error {
 		if !res.ByteIdentical {
 			return fmt.Errorf("incremental report diverged from the cold run")
 		}
+		return nil
+
+	case id == "testgen":
+		res, err := bench.Testgen(0, 0)
+		if err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile("BENCH_testgen.json", append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("Test-packet oracle throughput (%s, %d cases, %d workers):\n",
+			res.Program, res.Cases, res.Workers)
+		fmt.Printf("  %d packets in %.3fs — %.2fM packets/sec (%d VM instructions)\n",
+			res.Packets, res.Seconds, res.PacketsPerSecond/1e6, res.Instructions)
+		fmt.Printf("  wrote BENCH_testgen.json\n\n")
 		return nil
 
 	case id == "table1":

@@ -1,0 +1,147 @@
+// Differential mode: p4verify -diff b.p4 a.p4 checks two program versions
+// for behavioral equivalence via the product-program engine (internal/equiv)
+// and prints either a deterministic text report or the equiv.Report JSON.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"p4assert"
+	"p4assert/internal/core"
+	"p4assert/internal/equiv"
+	"p4assert/internal/rules"
+)
+
+// runDiff executes the differential mode and returns the exit status:
+// 0 equivalent, 1 divergent or inconclusive, 2 front-end errors.
+func runDiff(ctx context.Context, aFile, bFile, rulesAText, rulesBText string, opts *p4assert.Options, jsonOut, quiet bool) int {
+	aSrc, err := os.ReadFile(aFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4verify:", err)
+		return 2
+	}
+	bSrc, err := os.ReadFile(bFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4verify:", err)
+		return 2
+	}
+
+	eopts, err := diffOptions(rulesAText, rulesBText, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4verify:", err)
+		return 2
+	}
+	rep, err := equiv.Diff(ctx, aFile, string(aSrc), bFile, string(bSrc), eopts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4verify:", err)
+		return 2
+	}
+
+	if jsonOut {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p4verify:", err)
+			return 2
+		}
+		fmt.Println(string(out))
+	} else {
+		fmt.Print(formatDiffText(rep, quiet))
+	}
+	if rep.Equivalent {
+		return 0
+	}
+	return 1
+}
+
+// diffOptions maps the CLI flag set onto both sides of the differential
+// run. When O3 or slicing is requested the comparison restricts itself to
+// assertion verdicts: both transforms deliberately delete output-affecting
+// code no assertion depends on, so packet-level outputs are not preserved.
+func diffOptions(rulesAText, rulesBText string, opts *p4assert.Options) (equiv.Options, error) {
+	side := core.Options{
+		O3:           opts.O3,
+		Slice:        opts.Slice,
+		MaxCallDepth: opts.MaxParserLoops,
+	}
+	a, b := side, side
+	var err error
+	if rulesAText != "" {
+		if a.Rules, err = rules.Parse(rulesAText); err != nil {
+			return equiv.Options{}, fmt.Errorf("rules: %w", err)
+		}
+	}
+	if rulesBText != "" {
+		if b.Rules, err = rules.Parse(rulesBText); err != nil {
+			return equiv.Options{}, fmt.Errorf("rules-b: %w", err)
+		}
+	}
+	eo := equiv.Options{
+		A:            a,
+		B:            b,
+		MaxPaths:     opts.MaxPaths,
+		Timeout:      opts.Timeout,
+		Parallel:     opts.Parallel,
+		MaxCallDepth: opts.MaxParserLoops,
+		Opt:          opts.Opt,
+	}
+	if opts.O3 || opts.Slice {
+		eo.Observe = equiv.Observables{Asserts: true}
+	}
+	return eo, nil
+}
+
+// formatDiffText renders an equiv report deterministically (no timings),
+// so the output is golden-testable and diff-friendly.
+func formatDiffText(rep *equiv.Report, quiet bool) string {
+	var b strings.Builder
+	verdict := "DIVERGENT"
+	if rep.Equivalent {
+		verdict = "EQUIVALENT"
+	} else if len(rep.Divergences) == 0 {
+		verdict = "INCONCLUSIVE"
+	}
+	fmt.Fprintf(&b, "%s: %d observable(s) compared, %d divergence(s)",
+		verdict, len(rep.Checks), len(rep.Divergences))
+	if rep.Exhausted {
+		b.WriteString(" (path/time budget exhausted)")
+	}
+	b.WriteByte('\n')
+	if quiet {
+		return b.String()
+	}
+	for _, n := range rep.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	for _, d := range rep.Divergences {
+		fmt.Fprintf(&b, "  %s: %d path(s)\n", d.Check, d.Count)
+		fmt.Fprintf(&b, "    packet: %s\n", formatInputs(d.Inputs))
+		if len(d.Trace) > 0 {
+			fmt.Fprintf(&b, "    trace: %v\n", d.Trace)
+		}
+		switch {
+		case d.Confirmed:
+			fmt.Fprintf(&b, "    replay: confirmed (%s)\n", d.ReplayNote)
+		case d.ReplayNote != "":
+			fmt.Fprintf(&b, "    replay: unconfirmed (%s)\n", d.ReplayNote)
+		}
+	}
+	return b.String()
+}
+
+func formatInputs(inputs map[string]uint64) string {
+	keys := make([]string, 0, len(inputs))
+	for k := range inputs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=0x%x", k, inputs[k])
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"p4assert/internal/equiv"
+	"p4assert/internal/sym"
+)
+
+// golden compares got against the named testdata file. Run the tests with
+// UPDATE_GOLDEN=1 to regenerate the files after an intentional format
+// change.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create it)", err)
+	}
+	if string(want) != got {
+		t.Errorf("output differs from %s:\n--- want ---\n%s--- got ---\n%s", path, want, got)
+	}
+}
+
+func diffTestReport(t *testing.T) *equiv.Report {
+	t.Helper()
+	aSrc, err := os.ReadFile(filepath.Join("testdata", "diff_a.p4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bSrc, err := os.ReadFile(filepath.Join("testdata", "diff_b.p4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := equiv.Diff(context.Background(), "diff_a.p4", string(aSrc), "diff_b.p4", string(bSrc), equiv.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestDiffTextGolden pins the deterministic text rendering of a divergent
+// -diff run: the verdict line, the counterexample packet, its trace, and
+// the replay confirmation.
+func TestDiffTextGolden(t *testing.T) {
+	rep := diffTestReport(t)
+	if rep.Equivalent {
+		t.Fatal("the testdata pair must diverge")
+	}
+	golden(t, "diff.txt", formatDiffText(rep, false))
+}
+
+// TestDiffJSONGolden pins the machine-readable -diff -json output.
+// Executor metrics carry wall-clock timings, so they are zeroed before
+// marshalling (the CLI emits them; the golden file does not pin them).
+func TestDiffJSONGolden(t *testing.T) {
+	rep := diffTestReport(t)
+	rep.Metrics = sym.Metrics{}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "diff.json", string(out)+"\n")
+}
+
+// TestDiffSelfEquivalentText pins the clean-verdict line.
+func TestDiffSelfEquivalentText(t *testing.T) {
+	aSrc, err := os.ReadFile(filepath.Join("testdata", "diff_a.p4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := equiv.Diff(context.Background(), "diff_a.p4", string(aSrc), "diff_a.p4", string(aSrc), equiv.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Equivalent {
+		t.Fatalf("self-diff must be equivalent: %+v", rep.Divergences)
+	}
+	golden(t, "diff_self.txt", formatDiffText(rep, false))
+}

@@ -60,6 +60,10 @@ func main() {
 		watch     = flag.Bool("watch", false, "re-verify incrementally on every save, printing only the delta")
 		watchIvl  = flag.Duration("watch-interval", 200*time.Millisecond, "poll interval for -watch")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event file (Perfetto-loadable) of the pipeline span tree")
+		diffFile  = flag.String("diff", "", "check behavioral equivalence against this second program version (exit 0 equivalent, 1 divergent)")
+		rulesBF   = flag.String("rules-b", "", "forwarding-rule file for the -diff side (defaults to -rules)")
+		suiteOut  = flag.String("suite", "", "generate a test-packet suite (one case per path) and write it as JSON to this file ('-' = stdout)")
+		replayIn  = flag.String("replay", "", "replay a generated test-packet suite (JSON) against the program and report mismatches")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: p4verify [flags] program.p4\n\n")
@@ -102,8 +106,8 @@ func main() {
 	ctx := context.Background()
 	var tr *telemetry.Trace
 	if *traceOut != "" {
-		if *remote != "" || *watch || *dumpModel || *genTests {
-			fmt.Fprintln(os.Stderr, "p4verify: -trace records a single local verification and excludes -remote, -watch, -dump-model and -gen-tests")
+		if *remote != "" || *watch || *dumpModel || *genTests || *diffFile != "" || *suiteOut != "" || *replayIn != "" {
+			fmt.Fprintln(os.Stderr, "p4verify: -trace records a single local verification and excludes -remote, -watch, -dump-model, -gen-tests, -diff, -suite and -replay")
 			os.Exit(2)
 		}
 		tr = telemetry.NewTrace()
@@ -117,6 +121,34 @@ func main() {
 		}
 		runWatch(flag.Arg(0), rulesText, coreTechniques(opts), *jsonOut, *watchIvl)
 		return
+	}
+
+	if *diffFile != "" {
+		if *remote != "" || *dumpModel || *genTests || *suiteOut != "" || *replayIn != "" {
+			fmt.Fprintln(os.Stderr, "p4verify: -diff is local-only and excludes -remote, -dump-model, -gen-tests, -suite and -replay")
+			os.Exit(2)
+		}
+		rulesBText := rulesText
+		if *rulesBF != "" {
+			data, err := os.ReadFile(*rulesBF)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "p4verify:", err)
+				os.Exit(2)
+			}
+			rulesBText = string(data)
+		}
+		os.Exit(runDiff(ctx, flag.Arg(0), *diffFile, rulesText, rulesBText, opts, *jsonOut, *quiet))
+	}
+
+	if *suiteOut != "" || *replayIn != "" {
+		if *remote != "" || *dumpModel || *genTests || (*suiteOut != "" && *replayIn != "") {
+			fmt.Fprintln(os.Stderr, "p4verify: -suite and -replay are local-only, mutually exclusive, and exclude -remote, -dump-model and -gen-tests")
+			os.Exit(2)
+		}
+		if *suiteOut != "" {
+			os.Exit(runSuiteGen(flag.Arg(0), *suiteOut, opts))
+		}
+		os.Exit(runSuiteReplay(flag.Arg(0), *replayIn, opts, *jsonOut))
 	}
 
 	if *remote != "" || *jsonOut {

@@ -1,0 +1,89 @@
+// Suite modes: p4verify -suite out.json generates the test-packet suite
+// (one concrete packet + expected trace and outputs per execution path);
+// p4verify -replay suite.json replays a previously generated suite against
+// the (possibly edited) program through the compiled batch interpreter and
+// reports mismatches.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"p4assert"
+)
+
+// runSuiteGen generates the suite and writes it to out ("-" = stdout).
+// Exit status: 0 on success, 2 on front-end or I/O errors.
+func runSuiteGen(file, out string, opts *p4assert.Options) int {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4verify:", err)
+		return 2
+	}
+	suite, err := p4assert.GenerateSuite(file, string(src), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4verify:", err)
+		return 2
+	}
+	data, err := json.MarshalIndent(suite, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4verify:", err)
+		return 2
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		os.Stdout.Write(data)
+		return 0
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "p4verify:", err)
+		return 2
+	}
+	fmt.Printf("wrote %d test case(s) (one per execution path) to %s\n", len(suite.Cases), out)
+	return 0
+}
+
+// runSuiteReplay replays a suite file against the program. Exit status:
+// 0 when every case matches, 1 on mismatches, 2 on errors.
+func runSuiteReplay(file, suitePath string, opts *p4assert.Options, jsonOut bool) int {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4verify:", err)
+		return 2
+	}
+	data, err := os.ReadFile(suitePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4verify:", err)
+		return 2
+	}
+	var suite p4assert.TestSuite
+	if err := json.Unmarshal(data, &suite); err != nil {
+		fmt.Fprintf(os.Stderr, "p4verify: %s: %v\n", suitePath, err)
+		return 2
+	}
+	rep, err := p4assert.ReplaySuite(file, string(src), &suite, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4verify:", err)
+		return 2
+	}
+	if jsonOut {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p4verify:", err)
+			return 2
+		}
+		fmt.Println(string(out))
+	} else if rep.Ok() {
+		fmt.Printf("PASS: %d case(s) replayed, all outcomes match\n", rep.Cases)
+	} else {
+		fmt.Printf("FAIL: %d of %d case(s) diverge from the suite\n", len(rep.Mismatches), rep.Cases)
+		for _, m := range rep.Mismatches {
+			fmt.Printf("  %s\n", m)
+		}
+	}
+	if !rep.Ok() {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,42 @@
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> srcAddr; bit<32> dstAddr; }
+struct headers_t { ethernet_t ethernet; ipv4_t ipv4; }
+struct meta_t { bit<1> unused; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t standard_metadata) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x0800: parse_ipv4;
+            default: reject;
+        }
+    }
+    state parse_ipv4 { pkt.extract(hdr.ipv4); transition accept; }
+}
+
+control Ingress(inout headers_t hdr, inout meta_t meta,
+                inout standard_metadata_t standard_metadata) {
+    action drop() {
+        mark_to_drop(standard_metadata);
+    }
+    action set_dmac(bit<48> dmac) {
+        hdr.ethernet.dstAddr = dmac;
+        standard_metadata.egress_spec = 1;
+    }
+    table dmac {
+        key = { hdr.ipv4.dstAddr : exact; }
+        actions = { drop; set_dmac; }
+        default_action = drop();
+    }
+    apply {
+        if (hdr.ipv4.ttl == 0) { drop(); } else { dmac.apply(); }
+        @assert("if(forward(), hdr.ipv4.ttl > 0)");
+    }
+}
+
+control Deparser(packet_out pkt, in headers_t hdr) {
+    apply { pkt.emit(hdr.ethernet); pkt.emit(hdr.ipv4); }
+}
+
+V1Switch(P, Ingress, Deparser) main;

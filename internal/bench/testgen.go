@@ -1,0 +1,152 @@
+package bench
+
+// The test-packet oracle benchmark: generate the per-path test suite of
+// the fabric corpus program (the paper's §6 "ongoing work" — p4pktgen-style
+// concrete test generation), validate it once against the expectations the
+// symbolic explorer recorded, then measure raw replay throughput of the
+// compiled batch interpreter. The suite is the concrete oracle behind
+// differential verification, so replay speed bounds how often it can run;
+// the target regime is millions of packets per second.
+//
+// The result is emitted by cmd/p4bench -exp testgen as BENCH_testgen.json.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p4assert/internal/core"
+	"p4assert/internal/interp"
+	"p4assert/internal/progs"
+	"p4assert/internal/rules"
+)
+
+// TestgenResult is the BENCH_testgen.json payload.
+type TestgenResult struct {
+	Experiment string `json:"experiment"`
+	Program    string `json:"program"`
+	// Cases is the number of distinct generated test cases — one per
+	// explored path of the subject program.
+	Cases int `json:"cases"`
+	// SuiteValid records that every case replayed to its recorded
+	// expected outcome before the timed runs.
+	SuiteValid bool `json:"suite_valid"`
+	// Workers × RoundsPerWorker replays of the whole suite were timed.
+	Workers         int   `json:"workers"`
+	RoundsPerWorker int64 `json:"rounds_per_worker"`
+	// Packets is the total number of packets replayed in the timed region.
+	Packets          int64   `json:"packets"`
+	Seconds          float64 `json:"seconds"`
+	PacketsPerSecond float64 `json:"packets_per_second"`
+	// Instructions totals interpreted batch-VM instructions.
+	Instructions int64 `json:"instructions"`
+}
+
+// Testgen runs the benchmark: workers defaults to GOMAXPROCS,
+// targetPackets (the minimum timed-region size) to 2,000,000.
+func Testgen(workers int, targetPackets int64) (*TestgenResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if targetPackets <= 0 {
+		targetPackets = 2_000_000
+	}
+	subject, err := progs.Get("fabric")
+	if err != nil {
+		return nil, err
+	}
+	file := subject.Name + ".p4"
+	opts := core.Options{}
+	if subject.Rules != "" {
+		rs, err := rules.Parse(subject.Rules)
+		if err != nil {
+			return nil, err
+		}
+		opts.Rules = rs
+	}
+
+	cases, err := core.GenerateTestsSource(file, subject.Source, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(cases) == 0 {
+		return nil, fmt.Errorf("bench: %s generated no test cases", subject.Name)
+	}
+	m, err := core.BuildModel(file, subject.Source, opts)
+	if err != nil {
+		return nil, err
+	}
+	m, err = core.ApplyModelPasses(m, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &TestgenResult{
+		Experiment: "testgen",
+		Program:    subject.Name,
+		Cases:      len(cases),
+		Workers:    workers,
+	}
+
+	// Oracle pass: the suite must match its recorded expectations before
+	// its replay speed means anything.
+	batch, err := core.ReplayBatch(m, cases)
+	if err != nil {
+		return nil, err
+	}
+	res.SuiteValid = batch.Ok()
+	if !res.SuiteValid {
+		return res, fmt.Errorf("bench: %d of %d cases diverge from their expectations", len(batch.Mismatches), len(cases))
+	}
+
+	// Timed region: compile once, resolve inputs and traces once (the
+	// interning mutates the compilation and is not concurrent-safe), then
+	// hammer the read-only program with one Exec per worker.
+	c, err := interp.Compile(m, interp.CompileOptions{})
+	if err != nil {
+		return nil, err
+	}
+	ins := make([][]uint64, len(cases))
+	decs := make([][]interp.Decision, len(cases))
+	for i, tc := range cases {
+		ins[i] = c.LoadInputs(tc.Inputs)
+		decs[i], err = c.LoadTrace(tc.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("case %d: %w", i, err)
+		}
+	}
+	perWorker := (targetPackets + int64(workers*len(cases)) - 1) / int64(workers*len(cases))
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	res.RoundsPerWorker = perWorker
+	res.Packets = perWorker * int64(workers) * int64(len(cases))
+
+	var wg sync.WaitGroup
+	var instructions atomic.Int64
+	t0 := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ex := c.NewExec()
+			var instr int64
+			for r := int64(0); r < perWorker; r++ {
+				for i := range ins {
+					out := ex.Run(ins[i], decs[i])
+					instr += out.Instructions
+				}
+			}
+			instructions.Add(instr)
+		}()
+	}
+	wg.Wait()
+	res.Seconds = time.Since(t0).Seconds()
+	res.Instructions = instructions.Load()
+	if res.Seconds > 0 {
+		res.PacketsPerSecond = float64(res.Packets) / res.Seconds
+	}
+	return res, nil
+}

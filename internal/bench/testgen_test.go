@@ -1,0 +1,25 @@
+package bench
+
+import "testing"
+
+// TestTestgenSmoke runs the oracle-throughput benchmark with a small timed
+// region: the generated fabric suite must validate against its recorded
+// expectations and the replay accounting must be consistent.
+func TestTestgenSmoke(t *testing.T) {
+	res, err := Testgen(2, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SuiteValid {
+		t.Fatal("generated suite did not replay to its expectations")
+	}
+	if res.Cases == 0 || res.Packets < 20_000 {
+		t.Fatalf("timed region too small: %+v", res)
+	}
+	if res.PacketsPerSecond <= 0 || res.Instructions <= 0 {
+		t.Fatalf("missing throughput accounting: %+v", res)
+	}
+	if want := res.RoundsPerWorker * int64(res.Workers) * int64(res.Cases); res.Packets != want {
+		t.Fatalf("packet accounting: got %d, want %d", res.Packets, want)
+	}
+}

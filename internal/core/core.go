@@ -184,6 +184,40 @@ func VerifyModel(m *model.Program, opts Options) (*Report, error) {
 	return verifyModel(context.Background(), m, opts, &Report{}, false)
 }
 
+// VerifyModelCtx is VerifyModel with early cancellation via ctx.
+func VerifyModelCtx(ctx context.Context, m *model.Program, opts Options) (*Report, error) {
+	return verifyModel(ctx, m, opts, &Report{}, false)
+}
+
+// BuildModel runs the front end and the translator on source, returning
+// the raw (pre-optimization, pre-slicing) model. The differential engine
+// (internal/equiv) and the test-suite generator build per-version models
+// this way before applying per-side passes.
+func BuildModel(filename, source string, opts Options) (*model.Program, error) {
+	rep := &Report{}
+	prog, err := parseChecked(context.Background(), filename, source, rep)
+	if err != nil {
+		return nil, err
+	}
+	return translateStage(context.Background(), prog, opts, rep)
+}
+
+// ApplyModelPasses runs the model-level pipeline stages selected by opts
+// (optimization, slicing) on m, as the verification pipeline would. Unlike
+// the pipeline — which degrades to the unsliced model when the slicer
+// refuses a program — a slicing failure is a hard error here: callers ask
+// for the transformed model specifically to compare it against another
+// version, and silently comparing the untransformed one would make that
+// comparison vacuous.
+func ApplyModelPasses(m *model.Program, opts Options) (*model.Program, error) {
+	rep := &Report{}
+	out := applyPasses(context.Background(), m, opts, rep)
+	if opts.Slice && rep.SliceErr != nil {
+		return nil, rep.SliceErr
+	}
+	return out, nil
+}
+
 // applyPasses runs the model-level pipeline stages selected by opts —
 // optimization (O3 or the light executor-opt set) and slicing — recording
 // stage durations and a slicing failure in rep. Shared by the cold

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"p4assert/internal/interp"
+	"p4assert/internal/model"
+)
+
+// BatchReplayReport summarizes replaying a set of generated test cases
+// through the compiled batch interpreter (interp.Compile), the fast path
+// meant for replaying large generated suites as a concrete oracle.
+type BatchReplayReport struct {
+	// Cases is the number of test cases replayed.
+	Cases int
+	// Mismatches lists cases whose batch outcome disagreed with the
+	// expected outputs recorded in the suite.
+	Mismatches []BatchMismatch
+	// Instructions totals interpreted instructions across all cases.
+	Instructions int64
+}
+
+// Ok reports whether every case replayed to its expected outcome.
+func (r *BatchReplayReport) Ok() bool { return len(r.Mismatches) == 0 }
+
+// BatchMismatch is one diverging test case.
+type BatchMismatch struct {
+	// Index is the case's position in the suite.
+	Index int
+	// Want and Got describe the expected and observed outcomes.
+	Want, Got string
+}
+
+func (m BatchMismatch) String() string {
+	return fmt.Sprintf("case %d: want %s, got %s", m.Index, m.Want, m.Got)
+}
+
+// ReplayBatch compiles the model once and replays every test case through
+// the batch interpreter, checking each against its recorded expectation.
+// The model must be the same post-pass model the cases were generated
+// from (Report.Model).
+func ReplayBatch(m *model.Program, cases []TestCase) (*BatchReplayReport, error) {
+	c, err := interp.Compile(m, interp.CompileOptions{})
+	if err != nil {
+		return nil, err
+	}
+	// Input and trace interning mutate the compilation, so resolve every
+	// case up front; execution after this is read-only on c.
+	ins := make([][]uint64, len(cases))
+	decs := make([][]interp.Decision, len(cases))
+	for i, tc := range cases {
+		ins[i] = c.LoadInputs(tc.Inputs)
+		decs[i], err = c.LoadTrace(tc.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("case %d: %w", i, err)
+		}
+	}
+	rep := &BatchReplayReport{Cases: len(cases)}
+	ex := c.NewExec()
+	for i := range cases {
+		res := ex.Run(ins[i], decs[i])
+		rep.Instructions += res.Instructions
+		if res.TraceErr != nil {
+			rep.Mismatches = append(rep.Mismatches, BatchMismatch{
+				Index: i,
+				Want:  expectString(&cases[i]),
+				Got:   "trace error: " + res.TraceErr.Error(),
+			})
+			continue
+		}
+		if res.AssumeViolated {
+			rep.Mismatches = append(rep.Mismatches, BatchMismatch{
+				Index: i,
+				Want:  expectString(&cases[i]),
+				Got:   "assume violated (infeasible input)",
+			})
+			continue
+		}
+		if got := outcomeString(res); got != expectString(&cases[i]) {
+			rep.Mismatches = append(rep.Mismatches, BatchMismatch{
+				Index: i,
+				Want:  expectString(&cases[i]),
+				Got:   got,
+			})
+		}
+	}
+	return rep, nil
+}
+
+func expectString(tc *TestCase) string {
+	fwd := uint64(0)
+	if tc.Forwarded {
+		fwd = 1
+	}
+	fails := append([]int(nil), tc.FailedAsserts...)
+	sort.Ints(fails)
+	return fmt.Sprintf("halt=%t fwd=%d egress=0x%x fail=%v", tc.Halted, fwd, tc.EgressSpec, fails)
+}
+
+func outcomeString(res interp.BatchResult) string {
+	fails := res.FailureIDs()
+	sort.Ints(fails)
+	fwd := res.Forward
+	return fmt.Sprintf("halt=%t fwd=%d egress=0x%x fail=%v", res.Halted, fwd, res.Egress, fails)
+}

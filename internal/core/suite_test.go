@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"p4assert/internal/progs"
+)
+
+// TestBatchReplayMatchesInterpreterOnCorpus cross-validates the compiled
+// batch interpreter against the reference tree-walking interpreter at
+// corpus scale: every collected path test's expected outcome comes from
+// interp.Run (materialize), and the batch engine must reproduce each one
+// exactly — halt status, forward flag, egress port, assertion verdicts,
+// and trace conformance.
+func TestBatchReplayMatchesInterpreterOnCorpus(t *testing.T) {
+	totalCases := 0
+	for _, p := range progs.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			rep := collectFor(t, p)
+			cases, err := materialize(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cases) == 0 {
+				t.Skip("no path tests collected")
+			}
+			brep, err := ReplayBatch(rep.Model, cases)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if brep.Cases != len(cases) {
+				t.Fatalf("replayed %d of %d cases", brep.Cases, len(cases))
+			}
+			for _, mm := range brep.Mismatches {
+				t.Errorf("batch/interp disagreement: %s", mm)
+			}
+			if brep.Instructions == 0 {
+				t.Fatal("batch replay executed no instructions")
+			}
+			totalCases += len(cases)
+		})
+	}
+	if totalCases == 0 {
+		t.Fatal("corpus produced no test cases")
+	}
+}
+
+// TestBatchReplayFlagsTamperedExpectation makes sure the oracle actually
+// compares: corrupting an expected egress port must surface as a mismatch,
+// not silently pass.
+func TestBatchReplayFlagsTamperedExpectation(t *testing.T) {
+	p, err := progs.Get("vss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := collectFor(t, p)
+	cases, err := materialize(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := -1
+	for i := range cases {
+		if cases[i].Forwarded {
+			cases[i].EgressSpec ^= 0x155
+			tampered = i
+			break
+		}
+	}
+	if tampered < 0 {
+		t.Fatal("no forwarded case to tamper with")
+	}
+	brep, err := ReplayBatch(rep.Model, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, mm := range brep.Mismatches {
+		if mm.Index == tampered {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tampered case %d not flagged; mismatches: %v", tampered, brep.Mismatches)
+	}
+}

@@ -20,6 +20,8 @@ type TestCase struct {
 	Inputs map[string]uint64
 	// Trace is the sequence of table/action decisions.
 	Trace []string
+	// Halted reports that the parser rejected the packet.
+	Halted bool
 	// Forwarded reports whether the packet leaves the switch.
 	Forwarded bool
 	// EgressSpec is the final egress port value.
@@ -81,6 +83,7 @@ func runTest(m *model.Program, pt sym.PathTest) (TestCase, error) {
 	return TestCase{
 		Inputs:        pt.Inputs,
 		Trace:         pt.Trace,
+		Halted:        o.Halted,
 		Forwarded:     o.Forward == 1,
 		EgressSpec:    o.Egress,
 		FailedAsserts: o.Failures,

@@ -1,0 +1,375 @@
+// Differential-equivalence oracles: metamorphic model mutations with a
+// known ground truth for the version-equivalence engine (internal/equiv).
+// Equivalence-preserving mutations (table-action reorder, dead-table
+// insert) must keep the diff verdict "equivalent"; an observable constant
+// flip witnessed by a concrete batch replay must flip it to "divergent".
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"p4assert/internal/core"
+	"p4assert/internal/equiv"
+	"p4assert/internal/fuzzgen"
+	"p4assert/internal/interp"
+	"p4assert/internal/model"
+	"p4assert/internal/p4"
+	"p4assert/internal/translate"
+)
+
+// ReorderFirstFork rewrites the model in place, rotating the branches of
+// the first fork that has at least two uniquely-labelled branches (the
+// model of reordering a table's action list, which the control plane
+// ranks by label, not position). Semantics-preserving: each branch keeps
+// its label and body, so the label→behaviour mapping is unchanged.
+// Returns false when no such fork exists.
+func ReorderFirstFork(m *model.Program) bool {
+	done := false
+	var visit func(body []model.Stmt)
+	visit = func(body []model.Stmt) {
+		for _, s := range body {
+			if done {
+				return
+			}
+			switch st := s.(type) {
+			case *model.If:
+				visit(st.Then)
+				visit(st.Else)
+			case *model.Fork:
+				if len(st.Branches) >= 2 && uniqueLabels(st.Labels) {
+					st.Labels = append(st.Labels[1:], st.Labels[0])
+					st.Branches = append(st.Branches[1:], st.Branches[0])
+					done = true
+					return
+				}
+				for _, b := range st.Branches {
+					visit(b)
+				}
+			}
+		}
+	}
+	visitFuncs(m, &done, visit)
+	return done
+}
+
+func uniqueLabels(labels []string) bool {
+	seen := map[string]bool{}
+	for _, l := range labels {
+		if seen[l] {
+			return false
+		}
+		seen[l] = true
+	}
+	return true
+}
+
+// InsertDeadTable rewrites the model in place, appending a pipeline stage
+// that models a table nothing depends on: a fresh symbolic key forks over
+// two actions that write only a fresh dead global. The mutant has twice
+// the paths but identical observable behaviour on every one of them.
+func InsertDeadTable(m *model.Program) bool {
+	const fn = "$deadtable"
+	if _, dup := m.Funcs[fn]; dup {
+		return false
+	}
+	sel := fn + ".$action"
+	key := fn + ".key"
+	out := fn + ".port"
+	m.AddGlobal(sel, 8, false, 0)
+	m.AddGlobal(key, 8, false, 0)
+	m.AddGlobal(out, 9, false, 0)
+	m.AddFunc(&model.Func{Name: fn, Body: []model.Stmt{
+		&model.MakeSymbolic{Var: key, Hint: key},
+		&model.Fork{
+			Selector: sel,
+			Labels:   []string{"dead_miss", "dead_hit"},
+			Branches: [][]model.Stmt{
+				{
+					&model.Assign{LHS: sel, RHS: &model.Const{Width: 8, Val: 0}},
+					&model.Assign{LHS: out, RHS: &model.Const{Width: 9, Val: 0}},
+				},
+				{
+					&model.Assign{LHS: sel, RHS: &model.Const{Width: 8, Val: 1}},
+					&model.Assign{LHS: out, RHS: &model.Ref{Name: key}},
+				},
+			},
+		},
+	}})
+	m.Entry = append(m.Entry, fn)
+	return true
+}
+
+// FlipEgressConstant rewrites the model in place, XOR-ing 1 into the
+// right-hand side of the first assignment to an egress-port global: the
+// canonical "constant flip" version bug — a changed forwarding decision
+// that any packet reaching the assignment observes.
+func FlipEgressConstant(m *model.Program) bool {
+	const suffix = ".egress_spec"
+	done := false
+	var visit func(body []model.Stmt)
+	visit = func(body []model.Stmt) {
+		for i, s := range body {
+			if done {
+				return
+			}
+			switch st := s.(type) {
+			case *model.Assign:
+				if len(st.LHS) > len(suffix) && st.LHS[len(st.LHS)-len(suffix):] == suffix {
+					w := 9
+					if g, ok := m.Global(st.LHS); ok {
+						w = g.Width
+					}
+					body[i] = &model.Assign{
+						LHS: st.LHS,
+						RHS: &model.Bin{Op: model.OpXor, X: st.RHS, Y: &model.Const{Width: w, Val: 1}},
+					}
+					done = true
+					return
+				}
+			case *model.If:
+				visit(st.Then)
+				visit(st.Else)
+			case *model.Fork:
+				for _, b := range st.Branches {
+					visit(b)
+				}
+			}
+		}
+	}
+	visitFuncs(m, &done, visit)
+	return done
+}
+
+// visitFuncs applies visit to every function body until *done flips: entry
+// functions in pipeline order first, then the rest (action bodies, table
+// helpers — called from entries rather than listed in Entry) in sorted
+// name order for determinism.
+func visitFuncs(m *model.Program, done *bool, visit func([]model.Stmt)) {
+	for _, name := range m.Entry {
+		if fn, ok := m.Funcs[name]; ok && !*done {
+			visit(fn.Body)
+		}
+	}
+	if *done {
+		return
+	}
+	names := make([]string, 0, len(m.Funcs))
+	for name := range m.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if *done {
+			return
+		}
+		visit(m.Funcs[name].Body)
+	}
+}
+
+// DiffResult summarizes one program's run through the equivalence-oracle
+// battery.
+type DiffResult struct {
+	Seed uint64
+	// Mutants is how many mutants were diffed against the original.
+	Mutants int
+	// FlipDetected reports that the constant-flip mutant was built and the
+	// engine flagged it divergent.
+	FlipDetected bool
+	// FlipWitnessed reports that the concrete batch replay independently
+	// witnessed the flip diverging (the hard ground truth).
+	FlipWitnessed bool
+	// Skipped reports that a product exploration exhausted its budget, so
+	// the corresponding verdict was not checked.
+	Skipped bool
+}
+
+// freshModel translates the generated program anew (mutations are applied
+// in place, so every mutant needs its own model).
+func freshModel(p *fuzzgen.Program) (*model.Program, *p4.Program, error) {
+	prog, err := p4.Parse(p.Name()+".p4", p.Source())
+	if err != nil {
+		return nil, nil, fmt.Errorf("seed %d: generated program does not parse: %w", p.Seed, err)
+	}
+	if err := prog.Check(); err != nil {
+		return nil, nil, fmt.Errorf("seed %d: generated program does not typecheck: %w", p.Seed, err)
+	}
+	m, err := translate.Translate(prog, translate.Options{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("seed %d: translate: %w", p.Seed, err)
+	}
+	return m, prog, nil
+}
+
+// CheckDiff runs one generated program through the equivalence-oracle
+// battery: self-diff and equivalence-preserving mutants must come back
+// "equivalent"; the constant-flip mutant must come back "divergent"
+// whenever the concrete batch replay independently witnesses the
+// divergence. A *Mismatch names the oracle that disagreed.
+func CheckDiff(p *fuzzgen.Program) (*DiffResult, error) {
+	res := &DiffResult{Seed: p.Seed}
+	base, prog, err := freshModel(p)
+	if err != nil {
+		return nil, err
+	}
+	eopts := equiv.Options{MaxPaths: DefaultMaxPaths}
+
+	diff := func(mutant *model.Program, oracle string, wantEquivalent bool) error {
+		rep, derr := equiv.DiffModels(context.Background(), base, mutant, eopts)
+		if derr != nil {
+			return fmt.Errorf("seed %d: %s: %w", p.Seed, oracle, derr)
+		}
+		if rep.Exhausted {
+			res.Skipped = true
+			return nil
+		}
+		res.Mutants++
+		if wantEquivalent && !rep.Equivalent {
+			return &Mismatch{
+				Seed: p.Seed, Oracle: oracle, Config: "diff",
+				Err: fmt.Errorf("semantics-preserving mutant reported divergent: %v", rep.Divergences),
+			}
+		}
+		if !wantEquivalent && rep.Equivalent {
+			return &Mismatch{
+				Seed: p.Seed, Oracle: oracle, Config: "diff",
+				Err: fmt.Errorf("concretely-witnessed divergence reported equivalent"),
+			}
+		}
+		if !wantEquivalent {
+			res.FlipDetected = !rep.Equivalent
+		}
+		return nil
+	}
+
+	// Identity: a program is equivalent to an independent translation of
+	// itself.
+	self, _, err := freshModel(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := diff(self, "diff-self", true); err != nil {
+		return res, err
+	}
+
+	// Equivalence-preserving mutations.
+	if reordered, _, err := freshModel(p); err != nil {
+		return nil, err
+	} else if ReorderFirstFork(reordered) {
+		if err := diff(reordered, "diff-reorder", true); err != nil {
+			return res, err
+		}
+	}
+	if dead, _, err := freshModel(p); err != nil {
+		return nil, err
+	} else if InsertDeadTable(dead) {
+		if err := diff(dead, "diff-deadtable", true); err != nil {
+			return res, err
+		}
+	}
+
+	// Equivalence-breaking mutation, arbitrated by the concrete oracle:
+	// the original's generated test suite replays through the mutant in
+	// batch; any outcome mismatch is a concrete witness the symbolic
+	// verdict must agree with. (Without a witness the flip may sit on an
+	// unreachable or post-drop assignment, and either verdict is sound.)
+	flipped, _, err := freshModel(p)
+	if err != nil {
+		return nil, err
+	}
+	if !FlipEgressConstant(flipped) {
+		return res, nil
+	}
+	cases, err := core.GenerateTests(prog, core.Options{MaxPaths: DefaultMaxPaths})
+	if err != nil {
+		return nil, fmt.Errorf("seed %d: generate tests: %w", p.Seed, err)
+	}
+	res.FlipWitnessed, err = witnessDivergence(flipped, cases)
+	if err != nil {
+		return nil, fmt.Errorf("seed %d: batch replay: %w", p.Seed, err)
+	}
+	if res.FlipWitnessed {
+		if err := diff(flipped, "diff-flip", false); err != nil {
+			return res, err
+		}
+	} else if err := diffAny(p, base, flipped, eopts, res); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// diffAny runs the flip diff without a ground-truth requirement (no
+// concrete witness): either verdict is acceptable, but the run itself must
+// not error, and a divergent verdict is recorded as a detection.
+func diffAny(p *fuzzgen.Program, base, mutant *model.Program, eopts equiv.Options, res *DiffResult) error {
+	rep, err := equiv.DiffModels(context.Background(), base, mutant, eopts)
+	if err != nil {
+		return fmt.Errorf("seed %d: diff-flip: %w", p.Seed, err)
+	}
+	if rep.Exhausted {
+		res.Skipped = true
+		return nil
+	}
+	res.Mutants++
+	res.FlipDetected = !rep.Equivalent
+	return nil
+}
+
+// witnessDivergence replays the original program's generated test suite
+// through the mutant in batch mode and reports whether any case's
+// wire-observable outcome differs — the same observation semantics the
+// equivalence engine checks symbolically: halt flag, forward flag, egress
+// port only while both versions forward (a dropped packet's egress_spec
+// never reaches the wire), and the failed-assertion set. Cases whose trace
+// does not structurally replay or whose path assumptions fail in the
+// mutant are precondition mismatches, not wire observations, and do not
+// count as witnesses.
+func witnessDivergence(mutant *model.Program, cases []core.TestCase) (bool, error) {
+	c, err := interp.Compile(mutant, interp.CompileOptions{})
+	if err != nil {
+		return false, err
+	}
+	ins := make([][]uint64, len(cases))
+	decs := make([][]interp.Decision, len(cases))
+	for i, tc := range cases {
+		ins[i] = c.LoadInputs(tc.Inputs)
+		decs[i], err = c.LoadTrace(tc.Trace)
+		if err != nil {
+			return false, fmt.Errorf("case %d: %w", i, err)
+		}
+	}
+	ex := c.NewExec()
+	for i := range cases {
+		res := ex.Run(ins[i], decs[i])
+		if res.TraceErr != nil || res.AssumeViolated {
+			continue
+		}
+		tc := &cases[i]
+		fwd := res.Forward == 1
+		if res.Halted != tc.Halted || fwd != tc.Forwarded {
+			return true, nil
+		}
+		if fwd && tc.Forwarded && res.Egress != tc.EgressSpec {
+			return true, nil
+		}
+		got := res.FailureIDs()
+		sort.Ints(got)
+		want := append([]int(nil), tc.FailedAsserts...)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return true, nil
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// CheckDiffSeed is CheckDiff over a generator seed.
+func CheckDiffSeed(seed uint64) (*DiffResult, error) {
+	return CheckDiff(fuzzgen.Generate(seed))
+}

@@ -1,0 +1,490 @@
+package equiv
+
+import (
+	"fmt"
+	"sort"
+
+	"p4assert/internal/model"
+)
+
+// Side prefixes of the product program. Globals and functions of each
+// version are renamed under these; MakeSymbolic hints are deliberately NOT
+// prefixed, so both versions draw the same symbolic packet bytes (the
+// executor hash-conses input variables by name, and a ResetDraws between
+// the two halves restarts the per-hint numbering).
+const (
+	PrefixA = "a::"
+	PrefixB = "b::"
+)
+
+const (
+	haltedName   = "$halted"  // per-side parser-reject flag
+	afailPrefix  = "$afail."  // per-side assertion-failure bits
+	choiceSuffix = ".$choice" // shared fork-choice oracle per selector
+	emitPrefix   = "$emit."
+)
+
+// CheckKind classifies one observable compared by the product program.
+type CheckKind string
+
+const (
+	CheckHalted   CheckKind = "halted"
+	CheckForward  CheckKind = "forward"
+	CheckEgress   CheckKind = "egress"
+	CheckValidity CheckKind = "validity"
+	CheckAssert   CheckKind = "assert"
+)
+
+// Check is one equivalence observable; its index in Composition.Checks is
+// its assertion ID in the composed model.
+type Check struct {
+	Kind CheckKind `json:"kind"`
+	// Detail names the compared object: the header validity/emit global
+	// (CheckValidity) or the assertion ID pair (CheckAssert).
+	Detail string `json:"detail,omitempty"`
+}
+
+func (c Check) String() string {
+	if c.Detail == "" {
+		return string(c.Kind)
+	}
+	return string(c.Kind) + ":" + c.Detail
+}
+
+// Composition is the product program of two model versions.
+type Composition struct {
+	Model *model.Program
+	// Checks maps composed assertion IDs to the observable they compare.
+	Checks []Check
+	// Notes records asymmetries that limited the comparison (inputs left
+	// unbound by a width change, assertions with no counterpart, ...).
+	Notes []string
+	// conflictHints are hints drawn at different widths by the two sides;
+	// side B's draws were renamed under PrefixB and read independent
+	// symbolic values.
+	conflictHints map[string]bool
+}
+
+// Compose builds the product program: A's renamed model, a draw reset,
+// B's renamed model, then one assertion per shared observable. Tables with
+// unknown rules (Fork statements) are determinized against a shared choice
+// oracle drawn per execution, so both versions resolve the "same" missing
+// rule identically — equivalence is checked relative to that coupled
+// resolution (supplying concrete rules removes forks and makes the check
+// exact). Branch ranks follow sorted action labels, so reordering actions
+// within a table is equivalence-preserving.
+func Compose(a, b *model.Program, obs Observables) (*Composition, error) {
+	obs = obs.normalize()
+	comp := &Composition{
+		Model:         model.NewProgram(),
+		conflictHints: hintWidthConflicts(a, b),
+	}
+	for h := range comp.conflictHints {
+		comp.noteF("input %s is drawn at different widths by the two versions; its bytes are compared as independent inputs", h)
+	}
+
+	ra, err := newRenamer(comp, a, PrefixA)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := newRenamer(comp, b, PrefixB)
+	if err != nil {
+		return nil, err
+	}
+
+	out := comp.Model
+	out.Funcs["$swap"] = &model.Func{Name: "$swap", Body: []model.Stmt{&model.ResetDraws{}}}
+	comp.bind(a, b)
+
+	out.Entry = append(out.Entry, "$bind")
+	out.Entry = append(out.Entry, ra.entries()...)
+	out.Entry = append(out.Entry, "$swap")
+	out.Entry = append(out.Entry, rb.entries()...)
+	comp.equivChecks(a, b, obs)
+	out.Entry = append(out.Entry, "$equiv")
+
+	if len(comp.Checks) == 0 {
+		return nil, fmt.Errorf("equiv: the two versions share no observable to compare (observe outputs=%t asserts=%t)",
+			obs.Outputs, obs.Asserts)
+	}
+	return comp, nil
+}
+
+func (c *Composition) noteF(format string, args ...any) {
+	c.Notes = append(c.Notes, fmt.Sprintf(format, args...))
+}
+
+// hintWidthConflicts finds hints drawn at different widths by the two
+// sides. Re-drawing such a hint under its shared name would redeclare an
+// executor variable at a new width, so side B keeps those draws private.
+func hintWidthConflicts(a, b *model.Program) map[string]bool {
+	wa := hintWidths(a)
+	wb := hintWidths(b)
+	out := map[string]bool{}
+	for h, w := range wb {
+		if aw, shared := wa[h]; shared && aw != w {
+			out[h] = true
+		}
+	}
+	return out
+}
+
+// hintWidths maps each MakeSymbolic hint to the width of its drawn
+// variable. Within one program a hint always has one width (the
+// translator uses the variable's own name as its hint).
+func hintWidths(p *model.Program) map[string]int {
+	out := map[string]int{}
+	for _, f := range p.Funcs {
+		walkStmts(f.Body, func(s model.Stmt) {
+			if ms, ok := s.(*model.MakeSymbolic); ok {
+				if g, found := p.Global(ms.Var); found {
+					out[ms.Hint] = g.Width
+				}
+			}
+		})
+	}
+	return out
+}
+
+func walkStmts(body []model.Stmt, visit func(model.Stmt)) {
+	for _, s := range body {
+		visit(s)
+		switch x := s.(type) {
+		case *model.If:
+			walkStmts(x.Then, visit)
+			walkStmts(x.Else, visit)
+		case *model.Fork:
+			for _, br := range x.Branches {
+				walkStmts(br, visit)
+			}
+		}
+	}
+}
+
+// bind emits the $bind entry: initial symbolic globals present in both
+// versions at the same width are constrained equal, so both halves start
+// from the same metadata and intrinsic state.
+func (c *Composition) bind(a, b *model.Program) {
+	var body []model.Stmt
+	for _, ga := range a.Globals {
+		if !ga.Symbolic {
+			continue
+		}
+		gb, ok := b.Global(ga.Name)
+		if !ok || !gb.Symbolic {
+			continue
+		}
+		if gb.Width != ga.Width {
+			c.noteF("initial input %s changed width (%d -> %d bits); left unbound", ga.Name, ga.Width, gb.Width)
+			continue
+		}
+		body = append(body, &model.Assume{Cond: &model.Bin{
+			Op: model.OpEq,
+			X:  &model.Ref{Name: PrefixA + ga.Name},
+			Y:  &model.Ref{Name: PrefixB + ga.Name},
+		}})
+	}
+	c.Model.Funcs["$bind"] = &model.Func{Name: "$bind", Body: body}
+}
+
+// equivChecks emits the $equiv entry comparing the shared observables.
+func (c *Composition) equivChecks(a, b *model.Program, obs Observables) {
+	var body []model.Stmt
+	addCheck := func(ck Check, cond model.Expr) {
+		id := len(c.Checks)
+		c.Checks = append(c.Checks, ck)
+		c.Model.Asserts = append(c.Model.Asserts, &model.AssertInfo{
+			ID:       id,
+			Source:   "versions agree on " + ck.String(),
+			Location: "equiv:" + ck.String(),
+		})
+		body = append(body, &model.AssertCheck{ID: id, Cond: cond})
+	}
+	ref := func(n string) model.Expr { return &model.Ref{Name: n} }
+	eq := func(x, y model.Expr) model.Expr { return &model.Bin{Op: model.OpEq, X: x, Y: y} }
+
+	if obs.Outputs {
+		addCheck(Check{Kind: CheckHalted}, eq(ref(PrefixA+haltedName), ref(PrefixB+haltedName)))
+
+		_, aFwd := a.Global(model.ForwardFlag)
+		_, bFwd := b.Global(model.ForwardFlag)
+		switch {
+		case aFwd && bFwd:
+			addCheck(Check{Kind: CheckForward},
+				eq(ref(PrefixA+model.ForwardFlag), ref(PrefixB+model.ForwardFlag)))
+		default:
+			c.noteF("forward flag not present in both versions; drop/forward verdicts not compared")
+		}
+
+		// Egress and wire content only matter for packets both versions
+		// forward: a packet one version drops already diverges on $forward.
+		bothFwd := &model.Bin{Op: model.OpLAnd,
+			X: ref(PrefixA + model.ForwardFlag),
+			Y: ref(PrefixB + model.ForwardFlag)}
+		gated := func(cond model.Expr) model.Expr {
+			return &model.Bin{Op: model.OpLOr,
+				X: &model.Un{Op: model.OpNot, X: bothFwd},
+				Y: cond}
+		}
+		if aFwd && bFwd {
+			aEg, bEg := egressName(a), egressName(b)
+			if aEg != "" && bEg != "" {
+				addCheck(Check{Kind: CheckEgress}, gated(eq(ref(PrefixA+aEg), ref(PrefixB+bEg))))
+			} else if aEg != bEg {
+				c.noteF("egress_spec not present in both versions; egress ports not compared")
+			}
+			for _, name := range sharedWireFlags(a, b) {
+				addCheck(Check{Kind: CheckValidity, Detail: name},
+					gated(eq(ref(PrefixA+name), ref(PrefixB+name))))
+			}
+		}
+	}
+
+	if obs.Asserts {
+		n := len(a.Asserts)
+		if len(b.Asserts) < n {
+			n = len(b.Asserts)
+		}
+		for i := 0; i < n; i++ {
+			addCheck(Check{Kind: CheckAssert, Detail: fmt.Sprintf("%d", i)},
+				eq(ref(PrefixA+afailPrefix+fmt.Sprint(i)), ref(PrefixB+afailPrefix+fmt.Sprint(i))))
+		}
+		if len(a.Asserts) != len(b.Asserts) {
+			c.noteF("assertion counts differ (%d vs %d); only the first %d compared by position",
+				len(a.Asserts), len(b.Asserts), n)
+		}
+	}
+
+	c.Model.Funcs["$equiv"] = &model.Func{Name: "$equiv", Body: body}
+}
+
+func egressName(p *model.Program) string {
+	for _, g := range p.Globals {
+		if hasSuffix(g.Name, ".egress_spec") {
+			return g.Name
+		}
+	}
+	return ""
+}
+
+// sharedWireFlags lists the width-1 wire-content observables present in
+// both versions: header validity bits and emit flags, sorted.
+func sharedWireFlags(a, b *model.Program) []string {
+	var out []string
+	for _, ga := range a.Globals {
+		if !hasSuffix(ga.Name, model.ValidSuffix) && !hasPrefix(ga.Name, emitPrefix) {
+			continue
+		}
+		if gb, ok := b.Global(ga.Name); ok && gb.Width == ga.Width {
+			out = append(out, ga.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+func hasPrefix(s, pre string) bool {
+	return len(s) >= len(pre) && s[:len(pre)] == pre
+}
+
+// renamer rewrites one version into its half of the product program.
+type renamer struct {
+	comp   *Composition
+	src    *model.Program
+	prefix string
+}
+
+func newRenamer(comp *Composition, p *model.Program, prefix string) (*renamer, error) {
+	r := &renamer{comp: comp, src: p, prefix: prefix}
+	out := comp.Model
+	for _, g := range p.Globals {
+		out.AddGlobal(prefix+g.Name, g.Width, g.Symbolic, g.Init)
+	}
+	out.AddGlobal(prefix+haltedName, 1, false, 0)
+	for i := range p.Asserts {
+		out.AddGlobal(prefix+afailPrefix+fmt.Sprint(i), 1, false, 0)
+	}
+	for name, f := range p.Funcs {
+		out.Funcs[prefix+name] = &model.Func{Name: prefix + name, Body: r.stmts(f.Body)}
+	}
+	for _, e := range p.Entry {
+		if _, ok := p.Funcs[e]; !ok {
+			return nil, fmt.Errorf("equiv: entry %s not found", e)
+		}
+	}
+	return r, nil
+}
+
+// entries returns the wrapper entry chain for this side: every entry runs
+// only while the side has not halted, except its final checks ("$checks"),
+// which the original semantics run on rejected packets too.
+func (r *renamer) entries() []string {
+	out := r.comp.Model
+	var names []string
+	for i, e := range r.src.Entry {
+		wrap := fmt.Sprintf("%s$entry%d", r.prefix, i)
+		call := &model.Call{Func: r.prefix + e}
+		var body []model.Stmt
+		if e == "$checks" {
+			body = []model.Stmt{call}
+		} else {
+			body = []model.Stmt{&model.If{
+				Cond: &model.Un{Op: model.OpNot, X: &model.Ref{Name: r.prefix + haltedName}},
+				Then: []model.Stmt{call},
+			}}
+		}
+		out.Funcs[wrap] = &model.Func{Name: wrap, Body: body}
+		names = append(names, wrap)
+	}
+	return names
+}
+
+func (r *renamer) stmts(body []model.Stmt) []model.Stmt {
+	out := make([]model.Stmt, 0, len(body))
+	for _, s := range body {
+		switch st := s.(type) {
+		case *model.Assign:
+			out = append(out, &model.Assign{LHS: r.prefix + st.LHS, RHS: r.expr(st.RHS)})
+
+		case *model.MakeSymbolic:
+			hint := st.Hint
+			if r.prefix == PrefixB && r.comp.conflictHints[hint] {
+				hint = r.prefix + hint
+			}
+			out = append(out, &model.MakeSymbolic{Var: r.prefix + st.Var, Hint: hint})
+
+		case *model.If:
+			out = append(out, &model.If{
+				Cond: r.expr(st.Cond),
+				Then: r.stmts(st.Then),
+				Else: r.stmts(st.Else),
+			})
+
+		case *model.Fork:
+			out = append(out, r.fork(st)...)
+
+		case *model.Call:
+			out = append(out, &model.Call{Func: r.prefix + st.Func})
+
+		case *model.Assume:
+			out = append(out, &model.Assume{Cond: r.expr(st.Cond)})
+
+		case *model.AssertCheck:
+			// The sides' own assertions become failure accumulators; the
+			// product program's assertions are the $equiv comparisons.
+			bit := r.prefix + afailPrefix + fmt.Sprint(st.ID)
+			out = append(out, &model.Assign{LHS: bit, RHS: &model.Bin{
+				Op: model.OpLOr,
+				X:  &model.Ref{Name: bit},
+				Y:  &model.Un{Op: model.OpNot, X: r.expr(st.Cond)},
+			}})
+
+		case *model.Halt:
+			// Halt would skip the other version's half too; record the
+			// rejection and unwind only this entry.
+			out = append(out,
+				&model.Assign{LHS: r.prefix + haltedName, RHS: &model.Const{Width: 1, Val: 1}},
+				&model.Exit{})
+
+		case *model.Return:
+			out = append(out, &model.Return{})
+		case *model.Exit:
+			out = append(out, &model.Exit{})
+		case *model.TraceNote:
+			out = append(out, &model.TraceNote{Label: st.Label})
+		case *model.ResetDraws:
+			out = append(out, &model.ResetDraws{})
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// fork determinizes a table with unknown rules against the shared choice
+// oracle: a symbolic choice is drawn under the selector's unprefixed hint
+// (so both sides draw the same variable), and each branch assumes the
+// choice equals its label's sorted rank. The top-ranked branch takes every
+// remaining value (>=), keeping the case split total.
+func (r *renamer) fork(st *model.Fork) []model.Stmt {
+	choiceVar := r.prefix + st.Selector + choiceSuffix
+	r.comp.Model.AddGlobal(choiceVar, 8, false, 0)
+
+	ranks := labelRanks(st.Labels, len(st.Branches))
+	nf := &model.Fork{
+		Selector: r.prefix + st.Selector,
+		Labels:   append([]string(nil), st.Labels...),
+	}
+	n := len(st.Branches)
+	for i, br := range st.Branches {
+		op := model.OpEq
+		if ranks[i] == n-1 {
+			op = model.OpGe
+		}
+		guard := &model.Assume{Cond: &model.Bin{
+			Op: op,
+			X:  &model.Ref{Name: choiceVar},
+			Y:  &model.Const{Width: 8, Val: uint64(ranks[i])},
+		}}
+		nf.Branches = append(nf.Branches, append([]model.Stmt{guard}, r.stmts(br)...))
+	}
+	return []model.Stmt{
+		&model.MakeSymbolic{Var: choiceVar, Hint: st.Selector + choiceSuffix},
+		nf,
+	}
+}
+
+// labelRanks assigns each branch its label's position in sorted label
+// order, so the rank of an action is stable under reordering. Forks with
+// missing or duplicate labels fall back to branch order.
+func labelRanks(labels []string, branches int) []int {
+	ranks := make([]int, branches)
+	if len(labels) != branches {
+		for i := range ranks {
+			ranks[i] = i
+		}
+		return ranks
+	}
+	seen := map[string]bool{}
+	for _, l := range labels {
+		if seen[l] {
+			for i := range ranks {
+				ranks[i] = i
+			}
+			return ranks
+		}
+		seen[l] = true
+	}
+	sorted := append([]string(nil), labels...)
+	sort.Strings(sorted)
+	pos := make(map[string]int, len(sorted))
+	for i, l := range sorted {
+		pos[l] = i
+	}
+	for i, l := range labels {
+		ranks[i] = pos[l]
+	}
+	return ranks
+}
+
+func (r *renamer) expr(e model.Expr) model.Expr {
+	switch x := e.(type) {
+	case *model.Const:
+		return x
+	case *model.Ref:
+		return &model.Ref{Name: r.prefix + x.Name}
+	case *model.Bin:
+		return &model.Bin{Op: x.Op, X: r.expr(x.X), Y: r.expr(x.Y)}
+	case *model.Un:
+		return &model.Un{Op: x.Op, X: r.expr(x.X)}
+	case *model.Cond:
+		return &model.Cond{C: r.expr(x.C), T: r.expr(x.T), F: r.expr(x.F)}
+	case *model.Cast:
+		return &model.Cast{Width: x.Width, X: r.expr(x.X)}
+	}
+	return e
+}

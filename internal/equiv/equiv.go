@@ -1,0 +1,180 @@
+// Package equiv checks two P4 program versions for behavioral equivalence
+// by symbolic execution of their product program: both versions run over
+// the same symbolic packet, table rules and action parameters, and an
+// assertion per shared observable demands their outputs agree. A SAT
+// assertion failure is a concrete diverging packet, which is replayed
+// through both versions' concrete interpreters for confirmation.
+//
+// When table rules are unknown, both versions resolve the same missing
+// rule through one shared symbolic choice per table lookup, so the check
+// is relative to that coupled resolution; supplying concrete rules
+// removes the forks and makes the comparison exact.
+package equiv
+
+import (
+	"context"
+	"time"
+
+	"p4assert/internal/core"
+	"p4assert/internal/model"
+	"p4assert/internal/sym"
+)
+
+// Observables selects what the product program compares. The zero value
+// means "everything shared": packet-level outputs and assertion verdicts.
+type Observables struct {
+	// Outputs compares drop/forward verdicts, egress_spec, and final
+	// header validity/emit bits (wire content).
+	Outputs bool
+	// Asserts compares per-assertion failure verdicts, paired by ID.
+	// This is the only meaningful observable when a side was built with
+	// Slice or O3: both transforms preserve just the state assertions
+	// depend on, deleting output-affecting code on purpose.
+	Asserts bool
+}
+
+func (o Observables) normalize() Observables {
+	if !o.Outputs && !o.Asserts {
+		return Observables{Outputs: true, Asserts: true}
+	}
+	return o
+}
+
+// Options configures a differential run.
+type Options struct {
+	// A and B configure each side's front-end pipeline (rules, O3,
+	// optimizer, slicing). Execution-related fields (Parallel, MaxPaths,
+	// Timeout, MaxCallDepth) are taken from the top-level options below,
+	// not from A/B.
+	A, B core.Options
+
+	// Observe selects the compared observables; zero value compares all.
+	Observe Observables
+
+	// MaxPaths bounds explored paths of the product program (0 = executor
+	// default). Product programs multiply per-side path counts, so this
+	// usually needs to be larger than a single-program budget.
+	MaxPaths int64
+	// Timeout bounds the whole symbolic run (0 = none).
+	Timeout time.Duration
+	// Parallel > 0 splits the product program into submodels verified
+	// concurrently.
+	Parallel int
+	// MaxCallDepth bounds model call nesting (0 = executor default).
+	MaxCallDepth int
+	// Opt runs the algebraic optimizer over the product program.
+	Opt bool
+	// NoReplay skips concrete replay confirmation of divergences.
+	NoReplay bool
+}
+
+func (o Options) execOptions() core.Options {
+	return core.Options{
+		Parallel:     o.Parallel,
+		MaxPaths:     o.MaxPaths,
+		Timeout:      o.Timeout,
+		MaxCallDepth: o.MaxCallDepth,
+		Opt:          o.Opt,
+	}
+}
+
+// Divergence is one behavioral difference between the two versions.
+type Divergence struct {
+	// Check names the observable the versions disagree on.
+	Check Check `json:"check"`
+	// Count is how many explored paths hit this divergence.
+	Count int64 `json:"count"`
+	// Inputs is the diverging packet: shared symbolic inputs by hint name
+	// (header fields, action parameters, table-choice oracles).
+	Inputs map[string]uint64 `json:"inputs"`
+	// Trace is the product program's fork trace for the diverging path.
+	Trace []string `json:"trace,omitempty"`
+
+	// A and B are each version's concrete outcome replaying Inputs
+	// (nil when replay was skipped or failed).
+	A *ReplayOutcome `json:"a,omitempty"`
+	B *ReplayOutcome `json:"b,omitempty"`
+	// Confirmed reports that concrete replay reproduced a difference.
+	Confirmed bool `json:"confirmed"`
+	// ReplayNote explains an unconfirmed replay (error, assume violation,
+	// or outcomes that agree on the replayed observables).
+	ReplayNote string `json:"replay_note,omitempty"`
+}
+
+// Report is the result of a differential run.
+type Report struct {
+	// Equivalent is true when no divergence was found AND the search
+	// covered every path; a clean run cut short by a budget reports
+	// false with Exhausted true (inconclusive).
+	Equivalent bool `json:"equivalent"`
+	// Exhausted mirrors core.Report.Exhausted: a path or time budget
+	// stopped exploration before all paths were covered.
+	Exhausted bool `json:"exhausted"`
+	// Divergences lists the differences found, one per observable check.
+	Divergences []*Divergence `json:"divergences,omitempty"`
+	// Checks lists the compared observables.
+	Checks []Check `json:"checks"`
+	// Notes records comparison asymmetries (unbound inputs, unpaired
+	// assertions).
+	Notes []string `json:"notes,omitempty"`
+	// Metrics aggregates executor statistics for the product program.
+	Metrics sym.Metrics `json:"metrics"`
+}
+
+// Diff builds both versions from source and checks their equivalence.
+func Diff(ctx context.Context, aName, aSrc, bName, bSrc string, opts Options) (*Report, error) {
+	ma, err := buildSide(aName, aSrc, opts.A)
+	if err != nil {
+		return nil, err
+	}
+	mb, err := buildSide(bName, bSrc, opts.B)
+	if err != nil {
+		return nil, err
+	}
+	return DiffModels(ctx, ma, mb, opts)
+}
+
+func buildSide(name, src string, opts core.Options) (*model.Program, error) {
+	m, err := core.BuildModel(name, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.ApplyModelPasses(m, opts)
+}
+
+// DiffModels checks two already-built models for equivalence. The models
+// should have had their per-side passes applied; the product program is
+// executed as-is (plus the optional optimizer pass).
+func DiffModels(ctx context.Context, a, b *model.Program, opts Options) (*Report, error) {
+	comp, err := Compose(a, b, opts.Observe)
+	if err != nil {
+		return nil, err
+	}
+	crep, err := core.VerifyModelCtx(ctx, comp.Model, opts.execOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Exhausted: crep.Exhausted,
+		Checks:    comp.Checks,
+		Notes:     comp.Notes,
+		Metrics:   crep.Metrics,
+	}
+	for _, v := range crep.Violations {
+		d := &Divergence{
+			Count:  v.Count,
+			Inputs: v.Model,
+			Trace:  v.Trace,
+		}
+		if v.AssertID >= 0 && v.AssertID < len(comp.Checks) {
+			d.Check = comp.Checks[v.AssertID]
+		}
+		if !opts.NoReplay {
+			replayDivergence(d, a, b, opts.Observe.normalize())
+		}
+		rep.Divergences = append(rep.Divergences, d)
+	}
+	rep.Equivalent = len(rep.Divergences) == 0 && !rep.Exhausted
+	return rep, nil
+}

@@ -1,0 +1,243 @@
+package equiv
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"p4assert/internal/core"
+)
+
+// diffProgram is a small two-table pipeline with a parameterized egress
+// port and optional TTL guard, used to build equivalent and divergent
+// version pairs.
+func diffProgram(egress string, checkTTL bool, actionOrder string) string {
+	guard := "dmac.apply();"
+	if checkTTL {
+		guard = "if (hdr.ipv4.ttl == 0) { drop(); } else { dmac.apply(); }"
+	}
+	return `
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> srcAddr; bit<32> dstAddr; }
+struct headers_t { ethernet_t ethernet; ipv4_t ipv4; }
+struct meta_t { bit<1> unused; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t standard_metadata) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x0800: parse_ipv4;
+            default: reject;
+        }
+    }
+    state parse_ipv4 { pkt.extract(hdr.ipv4); transition accept; }
+}
+
+control Ingress(inout headers_t hdr, inout meta_t meta,
+                inout standard_metadata_t standard_metadata) {
+    action drop() {
+        mark_to_drop(standard_metadata);
+    }
+    action set_dmac(bit<48> dmac) {
+        hdr.ethernet.dstAddr = dmac;
+        standard_metadata.egress_spec = ` + egress + `;
+    }
+    table dmac {
+        key = { hdr.ipv4.dstAddr : exact; }
+        actions = { ` + actionOrder + ` }
+        default_action = drop();
+    }
+    apply {
+        ` + guard + `
+        @assert("if(forward(), hdr.ipv4.ttl > 0)");
+    }
+}
+
+control Deparser(packet_out pkt, in headers_t hdr) {
+    apply { pkt.emit(hdr.ethernet); pkt.emit(hdr.ipv4); }
+}
+
+V1Switch(P, Ingress, Deparser) main;
+`
+}
+
+func runDiff(t *testing.T, aSrc, bSrc string, opts Options) *Report {
+	t.Helper()
+	rep, err := Diff(context.Background(), "a.p4", aSrc, "b.p4", bSrc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestSelfEquivalence(t *testing.T) {
+	src := diffProgram("1", true, "drop; set_dmac;")
+	rep := runDiff(t, src, src, Options{})
+	if rep.Exhausted {
+		t.Fatal("exploration should complete within default budgets")
+	}
+	if !rep.Equivalent {
+		t.Fatalf("program should be equivalent to itself; divergences: %v", describe(rep))
+	}
+	if len(rep.Checks) == 0 {
+		t.Fatal("no observables compared")
+	}
+}
+
+func TestActionReorderIsEquivalent(t *testing.T) {
+	a := diffProgram("1", true, "drop; set_dmac;")
+	b := diffProgram("1", true, "set_dmac; drop;")
+	rep := runDiff(t, a, b, Options{})
+	if !rep.Equivalent {
+		t.Fatalf("action reorder should preserve equivalence; divergences: %v", describe(rep))
+	}
+}
+
+func TestEgressChangeDiverges(t *testing.T) {
+	a := diffProgram("1", true, "drop; set_dmac;")
+	b := diffProgram("2", true, "drop; set_dmac;")
+	rep := runDiff(t, a, b, Options{})
+	if rep.Equivalent {
+		t.Fatal("egress change should diverge")
+	}
+	var egressDiv *Divergence
+	for _, d := range rep.Divergences {
+		if d.Check.Kind == CheckEgress {
+			egressDiv = d
+		}
+	}
+	if egressDiv == nil {
+		t.Fatalf("expected an egress divergence, got: %v", describe(rep))
+	}
+	if !egressDiv.Confirmed {
+		t.Fatalf("egress divergence not confirmed by replay: %+v", egressDiv)
+	}
+	if egressDiv.A == nil || egressDiv.B == nil {
+		t.Fatal("replay outcomes missing")
+	}
+	if egressDiv.A.Egress == egressDiv.B.Egress {
+		t.Fatalf("replayed egress ports agree: a=%d b=%d", egressDiv.A.Egress, egressDiv.B.Egress)
+	}
+}
+
+func TestDroppedGuardDiverges(t *testing.T) {
+	a := diffProgram("1", true, "drop; set_dmac;")
+	b := diffProgram("1", false, "drop; set_dmac;")
+	rep := runDiff(t, a, b, Options{})
+	if rep.Equivalent {
+		t.Fatal("removing the TTL guard should diverge")
+	}
+	confirmed := 0
+	for _, d := range rep.Divergences {
+		if d.Confirmed {
+			confirmed++
+		}
+	}
+	if confirmed == 0 {
+		t.Fatalf("no divergence confirmed by replay: %v", describe(rep))
+	}
+}
+
+func TestSliceSelfEquivalenceOnAsserts(t *testing.T) {
+	src := diffProgram("1", true, "drop; set_dmac;")
+	rep := runDiff(t, src, src, Options{
+		B:       core.Options{Slice: true},
+		Observe: Observables{Asserts: true},
+	})
+	if !rep.Equivalent {
+		t.Fatalf("program should be assert-equivalent to its slice; divergences: %v", describe(rep))
+	}
+	for _, c := range rep.Checks {
+		if c.Kind != CheckAssert {
+			t.Fatalf("asserts-only observation compared %s", c)
+		}
+	}
+}
+
+// O3 is assertion-directed dead-code elimination: like slicing it keeps
+// only assert-relevant behavior, so the comparison must observe asserts.
+func TestOptimizedSelfEquivalenceOnAsserts(t *testing.T) {
+	src := diffProgram("1", true, "drop; set_dmac;")
+	rep := runDiff(t, src, src, Options{
+		B:       core.Options{O3: true, Opt: true},
+		Observe: Observables{Asserts: true},
+	})
+	if !rep.Equivalent {
+		t.Fatalf("program should be assert-equivalent to its optimized form; divergences: %v", describe(rep))
+	}
+}
+
+// The full-output comparison SHOULD flag an O3'd side: the optimizer
+// deletes output-affecting code no assertion depends on, and the engine
+// must detect that rather than silently call it equivalent.
+func TestOptimizedSideDivergesOnOutputs(t *testing.T) {
+	src := diffProgram("1", true, "drop; set_dmac;")
+	rep := runDiff(t, src, src, Options{B: core.Options{O3: true, Opt: true}})
+	if rep.Equivalent {
+		t.Fatal("O3 deletes output behavior; outputs comparison should diverge")
+	}
+}
+
+func TestDivergenceKindsAreNamed(t *testing.T) {
+	a := diffProgram("1", true, "drop; set_dmac;")
+	b := diffProgram("2", true, "drop; set_dmac;")
+	rep := runDiff(t, a, b, Options{})
+	for _, d := range rep.Divergences {
+		if d.Check.Kind == "" {
+			t.Fatalf("divergence with unnamed check: %+v", d)
+		}
+		if len(d.Inputs) == 0 {
+			t.Fatalf("divergence without counterexample inputs: %+v", d)
+		}
+	}
+}
+
+func TestNoReplaySkipsConfirmation(t *testing.T) {
+	a := diffProgram("1", true, "drop; set_dmac;")
+	b := diffProgram("2", true, "drop; set_dmac;")
+	rep := runDiff(t, a, b, Options{NoReplay: true})
+	if rep.Equivalent {
+		t.Fatal("expected divergences")
+	}
+	for _, d := range rep.Divergences {
+		if d.Confirmed || d.A != nil || d.B != nil {
+			t.Fatalf("replay ran despite NoReplay: %+v", d)
+		}
+	}
+}
+
+func describe(rep *Report) string {
+	var sb strings.Builder
+	for _, d := range rep.Divergences {
+		sb.WriteString(d.Check.String())
+		sb.WriteString(" inputs=")
+		for k, v := range d.Inputs {
+			sb.WriteString(k)
+			sb.WriteString("=")
+			sb.WriteString(strings.TrimSpace(strings.ToLower(fmtUint(v))))
+			sb.WriteString(" ")
+		}
+		sb.WriteString("; ")
+	}
+	return sb.String()
+}
+
+func fmtUint(v uint64) string {
+	const hex = "0123456789abcdef"
+	if v == 0 {
+		return "0x0"
+	}
+	var buf [18]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = hex[v&0xf]
+		v >>= 4
+	}
+	i--
+	buf[i] = 'x'
+	i--
+	buf[i] = '0'
+	return string(buf[i:])
+}

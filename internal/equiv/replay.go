@@ -1,0 +1,165 @@
+package equiv
+
+import (
+	"fmt"
+	"sort"
+
+	"p4assert/internal/interp"
+	"p4assert/internal/model"
+)
+
+// ReplayOutcome is one version's concrete behavior on a diverging packet.
+type ReplayOutcome struct {
+	Halted  bool   `json:"halted"`
+	Forward uint64 `json:"forward"`
+	Egress  uint64 `json:"egress"`
+	// Failures lists assertion IDs that failed during the run.
+	Failures []int `json:"failures,omitempty"`
+	// Wire maps header validity/emit flags to their final values.
+	Wire map[string]uint64 `json:"wire,omitempty"`
+}
+
+// replayDivergence runs the counterexample through both versions' concrete
+// interpreters and records whether the divergence reproduces on the
+// observables being compared.
+func replayDivergence(d *Divergence, a, b *model.Program, obs Observables) {
+	ra, errA := replaySide(a, PrefixA, d.Inputs)
+	rb, errB := replaySide(b, PrefixB, d.Inputs)
+	if errA != nil || errB != nil {
+		d.ReplayNote = fmt.Sprintf("replay error: a=%v b=%v", errA, errB)
+		return
+	}
+	d.A, d.B = ra, rb
+	if why := outcomesDiffer(ra, rb, obs); why != "" {
+		d.Confirmed = true
+		d.ReplayNote = why
+	} else {
+		d.ReplayNote = "concrete replay did not reproduce the divergence"
+	}
+}
+
+// replaySide interprets one version's model under the counterexample.
+// Inputs are looked up first under the side's composed prefix (initial
+// symbolic globals were renamed there), then bare (shared per-hint
+// draws). Table forks consume the shared choice oracle exactly as the
+// product program coupled them: the k-th lookup of a table reads
+// <selector>.$choice#k and takes the branch whose sorted-label rank
+// matches, with the top rank absorbing all larger oracle values.
+func replaySide(p *model.Program, prefix string, inputs map[string]uint64) (*ReplayOutcome, error) {
+	drawCnt := map[string]int{}
+	res, err := interp.Run(p, interp.Options{
+		Input: func(name string, width int) uint64 {
+			if v, ok := inputs[prefix+name]; ok {
+				return v
+			}
+			return inputs[name]
+		},
+		Choose: func(selector string, labels []string) int {
+			drawCnt[selector]++
+			oracle := inputs[fmt.Sprintf("%s%s#%d", selector, choiceSuffix, drawCnt[selector])]
+			return branchForOracle(oracle, labels)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.AssumeViolated {
+		return nil, fmt.Errorf("assume violated")
+	}
+	out := &ReplayOutcome{
+		Halted:   res.Halted,
+		Failures: append([]int(nil), res.Failures...),
+		Wire:     map[string]uint64{},
+	}
+	if v, ok := res.Store[model.ForwardFlag]; ok {
+		out.Forward = v
+	}
+	if eg := egressName(p); eg != "" {
+		out.Egress = res.Store[eg]
+	}
+	for _, g := range p.Globals {
+		if hasSuffix(g.Name, model.ValidSuffix) || hasPrefix(g.Name, emitPrefix) {
+			out.Wire[g.Name] = res.Store[g.Name]
+		}
+	}
+	sort.Ints(out.Failures)
+	return out, nil
+}
+
+// branchForOracle maps an oracle value to a branch index via the same
+// sorted-label ranking the composed model assumed: rank r takes the
+// branch whose label sorts r-th, and values beyond the last rank fold
+// into the top-ranked branch.
+func branchForOracle(oracle uint64, labels []string) int {
+	n := len(labels)
+	if n == 0 {
+		return 0
+	}
+	rank := int(oracle)
+	if oracle >= uint64(n) {
+		rank = n - 1
+	}
+	ranks := labelRanks(labels, n)
+	for i, r := range ranks {
+		if r == rank {
+			return i
+		}
+	}
+	return 0
+}
+
+// outcomesDiffer reports the first compared observable on which the two
+// concrete outcomes disagree ("" when they agree on all of them).
+func outcomesDiffer(a, b *ReplayOutcome, obs Observables) string {
+	if obs.Outputs {
+		if a.Halted != b.Halted {
+			return fmt.Sprintf("halted: a=%t b=%t", a.Halted, b.Halted)
+		}
+		if a.Forward != b.Forward {
+			return fmt.Sprintf("forward: a=%d b=%d", a.Forward, b.Forward)
+		}
+		if a.Forward == 1 && b.Forward == 1 {
+			if a.Egress != b.Egress {
+				return fmt.Sprintf("egress: a=0x%x b=0x%x", a.Egress, b.Egress)
+			}
+			for _, name := range sortedKeys(a.Wire) {
+				bv, shared := b.Wire[name]
+				if shared && a.Wire[name] != bv {
+					return fmt.Sprintf("%s: a=%d b=%d", name, a.Wire[name], bv)
+				}
+			}
+		}
+	}
+	if obs.Asserts {
+		fa := failureSet(a.Failures)
+		fb := failureSet(b.Failures)
+		for id := range fa {
+			if !fb[id] {
+				return fmt.Sprintf("assert %d: fails in a only", id)
+			}
+		}
+		for id := range fb {
+			if !fa[id] {
+				return fmt.Sprintf("assert %d: fails in b only", id)
+			}
+		}
+	}
+	return ""
+}
+
+func failureSet(ids []int) map[int]bool {
+	out := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		out[id] = true
+	}
+	return out
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

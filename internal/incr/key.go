@@ -35,8 +35,10 @@ import (
 // keyVersion invalidates every cached verdict when the serialization or
 // executor semantics change incompatibly. v2: sym.Metrics gained
 // assert-check/frontier and bitblast counters; v1 verdicts would replay
-// them as zero and diverge from a cold run's report.
-const keyVersion = "p4assert-subkey-v2"
+// them as zero and diverge from a cold run's report. v3: counterexample
+// input naming switched to per-hint numbering (hint#k), so v2 verdicts
+// carry stale path-global names.
+const keyVersion = "p4assert-subkey-v3"
 
 // SubmodelKey digests a submodel's executable content under the given
 // executor options.

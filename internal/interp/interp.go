@@ -53,7 +53,7 @@ type interp struct {
 	p      *model.Program
 	opts   Options
 	res    *Result
-	symSeq int
+	symCnt map[string]int
 }
 
 type frame struct {
@@ -120,10 +120,14 @@ func Run(p *model.Program, opts Options) (*Result, error) {
 				if !ok {
 					return nil, fmt.Errorf("interp: unknown global %s", s.Var)
 				}
-				// Mirror the symbolic executor's per-path input naming
-				// (hint#seq) so counterexample models replay directly.
-				in.symSeq++
-				in.res.Store[s.Var] = in.input(fmt.Sprintf("%s#%d", s.Hint, in.symSeq), g.Width)
+				// Mirror the symbolic executor's per-path, per-hint input
+				// naming (hint#k for the k-th draw of that hint) so
+				// counterexample models replay directly.
+				if in.symCnt == nil {
+					in.symCnt = map[string]int{}
+				}
+				in.symCnt[s.Hint]++
+				in.res.Store[s.Var] = in.input(fmt.Sprintf("%s#%d", s.Hint, in.symCnt[s.Hint]), g.Width)
 
 			case *model.If:
 				v, err := in.eval(s.Cond)
@@ -207,6 +211,12 @@ func Run(p *model.Program, opts Options) (*Result, error) {
 				if in.opts.Note != nil {
 					in.opts.Note(s.Label)
 				}
+
+			case *model.ResetDraws:
+				// Restart per-hint input numbering: the next draw of hint h
+				// reads h#1 again, mirroring the symbolic executor's aliasing
+				// of re-drawn inputs in composed differential models.
+				in.symCnt = nil
 
 			default:
 				return nil, fmt.Errorf("interp: unknown statement %T", stmt)

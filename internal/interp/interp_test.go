@@ -69,8 +69,8 @@ func TestMakeSymbolicNaming(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(asked) != 2 || asked[0] != "v#1" || asked[1] != "w#2" {
-		t.Fatalf("input naming = %v, want [v#1 w#2]", asked)
+	if len(asked) != 2 || asked[0] != "v#1" || asked[1] != "w#1" {
+		t.Fatalf("input naming = %v, want [v#1 w#1]", asked)
 	}
 }
 

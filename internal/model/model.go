@@ -226,6 +226,14 @@ type Halt struct{}
 // stay byte-identical to sequential ones.
 type TraceNote struct{ Label string }
 
+// ResetDraws resets the per-hint symbolic-input numbering, so the next
+// MakeSymbolic of hint h yields h#1 again. Because executor variables are
+// hash-consed by name, a re-draw after a reset aliases the original draw's
+// symbolic value exactly. The differential engine (internal/equiv) places
+// one between the two composed program halves: both halves then read the
+// same symbolic packet.
+type ResetDraws struct{}
+
 func (*Assign) stmtNode()       {}
 func (*MakeSymbolic) stmtNode() {}
 func (*If) stmtNode()           {}
@@ -237,6 +245,7 @@ func (*Return) stmtNode()       {}
 func (*Exit) stmtNode()         {}
 func (*Halt) stmtNode()         {}
 func (*TraceNote) stmtNode()    {}
+func (*ResetDraws) stmtNode()   {}
 
 // ------------------------------------------------------------ expressions --
 
@@ -445,6 +454,8 @@ func dumpBody(b *strings.Builder, body []Stmt, indent string) {
 			fmt.Fprintf(b, "%shalt;\n", indent)
 		case *TraceNote:
 			fmt.Fprintf(b, "%strace_note(%q);\n", indent, st.Label)
+		case *ResetDraws:
+			fmt.Fprintf(b, "%sreset_draws;\n", indent)
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"p4assert/internal/core"
+	"p4assert/internal/equiv"
 	"p4assert/internal/rules"
 )
 
@@ -59,6 +60,36 @@ func (t Techniques) CoreOptions(rulesText string) (core.Options, error) {
 	return opts, nil
 }
 
+// EquivOptions converts the wire form into differential-run options: the
+// same technique matrix applied to both sides (with per-side rules), plus
+// the execution parameters of the product-program run. When O3 or slicing
+// is selected the comparison observes assertion verdicts only — both
+// transforms deliberately delete output-affecting code no assertion
+// depends on.
+func (t Techniques) EquivOptions(rulesA, rulesB string) (equiv.Options, error) {
+	a, err := t.CoreOptions(rulesA)
+	if err != nil {
+		return equiv.Options{}, err
+	}
+	b, err := t.CoreOptions(rulesB)
+	if err != nil {
+		return equiv.Options{}, fmt.Errorf("rules_b: %w", err)
+	}
+	eo := equiv.Options{
+		A:            a,
+		B:            b,
+		MaxPaths:     a.MaxPaths,
+		Timeout:      a.Timeout,
+		Parallel:     a.Parallel,
+		MaxCallDepth: a.MaxCallDepth,
+		Opt:          t.Opt,
+	}
+	if t.O3 || t.Slice {
+		eo.Observe = equiv.Observables{Asserts: true}
+	}
+	return eo, nil
+}
+
 // Label names the technique combination for the per-technique latency
 // histograms, e.g. "original", "O3+slice" or "opt+parallel".
 func (t Techniques) Label() string {
@@ -81,6 +112,16 @@ func (t Techniques) Label() string {
 	return strings.Join(parts, "+")
 }
 
+// Job modes.
+const (
+	// ModeVerify (or an empty Mode) verifies a single program.
+	ModeVerify = "verify"
+	// ModeDiff checks two program versions for behavioral equivalence
+	// (internal/equiv): Source/Rules describe side A, SourceB/RulesB
+	// side B. The report is a serialized equiv.Report.
+	ModeDiff = "diff"
+)
+
 // JobRequest is the POST /v1/jobs body.
 type JobRequest struct {
 	// Filename appears in diagnostics only; it does not affect the
@@ -93,6 +134,14 @@ type JobRequest struct {
 	Rules string `json:"rules,omitempty"`
 	// Options selects the technique matrix.
 	Options Techniques `json:"options"`
+	// Mode selects the job kind: "" or "verify" for single-program
+	// verification, "diff" for version-equivalence checking.
+	Mode string `json:"mode,omitempty"`
+	// FilenameB, SourceB and RulesB describe the second version of a
+	// diff job. SourceB is required for mode "diff".
+	FilenameB string `json:"filename_b,omitempty"`
+	SourceB   string `json:"source_b,omitempty"`
+	RulesB    string `json:"rules_b,omitempty"`
 	// BaseJob optionally names a previously submitted job this request is
 	// an edit of. The job runs through the incremental engine
 	// (internal/incr): submodels whose executable content the base job's
@@ -132,9 +181,12 @@ type JobStatus struct {
 	CacheHit bool `json:"cache_hit,omitempty"`
 	// Technique is the histogram label of the job's option combination.
 	Technique string `json:"technique"`
-	// Verdict summarizes a done job: "ok", "violations" or "exhausted".
+	// Verdict summarizes a done job: "ok", "violations" or "exhausted"
+	// for verify jobs; "equivalent", "divergent" or "exhausted" for diff
+	// jobs.
 	Verdict string `json:"verdict,omitempty"`
-	// Violations is the violated-assertion count of a done job.
+	// Violations is the violated-assertion count of a done verify job,
+	// or the divergence count of a done diff job.
 	Violations int `json:"violations,omitempty"`
 	// SubmodelsReused and SubmodelsExecuted report the incremental
 	// engine's cache behaviour for a job that ran through it (the daemon

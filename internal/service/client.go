@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"p4assert/internal/core"
+	"p4assert/internal/equiv"
 )
 
 // Client talks to a p4served daemon. The zero PollInterval polls every
@@ -89,22 +90,28 @@ func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
 	return st, err
 }
 
-// Report fetches a done job's report, both parsed and as the server's
-// exact serialized bytes.
-func (c *Client) Report(ctx context.Context, id string) (*core.Report, []byte, error) {
+// RawReport fetches a done job's report as the server's exact serialized
+// bytes (a core.Report for verify jobs, an equiv.Report for diff jobs).
+func (c *Client) RawReport(ctx context.Context, id string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/report"), nil)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	resp, err := c.http_().Do(req)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, nil, apiError(resp)
+		return nil, apiError(resp)
 	}
-	data, err := io.ReadAll(resp.Body)
+	return io.ReadAll(resp.Body)
+}
+
+// Report fetches a done verify job's report, both parsed and as the
+// server's exact serialized bytes.
+func (c *Client) Report(ctx context.Context, id string) (*core.Report, []byte, error) {
+	data, err := c.RawReport(ctx, id)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -178,4 +185,31 @@ func (c *Client) Verify(ctx context.Context, jr JobRequest) (*core.Report, JobSt
 	}
 	rep, _, err := c.Report(ctx, st.ID)
 	return rep, st, err
+}
+
+// Diff submits a version-equivalence job (jr.Mode is forced to ModeDiff),
+// waits for it, and fetches the equiv.Report: the round-trip behind
+// p4verify -diff -remote.
+func (c *Client) Diff(ctx context.Context, jr JobRequest) (*equiv.Report, JobStatus, error) {
+	jr.Mode = ModeDiff
+	st, err := c.Submit(ctx, jr)
+	if err != nil {
+		return nil, st, err
+	}
+	st, err = c.Wait(ctx, st.ID)
+	if err != nil {
+		return nil, st, err
+	}
+	if st.State != StateDone {
+		return nil, st, fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	data, err := c.RawReport(ctx, st.ID)
+	if err != nil {
+		return nil, st, err
+	}
+	var rep equiv.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, st, fmt.Errorf("malformed report: %w", err)
+	}
+	return &rep, st, nil
 }

@@ -1,0 +1,260 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"p4assert/internal/equiv"
+	"p4assert/internal/vcache"
+)
+
+// diffSource is a small pipeline with a parameterized egress port, used to
+// build equivalent and divergent version pairs for diff jobs.
+func diffSource(egress string) string {
+	return `
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> srcAddr; bit<32> dstAddr; }
+struct headers_t { ethernet_t ethernet; ipv4_t ipv4; }
+struct meta_t { bit<1> unused; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t standard_metadata) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x0800: parse_ipv4;
+            default: reject;
+        }
+    }
+    state parse_ipv4 { pkt.extract(hdr.ipv4); transition accept; }
+}
+
+control Ingress(inout headers_t hdr, inout meta_t meta,
+                inout standard_metadata_t standard_metadata) {
+    action drop() {
+        mark_to_drop(standard_metadata);
+    }
+    action set_dmac(bit<48> dmac) {
+        hdr.ethernet.dstAddr = dmac;
+        standard_metadata.egress_spec = ` + egress + `;
+    }
+    table dmac {
+        key = { hdr.ipv4.dstAddr : exact; }
+        actions = { drop; set_dmac; }
+        default_action = drop();
+    }
+    apply {
+        if (hdr.ipv4.ttl == 0) { drop(); } else { dmac.apply(); }
+        @assert("if(forward(), hdr.ipv4.ttl > 0)");
+    }
+}
+
+control Deparser(packet_out pkt, in headers_t hdr) {
+    apply { pkt.emit(hdr.ethernet); pkt.emit(hdr.ipv4); }
+}
+
+V1Switch(P, Ingress, Deparser) main;
+`
+}
+
+func diffRequest(egressA, egressB string) JobRequest {
+	return JobRequest{
+		Mode:      ModeDiff,
+		Filename:  "a.p4",
+		Source:    diffSource(egressA),
+		FilenameB: "b.p4",
+		SourceB:   diffSource(egressB),
+	}
+}
+
+// TestDiffJobEquivalent runs a self-diff through the service and checks
+// the served equiv.Report and the status summary agree with an in-process
+// equiv.Diff run.
+func TestDiffJobEquivalent(t *testing.T) {
+	m := New(Config{Workers: 2})
+	defer m.Shutdown(context.Background())
+
+	req := diffRequest("1", "1")
+	st, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitTerminal(t, m, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("job %s: state %s (%s)", st.ID, st.State, st.Error)
+	}
+	if st.Technique != "diff:original" {
+		t.Fatalf("technique = %q, want diff:original", st.Technique)
+	}
+	if st.Verdict != "equivalent" || st.Violations != 0 {
+		t.Fatalf("status summary %q/%d, want equivalent/0", st.Verdict, st.Violations)
+	}
+	data, err := m.Report(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var served equiv.Report
+	if err := json.Unmarshal(data, &served); err != nil {
+		t.Fatal(err)
+	}
+	if !served.Equivalent || served.Exhausted {
+		t.Fatalf("served report: %+v", served)
+	}
+
+	eopts, err := req.Options.EquivOptions(req.Rules, req.RulesB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := equiv.Diff(context.Background(), req.Filename, req.Source,
+		req.FilenameB, req.SourceB, eopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Equivalent != served.Equivalent || len(local.Divergences) != len(served.Divergences) {
+		t.Fatalf("served verdict differs from in-process run: local %+v, served %+v",
+			local, served)
+	}
+}
+
+// TestDiffJobDivergent checks a changed egress port is reported as
+// divergent with a replay-confirmed counterexample packet.
+func TestDiffJobDivergent(t *testing.T) {
+	m := New(Config{Workers: 2})
+	defer m.Shutdown(context.Background())
+
+	st, err := m.Submit(diffRequest("1", "2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitTerminal(t, m, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("job %s: state %s (%s)", st.ID, st.State, st.Error)
+	}
+	if st.Verdict != "divergent" || st.Violations == 0 {
+		t.Fatalf("status summary %q/%d, want divergent/>0", st.Verdict, st.Violations)
+	}
+	data, err := m.Report(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep equiv.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Equivalent || len(rep.Divergences) == 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	confirmed := false
+	for _, d := range rep.Divergences {
+		if d.Confirmed && len(d.Inputs) > 0 {
+			confirmed = true
+		}
+	}
+	if !confirmed {
+		t.Fatalf("no replay-confirmed counterexample packet in %+v", rep.Divergences)
+	}
+}
+
+// TestDiffJobCacheHit checks diff results are cached under their own key
+// family: a resubmission hits, and a verify job over side A's source does
+// not collide with the diff entry.
+func TestDiffJobCacheHit(t *testing.T) {
+	cache, err := vcache.New(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{Workers: 2, Cache: cache})
+	defer m.Shutdown(context.Background())
+
+	req := diffRequest("1", "1")
+	first, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first = waitTerminal(t, m, first.ID); first.State != StateDone || first.CacheHit {
+		t.Fatalf("first run: state %s cacheHit %v (%s)", first.State, first.CacheHit, first.Error)
+	}
+	firstReport, err := m.Report(first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second = waitTerminal(t, m, second.ID); second.State != StateDone || !second.CacheHit {
+		t.Fatalf("resubmission: state %s cacheHit %v (%s)", second.State, second.CacheHit, second.Error)
+	}
+	if second.Verdict != "equivalent" {
+		t.Fatalf("cached verdict = %q, want equivalent", second.Verdict)
+	}
+	secondReport, err := m.Report(second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(firstReport, secondReport) {
+		t.Fatal("cached diff report is not byte-identical to the live one")
+	}
+
+	// A verify job over the same (side A) source lives in a different key
+	// family and must not be served the diff entry.
+	verify, err := m.Submit(JobRequest{Filename: "a.p4", Source: req.Source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verify = waitTerminal(t, m, verify.ID); verify.State != StateDone || verify.CacheHit {
+		t.Fatalf("verify job: state %s cacheHit %v (%s)", verify.State, verify.CacheHit, verify.Error)
+	}
+	if verify.Verdict != "ok" {
+		t.Fatalf("verify verdict = %q, want ok", verify.Verdict)
+	}
+}
+
+// TestDiffSubmitValidation rejects malformed diff requests without
+// creating jobs.
+func TestDiffSubmitValidation(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	src := diffSource("1")
+	cases := []struct {
+		name string
+		req  JobRequest
+		want string
+	}{
+		{"missing source_b", JobRequest{Mode: ModeDiff, Source: src}, "source_b"},
+		{"base_job", JobRequest{Mode: ModeDiff, Source: src, SourceB: src, BaseJob: "job-1"}, "base_job"},
+		{"bad rules_b", JobRequest{Mode: ModeDiff, Source: src, SourceB: src, RulesB: "one-token-only"}, "rules_b"},
+		{"unknown mode", JobRequest{Mode: "fuzz", Source: src}, "unknown mode"},
+	}
+	for _, tc := range cases {
+		_, err := m.Submit(tc.req)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	if s := m.Stats(); s.Submitted != 0 {
+		t.Errorf("validation failures counted as submissions: %+v", s)
+	}
+}
+
+// TestDiffHTTPEndToEnd drives a diff job over real HTTP via Client.Diff.
+func TestDiffHTTPEndToEnd(t *testing.T) {
+	_, client, _ := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	rep, st, err := client.Diff(ctx, diffRequest("1", "2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Verdict != "divergent" {
+		t.Fatalf("verdict = %q, want divergent", st.Verdict)
+	}
+	if rep.Equivalent || len(rep.Divergences) == 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+}

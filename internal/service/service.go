@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"p4assert/internal/core"
+	"p4assert/internal/equiv"
 	"p4assert/internal/incr"
 	"p4assert/internal/telemetry"
 	"p4assert/internal/vcache"
@@ -60,12 +61,14 @@ type Config struct {
 }
 
 // job is the manager-internal job record. Fields are guarded by
-// Manager.mu except req/opts/key/technique, which are immutable after
-// Submit.
+// Manager.mu except req/opts/eopts/diff/key/technique, which are immutable
+// after Submit.
 type job struct {
 	id        string
 	req       JobRequest
 	opts      core.Options
+	eopts     equiv.Options // diff jobs only
+	diff      bool
 	key       string
 	technique string
 	// baseSource is the BaseJob's program text, captured at submit time
@@ -142,17 +145,39 @@ func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 	if req.Source == "" {
 		return JobStatus{}, errors.New("service: empty source")
 	}
-	opts, err := req.Options.CoreOptions(req.Rules)
-	if err != nil {
-		return JobStatus{}, fmt.Errorf("service: %w", err)
-	}
 	j := &job{
-		req:       req,
-		opts:      opts,
-		key:       vcache.Key(req.Source, opts),
-		technique: req.Options.Label(),
-		state:     StatePending,
-		enqueued:  time.Now(),
+		req:      req,
+		state:    StatePending,
+		enqueued: time.Now(),
+	}
+	switch req.Mode {
+	case "", ModeVerify:
+		opts, err := req.Options.CoreOptions(req.Rules)
+		if err != nil {
+			return JobStatus{}, fmt.Errorf("service: %w", err)
+		}
+		j.opts = opts
+		j.key = vcache.Key(req.Source, opts)
+		j.technique = req.Options.Label()
+	case ModeDiff:
+		if req.SourceB == "" {
+			return JobStatus{}, errors.New("service: diff jobs require source_b")
+		}
+		if req.BaseJob != "" {
+			return JobStatus{}, errors.New("service: base_job is incompatible with diff jobs (the product program has no submodel baseline)")
+		}
+		eopts, err := req.Options.EquivOptions(req.Rules, req.RulesB)
+		if err != nil {
+			return JobStatus{}, fmt.Errorf("service: %w", err)
+		}
+		j.diff = true
+		j.eopts = eopts
+		j.key = vcache.DiffKey(req.Source, req.SourceB, eopts.A, eopts.B,
+			fmt.Sprintf("observe=%+v opt=%t parallel=%d maxpaths=%d maxdepth=%d",
+				eopts.Observe, eopts.Opt, eopts.Parallel, eopts.MaxPaths, eopts.MaxCallDepth))
+		j.technique = "diff:" + req.Options.Label()
+	default:
+		return JobStatus{}, fmt.Errorf("service: unknown mode %q", req.Mode)
 	}
 
 	m.mu.Lock()
@@ -161,7 +186,7 @@ func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 		if m.cfg.SubCache == nil {
 			return JobStatus{}, errors.New("service: base_job requires the daemon's submodel cache")
 		}
-		if opts.Parallel <= 0 {
+		if j.opts.Parallel <= 0 {
 			return JobStatus{}, errors.New("service: base_job requires options.parallel > 0 (the incremental engine runs the submodel-split pipeline)")
 		}
 		base, ok := m.jobs[req.BaseJob]
@@ -370,6 +395,11 @@ func (m *Manager) runJob(j *job) {
 		}
 	}
 
+	if j.diff {
+		m.runDiffJob(ctx, j)
+		return
+	}
+
 	// Parallel jobs run through the incremental engine whenever the
 	// submodel tier exists: every run memoizes its per-submodel verdicts,
 	// so a later edit (base_job) — or any job sharing submodel content —
@@ -406,6 +436,32 @@ func (m *Manager) runJob(j *job) {
 	m.finish(j, data, false, nil)
 }
 
+// runDiffJob executes a version-equivalence job through the product
+// program engine (internal/equiv) and stores the serialized equiv.Report.
+func (m *Manager) runDiffJob(ctx context.Context, j *job) {
+	m.reg.Counter("p4served_diff_jobs_total", "Differential (version-equivalence) jobs executed.").Inc()
+	rep, err := equiv.Diff(ctx, j.req.Filename, j.req.Source, j.req.FilenameB, j.req.SourceB, j.eopts)
+	if err != nil {
+		m.finish(j, nil, false, err)
+		return
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		m.finish(j, nil, false, err)
+		return
+	}
+	if len(rep.Divergences) > 0 {
+		m.reg.Counter("p4served_diff_divergent_total", "Diff jobs that found at least one behavioral divergence.").Inc()
+	}
+	// Same caching rule as verify jobs: budget-truncated (Exhausted)
+	// verdicts depend on how far the run happened to get and are not
+	// content-determined, so they are never cached.
+	if m.cfg.Cache != nil && !rep.Exhausted {
+		m.cfg.Cache.PutBytes(j.key, data)
+	}
+	m.finish(j, data, false, nil)
+}
+
 // finish moves a running job to its terminal state.
 func (m *Manager) finish(j *job, data []byte, cacheHit bool, err error) {
 	now := time.Now()
@@ -420,7 +476,7 @@ func (m *Manager) finish(j *job, data []byte, cacheHit bool, err error) {
 		j.state = StateDone
 		j.cacheHit = cacheHit
 		j.reportData = data
-		j.verdict, j.violations = summarize(data)
+		j.verdict, j.violations = summarize(data, j.diff)
 		m.counters.done++
 		if cacheHit {
 			m.counters.cacheHits++
@@ -465,8 +521,23 @@ func (m *Manager) observe(label string, d time.Duration) {
 	h.Observe(d)
 }
 
-// summarize extracts the verdict line of a serialized report.
-func summarize(data []byte) (string, int) {
+// summarize extracts the verdict line of a serialized report: a
+// core.Report for verify jobs, an equiv.Report for diff jobs.
+func summarize(data []byte, diff bool) (string, int) {
+	if diff {
+		var rep equiv.Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return "", 0
+		}
+		switch {
+		case len(rep.Divergences) > 0:
+			return "divergent", len(rep.Divergences)
+		case rep.Exhausted:
+			return "exhausted", 0
+		default:
+			return "equivalent", 0
+		}
+	}
 	var rep core.Report
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return "", 0

@@ -186,10 +186,14 @@ type state struct {
 	halted   bool // parser reject: skip remaining pipeline blocks
 	trace    []string
 	depth    map[string]int
-	// symSeq numbers fresh symbolic values along this path, so the i-th
-	// MakeSymbolic of a path always gets the same name regardless of
-	// exploration order (deterministic, replayable counterexamples).
-	symSeq int
+	// symCnt numbers fresh symbolic values along this path per hint, so
+	// the k-th MakeSymbolic of a given hint always gets the same name
+	// ("hint#k") regardless of exploration order or what other hints were
+	// drawn in between. Per-hint (rather than path-global) numbering makes
+	// the names portable across program versions: when two composed models
+	// extract the same field (internal/equiv), their k-th draws share one
+	// symbolic variable — the same packet byte.
+	symCnt map[string]int
 	// lastModel caches a satisfying assignment for pc (Opt mode).
 	lastModel map[string]uint64
 	// checks records every assertion condition evaluated along the path
@@ -213,7 +217,6 @@ func (s *state) clone() *state {
 		halted:    s.halted,
 		trace:     append([]string(nil), s.trace...),
 		depth:     make(map[string]int, len(s.depth)),
-		symSeq:    s.symSeq,
 		lastModel: s.lastModel,
 		checks:    s.checks[:len(s.checks):len(s.checks)],
 	}
@@ -223,6 +226,12 @@ func (s *state) clone() *state {
 	copy(n.frames, s.frames)
 	for k, v := range s.depth {
 		n.depth[k] = v
+	}
+	if len(s.symCnt) > 0 {
+		n.symCnt = make(map[string]int, len(s.symCnt))
+		for k, v := range s.symCnt {
+			n.symCnt[k] = v
+		}
 	}
 	return n
 }
@@ -417,8 +426,11 @@ func (ex *executor) run(st *state) ([]*state, error) {
 			if !ok {
 				return nil, fmt.Errorf("sym: make_symbolic of unknown global %s", s.Var)
 			}
-			st.symSeq++
-			name := fmt.Sprintf("%s#%d", s.Hint, st.symSeq)
+			if st.symCnt == nil {
+				st.symCnt = map[string]int{}
+			}
+			st.symCnt[s.Hint]++
+			name := fmt.Sprintf("%s#%d", s.Hint, st.symCnt[s.Hint])
 			st.store[s.Var] = ex.ctx.Var(name, g.Width)
 
 		case *model.If:
@@ -551,6 +563,12 @@ func (ex *executor) run(st *state) ([]*state, error) {
 
 		case *model.TraceNote:
 			st.trace = append(st.trace, s.Label)
+
+		case *model.ResetDraws:
+			// Restart per-hint input numbering: subsequent draws re-yield
+			// the hash-consed variables of the first sequence, which is how
+			// composed differential models share one symbolic packet.
+			st.symCnt = nil
 
 		default:
 			return nil, fmt.Errorf("sym: unknown statement %T", stmt)

@@ -66,15 +66,20 @@ func NewSubmodelTier(maxEntries int, dir string) (*Cache, error) {
 // the verification outcome.
 func Key(source string, opts core.Options) string {
 	h := sha256.New()
-	// v2: report JSON gained the telemetry section and new metric fields;
-	// v1 entries would replay without them.
-	io.WriteString(h, "p4assert-vcache-v2\x00")
+	// v3: counterexample input naming switched to per-hint numbering
+	// (hint#k for the k-th draw of that hint); v2 reports carry the old
+	// path-global names and would replay stale counterexamples.
+	io.WriteString(h, "p4assert-vcache-v3\x00")
 	io.WriteString(h, CanonicalizeSource(source))
 	io.WriteString(h, "\x00")
+	writeOptions(h, opts)
+	return hex.EncodeToString(h.Sum(nil))
+}
 
-	// Walk every Options field by reflection so a field added to the
-	// technique matrix is automatically part of the key. Rules (a pointer
-	// to an unordered set) is the one field needing a canonical rendering.
+// writeOptions walks every Options field by reflection so a field added to
+// the technique matrix is automatically part of the key. Rules (a pointer
+// to an unordered set) is the one field needing a canonical rendering.
+func writeOptions(h io.Writer, opts core.Options) {
 	v := reflect.ValueOf(opts)
 	t := v.Type()
 	for i := 0; i < t.NumField(); i++ {
@@ -85,6 +90,24 @@ func Key(source string, opts core.Options) string {
 		}
 		fmt.Fprintf(h, "%s=%v\x00", f.Name, v.Field(i).Interface())
 	}
+}
+
+// DiffKey derives the content address of a differential (version
+// equivalence) job: both program sources, both sides' option matrices,
+// and the execution/observable parameters of the product-program run
+// (rendered by the caller into exec). Its key family is disjoint from
+// single-program report keys.
+func DiffKey(sourceA, sourceB string, optsA, optsB core.Options, exec string) string {
+	h := sha256.New()
+	io.WriteString(h, "p4assert-diffcache-v1\x00")
+	io.WriteString(h, CanonicalizeSource(sourceA))
+	io.WriteString(h, "\x00")
+	io.WriteString(h, CanonicalizeSource(sourceB))
+	io.WriteString(h, "\x00")
+	writeOptions(h, optsA)
+	writeOptions(h, optsB)
+	io.WriteString(h, exec)
+	io.WriteString(h, "\x00")
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -2,6 +2,7 @@ package p4assert
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"p4assert/internal/core"
@@ -18,6 +19,8 @@ type TestCase struct {
 	Inputs map[string]uint64
 	// Trace is the sequence of table/action decisions the packet takes.
 	Trace []string
+	// Halted reports that the parser rejected the packet.
+	Halted bool
 	// Forwarded reports whether the packet leaves the switch.
 	Forwarded bool
 	// EgressSpec is the egress port the pipeline selects.
@@ -30,6 +33,9 @@ type TestCase struct {
 // String renders the test case as one line.
 func (tc *TestCase) String() string {
 	verdict := "dropped"
+	if tc.Halted {
+		verdict = "rejected by parser"
+	}
 	if tc.Forwarded {
 		verdict = fmt.Sprintf("forwarded to port %d", tc.EgressSpec)
 	}
@@ -77,6 +83,28 @@ func GenerateTests(filename, source string, opts *Options) ([]TestCase, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
+	cases, err := core.GenerateTestsSource(filename, source, testOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TestCase, len(cases))
+	for i, c := range cases {
+		out[i] = TestCase{
+			Inputs:        c.Inputs,
+			Trace:         c.Trace,
+			Halted:        c.Halted,
+			Forwarded:     c.Forwarded,
+			EgressSpec:    c.EgressSpec,
+			FailedAsserts: len(c.FailedAsserts),
+		}
+	}
+	return out, nil
+}
+
+// testOptions maps the public options onto the core pipeline for test
+// generation and replay. Slicing is excluded: a slice preserves assertion
+// verdicts, not the packet-level outputs a test suite asserts on.
+func testOptions(opts *Options) core.Options {
 	co := core.Options{
 		O3:                 opts.O3,
 		Opt:                opts.Opt,
@@ -88,19 +116,137 @@ func GenerateTests(filename, source string, opts *Options) ([]TestCase, error) {
 	if opts.Rules != nil {
 		co.Rules = opts.Rules.rs
 	}
-	cases, err := core.GenerateTestsSource(filename, source, co)
+	return co
+}
+
+// TestSuite is the serializable (JSON) form of a generated test-packet
+// suite: the P4Testgen-style artifact pairing each explored path with one
+// concrete input packet, its expected pipeline decisions, and its expected
+// outputs. Values are hex strings so suites diff cleanly and survive
+// JSON's float64 round-trip for 64-bit inputs.
+type TestSuite struct {
+	// Program is the source filename the suite was generated from.
+	Program string `json:"program"`
+	// Paths records how many execution paths the generator explored
+	// (equal to len(Cases) for an exhaustive run).
+	Paths int64 `json:"paths"`
+	// Cases holds one test per explored path.
+	Cases []SuiteCase `json:"cases"`
+}
+
+// SuiteCase is one serialized test case.
+type SuiteCase struct {
+	// Inputs maps symbolic input names ("hdr.ipv4.ttl#1") to hex values.
+	Inputs map[string]string `json:"inputs,omitempty"`
+	// Trace is the expected sequence of table/action decisions.
+	Trace []string `json:"trace,omitempty"`
+	// Halted marks packets the parser rejects.
+	Halted bool `json:"halted,omitempty"`
+	// Forwarded reports whether the packet leaves the switch.
+	Forwarded bool `json:"forwarded"`
+	// EgressSpec is the expected egress port, hex.
+	EgressSpec string `json:"egress_spec"`
+	// FailedAsserts lists assertion IDs expected to fail on this input.
+	FailedAsserts []int `json:"failed_asserts,omitempty"`
+}
+
+// GenerateSuite explores every execution path and returns the serializable
+// test suite: one concrete packet per path with expected trace and outputs.
+func GenerateSuite(filename, source string, opts *Options) (*TestSuite, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	cases, err := core.GenerateTestsSource(filename, source, testOptions(opts))
 	if err != nil {
 		return nil, err
 	}
-	out := make([]TestCase, len(cases))
-	for i, c := range cases {
-		out[i] = TestCase{
-			Inputs:        c.Inputs,
+	suite := &TestSuite{Program: filename, Paths: int64(len(cases))}
+	for _, c := range cases {
+		sc := SuiteCase{
 			Trace:         c.Trace,
+			Halted:        c.Halted,
 			Forwarded:     c.Forwarded,
-			EgressSpec:    c.EgressSpec,
-			FailedAsserts: len(c.FailedAsserts),
+			EgressSpec:    "0x" + strconv.FormatUint(c.EgressSpec, 16),
+			FailedAsserts: c.FailedAsserts,
 		}
+		if len(c.Inputs) > 0 {
+			sc.Inputs = make(map[string]string, len(c.Inputs))
+			for k, v := range c.Inputs {
+				sc.Inputs[k] = "0x" + strconv.FormatUint(v, 16)
+			}
+		}
+		suite.Cases = append(suite.Cases, sc)
+	}
+	return suite, nil
+}
+
+// SuiteReplay reports replaying a suite against a program through the
+// compiled batch interpreter.
+type SuiteReplay struct {
+	// Cases is the number of replayed test cases.
+	Cases int `json:"cases"`
+	// Mismatches describes cases whose concrete outcome disagreed with
+	// the suite's expectations (empty = the suite passes).
+	Mismatches []string `json:"mismatches,omitempty"`
+	// Instructions totals interpreted instructions across the replay.
+	Instructions int64 `json:"instructions"`
+}
+
+// Ok reports whether every case replayed to its expected outcome.
+func (r *SuiteReplay) Ok() bool { return len(r.Mismatches) == 0 }
+
+// ReplaySuite replays a generated suite against the program as a concrete
+// oracle: the program is rebuilt under the same options the suite was
+// generated with, compiled once, and every case's packet is pushed through
+// the batch interpreter, checking trace conformance and expected outputs.
+func ReplaySuite(filename, source string, suite *TestSuite, opts *Options) (*SuiteReplay, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	co := testOptions(opts)
+	m, err := core.BuildModel(filename, source, co)
+	if err != nil {
+		return nil, err
+	}
+	m, err = core.ApplyModelPasses(m, co)
+	if err != nil {
+		return nil, err
+	}
+	cases := make([]core.TestCase, len(suite.Cases))
+	for i, sc := range suite.Cases {
+		tc := core.TestCase{
+			Trace:         sc.Trace,
+			Halted:        sc.Halted,
+			Forwarded:     sc.Forwarded,
+			FailedAsserts: sc.FailedAsserts,
+		}
+		if tc.EgressSpec, err = parseHex(sc.EgressSpec); err != nil {
+			return nil, fmt.Errorf("case %d: egress_spec: %w", i, err)
+		}
+		if len(sc.Inputs) > 0 {
+			tc.Inputs = make(map[string]uint64, len(sc.Inputs))
+			for k, v := range sc.Inputs {
+				if tc.Inputs[k], err = parseHex(v); err != nil {
+					return nil, fmt.Errorf("case %d: input %s: %w", i, k, err)
+				}
+			}
+		}
+		cases[i] = tc
+	}
+	rep, err := core.ReplayBatch(m, cases)
+	if err != nil {
+		return nil, err
+	}
+	out := &SuiteReplay{Cases: rep.Cases, Instructions: rep.Instructions}
+	for _, mm := range rep.Mismatches {
+		out.Mismatches = append(out.Mismatches, mm.String())
 	}
 	return out, nil
+}
+
+func parseHex(s string) (uint64, error) {
+	if len(s) > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') {
+		return strconv.ParseUint(s[2:], 16, 64)
+	}
+	return strconv.ParseUint(s, 0, 64)
 }

@@ -1,6 +1,7 @@
 package p4assert_test
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -164,5 +165,68 @@ V1Switch(P, I, D) main;
 	}
 	if !rep.Ok() {
 		t.Fatalf("validity-guarded program flagged:\n%+v", rep.Violations)
+	}
+}
+
+func TestSuiteGenerateReplayRoundTrip(t *testing.T) {
+	// The serialized suite must survive a JSON round-trip and replay
+	// cleanly against the program it was generated from (batch oracle).
+	for _, name := range []string{"vss", "fabric"} {
+		p, err := progs.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suite, err := p4assert.GenerateSuite(name+".p4", p.Source, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(suite.Cases) == 0 || suite.Paths != int64(len(suite.Cases)) {
+			t.Fatalf("%s: malformed suite: %d cases, %d paths", name, len(suite.Cases), suite.Paths)
+		}
+		data, err := json.Marshal(suite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decoded p4assert.TestSuite
+		if err := json.Unmarshal(data, &decoded); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := p4assert.ReplaySuite(name+".p4", p.Source, &decoded, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("%s: suite replay mismatches: %v", name, rep.Mismatches)
+		}
+		if rep.Cases != len(suite.Cases) {
+			t.Fatalf("%s: replayed %d of %d cases", name, rep.Cases, len(suite.Cases))
+		}
+	}
+}
+
+func TestSuiteReplayDetectsProgramChange(t *testing.T) {
+	// A suite generated from one version replayed against an edited
+	// version must flag the behavioral difference.
+	p, err := progs.Get("vss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := p4assert.GenerateSuite("vss.p4", p.Source, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Redirect the CPU punt path to a different egress port.
+	edited := strings.Replace(p.Source,
+		"standard_metadata.egress_spec = CPU_OUT_PORT",
+		"standard_metadata.egress_spec = 7", 1)
+	if edited == p.Source {
+		t.Skip("edit marker not found in vss source")
+	}
+	rep, err := p4assert.ReplaySuite("vss.p4", edited, suite, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("edited program should fail the original suite")
 	}
 }
