@@ -11,6 +11,10 @@
 //	                     (writes BENCH_incremental.json)
 //	-exp testgen         generate the fabric test suite and measure batch
 //	                     replay throughput (writes BENCH_testgen.json)
+//	-exp cluster         verify fabric through loopback worker clusters of
+//	                     1/2/4 nodes — cold, cache-warm and incremental —
+//	                     vs the single-process parallel pipeline
+//	                     (writes BENCH_cluster.json)
 //	-exp all             everything above
 //
 // Absolute numbers differ from the paper's (different machine, engine and
@@ -30,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig9a-d, fig10a-d, table1, table2, combined, bugs, incremental, testgen, all)")
+		exp     = flag.String("exp", "all", "experiment id (fig9a-d, fig10a-d, table1, table2, combined, bugs, incremental, testgen, cluster, all)")
 		full    = flag.Bool("full", false, "use the paper's full parameter ranges (slow)")
 		repeats = flag.Int("repeats", 3, "repetitions for wall-clock rows (table2/combined/incremental)")
 		smoke   = flag.Bool("smoke", false, "CI smoke mode: single repetition, still enforcing result invariants")
@@ -43,7 +47,7 @@ func main() {
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = []string{"bugs", "table1", "fig9a", "fig9b", "fig9c", "fig9d",
-			"fig10a", "fig10b", "fig10c", "fig10d", "table2", "combined", "incremental", "testgen"}
+			"fig10a", "fig10b", "fig10c", "fig10d", "table2", "combined", "incremental", "testgen", "cluster"}
 	}
 	for _, id := range ids {
 		if err := run(strings.TrimSpace(id), *full, *repeats); err != nil {
@@ -177,6 +181,35 @@ func run(id string, full bool, repeats int) error {
 		fmt.Printf("  %d packets in %.3fs — %.2fM packets/sec (%d VM instructions)\n",
 			res.Packets, res.Seconds, res.PacketsPerSecond/1e6, res.Instructions)
 		fmt.Printf("  wrote BENCH_testgen.json\n\n")
+		return nil
+
+	case id == "cluster":
+		res, err := bench.Cluster(repeats, nil)
+		if err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile("BENCH_cluster.json", append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("Distributed verification cluster (%s, %d lines, %d submodels; baseline %.3fs):\n",
+			res.Program, res.ProgramLines, res.Submodels, res.BaselineSeconds)
+		for _, r := range res.Runs {
+			fmt.Printf("  workers=%d  cold %.3fs  warm %.3fs  incremental %.3fs  speedup %.2fx  steals %d\n",
+				r.Workers, r.ColdSeconds, r.WarmSeconds, r.IncrementalSeconds, r.Speedup, r.Steals)
+			for _, n := range r.Nodes {
+				fmt.Printf("      %-8s dispatched %-4d cache hits %-4d (ratio %.2f)\n",
+					n.Name, n.Dispatched, n.CacheHits, n.CacheHitRatio)
+			}
+		}
+		fmt.Printf("  byte-identical reports: %v\n", res.ByteIdentical)
+		fmt.Printf("  wrote BENCH_cluster.json\n\n")
+		if !res.ByteIdentical {
+			return fmt.Errorf("cluster report diverged from the single-process run")
+		}
 		return nil
 
 	case id == "table1":

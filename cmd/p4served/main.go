@@ -25,6 +25,11 @@
 //
 // SIGINT/SIGTERM drain gracefully: queued jobs finish, then the process
 // exits; a second signal (or -drain-timeout) forces cancellation.
+//
+// Cluster mode (see docs/cluster.md): -worker serves the worker RPC
+// (POST /v1/execute, GET /v1/healthz, GET /v1/metrics) instead of the job
+// API; -cluster-node (repeatable, "name=url") attaches a coordinator that
+// shards parallel jobs' submodels across those workers.
 package main
 
 import (
@@ -42,9 +47,19 @@ import (
 	"syscall"
 	"time"
 
+	"p4assert/internal/cluster"
 	"p4assert/internal/service"
 	"p4assert/internal/vcache"
 )
+
+// nodeList collects repeated -cluster-node flags.
+type nodeList []string
+
+func (n *nodeList) String() string { return fmt.Sprint(*n) }
+func (n *nodeList) Set(v string) error {
+	*n = append(*n, v)
+	return nil
+}
 
 func main() {
 	var (
@@ -59,7 +74,17 @@ func main() {
 		retainJobs   = flag.Int("retain-jobs", 4096, "finished jobs kept queryable")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for queued jobs on shutdown before cancelling them")
 		logJSON      = flag.Bool("log-json", false, "emit logs as JSON (default: logfmt-style text)")
+
+		workerMode = flag.Bool("worker", false, "serve the cluster worker RPC instead of the job API (docs/cluster.md)")
+		nodeName   = flag.String("node-name", "", "this node's name in cluster metrics and healthz (default: derived)")
+
+		clusterInFlight  = flag.Int("cluster-inflight", 4, "coordinator: max in-flight dispatches per worker node")
+		clusterSteal     = flag.Duration("cluster-steal-after", 2*time.Second, "coordinator: re-dispatch a straggler submodel after this long (<0 disables)")
+		clusterBackoff   = flag.Duration("cluster-retry-backoff", 50*time.Millisecond, "coordinator: base backoff before retrying a failed dispatch")
+		clusterHeartbeat = flag.Duration("cluster-heartbeat", 10*time.Second, "coordinator: worker heartbeat interval (0 disables)")
 	)
+	var clusterNodes nodeList
+	flag.Var(&clusterNodes, "cluster-node", "coordinator: worker node as name=url or url (repeatable)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: p4served [flags]\n\n")
 		flag.PrintDefaults()
@@ -75,6 +100,11 @@ func main() {
 		handler = slog.NewJSONHandler(os.Stderr, nil)
 	}
 	logger := slog.New(handler)
+
+	if *workerMode {
+		runWorker(logger, *addr, *nodeName, *subCacheSize, *cacheDir)
+		return
+	}
 
 	var cache *vcache.Cache
 	if *cacheSize > 0 || *cacheDir != "" {
@@ -102,6 +132,25 @@ func main() {
 		JobTimeout: *jobTimeout,
 		RetainJobs: *retainJobs,
 	})
+
+	var coord *cluster.Coordinator
+	if len(clusterNodes) > 0 {
+		specs := make([]cluster.NodeSpec, len(clusterNodes))
+		for i, s := range clusterNodes {
+			specs[i] = cluster.ParseNodeSpec(s)
+		}
+		coord = cluster.NewCoordinator(cluster.Config{
+			Nodes:          specs,
+			MaxInFlight:    *clusterInFlight,
+			StealAfter:     *clusterSteal,
+			RetryBackoff:   *clusterBackoff,
+			HeartbeatEvery: *clusterHeartbeat,
+			Registry:       mgr.Registry(),
+		})
+		mgr.AttachCluster(coord)
+		logger.Info("cluster coordinator attached", "nodes", len(specs),
+			"steal_after", clusterSteal.String(), "heartbeat", clusterHeartbeat.String())
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: accessLog(logger, service.Handler(mgr))}
 	errCh := make(chan error, 1)
@@ -139,10 +188,48 @@ func main() {
 	if debugSrv != nil {
 		debugSrv.Shutdown(context.Background())
 	}
+	if coord != nil {
+		// Stop dispatching before the job drain so in-flight submodels
+		// finish on their workers and nothing new reaches the cluster.
+		coord.Drain()
+		coord.Close()
+	}
 	if err := mgr.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) {
 		logger.Warn("forced drain", "err", err)
 	}
 	cancel()
+	logger.Info("stopped")
+}
+
+// runWorker serves the cluster worker RPC until SIGINT/SIGTERM.
+func runWorker(logger *slog.Logger, addr, name string, cacheEntries int, cacheDir string) {
+	if name == "" {
+		name = "worker@" + addr
+	}
+	w, err := cluster.NewWorker(cluster.WorkerConfig{
+		Name:         name,
+		CacheEntries: cacheEntries,
+		CacheDir:     cacheDir,
+	})
+	if err != nil {
+		logger.Error("worker init failed", "err", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Addr: addr, Handler: accessLog(logger, w.Handler())}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	logger.Info("worker listening", "addr", addr, "node", name, "cache_dir", cacheDir)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		logger.Error("listener failed", "err", err)
+		os.Exit(1)
+	case s := <-sig:
+		logger.Info("worker stopping", "signal", s.String())
+	}
+	srv.Shutdown(context.Background())
 	logger.Info("stopped")
 }
 

@@ -1,0 +1,269 @@
+package bench
+
+// The distributed-verification benchmark: verify the fabric corpus
+// program through loopback worker clusters of 1, 2 and 4 nodes and
+// compare against the single-process parallel pipeline — cold, with warm
+// worker cache tiers, and for the edit-verify loop (incremental
+// resubmission whose re-executed submodels travel through the cluster).
+//
+// The result is emitted by cmd/p4bench -exp cluster as
+// BENCH_cluster.json. Loopback workers measure the protocol's overhead
+// floor (serialization + HTTP + rebuild-from-source memoization) rather
+// than multi-machine scaling; the per-node cache-hit ratios show the
+// consistent-hash routing doing its job (repeat keys land on warm nodes).
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"time"
+
+	"p4assert/internal/cluster"
+	"p4assert/internal/core"
+	"p4assert/internal/incr"
+	"p4assert/internal/progs"
+	"p4assert/internal/rules"
+)
+
+// ClusterNodeStats is one worker's dispatch/cache profile from the last
+// repetition of a row.
+type ClusterNodeStats struct {
+	Name          string  `json:"name"`
+	Dispatched    int64   `json:"dispatched"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	Steals        int64   `json:"steals"`
+}
+
+// ClusterRun is one worker-count row.
+type ClusterRun struct {
+	Workers int `json:"workers"`
+	// ColdSeconds routes a cold job (empty worker caches) through the
+	// cluster; WarmSeconds repeats it against the now-warm worker tiers;
+	// IncrementalSeconds is the edited resubmission against a warmed
+	// submodel store (best of repeats each).
+	ColdSeconds        float64 `json:"cold_seconds"`
+	WarmSeconds        float64 `json:"warm_seconds"`
+	IncrementalSeconds float64 `json:"incremental_seconds"`
+	// Speedup is the single-process cold baseline over ColdSeconds.
+	Speedup float64 `json:"speedup"`
+	// Steals counts straggler re-dispatches across the row's last
+	// repetition.
+	Steals int64              `json:"steals"`
+	Nodes  []ClusterNodeStats `json:"nodes"`
+}
+
+// ClusterResult is the BENCH_cluster.json payload.
+type ClusterResult struct {
+	Experiment   string `json:"experiment"`
+	Program      string `json:"program"`
+	ProgramLines int    `json:"program_lines"`
+	Submodels    int    `json:"submodels"`
+	// BaselineSeconds is the single-process parallel (4-worker) cold run.
+	BaselineSeconds float64 `json:"baseline_seconds"`
+	// ByteIdentical records that every cluster-routed report — cold,
+	// warm, incremental — compared byte-equal (ComparableJSON) to its
+	// single-process counterpart.
+	ByteIdentical bool         `json:"byte_identical"`
+	Runs          []ClusterRun `json:"runs"`
+}
+
+// editSource applies incr.MutateUnit's single-literal edit textually (the
+// cluster protocol ships source, so the edit must exist in text form).
+func editSource(file, source string) (string, error) {
+	_, mut, err := incr.MutateUnit(file, source)
+	if err != nil {
+		return "", err
+	}
+	lines := strings.Split(source, "\n")
+	if mut.Pos.Line < 1 || mut.Pos.Line > len(lines) {
+		return "", fmt.Errorf("bench: mutation position %s out of range", mut.Pos)
+	}
+	line := lines[mut.Pos.Line-1]
+	start := mut.Pos.Col - 1
+	if start < 0 || start >= len(line) {
+		return "", fmt.Errorf("bench: mutation position %s out of range", mut.Pos)
+	}
+	isLit := func(c byte) bool {
+		return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F' || c == 'x' || c == 'w'
+	}
+	for start > 0 && isLit(line[start-1]) {
+		start--
+	}
+	end := mut.Pos.Col - 1
+	for end < len(line) && isLit(line[end]) {
+		end++
+	}
+	tok := line[start:end]
+	prefix := ""
+	if i := strings.IndexByte(tok, 'w'); i >= 0 {
+		prefix = tok[:i+1]
+	}
+	lines[mut.Pos.Line-1] = line[:start] + prefix + strconv.FormatUint(mut.New, 10) + line[end:]
+	return strings.Join(lines, "\n"), nil
+}
+
+// Cluster runs the benchmark. repeats stabilizes wall-clock numbers
+// (best-of); workerCounts defaults to {1, 2, 4}.
+func Cluster(repeats int, workerCounts []int) (*ClusterResult, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4}
+	}
+	subject, err := progs.Get("fabric")
+	if err != nil {
+		return nil, err
+	}
+	file := subject.Name + ".p4"
+	opts := core.Options{Parallel: 4}
+	if subject.Rules != "" {
+		rs, err := rules.Parse(subject.Rules)
+		if err != nil {
+			return nil, err
+		}
+		opts.Rules = rs
+	}
+	edited, err := editSource(file, subject.Source)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ClusterResult{
+		Experiment:    "cluster",
+		Program:       subject.Name,
+		ProgramLines:  strings.Count(subject.Source, "\n"),
+		ByteIdentical: true,
+	}
+	ctx := context.Background()
+
+	// Single-process baselines: the reports every cluster run must match.
+	var baseRep, editRep *core.Report
+	for i := 0; i < repeats; i++ {
+		t0 := time.Now()
+		rep, err := core.VerifySourceCtx(ctx, file, subject.Source, opts)
+		if err != nil {
+			return nil, err
+		}
+		sec := time.Since(t0).Seconds()
+		if i == 0 || sec < res.BaselineSeconds {
+			res.BaselineSeconds = sec
+		}
+		baseRep = rep
+	}
+	res.Submodels = baseRep.Submodels
+	if editRep, err = core.VerifySourceCtx(ctx, file, edited, opts); err != nil {
+		return nil, err
+	}
+	baseBytes, err := baseRep.ComparableJSON()
+	if err != nil {
+		return nil, err
+	}
+	editBytes, err := editRep.ComparableJSON()
+	if err != nil {
+		return nil, err
+	}
+	check := func(rep *core.Report, want []byte) error {
+		got, err := rep.ComparableJSON()
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, want) {
+			res.ByteIdentical = false
+		}
+		return nil
+	}
+
+	for _, n := range workerCounts {
+		row := ClusterRun{Workers: n}
+		for rep := 0; rep < repeats; rep++ {
+			// Fresh workers every repetition: ColdSeconds must see empty
+			// cache tiers and unbuilt program memos.
+			specs := make([]cluster.NodeSpec, n)
+			servers := make([]*httptest.Server, n)
+			for i := 0; i < n; i++ {
+				w, err := cluster.NewWorker(cluster.WorkerConfig{Name: fmt.Sprintf("w%d", i)})
+				if err != nil {
+					return nil, err
+				}
+				servers[i] = httptest.NewServer(w.Handler())
+				specs[i] = cluster.NodeSpec{Name: w.Name(), Addr: servers[i].URL}
+			}
+			coord := cluster.NewCoordinator(cluster.Config{Nodes: specs})
+
+			t0 := time.Now()
+			cold, err := core.VerifySourceExec(ctx, file, subject.Source, opts, coord)
+			if err != nil {
+				return nil, err
+			}
+			sec := time.Since(t0).Seconds()
+			if rep == 0 || sec < row.ColdSeconds {
+				row.ColdSeconds = sec
+			}
+			if err := check(cold, baseBytes); err != nil {
+				return nil, err
+			}
+
+			// Warm repeat: every submodel key is now in some worker's tier.
+			t0 = time.Now()
+			warm, err := core.VerifySourceExec(ctx, file, subject.Source, opts, coord)
+			if err != nil {
+				return nil, err
+			}
+			sec = time.Since(t0).Seconds()
+			if rep == 0 || sec < row.WarmSeconds {
+				row.WarmSeconds = sec
+			}
+			if err := check(warm, baseBytes); err != nil {
+				return nil, err
+			}
+
+			// Edit-verify loop: warm a submodel store on the unedited
+			// program, then time the edited resubmission through the
+			// cluster.
+			store := memStore{}
+			if _, _, err := core.VerifyIncrementalSourceExec(ctx, file, "", subject.Source, opts, store, coord); err != nil {
+				return nil, err
+			}
+			t0 = time.Now()
+			incRep, _, err := core.VerifyIncrementalSourceExec(ctx, file, subject.Source, edited, opts, store, coord)
+			if err != nil {
+				return nil, err
+			}
+			sec = time.Since(t0).Seconds()
+			if rep == 0 || sec < row.IncrementalSeconds {
+				row.IncrementalSeconds = sec
+			}
+			if err := check(incRep, editBytes); err != nil {
+				return nil, err
+			}
+
+			row.Steals = 0
+			row.Nodes = row.Nodes[:0]
+			for _, ns := range coord.Nodes() {
+				stat := ClusterNodeStats{
+					Name:       ns.Name,
+					Dispatched: ns.Dispatched,
+					CacheHits:  ns.CacheHits,
+					Steals:     ns.Steals,
+				}
+				if ns.Dispatched > 0 {
+					stat.CacheHitRatio = float64(ns.CacheHits) / float64(ns.Dispatched)
+				}
+				row.Steals += ns.Steals
+				row.Nodes = append(row.Nodes, stat)
+			}
+			coord.Close()
+			for _, srv := range servers {
+				srv.Close()
+			}
+		}
+		row.Speedup = res.BaselineSeconds / row.ColdSeconds
+		res.Runs = append(res.Runs, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is the coordinator's HTTP handle on one worker node.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the worker at base (e.g.
+// "http://127.0.0.1:9091"). A nil hc uses a dedicated client with no
+// overall timeout — per-request deadlines travel in the context, since a
+// submodel execution can legitimately run for minutes.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// Base returns the worker's base URL.
+func (c *Client) Base() string { return c.base }
+
+// Execute runs one submodel on the worker.
+func (c *Client) Execute(ctx context.Context, req *ExecRequest) (*ExecResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encode request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/execute", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", c.base, err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return nil, decodeWireError(c.base, hresp)
+	}
+	var resp ExecResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("cluster: %s: decode response: %w", c.base, err)
+	}
+	if resp.Key != req.Key {
+		return nil, fmt.Errorf("cluster: %s: response key mismatch", c.base)
+	}
+	return &resp, nil
+}
+
+// Healthz probes the worker's liveness endpoint.
+func (c *Client) Healthz(ctx context.Context) (*WorkerHealth, error) {
+	hctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(hctx, http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", c.base, err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return nil, decodeWireError(c.base, hresp)
+	}
+	var h WorkerHealth
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("cluster: %s: decode healthz: %w", c.base, err)
+	}
+	return &h, nil
+}
+
+// decodeWireError maps a non-200 reply to an error; 409 surfaces as
+// ErrSkew so the coordinator can treat it as non-retryable.
+func decodeWireError(base string, hresp *http.Response) error {
+	var we wireError
+	data, _ := io.ReadAll(io.LimitReader(hresp.Body, 64<<10))
+	if json.Unmarshal(data, &we) != nil || we.Error == "" {
+		we.Error = strings.TrimSpace(string(data))
+	}
+	if hresp.StatusCode == http.StatusConflict {
+		return fmt.Errorf("%w: %s: %s", ErrSkew, base, we.Error)
+	}
+	return fmt.Errorf("cluster: %s: HTTP %d: %s", base, hresp.StatusCode, we.Error)
+}

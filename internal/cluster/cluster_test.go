@@ -1,0 +1,517 @@
+package cluster
+
+// Corpus-wide cluster-vs-local equivalence and the failure-path suite.
+// The contract under test is the tentpole invariant: routing submodel
+// executions through a cluster — including cache hits on worker tiers,
+// straggler steals, node deaths and local fallbacks — must never change a
+// single byte of the report (core.ComparableJSON).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"p4assert/internal/core"
+	"p4assert/internal/exec"
+	"p4assert/internal/incr"
+	"p4assert/internal/progs"
+	"p4assert/internal/rules"
+	"p4assert/internal/sym"
+)
+
+// memStore is an unbounded in-memory incr.Store for tests.
+type memStore map[string][]byte
+
+func (m memStore) GetBytes(k string) ([]byte, bool)  { b, ok := m[k]; return b, ok }
+func (m memStore) PutBytes(k string, b []byte) error { m[k] = b; return nil }
+
+// startWorkers starts n loopback worker nodes (real HTTP, real Worker).
+func startWorkers(t *testing.T, n int) []NodeSpec {
+	t.Helper()
+	specs := make([]NodeSpec, n)
+	for i := 0; i < n; i++ {
+		w, err := NewWorker(WorkerConfig{Name: fmt.Sprintf("w%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(w.Handler())
+		t.Cleanup(srv.Close)
+		specs[i] = NodeSpec{Name: w.Name(), Addr: srv.URL}
+	}
+	return specs
+}
+
+// progOpts builds the parallel pipeline options for a corpus program.
+func progOpts(t *testing.T, p *progs.Program) core.Options {
+	t.Helper()
+	opts := core.Options{Parallel: 4}
+	if p.Rules != "" {
+		rs, err := rules.Parse(p.Rules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Rules = rs
+	}
+	return opts
+}
+
+func mustSameReport(t *testing.T, label string, local, clustered *core.Report) {
+	t.Helper()
+	a, err := local.ComparableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := clustered.ComparableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("%s: cluster report differs from local run\nlocal:   %s\ncluster: %s", label, a, b)
+	}
+}
+
+// mutateSource applies incr.MutateUnit's single-literal edit to the
+// source text (the AST mutator reports the literal's position and new
+// value; the cluster protocol ships source, so the edit must exist in
+// text form). Returns ok=false when the program offers no mutable
+// literal or the textual edit fails to round-trip through the front end.
+func mutateSource(file, source string) (string, bool) {
+	_, mut, err := incr.MutateUnit(file, source)
+	if err != nil {
+		return "", false
+	}
+	lines := strings.Split(source, "\n")
+	if mut.Pos.Line < 1 || mut.Pos.Line > len(lines) {
+		return "", false
+	}
+	line := lines[mut.Pos.Line-1]
+	start := mut.Pos.Col - 1
+	if start < 0 || start >= len(line) {
+		return "", false
+	}
+	isLit := func(c byte) bool {
+		return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F' || c == 'x' || c == 'w'
+	}
+	for start > 0 && isLit(line[start-1]) {
+		start--
+	}
+	end := mut.Pos.Col - 1
+	for end < len(line) && isLit(line[end]) {
+		end++
+	}
+	tok := line[start:end]
+	prefix := ""
+	if i := strings.IndexByte(tok, 'w'); i >= 0 {
+		prefix = tok[:i+1]
+	}
+	lines[mut.Pos.Line-1] = line[:start] + prefix + strconv.FormatUint(mut.New, 10) + line[end:]
+	return strings.Join(lines, "\n"), true
+}
+
+// TestClusterEquivalenceCorpus is the acceptance-criteria centerpiece:
+// over the whole corpus, a 3-worker loopback cluster must produce reports
+// byte-identical to single-node runs — cold, incremental warm-up, and an
+// edited (base_job-style) resubmission whose re-executed submodels travel
+// through the cluster.
+func TestClusterEquivalenceCorpus(t *testing.T) {
+	ctx := context.Background()
+	specs := startWorkers(t, 3)
+	for _, p := range progs.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			file := p.Name + ".p4"
+			opts := progOpts(t, p)
+
+			local, err := core.VerifySourceCtx(ctx, file, p.Source, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			coord := NewCoordinator(Config{Nodes: specs, StealAfter: -1})
+			defer coord.Close()
+
+			clustered, err := core.VerifySourceExec(ctx, file, p.Source, opts, coord)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustSameReport(t, "cold", local, clustered)
+
+			// No live-node shortage here: every submodel must have gone
+			// over the wire, not through the local fallback.
+			dispatched := int64(0)
+			for _, n := range coord.Nodes() {
+				dispatched += n.Dispatched
+			}
+			if dispatched == 0 {
+				t.Fatal("cold cluster run dispatched nothing to the workers")
+			}
+
+			// Incremental warm-up through the cluster: full-miss path.
+			store := memStore{}
+			warm, _, err := core.VerifyIncrementalSourceExec(ctx, file, "", p.Source, opts, store, coord)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustSameReport(t, "incremental warm-up", local, warm)
+
+			// Edited resubmission (the service's base_job path): cached
+			// submodels replay locally, touched ones re-execute remotely.
+			edited, ok := mutateSource(file, p.Source)
+			if !ok {
+				t.Skip("no mutable literal for the edit step")
+			}
+			localEdit, err := core.VerifySourceCtx(ctx, file, edited, opts)
+			if err != nil {
+				t.Skipf("textual mutation does not verify: %v", err)
+			}
+			incRep, man, err := core.VerifyIncrementalSourceExec(ctx, file, p.Source, edited, opts, store, coord)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustSameReport(t, "edited resubmission", localEdit, incRep)
+			if man.Reused+man.Executed != man.Submodels {
+				t.Fatalf("manifest accounting: reused %d + executed %d != submodels %d",
+					man.Reused, man.Executed, man.Submodels)
+			}
+		})
+	}
+}
+
+// buildRequests prepares the executor requests of one corpus program the
+// way the pipeline would (used by the targeted failure tests).
+func buildRequests(t *testing.T, p *progs.Program) ([]*exec.Request, core.Options) {
+	t.Helper()
+	opts := progOpts(t, p)
+	file := p.Name + ".p4"
+	subs, keys, err := core.PrepareSubmodels(context.Background(), file, p.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := core.JobSpec(file, p.Source, opts)
+	reqs := make([]*exec.Request, len(subs))
+	for i, sub := range subs {
+		reqs[i] = &exec.Request{Submodel: sub, Index: i, Total: len(subs), Key: keys[i], Opts: sym.Options{}, Job: job}
+	}
+	return reqs, opts
+}
+
+// TestWorkerCacheHit: the same key served twice by one worker comes from
+// its verdict-cache tier the second time, byte-identically.
+func TestWorkerCacheHit(t *testing.T) {
+	p, err := progs.Get("vss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, _ := buildRequests(t, p)
+	w, err := NewWorker(WorkerConfig{Name: "w0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	wr := &ExecRequest{Key: reqs[0].Key, Index: 0, Total: reqs[0].Total, Job: reqs[0].Job}
+	first, err := w.Execute(ctx, wr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first execution reported a cache hit")
+	}
+	second, err := w.Execute(ctx, wr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("second execution missed the verdict cache")
+	}
+	if fmt.Sprintf("%+v", first.Verdict) != fmt.Sprintf("%+v", second.Verdict) {
+		t.Fatalf("cache replay diverged:\nfirst:  %+v\nsecond: %+v", first.Verdict, second.Verdict)
+	}
+	h := w.Health()
+	if h.Executed != 2 || h.CacheHits != 1 {
+		t.Fatalf("health counters: %+v", h)
+	}
+}
+
+// TestWorkerRefusesSkewedKey: a key the rebuilt split does not contain is
+// a 409/ErrSkew, not a silent wrong answer.
+func TestWorkerRefusesSkewedKey(t *testing.T) {
+	p, err := progs.Get("vss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, _ := buildRequests(t, p)
+	w, err := NewWorker(WorkerConfig{Name: "w0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL, nil)
+	_, err = client.Execute(context.Background(), &ExecRequest{
+		Key: "0000000000000000000000000000000000000000000000000000000000000000",
+		Job: reqs[0].Job,
+	})
+	if !errors.Is(err, ErrSkew) {
+		t.Fatalf("want ErrSkew, got %v", err)
+	}
+}
+
+// killingHandler proxies to a worker but hard-closes the connection on
+// the first N execute requests (a worker dying mid-submodel: the request
+// is on the wire, the response never comes).
+type killingHandler struct {
+	inner http.Handler
+	kills atomic.Int64
+	limit int64
+}
+
+func (k *killingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/execute" && k.kills.Add(1) <= k.limit {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			panic("test server not hijackable")
+		}
+		conn, _, err := hj.Hijack()
+		if err == nil {
+			conn.Close()
+		}
+		return
+	}
+	k.inner.ServeHTTP(w, r)
+}
+
+// TestWorkerKilledMidSubmodel: a worker dropping requests mid-flight
+// forces re-dispatch; the report must not change by a byte.
+func TestWorkerKilledMidSubmodel(t *testing.T) {
+	ctx := context.Background()
+	p, err := progs.Get("fabric")
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := p.Name + ".p4"
+	opts := progOpts(t, p)
+	local, err := core.VerifySourceCtx(ctx, file, p.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every node hard-closes its first execute connection, then recovers
+	// — so whichever node a key routes to, its first submodel dies
+	// mid-flight and must be re-dispatched.
+	var specs []NodeSpec
+	var killers []*killingHandler
+	for i := 0; i < 3; i++ {
+		w, err := NewWorker(WorkerConfig{Name: fmt.Sprintf("w%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		killer := &killingHandler{inner: w.Handler(), limit: 1}
+		killers = append(killers, killer)
+		srv := httptest.NewServer(killer)
+		t.Cleanup(srv.Close)
+		specs = append(specs, NodeSpec{Name: w.Name(), Addr: srv.URL})
+	}
+
+	coord := NewCoordinator(Config{
+		Nodes:        specs,
+		StealAfter:   -1,
+		RetryBackoff: time.Millisecond,
+		MaxFailures:  100, // keep w0 in rotation; this test is about retries
+	})
+	defer coord.Close()
+
+	clustered, err := core.VerifySourceExec(ctx, file, p.Source, opts, coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSameReport(t, "after worker kill", local, clustered)
+	kills := int64(0)
+	for _, k := range killers {
+		kills += k.kills.Load()
+	}
+	if kills == 0 {
+		t.Fatal("no execute connection was killed; the failure path was not exercised")
+	}
+	failures := int64(0)
+	for _, n := range coord.Nodes() {
+		failures += n.Failures
+	}
+	if failures == 0 {
+		t.Fatal("no dispatch failure recorded despite killed connections")
+	}
+}
+
+// delayHandler stalls execute requests before serving them.
+type delayHandler struct {
+	inner http.Handler
+	delay time.Duration
+}
+
+func (d *delayHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/execute" {
+		time.Sleep(d.delay)
+	}
+	d.inner.ServeHTTP(w, r)
+}
+
+// TestSlowWorkerTriggersSteal: a straggling node trips the steal timer, a
+// duplicate dispatch wins, and the report stays byte-identical.
+func TestSlowWorkerTriggersSteal(t *testing.T) {
+	ctx := context.Background()
+	p, err := progs.Get("vss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := p.Name + ".p4"
+	opts := progOpts(t, p)
+	local, err := core.VerifySourceCtx(ctx, file, p.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every node is slow enough to trip the steal timer, so whichever
+	// node is a key's primary, a duplicate attempt launches.
+	var specs []NodeSpec
+	for i := 0; i < 2; i++ {
+		w, err := NewWorker(WorkerConfig{Name: fmt.Sprintf("w%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(&delayHandler{inner: w.Handler(), delay: 150 * time.Millisecond})
+		t.Cleanup(srv.Close)
+		specs = append(specs, NodeSpec{Name: w.Name(), Addr: srv.URL})
+	}
+	coord := NewCoordinator(Config{Nodes: specs, StealAfter: 20 * time.Millisecond})
+	defer coord.Close()
+
+	clustered, err := core.VerifySourceExec(ctx, file, p.Source, opts, coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSameReport(t, "after steal", local, clustered)
+	steals := int64(0)
+	for _, n := range coord.Nodes() {
+		steals += n.Steals
+	}
+	if steals == 0 {
+		t.Fatal("no steal recorded despite uniformly slow workers")
+	}
+}
+
+// TestDrainRejectsNewFinishesInFlight: Drain must reject new dispatches
+// with ErrDraining while letting an in-flight one complete successfully.
+func TestDrainRejectsNewFinishesInFlight(t *testing.T) {
+	p, err := progs.Get("vss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, _ := buildRequests(t, p)
+
+	w, err := NewWorker(WorkerConfig{Name: "w0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(&delayHandler{inner: w.Handler(), delay: 100 * time.Millisecond})
+	defer srv.Close()
+	coord := NewCoordinator(Config{
+		Nodes:      []NodeSpec{{Name: "w0", Addr: srv.URL}},
+		StealAfter: -1,
+	})
+	defer coord.Close()
+
+	type done struct {
+		res *sym.Result
+		err error
+	}
+	inflight := make(chan done, 1)
+	go func() {
+		res, err := coord.ExecuteSubmodel(context.Background(), reqs[0])
+		inflight <- done{res, err}
+	}()
+	time.Sleep(30 * time.Millisecond) // the dispatch is on the wire now
+
+	drained := make(chan struct{})
+	go func() {
+		coord.Drain()
+		close(drained)
+	}()
+	time.Sleep(10 * time.Millisecond)
+
+	if _, err := coord.ExecuteSubmodel(context.Background(), reqs[0]); !errors.Is(err, ErrDraining) {
+		t.Fatalf("dispatch during drain: want ErrDraining, got %v", err)
+	}
+
+	out := <-inflight
+	if out.err != nil {
+		t.Fatalf("in-flight dispatch failed during drain: %v", out.err)
+	}
+	if out.res == nil || out.res.Metrics.Instructions == 0 {
+		t.Fatal("in-flight dispatch returned an empty result")
+	}
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not return after the in-flight dispatch completed")
+	}
+}
+
+// TestEvictionAndHeartbeatRevival: repeated failures evict a node; a
+// heartbeat against a recovered worker revives it.
+func TestEvictionAndHeartbeatRevival(t *testing.T) {
+	p, err := progs.Get("vss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, _ := buildRequests(t, p)
+
+	w, err := NewWorker(WorkerConfig{Name: "w0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	killer := &killingHandler{inner: w.Handler(), limit: 1}
+	srv := httptest.NewServer(killer)
+	defer srv.Close()
+
+	coord := NewCoordinator(Config{
+		Nodes:        []NodeSpec{{Name: "w0", Addr: srv.URL}},
+		StealAfter:   -1,
+		RetryBackoff: -1,
+		MaxFailures:  1,
+	})
+	defer coord.Close()
+
+	// The single node's first dispatch dies -> immediate eviction; the
+	// local fallback still answers correctly.
+	res, err := coord.ExecuteSubmodel(context.Background(), reqs[0])
+	if err != nil {
+		t.Fatalf("local fallback failed: %v", err)
+	}
+	if res.Metrics.Instructions == 0 {
+		t.Fatal("fallback result empty")
+	}
+	nodes := coord.Nodes()
+	if len(nodes) != 1 || nodes[0].Alive {
+		t.Fatalf("node not evicted after failure: %+v", nodes)
+	}
+
+	// healthz works (the killer only targets /v1/execute), so a
+	// heartbeat revives the node, and the next dispatch goes remote.
+	coord.Heartbeat(context.Background())
+	nodes = coord.Nodes()
+	if !nodes[0].Alive {
+		t.Fatalf("node not revived by heartbeat: %+v", nodes)
+	}
+	if _, err := coord.ExecuteSubmodel(context.Background(), reqs[0]); err != nil {
+		t.Fatalf("post-revival dispatch failed: %v", err)
+	}
+	if coord.Nodes()[0].Dispatched < 2 {
+		t.Fatalf("post-revival dispatch did not reach the node: %+v", coord.Nodes())
+	}
+}

@@ -1,0 +1,510 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p4assert/internal/exec"
+	"p4assert/internal/sym"
+	"p4assert/internal/telemetry"
+)
+
+// ErrDraining rejects new submodel dispatches on a draining coordinator.
+// In-flight dispatches are unaffected and run to completion.
+var ErrDraining = errors.New("cluster: coordinator is draining")
+
+// Coordinator defaults.
+const (
+	defaultMaxInFlight  = 4
+	defaultStealAfter   = 2 * time.Second
+	defaultRetryBackoff = 50 * time.Millisecond
+	defaultMaxFailures  = 3
+)
+
+// NodeSpec names one worker node.
+type NodeSpec struct {
+	// Name labels the node in metrics, spans and status reports.
+	Name string
+	// Addr is the worker's base URL.
+	Addr string
+}
+
+// ParseNodeSpec parses a -cluster-node flag value: "name=url", or a bare
+// url (the name defaults to the url's host part).
+func ParseNodeSpec(s string) NodeSpec {
+	if i := strings.Index(s, "="); i > 0 && !strings.Contains(s[:i], "/") {
+		return NodeSpec{Name: s[:i], Addr: s[i+1:]}
+	}
+	name := s
+	if i := strings.Index(name, "://"); i >= 0 {
+		name = name[i+3:]
+	}
+	name = strings.TrimRight(name, "/")
+	return NodeSpec{Name: name, Addr: s}
+}
+
+// Config configures a Coordinator.
+type Config struct {
+	// Nodes is the initial membership. More join via Register.
+	Nodes []NodeSpec
+	// Vnodes is the consistent-hash vnode count per node (0 = default).
+	Vnodes int
+	// MaxInFlight bounds concurrent dispatches per node (0 = 4, matching
+	// the paper's per-machine worker count).
+	MaxInFlight int
+	// StealAfter is how long a dispatch may run before the coordinator
+	// launches a duplicate attempt on the next preference node (straggler
+	// re-dispatch). First result wins. 0 = default; negative disables.
+	StealAfter time.Duration
+	// RetryBackoff is the base delay before retrying a failed dispatch on
+	// the next preference node (linear per attempt). 0 = default;
+	// negative disables.
+	RetryBackoff time.Duration
+	// MaxFailures is the consecutive-failure count that evicts a node
+	// from dispatch until a heartbeat revives it (0 = default).
+	MaxFailures int
+	// HeartbeatEvery, when positive, starts a background probe loop that
+	// revives evicted nodes and detects silently dead ones. 0 disables
+	// (tests drive Heartbeat explicitly).
+	HeartbeatEvery time.Duration
+	// Registry receives the p4served_cluster_* metrics (nil = private).
+	Registry *telemetry.Registry
+	// HTTPClient overrides the RPC client (nil = default).
+	HTTPClient *http.Client
+}
+
+// node is one worker's coordinator-side state.
+type node struct {
+	name   string
+	client *Client
+	sem    chan struct{}
+
+	alive       atomic.Bool
+	consecFails atomic.Int64
+
+	inflight   atomic.Int64
+	dispatched atomic.Int64
+	cacheHits  atomic.Int64
+	steals     atomic.Int64
+	failures   atomic.Int64
+}
+
+// Coordinator shards submodel executions across worker nodes. It
+// implements exec.Executor, so core.VerifySourceExec and the incremental
+// engine dispatch through it without knowing about the cluster.
+type Coordinator struct {
+	cfg Config
+	reg *telemetry.Registry
+
+	mu    sync.Mutex
+	nodes map[string]*node
+	ring  *ring
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	stopHB   chan struct{}
+	hbOnce   sync.Once
+	stopOnce sync.Once
+}
+
+// NewCoordinator builds a coordinator over the configured nodes and, when
+// HeartbeatEvery is positive, starts its heartbeat loop.
+func NewCoordinator(cfg Config) *Coordinator {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = defaultMaxInFlight
+	}
+	if cfg.StealAfter == 0 {
+		cfg.StealAfter = defaultStealAfter
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = defaultRetryBackoff
+	}
+	if cfg.MaxFailures <= 0 {
+		cfg.MaxFailures = defaultMaxFailures
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		reg:    reg,
+		nodes:  map[string]*node{},
+		stopHB: make(chan struct{}),
+	}
+	for _, spec := range cfg.Nodes {
+		c.addNode(spec)
+	}
+	c.rebuildRing()
+	if cfg.HeartbeatEvery > 0 {
+		go c.heartbeatLoop(cfg.HeartbeatEvery)
+	}
+	return c
+}
+
+// addNode inserts a node (caller need not hold c.mu; Register handles
+// ring rebuild).
+func (c *Coordinator) addNode(spec NodeSpec) {
+	if spec.Name == "" {
+		spec = ParseNodeSpec(spec.Addr)
+	}
+	n := &node{
+		name:   spec.Name,
+		client: NewClient(spec.Addr, c.cfg.HTTPClient),
+		sem:    make(chan struct{}, c.cfg.MaxInFlight),
+	}
+	n.alive.Store(true)
+	c.mu.Lock()
+	c.nodes[spec.Name] = n
+	c.mu.Unlock()
+}
+
+// rebuildRing recomputes the consistent-hash ring over the full
+// membership (dead nodes stay on the ring — their keyspace must not remap
+// across a transient failure; dispatch just skips them).
+func (c *Coordinator) rebuildRing() {
+	c.mu.Lock()
+	names := make([]string, 0, len(c.nodes))
+	for name := range c.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	c.ring = newRing(names, c.cfg.Vnodes)
+	c.mu.Unlock()
+	c.gaugeNodes()
+}
+
+// Register adds a worker node at runtime (the service's
+// POST /v1/cluster/register). Re-registering a known name replaces its
+// address and revives it.
+func (c *Coordinator) Register(spec NodeSpec) {
+	c.addNode(spec)
+	c.rebuildRing()
+}
+
+// Drain stops accepting new submodel dispatches (they fail ErrDraining)
+// and blocks until every in-flight dispatch completes.
+func (c *Coordinator) Drain() {
+	c.draining.Store(true)
+	c.inflight.Wait()
+}
+
+// Draining reports whether Drain has been called.
+func (c *Coordinator) Draining() bool { return c.draining.Load() }
+
+// Close stops the heartbeat loop. It does not drain.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stopHB) })
+}
+
+// Nodes returns a status snapshot of every node, sorted by name.
+func (c *Coordinator) Nodes() []NodeStatus {
+	c.mu.Lock()
+	list := make([]*node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		list = append(list, n)
+	}
+	c.mu.Unlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
+	out := make([]NodeStatus, len(list))
+	for i, n := range list {
+		out[i] = NodeStatus{
+			Name:       n.name,
+			Addr:       n.client.Base(),
+			Alive:      n.alive.Load(),
+			InFlight:   int(n.inflight.Load()),
+			Dispatched: n.dispatched.Load(),
+			CacheHits:  n.cacheHits.Load(),
+			Steals:     n.steals.Load(),
+			Failures:   n.failures.Load(),
+		}
+	}
+	return out
+}
+
+// Heartbeat probes every node once: an evicted node that answers healthz
+// is revived; a node that fails the probe accrues a consecutive failure
+// and is evicted past the threshold.
+func (c *Coordinator) Heartbeat(ctx context.Context) {
+	c.mu.Lock()
+	list := make([]*node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		list = append(list, n)
+	}
+	c.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, n := range list {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			if _, err := n.client.Healthz(ctx); err != nil {
+				c.noteFailure(n, err)
+				return
+			}
+			if !n.alive.Load() {
+				n.alive.Store(true)
+				c.counter("p4served_cluster_revivals_total", telemetry.L("node", n.name)).Inc()
+			}
+			n.consecFails.Store(0)
+		}(n)
+	}
+	wg.Wait()
+	c.gaugeNodes()
+}
+
+func (c *Coordinator) heartbeatLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopHB:
+			return
+		case <-t.C:
+			c.Heartbeat(context.Background())
+		}
+	}
+}
+
+// alivePrefs returns the key's preference list restricted to live nodes.
+func (c *Coordinator) alivePrefs(key string) []*node {
+	c.mu.Lock()
+	r := c.ring
+	nodes := c.nodes
+	prefs := r.prefs(key)
+	out := make([]*node, 0, len(prefs))
+	for _, name := range prefs {
+		if n := nodes[name]; n != nil && n.alive.Load() {
+			out = append(out, n)
+		}
+	}
+	c.mu.Unlock()
+	return out
+}
+
+// noteFailure records a dispatch or probe failure and evicts the node
+// when its consecutive-failure count crosses the threshold.
+func (c *Coordinator) noteFailure(n *node, err error) {
+	n.failures.Add(1)
+	c.counter("p4served_cluster_failures_total", telemetry.L("node", n.name)).Inc()
+	if n.consecFails.Add(1) >= int64(c.cfg.MaxFailures) && n.alive.CompareAndSwap(true, false) {
+		c.counter("p4served_cluster_evictions_total", telemetry.L("node", n.name)).Inc()
+		c.gaugeNodes()
+	}
+	_ = err
+}
+
+// outcome is one attempt's result, remote or local.
+type outcome struct {
+	n        *node // nil for local attempts
+	res      *sym.Result
+	cacheHit bool
+	err      error
+}
+
+// ExecuteSubmodel dispatches one submodel: consistent-hash routing to the
+// key's preferred live node, straggler re-dispatch after StealAfter,
+// retry-with-backoff down the preference list, and a local execution as
+// the path of last resort. Whatever route the result takes, it is the
+// deterministic verdict of the submodel — byte-identical to a local run.
+func (c *Coordinator) ExecuteSubmodel(ctx context.Context, req *exec.Request) (*sym.Result, error) {
+	if c.draining.Load() {
+		return nil, ErrDraining
+	}
+	c.inflight.Add(1)
+	defer c.inflight.Done()
+
+	prefs := c.alivePrefs(req.Key)
+	if len(prefs) == 0 || req.Job == nil {
+		return c.runLocalAttempt(ctx, req, "no_nodes")
+	}
+
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reels in losing duplicate attempts
+
+	ch := make(chan outcome, len(prefs)+1)
+	pending := 0
+	next := 0 // next preference index to dispatch
+	localLaunched := false
+
+	launchNode := func(n *node) {
+		pending++
+		go c.dispatch(rctx, n, req, ch)
+	}
+	launchLocal := func(reason string) {
+		pending++
+		localLaunched = true
+		c.counter("p4served_cluster_local_total", telemetry.L("reason", reason)).Inc()
+		go func() {
+			res, err := exec.Local{}.ExecuteSubmodel(rctx, req)
+			ch <- outcome{res: res, err: err}
+		}()
+	}
+
+	launchNode(prefs[next])
+	next++
+
+	var steal <-chan time.Time
+	var stealTimer *time.Timer
+	if c.cfg.StealAfter > 0 {
+		stealTimer = time.NewTimer(c.cfg.StealAfter)
+		defer stealTimer.Stop()
+		steal = stealTimer.C
+	}
+
+	var lastErr error
+	for pending > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-steal:
+			// Straggler: duplicate the work on the next candidate. The
+			// primary keeps running — first result wins.
+			prefs[0].steals.Add(1)
+			c.counter("p4served_cluster_steals_total").Inc()
+			if next < len(prefs) {
+				launchNode(prefs[next])
+				next++
+			} else if !localLaunched {
+				launchLocal("steal")
+			}
+			if next < len(prefs) || !localLaunched {
+				stealTimer.Reset(c.cfg.StealAfter)
+			}
+		case out := <-ch:
+			pending--
+			if out.err == nil {
+				if out.n != nil {
+					out.n.consecFails.Store(0)
+				}
+				return out.res, nil
+			}
+			if out.n != nil {
+				c.noteFailure(out.n, out.err)
+				lastErr = out.err
+			} else {
+				// The local path failed: the submodel itself errors (or the
+				// run was cancelled). Nothing a retry can fix.
+				return nil, out.err
+			}
+			if pending > 0 {
+				continue // a duplicate attempt is still in flight
+			}
+			if next < len(prefs) {
+				if c.cfg.RetryBackoff > 0 {
+					t := time.NewTimer(c.cfg.RetryBackoff * time.Duration(next))
+					select {
+					case <-ctx.Done():
+						t.Stop()
+						return nil, ctx.Err()
+					case <-t.C:
+					}
+				}
+				launchNode(prefs[next])
+				next++
+			} else if !localLaunched {
+				launchLocal("fallback")
+			}
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: no dispatch attempt completed")
+	}
+	return nil, lastErr
+}
+
+// dispatch runs one remote attempt under the node's in-flight bound and
+// its own telemetry lane.
+func (c *Coordinator) dispatch(ctx context.Context, n *node, req *exec.Request, ch chan<- outcome) {
+	select {
+	case n.sem <- struct{}{}:
+	case <-ctx.Done():
+		ch <- outcome{n: n, err: ctx.Err()}
+		return
+	}
+	defer func() { <-n.sem }()
+	n.inflight.Add(1)
+	defer n.inflight.Add(-1)
+
+	// A lane, not a plain span: duplicate (steal) attempts overlap in
+	// time, and each node's RPCs must render on their own timeline.
+	_, sp := telemetry.StartLane(ctx, "rpc["+n.name+"]")
+	t0 := time.Now()
+	resp, err := n.client.Execute(ctx, c.wireRequest(req))
+	c.reg.Histogram("p4served_cluster_rpc_seconds",
+		"Worker RPC latency by node.", telemetry.L("node", n.name)).Observe(time.Since(t0))
+	n.dispatched.Add(1)
+	c.counter("p4served_cluster_dispatch_total", telemetry.L("node", n.name)).Inc()
+	if err != nil {
+		sp.End()
+		ch <- outcome{n: n, err: err}
+		return
+	}
+	if resp.CacheHit {
+		n.cacheHits.Add(1)
+		c.counter("p4served_cluster_cache_hits_total", telemetry.L("node", n.name)).Inc()
+		sp.MarkCached()
+	}
+	res := resp.Verdict.Result()
+	exec.AnnotateSpan(sp, res.Metrics)
+	sp.End()
+	ch <- outcome{n: n, res: res, cacheHit: resp.CacheHit}
+}
+
+// runLocalAttempt executes the submodel in-process (no live nodes, or a
+// request without a job spec that cannot travel).
+func (c *Coordinator) runLocalAttempt(ctx context.Context, req *exec.Request, reason string) (*sym.Result, error) {
+	c.counter("p4served_cluster_local_total", telemetry.L("reason", reason)).Inc()
+	return exec.Local{}.ExecuteSubmodel(ctx, req)
+}
+
+// wireRequest renders an executor request for the wire, re-anchoring the
+// remaining deadline as a relative budget.
+func (c *Coordinator) wireRequest(req *exec.Request) *ExecRequest {
+	wr := &ExecRequest{Key: req.Key, Index: req.Index, Total: req.Total, Job: req.Job}
+	if !req.Opts.Deadline.IsZero() {
+		ms := time.Until(req.Opts.Deadline).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		wr.TimeoutMS = ms
+	}
+	return wr
+}
+
+func (c *Coordinator) counter(name string, labels ...telemetry.Label) *telemetry.Counter {
+	return c.reg.Counter(name, clusterHelp[name], labels...)
+}
+
+// gaugeNodes refreshes the membership gauges.
+func (c *Coordinator) gaugeNodes() {
+	c.mu.Lock()
+	total, alive := 0, 0
+	for _, n := range c.nodes {
+		total++
+		if n.alive.Load() {
+			alive++
+		}
+	}
+	c.mu.Unlock()
+	c.reg.Gauge("p4served_cluster_nodes", "Registered worker nodes.").Set(int64(total))
+	c.reg.Gauge("p4served_cluster_nodes_alive", "Worker nodes currently eligible for dispatch.").Set(int64(alive))
+}
+
+// clusterHelp holds the HELP text of each coordinator counter.
+var clusterHelp = map[string]string{
+	"p4served_cluster_dispatch_total":   "Submodel dispatches to worker nodes, by node.",
+	"p4served_cluster_cache_hits_total": "Dispatches served from the worker's verdict cache, by node.",
+	"p4served_cluster_steals_total":     "Straggler re-dispatches (work stealing).",
+	"p4served_cluster_failures_total":   "Failed dispatches or heartbeat probes, by node.",
+	"p4served_cluster_evictions_total":  "Node evictions after consecutive failures, by node.",
+	"p4served_cluster_revivals_total":   "Evicted nodes revived by heartbeat, by node.",
+	"p4served_cluster_local_total":      "Submodels executed on the coordinator itself, by reason.",
+}

@@ -1,0 +1,91 @@
+package cluster
+
+// Consistent-hash routing of submodel keys to worker nodes. Each node
+// projects vnodes points onto a 64-bit ring; a key routes to the first
+// point clockwise of its own hash, and its preference list is the distinct
+// node sequence continuing clockwise. Properties the coordinator relies
+// on:
+//
+//   - Stability: a key's preferred node changes only when membership
+//     changes, and adding/removing one node remaps ~1/n of the keyspace —
+//     so a warm worker keeps serving its keys from cache across runs.
+//   - Determinism: the ring is a pure function of the member names, so
+//     every coordinator instance over the same membership routes
+//     identically (a shared cluster cache, not n private ones).
+//   - The preference list is the retry and steal order: attempt 2 of a
+//     key goes to the same fallback node every time, which keeps even the
+//     failure path cache-friendly.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// defaultVnodes is the per-node vnode count. 64 keeps the expected load
+// imbalance across a handful of nodes within a few percent while the ring
+// stays tiny (n*64 points).
+const defaultVnodes = 64
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// ring is an immutable consistent-hash ring; the coordinator swaps in a
+// new ring on membership change.
+type ring struct {
+	points []ringPoint
+	nodes  int
+}
+
+// newRing builds a ring over the given node names.
+func newRing(nodes []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	r := &ring{nodes: len(nodes)}
+	for _, n := range nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s\x00%d", n, v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on name so the ring is deterministic even in the
+		// (astronomically unlikely) event of a 64-bit hash collision.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// ringHash digests s to a ring position (the first 8 bytes of SHA-256,
+// matching the key family's hash).
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// prefs returns the key's preference list: every member node, ordered by
+// ring walk from the key's position. An empty key (purely local requests)
+// or an empty ring yields nil.
+func (r *ring) prefs(key string) []string {
+	if r == nil || len(r.points) == 0 || key == "" {
+		return nil
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, r.nodes)
+	seen := make(map[string]bool, r.nodes)
+	for n := 0; n < len(r.points) && len(out) < r.nodes; n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}

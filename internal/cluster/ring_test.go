@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingPrefsDeterministicAndComplete: the preference list is a stable
+// permutation of the membership, identical across independently built
+// rings (the shared-cluster-cache property).
+func TestRingPrefsDeterministicAndComplete(t *testing.T) {
+	nodes := []string{"w0", "w1", "w2", "w3"}
+	a := newRing(nodes, 0)
+	b := newRing([]string{"w3", "w2", "w1", "w0"}, 0) // order-independent? no — same set, sorted input differs
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		pa := a.prefs(key)
+		if len(pa) != len(nodes) {
+			t.Fatalf("prefs(%q) = %v: not a full permutation", key, pa)
+		}
+		seen := map[string]bool{}
+		for _, n := range pa {
+			seen[n] = true
+		}
+		if len(seen) != len(nodes) {
+			t.Fatalf("prefs(%q) = %v: duplicate nodes", key, pa)
+		}
+		pb := b.prefs(key)
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("prefs(%q) differ across ring builds: %v vs %v", key, pa, pb)
+			}
+		}
+	}
+}
+
+// TestRingStabilityUnderMembershipChange: adding one node must remap only
+// a minority of the keyspace (consistent hashing's defining property).
+func TestRingStabilityUnderMembershipChange(t *testing.T) {
+	before := newRing([]string{"w0", "w1", "w2"}, 0)
+	after := newRing([]string{"w0", "w1", "w2", "w3"}, 0)
+	const keys = 1000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if before.prefs(key)[0] != after.prefs(key)[0] {
+			moved++
+		}
+	}
+	// Expected remap fraction is 1/4; allow generous slack, but far below
+	// the ~3/4 a naive mod-N rehash would move.
+	if moved > keys/2 {
+		t.Fatalf("%d/%d keys remapped on single-node join (expected ~%d)", moved, keys, keys/4)
+	}
+	if moved == 0 {
+		t.Fatal("no keys remapped on join: the new node gets no load")
+	}
+}
+
+// TestRingEmptyAndLocalKeys: empty rings and empty keys yield no
+// preference list (callers fall back to local execution).
+func TestRingEmptyAndLocalKeys(t *testing.T) {
+	if got := newRing(nil, 0).prefs("k"); got != nil {
+		t.Fatalf("empty ring prefs = %v", got)
+	}
+	if got := newRing([]string{"w0"}, 0).prefs(""); got != nil {
+		t.Fatalf("empty key prefs = %v", got)
+	}
+}

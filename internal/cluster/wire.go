@@ -1,0 +1,120 @@
+// Package cluster distributes submodel executions across worker nodes.
+//
+// The paper's parallelization strategy (§4.4) splits the model at early
+// decision points into independent submodels — an embarrassingly parallel
+// workload that a single machine bounds at its core count. This package
+// extends the same split across machines: a Coordinator implements the
+// transport-agnostic exec.Executor boundary, so the pipeline code that
+// runs submodels on a local goroutine pool runs them on a cluster without
+// change, and the report stays byte-identical (core.ComparableJSON) to a
+// single-node run of the same request.
+//
+// Topology and protocol:
+//
+//   - Workers are p4served processes in -worker mode serving a small
+//     HTTP/JSON RPC: POST /v1/execute runs one submodel, GET /v1/healthz
+//     reports liveness, GET /v1/metrics exposes worker counters.
+//   - The unit of work travels as a content-addressed submodel key plus a
+//     JobSpec (the rebuild-from-source recipe). The model IR has no wire
+//     form; workers rebuild the deterministic pipeline front half from
+//     source, memoize the split per job digest, and serve repeat keys from
+//     their own verdict-cache tier. A worker whose rebuilt keys don't
+//     contain the requested key refuses with ErrSkew (version mismatch
+//     between coordinator and worker binaries).
+//   - Keys route to nodes on a consistent-hash ring, so a submodel
+//     re-executed across runs (or re-requested after an edit under the
+//     incremental engine) lands on the node already holding its warm
+//     cache tier and rebuilt program.
+//   - Stragglers are re-dispatched: after StealAfter the coordinator
+//     launches a duplicate attempt on the next preference node (or
+//     locally) and takes whichever result lands first — safe because
+//     submodel execution is deterministic. Failures retry with backoff
+//     down the preference list; nodes failing repeatedly are evicted and
+//     revived by heartbeat; when every remote path fails the coordinator
+//     executes locally, so cluster mode can degrade but not wrong.
+package cluster
+
+import (
+	"p4assert/internal/exec"
+	"p4assert/internal/sym"
+)
+
+// ExecRequest is the wire form of one submodel execution.
+type ExecRequest struct {
+	// Key is the submodel's executable-content digest (exec.SubmodelKey).
+	// The worker validates it against the keys of its own rebuilt split.
+	Key string `json:"key"`
+	// Index/Total locate the submodel in the canonical split order.
+	Index int `json:"index"`
+	Total int `json:"total"`
+	// TimeoutMS, when positive, bounds the worker-side execution. It is
+	// the coordinator's remaining deadline, re-anchored on the worker's
+	// clock (wall-clock budgets are not part of the content key).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Job is the rebuild-from-source recipe.
+	Job *exec.JobSpec `json:"job"`
+}
+
+// Verdict is the deterministic part of a submodel's sym.Result — the same
+// payload the verdict cache stores (incr.EncodeResult), so remote and
+// cache-replayed results aggregate byte-identically.
+type Verdict struct {
+	Violations []*sym.Violation `json:"violations,omitempty"`
+	Metrics    sym.Metrics      `json:"metrics"`
+	// Exhausted marks a budget-cut run. Exhausted verdicts travel back to
+	// the coordinator (the report must record them) but are never cached.
+	Exhausted bool `json:"exhausted,omitempty"`
+}
+
+// Result converts the wire verdict back to the executor's result type.
+func (v *Verdict) Result() *sym.Result {
+	return &sym.Result{Violations: v.Violations, Metrics: v.Metrics, Exhausted: v.Exhausted}
+}
+
+// ExecResponse is the worker's reply to an ExecRequest.
+type ExecResponse struct {
+	Key string `json:"key"`
+	// Node is the worker's self-reported name.
+	Node string `json:"node"`
+	// CacheHit reports the verdict was served from the worker's cache
+	// tier without executing.
+	CacheHit bool `json:"cache_hit"`
+	// Submodels is the size of the worker's rebuilt split (diagnostic).
+	Submodels int     `json:"submodels"`
+	Verdict   Verdict `json:"verdict"`
+}
+
+// wireError is the JSON body of a non-200 worker reply.
+type wireError struct {
+	Error string `json:"error"`
+}
+
+// WorkerHealth is the worker's GET /v1/healthz body.
+type WorkerHealth struct {
+	Status string `json:"status"`
+	Node   string `json:"node"`
+	// Executed and CacheHits count submodel executions served.
+	Executed  int64 `json:"executed"`
+	CacheHits int64 `json:"cache_hits"`
+	// Programs is the number of rebuilt job splits currently memoized.
+	Programs int `json:"programs"`
+}
+
+// NodeStatus is one worker's coordinator-side view, reported on the
+// service's /v1/healthz and /v1/cluster.
+type NodeStatus struct {
+	Name  string `json:"name"`
+	Addr  string `json:"addr"`
+	Alive bool   `json:"alive"`
+	// InFlight is the number of dispatches currently on the wire.
+	InFlight int `json:"in_flight"`
+	// Dispatched counts completed dispatches (success or failure).
+	Dispatched int64 `json:"dispatched"`
+	// CacheHits counts dispatches the worker served from its cache tier.
+	CacheHits int64 `json:"cache_hits"`
+	// Steals counts straggler re-dispatches launched because this node
+	// held a request past the steal threshold.
+	Steals int64 `json:"steals"`
+	// Failures counts dispatch errors (cumulative, not consecutive).
+	Failures int64 `json:"failures"`
+}

@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p4assert/internal/core"
+	"p4assert/internal/exec"
+	"p4assert/internal/incr"
+	"p4assert/internal/model"
+	"p4assert/internal/sym"
+	"p4assert/internal/telemetry"
+	"p4assert/internal/vcache"
+)
+
+// ErrSkew reports a version-skewed cluster: the worker rebuilt the job's
+// submodels deterministically and the requested key is not among them, so
+// coordinator and worker disagree on pipeline semantics (or the request
+// was forged). The coordinator treats it as a permanent, non-retryable
+// failure for that node and falls back.
+var ErrSkew = errors.New("cluster: submodel key not in rebuilt split (version skew)")
+
+// defaultMaxPrograms bounds the worker's rebuilt-split memo. Splits are
+// whole translated models; a worker typically serves one or two jobs at a
+// time, so the memo stays small.
+const defaultMaxPrograms = 8
+
+// WorkerConfig configures a worker node.
+type WorkerConfig struct {
+	// Name is the node's self-reported name (metrics label, healthz).
+	Name string
+	// CacheEntries bounds the verdict-cache memory tier (0 = default).
+	CacheEntries int
+	// CacheDir, when non-empty, enables the cache's disk tier (placed
+	// under dir/submodels, the same layout as the service's tier).
+	CacheDir string
+	// MaxPrograms bounds the rebuilt-split memo (0 = default).
+	MaxPrograms int
+}
+
+// preparedJob is one job's rebuilt split, memoized by JobSpec digest.
+type preparedJob struct {
+	subs  []*model.Program
+	keys  []string
+	byKey map[string]int
+	opts  core.Options
+}
+
+// Worker executes single submodels on behalf of a coordinator. It
+// rebuilds each job's submodel split from source (memoized per job
+// digest), validates requested keys against the rebuilt ones, and serves
+// repeat keys from its own content-addressed verdict-cache tier.
+type Worker struct {
+	name  string
+	cache *vcache.Cache
+
+	mu       sync.Mutex
+	programs map[string]*preparedJob
+	order    []string // digest LRU, oldest first
+	maxProgs int
+
+	executed  atomic.Int64
+	cacheHits atomic.Int64
+
+	reg *telemetry.Registry
+}
+
+// NewWorker builds a worker node.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Name == "" {
+		cfg.Name = "worker"
+	}
+	cache, err := vcache.NewSubmodelTier(cfg.CacheEntries, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	maxProgs := cfg.MaxPrograms
+	if maxProgs <= 0 {
+		maxProgs = defaultMaxPrograms
+	}
+	return &Worker{
+		name:     cfg.Name,
+		cache:    cache,
+		programs: map[string]*preparedJob{},
+		maxProgs: maxProgs,
+		reg:      telemetry.NewRegistry(),
+	}, nil
+}
+
+// Name returns the worker's self-reported node name.
+func (w *Worker) Name() string { return w.name }
+
+// Cache exposes the worker's verdict-cache tier (tests pre-warm it).
+func (w *Worker) Cache() *vcache.Cache { return w.cache }
+
+// Execute runs one submodel request: cache hit, or rebuild + execute +
+// cache store. It is the transport-independent core of POST /v1/execute.
+func (w *Worker) Execute(ctx context.Context, req *ExecRequest) (*ExecResponse, error) {
+	if req.Key == "" || req.Job == nil {
+		return nil, fmt.Errorf("cluster: execute request needs a key and a job spec")
+	}
+	resp := &ExecResponse{Key: req.Key, Node: w.name}
+
+	if data, ok := w.cache.GetBytes(req.Key); ok {
+		if res, err := incr.DecodeResult(data); err == nil {
+			w.executed.Add(1)
+			w.cacheHits.Add(1)
+			w.counter("p4served_worker_execute_total", telemetry.L("result", "cache_hit")).Inc()
+			resp.CacheHit = true
+			resp.Verdict = Verdict{Violations: res.Violations, Metrics: res.Metrics}
+			return resp, nil
+		}
+		// Corrupt entry: fall through to a fresh execution (overwrites it).
+	}
+
+	job, err := w.prepare(ctx, req.Job)
+	if err != nil {
+		w.counter("p4served_worker_execute_total", telemetry.L("result", "build_error")).Inc()
+		return nil, err
+	}
+	resp.Submodels = len(job.subs)
+	idx, ok := job.byKey[req.Key]
+	if !ok {
+		w.counter("p4served_worker_execute_total", telemetry.L("result", "skew")).Inc()
+		return nil, ErrSkew
+	}
+
+	symOpts := sym.Options{
+		MaxCallDepth: job.opts.MaxCallDepth,
+		MaxPaths:     job.opts.MaxPaths,
+		Opt:          job.opts.Opt,
+		Ctx:          ctx,
+	}
+	if req.TimeoutMS > 0 {
+		symOpts.Deadline = time.Now().Add(time.Duration(req.TimeoutMS) * time.Millisecond)
+	}
+	res, err := sym.Execute(job.subs[idx], symOpts)
+	if err != nil {
+		w.counter("p4served_worker_execute_total", telemetry.L("result", "exec_error")).Inc()
+		return nil, err
+	}
+	w.executed.Add(1)
+	w.counter("p4served_worker_execute_total", telemetry.L("result", "executed")).Inc()
+	if !res.Exhausted {
+		if data, err := incr.EncodeResult(res); err == nil {
+			w.cache.PutBytes(req.Key, data)
+		}
+	}
+	resp.Verdict = Verdict{Violations: res.Violations, Metrics: res.Metrics, Exhausted: res.Exhausted}
+	return resp, nil
+}
+
+// prepare returns the memoized rebuilt split for the job, rebuilding on
+// first sight of its digest.
+func (w *Worker) prepare(ctx context.Context, spec *exec.JobSpec) (*preparedJob, error) {
+	digest := spec.Digest()
+	w.mu.Lock()
+	if job, ok := w.programs[digest]; ok {
+		w.mu.Unlock()
+		return job, nil
+	}
+	w.mu.Unlock()
+
+	// Rebuild outside the lock: splits of distinct jobs build in parallel,
+	// and a duplicate build of the same job is harmless (last one wins).
+	opts, err := core.SpecOptions(spec)
+	if err != nil {
+		return nil, err
+	}
+	subs, keys, err := core.PrepareSubmodels(ctx, spec.Filename, spec.Source, opts)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: rebuild job: %w", err)
+	}
+	job := &preparedJob{subs: subs, keys: keys, byKey: make(map[string]int, len(keys)), opts: opts}
+	for i, k := range keys {
+		job.byKey[k] = i
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if existing, ok := w.programs[digest]; ok {
+		return existing, nil
+	}
+	w.programs[digest] = job
+	w.order = append(w.order, digest)
+	for len(w.order) > w.maxProgs {
+		delete(w.programs, w.order[0])
+		w.order = w.order[1:]
+	}
+	return job, nil
+}
+
+// Health returns the worker's healthz body.
+func (w *Worker) Health() WorkerHealth {
+	w.mu.Lock()
+	programs := len(w.programs)
+	w.mu.Unlock()
+	return WorkerHealth{
+		Status:    "ok",
+		Node:      w.name,
+		Executed:  w.executed.Load(),
+		CacheHits: w.cacheHits.Load(),
+		Programs:  programs,
+	}
+}
+
+func (w *Worker) counter(name string, labels ...telemetry.Label) *telemetry.Counter {
+	return w.reg.Counter(name, "Submodel executions served by this worker, by result.", labels...)
+}
+
+// Handler returns the worker's RPC surface:
+//
+//	POST /v1/execute  — run one submodel (ExecRequest -> ExecResponse)
+//	GET  /v1/healthz  — liveness + serve counters
+//	GET  /v1/metrics  — Prometheus text exposition
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/execute", func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeWireError(rw, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req ExecRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeWireError(rw, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		resp, err := w.Execute(r.Context(), &req)
+		if err != nil {
+			status := http.StatusUnprocessableEntity
+			if errors.Is(err, ErrSkew) {
+				status = http.StatusConflict
+			}
+			writeWireError(rw, status, err.Error())
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(rw).Encode(resp)
+	})
+	mux.HandleFunc("/v1/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(rw).Encode(w.Health())
+	})
+	mux.HandleFunc("/v1/metrics", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.reg.WritePrometheus(rw)
+	})
+	return mux
+}
+
+func writeWireError(rw http.ResponseWriter, status int, msg string) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	json.NewEncoder(rw).Encode(wireError{Error: msg})
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"time"
 
+	"p4assert/internal/exec"
 	"p4assert/internal/model"
 	"p4assert/internal/opt"
 	"p4assert/internal/p4"
@@ -116,7 +117,98 @@ func VerifySourceCtx(ctx context.Context, filename, source string, opts Options)
 	if err != nil {
 		return nil, err
 	}
-	return verifyProgram(ctx, prog, opts, rep, true)
+	return verifyProgram(ctx, prog, opts, rep, true, exec.Local{}, nil)
+}
+
+// VerifySourceExec is VerifySourceCtx with the per-submodel executions
+// routed through ex (e.g. a cluster.Coordinator dispatching to remote
+// worker nodes). Requires Parallel > 0: only the submodel-split pipeline
+// has distributable units. The report is byte-identical (ComparableJSON)
+// to a local run of the same request.
+func VerifySourceExec(ctx context.Context, filename, source string, opts Options, ex exec.Executor) (*Report, error) {
+	if opts.Parallel <= 0 {
+		return nil, fmt.Errorf("core: executor-routed verification requires Parallel > 0")
+	}
+	rep := &Report{}
+	prog, err := parseChecked(ctx, filename, source, rep)
+	if err != nil {
+		return nil, err
+	}
+	return verifyProgram(ctx, prog, opts, rep, true, ex, JobSpec(filename, source, opts))
+}
+
+// JobSpec renders a verification request as the rebuild-from-source
+// recipe remote executors consume (internal/exec): source text, canonical
+// rules rendering, and the model-shaping option subset.
+func JobSpec(filename, source string, opts Options) *exec.JobSpec {
+	spec := &exec.JobSpec{
+		Filename:           filename,
+		Source:             source,
+		O3:                 opts.O3,
+		Opt:                opts.Opt,
+		Slice:              opts.Slice,
+		MaxCallDepth:       opts.MaxCallDepth,
+		MaxPaths:           opts.MaxPaths,
+		RegisterCellLimit:  opts.RegisterCellLimit,
+		AutoValidityChecks: opts.AutoValidityChecks,
+	}
+	if opts.Rules != nil {
+		spec.Rules = rules.Render(opts.Rules)
+	}
+	return spec
+}
+
+// SpecOptions is JobSpec's inverse: the core.Options a remote worker
+// rebuilds a job's submodels under. Parallel is irrelevant on the worker
+// (it executes single submodels) and stays zero.
+func SpecOptions(spec *exec.JobSpec) (Options, error) {
+	opts := Options{
+		O3:                 spec.O3,
+		Opt:                spec.Opt,
+		Slice:              spec.Slice,
+		MaxCallDepth:       spec.MaxCallDepth,
+		MaxPaths:           spec.MaxPaths,
+		RegisterCellLimit:  spec.RegisterCellLimit,
+		AutoValidityChecks: spec.AutoValidityChecks,
+	}
+	if spec.Rules != "" {
+		rs, err := rules.Parse(spec.Rules)
+		if err != nil {
+			return opts, fmt.Errorf("core: job spec rules: %w", err)
+		}
+		opts.Rules = rs
+	}
+	return opts, nil
+}
+
+// PrepareSubmodels rebuilds the submodel split a parallel pipeline run of
+// (filename, source, opts) executes, returning the submodels in canonical
+// split order with their executable-content keys. A remote worker
+// (internal/cluster) calls this to reconstruct the coordinator's work
+// units; the front end, translation, passes and split are deterministic,
+// so the rebuilt keys must match the coordinator's — a mismatch signals
+// version skew and the worker refuses the job.
+func PrepareSubmodels(ctx context.Context, filename, source string, opts Options) ([]*model.Program, []string, error) {
+	rep := &Report{}
+	prog, err := parseChecked(ctx, filename, source, rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := translateStage(ctx, prog, opts, rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	// applyPasses degrades to the unsliced model on a slicing failure,
+	// exactly as the pipeline does — the worker must mirror the pipeline,
+	// not ApplyModelPasses' hard-error contract.
+	m = applyPasses(ctx, m, opts, rep)
+	subs := submodel.Split(m)
+	symOpts := buildSymOpts(ctx, opts)
+	keys := make([]string, len(subs))
+	for i, sub := range subs {
+		keys[i] = exec.SubmodelKey(sub, symOpts)
+	}
+	return subs, keys, nil
 }
 
 // parseChecked runs the front end (parse + typecheck) under spans,
@@ -148,15 +240,15 @@ func VerifyProgram(prog *p4.Program, opts Options) (*Report, error) {
 
 // VerifyProgramCtx is VerifyProgram with early cancellation via ctx.
 func VerifyProgramCtx(ctx context.Context, prog *p4.Program, opts Options) (*Report, error) {
-	return verifyProgram(ctx, prog, opts, &Report{}, false)
+	return verifyProgram(ctx, prog, opts, &Report{}, false, exec.Local{}, nil)
 }
 
-func verifyProgram(ctx context.Context, prog *p4.Program, opts Options, rep *Report, fromSource bool) (*Report, error) {
+func verifyProgram(ctx context.Context, prog *p4.Program, opts Options, rep *Report, fromSource bool, ex exec.Executor, job *exec.JobSpec) (*Report, error) {
 	m, err := translateStage(ctx, prog, opts, rep)
 	if err != nil {
 		return nil, err
 	}
-	return verifyModel(ctx, m, opts, rep, fromSource)
+	return verifyModel(ctx, m, opts, rep, fromSource, ex, job)
 }
 
 // translateStage runs the translator under its span, recording the stage
@@ -181,12 +273,12 @@ func translateStage(ctx context.Context, prog *p4.Program, opts Options, rep *Re
 // VerifyModel runs the post-translation pipeline stages on a model
 // directly (used by benchmarks that pre-build models).
 func VerifyModel(m *model.Program, opts Options) (*Report, error) {
-	return verifyModel(context.Background(), m, opts, &Report{}, false)
+	return verifyModel(context.Background(), m, opts, &Report{}, false, exec.Local{}, nil)
 }
 
 // VerifyModelCtx is VerifyModel with early cancellation via ctx.
 func VerifyModelCtx(ctx context.Context, m *model.Program, opts Options) (*Report, error) {
-	return verifyModel(ctx, m, opts, &Report{}, false)
+	return verifyModel(ctx, m, opts, &Report{}, false, exec.Local{}, nil)
 }
 
 // BuildModel runs the front end and the translator on source, returning
@@ -272,7 +364,7 @@ func buildSymOpts(ctx context.Context, opts Options) sym.Options {
 	return symOpts
 }
 
-func verifyModel(ctx context.Context, m *model.Program, opts Options, rep *Report, fromSource bool) (*Report, error) {
+func verifyModel(ctx context.Context, m *model.Program, opts Options, rep *Report, fromSource bool, ex exec.Executor, job *exec.JobSpec) (*Report, error) {
 	rep.Asserts = m.Asserts
 
 	m = applyPasses(ctx, m, opts, rep)
@@ -284,7 +376,7 @@ func verifyModel(ctx context.Context, m *model.Program, opts Options, rep *Repor
 	ectx, execSp := telemetry.StartSpan(ctx, "execute")
 	if opts.Parallel > 0 {
 		symOpts.CollectTests = false // test generation is sequential-only
-		res, err := submodel.RunCtx(ectx, m, symOpts, opts.Parallel)
+		res, err := submodel.RunExec(ectx, m, symOpts, opts.Parallel, ex, job)
 		if err != nil {
 			execSp.End()
 			return nil, err

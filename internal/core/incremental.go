@@ -11,6 +11,7 @@ import (
 	"context"
 	"time"
 
+	"p4assert/internal/exec"
 	"p4assert/internal/incr"
 	"p4assert/internal/p4"
 	"p4assert/internal/submodel"
@@ -30,10 +31,10 @@ import (
 // run with Options.Parallel > 0. CollectTests is unsupported (as in every
 // parallel run) and is ignored. Both programs must already be checked.
 func VerifyIncremental(ctx context.Context, prev, next *p4.Program, opts Options, store incr.Store) (*Report, *incr.Manifest, error) {
-	return verifyIncremental(ctx, prev, next, opts, store, &Report{}, false)
+	return verifyIncremental(ctx, prev, next, opts, store, &Report{}, false, exec.Local{}, nil)
 }
 
-func verifyIncremental(ctx context.Context, prev, next *p4.Program, opts Options, store incr.Store, rep *Report, fromSource bool) (*Report, *incr.Manifest, error) {
+func verifyIncremental(ctx context.Context, prev, next *p4.Program, opts Options, store incr.Store, rep *Report, fromSource bool, ex exec.Executor, job *exec.JobSpec) (*Report, *incr.Manifest, error) {
 	m, err := translateStage(ctx, next, opts, rep)
 	if err != nil {
 		return nil, nil, err
@@ -58,7 +59,7 @@ func verifyIncremental(ctx context.Context, prev, next *p4.Program, opts Options
 
 	t0 := time.Now()
 	ectx, execSp := telemetry.StartSpan(ctx, "execute")
-	results, stats, err := plan.Run(ectx, store, opts.Parallel, delta.Touched())
+	results, stats, err := plan.RunExec(ectx, store, opts.Parallel, delta.Touched(), ex, job)
 	if err != nil {
 		execSp.End()
 		return nil, nil, err
@@ -108,5 +109,31 @@ func VerifyIncrementalSource(ctx context.Context, filename, prevSource, nextSour
 	if err != nil {
 		return nil, nil, err
 	}
-	return verifyIncremental(ctx, prev, next, opts, store, rep, true)
+	return verifyIncremental(ctx, prev, next, opts, store, rep, true, exec.Local{}, nil)
+}
+
+// VerifyIncrementalSourceExec is VerifyIncrementalSource with the
+// re-executed submodels (store misses) routed through ex. Store hits still
+// replay from this process's verdict tier; only the misses travel to the
+// executor, carrying the next version's job spec so remote workers can
+// rebuild the submodels from source. The report and manifest are
+// byte-identical to a local incremental run.
+func VerifyIncrementalSourceExec(ctx context.Context, filename, prevSource, nextSource string, opts Options, store incr.Store, ex exec.Executor) (*Report, *incr.Manifest, error) {
+	var prev *p4.Program
+	if prevSource != "" {
+		p, err := p4.Parse(filename, prevSource)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := p.Check(); err != nil {
+			return nil, nil, err
+		}
+		prev = p
+	}
+	rep := &Report{}
+	next, err := parseChecked(ctx, filename, nextSource, rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	return verifyIncremental(ctx, prev, next, opts, store, rep, true, ex, JobSpec(filename, nextSource, opts))
 }

@@ -1,0 +1,123 @@
+// Package exec defines the transport-agnostic submodel-execution boundary
+// of the verification pipeline: "execute one submodel, return its
+// verdict". The paper's static submodel split makes each submodel an
+// independent, embarrassingly-parallel unit of work, and everything above
+// this boundary — the cold parallel pipeline (internal/submodel via
+// internal/core), the incremental engine (internal/incr) and the service
+// (internal/service) — is agnostic to where that work runs. Two
+// implementations exist:
+//
+//   - Local (this package): sym.Execute in-process, the single-machine
+//     worker pool p4served has always had.
+//   - cluster.Coordinator (internal/cluster): dispatch over an HTTP/JSON
+//     RPC to remote worker nodes, routed by the submodel's
+//     content-addressed key so worker-side verdict caches shard
+//     consistently across the cluster.
+//
+// Because symbolic execution is deterministic and submodel verdicts are
+// content-addressed, the two are interchangeable: a report assembled from
+// remote verdicts is byte-identical (core.Report.ComparableJSON) to a
+// purely local run. internal/cluster's corpus equivalence test enforces
+// this end-to-end.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"p4assert/internal/model"
+	"p4assert/internal/sym"
+	"p4assert/internal/telemetry"
+)
+
+// Request describes one submodel execution. In-process executors run
+// Submodel directly; remote executors rebuild it from Job (the split is a
+// deterministic function of the job spec) and trust Key to detect skew.
+type Request struct {
+	// Submodel is the split submodel, in hand for in-process execution.
+	Submodel *model.Program
+	// Index is the submodel's position in canonical split order; Total is
+	// the split's submodel count. Remote executors use both to select the
+	// same submodel from their rebuilt split and to sanity-check it.
+	Index int
+	Total int
+	// Key is the submodel's executable-content digest (SubmodelKey): the
+	// memoization key of distributed verdict-cache tiers and the routing
+	// key of consistent-hash dispatch. Empty for purely local runs, which
+	// need neither.
+	Key string
+	// Opts configures the symbolic executor.
+	Opts sym.Options
+	// Job, when non-nil, is the rebuild-from-source recipe remote
+	// executors need; local executors ignore it.
+	Job *JobSpec
+}
+
+// Executor runs one submodel to its verdict. Implementations must be safe
+// for concurrent use: the fan-out pool issues many calls at once.
+type Executor interface {
+	ExecuteSubmodel(ctx context.Context, req *Request) (*sym.Result, error)
+}
+
+// Local is the in-process Executor: sym.Execute on the calling machine.
+type Local struct{}
+
+// ExecuteSubmodel implements Executor.
+func (Local) ExecuteSubmodel(_ context.Context, req *Request) (*sym.Result, error) {
+	return sym.Execute(req.Submodel, req.Opts)
+}
+
+// RunAll executes every request through ex on up to workers concurrent
+// slots, returning results in request order. Each execution runs under its
+// own "submodel[i]" telemetry lane annotated with the executor's work
+// counters — the display contract cold, incremental and clustered runs all
+// share. The first execution error aborts the batch.
+func RunAll(ctx context.Context, reqs []*Request, ex Executor, workers int) ([]*sym.Result, error) {
+	if workers <= 0 {
+		workers = 4
+	}
+	results := make([]*sym.Result, len(reqs))
+	errs := make([]error, len(reqs))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req *Request) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			// Cancellation travels inside req.Opts.Ctx; ctx carries telemetry.
+			lctx, sp := telemetry.StartLane(ctx, fmt.Sprintf("submodel[%d]", req.Index))
+			results[i], errs[i] = ex.ExecuteSubmodel(lctx, req)
+			if results[i] != nil {
+				AnnotateSpan(sp, results[i].Metrics)
+			}
+			sp.End()
+		}(i, req)
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// AnnotateSpan attaches a submodel execution's work counters to its span.
+// Every execution path — cold pool, incremental replay, remote dispatch —
+// uses it so trace timelines stay structurally comparable.
+func AnnotateSpan(sp *telemetry.Span, m sym.Metrics) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("paths", m.Paths)
+	sp.SetAttr("forks", m.Forks)
+	sp.SetAttr("instructions", m.Instructions)
+	sp.SetAttr("assert_checks", m.AssertChecks)
+	sp.SetAttr("max_frontier", m.MaxFrontier)
+	sp.SetAttr("solver_queries", m.Solver.Queries)
+}

@@ -1,0 +1,57 @@
+package exec
+
+// JobSpec is the rebuild-from-source recipe a remote executor needs to
+// reconstruct a submodel: the program text, the canonical rule
+// configuration, and every pipeline option that shapes the translated
+// model or its split. Parse, typecheck, translation, optimization,
+// slicing and the submodel split are all deterministic functions of these
+// fields, so a worker that rebuilds from an identical JobSpec derives an
+// identical submodel list — and proves it by recomputing each submodel's
+// content key (Request.Key) before executing.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// JobSpec describes how to rebuild a verification job's submodels from
+// source. The zero value is not meaningful; core builds one per run.
+type JobSpec struct {
+	// Filename appears in diagnostics and assertion locations, which are
+	// part of violation reports — so it does affect result bytes and is
+	// part of the digest.
+	Filename string `json:"filename,omitempty"`
+	// Source is the annotated P4_16 program text.
+	Source string `json:"source"`
+	// Rules is the canonical rules-text rendering of the forwarding-rule
+	// configuration ("" = none).
+	Rules string `json:"rules,omitempty"`
+	// Pipeline options mirroring core.Options (Parallel is absent: the
+	// split is explicit at this boundary, not a worker-pool width).
+	O3                 bool  `json:"o3,omitempty"`
+	Opt                bool  `json:"opt,omitempty"`
+	Slice              bool  `json:"slice,omitempty"`
+	MaxCallDepth       int   `json:"max_call_depth,omitempty"`
+	MaxPaths           int64 `json:"max_paths,omitempty"`
+	RegisterCellLimit  int   `json:"register_cell_limit,omitempty"`
+	AutoValidityChecks bool  `json:"auto_validity_checks,omitempty"`
+}
+
+// Digest content-addresses the spec: remote workers memoize the rebuilt
+// (and split) model under it, so a batch of submodel requests for one job
+// pays the front end once per worker, not once per submodel.
+func (j *JobSpec) Digest() string {
+	h := sha256.New()
+	io.WriteString(h, "p4assert-jobspec-v1\x00")
+	io.WriteString(h, j.Filename)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, j.Source)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, j.Rules)
+	io.WriteString(h, "\x00")
+	fmt.Fprintf(h, "o3=%t opt=%t slice=%t depth=%d paths=%d regcells=%d autovalid=%t",
+		j.O3, j.Opt, j.Slice, j.MaxCallDepth, j.MaxPaths, j.RegisterCellLimit, j.AutoValidityChecks)
+	return hex.EncodeToString(h.Sum(nil))
+}

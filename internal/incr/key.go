@@ -1,142 +1,25 @@
 package incr
 
-// Submodel content keys: the memoization key of a submodel covers exactly
-// the inputs that determine its execution result, so a key hit is a proof
-// that re-execution would reproduce the cached verdict.
-//
-//   - The full global store, in declaration order. Order matters: solver
-//     variable numbering follows it, and the satisfying model a SAT search
-//     lands on — the reported counterexample — can depend on numbering.
-//   - The entry chain and every function reachable from it (names and
-//     canonical body dumps). Unreachable functions are excluded — that is
-//     what makes the key precise enough for an edit in one table's action
-//     to leave sibling submodels' keys unchanged.
-//   - The assertion-table rows for every assertion checked in reachable
-//     code (ID, source text, report location, deferredness): violations
-//     embed them verbatim.
-//   - The executor options that shape exploration (call-depth bound, path
-//     budget, optimization level).
-//
-// Wall-clock options (deadline, cancellation context) are deliberately
-// excluded: they only matter when they cut a run short, and cut-short
-// (Exhausted) results are never cached.
+// Submodel content keys. The implementation lives in internal/exec — the
+// transport-agnostic execution boundary — because the keys are shared
+// infrastructure: this engine memoizes verdicts under them, and the
+// cluster (internal/cluster) routes submodels to worker nodes by them.
+// These wrappers keep the incremental engine's historical API surface.
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
-	"io"
-	"sort"
-
+	"p4assert/internal/exec"
 	"p4assert/internal/model"
 	"p4assert/internal/sym"
 )
 
-// keyVersion invalidates every cached verdict when the serialization or
-// executor semantics change incompatibly. v2: sym.Metrics gained
-// assert-check/frontier and bitblast counters; v1 verdicts would replay
-// them as zero and diverge from a cold run's report. v3: counterexample
-// input naming switched to per-hint numbering (hint#k), so v2 verdicts
-// carry stale path-global names.
-const keyVersion = "p4assert-subkey-v3"
-
 // SubmodelKey digests a submodel's executable content under the given
-// executor options.
+// executor options (see exec.SubmodelKey for the covered inputs).
 func SubmodelKey(sub *model.Program, opts sym.Options) string {
-	h := sha256.New()
-	io.WriteString(h, keyVersion+"\x00")
-
-	for _, g := range sub.Globals {
-		fmt.Fprintf(h, "g %s %d %t %d\x00", g.Name, g.Width, g.Symbolic, g.Init)
-	}
-	for _, e := range sub.Entry {
-		fmt.Fprintf(h, "e %s\x00", e)
-	}
-
-	reach := ReachableFuncs(sub)
-	names := make([]string, 0, len(reach))
-	for name := range reach {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		fmt.Fprintf(h, "f %s\x00%s\x00", name, model.DumpStmts(sub.Funcs[name].Body))
-	}
-
-	for _, id := range reachableAssertIDs(sub, reach) {
-		if id < 0 || id >= len(sub.Asserts) {
-			continue
-		}
-		a := sub.Asserts[id]
-		fmt.Fprintf(h, "a %d %q %q %t\x00", a.ID, a.Source, a.Location, a.Deferred)
-	}
-
-	depth := opts.MaxCallDepth
-	if depth == 0 {
-		depth = 8 // the executor's default; normalize so 0 and 8 alias
-	}
-	fmt.Fprintf(h, "o depth=%d paths=%d opt=%t\x00", depth, opts.MaxPaths, opts.Opt)
-	return hex.EncodeToString(h.Sum(nil))
+	return exec.SubmodelKey(sub, opts)
 }
 
 // ReachableFuncs returns the functions reachable from the program's entry
 // chain by walking Call statements (through If and Fork bodies).
 func ReachableFuncs(p *model.Program) map[string]*model.Func {
-	reach := map[string]*model.Func{}
-	var visit func(name string)
-	visit = func(name string) {
-		if _, done := reach[name]; done {
-			return
-		}
-		f, ok := p.Funcs[name]
-		if !ok {
-			return
-		}
-		reach[name] = f
-		walkModelStmts(f.Body, func(s model.Stmt) {
-			if c, isCall := s.(*model.Call); isCall {
-				visit(c.Func)
-			}
-		})
-	}
-	for _, e := range p.Entry {
-		visit(e)
-	}
-	return reach
-}
-
-// reachableAssertIDs collects the IDs of AssertCheck statements in the
-// reachable functions, sorted and deduplicated.
-func reachableAssertIDs(p *model.Program, reach map[string]*model.Func) []int {
-	seen := map[int]bool{}
-	for _, f := range reach {
-		walkModelStmts(f.Body, func(s model.Stmt) {
-			if a, ok := s.(*model.AssertCheck); ok {
-				seen[a.ID] = true
-			}
-		})
-	}
-	ids := make([]int, 0, len(seen))
-	for id := range seen {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	return ids
-}
-
-// walkModelStmts visits every statement in body, depth-first through If
-// and Fork nesting.
-func walkModelStmts(body []model.Stmt, visit func(model.Stmt)) {
-	for _, s := range body {
-		visit(s)
-		switch x := s.(type) {
-		case *model.If:
-			walkModelStmts(x.Then, visit)
-			walkModelStmts(x.Else, visit)
-		case *model.Fork:
-			for _, b := range x.Branches {
-				walkModelStmts(b, visit)
-			}
-		}
-	}
+	return exec.ReachableFuncs(p)
 }

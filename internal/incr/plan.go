@@ -10,8 +10,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
+	"p4assert/internal/exec"
 	"p4assert/internal/model"
 	"p4assert/internal/p4"
 	"p4assert/internal/submodel"
@@ -66,12 +66,18 @@ type RunStats struct {
 // used to annotate each re-executed submodel with the reachable units that
 // changed. A nil store disables memoization (every submodel executes).
 func (p *Plan) Run(ctx context.Context, store Store, workers int, touched map[string]bool) ([]*sym.Result, *RunStats, error) {
-	if workers <= 0 {
-		workers = 4
-	}
+	return p.RunExec(ctx, store, workers, touched, exec.Local{}, nil)
+}
+
+// RunExec is Run with the submodel executions routed through ex — the
+// transport-agnostic boundary that makes the local pool and a remote
+// cluster dispatch interchangeable. Store hits still replay locally
+// (the store is this process's verdict tier); only misses travel to the
+// executor. job, when non-nil, rides along on every request so remote
+// executors can rebuild the submodels from source.
+func (p *Plan) RunExec(ctx context.Context, store Store, workers int, touched map[string]bool, ex exec.Executor, job *exec.JobSpec) ([]*sym.Result, *RunStats, error) {
 	n := len(p.Submodels)
 	results := make([]*sym.Result, n)
-	errs := make([]error, n)
 	stats := &RunStats{Runs: make([]SubmodelRun, n)}
 
 	var missed []int
@@ -103,29 +109,24 @@ func (p *Plan) Run(ctx context.Context, store Store, workers int, touched map[st
 	}
 	stats.Executed = len(missed)
 
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for _, i := range missed {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			// Cancellation travels inside symOpts.Ctx; ctx carries telemetry.
-			_, sp := telemetry.StartLane(ctx, fmt.Sprintf("submodel[%d]", i))
-			results[i], errs[i] = sym.Execute(p.Submodels[i], p.symOpts)
-			if results[i] != nil {
-				submodel.AnnotateSpan(sp, results[i].Metrics)
-			}
-			sp.End()
-		}(i)
-	}
-	wg.Wait()
-
-	for _, i := range missed {
-		if errs[i] != nil {
-			return nil, nil, errs[i]
+	reqs := make([]*exec.Request, len(missed))
+	for j, i := range missed {
+		reqs[j] = &exec.Request{
+			Submodel: p.Submodels[i],
+			Index:    i,
+			Total:    n,
+			Key:      p.Keys[i],
+			Opts:     p.symOpts,
+			Job:      job,
 		}
+	}
+	out, err := exec.RunAll(ctx, reqs, ex, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	for j, i := range missed {
+		results[i] = out[j]
 		if store != nil && !results[i].Exhausted {
 			if data, err := EncodeResult(results[i]); err == nil {
 				store.PutBytes(p.Keys[i], data)
@@ -241,7 +242,7 @@ func (um *unitMapper) reachableUnits(sub *model.Program) []string {
 	for _, u := range um.always {
 		seen[u] = true
 	}
-	reach := ReachableFuncs(sub)
+	reach := exec.ReachableFuncs(sub)
 	for name := range reach {
 		if u, ok := um.funcUnit[name]; ok {
 			seen[u] = true
@@ -254,7 +255,7 @@ func (um *unitMapper) reachableUnits(sub *model.Program) []string {
 			}
 		}
 	}
-	for _, id := range reachableAssertIDs(sub, reach) {
+	for _, id := range exec.ReachableAssertIDs(sub, reach) {
 		if id < 0 || id >= len(sub.Asserts) {
 			continue
 		}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"p4assert/internal/cluster"
 	"p4assert/internal/core"
 	"p4assert/internal/equiv"
 	"p4assert/internal/rules"
@@ -238,6 +239,22 @@ type CacheStats struct {
 	Entries    int   `json:"entries"`
 	MaxEntries int   `json:"max_entries"`
 	DiskTier   bool  `json:"disk_tier"`
+}
+
+// ClusterResponse is the body of GET /v1/cluster: the coordinator's view
+// of the worker membership.
+type ClusterResponse struct {
+	Draining bool                 `json:"draining"`
+	Nodes    []cluster.NodeStatus `json:"nodes"`
+}
+
+// RegisterRequest is the body of POST /v1/cluster/register: a worker
+// joining (or re-joining) the cluster at runtime.
+type RegisterRequest struct {
+	// Name labels the node; empty derives it from Addr.
+	Name string `json:"name,omitempty"`
+	// Addr is the worker's base URL.
+	Addr string `json:"addr"`
 }
 
 // errorResponse is the body of every non-2xx API response.

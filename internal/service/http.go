@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+
+	"p4assert/internal/cluster"
 )
 
 // MaxRequestBytes bounds a POST /v1/jobs body (16 MiB — far beyond any
@@ -74,11 +76,54 @@ func Handler(m *Manager) http.Handler {
 		// The liveness body carries the queue bound and current depth so a
 		// load balancer can shed before hitting 429s on submission.
 		s := m.Stats()
-		writeJSON(w, http.StatusOK, map[string]any{
+		body := map[string]any{
 			"status":         "ok",
 			"queue_depth":    s.QueueDepth,
 			"queue_capacity": s.QueueCapacity,
 			"workers":        s.Workers,
+		}
+		if coord := m.Cluster(); coord != nil {
+			// Coordinator mode: surface the cluster membership so probes
+			// see dead workers without a separate scrape.
+			body["cluster"] = map[string]any{
+				"draining": coord.Draining(),
+				"nodes":    coord.Nodes(),
+			}
+		}
+		writeJSON(w, http.StatusOK, body)
+	})
+
+	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		coord := m.Cluster()
+		if coord == nil {
+			writeError(w, http.StatusNotFound, "no cluster coordinator attached")
+			return
+		}
+		writeJSON(w, http.StatusOK, ClusterResponse{
+			Draining: coord.Draining(),
+			Nodes:    coord.Nodes(),
+		})
+	})
+
+	mux.HandleFunc("POST /v1/cluster/register", func(w http.ResponseWriter, r *http.Request) {
+		coord := m.Cluster()
+		if coord == nil {
+			writeError(w, http.StatusNotFound, "no cluster coordinator attached")
+			return
+		}
+		var req RegisterRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+			return
+		}
+		if req.Addr == "" {
+			writeError(w, http.StatusBadRequest, "register needs addr")
+			return
+		}
+		coord.Register(cluster.NodeSpec{Name: req.Name, Addr: req.Addr})
+		writeJSON(w, http.StatusOK, ClusterResponse{
+			Draining: coord.Draining(),
+			Nodes:    coord.Nodes(),
 		})
 	})
 

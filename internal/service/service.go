@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"p4assert/internal/cluster"
 	"p4assert/internal/core"
 	"p4assert/internal/equiv"
 	"p4assert/internal/incr"
@@ -111,7 +112,20 @@ type Manager struct {
 
 	// reg is the Prometheus-exposed metric registry (service/metrics.go).
 	reg *telemetry.Registry
+
+	// coord, when non-nil, dispatches parallel verify jobs' submodels
+	// across the worker cluster (AttachCluster).
+	coord *cluster.Coordinator
 }
+
+// AttachCluster routes this manager's parallel verify jobs through the
+// coordinator. Call once, before serving traffic; construct the
+// coordinator with Config.Registry = Manager.Registry() so the
+// p4served_cluster_* metrics land on this manager's /v1/metrics.
+func (m *Manager) AttachCluster(coord *cluster.Coordinator) { m.coord = coord }
+
+// Cluster returns the attached coordinator, or nil.
+func (m *Manager) Cluster() *cluster.Coordinator { return m.coord }
 
 // New starts a manager and its worker pool.
 func New(cfg Config) *Manager {
@@ -405,9 +419,22 @@ func (m *Manager) runJob(j *job) {
 	// so a later edit (base_job) — or any job sharing submodel content —
 	// replays them instead of re-exploring. The report is byte-identical
 	// (modulo wall-clock fields) to a cold parallel run.
+	// When a cluster coordinator is attached, parallel jobs' submodel
+	// executions dispatch through it instead of the local pool; the
+	// report bytes are identical either way (the executor boundary only
+	// moves where a submodel runs, never what it computes).
 	var rep *core.Report
 	var err error
-	if m.cfg.SubCache != nil && j.opts.Parallel > 0 {
+	switch {
+	case m.cfg.SubCache != nil && j.opts.Parallel > 0 && m.coord != nil:
+		var man *incr.Manifest
+		rep, man, err = core.VerifyIncrementalSourceExec(ctx, j.req.Filename, j.baseSource, j.req.Source, j.opts, m.cfg.SubCache, m.coord)
+		if man != nil {
+			m.mu.Lock()
+			j.subReused, j.subExecuted = man.Reused, man.Executed
+			m.mu.Unlock()
+		}
+	case m.cfg.SubCache != nil && j.opts.Parallel > 0:
 		var man *incr.Manifest
 		rep, man, err = core.VerifyIncrementalSource(ctx, j.req.Filename, j.baseSource, j.req.Source, j.opts, m.cfg.SubCache)
 		if man != nil {
@@ -415,7 +442,9 @@ func (m *Manager) runJob(j *job) {
 			j.subReused, j.subExecuted = man.Reused, man.Executed
 			m.mu.Unlock()
 		}
-	} else {
+	case j.opts.Parallel > 0 && m.coord != nil:
+		rep, err = core.VerifySourceExec(ctx, j.req.Filename, j.req.Source, j.opts, m.coord)
+	default:
 		rep, err = core.VerifySourceCtx(ctx, j.req.Filename, j.req.Source, j.opts)
 	}
 	if err != nil {

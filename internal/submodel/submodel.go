@@ -9,8 +9,8 @@ package submodel
 import (
 	"context"
 	"fmt"
-	"sync"
 
+	"p4assert/internal/exec"
 	"p4assert/internal/model"
 	"p4assert/internal/sym"
 	"p4assert/internal/telemetry"
@@ -177,57 +177,49 @@ func Run(p *model.Program, opts sym.Options, workers int) (*Result, error) {
 // annotated with the executor's work counters. Cancellation still
 // travels in opts.Ctx, not ctx.
 func RunCtx(ctx context.Context, p *model.Program, opts sym.Options, workers int) (*Result, error) {
-	if workers <= 0 {
-		workers = 4
-	}
+	return RunExec(ctx, p, opts, workers, exec.Local{}, nil)
+}
+
+// RunExec is RunCtx with the per-submodel executions routed through ex —
+// the transport-agnostic boundary (internal/exec) behind which the local
+// pool and the cluster coordinator (internal/cluster) are
+// interchangeable. When ex is non-local, each request carries the
+// submodel's executable-content key (for cache-tier routing) and job (the
+// rebuild-from-source recipe); the purely local path skips key hashing,
+// which it never needs.
+func RunExec(ctx context.Context, p *model.Program, opts sym.Options, workers int, ex exec.Executor, job *exec.JobSpec) (*Result, error) {
 	_, splitSp := telemetry.StartSpan(ctx, "split")
 	subs := Split(p)
 	splitSp.SetAttr("submodels", int64(len(subs)))
 	splitSp.End()
 
-	results := make([]*sym.Result, len(subs))
-	errs := make([]error, len(subs))
-
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
+	_, local := ex.(exec.Local)
+	reqs := make([]*exec.Request, len(subs))
 	for i, sub := range subs {
-		wg.Add(1)
-		go func(i int, sub *model.Program) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			_, sp := telemetry.StartLane(ctx, fmt.Sprintf("submodel[%d]", i))
-			results[i], errs[i] = sym.Execute(sub, opts)
-			if results[i] != nil {
-				AnnotateSpan(sp, results[i].Metrics)
-			}
-			sp.End()
-		}(i, sub)
-	}
-	wg.Wait()
-
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		reqs[i] = &exec.Request{
+			Submodel: sub,
+			Index:    i,
+			Total:    len(subs),
+			Opts:     opts,
+			Job:      job,
 		}
+		if !local {
+			reqs[i].Key = exec.SubmodelKey(sub, opts)
+		}
+	}
+	results, err := exec.RunAll(ctx, reqs, ex, workers)
+	if err != nil {
+		return nil, err
 	}
 	return Aggregate(subs, results), nil
 }
 
 // AnnotateSpan attaches a submodel execution's work counters to its
 // span. Shared with the incremental engine, whose re-executed submodels
-// must carry the same attributes as cold ones.
-func AnnotateSpan(sp *telemetry.Span, m sym.Metrics) {
-	if sp == nil {
-		return
-	}
-	sp.SetAttr("paths", m.Paths)
-	sp.SetAttr("forks", m.Forks)
-	sp.SetAttr("instructions", m.Instructions)
-	sp.SetAttr("assert_checks", m.AssertChecks)
-	sp.SetAttr("max_frontier", m.MaxFrontier)
-	sp.SetAttr("solver_queries", m.Solver.Queries)
-}
+// must carry the same attributes as cold ones. (The implementation lives
+// at the execution boundary, internal/exec, which annotates remote
+// dispatches identically.)
+func AnnotateSpan(sp *telemetry.Span, m sym.Metrics) { exec.AnnotateSpan(sp, m) }
 
 // Aggregate merges per-submodel results into one Result, in submodel
 // order: violation union (first submodel finding an assertion claims its

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the distributed verification cluster
+# (docs/cluster.md): build p4served and p4verify, start two -worker
+# nodes and a coordinator pointed at them, verify the fabric corpus
+# program with submodel parallelism through the cluster, and assert
+# that the submodels were actually dispatched remotely — the
+# p4served_cluster_* metric families, the healthz node list, and the
+# workers' own execution counters. Used by CI (cluster-smoke job);
+# runnable locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:9756
+W0=127.0.0.1:9757
+W1=127.0.0.1:9758
+BASE=http://$ADDR
+WORK=$(mktemp -d)
+PIDS=()
+trap 'kill "${PIDS[@]}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "== build"
+go build -o "$WORK/p4served" ./cmd/p4served
+go build -o "$WORK/p4verify" ./cmd/p4verify
+go build -o "$WORK/p4gen" ./cmd/p4gen
+
+echo "== materialize the fabric program"
+"$WORK/p4gen" -corpus fabric -o "$WORK/fabric.p4"
+
+wait_healthy() {
+    for _ in $(seq 50); do
+        curl -sf "$1/v1/healthz" >/dev/null 2>&1 && return 0
+        sleep 0.2
+    done
+    echo "FAIL: $1 did not become healthy" >&2
+    exit 1
+}
+
+echo "== start two workers and the coordinator"
+"$WORK/p4served" -worker -addr "$W0" -node-name w0 &
+PIDS+=($!)
+"$WORK/p4served" -worker -addr "$W1" -node-name w1 &
+PIDS+=($!)
+wait_healthy "http://$W0"
+wait_healthy "http://$W1"
+"$WORK/p4served" -addr "$ADDR" -workers 2 \
+    -cluster-node "w0=http://$W0" -cluster-node "w1=http://$W1" &
+PIDS+=($!)
+wait_healthy "$BASE"
+
+echo "== healthz lists both nodes alive"
+curl -sf "$BASE/v1/healthz" >"$WORK/healthz.json"
+for node in w0 w1; do
+    grep -q "\"name\":\"$node\"" "$WORK/healthz.json" || {
+        echo "FAIL: node $node missing from healthz cluster list"; exit 1; }
+done
+alive=$(grep -o '"alive":true' "$WORK/healthz.json" | wc -l)
+[ "$alive" -eq 2 ] || { echo "FAIL: $alive/2 nodes alive in healthz"; exit 1; }
+
+echo "== verify fabric through the cluster (parallel submodels)"
+"$WORK/p4verify" -remote "$BASE" -parallel 4 "$WORK/fabric.p4" >"$WORK/verdict.txt" && exit_ok=0 || exit_ok=$?
+[ "$exit_ok" -le 1 ] || { echo "FAIL: p4verify exit $exit_ok (front-end/transport error)"; cat "$WORK/verdict.txt"; exit 1; }
+
+echo "== coordinator metrics: submodels dispatched to workers"
+curl -sf "$BASE/v1/metrics" >"$WORK/metrics.txt"
+for fam in p4served_cluster_nodes p4served_cluster_nodes_alive \
+           p4served_cluster_dispatch_total p4served_cluster_rpc_seconds; do
+    grep -q "^# TYPE $fam " "$WORK/metrics.txt" || {
+        echo "FAIL: metric family $fam missing from /v1/metrics"; exit 1; }
+done
+grep -q 'p4served_cluster_nodes_alive 2' "$WORK/metrics.txt" || {
+    echo "FAIL: p4served_cluster_nodes_alive != 2"; exit 1; }
+dispatched=$(grep -o 'p4served_cluster_dispatch_total{[^}]*} [0-9]*' "$WORK/metrics.txt" \
+    | awk '{s+=$NF} END {print s+0}')
+[ "$dispatched" -gt 0 ] || { echo "FAIL: no successful remote dispatches recorded"; exit 1; }
+echo "   dispatched=$dispatched submodels remotely"
+
+echo "== /v1/cluster reflects the per-node dispatch counters"
+curl -sf "$BASE/v1/cluster" >"$WORK/cluster.json"
+grep -q '"draining":false' "$WORK/cluster.json" || { echo "FAIL: coordinator draining"; exit 1; }
+node_dispatched=$(grep -o '"dispatched":[0-9]*' "$WORK/cluster.json" \
+    | cut -d: -f2 | awk '{s+=$1} END {print s+0}')
+[ "$node_dispatched" -gt 0 ] || { echo "FAIL: /v1/cluster shows zero dispatches"; exit 1; }
+
+echo "== workers executed submodels themselves"
+executed=0
+for w in "http://$W0" "http://$W1"; do
+    n=$(curl -sf "$w/v1/healthz" | grep -o '"executed":[0-9]*' | cut -d: -f2)
+    executed=$((executed + n))
+done
+[ "$executed" -gt 0 ] || { echo "FAIL: workers executed no submodels"; exit 1; }
+echo "   workers executed $executed submodels"
+
+echo "PASS: cluster smoke"
