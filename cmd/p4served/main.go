@@ -26,6 +26,12 @@
 // SIGINT/SIGTERM drain gracefully: queued jobs finish, then the process
 // exits; a second signal (or -drain-timeout) forces cancellation.
 //
+// -store-dir makes the job ledger durable: every job transition and
+// finished report is appended to a checksummed write-ahead log, so a
+// crashed (even SIGKILLed) daemon restarts with its history intact and
+// automatically resubmits the jobs that were queued or running. See
+// docs/service.md, "Durability and overload".
+//
 // Cluster mode (see docs/cluster.md): -worker serves the worker RPC
 // (POST /v1/execute, GET /v1/healthz, GET /v1/metrics) instead of the job
 // API; -cluster-node (repeatable, "name=url") attaches a coordinator that
@@ -48,7 +54,9 @@ import (
 	"time"
 
 	"p4assert/internal/cluster"
+	"p4assert/internal/failpoint"
 	"p4assert/internal/service"
+	"p4assert/internal/store"
 	"p4assert/internal/vcache"
 )
 
@@ -74,6 +82,10 @@ func main() {
 		retainJobs   = flag.Int("retain-jobs", 4096, "finished jobs kept queryable")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for queued jobs on shutdown before cancelling them")
 		logJSON      = flag.Bool("log-json", false, "emit logs as JSON (default: logfmt-style text)")
+
+		storeDir    = flag.String("store-dir", "", "directory for the durable job store (WAL + snapshots); jobs and reports survive crashes (empty = in-memory only)")
+		storeRetain = flag.Duration("store-retain", 24*time.Hour, "how long finished jobs stay in the durable store (0 = keep until -retain-jobs evicts)")
+		overloadDL  = flag.Duration("overload-deadline", service.DefaultOverloadDeadline, "estimated-wait threshold past which bulk submissions are shed with 429 (<0 disables the detector)")
 
 		workerMode = flag.Bool("worker", false, "serve the cluster worker RPC instead of the job API (docs/cluster.md)")
 		nodeName   = flag.String("node-name", "", "this node's name in cluster metrics and healthz (default: derived)")
@@ -124,14 +136,36 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	var jobStore *store.Store
+	if *storeDir != "" {
+		var err error
+		jobStore, err = store.Open(*storeDir, store.Options{
+			Retain:      *storeRetain,
+			MaxFinished: *retainJobs,
+		})
+		if err != nil {
+			logger.Error("job store open failed", "dir", *storeDir, "err", err)
+			os.Exit(1)
+		}
+	}
 	mgr := service.New(service.Config{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		Cache:      cache,
-		SubCache:   subCache,
-		JobTimeout: *jobTimeout,
-		RetainJobs: *retainJobs,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		Cache:            cache,
+		SubCache:         subCache,
+		JobTimeout:       *jobTimeout,
+		RetainJobs:       *retainJobs,
+		Store:            jobStore,
+		OverloadDeadline: *overloadDL,
 	})
+	if jobStore != nil {
+		logger.Info("job store open", "dir", *storeDir,
+			"jobs", jobStore.Stats().Jobs, "resubmitted", mgr.Recovered())
+	}
+	if failpoint.Enabled() {
+		logger.Warn("fault-injection failpoints are armed — never do this in production",
+			"spec", os.Getenv(failpoint.EnvVar))
+	}
 
 	var coord *cluster.Coordinator
 	if len(clusterNodes) > 0 {
@@ -196,6 +230,13 @@ func main() {
 	}
 	if err := mgr.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) {
 		logger.Warn("forced drain", "err", err)
+	}
+	if jobStore != nil {
+		// After Shutdown: the final job states are persisted first, then the
+		// store flushes and closes its WAL.
+		if err := jobStore.Close(); err != nil {
+			logger.Warn("job store close", "err", err)
+		}
 	}
 	cancel()
 	logger.Info("stopped")

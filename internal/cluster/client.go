@@ -9,6 +9,21 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"p4assert/internal/failpoint"
+)
+
+// Failpoint sites on the coordinator→worker RPC path (see
+// internal/failpoint): they exercise the retry, work-stealing and
+// local-fallback machinery without a flaky network.
+const (
+	// FailpointRPCDrop ("error") fails the call as a dropped connection.
+	FailpointRPCDrop = "cluster/rpc/drop"
+	// FailpointRPCDelay ("delay(d)") stalls the call, honoring ctx.
+	FailpointRPCDelay = "cluster/rpc/delay"
+	// FailpointRPCStatus ("http(code)") fails the call as if the worker
+	// answered that status; http(409) surfaces as ErrSkew.
+	FailpointRPCStatus = "cluster/rpc/status"
 )
 
 // Client is the coordinator's HTTP handle on one worker node.
@@ -33,6 +48,20 @@ func (c *Client) Base() string { return c.base }
 
 // Execute runs one submodel on the worker.
 func (c *Client) Execute(ctx context.Context, req *ExecRequest) (*ExecResponse, error) {
+	if a := failpoint.Hit(FailpointRPCDelay); a != nil {
+		if err := a.Sleep(ctx.Done()); err != nil {
+			return nil, fmt.Errorf("cluster: %s: %w", c.base, ctx.Err())
+		}
+	}
+	if a := failpoint.Hit(FailpointRPCDrop); a != nil && a.Kind == "error" {
+		return nil, fmt.Errorf("cluster: %s: %w", c.base, a.Err)
+	}
+	if a := failpoint.Hit(FailpointRPCStatus); a != nil && a.Kind == "http" {
+		if a.Status == http.StatusConflict {
+			return nil, fmt.Errorf("%w: %s: injected", ErrSkew, c.base)
+		}
+		return nil, fmt.Errorf("cluster: %s: %w", c.base, a.Err)
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: encode request: %w", err)

@@ -20,6 +20,7 @@ import (
 
 	"p4assert/internal/core"
 	"p4assert/internal/exec"
+	"p4assert/internal/failpoint"
 	"p4assert/internal/incr"
 	"p4assert/internal/progs"
 	"p4assert/internal/rules"
@@ -459,6 +460,131 @@ func TestDrainRejectsNewFinishesInFlight(t *testing.T) {
 	case <-drained:
 	case <-time.After(5 * time.Second):
 		t.Fatal("Drain did not return after the in-flight dispatch completed")
+	}
+}
+
+// TestFailpointRPCDrop: the injected equivalent of killingHandler — the
+// cluster/rpc/drop site fails every other RPC at the client, and the
+// coordinator's retry/fallback machinery still produces a byte-identical
+// report.
+func TestFailpointRPCDrop(t *testing.T) {
+	defer failpoint.Reset()
+	ctx := context.Background()
+	p, err := progs.Get("vss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := p.Name + ".p4"
+	opts := progOpts(t, p)
+	local, err := core.VerifySourceCtx(ctx, file, p.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specs := startWorkers(t, 3)
+	coord := NewCoordinator(Config{
+		Nodes:        specs,
+		StealAfter:   -1,
+		RetryBackoff: time.Millisecond,
+		MaxFailures:  100, // keep nodes in rotation; this test is about retries
+	})
+	defer coord.Close()
+
+	if err := failpoint.Arm(FailpointRPCDrop, "every(2):error(dropped)"); err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := core.VerifySourceExec(ctx, file, p.Source, opts, coord)
+	failpoint.Disarm(FailpointRPCDrop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSameReport(t, "under rpc drops", local, clustered)
+	failures := int64(0)
+	for _, n := range coord.Nodes() {
+		failures += n.Failures
+	}
+	if failures == 0 {
+		t.Fatal("no dispatch failure recorded; the drop site never fired")
+	}
+}
+
+// TestFailpointRPCStatus: injected 5xx answers are dispatch failures the
+// coordinator retries past; an injected 409 surfaces as ErrSkew at the
+// client, matching decodeWireError.
+func TestFailpointRPCStatus(t *testing.T) {
+	defer failpoint.Reset()
+	p, err := progs.Get("vss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, _ := buildRequests(t, p)
+	specs := startWorkers(t, 2)
+
+	coord := NewCoordinator(Config{Nodes: specs, StealAfter: -1, RetryBackoff: -1, MaxFailures: 100})
+	defer coord.Close()
+	if err := failpoint.Arm(FailpointRPCStatus, "times(1):http(503)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.ExecuteSubmodel(context.Background(), reqs[0])
+	if err != nil {
+		t.Fatalf("dispatch through injected 503: %v", err)
+	}
+	if res.Metrics.Instructions == 0 {
+		t.Fatal("result empty after retry past 503")
+	}
+	failures := int64(0)
+	for _, n := range coord.Nodes() {
+		failures += n.Failures
+	}
+	if failures == 0 {
+		t.Fatal("no failure recorded; the status site never fired")
+	}
+
+	if err := failpoint.Arm(FailpointRPCStatus, "http(409)"); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(specs[0].Addr, nil)
+	_, err = client.Execute(context.Background(), &ExecRequest{Key: reqs[0].Key, Job: reqs[0].Job})
+	if !errors.Is(err, ErrSkew) {
+		t.Fatalf("injected 409 = %v, want ErrSkew", err)
+	}
+}
+
+// TestFailpointRPCDelay: a delayed RPC honors context cancellation — the
+// call returns promptly with the context's error instead of sleeping out
+// the injected latency.
+func TestFailpointRPCDelay(t *testing.T) {
+	defer failpoint.Reset()
+	p, err := progs.Get("vss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, _ := buildRequests(t, p)
+	specs := startWorkers(t, 1)
+	client := NewClient(specs[0].Addr, nil)
+
+	if err := failpoint.Arm(FailpointRPCDelay, "delay(30s)"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = client.Execute(ctx, &ExecRequest{Key: reqs[0].Key, Job: reqs[0].Job})
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("delayed RPC = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("injected delay ignored context cancellation")
+	}
+	failpoint.Disarm(FailpointRPCDelay)
+
+	// Disarmed, the same call completes normally.
+	res, err := client.Execute(context.Background(), &ExecRequest{Key: reqs[0].Key, Index: 0, Total: reqs[0].Total, Job: reqs[0].Job})
+	if err != nil {
+		t.Fatalf("disarmed execute: %v", err)
+	}
+	if res.Key != reqs[0].Key {
+		t.Fatalf("response key mismatch: %q", res.Key)
 	}
 }
 

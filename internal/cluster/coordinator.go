@@ -107,6 +107,11 @@ type Coordinator struct {
 	nodes map[string]*node
 	ring  *ring
 
+	// drainMu orders dispatch admission against Drain: an inflight.Add
+	// under the read lock either happens before Drain's Wait or observes
+	// draining=true — a WaitGroup Add from zero racing with Wait is
+	// otherwise undefined (and a dispatch could slip past the drain).
+	drainMu  sync.RWMutex
 	draining atomic.Bool
 	inflight sync.WaitGroup
 
@@ -193,7 +198,9 @@ func (c *Coordinator) Register(spec NodeSpec) {
 // Drain stops accepting new submodel dispatches (they fail ErrDraining)
 // and blocks until every in-flight dispatch completes.
 func (c *Coordinator) Drain() {
+	c.drainMu.Lock()
 	c.draining.Store(true)
+	c.drainMu.Unlock()
 	c.inflight.Wait()
 }
 
@@ -315,10 +322,13 @@ type outcome struct {
 // the path of last resort. Whatever route the result takes, it is the
 // deterministic verdict of the submodel — byte-identical to a local run.
 func (c *Coordinator) ExecuteSubmodel(ctx context.Context, req *exec.Request) (*sym.Result, error) {
+	c.drainMu.RLock()
 	if c.draining.Load() {
+		c.drainMu.RUnlock()
 		return nil, ErrDraining
 	}
 	c.inflight.Add(1)
+	c.drainMu.RUnlock()
 	defer c.inflight.Done()
 
 	prefs := c.alivePrefs(req.Key)

@@ -1,0 +1,323 @@
+// Package failpoint is a build-tag-free fault-injection registry. A
+// failpoint is a named site in production code (a WAL write, a cache
+// disk read, a cluster RPC) that normally costs one atomic load; when a
+// site is armed — programmatically from a test, from the
+// P4ASSERT_FAILPOINTS environment variable, or over HTTP
+// (POST /v1/failpoints on p4served, see HTTPHandler) — Hit returns the
+// injected Action and the caller misbehaves in the requested way.
+//
+// Sites are threaded through the durability-critical paths: store WAL
+// writes (short write, fsync error, corrupt record), vcache disk I/O
+// (read error, bit flip, torn write) and cluster RPC (drop, delay, 5xx).
+// The crash/fault tests arm them to prove recovery; production binaries
+// pay only the disarmed fast path.
+//
+// Spec grammar (one spec per site):
+//
+//	[modifier:...]kind[(arg)]
+//
+// Kinds:
+//
+//	error[(msg)]   fail the operation with an injected error
+//	short[(n)]     perform only the first n bytes of a write (default half)
+//	corrupt        flip a byte of the payload in flight
+//	delay(dur)     sleep for a Go duration before proceeding
+//	http(status)   fail as if the peer answered this HTTP status
+//	off            disarm
+//
+// Modifiers gate when the action fires, counting evaluations of the site:
+//
+//	after(n)       skip the first n hits
+//	times(n)       fire at most n times, then stay silent
+//	every(n)       fire on every n-th eligible hit
+//
+// Examples: "error", "times(1):short(7)", "after(2):every(3):http(503)",
+// "delay(150ms)". The environment form is a comma-separated list of
+// site=spec pairs:
+//
+//	P4ASSERT_FAILPOINTS='store/wal/fsync=times(1):error,cluster/rpc/drop=every(2):error'
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar arms sites at process start; EnvHTTP additionally exposes the
+// HTTP arming endpoint even when no site is pre-armed.
+const (
+	EnvVar  = "P4ASSERT_FAILPOINTS"
+	EnvHTTP = "P4ASSERT_FAILPOINTS_HTTP"
+)
+
+// Action is what an armed site injects.
+type Action struct {
+	// Kind is one of "error", "short", "corrupt", "delay", "http".
+	Kind string
+	// N is the byte count of a short write (0 = caller's choice, half by
+	// convention).
+	N int64
+	// Delay is the sleep of a delay action.
+	Delay time.Duration
+	// Status is the injected HTTP status of an http action (default 503).
+	Status int
+	// Err is a ready-made error for error/short/http kinds.
+	Err error
+}
+
+// site is one armed failpoint.
+type site struct {
+	spec  string
+	act   Action
+	after int64
+	times int64
+	every int64
+	hits  int64 // evaluations since arming
+	fired int64 // actions actually injected
+}
+
+var (
+	mu    sync.Mutex
+	sites = map[string]*site{}
+	// armedCount keeps the disarmed fast path to one atomic load.
+	armedCount atomic.Int32
+)
+
+func init() {
+	// Arming errors at init cannot be returned; surface them loudly
+	// instead of silently running without the requested faults.
+	if spec := os.Getenv(EnvVar); spec != "" {
+		if err := ArmFromSpec(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "failpoint: %s: %v\n", EnvVar, err)
+		}
+	}
+}
+
+// Hit evaluates a site. It returns nil when the site is disarmed or its
+// modifiers gate this evaluation, and the Action to inject otherwise.
+func Hit(name string) *Action {
+	if armedCount.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	s := sites[name]
+	if s == nil {
+		return nil
+	}
+	s.hits++
+	n := s.hits
+	if n <= s.after {
+		return nil
+	}
+	if s.every > 1 && (n-s.after-1)%s.every != 0 {
+		return nil
+	}
+	if s.times > 0 && s.fired >= s.times {
+		return nil
+	}
+	s.fired++
+	a := s.act
+	return &a
+}
+
+// Sleep performs a delay action, returning early with ctx's error if the
+// context ends first. ctx may be nil for an unconditional sleep.
+func (a *Action) Sleep(done <-chan struct{}) error {
+	if a == nil || a.Kind != "delay" || a.Delay <= 0 {
+		return nil
+	}
+	t := time.NewTimer(a.Delay)
+	defer t.Stop()
+	if done == nil {
+		<-t.C
+		return nil
+	}
+	select {
+	case <-t.C:
+		return nil
+	case <-done:
+		return errors.New("failpoint: delay interrupted")
+	}
+}
+
+// Arm installs (or replaces) a site's spec. An empty or "off" spec
+// disarms it.
+func Arm(name, spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" {
+		Disarm(name)
+		return nil
+	}
+	s, err := parseSpec(name, spec)
+	if err != nil {
+		return err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, exists := sites[name]; !exists {
+		armedCount.Add(1)
+	}
+	sites[name] = s
+	return nil
+}
+
+// Disarm removes a site.
+func Disarm(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, exists := sites[name]; exists {
+		delete(sites, name)
+		armedCount.Add(-1)
+	}
+}
+
+// Reset disarms every site. Tests that arm failpoints must defer it.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armedCount.Add(int32(-len(sites)))
+	sites = map[string]*site{}
+}
+
+// ArmFromSpec arms a comma-separated list of site=spec pairs (the
+// P4ASSERT_FAILPOINTS format).
+func ArmFromSpec(list string) error {
+	for _, pair := range strings.Split(list, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		i := strings.Index(pair, "=")
+		if i <= 0 {
+			return fmt.Errorf("failpoint: malformed pair %q (want site=spec)", pair)
+		}
+		if err := Arm(pair[:i], pair[i+1:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether any site is currently armed.
+func Enabled() bool { return armedCount.Load() > 0 }
+
+// HTTPEnabled reports whether the HTTP arming endpoint should be
+// mounted: either sites were pre-armed via P4ASSERT_FAILPOINTS or
+// P4ASSERT_FAILPOINTS_HTTP=1 requests the endpoint alone. Never mount it
+// on an internet-facing listener.
+func HTTPEnabled() bool {
+	return os.Getenv(EnvVar) != "" || os.Getenv(EnvHTTP) == "1"
+}
+
+// SiteStatus is one armed site's state, for listings.
+type SiteStatus struct {
+	Site  string `json:"site"`
+	Spec  string `json:"spec"`
+	Hits  int64  `json:"hits"`
+	Fired int64  `json:"fired"`
+}
+
+// List snapshots every armed site, sorted by name.
+func List() []SiteStatus {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]SiteStatus, 0, len(sites))
+	for name, s := range sites {
+		out = append(out, SiteStatus{Site: name, Spec: s.spec, Hits: s.hits, Fired: s.fired})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// parseSpec parses "[mod:...]kind[(arg)]".
+func parseSpec(name, spec string) (*site, error) {
+	s := &site{spec: spec}
+	parts := strings.Split(spec, ":")
+	for _, mod := range parts[:len(parts)-1] {
+		kind, arg, err := splitCall(mod)
+		if err != nil {
+			return nil, fmt.Errorf("failpoint %s: %w", name, err)
+		}
+		n, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("failpoint %s: modifier %q needs a non-negative integer", name, mod)
+		}
+		switch kind {
+		case "after":
+			s.after = n
+		case "times":
+			s.times = n
+		case "every":
+			s.every = n
+		default:
+			return nil, fmt.Errorf("failpoint %s: unknown modifier %q", name, kind)
+		}
+	}
+	kind, arg, err := splitCall(parts[len(parts)-1])
+	if err != nil {
+		return nil, fmt.Errorf("failpoint %s: %w", name, err)
+	}
+	s.act.Kind = kind
+	switch kind {
+	case "error":
+		msg := arg
+		if msg == "" {
+			msg = "injected error"
+		}
+		s.act.Err = fmt.Errorf("failpoint %s: %s", name, msg)
+	case "short":
+		if arg != "" {
+			n, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("failpoint %s: short(%s): want a byte count", name, arg)
+			}
+			s.act.N = n
+		}
+		s.act.Err = fmt.Errorf("failpoint %s: injected short write", name)
+	case "corrupt":
+		if arg != "" {
+			return nil, fmt.Errorf("failpoint %s: corrupt takes no argument", name)
+		}
+	case "delay":
+		d, err := time.ParseDuration(arg)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("failpoint %s: delay(%s): want a Go duration", name, arg)
+		}
+		s.act.Delay = d
+	case "http":
+		status := 503
+		if arg != "" {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 100 || n > 599 {
+				return nil, fmt.Errorf("failpoint %s: http(%s): want a status code", name, arg)
+			}
+			status = n
+		}
+		s.act.Status = status
+		s.act.Err = fmt.Errorf("failpoint %s: injected HTTP %d", name, status)
+	default:
+		return nil, fmt.Errorf("failpoint %s: unknown kind %q", name, kind)
+	}
+	return s, nil
+}
+
+// splitCall splits "kind(arg)" or bare "kind" into its parts.
+func splitCall(s string) (kind, arg string, err error) {
+	s = strings.TrimSpace(s)
+	i := strings.Index(s, "(")
+	if i < 0 {
+		return s, "", nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return "", "", fmt.Errorf("malformed %q (unclosed argument)", s)
+	}
+	return s[:i], s[i+1 : len(s)-1], nil
+}

@@ -1,0 +1,170 @@
+package failpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestSpecKinds parses every action kind and checks the Action payload.
+func TestSpecKinds(t *testing.T) {
+	defer Reset()
+
+	if err := Arm("k/error", "error(disk full)"); err != nil {
+		t.Fatal(err)
+	}
+	a := Hit("k/error")
+	if a == nil || a.Kind != "error" || a.Err == nil {
+		t.Fatalf("error action = %+v", a)
+	}
+
+	if err := Arm("k/short", "short(7)"); err != nil {
+		t.Fatal(err)
+	}
+	if a := Hit("k/short"); a == nil || a.Kind != "short" || a.N != 7 {
+		t.Fatalf("short action = %+v", a)
+	}
+
+	if err := Arm("k/delay", "delay(5ms)"); err != nil {
+		t.Fatal(err)
+	}
+	if a := Hit("k/delay"); a == nil || a.Delay != 5*time.Millisecond {
+		t.Fatalf("delay action = %+v", a)
+	}
+
+	if err := Arm("k/http", "http(429)"); err != nil {
+		t.Fatal(err)
+	}
+	if a := Hit("k/http"); a == nil || a.Status != 429 {
+		t.Fatalf("http action = %+v", a)
+	}
+
+	if err := Arm("k/corrupt", "corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	if a := Hit("k/corrupt"); a == nil || a.Kind != "corrupt" {
+		t.Fatalf("corrupt action = %+v", a)
+	}
+
+	for _, bad := range []string{"nope", "short(x)", "delay(banana)", "http(9)", "corrupt(1)", "times(-1):error", "weird(2):error", "short(1"} {
+		if err := Arm("k/bad", bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestModifiers checks after/times/every gating arithmetic.
+func TestModifiers(t *testing.T) {
+	defer Reset()
+	if err := Arm("m", "after(2):times(2):error"); err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		if Hit("m") != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 4 {
+		t.Fatalf("after(2):times(2) fired on hits %v, want [3 4]", fired)
+	}
+
+	if err := Arm("e", "every(3):error"); err != nil {
+		t.Fatal(err)
+	}
+	fired = nil
+	for i := 1; i <= 9; i++ {
+		if Hit("e") != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 4 || fired[2] != 7 {
+		t.Fatalf("every(3) fired on hits %v, want [1 4 7]", fired)
+	}
+}
+
+// TestDisarmedFastPath: an unarmed site returns nil, and Reset disarms.
+func TestDisarmedFastPath(t *testing.T) {
+	defer Reset()
+	if Hit("nothing/armed") != nil {
+		t.Fatal("unarmed site fired")
+	}
+	if Enabled() {
+		t.Fatal("Enabled with no sites armed")
+	}
+	if err := Arm("x", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("not Enabled after arming")
+	}
+	if err := Arm("x", "off"); err != nil {
+		t.Fatal(err)
+	}
+	if Hit("x") != nil || Enabled() {
+		t.Fatal("site still armed after off")
+	}
+}
+
+// TestArmFromSpec exercises the env-var format.
+func TestArmFromSpec(t *testing.T) {
+	defer Reset()
+	if err := ArmFromSpec("a=error, b=times(1):delay(1ms) ,"); err != nil {
+		t.Fatal(err)
+	}
+	if Hit("a") == nil || Hit("b") == nil {
+		t.Fatal("env-armed sites did not fire")
+	}
+	if Hit("b") != nil {
+		t.Fatal("times(1) fired twice")
+	}
+	if err := ArmFromSpec("missing-equals"); err == nil {
+		t.Fatal("malformed pair accepted")
+	}
+}
+
+// TestHTTPHandler arms, lists and disarms over the HTTP surface.
+func TestHTTPHandler(t *testing.T) {
+	defer Reset()
+	h := HTTPHandler()
+
+	body, _ := json.Marshal(armRequest{Site: "h/x", Spec: "times(1):error"})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/", bytes.NewReader(body)))
+	if rec.Code != 200 {
+		t.Fatalf("arm: HTTP %d: %s", rec.Code, rec.Body)
+	}
+	if Hit("h/x") == nil {
+		t.Fatal("HTTP-armed site did not fire")
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	var list []SiteStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Site != "h/x" || list[0].Hits != 1 || list[0].Fired != 1 {
+		t.Fatalf("list = %+v", list)
+	}
+
+	body, _ = json.Marshal(armRequest{Site: "h/x", Spec: "off"})
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/", bytes.NewReader(body)))
+	if rec.Code != 200 || Enabled() {
+		t.Fatalf("disarm failed: HTTP %d, enabled=%v", rec.Code, Enabled())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/", bytes.NewReader([]byte(`{"site":"","spec":"error"}`))))
+	if rec.Code != 400 {
+		t.Fatalf("empty site: HTTP %d, want 400", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/", bytes.NewReader([]byte(`{"site":"y","spec":"bogus"}`))))
+	if rec.Code != 400 {
+		t.Fatalf("bad spec: HTTP %d, want 400", rec.Code)
+	}
+}

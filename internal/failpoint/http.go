@@ -1,0 +1,53 @@
+package failpoint
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// armRequest is the POST body of the HTTP arming endpoint.
+type armRequest struct {
+	Site string `json:"site"`
+	// Spec arms the site; "" or "off" disarms it.
+	Spec string `json:"spec"`
+}
+
+// HTTPHandler arms and lists failpoints over HTTP:
+//
+//	GET  /   armed sites with hit/fired counts ([]SiteStatus)
+//	POST /   {"site": "...", "spec": "..."} — arm; empty/"off" spec disarms
+//
+// p4served mounts it at /v1/failpoints only when HTTPEnabled (the
+// P4ASSERT_FAILPOINTS* environment gate); it exists for fault drills and
+// the crash-smoke harness, never for production exposure.
+func HTTPHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, List())
+		case http.MethodPost:
+			var req armRequest
+			if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid body: " + err.Error()})
+				return
+			}
+			if req.Site == "" {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": "site is required"})
+				return
+			}
+			if err := Arm(req.Site, req.Spec); err != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+				return
+			}
+			writeJSON(w, http.StatusOK, List())
+		default:
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use GET or POST"})
+		}
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

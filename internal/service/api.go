@@ -12,6 +12,7 @@ import (
 	"p4assert/internal/core"
 	"p4assert/internal/equiv"
 	"p4assert/internal/rules"
+	"p4assert/internal/store"
 )
 
 // Techniques is the JSON form of the core.Options technique matrix. The
@@ -123,6 +124,14 @@ const (
 	ModeDiff = "diff"
 )
 
+// Priority classes. Interactive is the default and is shed only at the
+// hard queue bound; bulk is capped to a fraction of the queue and shed
+// first when the service detects overload.
+const (
+	PriorityInteractive = "interactive"
+	PriorityBulk        = "bulk"
+)
+
 // JobRequest is the POST /v1/jobs body.
 type JobRequest struct {
 	// Filename appears in diagnostics only; it does not affect the
@@ -150,6 +159,11 @@ type JobRequest struct {
 	// the edit is attributed unit-by-unit against the base job's source.
 	// Requires the daemon's submodel cache and options.parallel > 0.
 	BaseJob string `json:"base_job,omitempty"`
+	// Priority selects the admission class: "" or "interactive" for
+	// latency-sensitive submissions, "bulk" for batch work the service may
+	// shed (HTTP 429) under load. Interactive jobs always run before bulk
+	// ones and are only rejected at the hard queue bound.
+	Priority string `json:"priority,omitempty"`
 }
 
 // JobState is the lifecycle state of a job:
@@ -182,6 +196,8 @@ type JobStatus struct {
 	CacheHit bool `json:"cache_hit,omitempty"`
 	// Technique is the histogram label of the job's option combination.
 	Technique string `json:"technique"`
+	// Priority is the job's admission class ("interactive" or "bulk").
+	Priority string `json:"priority,omitempty"`
 	// Verdict summarizes a done job: "ok", "violations" or "exhausted"
 	// for verify jobs; "equivalent", "divergent" or "exhausted" for diff
 	// jobs.
@@ -207,15 +223,31 @@ type StatsResponse struct {
 	// QueueCapacity is the bound beyond which submissions are rejected.
 	QueueDepth    int `json:"queue_depth"`
 	QueueCapacity int `json:"queue_capacity"`
-	Workers       int `json:"workers"`
+	// QueueInteractive and QueueBulk break the depth down by admission
+	// class.
+	QueueInteractive int `json:"queue_interactive"`
+	QueueBulk        int `json:"queue_bulk"`
+	Workers          int `json:"workers"`
 	// Running is the number of jobs currently executing.
 	Running int64 `json:"running"`
+	// Overloaded reports the deadline-based detector's current verdict:
+	// bulk submissions are being shed because queued work is unlikely to
+	// start within the overload deadline.
+	Overloaded bool `json:"overloaded"`
 	// Counters over the process lifetime.
 	Submitted int64 `json:"submitted"`
 	Done      int64 `json:"done"`
 	Failed    int64 `json:"failed"`
 	Cancelled int64 `json:"cancelled"`
 	CacheHits int64 `json:"cache_hits"`
+	// Shed counts submissions rejected with 429 (queue full or overload).
+	Shed int64 `json:"shed"`
+	// Recovered counts jobs resubmitted from the durable store at startup
+	// (they were pending or running when the previous process died).
+	Recovered int64 `json:"recovered"`
+	// Store is the durability layer's counter snapshot (nil when the
+	// daemon runs without -store-dir).
+	Store *store.Stats `json:"store,omitempty"`
 	// Cache is the whole-program result-cache counter snapshot (zero
 	// value when the daemon runs without a cache).
 	Cache CacheStats `json:"cache"`
@@ -236,6 +268,9 @@ type CacheStats struct {
 	MemHits    int64 `json:"mem_hits"`
 	DiskHits   int64 `json:"disk_hits"`
 	Evictions  int64 `json:"evictions"`
+	// Corrupt counts disk entries that failed their checksum and were
+	// quarantined (removed and recomputed), never returned.
+	Corrupt int64 `json:"corrupt,omitempty"`
 	Entries    int   `json:"entries"`
 	MaxEntries int   `json:"max_entries"`
 	DiskTier   bool  `json:"disk_tier"`

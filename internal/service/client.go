@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"time"
@@ -14,13 +15,22 @@ import (
 	"p4assert/internal/equiv"
 )
 
-// Client talks to a p4served daemon. The zero PollInterval polls every
-// 100ms; the zero HTTP client is http.DefaultClient.
+// Client talks to a p4served daemon. The zero value is usable: polls
+// every 100ms, uses http.DefaultClient, and retries transient failures
+// (connection errors, HTTP 429/5xx) up to 3 times with jittered
+// exponential backoff — which lets p4verify -remote ride out a daemon
+// restart or a load-shedding spike without a flag.
 type Client struct {
 	// Base is the daemon address, e.g. "http://127.0.0.1:9464".
 	Base         string
 	HTTP         *http.Client
 	PollInterval time.Duration
+	// MaxRetries bounds retry attempts after the first try: 0 means the
+	// default (3), negative disables retrying entirely.
+	MaxRetries int
+	// RetryBase is the first backoff delay (default 100ms); it doubles
+	// per attempt with jitter, capped at 2s.
+	RetryBase time.Duration
 }
 
 func (c *Client) http_() *http.Client {
@@ -44,42 +54,97 @@ func apiError(resp *http.Response) error {
 	return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
 }
 
-func (c *Client) getJSON(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
-	if err != nil {
-		return err
+// retryableStatus reports whether a response status is worth retrying:
+// load shedding (429) and server-side transient failures (5xx). Client
+// errors (4xx) are deterministic and never retried.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// doReq performs a request built by build (rebuilt per attempt — request
+// bodies are single-use), retrying transport errors and retryable
+// statuses with jittered exponential backoff. It returns the response
+// when the status matches want; any other status is decoded into an
+// error, and the caller owns the body only on success. Context
+// cancellation is honored between attempts and during backoff.
+func (c *Client) doReq(ctx context.Context, want int, build func() (*http.Request, error)) (*http.Response, error) {
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = 3
+	} else if retries < 0 {
+		retries = 0
 	}
-	resp, err := c.http_().Do(req)
+	base := c.RetryBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.http_().Do(req)
+		if err == nil {
+			if resp.StatusCode == want {
+				return resp, nil
+			}
+			apiErr := apiError(resp)
+			resp.Body.Close()
+			if !retryableStatus(resp.StatusCode) || attempt >= retries {
+				return nil, apiErr
+			}
+			err = apiErr
+		} else if ctx.Err() != nil || attempt >= retries {
+			return nil, err
+		}
+
+		// Jittered exponential backoff: base·2^attempt, capped at 2s, with
+		// the upper half randomized so a fleet of clients retrying into a
+		// restarting daemon does not arrive in lockstep.
+		d := base << attempt
+		if max := 2 * time.Second; d > max {
+			d = max
+		}
+		d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w (last attempt: %v)", ctx.Err(), err)
+		case <-time.After(d):
+		}
+	}
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	resp, err := c.doReq(ctx, http.StatusOK, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	})
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return apiError(resp)
-	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Submit enqueues a verification job.
+// Submit enqueues a verification job. A 429 (queue full or bulk
+// shedding) is retried with backoff before surfacing.
 func (c *Client) Submit(ctx context.Context, jr JobRequest) (JobStatus, error) {
 	var st JobStatus
 	body, err := json.Marshal(jr)
 	if err != nil {
 		return st, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs"), bytes.NewReader(body))
-	if err != nil {
-		return st, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.http_().Do(req)
+	resp, err := c.doReq(ctx, http.StatusAccepted, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs"), bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 	if err != nil {
 		return st, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		return st, apiError(resp)
-	}
 	return st, json.NewDecoder(resp.Body).Decode(&st)
 }
 
@@ -93,18 +158,13 @@ func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
 // RawReport fetches a done job's report as the server's exact serialized
 // bytes (a core.Report for verify jobs, an equiv.Report for diff jobs).
 func (c *Client) RawReport(ctx context.Context, id string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/report"), nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http_().Do(req)
+	resp, err := c.doReq(ctx, http.StatusOK, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/report"), nil)
+	})
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp)
-	}
 	return io.ReadAll(resp.Body)
 }
 
@@ -124,18 +184,13 @@ func (c *Client) Report(ctx context.Context, id string) (*core.Report, []byte, e
 
 // Cancel requests cancellation of a job.
 func (c *Client) Cancel(ctx context.Context, id string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.url("/v1/jobs/"+id), nil)
+	resp, err := c.doReq(ctx, http.StatusOK, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodDelete, c.url("/v1/jobs/"+id), nil)
+	})
 	if err != nil {
 		return err
 	}
-	resp, err := c.http_().Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return apiError(resp)
-	}
+	resp.Body.Close()
 	return nil
 }
 

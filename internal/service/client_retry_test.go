@@ -1,0 +1,131 @@
+package service
+
+// Client retry semantics: transient failures (connection errors, 429,
+// 5xx) are retried with backoff; deterministic client errors are not;
+// context cancellation cuts the backoff short.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyServer fails the first n requests with status code, then serves
+// a 202 JobStatus (POST) or 200 (GET).
+func flakyServer(failures int, code int) (*httptest.Server, *atomic.Int64) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= int64(failures) {
+			w.WriteHeader(code)
+			json.NewEncoder(w).Encode(errorResponse{Error: "injected"})
+			return
+		}
+		if r.Method == http.MethodPost {
+			w.WriteHeader(http.StatusAccepted)
+		}
+		json.NewEncoder(w).Encode(JobStatus{ID: "job-1", State: StatePending})
+	}))
+	return srv, &attempts
+}
+
+func fastClient(base string) *Client {
+	return &Client{Base: base, RetryBase: time.Millisecond}
+}
+
+// TestRetrySubmitAfter429: load shedding is transient — Submit rides it
+// out.
+func TestRetrySubmitAfter429(t *testing.T) {
+	srv, attempts := flakyServer(2, http.StatusTooManyRequests)
+	defer srv.Close()
+	st, err := fastClient(srv.URL).Submit(context.Background(), JobRequest{Source: "x"})
+	if err != nil {
+		t.Fatalf("submit through 429s: %v", err)
+	}
+	if st.ID != "job-1" || attempts.Load() != 3 {
+		t.Fatalf("st=%+v attempts=%d, want job-1 after 3 attempts", st, attempts.Load())
+	}
+}
+
+// TestRetryAfter5xx: server-side transience (a restarting daemon behind
+// a proxy answers 502/503) retries too, on GETs as well.
+func TestRetryAfter5xx(t *testing.T) {
+	srv, attempts := flakyServer(1, http.StatusServiceUnavailable)
+	defer srv.Close()
+	if _, err := fastClient(srv.URL).Status(context.Background(), "job-1"); err != nil {
+		t.Fatalf("status through 503: %v", err)
+	}
+	if attempts.Load() != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts.Load())
+	}
+}
+
+// TestRetryConnectionError: a connection-refused (daemon mid-restart)
+// retries until the listener is back.
+func TestRetryConnectionError(t *testing.T) {
+	srv, _ := flakyServer(0, 0)
+	base := srv.URL
+	srv.Close() // now refusing connections
+
+	c := &Client{Base: base, RetryBase: time.Millisecond, MaxRetries: 2}
+	start := time.Now()
+	_, err := c.Status(context.Background(), "job-1")
+	if err == nil {
+		t.Fatal("dead server answered")
+	}
+	// 2 retries → at least 2 backoff sleeps happened (≥1ms each, bounded
+	// test just checks it didn't bail instantly on the first dial error).
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("no backoff before giving up")
+	}
+}
+
+// TestNoRetryOnClientError: a 400 is deterministic; exactly one attempt.
+func TestNoRetryOnClientError(t *testing.T) {
+	srv, attempts := flakyServer(1000, http.StatusBadRequest)
+	defer srv.Close()
+	_, err := fastClient(srv.URL).Submit(context.Background(), JobRequest{Source: "x"})
+	if err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("err = %v, want the server's message", err)
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retry on 4xx)", attempts.Load())
+	}
+}
+
+// TestRetriesDisabled: negative MaxRetries surfaces the first transient
+// failure.
+func TestRetriesDisabled(t *testing.T) {
+	srv, attempts := flakyServer(1000, http.StatusTooManyRequests)
+	defer srv.Close()
+	c := &Client{Base: srv.URL, MaxRetries: -1}
+	if _, err := c.Submit(context.Background(), JobRequest{Source: "x"}); err == nil {
+		t.Fatal("want error with retries disabled")
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("attempts = %d, want 1", attempts.Load())
+	}
+}
+
+// TestRetryHonorsContext: cancellation interrupts the backoff sleep
+// instead of waiting it out.
+func TestRetryHonorsContext(t *testing.T) {
+	srv, _ := flakyServer(1000, http.StatusServiceUnavailable)
+	defer srv.Close()
+	c := &Client{Base: srv.URL, RetryBase: time.Hour}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Status(ctx, "job-1")
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("backoff ignored context cancellation")
+	}
+}

@@ -1,0 +1,192 @@
+package service
+
+// The kill-and-recover drill: a real p4served process, a real WAL on a
+// real filesystem, and a real SIGKILL mid-corpus. The in-process
+// durability tests (durability_test.go) can only simulate a crash by
+// abandoning a manager; this one proves the whole stack — daemon flags,
+// store fsync path, restart recovery, HTTP surface — survives the signal
+// the kernel actually sends.
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// buildServed compiles the daemon once per test binary.
+func buildServed(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "p4served")
+	cmd := exec.Command("go", "build", "-o", bin, "p4assert/cmd/p4served")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build p4served: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freeAddr reserves a loopback port and releases it for the daemon.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startServed launches the daemon against the given store dir and waits
+// for it to answer healthz.
+func startServed(t *testing.T, bin, addr, storeDir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-store-dir", storeDir,
+		"-workers", "1",
+		"-queue", "64",
+		"-cache-entries", "0", // every run executes: recovery is what's under test
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("daemon did not become healthy")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestKillAndRecover is the acceptance drill: SIGKILL a p4served with
+// done, running and queued jobs in its WAL; restart it on the same
+// store; every finished report must come back byte-identical, and the
+// interrupted jobs must re-run to completion under their original IDs
+// and priority classes.
+func TestKillAndRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and SIGKILLs a real p4served")
+	}
+	bin := buildServed(t)
+	storeDir := t.TempDir()
+	addr := freeAddr(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	cmd := startServed(t, bin, addr, storeDir)
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+	c := &Client{Base: "http://" + addr, RetryBase: 10 * time.Millisecond}
+
+	// Phase 1: run part of the corpus to completion and keep the exact
+	// report bytes the daemon served.
+	reports := map[string][]byte{}
+	for _, name := range []string{"vss", "switchlite"} {
+		st, err := c.Submit(ctx, corpusRequest(t, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, err = c.Wait(ctx, st.ID); err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("corpus job %s: %s (%s)", st.ID, st.State, st.Error)
+		}
+		data, err := c.RawReport(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports[st.ID] = data
+	}
+
+	// Phase 2: occupy the single worker with a slow job and queue a bulk
+	// one behind it, so the kill lands with one running and one pending
+	// record in the WAL.
+	slow, err := c.Submit(ctx, JobRequest{Filename: "slow.p4", Source: slowSource()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		st, err := c.Status(ctx, slow.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateRunning {
+			break
+		}
+		if st.State.Terminal() {
+			t.Fatalf("slow job finished before the kill: %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	bulk := corpusRequest(t, "vss")
+	bulk.Priority = PriorityBulk
+	queued, err := c.Submit(ctx, bulk)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The kill. No drain, no flush, no goodbye.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	killed = true
+
+	// Phase 3: restart on the same store and verify the ledger.
+	cmd2 := startServed(t, bin, addr, storeDir)
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+
+	for id, want := range reports {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			t.Fatalf("job %s lost across SIGKILL: %v", id, err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("job %s recovered as %s, want done", id, st.State)
+		}
+		got, err := c.RawReport(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("job %s: recovered report differs from the one served before the kill", id)
+		}
+	}
+	for _, id := range []string{slow.ID, queued.ID} {
+		st, err := c.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("interrupted job %s after recovery: %s (%s)", id, st.State, st.Error)
+		}
+	}
+	if st, err := c.Status(ctx, queued.ID); err != nil || st.Priority != PriorityBulk {
+		t.Fatalf("recovered job lost its class: %+v (%v)", st, err)
+	}
+}

@@ -1,0 +1,336 @@
+package service
+
+// Durability and admission-control tests: WAL-backed restart recovery,
+// priority classes, overload shedding, and graceful degradation when the
+// store fails. The true kill-and-recover drill (SIGKILL of a real
+// p4served) lives in crash_test.go; these tests cover the same machinery
+// in-process.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"p4assert/internal/failpoint"
+	"p4assert/internal/store"
+)
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	s, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRestartRestoresHistory: finished jobs survive a clean
+// restart with byte-identical report bytes, and the ID sequence
+// continues without collisions.
+func TestRestartRestoresHistory(t *testing.T) {
+	dir := t.TempDir()
+	st1 := openStore(t, dir)
+	m1 := New(Config{Workers: 2, Store: st1})
+
+	req := corpusRequest(t, "vss")
+	var ids []string
+	reports := map[string][]byte{}
+	for i := 0; i < 3; i++ {
+		s, err := m1.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, s.ID)
+	}
+	for _, id := range ids {
+		if got := waitTerminal(t, m1, id); got.State != StateDone {
+			t.Fatalf("job %s: %s (%s)", id, got.State, got.Error)
+		}
+		data, err := m1.Report(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports[id] = data
+	}
+	if err := m1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st1.Close()
+
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	m2 := New(Config{Workers: 2, Store: st2})
+	defer m2.Shutdown(context.Background())
+
+	if got := m2.Recovered(); got != 0 {
+		t.Fatalf("Recovered = %d after clean shutdown, want 0", got)
+	}
+	for _, id := range ids {
+		s, err := m2.Get(id)
+		if err != nil {
+			t.Fatalf("job %s lost across restart: %v", id, err)
+		}
+		if s.State != StateDone || s.Verdict == "" {
+			t.Fatalf("job %s restored as %s verdict %q", id, s.State, s.Verdict)
+		}
+		data, err := m2.Report(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, reports[id]) {
+			t.Fatalf("job %s report bytes changed across restart", id)
+		}
+	}
+	// The restored sequence must not mint colliding IDs.
+	s, err := m2.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if s.ID == id {
+			t.Fatalf("new job reused recovered ID %s", id)
+		}
+	}
+	waitTerminal(t, m2, s.ID)
+}
+
+// TestRestartResubmitsInterrupted: jobs that were pending or running at
+// crash time re-enter the queue on restart — same IDs, same class — and
+// run to completion.
+func TestRestartResubmitsInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	st1 := openStore(t, dir)
+	m1 := New(Config{Workers: 1, QueueDepth: 8, Store: st1})
+
+	blocker, err := m1.Submit(JobRequest{Filename: "slow.p4", Source: slowSource()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		cur, _ := m1.Get(blocker.ID)
+		if cur.State == StateRunning {
+			break
+		}
+		if cur.State.Terminal() {
+			t.Fatalf("blocker finished early: %s", cur.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	req := corpusRequest(t, "vss")
+	req.Priority = PriorityBulk
+	queued, err := m1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash: abandon m1 without Shutdown. Closing the store models the
+	// process dying with a running and a pending record in the WAL (m1's
+	// still-live workers just get errClosed on their next persist).
+	st1.Close()
+
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	m2 := New(Config{Workers: 2, QueueDepth: 8, Store: st2})
+	defer m2.Shutdown(context.Background())
+
+	if got := m2.Recovered(); got != 2 {
+		t.Fatalf("Recovered = %d, want 2 (running blocker + pending job)", got)
+	}
+	for _, id := range []string{blocker.ID, queued.ID} {
+		if got := waitTerminal(t, m2, id); got.State != StateDone {
+			t.Fatalf("recovered job %s: %s (%s)", id, got.State, got.Error)
+		}
+	}
+	if s, _ := m2.Get(queued.ID); s.Priority != PriorityBulk {
+		t.Fatalf("recovered job lost its class: %q", s.Priority)
+	}
+}
+
+// TestRestartFailsUnrecoverable: an interrupted job whose record no
+// longer validates fails visibly instead of vanishing.
+func TestRestartFailsUnrecoverable(t *testing.T) {
+	dir := t.TempDir()
+	st1 := openStore(t, dir)
+	if err := st1.Put(&store.Job{
+		ID: "job-1", Seq: 1, Rev: 1, State: store.StatePending,
+		Request:    json.RawMessage(`"not a request object"`),
+		EnqueuedAt: time.Now(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st1.Close()
+
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	m := New(Config{Workers: 1, Store: st2})
+	defer m.Shutdown(context.Background())
+
+	s, err := m.Get("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.State != StateFailed || s.Error == "" {
+		t.Fatalf("unrecoverable job restored as %s (%q), want failed with reason", s.State, s.Error)
+	}
+}
+
+// TestBulkShedInteractiveServed is the overload contract: with the
+// service saturated, bulk submissions get 429-class errors while
+// interactive ones are admitted and complete.
+func TestBulkShedInteractiveServed(t *testing.T) {
+	m := New(Config{Workers: 1, QueueDepth: 8})
+	defer m.Shutdown(context.Background())
+
+	blocker, err := m.Submit(JobRequest{Filename: "slow.p4", Source: slowSource()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		cur, _ := m.Get(blocker.ID)
+		if cur.State == StateRunning {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	req := corpusRequest(t, "vss")
+	bulk := req
+	bulk.Priority = PriorityBulk
+
+	// The bulk share is QueueDepth/2 = 4: four bulk jobs queue, the fifth
+	// sheds.
+	for i := 0; i < 4; i++ {
+		if _, err := m.Submit(bulk); err != nil {
+			t.Fatalf("bulk %d within share rejected: %v", i, err)
+		}
+	}
+	if _, err := m.Submit(bulk); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("bulk beyond share = %v, want ErrOverloaded", err)
+	}
+
+	// Interactive submissions keep landing up to the hard bound...
+	var lastInteractive JobStatus
+	for i := 0; i < 4; i++ {
+		s, err := m.Submit(req)
+		if err != nil {
+			t.Fatalf("interactive %d rejected while shedding bulk: %v", i, err)
+		}
+		lastInteractive = s
+	}
+	// ...and only the hard bound rejects them.
+	if _, err := m.Submit(req); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("interactive beyond capacity = %v, want ErrQueueFull", err)
+	}
+
+	if s := m.Stats(); s.Shed < 2 || s.QueueBulk != 4 || s.QueueInteractive != 4 {
+		t.Fatalf("stats during overload: shed=%d int=%d bulk=%d", s.Shed, s.QueueInteractive, s.QueueBulk)
+	}
+
+	// The shed bulk work never blocks interactive completion.
+	if got := waitTerminal(t, m, lastInteractive.ID); got.State != StateDone {
+		t.Fatalf("interactive job under overload: %s (%s)", got.State, got.Error)
+	}
+}
+
+// TestInteractiveRunsBeforeBulk: with one worker and both classes queued,
+// the interactive job starts first even though it was submitted last.
+func TestInteractiveRunsBeforeBulk(t *testing.T) {
+	m := New(Config{Workers: 1, QueueDepth: 8})
+	defer m.Shutdown(context.Background())
+
+	blocker, err := m.Submit(JobRequest{Filename: "slow.p4", Source: slowSource()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := corpusRequest(t, "vss")
+	bulkReq := req
+	bulkReq.Priority = PriorityBulk
+	b, err := m.Submit(bulkReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitTerminal(t, m, blocker.ID)
+	bs := waitTerminal(t, m, b.ID)
+	is := waitTerminal(t, m, i.ID)
+	if bs.StartedAt == nil || is.StartedAt == nil {
+		t.Fatal("missing start timestamps")
+	}
+	if !is.StartedAt.Before(*bs.StartedAt) {
+		t.Fatalf("bulk started %v before interactive %v", bs.StartedAt, is.StartedAt)
+	}
+}
+
+// TestOverloadDetectorAge: once the oldest queued job has waited past the
+// overload deadline, bulk submissions shed even with queue room.
+func TestOverloadDetectorAge(t *testing.T) {
+	m := New(Config{Workers: 1, QueueDepth: 64, OverloadDeadline: 50 * time.Millisecond})
+	defer m.Shutdown(context.Background())
+
+	if _, err := m.Submit(JobRequest{Filename: "slow.p4", Source: slowSource()}); err != nil {
+		t.Fatal(err)
+	}
+	req := corpusRequest(t, "vss")
+	if _, err := m.Submit(req); err != nil { // queued behind the blocker
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // head-of-line job now older than the deadline
+
+	bulk := req
+	bulk.Priority = PriorityBulk
+	if _, err := m.Submit(bulk); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("bulk under aged queue = %v, want ErrOverloaded", err)
+	}
+	if !m.Stats().Overloaded {
+		t.Fatal("Stats().Overloaded = false while shedding")
+	}
+	if _, err := m.Submit(req); err != nil {
+		t.Fatalf("interactive rejected by overload detector: %v", err)
+	}
+}
+
+// TestDegradedStoreKeepsServing: a WAL failure stops persistence but
+// never fails jobs — the service degrades to in-memory operation and
+// says so in Stats.
+func TestDegradedStoreKeepsServing(t *testing.T) {
+	defer failpoint.Reset()
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{}) // sync on: the fsync site is live
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	m := New(Config{Workers: 1, Store: st})
+	defer m.Shutdown(context.Background())
+
+	if err := failpoint.Arm(store.FailpointFsync, "times(1):error"); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Submit(corpusRequest(t, "vss"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitTerminal(t, m, s.ID); got.State != StateDone {
+		t.Fatalf("job with failed persistence: %s (%s)", got.State, got.Error)
+	}
+	if _, err := m.Report(s.ID); err != nil {
+		t.Fatalf("report unavailable despite in-memory completion: %v", err)
+	}
+	stats := m.Stats()
+	if stats.Store == nil || !stats.Store.Degraded {
+		t.Fatal("degraded store not surfaced in stats")
+	}
+	// And the service still accepts work.
+	s2, err := m.Submit(corpusRequest(t, "vss"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, s2.ID)
+}

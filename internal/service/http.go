@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"p4assert/internal/cluster"
+	"p4assert/internal/failpoint"
 )
 
 // MaxRequestBytes bounds a POST /v1/jobs body (16 MiB — far beyond any
@@ -81,6 +82,15 @@ func Handler(m *Manager) http.Handler {
 			"queue_depth":    s.QueueDepth,
 			"queue_capacity": s.QueueCapacity,
 			"workers":        s.Workers,
+			"overloaded":     s.Overloaded,
+		}
+		if s.Store != nil {
+			// Durability health: a degraded store still serves, but probes
+			// should see that persistence stopped.
+			body["store"] = map[string]any{
+				"degraded": s.Store.Degraded,
+				"jobs":     s.Store.Jobs,
+			}
 		}
 		if coord := m.Cluster(); coord != nil {
 			// Coordinator mode: surface the cluster membership so probes
@@ -136,12 +146,19 @@ func Handler(m *Manager) http.Handler {
 		m.WriteMetrics(w)
 	})
 
+	// Fault-injection surface, mounted only when the environment opted in
+	// (P4ASSERT_FAILPOINTS / P4ASSERT_FAILPOINTS_HTTP): the crash and
+	// fault drills arm failpoints in a live daemon through it.
+	if failpoint.HTTPEnabled() {
+		mux.Handle("/v1/failpoints", failpoint.HTTPHandler())
+	}
+
 	return mux
 }
 
 func submitStatus(err error) int {
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrShuttingDown):
 		return http.StatusServiceUnavailable

@@ -25,12 +25,33 @@ func (m *Manager) Registry() *telemetry.Registry { return m.reg }
 // (the GET /v1/metrics body), refreshing the point-in-time gauges first.
 func (m *Manager) WriteMetrics(w io.Writer) error {
 	m.mu.Lock()
-	queueDepth := int64(len(m.queue))
+	qInt, qBulk := int64(len(m.qInt)), int64(len(m.qBulk))
 	running := m.running
+	overloaded := int64(0)
+	if m.overloadedLocked(time.Now()) {
+		overloaded = 1
+	}
 	m.mu.Unlock()
-	m.reg.Gauge("p4served_queue_depth", "Jobs waiting in the FIFO queue.").Set(queueDepth)
+	m.reg.Gauge("p4served_queue_depth", "Jobs waiting in the queue, both classes.").Set(qInt + qBulk)
+	m.reg.Gauge("p4served_queue_depth_class", "Jobs waiting, by admission class.",
+		telemetry.L("class", PriorityInteractive)).Set(qInt)
+	m.reg.Gauge("p4served_queue_depth_class", "Jobs waiting, by admission class.",
+		telemetry.L("class", PriorityBulk)).Set(qBulk)
+	m.reg.Gauge("p4served_overloaded", "1 while the overload detector is shedding bulk work.").Set(overloaded)
 	m.reg.Gauge("p4served_jobs_running", "Jobs currently executing on the worker pool.").Set(running)
 	m.reg.Gauge("p4served_workers", "Worker-pool size.").Set(int64(m.cfg.Workers))
+	if m.cfg.Store != nil {
+		st := m.cfg.Store.Stats()
+		m.reg.Gauge("p4served_store_jobs", "Job records in the durable store.").Set(int64(st.Jobs))
+		m.reg.Gauge("p4served_store_appends", "WAL records appended since start.").Set(st.Appends)
+		m.reg.Gauge("p4served_store_wal_records", "Records in the current WAL generation.").Set(st.WALRecords)
+		m.reg.Gauge("p4served_store_snapshots", "Snapshot compactions since start.").Set(st.Snapshots)
+		degraded := int64(0)
+		if st.Degraded {
+			degraded = 1
+		}
+		m.reg.Gauge("p4served_store_degraded", "1 after a WAL write failure disabled persistence.").Set(degraded)
+	}
 	if m.cfg.Cache != nil {
 		m.scrapeCache("report", m.cfg.Cache.Stats())
 	}
@@ -49,6 +70,7 @@ func (m *Manager) scrapeCache(tier string, cs vcache.Stats) {
 	m.reg.Gauge("p4served_vcache_misses", "Result-cache misses since start, by tier.", l).Set(cs.Misses)
 	m.reg.Gauge("p4served_vcache_entries", "Live result-cache entries, by tier.", l).Set(int64(cs.Entries))
 	m.reg.Gauge("p4served_vcache_evictions", "Result-cache LRU evictions since start, by tier.", l).Set(cs.Evictions)
+	m.reg.Gauge("p4served_vcache_corrupt", "Corrupt disk entries quarantined since start, by tier.", l).Set(cs.Corrupt)
 }
 
 // recordJobMetrics feeds a job's terminal state into the registry.

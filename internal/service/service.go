@@ -1,8 +1,11 @@
 // Package service is the verification-as-a-service subsystem: a job
-// manager with a bounded FIFO queue and a worker pool that runs
-// core.Verify jobs with per-job timeout and cancellation, backed by the
-// content-addressed result cache (internal/vcache). cmd/p4served exposes
-// it over HTTP; p4verify -remote is its client.
+// manager with class-aware bounded queues (interactive before bulk), a
+// worker pool that runs core.Verify jobs with per-job timeout and
+// cancellation, deadline-based admission control that sheds bulk work
+// under overload, and an optional WAL-backed durable store
+// (internal/store) that survives crashes: finished reports replay
+// byte-identically and interrupted jobs resubmit on restart. cmd/p4served
+// exposes it over HTTP; p4verify -remote is its client.
 package service
 
 import (
@@ -18,15 +21,21 @@ import (
 	"p4assert/internal/core"
 	"p4assert/internal/equiv"
 	"p4assert/internal/incr"
+	"p4assert/internal/store"
 	"p4assert/internal/telemetry"
 	"p4assert/internal/vcache"
 )
 
 // Submission errors.
 var (
-	// ErrQueueFull rejects a submission when the FIFO queue is at
-	// capacity (HTTP 429).
+	// ErrQueueFull rejects a submission when the queue is at its hard
+	// capacity bound — both classes included (HTTP 429).
 	ErrQueueFull = errors.New("service: job queue full")
+	// ErrOverloaded rejects a bulk submission while the service is
+	// shedding load: the bulk queue share is exhausted or the overload
+	// detector predicts queued work will miss the deadline (HTTP 429).
+	// Interactive submissions are never rejected with this error.
+	ErrOverloaded = errors.New("service: overloaded, bulk submissions shed")
 	// ErrShuttingDown rejects submissions after Shutdown began (HTTP 503).
 	ErrShuttingDown = errors.New("service: shutting down")
 	// ErrUnknownJob reports a job ID the manager does not know (HTTP 404).
@@ -36,12 +45,18 @@ var (
 	ErrNotFinished = errors.New("service: job not finished")
 )
 
+// DefaultOverloadDeadline is the admission-control target when Config
+// leaves OverloadDeadline zero: bulk work is shed once queued jobs are
+// unlikely to start within it.
+const DefaultOverloadDeadline = 30 * time.Second
+
 // Config sizes a Manager. The zero value is usable: GOMAXPROCS workers, a
-// 256-deep queue, no cache, no per-job timeout.
+// 256-deep queue, no cache, no per-job timeout, no durable store.
 type Config struct {
 	// Workers is the worker-pool size; non-positive means GOMAXPROCS.
 	Workers int
-	// QueueDepth bounds the FIFO queue; non-positive means 256.
+	// QueueDepth bounds the queue across both classes; non-positive means
+	// 256. Bulk jobs may occupy at most half of it.
 	QueueDepth int
 	// Cache, when non-nil, serves repeat requests content-addressed.
 	Cache *vcache.Cache
@@ -59,24 +74,40 @@ type Config struct {
 	// non-positive means 4096. The oldest finished jobs are forgotten
 	// first.
 	RetainJobs int
+	// Store, when non-nil, persists every job lifecycle transition and
+	// finished report through the write-ahead log. New replays it before
+	// accepting traffic: terminal jobs are restored verbatim, jobs that
+	// were pending or running when the previous process died are
+	// resubmitted. A store write failure never fails the job — the
+	// service degrades to in-memory operation (visible in Stats).
+	Store *store.Store
+	// OverloadDeadline tunes admission control: bulk submissions are shed
+	// once the estimated queue drain time or the oldest queued job's age
+	// exceeds it. Zero means DefaultOverloadDeadline; negative disables
+	// the detector (bulk is still capped to its queue share).
+	OverloadDeadline time.Duration
 }
 
 // job is the manager-internal job record. Fields are guarded by
-// Manager.mu except req/opts/eopts/diff/key/technique, which are immutable
-// after Submit.
+// Manager.mu except req/opts/eopts/diff/key/technique/priority, which are
+// immutable after Submit.
 type job struct {
 	id        string
+	seq       int64
 	req       JobRequest
+	reqJSON   []byte // req marshaled once, for the durable store
 	opts      core.Options
 	eopts     equiv.Options // diff jobs only
 	diff      bool
 	key       string
 	technique string
+	priority  string
 	// baseSource is the BaseJob's program text, captured at submit time
 	// (the base job may be retired from the table before this job runs).
 	baseSource string
 
 	state       JobState
+	rev         int64 // durable-record revision, bumped per transition
 	err         string
 	cacheHit    bool
 	subReused   int
@@ -90,21 +121,29 @@ type job struct {
 	cancel     context.CancelFunc // non-nil while running
 }
 
-// Manager owns the queue, the worker pool, the job table and the
+// Manager owns the queues, the worker pool, the job table and the
 // counters. Create with New, stop with Shutdown.
 type Manager struct {
-	cfg   Config
-	queue chan *job
-	wg    sync.WaitGroup
+	cfg Config
+	wg  sync.WaitGroup
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string // finished-job retention ring, oldest first
-	seq      int64
-	closed   bool
-	running  int64
+	mu    sync.Mutex
+	qCond *sync.Cond // signals workers when work arrives or closed flips
+	// qInt and qBulk are the per-class FIFO queues; workers always drain
+	// qInt first. Entries may be cancelled in place (state flipped under
+	// mu) — workers skip those on pop.
+	qInt, qBulk []*job
+	jobs        map[string]*job
+	order       []string // finished-job retention ring, oldest first
+	seq         int64
+	closed      bool
+	running     int64
+	// ewmaSec tracks executed-job latency (exponentially weighted, in
+	// seconds) for the overload detector's drain-time estimate.
+	ewmaSec  float64
 	counters struct {
 		submitted, done, failed, cancelled, cacheHits int64
+		shed, recovered                               int64
 	}
 
 	histMu sync.Mutex
@@ -127,7 +166,10 @@ func (m *Manager) AttachCluster(coord *cluster.Coordinator) { m.coord = coord }
 // Cluster returns the attached coordinator, or nil.
 func (m *Manager) Cluster() *cluster.Coordinator { return m.coord }
 
-// New starts a manager and its worker pool.
+// New starts a manager and its worker pool. With Config.Store set it
+// first replays the durable history: terminal jobs become queryable
+// again (reports byte-identical) and interrupted jobs re-enter the
+// queue before the first worker starts.
 func New(cfg Config) *Manager {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -138,12 +180,18 @@ func New(cfg Config) *Manager {
 	if cfg.RetainJobs <= 0 {
 		cfg.RetainJobs = 4096
 	}
+	if cfg.OverloadDeadline == 0 {
+		cfg.OverloadDeadline = DefaultOverloadDeadline
+	}
 	m := &Manager{
-		cfg:   cfg,
-		queue: make(chan *job, cfg.QueueDepth),
-		jobs:  map[string]*job{},
-		hist:  map[string]*Histogram{},
-		reg:   telemetry.NewRegistry(),
+		cfg:  cfg,
+		jobs: map[string]*job{},
+		hist: map[string]*Histogram{},
+		reg:  telemetry.NewRegistry(),
+	}
+	m.qCond = sync.NewCond(&m.mu)
+	if cfg.Store != nil {
+		m.recoverFromStore()
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -152,37 +200,130 @@ func New(cfg Config) *Manager {
 	return m
 }
 
-// Submit validates and enqueues a request, returning the pending job's
-// status. Validation failures (bad options, bad rules, empty source)
-// return an error without creating a job.
-func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
+// Recovered reports how many interrupted jobs New resubmitted from the
+// durable store.
+func (m *Manager) Recovered() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters.recovered
+}
+
+// recoverFromStore rebuilds the job table from the durable store: runs
+// before the workers start, so no locking discipline applies yet (the
+// locked helpers are reused for their invariants, not their mutex).
+func (m *Manager) recoverFromStore() {
+	recs := m.cfg.Store.Jobs() // seq-sorted: base jobs precede dependents
+	m.seq = m.cfg.Store.MaxSeq()
+	for _, r := range recs {
+		var req JobRequest
+		reqOK := len(r.Request) > 0 && json.Unmarshal(r.Request, &req) == nil
+
+		if store.TerminalState(r.State) {
+			j := &job{
+				id: r.ID, seq: r.Seq, rev: r.Rev,
+				priority: r.Priority, state: JobState(r.State),
+				err: r.Error, verdict: r.Verdict, violations: r.Violations,
+				cacheHit: r.CacheHit, technique: r.Technique,
+				enqueued: r.EnqueuedAt, started: r.StartedAt, finished: r.FinishedAt,
+				reportData: r.Report, reqJSON: r.Request,
+			}
+			if reqOK {
+				j.req = req
+			}
+			m.jobs[j.id] = j
+			m.order = append(m.order, j.id)
+			continue
+		}
+
+		// Pending or running at crash time: rebuild and re-enqueue with
+		// identity, class and submission time preserved. A record that no
+		// longer validates (corrupt request, vanished base job, changed
+		// daemon configuration) fails visibly instead of vanishing.
+		var j *job
+		var err error
+		if !reqOK {
+			err = errors.New("request record unreadable")
+		} else if j, err = buildJob(req); err == nil {
+			err = m.resolveBaseLocked(j)
+		}
+		if err != nil {
+			j = &job{
+				id: r.ID, seq: r.Seq, rev: r.Rev, req: req, reqJSON: r.Request,
+				priority: r.Priority, technique: r.Technique,
+				state:    StateFailed,
+				err:      fmt.Sprintf("unrecoverable after restart: %v", err),
+				enqueued: r.EnqueuedAt, finished: time.Now(),
+			}
+			m.jobs[j.id] = j
+			m.order = append(m.order, j.id)
+			m.counters.failed++
+			m.persist(m.snapshotLocked(j), nil)
+			continue
+		}
+		j.id, j.seq, j.rev = r.ID, r.Seq, r.Rev
+		j.reqJSON = r.Request
+		j.enqueued = r.EnqueuedAt
+		if j.priority == "" {
+			j.priority = r.Priority
+		}
+		j.state = StatePending
+		m.jobs[j.id] = j
+		m.enqueueLocked(j)
+		m.counters.recovered++
+		m.persist(m.snapshotLocked(j), nil)
+	}
+	// The restored history honors the in-memory retention bound too.
+	var evicted []string
+	for len(m.order) > m.cfg.RetainJobs {
+		delete(m.jobs, m.order[0])
+		evicted = append(evicted, m.order[0])
+		m.order = m.order[1:]
+	}
+	m.persist(nil, evicted)
+	m.reg.Counter("p4served_jobs_recovered_total",
+		"Interrupted jobs resubmitted from the durable store at startup.").Add(m.counters.recovered)
+}
+
+// buildJob validates a request into a runnable job. It takes no locks and
+// touches no Manager state beyond configuration-independent validation;
+// Submit and recovery share it.
+func buildJob(req JobRequest) (*job, error) {
 	if req.Source == "" {
-		return JobStatus{}, errors.New("service: empty source")
+		return nil, errors.New("service: empty source")
 	}
 	j := &job{
 		req:      req,
 		state:    StatePending,
 		enqueued: time.Now(),
 	}
+	switch req.Priority {
+	case "", PriorityInteractive:
+		j.priority = PriorityInteractive
+	case PriorityBulk:
+		j.priority = PriorityBulk
+	default:
+		return nil, fmt.Errorf("service: unknown priority %q (want %q or %q)",
+			req.Priority, PriorityInteractive, PriorityBulk)
+	}
 	switch req.Mode {
 	case "", ModeVerify:
 		opts, err := req.Options.CoreOptions(req.Rules)
 		if err != nil {
-			return JobStatus{}, fmt.Errorf("service: %w", err)
+			return nil, fmt.Errorf("service: %w", err)
 		}
 		j.opts = opts
 		j.key = vcache.Key(req.Source, opts)
 		j.technique = req.Options.Label()
 	case ModeDiff:
 		if req.SourceB == "" {
-			return JobStatus{}, errors.New("service: diff jobs require source_b")
+			return nil, errors.New("service: diff jobs require source_b")
 		}
 		if req.BaseJob != "" {
-			return JobStatus{}, errors.New("service: base_job is incompatible with diff jobs (the product program has no submodel baseline)")
+			return nil, errors.New("service: base_job is incompatible with diff jobs (the product program has no submodel baseline)")
 		}
 		eopts, err := req.Options.EquivOptions(req.Rules, req.RulesB)
 		if err != nil {
-			return JobStatus{}, fmt.Errorf("service: %w", err)
+			return nil, fmt.Errorf("service: %w", err)
 		}
 		j.diff = true
 		j.eopts = eopts
@@ -191,38 +332,182 @@ func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 				eopts.Observe, eopts.Opt, eopts.Parallel, eopts.MaxPaths, eopts.MaxCallDepth))
 		j.technique = "diff:" + req.Options.Label()
 	default:
-		return JobStatus{}, fmt.Errorf("service: unknown mode %q", req.Mode)
+		return nil, fmt.Errorf("service: unknown mode %q", req.Mode)
+	}
+	return j, nil
+}
+
+// resolveBaseLocked validates a BaseJob reference and captures the base
+// program text. Callers hold m.mu (or run single-threaded in recovery).
+func (m *Manager) resolveBaseLocked(j *job) error {
+	if j.req.BaseJob == "" {
+		return nil
+	}
+	if m.cfg.SubCache == nil {
+		return errors.New("service: base_job requires the daemon's submodel cache")
+	}
+	if j.opts.Parallel <= 0 {
+		return errors.New("service: base_job requires options.parallel > 0 (the incremental engine runs the submodel-split pipeline)")
+	}
+	base, ok := m.jobs[j.req.BaseJob]
+	if !ok {
+		return fmt.Errorf("service: %w: base_job %s", ErrUnknownJob, j.req.BaseJob)
+	}
+	j.baseSource = base.req.Source
+	return nil
+}
+
+// Submit validates and enqueues a request, returning the pending job's
+// status. Validation failures (bad options, bad rules, empty source)
+// return an error without creating a job; admission failures return
+// ErrQueueFull or (bulk only) ErrOverloaded.
+func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
+	j, err := buildJob(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if m.cfg.Store != nil {
+		// Marshal outside the lock: sources can be large.
+		j.reqJSON, _ = json.Marshal(req)
 	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if req.BaseJob != "" {
-		if m.cfg.SubCache == nil {
-			return JobStatus{}, errors.New("service: base_job requires the daemon's submodel cache")
-		}
-		if j.opts.Parallel <= 0 {
-			return JobStatus{}, errors.New("service: base_job requires options.parallel > 0 (the incremental engine runs the submodel-split pipeline)")
-		}
-		base, ok := m.jobs[req.BaseJob]
-		if !ok {
-			return JobStatus{}, fmt.Errorf("service: %w: base_job %s", ErrUnknownJob, req.BaseJob)
-		}
-		j.baseSource = base.req.Source
+	if err := m.resolveBaseLocked(j); err != nil {
+		m.mu.Unlock()
+		return JobStatus{}, err
 	}
 	if m.closed {
+		m.mu.Unlock()
 		return JobStatus{}, ErrShuttingDown
 	}
-	m.seq++
-	j.id = fmt.Sprintf("job-%d", m.seq)
-	select {
-	case m.queue <- j:
-	default:
-		return JobStatus{}, ErrQueueFull
+	if err := m.admitLocked(j); err != nil {
+		m.mu.Unlock()
+		return JobStatus{}, err
 	}
+	m.seq++
+	j.seq = m.seq
+	j.id = fmt.Sprintf("job-%d", m.seq)
 	m.jobs[j.id] = j
+	m.enqueueLocked(j)
 	m.counters.submitted++
 	m.reg.Counter("p4served_jobs_submitted_total", "Jobs accepted into the queue.").Inc()
-	return j.statusLocked(), nil
+	st := j.statusLocked()
+	rec := m.snapshotLocked(j)
+	m.mu.Unlock()
+
+	m.persist(rec, nil)
+	return st, nil
+}
+
+// admitLocked is the admission decision. Interactive jobs are bounded
+// only by the hard queue capacity; bulk jobs additionally yield to the
+// bulk queue share and to the overload detector, so a saturated service
+// keeps serving interactive traffic. Callers hold m.mu.
+func (m *Manager) admitLocked(j *job) error {
+	total := len(m.qInt) + len(m.qBulk)
+	if total >= m.cfg.QueueDepth {
+		m.shedLocked("queue_full")
+		return ErrQueueFull
+	}
+	if j.priority == PriorityBulk {
+		bulkShare := m.cfg.QueueDepth / 2
+		if bulkShare < 1 {
+			bulkShare = 1
+		}
+		if len(m.qBulk) >= bulkShare {
+			m.shedLocked("bulk_share")
+			return ErrOverloaded
+		}
+		if m.overloadedLocked(time.Now()) {
+			m.shedLocked("overload")
+			return ErrOverloaded
+		}
+	}
+	return nil
+}
+
+func (m *Manager) shedLocked(reason string) {
+	m.counters.shed++
+	m.reg.Counter("p4served_jobs_shed_total",
+		"Submissions rejected with 429, by reason.", telemetry.L("reason", reason)).Inc()
+}
+
+// overloadedLocked predicts whether newly queued work would miss the
+// overload deadline: either the oldest queued job has already waited
+// longer, or the drain-time estimate (EWMA job latency × queue length ÷
+// workers) exceeds it. Callers hold m.mu.
+func (m *Manager) overloadedLocked(now time.Time) bool {
+	d := m.cfg.OverloadDeadline
+	if d <= 0 {
+		return false
+	}
+	var oldest time.Time
+	if len(m.qInt) > 0 {
+		oldest = m.qInt[0].enqueued
+	}
+	if len(m.qBulk) > 0 && (oldest.IsZero() || m.qBulk[0].enqueued.Before(oldest)) {
+		oldest = m.qBulk[0].enqueued
+	}
+	if !oldest.IsZero() && now.Sub(oldest) > d {
+		return true
+	}
+	if m.ewmaSec > 0 {
+		queued := len(m.qInt) + len(m.qBulk)
+		est := m.ewmaSec * float64(queued+1) / float64(m.cfg.Workers)
+		if est > d.Seconds() {
+			return true
+		}
+	}
+	return false
+}
+
+// enqueueLocked appends to the class queue and wakes one worker. Callers
+// hold m.mu.
+func (m *Manager) enqueueLocked(j *job) {
+	if j.priority == PriorityBulk {
+		m.qBulk = append(m.qBulk, j)
+	} else {
+		m.qInt = append(m.qInt, j)
+	}
+	m.qCond.Signal()
+}
+
+// snapshotLocked bumps the job's durable revision and renders the full
+// record, or nil without a store. Callers hold m.mu (writing the record
+// happens outside it — see persist).
+func (m *Manager) snapshotLocked(j *job) *store.Job {
+	if m.cfg.Store == nil {
+		return nil
+	}
+	j.rev++
+	return &store.Job{
+		ID: j.id, Seq: j.seq, Rev: j.rev,
+		Request: j.reqJSON, Priority: j.priority,
+		State: string(j.state), Error: j.err,
+		Verdict: j.verdict, Violations: j.violations,
+		CacheHit: j.cacheHit, Technique: j.technique,
+		EnqueuedAt: j.enqueued, StartedAt: j.started, FinishedAt: j.finished,
+		Report: j.reportData,
+	}
+}
+
+// persist writes a record and retention drops to the store, outside
+// m.mu — an fsync must never block the job table. Store failures degrade
+// durability, never the job: the error is counted and the store itself
+// flips to degraded mode (visible in Stats).
+func (m *Manager) persist(rec *store.Job, evicted []string) {
+	if m.cfg.Store == nil {
+		return
+	}
+	if rec != nil {
+		if err := m.cfg.Store.Put(rec); err != nil {
+			m.reg.Counter("p4served_store_errors_total",
+				"Durable-store writes that failed (service continues in memory).").Inc()
+		}
+	}
+	for _, id := range evicted {
+		m.cfg.Store.Drop(id)
+	}
 }
 
 // Get returns a job's status.
@@ -258,23 +543,28 @@ func (m *Manager) Report(id string) ([]byte, error) {
 // cancelled. Cancelling a terminal job is a no-op.
 func (m *Manager) Cancel(id string) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
 	if !ok {
+		m.mu.Unlock()
 		return ErrUnknownJob
 	}
+	var rec *store.Job
+	var evicted []string
 	switch j.state {
 	case StatePending:
 		j.state = StateCancelled
 		j.finished = time.Now()
 		m.counters.cancelled++
 		m.reg.Counter("p4served_jobs_cancelled_total", "Jobs cancelled by the client or shutdown.").Inc()
-		m.retireLocked(j)
+		evicted = m.retireLocked(j)
+		rec = m.snapshotLocked(j)
 	case StateRunning:
 		if j.cancel != nil {
 			j.cancel()
 		}
 	}
+	m.mu.Unlock()
+	m.persist(rec, evicted)
 	return nil
 }
 
@@ -289,7 +579,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	m.closed = true
-	close(m.queue)
+	m.qCond.Broadcast()
 	m.mu.Unlock()
 
 	done := make(chan struct{})
@@ -306,6 +596,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	// Forced drain: cancel everything still alive, then wait for the
 	// workers to observe the cancellations.
 	m.mu.Lock()
+	var recs []*store.Job
 	for _, j := range m.jobs {
 		switch j.state {
 		case StatePending:
@@ -313,13 +604,18 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 			j.finished = time.Now()
 			m.counters.cancelled++
 			m.reg.Counter("p4served_jobs_cancelled_total", "Jobs cancelled by the client or shutdown.").Inc()
+			recs = append(recs, m.snapshotLocked(j))
 		case StateRunning:
 			if j.cancel != nil {
 				j.cancel()
 			}
 		}
 	}
+	m.qCond.Broadcast()
 	m.mu.Unlock()
+	for _, rec := range recs {
+		m.persist(rec, nil)
+	}
 	<-done
 	return ctx.Err()
 }
@@ -328,17 +624,26 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 func (m *Manager) Stats() StatsResponse {
 	m.mu.Lock()
 	s := StatsResponse{
-		QueueDepth:    len(m.queue),
-		QueueCapacity: m.cfg.QueueDepth,
-		Workers:       m.cfg.Workers,
-		Running:       m.running,
-		Submitted:     m.counters.submitted,
-		Done:          m.counters.done,
-		Failed:        m.counters.failed,
-		Cancelled:     m.counters.cancelled,
-		CacheHits:     m.counters.cacheHits,
+		QueueDepth:       len(m.qInt) + len(m.qBulk),
+		QueueCapacity:    m.cfg.QueueDepth,
+		QueueInteractive: len(m.qInt),
+		QueueBulk:        len(m.qBulk),
+		Workers:          m.cfg.Workers,
+		Running:          m.running,
+		Overloaded:       m.overloadedLocked(time.Now()),
+		Submitted:        m.counters.submitted,
+		Done:             m.counters.done,
+		Failed:           m.counters.failed,
+		Cancelled:        m.counters.cancelled,
+		CacheHits:        m.counters.cacheHits,
+		Shed:             m.counters.shed,
+		Recovered:        m.counters.recovered,
 	}
 	m.mu.Unlock()
+	if m.cfg.Store != nil {
+		st := m.cfg.Store.Stats()
+		s.Store = &st
+	}
 	if m.cfg.Cache != nil {
 		s.Cache = wireCacheStats(m.cfg.Cache.Stats())
 	}
@@ -365,16 +670,35 @@ func wireCacheStats(cs vcache.Stats) CacheStats {
 		MemHits:    cs.MemHits,
 		DiskHits:   cs.DiskHits,
 		Evictions:  cs.Evictions,
+		Corrupt:    cs.Corrupt,
 		Entries:    cs.Entries,
 		MaxEntries: cs.MaxEntries,
 		DiskTier:   cs.DiskTier,
 	}
 }
 
-// worker pops jobs until the queue closes (Shutdown).
+// worker pops jobs — interactive before bulk — until Shutdown closes the
+// manager and the queues drain.
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
+	for {
+		m.mu.Lock()
+		for !m.closed && len(m.qInt) == 0 && len(m.qBulk) == 0 {
+			m.qCond.Wait()
+		}
+		var j *job
+		switch {
+		case len(m.qInt) > 0:
+			j = m.qInt[0]
+			m.qInt = m.qInt[1:]
+		case len(m.qBulk) > 0:
+			j = m.qBulk[0]
+			m.qBulk = m.qBulk[1:]
+		default: // closed and empty
+			m.mu.Unlock()
+			return
+		}
+		m.mu.Unlock()
 		m.runJob(j)
 	}
 }
@@ -398,7 +722,9 @@ func (m *Manager) runJob(j *job) {
 	j.started = time.Now()
 	j.cancel = cancel
 	m.running++
+	rec := m.snapshotLocked(j)
 	m.mu.Unlock()
+	m.persist(rec, nil)
 
 	// Cache lookup first: a hit finishes the job without touching the
 	// executor (no new metrics, near-zero latency).
@@ -496,7 +822,6 @@ func (m *Manager) finish(j *job, data []byte, cacheHit bool, err error) {
 	now := time.Now()
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.running--
 	j.cancel = nil
 	j.finished = now
@@ -511,6 +836,13 @@ func (m *Manager) finish(j *job, data []byte, cacheHit bool, err error) {
 			m.counters.cacheHits++
 		} else {
 			m.observe(j.technique, now.Sub(j.started))
+			// Feed the overload detector's drain-time estimate.
+			sec := now.Sub(j.started).Seconds()
+			if m.ewmaSec == 0 {
+				m.ewmaSec = sec
+			} else {
+				m.ewmaSec = 0.8*m.ewmaSec + 0.2*sec
+			}
 		}
 	case errors.Is(err, context.Canceled):
 		j.state = StateCancelled
@@ -526,17 +858,25 @@ func (m *Manager) finish(j *job, data []byte, cacheHit bool, err error) {
 		m.counters.failed++
 	}
 	m.recordJobMetrics(j, j.state, cacheHit, now.Sub(j.started))
-	m.retireLocked(j)
+	evicted := m.retireLocked(j)
+	rec := m.snapshotLocked(j)
+	m.mu.Unlock()
+
+	m.persist(rec, evicted)
 }
 
 // retireLocked enters a finished job into the retention ring, forgetting
-// the oldest finished job beyond the bound. Callers hold m.mu.
-func (m *Manager) retireLocked(j *job) {
+// the oldest finished jobs beyond the bound, and returns the forgotten
+// IDs for the durable store's matching drop. Callers hold m.mu.
+func (m *Manager) retireLocked(j *job) []string {
 	m.order = append(m.order, j.id)
+	var evicted []string
 	for len(m.order) > m.cfg.RetainJobs {
 		delete(m.jobs, m.order[0])
+		evicted = append(evicted, m.order[0])
 		m.order = m.order[1:]
 	}
+	return evicted
 }
 
 func (m *Manager) observe(label string, d time.Duration) {
@@ -589,6 +929,7 @@ func (j *job) statusLocked() JobStatus {
 		Error:      j.err,
 		CacheHit:   j.cacheHit,
 		Technique:  j.technique,
+		Priority:   j.priority,
 		Verdict:    j.verdict,
 		Violations: j.violations,
 		EnqueuedAt: j.enqueued,

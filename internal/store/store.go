@@ -1,0 +1,511 @@
+// Package store is the crash-safe durability layer of the verification
+// service: an append-only, checksummed write-ahead log of job lifecycle
+// records with periodic snapshot compaction. p4served logs every job
+// transition (submitted → running → done/failed/cancelled, with the
+// finished report bytes) through it; after a crash, Open replays the
+// longest valid log prefix and the service resubmits whatever was still
+// in flight.
+//
+// Durability model:
+//
+//   - Every record is framed as length + CRC32 + JSON payload and
+//     appended to dir/wal.log. Appends are group-committed: an
+//     asynchronous writer batches concurrently queued records into one
+//     write + one fsync, and Put returns only after its record is
+//     durable (or the write failed).
+//   - Recovery tolerates torn writes: replay stops at the first record
+//     that is short, overlong or fails its checksum, and the log is
+//     truncated back to the last valid record. A crash mid-append loses
+//     at most the unacknowledged suffix — never acknowledged records,
+//     never the whole log.
+//   - Every SnapshotEvery appended records the state is compacted: the
+//     full job table is written to dir/snapshot (same frame format,
+//     atomic rename) and the WAL restarts empty. A corrupt snapshot is
+//     quarantined aside and recovery proceeds from the WAL alone.
+//   - Finished jobs are retained up to a TTL (and an optional count
+//     bound); retention is enforced at compaction and at open.
+//   - A failed write or fsync flips the store into degraded mode:
+//     appends stop (the WAL tail may be torn), reads keep working, and
+//     the service keeps serving from memory. Degraded is surfaced in
+//     Stats so operators see durability loss instead of silent lying.
+//
+// The payloads are opaque to this package beyond the Job envelope —
+// internal/service stores its wire-format JobRequest and report bytes in
+// them — so the store has no dependency on the service types.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p4assert/internal/failpoint"
+)
+
+// Lifecycle states mirrored from the service (kept as plain strings so
+// the store does not import it).
+const (
+	StatePending   = "pending"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// TerminalState reports whether a state string is final.
+func TerminalState(s string) bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Errors.
+var (
+	// ErrDegraded rejects appends after a write/fsync failure: the WAL
+	// tail is suspect and appending past it would fake durability.
+	ErrDegraded = errors.New("store: degraded (previous write failed); appends disabled")
+	errClosed   = errors.New("store: closed")
+)
+
+// Job is one job's durable record. Every Put logs the full record (not a
+// delta), so replay is insensitive to write interleaving: the highest
+// Rev wins.
+type Job struct {
+	ID string `json:"id"`
+	// Seq is the service's submission sequence number; Open's MaxSeq
+	// restores the ID counter across restarts.
+	Seq int64 `json:"seq"`
+	// Rev orders this job's own transitions (submit=1, running=2, ...).
+	// Apply keeps the highest seen, so concurrent Put goroutines cannot
+	// resurrect an earlier state on replay.
+	Rev int64 `json:"rev"`
+	// Request is the service's wire-format JobRequest, opaque here. It is
+	// what recovery needs to resubmit an interrupted job.
+	Request json.RawMessage `json:"request,omitempty"`
+	// Priority is the admission class ("interactive" or "bulk").
+	Priority string `json:"priority,omitempty"`
+	State    string `json:"state"`
+	Error    string `json:"error,omitempty"`
+	Verdict  string `json:"verdict,omitempty"`
+	// Violations counts violated assertions (divergences for diff jobs).
+	Violations int    `json:"violations,omitempty"`
+	CacheHit   bool   `json:"cache_hit,omitempty"`
+	Technique  string `json:"technique,omitempty"`
+	EnqueuedAt time.Time `json:"enqueued_at"`
+	StartedAt  time.Time `json:"started_at,omitempty"`
+	FinishedAt time.Time `json:"finished_at,omitempty"`
+	// Report is the serialized report of a done job, byte-preserved
+	// across restarts.
+	Report []byte `json:"report,omitempty"`
+}
+
+// clone returns a deep-enough copy (the byte slices are never mutated
+// after Put, so sharing them is safe).
+func (j *Job) clone() *Job {
+	c := *j
+	return &c
+}
+
+// record is one WAL entry.
+type record struct {
+	// Op is "put" (full job record) or "drop" (retention removal).
+	Op  string `json:"op"`
+	Job *Job   `json:"job,omitempty"`
+	ID  string `json:"id,omitempty"`
+}
+
+// snapshotState is the compacted form of the whole store.
+type snapshotState struct {
+	Jobs []*Job `json:"jobs"`
+}
+
+// Options configures a Store.
+type Options struct {
+	// SnapshotEvery compacts after this many WAL records (0 = 4096;
+	// negative disables automatic compaction).
+	SnapshotEvery int
+	// Retain drops finished jobs whose FinishedAt is older than this at
+	// compaction/open time (0 = keep forever).
+	Retain time.Duration
+	// MaxFinished bounds retained finished jobs, oldest dropped first
+	// (0 = unbounded).
+	MaxFinished int
+	// NoSync skips fsync (tests that measure logic, not durability).
+	NoSync bool
+}
+
+// DefaultSnapshotEvery is the automatic compaction threshold.
+const DefaultSnapshotEvery = 4096
+
+// Stats counts store activity since Open.
+type Stats struct {
+	// Jobs is the live record count; Finished of those are terminal.
+	Jobs     int `json:"jobs"`
+	Finished int `json:"finished"`
+	// Appends counts durable WAL records; Drops of those were retention
+	// removals.
+	Appends int64 `json:"appends"`
+	Drops   int64 `json:"drops"`
+	// Snapshots counts compactions; WALRecords is the record count since
+	// the last one.
+	Snapshots  int64 `json:"snapshots"`
+	WALRecords int64 `json:"wal_records"`
+	// RecoveredRecords/TruncatedBytes describe the last Open: how many
+	// records replayed and how many torn/corrupt tail bytes were cut.
+	RecoveredRecords int64 `json:"recovered_records"`
+	TruncatedBytes   int64 `json:"truncated_bytes"`
+	// SnapshotQuarantined marks an unreadable snapshot set aside at Open.
+	SnapshotQuarantined bool `json:"snapshot_quarantined,omitempty"`
+	// Expired counts finished jobs dropped by TTL/bound retention.
+	Expired int64 `json:"expired"`
+	// Degraded reports that a write failed and appends are disabled.
+	Degraded bool `json:"degraded"`
+}
+
+// Store is a WAL-backed job/report store. Safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	walCount  int64 // records in the current WAL generation
+	stats     Stats
+	closed    bool
+	compactMu sync.Mutex // serializes Compact callers
+
+	degraded atomic.Bool
+	w        *walWriter
+	closeOne sync.Once
+}
+
+func (s *Store) walPath() string      { return filepath.Join(s.dir, "wal.log") }
+func (s *Store) snapPath() string     { return filepath.Join(s.dir, "snapshot") }
+func (s *Store) snapTmpPath() string  { return filepath.Join(s.dir, "snapshot.tmp") }
+func (s *Store) snapQuarPath() string { return filepath.Join(s.dir, "snapshot.corrupt") }
+
+// Open loads (or creates) the store in dir: snapshot first, then the
+// WAL's longest valid prefix, truncating any torn tail.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts, jobs: map[string]*Job{}}
+
+	// Snapshot: atomic-renamed and CRC-framed, so it is either a whole
+	// valid state or quarantined — never half-applied.
+	if data, err := os.ReadFile(s.snapPath()); err == nil {
+		if err := s.loadSnapshot(data); err != nil {
+			os.Remove(s.snapQuarPath())
+			os.Rename(s.snapPath(), s.snapQuarPath())
+			s.stats.SnapshotQuarantined = true
+			s.jobs = map[string]*Job{}
+		}
+	}
+
+	f, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	records, validEnd, err := scanWAL(f, func(payload []byte) {
+		var rec record
+		if json.Unmarshal(payload, &rec) != nil {
+			return // CRC-valid but unparseable: skip, keep replaying
+		}
+		s.apply(&rec)
+	})
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: wal replay: %w", err)
+	}
+	size, err := f.Seek(0, 2)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if validEnd < size {
+		// Torn or corrupt tail: cut back to the last valid record so
+		// future appends start from a clean frame boundary.
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: truncating torn tail: %w", err)
+		}
+		s.stats.TruncatedBytes = size - validEnd
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.stats.RecoveredRecords = int64(records)
+	s.walCount = int64(records)
+
+	s.expireLocked(time.Now())
+	s.w = newWALWriter(f, opts.NoSync)
+	return s, nil
+}
+
+// loadSnapshot parses a framed snapshot file into the job table.
+func (s *Store) loadSnapshot(data []byte) error {
+	payload, err := readFrameBytes(data)
+	if err != nil {
+		return err
+	}
+	var snap snapshotState
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return fmt.Errorf("%w: %v", errCorrupt, err)
+	}
+	for _, j := range snap.Jobs {
+		s.jobs[j.ID] = j
+	}
+	return nil
+}
+
+// readFrameBytes validates a single frame held fully in memory.
+func readFrameBytes(data []byte) ([]byte, error) {
+	return readFrame(bytes.NewReader(data))
+}
+
+// apply merges one record into the in-memory table (Rev-ordered).
+func (s *Store) apply(rec *record) {
+	switch rec.Op {
+	case "put":
+		if rec.Job == nil || rec.Job.ID == "" {
+			return
+		}
+		if cur, ok := s.jobs[rec.Job.ID]; ok && cur.Rev > rec.Job.Rev {
+			return
+		}
+		s.jobs[rec.Job.ID] = rec.Job
+	case "drop":
+		delete(s.jobs, rec.ID)
+	}
+}
+
+// Put makes a job record durable and applies it. It blocks until the
+// record is fsynced (group-committed with concurrent Puts) and returns
+// ErrDegraded without writing once a previous write has failed.
+func (s *Store) Put(j *Job) error {
+	return s.append(&record{Op: "put", Job: j.clone()})
+}
+
+// Drop durably removes a job record (retention).
+func (s *Store) Drop(id string) error {
+	return s.append(&record{Op: "drop", ID: id})
+}
+
+func (s *Store) append(rec *record) error {
+	if s.degraded.Load() {
+		return ErrDegraded
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errClosed
+	}
+	s.apply(rec)
+	s.mu.Unlock()
+
+	if err := s.w.submit(&walReq{payload: payload}); err != nil {
+		if err != errClosed {
+			s.degraded.Store(true)
+		}
+		return err
+	}
+
+	s.mu.Lock()
+	s.stats.Appends++
+	if rec.Op == "drop" {
+		s.stats.Drops++
+	}
+	s.walCount++
+	needCompact := s.opts.SnapshotEvery > 0 && s.walCount >= int64(s.opts.SnapshotEvery)
+	s.mu.Unlock()
+
+	if needCompact {
+		// Best-effort: a failed compaction leaves the (valid, longer) WAL
+		// in place; it is retried at the next threshold crossing.
+		s.Compact()
+	}
+	return nil
+}
+
+// Compact writes the full state as a fresh snapshot (atomic rename),
+// truncates the WAL, and enforces retention. Concurrent appends queue
+// behind the rotation; concurrent Compacts coalesce.
+func (s *Store) Compact() error {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	if s.degraded.Load() {
+		return ErrDegraded
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errClosed
+	}
+	s.expireLocked(time.Now())
+	snap := snapshotState{Jobs: make([]*Job, 0, len(s.jobs))}
+	for _, j := range s.jobs {
+		snap.Jobs = append(snap.Jobs, j)
+	}
+	sort.Slice(snap.Jobs, func(i, k int) bool { return snap.Jobs[i].Seq < snap.Jobs[k].Seq })
+	s.mu.Unlock()
+
+	payload, err := json.Marshal(&snap)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	frame := encodeFrame(payload)
+
+	// The rotation runs on the writer goroutine, strictly after every
+	// append enqueued before it: those records are all reflected in the
+	// snapshot (apply happens before enqueue under s.mu), so dropping
+	// the old WAL loses nothing.
+	err = s.w.submit(&walReq{rotate: func(f *os.File) (*os.File, error) {
+		if a := failpoint.Hit(FailpointSnapshot); a != nil && a.Kind == "error" {
+			return nil, a.Err
+		}
+		if err := os.WriteFile(s.snapTmpPath(), frame, 0o644); err != nil {
+			return nil, fmt.Errorf("store: snapshot: %w", err)
+		}
+		if !s.opts.NoSync {
+			if sf, err := os.Open(s.snapTmpPath()); err == nil {
+				sf.Sync()
+				sf.Close()
+			}
+		}
+		if err := os.Rename(s.snapTmpPath(), s.snapPath()); err != nil {
+			return nil, fmt.Errorf("store: snapshot: %w", err)
+		}
+		if err := f.Truncate(0); err != nil {
+			return nil, fmt.Errorf("store: wal reset: %w", err)
+		}
+		if _, err := f.Seek(0, 0); err != nil {
+			return nil, fmt.Errorf("store: wal reset: %w", err)
+		}
+		return nil, nil
+	}})
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	s.walCount = 0
+	s.stats.Snapshots++
+	s.mu.Unlock()
+	return nil
+}
+
+// expireLocked enforces TTL and count retention on finished jobs.
+// Callers hold s.mu.
+func (s *Store) expireLocked(now time.Time) {
+	var finished []*Job
+	for _, j := range s.jobs {
+		if TerminalState(j.State) {
+			finished = append(finished, j)
+		}
+	}
+	drop := func(j *Job) {
+		delete(s.jobs, j.ID)
+		s.stats.Expired++
+	}
+	if s.opts.Retain > 0 {
+		cutoff := now.Add(-s.opts.Retain)
+		kept := finished[:0]
+		for _, j := range finished {
+			if !j.FinishedAt.IsZero() && j.FinishedAt.Before(cutoff) {
+				drop(j)
+			} else {
+				kept = append(kept, j)
+			}
+		}
+		finished = kept
+	}
+	if s.opts.MaxFinished > 0 && len(finished) > s.opts.MaxFinished {
+		sort.Slice(finished, func(i, k int) bool { return finished[i].Seq < finished[k].Seq })
+		for _, j := range finished[:len(finished)-s.opts.MaxFinished] {
+			drop(j)
+		}
+	}
+}
+
+// Jobs snapshots every live record, sorted by submission sequence.
+func (s *Store) Jobs() []*Job {
+	s.mu.Lock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.clone())
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].Seq < out[k].Seq })
+	return out
+}
+
+// Get returns one record, or nil.
+func (s *Store) Get(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		return j.clone()
+	}
+	return nil
+}
+
+// MaxSeq returns the highest submission sequence seen, for restoring the
+// service's ID counter after a restart.
+func (s *Store) MaxSeq() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var max int64
+	for _, j := range s.jobs {
+		if j.Seq > max {
+			max = j.Seq
+		}
+	}
+	return max
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Jobs = len(s.jobs)
+	for _, j := range s.jobs {
+		if TerminalState(j.State) {
+			st.Finished++
+		}
+	}
+	st.WALRecords = s.walCount
+	st.Degraded = s.degraded.Load()
+	return st
+}
+
+// Degraded reports whether a write failure has disabled appends.
+func (s *Store) Degraded() bool { return s.degraded.Load() }
+
+// Close stops the writer after draining queued appends. Further Puts
+// fail. Close never compacts — the WAL alone is a complete record.
+func (s *Store) Close() error {
+	s.closeOne.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.w.close()
+	})
+	return nil
+}

@@ -1,0 +1,499 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"p4assert/internal/failpoint"
+)
+
+func job(id string, seq, rev int64, state string) *Job {
+	j := &Job{ID: id, Seq: seq, Rev: rev, State: state, EnqueuedAt: time.Unix(1000+seq, 0).UTC()}
+	if TerminalState(state) {
+		j.FinishedAt = time.Unix(2000+seq, 0).UTC()
+		if state == StateDone {
+			j.Report = []byte(fmt.Sprintf(`{"verdict":"ok","job":%q}`, id))
+		}
+	}
+	return j
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+// TestRoundTrip: records written before Close are all there after reopen,
+// including report bytes, byte for byte.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{NoSync: true})
+	for i := int64(1); i <= 5; i++ {
+		if err := s.Put(job(fmt.Sprintf("j%d", i), i, 1, StatePending)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(job(fmt.Sprintf("j%d", i), i, 3, StateDone)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Drop("j3"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{NoSync: true})
+	defer s2.Close()
+	jobs := s2.Jobs()
+	if len(jobs) != 4 {
+		t.Fatalf("recovered %d jobs, want 4", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.State != StateDone || j.Rev != 3 {
+			t.Fatalf("job %s recovered as %s rev %d", j.ID, j.State, j.Rev)
+		}
+		want := fmt.Sprintf(`{"verdict":"ok","job":%q}`, j.ID)
+		if string(j.Report) != want {
+			t.Fatalf("job %s report = %q, want %q", j.ID, j.Report, want)
+		}
+	}
+	if got := s2.MaxSeq(); got != 5 {
+		t.Fatalf("MaxSeq = %d, want 5", got)
+	}
+	if st := s2.Stats(); st.RecoveredRecords != 11 || st.TruncatedBytes != 0 {
+		t.Fatalf("stats after clean reopen: %+v", st)
+	}
+}
+
+// TestRevOrdering: an older rev appended after a newer one (out-of-order
+// interleaving of concurrent Put goroutines) must not win on replay.
+func TestRevOrdering(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{NoSync: true})
+	if err := s.Put(job("j1", 1, 3, StateDone)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(job("j1", 1, 2, StateRunning)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Get("j1"); got.State != StateDone {
+		t.Fatalf("live state = %s, want done", got.State)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{NoSync: true})
+	defer s2.Close()
+	if got := s2.Get("j1"); got == nil || got.State != StateDone || got.Rev != 3 {
+		t.Fatalf("replayed state = %+v, want done rev 3", got)
+	}
+}
+
+// TestTornTailTruncated: bytes of a partial record at the WAL tail (a
+// crash mid-append) are cut on open and every prior record survives.
+func TestTornTailTruncated(t *testing.T) {
+	for _, cut := range []struct {
+		name string
+		keep int // bytes of the final frame to keep
+	}{
+		{"header-only", 5},
+		{"partial-payload", frameHeaderLen + 10},
+	} {
+		t.Run(cut.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := mustOpen(t, dir, Options{NoSync: true})
+			for i := int64(1); i <= 3; i++ {
+				if err := s.Put(job(fmt.Sprintf("j%d", i), i, 1, StateDone)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s.Close()
+
+			// Manually append a torn frame.
+			payload, _ := json.Marshal(&record{Op: "put", Job: job("torn", 9, 1, StateDone)})
+			frame := encodeFrame(payload)
+			walPath := filepath.Join(dir, "wal.log")
+			f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(frame[:cut.keep]); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+			before, _ := os.Stat(walPath)
+
+			s2 := mustOpen(t, dir, Options{NoSync: true})
+			defer s2.Close()
+			if got := len(s2.Jobs()); got != 3 {
+				t.Fatalf("recovered %d jobs, want 3", got)
+			}
+			if s2.Get("torn") != nil {
+				t.Fatal("torn record resurrected")
+			}
+			st := s2.Stats()
+			if st.TruncatedBytes != int64(cut.keep) {
+				t.Fatalf("TruncatedBytes = %d, want %d", st.TruncatedBytes, cut.keep)
+			}
+			after, _ := os.Stat(walPath)
+			if after.Size() != before.Size()-int64(cut.keep) {
+				t.Fatalf("wal size %d, want %d", after.Size(), before.Size()-int64(cut.keep))
+			}
+
+			// The truncated log must accept appends again.
+			if err := s2.Put(job("j4", 4, 1, StateDone)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBitFlipStopsReplay: a flipped byte mid-log fails the CRC; replay
+// keeps the prefix and truncates the rest (even valid records after the
+// flip — order must not be reinvented around a hole).
+func TestBitFlipStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{NoSync: true})
+	var offsets []int64
+	for i := int64(1); i <= 5; i++ {
+		if err := s.Put(job(fmt.Sprintf("j%d", i), i, 1, StateDone)); err != nil {
+			t.Fatal(err)
+		}
+		fi, _ := os.Stat(filepath.Join(dir, "wal.log"))
+		offsets = append(offsets, fi.Size())
+	}
+	s.Close()
+
+	// Flip a payload byte inside record 3.
+	walPath := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[offsets[1]+frameHeaderLen+4] ^= 0x01
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{NoSync: true})
+	defer s2.Close()
+	if got := len(s2.Jobs()); got != 2 {
+		t.Fatalf("recovered %d jobs, want 2 (prefix before the flip)", got)
+	}
+	st := s2.Stats()
+	if st.RecoveredRecords != 2 || st.TruncatedBytes != offsets[4]-offsets[1] {
+		t.Fatalf("stats = %+v, want 2 records, %d truncated bytes", st, offsets[4]-offsets[1])
+	}
+}
+
+// TestFailpointMatrix drives the injected fault kinds through Put and
+// checks both the degraded-mode contract and what a reopen recovers.
+func TestFailpointMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		site string
+		spec string
+		// wantRecovered is how many of the 5 records survive reopen: the 2
+		// acked before arming always do; the faulted record may or may not
+		// have reached the disk intact.
+		minRecovered, maxRecovered int
+	}{
+		{"short-write", FailpointWrite, "times(1):short", 2, 2},
+		{"write-error", FailpointWrite, "times(1):error", 2, 2},
+		{"fsync-error", FailpointFsync, "times(1):error", 2, 3},
+		// A corrupt record is written and fsynced "successfully" — the
+		// fault surfaces only at replay, where the CRC cuts it.
+		{"corrupt-record", FailpointRecord, "times(1):corrupt", 2, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer failpoint.Reset()
+			dir := t.TempDir()
+			s := mustOpen(t, dir, Options{NoSync: tc.site == FailpointRecord})
+			for i := int64(1); i <= 2; i++ {
+				if err := s.Put(job(fmt.Sprintf("ok%d", i), i, 1, StateDone)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := failpoint.Arm(tc.site, tc.spec); err != nil {
+				t.Fatal(err)
+			}
+			err := s.Put(job("faulted", 3, 1, StateDone))
+			failpoint.Reset()
+
+			if tc.name == "corrupt-record" {
+				// Silent corruption: the write "succeeds".
+				if err != nil {
+					t.Fatalf("corrupt write errored: %v", err)
+				}
+				if s.Degraded() {
+					t.Fatal("silent corruption must not degrade the live store")
+				}
+			} else {
+				if err == nil {
+					t.Fatal("faulted Put succeeded")
+				}
+				if !s.Degraded() {
+					t.Fatal("store not degraded after write failure")
+				}
+				// Degraded: further appends refuse rather than append past a
+				// possibly-torn tail.
+				if err := s.Put(job("after", 4, 1, StateDone)); err != ErrDegraded {
+					t.Fatalf("append while degraded = %v, want ErrDegraded", err)
+				}
+				if err := s.Compact(); err != ErrDegraded {
+					t.Fatalf("compact while degraded = %v, want ErrDegraded", err)
+				}
+				// Reads still work.
+				if s.Get("ok1") == nil {
+					t.Fatal("read failed while degraded")
+				}
+			}
+			s.Close()
+
+			s2 := mustOpen(t, dir, Options{NoSync: true})
+			defer s2.Close()
+			got := len(s2.Jobs())
+			if got < tc.minRecovered || got > tc.maxRecovered {
+				t.Fatalf("recovered %d records, want %d..%d", got, tc.minRecovered, tc.maxRecovered)
+			}
+			if s2.Get("ok1") == nil || s2.Get("ok2") == nil {
+				t.Fatal("acknowledged records lost")
+			}
+			// Whatever happened, the reopened store accepts appends.
+			if err := s2.Put(job("fresh", 9, 1, StateDone)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSnapshotCompaction: compaction moves state into the snapshot,
+// empties the WAL, and a reopen sees everything.
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{NoSync: true, SnapshotEvery: -1})
+	for i := int64(1); i <= 10; i++ {
+		if err := s.Put(job(fmt.Sprintf("j%d", i), i, 1, StateDone)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "wal.log")); err != nil || fi.Size() != 0 {
+		t.Fatalf("wal after compact: size=%v err=%v, want empty", fi.Size(), err)
+	}
+	if st := s.Stats(); st.Snapshots != 1 || st.WALRecords != 0 {
+		t.Fatalf("stats after compact: %+v", st)
+	}
+	// Appends after compaction land in the fresh WAL.
+	if err := s.Put(job("j11", 11, 1, StateDone)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{NoSync: true})
+	defer s2.Close()
+	if got := len(s2.Jobs()); got != 11 {
+		t.Fatalf("recovered %d jobs, want 11", got)
+	}
+}
+
+// TestAutoCompaction: crossing SnapshotEvery compacts without an explicit
+// call.
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{NoSync: true, SnapshotEvery: 5})
+	defer s.Close()
+	for i := int64(1); i <= 12; i++ {
+		if err := s.Put(job(fmt.Sprintf("j%d", i), i, 1, StateDone)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Snapshots < 2 {
+		t.Fatalf("Snapshots = %d, want >= 2 after 12 appends at SnapshotEvery=5", st.Snapshots)
+	}
+}
+
+// TestCorruptSnapshotQuarantined: an unreadable snapshot is set aside,
+// not fatal, and the WAL still replays.
+func TestCorruptSnapshotQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{NoSync: true, SnapshotEvery: -1})
+	for i := int64(1); i <= 3; i++ {
+		if err := s.Put(job(fmt.Sprintf("j%d", i), i, 1, StateDone)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(job("j4", 4, 1, StateDone)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Smash the snapshot.
+	snapPath := filepath.Join(dir, "snapshot")
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(snapPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{NoSync: true})
+	defer s2.Close()
+	st := s2.Stats()
+	if !st.SnapshotQuarantined {
+		t.Fatal("corrupt snapshot not flagged")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.corrupt")); err != nil {
+		t.Fatal("corrupt snapshot not set aside:", err)
+	}
+	// Only the post-compaction WAL record survives (snapshot contents are
+	// gone — quarantine trades them for availability).
+	if got := len(s2.Jobs()); got != 1 || s2.Get("j4") == nil {
+		t.Fatalf("recovered %d jobs (j4=%v), want just j4", got, s2.Get("j4"))
+	}
+}
+
+// TestRetention: TTL and count bounds drop finished jobs; pending ones
+// are never retention targets.
+func TestRetention(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{NoSync: true, Retain: time.Hour, MaxFinished: 3, SnapshotEvery: -1})
+	now := time.Now()
+	for i := int64(1); i <= 6; i++ {
+		j := job(fmt.Sprintf("old%d", i), i, 1, StateDone)
+		j.FinishedAt = now.Add(-2 * time.Hour)
+		if err := s.Put(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(7); i <= 12; i++ {
+		j := job(fmt.Sprintf("new%d", i), i, 1, StateDone)
+		j.FinishedAt = now
+		if err := s.Put(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pend := job("pending-old", 13, 1, StatePending)
+	pend.EnqueuedAt = now.Add(-48 * time.Hour)
+	if err := s.Put(pend); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs := s.Jobs()
+	var finished, pending int
+	for _, j := range jobs {
+		if TerminalState(j.State) {
+			finished++
+			if strings.HasPrefix(j.ID, "old") {
+				t.Fatalf("TTL-expired job %s retained", j.ID)
+			}
+		} else {
+			pending++
+		}
+	}
+	if finished != 3 {
+		t.Fatalf("retained %d finished jobs, want 3 (MaxFinished)", finished)
+	}
+	if pending != 1 {
+		t.Fatal("pending job was retention-dropped")
+	}
+	if st := s.Stats(); st.Expired != 9 {
+		t.Fatalf("Expired = %d, want 9", st.Expired)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{NoSync: true})
+	defer s2.Close()
+	if got := len(s2.Jobs()); got != 4 {
+		t.Fatalf("recovered %d jobs, want 4", got)
+	}
+}
+
+// TestConcurrentPuts: many goroutines appending at once (group-commit
+// path) all land, and reopen agrees.
+func TestConcurrentPuts(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{NoSync: true})
+	const n = 200
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.Put(job(fmt.Sprintf("j%d", i), int64(i+1), 1, StateDone))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{NoSync: true})
+	defer s2.Close()
+	if got := len(s2.Jobs()); got != n {
+		t.Fatalf("recovered %d jobs, want %d", got, n)
+	}
+}
+
+// TestClosedStore: appends after Close fail cleanly.
+func TestClosedStore(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{NoSync: true})
+	s.Close()
+	s.Close() // idempotent
+	if err := s.Put(job("late", 1, 1, StateDone)); err == nil {
+		t.Fatal("Put after Close succeeded")
+	}
+}
+
+// TestSnapshotFailpoint: a failed compaction leaves the WAL intact and
+// the store usable.
+func TestSnapshotFailpoint(t *testing.T) {
+	defer failpoint.Reset()
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{NoSync: true, SnapshotEvery: -1})
+	for i := int64(1); i <= 3; i++ {
+		if err := s.Put(job(fmt.Sprintf("j%d", i), i, 1, StateDone)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := failpoint.Arm(FailpointSnapshot, "times(1):error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err == nil {
+		t.Fatal("faulted Compact succeeded")
+	}
+	// The WAL still holds everything; a retry succeeds.
+	if err := s.Compact(); err != nil {
+		t.Fatalf("retry Compact: %v", err)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{NoSync: true})
+	defer s2.Close()
+	if got := len(s2.Jobs()); got != 3 {
+		t.Fatalf("recovered %d jobs, want 3", got)
+	}
+}

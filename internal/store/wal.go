@@ -1,0 +1,284 @@
+package store
+
+// The write-ahead log: length+CRC framed JSON records, an asynchronous
+// writer goroutine that group-commits (one fsync covers every record
+// queued behind it), and a torn-write-tolerant scanner that recovers the
+// longest valid prefix.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"p4assert/internal/failpoint"
+)
+
+// Failpoint sites threaded through the WAL hot path (see
+// internal/failpoint for the spec grammar).
+const (
+	// FailpointWrite injects write faults: "error" fails the write
+	// outright; "short" writes only a prefix of the frame, leaving a torn
+	// record on disk (what a crash mid-write leaves behind).
+	FailpointWrite = "store/wal/write"
+	// FailpointFsync injects an fsync error after a batch is written.
+	FailpointFsync = "store/wal/fsync"
+	// FailpointRecord ("corrupt") flips a byte of the framed payload
+	// before it reaches the disk, simulating media corruption that the
+	// CRC must catch on replay.
+	FailpointRecord = "store/wal/record"
+	// FailpointSnapshot injects an error into snapshot compaction.
+	FailpointSnapshot = "store/snapshot/write"
+)
+
+// frameHeaderLen is the per-record framing overhead: a 4-byte
+// little-endian payload length followed by a 4-byte CRC32 (IEEE) of the
+// payload.
+const frameHeaderLen = 8
+
+// maxRecordLen rejects absurd lengths during recovery: a header whose
+// length field exceeds it is treated as corruption, not as a 4 GiB
+// allocation. Reports are capped far below this by the service API.
+const maxRecordLen = 64 << 20
+
+// errCorrupt marks a frame that failed validation during a scan.
+var errCorrupt = errors.New("store: corrupt record")
+
+// encodeFrame renders one record: length, CRC32(payload), payload.
+func encodeFrame(payload []byte) []byte {
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderLen:], payload)
+	return frame
+}
+
+// readFrame reads one record from r. io.EOF means a clean end;
+// errCorrupt (possibly wrapped) means the bytes at the cursor are not a
+// valid record — a torn tail or flipped bits.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		// A partial header is a torn write, not an I/O failure.
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: torn header", errCorrupt)
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > maxRecordLen {
+		return nil, fmt.Errorf("%w: implausible length %d", errCorrupt, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: torn payload", errCorrupt)
+		}
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", errCorrupt)
+	}
+	return payload, nil
+}
+
+// scanWAL replays every valid record from f, calling apply for each. It
+// returns the number of records applied and the byte offset of the first
+// invalid record (== file size when the log is fully valid). A non-nil
+// error is a real I/O failure, not corruption.
+func scanWAL(f *os.File, apply func(payload []byte)) (records int, validEnd int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, err
+	}
+	r := &countingReader{r: f}
+	for {
+		payload, err := readFrame(r)
+		if err == io.EOF {
+			return records, validEnd, nil
+		}
+		if errors.Is(err, errCorrupt) {
+			return records, validEnd, nil
+		}
+		if err != nil {
+			return records, validEnd, err
+		}
+		apply(payload)
+		records++
+		validEnd = r.n
+	}
+}
+
+// countingReader tracks how many bytes have been consumed, so the
+// scanner knows where the last valid record ended.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// walReq is one unit of work for the writer goroutine: either payloads
+// to append (group-committed) or a rotate closure executed serially with
+// respect to every append queued before it.
+type walReq struct {
+	payload []byte
+	rotate  func(f *os.File) (*os.File, error)
+	done    chan error
+}
+
+// walWriter owns the WAL file handle. All writes and rotations funnel
+// through its goroutine, which batches queued appends into a single
+// write+fsync group commit.
+type walWriter struct {
+	ch     chan *walReq
+	closed chan struct{}
+	noSync bool
+}
+
+// maxBatch bounds how many queued appends share one fsync.
+const maxBatch = 128
+
+func newWALWriter(f *os.File, noSync bool) *walWriter {
+	w := &walWriter{
+		ch:     make(chan *walReq, 256),
+		closed: make(chan struct{}),
+		noSync: noSync,
+	}
+	go w.loop(f)
+	return w
+}
+
+// submit enqueues a request and waits for its durability (or failure).
+func (w *walWriter) submit(r *walReq) error {
+	r.done = make(chan error, 1)
+	select {
+	case w.ch <- r:
+	case <-w.closed:
+		return errClosed
+	}
+	select {
+	case err := <-r.done:
+		return err
+	case <-w.closed:
+		// The loop acks every request before exiting; a closed signal
+		// with no ack means the request raced the close.
+		select {
+		case err := <-r.done:
+			return err
+		default:
+			return errClosed
+		}
+	}
+}
+
+// close stops the writer after draining queued work.
+func (w *walWriter) close() {
+	select {
+	case <-w.closed:
+		return
+	default:
+	}
+	done := make(chan error, 1)
+	w.ch <- &walReq{rotate: func(f *os.File) (*os.File, error) { return nil, errClosed }, done: done}
+	<-done
+}
+
+// loop is the writer goroutine: batch appends, one fsync per batch, ack
+// every waiter. A rotate request forms a batch boundary so the WAL file
+// swap is ordered against every append around it.
+func (w *walWriter) loop(f *os.File) {
+	defer close(w.closed)
+	for first := range w.ch {
+		batch := []*walReq{}
+		var rotate *walReq
+		if first.rotate != nil {
+			rotate = first
+		} else {
+			batch = append(batch, first)
+		drain:
+			for len(batch) < maxBatch && rotate == nil {
+				select {
+				case r := <-w.ch:
+					if r.rotate != nil {
+						rotate = r
+					} else {
+						batch = append(batch, r)
+					}
+				default:
+					break drain
+				}
+			}
+		}
+		if len(batch) > 0 {
+			err := w.writeBatch(f, batch)
+			for _, r := range batch {
+				r.done <- err
+			}
+		}
+		if rotate != nil {
+			nf, err := rotate.rotate(f)
+			if err == errClosed {
+				// Shutdown sentinel: sync what we have and stop.
+				if !w.noSync {
+					f.Sync()
+				}
+				f.Close()
+				rotate.done <- nil
+				return
+			}
+			if err == nil && nf != nil {
+				f.Close()
+				f = nf
+			}
+			rotate.done <- err
+		}
+	}
+}
+
+// writeBatch appends every payload as a frame, then makes the batch
+// durable with one fsync. The failpoint sites model the crash anatomy:
+// a short write leaves a torn record, a corrupt record flips bits past
+// the CRC, a failed fsync leaves durability unknown.
+func (w *walWriter) writeBatch(f *os.File, batch []*walReq) error {
+	for _, r := range batch {
+		frame := encodeFrame(r.payload)
+		if a := failpoint.Hit(FailpointRecord); a != nil && a.Kind == "corrupt" && len(r.payload) > 0 {
+			frame[frameHeaderLen+len(r.payload)/2] ^= 0x40
+		}
+		if a := failpoint.Hit(FailpointWrite); a != nil {
+			switch a.Kind {
+			case "error":
+				return a.Err
+			case "short":
+				n := a.N
+				if n <= 0 || n >= int64(len(frame)) {
+					n = int64(len(frame)) / 2
+				}
+				f.Write(frame[:n])
+				return a.Err
+			}
+		}
+		if _, err := f.Write(frame); err != nil {
+			return fmt.Errorf("store: wal write: %w", err)
+		}
+	}
+	if w.noSync {
+		return nil
+	}
+	if a := failpoint.Hit(FailpointFsync); a != nil && a.Kind == "error" {
+		return a.Err
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: wal fsync: %w", err)
+	}
+	return nil
+}

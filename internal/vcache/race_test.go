@@ -8,12 +8,15 @@ package vcache
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 )
 
 func TestStatsRaceWithAccess(t *testing.T) {
-	c, err := New(8, t.TempDir())
+	dir := t.TempDir()
+	c, err := New(8, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,6 +47,20 @@ func TestStatsRaceWithAccess(t *testing.T) {
 			c.Get("corrupt")
 		}
 	}()
+	// And one hammers the disk-quarantine path: torn headerless files
+	// planted straight on disk, each read bumping Corrupt under the lock.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; i < 200; i++ {
+			key := fmt.Sprintf("torn-%d", i)
+			os.WriteFile(filepath.Join(dir, key+".json"), []byte("p4vc1 torn"), 0o644)
+			if _, ok := c.GetBytes(key); ok {
+				t.Errorf("torn entry %s served as a hit", key)
+				return
+			}
+		}
+	}()
 
 	// Readers: continuous Stats snapshots during the churn. The invariant
 	// Hits == MemHits + DiskHits holds under the lock, so any snapshot
@@ -65,6 +82,12 @@ func TestStatsRaceWithAccess(t *testing.T) {
 				}
 				if s.Entries > s.MaxEntries {
 					t.Errorf("entries %d beyond bound %d", s.Entries, s.MaxEntries)
+					return
+				}
+				// Every quarantine counts a miss under the same lock hold,
+				// so no snapshot can show more corruption than misses.
+				if s.Corrupt > s.Misses {
+					t.Errorf("torn snapshot: corrupt=%d > misses=%d", s.Corrupt, s.Misses)
 					return
 				}
 			}

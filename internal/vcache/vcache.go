@@ -14,6 +14,12 @@
 // The cache has two tiers: a bounded in-memory LRU holding serialized
 // reports, and an optional on-disk tier (one file per key) that survives
 // process restarts. Disk reads promote entries back into memory.
+//
+// Disk entries carry a CRC32 header ("p4vc1 <crc-hex>\n" + payload), so
+// a truncated or bit-flipped file — crash damage JSON parsing alone can
+// miss, since a flipped byte can still be valid JSON — is detected on
+// read, quarantined (removed, Stats.Corrupt incremented) and recomputed.
+// A corrupt entry is never returned and never fatal.
 package vcache
 
 import (
@@ -22,6 +28,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -30,8 +37,50 @@ import (
 	"sync"
 
 	"p4assert/internal/core"
+	"p4assert/internal/failpoint"
 	"p4assert/internal/rules"
 )
+
+// Failpoint sites in the disk tier (see internal/failpoint).
+const (
+	// FailpointDiskRead injects read faults: "error" makes the file
+	// unreadable (a plain miss), "corrupt" flips a byte of what was read
+	// (exercising quarantine).
+	FailpointDiskRead = "vcache/disk/read"
+	// FailpointDiskWrite injects write faults: "error" fails the store,
+	// "short" persists a truncated entry (what a torn write leaves for
+	// the next reader to quarantine).
+	FailpointDiskWrite = "vcache/disk/write"
+)
+
+// diskMagic opens every disk-tier entry, followed by the 8-hex-digit
+// CRC32 (IEEE) of the payload and a newline. Headerless files (crash
+// debris, older cache versions) fail decoding and are quarantined.
+const diskMagic = "p4vc1 "
+
+const diskHeaderLen = len(diskMagic) + 8 + 1
+
+// encodeDiskEntry frames a payload for the disk tier.
+func encodeDiskEntry(payload []byte) []byte {
+	out := make([]byte, 0, diskHeaderLen+len(payload))
+	out = append(out, diskMagic...)
+	out = append(out, fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload))...)
+	out = append(out, '\n')
+	return append(out, payload...)
+}
+
+// decodeDiskEntry validates a disk-tier file and returns its payload.
+func decodeDiskEntry(data []byte) ([]byte, error) {
+	if len(data) < diskHeaderLen || string(data[:len(diskMagic)]) != diskMagic || data[diskHeaderLen-1] != '\n' {
+		return nil, fmt.Errorf("vcache: missing or damaged entry header")
+	}
+	payload := data[diskHeaderLen:]
+	want := string(data[len(diskMagic) : diskHeaderLen-1])
+	if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload)); got != want {
+		return nil, fmt.Errorf("vcache: checksum mismatch (%s != %s)", got, want)
+	}
+	return payload, nil
+}
 
 // DefaultMaxEntries bounds the in-memory tier when New is given a
 // non-positive capacity.
@@ -132,11 +181,15 @@ func canonicalRules(rs *rules.RuleSet) string {
 
 // Stats counts cache activity. Hits = MemHits + DiskHits.
 type Stats struct {
-	Hits       int64 `json:"hits"`
-	Misses     int64 `json:"misses"`
-	MemHits    int64 `json:"mem_hits"`
-	DiskHits   int64 `json:"disk_hits"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	MemHits  int64 `json:"mem_hits"`
+	DiskHits int64 `json:"disk_hits"`
+	// Evictions counts LRU removals from the memory tier; Corrupt counts
+	// disk entries that failed validation and were quarantined (each also
+	// counts as a miss — the verdict is recomputed).
 	Evictions  int64 `json:"evictions"`
+	Corrupt    int64 `json:"corrupt"`
 	Entries    int   `json:"entries"`
 	MaxEntries int   `json:"max_entries"`
 	DiskTier   bool  `json:"disk_tier"`
@@ -203,11 +256,32 @@ func (c *Cache) getBytes(key string) ([]byte, int) {
 		return el.Value.(*entry).data, tierMem
 	}
 	if c.dir != "" {
-		if data, err := os.ReadFile(c.path(key)); err == nil {
-			c.insert(key, data)
-			c.stats.Hits++
-			c.stats.DiskHits++
-			return data, tierDisk
+		data, err := os.ReadFile(c.path(key))
+		if a := failpoint.Hit(FailpointDiskRead); a != nil && err == nil {
+			switch a.Kind {
+			case "error":
+				err = a.Err
+			case "corrupt":
+				if len(data) > diskHeaderLen {
+					data = append([]byte(nil), data...)
+					data[diskHeaderLen+(len(data)-diskHeaderLen)/2] ^= 0x20
+				}
+			}
+		}
+		if err == nil {
+			payload, derr := decodeDiskEntry(data)
+			if derr != nil {
+				// Torn or bit-flipped entry: quarantine it — drop the file,
+				// count the damage, report a miss so the caller recomputes.
+				// Never returned, never fatal.
+				os.Remove(c.path(key))
+				c.stats.Corrupt++
+			} else {
+				c.insert(key, payload)
+				c.stats.Hits++
+				c.stats.DiskHits++
+				return payload, tierDisk
+			}
 		}
 	}
 	c.stats.Misses++
@@ -250,11 +324,26 @@ func (c *Cache) PutBytes(key string, data []byte) error {
 	}
 	// Atomic write: the disk tier must never expose a half-written report
 	// to a concurrent reader or a restarted process.
+	framed := encodeDiskEntry(data)
+	if a := failpoint.Hit(FailpointDiskWrite); a != nil {
+		switch a.Kind {
+		case "error":
+			return a.Err
+		case "short":
+			// Persist a torn entry — the damage a crash between write and
+			// fsync can leave — and let the next read quarantine it.
+			n := a.N
+			if n <= 0 || n >= int64(len(framed)) {
+				n = int64(len(framed)) / 2
+			}
+			framed = framed[:n]
+		}
+	}
 	tmp, err := os.CreateTemp(c.dir, "put-*")
 	if err != nil {
 		return fmt.Errorf("vcache: %w", err)
 	}
-	if _, err := tmp.Write(data); err != nil {
+	if _, err := tmp.Write(framed); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("vcache: %w", err)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"p4assert/internal/core"
+	"p4assert/internal/failpoint"
 	"p4assert/internal/progs"
 	"p4assert/internal/rules"
 )
@@ -235,14 +236,18 @@ func TestDiskTierRestartSurvival(t *testing.T) {
 	}
 }
 
-// TestCorruptDiskEntry checks that a truncated disk file reads as a miss
-// and is removed.
+// TestCorruptDiskEntry checks that damaged disk files — truncated,
+// headerless, or bit-flipped past the CRC — are quarantined: counted,
+// removed, reported as misses so the verdict is recomputed, and never
+// returned or fatal.
 func TestCorruptDiskEntry(t *testing.T) {
 	dir := t.TempDir()
 	c, err := New(4, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+
+	// Headerless debris (also what an older cache version left behind).
 	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{trunc"), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -251,6 +256,129 @@ func TestCorruptDiskEntry(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, "bad.json")); !os.IsNotExist(err) {
 		t.Error("corrupt entry not removed")
+	}
+
+	// A truncated but header-bearing entry (torn write).
+	if err := c.PutBytes("torn", []byte(`{"report":"full"}`)); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(dir, "torn.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "torn.json"), full[:len(full)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := New(4, dir) // cold memory tier: forces the disk read
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.GetBytes("torn"); ok {
+		t.Fatal("truncated entry served as a hit")
+	}
+
+	// A bit-flipped entry: still plausible JSON to a parser, but not to
+	// the CRC.
+	if err := c.PutBytes("flipped", []byte(`{"verdict":"ok","violations":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "flipped.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0x01 // "ok" stays parseable, content silently wrong
+	if err := os.WriteFile(filepath.Join(dir, "flipped.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.GetBytes("flipped"); ok {
+		t.Fatal("bit-flipped entry served as a hit")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "flipped.json")); !os.IsNotExist(err) {
+		t.Error("bit-flipped entry not removed")
+	}
+
+	s := c2.Stats()
+	if s.Corrupt != 2 {
+		t.Errorf("Corrupt = %d, want 2 (torn + flipped)", s.Corrupt)
+	}
+	if s.Hits != 0 || s.Misses != 2 {
+		t.Errorf("quarantined reads must count as misses: %+v", s)
+	}
+
+	// Recomputed (re-Put) entries serve normally again.
+	if err := c2.PutBytes("flipped", []byte(`{"verdict":"ok","violations":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.GetBytes("flipped"); !ok {
+		t.Fatal("recomputed entry missing")
+	}
+}
+
+// TestDiskFailpoints drives the injected disk faults: a read error is a
+// plain miss, an in-flight bit flip quarantines, a short write leaves a
+// torn file the next read quarantines, a write error surfaces to Put.
+func TestDiskFailpoints(t *testing.T) {
+	defer failpoint.Reset()
+	dir := t.TempDir()
+	c, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutBytes("k", []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := func() *Cache {
+		t.Helper()
+		cc, err := New(4, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cc
+	}
+
+	if err := failpoint.Arm(FailpointDiskRead, "times(1):error"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cold().GetBytes("k"); ok {
+		t.Fatal("read-error failpoint still hit")
+	}
+	// The file is intact: the next cold read succeeds.
+	if _, ok := cold().GetBytes("k"); !ok {
+		t.Fatal("entry lost after injected read error")
+	}
+
+	if err := failpoint.Arm(FailpointDiskRead, "times(1):corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	cc := cold()
+	if _, ok := cc.GetBytes("k"); ok {
+		t.Fatal("in-flight corruption served as a hit")
+	}
+	if s := cc.Stats(); s.Corrupt != 1 {
+		t.Fatalf("Corrupt = %d, want 1", s.Corrupt)
+	}
+
+	// Short write: Put "succeeds" but the entry is torn on disk.
+	if err := failpoint.Arm(FailpointDiskWrite, "times(1):short"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutBytes("torn", []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	cc = cold()
+	if _, ok := cc.GetBytes("torn"); ok {
+		t.Fatal("torn write served as a hit")
+	}
+	if s := cc.Stats(); s.Corrupt != 1 {
+		t.Fatalf("Corrupt = %d, want 1 after torn-write read", s.Corrupt)
+	}
+
+	if err := failpoint.Arm(FailpointDiskWrite, "times(1):error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutBytes("err", []byte(`{}`)); err == nil {
+		t.Fatal("write-error failpoint did not surface")
 	}
 }
 
