@@ -403,22 +403,62 @@ func (b *Blaster) AssertTrue(e *bv.Expr) {
 	b.s.AddClause(b.Bits(e)[0])
 }
 
+// Lit returns the indicator literal of the width-1 expression e, building
+// its circuit on demand but adding no unit clause. The Tseitin encoding
+// here is biconditional, so assuming the literal (sat.SolveAssuming)
+// constrains e to hold exactly as AssertTrue would — the incremental
+// session's way of activating a path conjunct without committing it.
+func (b *Blaster) Lit(e *bv.Expr) sat.Lit {
+	if e.Width != 1 {
+		panic("bitblast: Lit requires a width-1 expression")
+	}
+	return b.Bits(e)[0]
+}
+
+// Seen reports whether e's circuit has already been emitted into the
+// solver (the session's new-expression test).
+func (b *Blaster) Seen(e *bv.Expr) bool {
+	_, ok := b.bits[e]
+	return ok
+}
+
+// VarBits returns the input literals of a blasted variable (LSB first),
+// or nil if the variable has not been blasted.
+func (b *Blaster) VarBits(name string) []sat.Lit { return b.varBits[name] }
+
 // Model extracts concrete values for every blasted variable after the
 // solver reported SAT. Unconstrained bits read as zero.
 func (b *Blaster) Model() map[string]uint64 {
 	m := make(map[string]uint64, len(b.varBits))
-	for name, lits := range b.varBits {
-		var v uint64
-		for i, l := range lits {
-			val := b.s.Value(l.Var())
-			if l.Neg() {
-				val = !val
-			}
-			if val {
-				v |= 1 << uint(i)
-			}
-		}
-		m[name] = v
+	for name := range b.varBits {
+		m[name] = b.VarValue(name)
 	}
 	return m
+}
+
+// ModelFor extracts concrete values for the named variables only — the
+// incremental session's model reader, which must not leak variables that
+// earlier queries blasted into the shared solver.
+func (b *Blaster) ModelFor(names []string) map[string]uint64 {
+	m := make(map[string]uint64, len(names))
+	for _, name := range names {
+		m[name] = b.VarValue(name)
+	}
+	return m
+}
+
+// VarValue reads one blasted variable's value from the solver model.
+// Unblasted variables and unconstrained bits read as zero.
+func (b *Blaster) VarValue(name string) uint64 {
+	var v uint64
+	for i, l := range b.varBits[name] {
+		val := b.s.Value(l.Var())
+		if l.Neg() {
+			val = !val
+		}
+		if val {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
 }

@@ -14,6 +14,7 @@ import (
 	"p4assert/internal/exec"
 	"p4assert/internal/incr"
 	"p4assert/internal/model"
+	"p4assert/internal/solver"
 	"p4assert/internal/sym"
 	"p4assert/internal/telemetry"
 	"p4assert/internal/vcache"
@@ -147,6 +148,11 @@ func (w *Worker) Execute(ctx context.Context, req *ExecRequest) (*ExecResponse, 
 	}
 	w.executed.Add(1)
 	w.counter("p4served_worker_execute_total", telemetry.L("result", "executed")).Inc()
+	// Verdicts are cache-grade artifacts: every field must be a
+	// deterministic function of the key. The acceleration telemetry is
+	// not (wall time, cache state), and the wire codec drops it, so strip
+	// it before the verdict is stored or returned.
+	res.Metrics.Solver.Accel = solver.AccelStats{}
 	if !res.Exhausted {
 		if data, err := incr.EncodeResult(res); err == nil {
 			w.cache.PutBytes(req.Key, data)

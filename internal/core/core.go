@@ -17,6 +17,7 @@ import (
 	"p4assert/internal/p4"
 	"p4assert/internal/rules"
 	"p4assert/internal/slicer"
+	"p4assert/internal/solver"
 	"p4assert/internal/submodel"
 	"p4assert/internal/sym"
 	"p4assert/internal/telemetry"
@@ -52,6 +53,12 @@ type Options struct {
 	AutoValidityChecks bool
 	// CollectTests records one concrete input per completed path.
 	CollectTests bool
+	// Solver configures the solver acceleration subsystem (incremental
+	// sessions, normalized query memo, portfolio racing); the zero value
+	// enables everything. Acceleration is report-invariant: any setting
+	// produces byte-identical reports, only wall time and the
+	// non-comparable solver telemetry change.
+	Solver solver.Config
 }
 
 // Report is the outcome of a verification run.
@@ -354,6 +361,13 @@ func buildSymOpts(ctx context.Context, opts Options) sym.Options {
 		MaxPaths:     opts.MaxPaths,
 		Opt:          opts.Opt,
 		CollectTests: opts.CollectTests,
+		Solver:       opts.Solver,
+	}
+	if !opts.Solver.DisableMemo {
+		// One shared memo tier per run: parallel submodels (and the
+		// incremental engine's per-submodel executions) hit each other's
+		// normalized queries.
+		symOpts.SolverMemo = solver.NewMemo(solver.SharedMemoCap)
 	}
 	if opts.Timeout > 0 {
 		symOpts.Deadline = time.Now().Add(opts.Timeout)

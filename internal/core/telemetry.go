@@ -18,6 +18,12 @@ type ReportTelemetry struct {
 	// identical between cold parallel runs and incremental replays —
 	// which lets ComparableJSON keep them while dropping wall times.
 	Counters map[string]int64 `json:"counters,omitempty"`
+	// Solver names the solver acceleration counters (session reuse, memo
+	// hits, portfolio winners, raw SAT search effort, solver wall time).
+	// Unlike Counters these are NOT deterministic — they depend on cache
+	// state and goroutine timing — so ComparableJSON drops them along
+	// with the stage wall times.
+	Solver map[string]int64 `json:"solver,omitempty"`
 }
 
 // ReportStage is one pipeline stage's wall time.
@@ -50,7 +56,28 @@ func fillTelemetry(rep *Report, opts Options, fromSource bool) {
 	if opts.Parallel > 0 {
 		t.Counters["submodels"] = int64(rep.Submodels)
 	}
+	t.Solver = accelCounters(rep.Metrics)
 	rep.Telemetry = t
+}
+
+// accelCounters flattens the solver acceleration stats. These are the
+// p4assert_solver_* telemetry family: observability for the acceleration
+// subsystem, excluded from report comparability (see ReportTelemetry).
+func accelCounters(m sym.Metrics) map[string]int64 {
+	a := m.Solver.Accel
+	return map[string]int64{
+		"session_reuse_hits":     a.SessionReuseHits,
+		"session_emitted":        a.SessionEmitted,
+		"memo_hits":              a.MemoHits,
+		"memo_shared_hits":       a.MemoSharedHits,
+		"portfolio_session_wins": a.PortfolioSessionWins,
+		"portfolio_fresh_wins":   a.PortfolioFreshWins,
+		"sat_decisions":          a.Decisions,
+		"sat_propagations":       a.Propagations,
+		"sat_conflicts":          a.Conflicts,
+		"sat_learned":            a.LearnedClauses,
+		"solver_wall_ns":         a.WallNS,
+	}
 }
 
 // metricCounters flattens executor metrics into the named counter map.

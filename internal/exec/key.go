@@ -40,8 +40,10 @@ import (
 // assert-check/frontier and bitblast counters; v1 verdicts would replay
 // them as zero and diverge from a cold run's report. v3: counterexample
 // input naming switched to per-hint numbering (hint#k), so v2 verdicts
-// carry stale path-global names.
-const keyVersion = "p4assert-subkey-v3"
+// carry stale path-global names. v4: full-query models became the
+// canonical lexicographically-minimal witness (solver acceleration), so
+// v3 verdicts carry whatever model CDCL happened to land on.
+const keyVersion = "p4assert-subkey-v4"
 
 // SubmodelKey digests a submodel's executable content under the given
 // executor options.

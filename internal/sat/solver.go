@@ -3,10 +3,20 @@
 // analysis with clause learning, VSIDS-style activity ordering, phase
 // saving and Luby restarts.
 //
+// The solver is incremental in the MiniSat style: SolveWith/SolveAssuming
+// decide satisfiability under a set of assumption literals enqueued as
+// successive decisions, clauses may be added between calls, and learned
+// clauses persist across calls (they are derived from the clause database
+// alone, so they stay valid whatever the next call assumes). Models are
+// captured on SAT and survive backtracking, so Value works after the
+// trail has been unwound.
+//
 // It plays the role STP/Z3 play inside KLEE for the paper: the backend that
 // decides path feasibility and produces counterexample models after the
 // bitvector layer (internal/bitblast) has reduced formulas to CNF.
 package sat
+
+import "sync/atomic"
 
 // Lit is a literal: variable index v (0-based) encoded as 2v for the
 // positive polarity and 2v+1 for the negative.
@@ -79,9 +89,33 @@ type Solver struct {
 	conflicts int64
 	decisions int64
 	propags   int64
+	learned64 int64 // clauses learned over the solver's lifetime
+
+	model []lbool     // assignment captured at the last SAT answer
+	stop  atomic.Bool // cooperative abort flag, checked in the search loop
 
 	seen    []bool // scratch for conflict analysis
 	MaxConf int64  // optional conflict budget; 0 means unlimited
+}
+
+// Outcome is the three-valued result of an incremental solve: Unknown is
+// returned when the conflict budget ran out or Stop aborted the search.
+type Outcome int8
+
+const (
+	Unknown Outcome = iota
+	Sat
+	Unsat
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
 }
 
 // New returns an empty solver.
@@ -101,6 +135,19 @@ func (s *Solver) NumClauses() int { return len(s.clauses) }
 
 // Stats returns (decisions, propagations, conflicts) counters.
 func (s *Solver) Stats() (int64, int64, int64) { return s.decisions, s.propags, s.conflicts }
+
+// Learned returns the number of clauses learned over the solver's lifetime
+// (including those since removed by database reduction).
+func (s *Solver) Learned() int64 { return s.learned64 }
+
+// Stop asks a running solve to abandon search; it returns Unknown. The
+// flag is sticky — the owner clears it with ResetStop before the next
+// solve. Safe to call from another goroutine (the portfolio racer's
+// cancellation path).
+func (s *Solver) Stop() { s.stop.Store(true) }
+
+// ResetStop re-arms a solver whose previous search was cancelled.
+func (s *Solver) ResetStop() { s.stop.Store(false) }
 
 // NewVar allocates a fresh variable and returns its index.
 func (s *Solver) NewVar() int {
@@ -137,7 +184,9 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		return false
 	}
 	if len(s.trailLim) != 0 {
-		panic("sat: AddClause after Solve started")
+		// Solves always unwind to level 0 before returning, so this only
+		// fires on misuse from inside the search itself.
+		panic("sat: AddClause mid-search")
 	}
 	// Deduplicate and drop falsified/tautological literals.
 	out := lits[:0:0]
@@ -371,6 +420,7 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 }
 
 func (s *Solver) record(learnt []Lit) {
+	s.learned64++
 	if len(learnt) == 1 {
 		s.enqueue(learnt[0], nil)
 		return
@@ -439,46 +489,72 @@ func luby(i int64) int64 {
 
 // Solve decides satisfiability of the accumulated clauses. It returns true
 // for SAT (a model is then available via Value) and false for UNSAT. If a
-// conflict budget was set and exhausted, Solve returns false with
-// Budget() reporting the exhaustion.
-func (s *Solver) Solve() bool {
+// conflict budget was set and exhausted, Solve returns false with Okay()
+// still true.
+func (s *Solver) Solve() bool { return s.SolveWith(nil) == Sat }
+
+// SolveAssuming decides satisfiability under the given assumption
+// literals. It returns true for SAT; false means the clauses are
+// unsatisfiable together with the assumptions (Okay() distinguishes a
+// global contradiction from an assumption failure). Learned clauses are
+// retained across calls, and more clauses may be added between calls.
+func (s *Solver) SolveAssuming(assumps ...Lit) bool { return s.SolveWith(assumps) == Sat }
+
+// SolveWith is the full-featured incremental entry point: it decides
+// satisfiability under assumps (each enqueued as a decision at its own
+// level, MiniSat-style) and reports Unknown when the conflict budget ran
+// out or Stop cancelled the search. The trail is always unwound to level 0
+// before returning; on Sat the model is captured first and stays readable
+// via Value.
+func (s *Solver) SolveWith(assumps []Lit) Outcome {
 	if s.unsat {
-		return false
+		return Unsat
 	}
+	s.cancelUntil(0)
 	if confl := s.propagate(); confl != nil {
 		s.unsat = true
-		return false
+		return Unsat
 	}
 	restart := int64(1)
 	for {
 		budget := 100 * luby(restart)
-		res := s.search(budget)
+		res := s.search(budget, assumps)
 		switch res {
 		case lTrue:
-			return true
-		case lFalse:
-			s.unsat = true
-			return false
-		}
-		if s.MaxConf > 0 && s.conflicts >= s.MaxConf {
+			// Capture the model before unwinding: the caller reads it
+			// through Value after the trail is gone.
+			s.model = append(s.model[:0], s.assign...)
 			s.cancelUntil(0)
-			return false
+			return Sat
+		case lFalse:
+			// Either a global level-0 contradiction (s.unsat was set in
+			// search) or a conflict with the assumptions; both are UNSAT
+			// for this call.
+			s.cancelUntil(0)
+			return Unsat
+		}
+		s.cancelUntil(0)
+		if s.stop.Load() || (s.MaxConf > 0 && s.conflicts >= s.MaxConf) {
+			return Unknown
 		}
 		restart++
-		s.cancelUntil(0)
 		if restart%8 == 0 {
 			s.reduceDB()
 		}
 	}
 }
 
-func (s *Solver) search(budget int64) lbool {
+func (s *Solver) search(budget int64, assumps []Lit) lbool {
 	for n := int64(0); ; {
+		if s.stop.Load() {
+			return lUndef
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.conflicts++
 			n++
 			if s.decisionLevel() == 0 {
+				s.unsat = true
 				return lFalse
 			}
 			learnt, bt := s.analyze(confl)
@@ -488,6 +564,23 @@ func (s *Solver) search(budget int64) lbool {
 			s.clauseInc *= 1.0 / 0.999
 			if n >= budget || (s.MaxConf > 0 && s.conflicts >= s.MaxConf) {
 				return lUndef
+			}
+			continue
+		}
+		// Re-establish any assumption not yet on the trail: one decision
+		// level per assumption (dummy levels for already-true ones keep
+		// the level/index alignment). A falsified assumption means UNSAT
+		// under the assumptions, not a global contradiction.
+		if s.decisionLevel() < len(assumps) {
+			p := assumps[s.decisionLevel()]
+			switch s.litValue(p) {
+			case lTrue:
+				s.newDecisionLevel()
+			case lFalse:
+				return lFalse
+			default:
+				s.newDecisionLevel()
+				s.enqueue(p, nil)
 			}
 			continue
 		}
@@ -514,8 +607,10 @@ func (s *Solver) pickBranch() int {
 	}
 }
 
-// Value returns the assignment of variable v in the found model.
-func (s *Solver) Value(v int) bool { return s.assign[v] == lTrue }
+// Value returns the assignment of variable v in the most recently captured
+// model (the last solve that answered SAT). Variables allocated after that
+// solve read as false.
+func (s *Solver) Value(v int) bool { return v < len(s.model) && s.model[v] == lTrue }
 
 // Okay reports whether no top-level contradiction has been derived.
 func (s *Solver) Okay() bool { return !s.unsat }

@@ -3,19 +3,28 @@
 //
 //  1. constant inspection — a constraint already folded to false is UNSAT,
 //     and a set folded entirely to true is trivially SAT;
-//  2. assignment guessing — path conditions of P4 models are dominated by
+//  2. a normalized memo (memo.go) — repeated query shapes, modulo variable
+//     naming and conjunct order, replay their verdict, witness and stats
+//     without any solving;
+//  3. assignment guessing — path conditions of P4 models are dominated by
 //     equalities between fields and constants, so a model assembled from
 //     those equalities (all other variables zero) very often satisfies the
-//     whole set and avoids the SAT solver entirely;
-//  3. bit-blasting to CNF and CDCL search (internal/bitblast, internal/sat).
+//     whole set and avoids the SAT solver entirely; interval/exclusion
+//     probing additionally refutes sets whose per-variable facts already
+//     conflict;
+//  4. bit-blasting to CNF and CDCL search (internal/bitblast, internal/sat),
+//     accelerated by incremental sessions and portfolio racing (accel.go).
 //
 // This mirrors the role of the solver stack under KLEE in the paper, where
 // most path-feasibility queries are shallow and only assertion checks on
-// arithmetic-heavy paths need real search.
+// arithmetic-heavy paths need real search. All layers return identical
+// verdicts and witnesses (full-path models are canonically minimal, see
+// accel.go), so acceleration never changes a report byte.
 package solver
 
 import (
-	"p4assert/internal/bitblast"
+	"time"
+
 	"p4assert/internal/bv"
 	"p4assert/internal/sat"
 )
@@ -27,6 +36,15 @@ type Result struct {
 	Quick bool              // answered without invoking the SAT solver
 }
 
+// Config controls the acceleration subsystem. The zero value enables
+// everything; each layer can be disabled independently (portfolio racing
+// additionally requires sessions, its session racer).
+type Config struct {
+	DisableSession   bool
+	DisableMemo      bool
+	DisablePortfolio bool
+}
+
 // Stats counts solver activity for the paper's instruction/
 // query metrics.
 type Stats struct {
@@ -36,18 +54,68 @@ type Stats struct {
 	FullQueries int64
 	// BitblastVars and BitblastClauses accumulate the CNF sizes of the
 	// full (layer 3) queries: SAT variables allocated and problem clauses
-	// emitted by bit-blasting, measured before search so the counts are a
-	// deterministic function of the query formulas.
+	// emitted by bit-blasting the canonical conjuncts into an empty
+	// solver, measured before search so the counts are a deterministic
+	// function of the query formulas — identical whichever acceleration
+	// mode actually answered.
 	BitblastVars    int64
 	BitblastClauses int64
+	// Accel counts acceleration-subsystem activity. Unlike the counters
+	// above it is not a deterministic function of (program, options) —
+	// memo hits depend on cache state, portfolio winners and search
+	// effort on goroutine timing — so it is excluded from report JSON
+	// and surfaced through the non-comparable telemetry section instead.
+	Accel AccelStats `json:"-"`
+}
+
+// AccelStats counts acceleration activity and raw SAT search effort.
+type AccelStats struct {
+	SessionReuseHits     int64 // conjunct circuits already live in the session
+	SessionEmitted       int64 // conjunct circuits newly emitted into the session
+	MemoHits             int64 // queries answered by the normalized memo
+	MemoSharedHits       int64 // subset of MemoHits served by the run-wide tier
+	PortfolioSessionWins int64 // full queries won by the incremental session
+	PortfolioFreshWins   int64 // full queries won by the fresh-blast racer
+	Decisions            int64
+	Propagations         int64
+	Conflicts            int64
+	LearnedClauses       int64
+	WallNS               int64 // wall time spent inside Check
+}
+
+// Add folds o into a, for aggregation across parallel submodel runs.
+func (a *AccelStats) Add(o AccelStats) {
+	a.SessionReuseHits += o.SessionReuseHits
+	a.SessionEmitted += o.SessionEmitted
+	a.MemoHits += o.MemoHits
+	a.MemoSharedHits += o.MemoSharedHits
+	a.PortfolioSessionWins += o.PortfolioSessionWins
+	a.PortfolioFreshWins += o.PortfolioFreshWins
+	a.Decisions += o.Decisions
+	a.Propagations += o.Propagations
+	a.Conflicts += o.Conflicts
+	a.LearnedClauses += o.LearnedClauses
+	a.WallNS += o.WallNS
 }
 
 // Checker decides constraint sets built in a single bv.Context. The zero
-// value is ready to use. A Checker is not safe for concurrent use; parallel
-// submodel executions each own one.
+// value is ready to use with full acceleration. A Checker is not safe for
+// concurrent use; parallel submodel executions each own one (optionally
+// linked through a Shared memo, which is concurrency-safe).
 type Checker struct {
-	Ctx   *bv.Context
-	Stats Stats
+	Ctx    *bv.Context
+	Stats  Stats
+	Cfg    Config
+	Shared *Memo // optional run-wide memo tier behind the private one
+
+	sess     *session
+	local    *Memo
+	encCache map[*bv.Expr]*localEnc
+
+	// Session solver counters at the last harvest, so per-query growth
+	// can be folded into Stats.Accel.
+	lastSessDecisions, lastSessPropagations int64
+	lastSessConflicts, lastSessLearned      int64
 }
 
 // New returns a Checker for expressions created in ctx.
@@ -57,6 +125,8 @@ func New(ctx *bv.Context) *Checker { return &Checker{Ctx: ctx} }
 // Every constraint must have width 1.
 func (c *Checker) Check(constraints []*bv.Expr) Result {
 	c.Stats.Queries++
+	t0 := time.Now()
+	defer func() { c.Stats.Accel.WallNS += time.Since(t0).Nanoseconds() }()
 
 	// Layer 1: constant inspection.
 	live := constraints[:0:0]
@@ -74,40 +144,141 @@ func (c *Checker) Check(constraints []*bv.Expr) Result {
 		return Result{Sat: true, Model: map[string]uint64{}, Quick: true}
 	}
 
-	// Layer 2: guessed assignment from equality constraints.
-	if env, ok := c.guessFromEqualities(live); ok {
-		if evalAll(live, env) {
-			c.Stats.QuickSAT++
-			return Result{Sat: true, Model: completeModel(live, env), Quick: true}
+	// Layer 1.5: normalized memo. Quick tiers are deterministic and
+	// equivariant under renaming, so their outcomes are memoizable too —
+	// a hit replays the exact stats delta the original tier produced.
+	var cq *canonQuery
+	if !c.Cfg.DisableMemo {
+		cq = c.canon(live)
+		if e := c.memoGet(cq.key); e != nil {
+			return c.replay(cq, e)
 		}
+	}
+
+	// Layer 2: guessed assignment from equality constraints.
+	if env, ok := c.guessFromEqualities(live); ok && evalAll(live, env) {
+		return c.quickSAT(cq, live, env)
 	}
 	// All-zeros is another very common witness (e.g. "no header valid").
 	zero := map[string]uint64{}
 	if evalAll(live, zero) {
-		c.Stats.QuickSAT++
-		return Result{Sat: true, Model: completeModel(live, zero), Quick: true}
+		return c.quickSAT(cq, live, zero)
 	}
 	// Per-variable interval/exclusion probing: table-miss paths carry long
 	// runs of key != rule_i constraints, for which a value outside the
-	// exclusion set is an immediate witness.
-	if env, ok := c.probeBounds(live); ok && evalAll(live, env) {
-		c.Stats.QuickSAT++
-		return Result{Sat: true, Model: completeModel(live, env), Quick: true}
+	// exclusion set is an immediate witness — and whose facts, when they
+	// contradict each other, refute the whole set without search.
+	env, conflict := c.probeBounds(live)
+	if conflict {
+		c.Stats.QuickUNSAT++
+		c.memoPut(cq, &memoEntry{quick: true})
+		return Result{Sat: false, Quick: true}
+	}
+	if env != nil && evalAll(live, env) {
+		return c.quickSAT(cq, live, env)
 	}
 
-	// Layer 3: full bit-blasting.
-	c.Stats.FullQueries++
-	s := sat.New()
-	b := bitblast.New(s)
-	for _, e := range live {
-		b.AssertTrue(e)
+	// Layer 3: full bit-blasting, accelerated (accel.go).
+	if cq == nil {
+		cq = canonicalize(live, c.encCacheMap())
 	}
-	c.Stats.BitblastVars += int64(s.NumVars())
-	c.Stats.BitblastClauses += int64(s.NumClauses())
-	if !s.Solve() {
+	c.Stats.FullQueries++
+	ans, vars, clauses := c.solveFull(cq)
+	c.Stats.BitblastVars += vars
+	c.Stats.BitblastClauses += clauses
+	if ans.outcome != sat.Sat {
+		c.memoPut(cq, &memoEntry{vars: vars, clauses: clauses})
 		return Result{Sat: false}
 	}
-	return Result{Sat: true, Model: b.Model()}
+	c.memoPut(cq, &memoEntry{sat: true, model: canonValues(cq, ans.model), vars: vars, clauses: clauses})
+	return Result{Sat: true, Model: ans.model}
+}
+
+func (c *Checker) encCacheMap() map[*bv.Expr]*localEnc {
+	if c.encCache == nil {
+		c.encCache = map[*bv.Expr]*localEnc{}
+	}
+	return c.encCache
+}
+
+func (c *Checker) canon(live []*bv.Expr) *canonQuery {
+	return canonicalize(live, c.encCacheMap())
+}
+
+// quickSAT records a quick-tier witness, memoizing it in canonical form.
+func (c *Checker) quickSAT(cq *canonQuery, live []*bv.Expr, env map[string]uint64) Result {
+	c.Stats.QuickSAT++
+	m := completeModel(live, env)
+	if cq != nil {
+		c.memoPut(cq, &memoEntry{sat: true, quick: true, model: canonValues(cq, m)})
+	}
+	return Result{Sat: true, Model: m, Quick: true}
+}
+
+// canonValues projects a model onto the canonical variable order.
+func canonValues(cq *canonQuery, m map[string]uint64) []uint64 {
+	vals := make([]uint64, len(cq.varOrder))
+	for i, name := range cq.varOrder {
+		vals[i] = m[name]
+	}
+	return vals
+}
+
+// replay reproduces a memoized outcome: the same Result the original
+// tier returned (model transferred through the variable bijection) and
+// the same comparable stats delta.
+func (c *Checker) replay(cq *canonQuery, e *memoEntry) Result {
+	c.Stats.Accel.MemoHits++
+	if e.quick {
+		if !e.sat {
+			c.Stats.QuickUNSAT++
+			return Result{Sat: false, Quick: true}
+		}
+		c.Stats.QuickSAT++
+		return Result{Sat: true, Model: namedModel(cq, e.model), Quick: true}
+	}
+	c.Stats.FullQueries++
+	c.Stats.BitblastVars += e.vars
+	c.Stats.BitblastClauses += e.clauses
+	if !e.sat {
+		return Result{Sat: false}
+	}
+	return Result{Sat: true, Model: namedModel(cq, e.model)}
+}
+
+func namedModel(cq *canonQuery, vals []uint64) map[string]uint64 {
+	m := make(map[string]uint64, len(cq.varOrder))
+	for i, name := range cq.varOrder {
+		m[name] = vals[i]
+	}
+	return m
+}
+
+func (c *Checker) memoGet(key string) *memoEntry {
+	if c.local == nil {
+		c.local = NewMemo(localMemoCap)
+	}
+	if e := c.local.get(key); e != nil {
+		return e
+	}
+	if c.Shared != nil {
+		if e := c.Shared.get(key); e != nil {
+			c.local.put(key, e)
+			c.Stats.Accel.MemoSharedHits++
+			return e
+		}
+	}
+	return nil
+}
+
+func (c *Checker) memoPut(cq *canonQuery, e *memoEntry) {
+	if cq == nil || c.Cfg.DisableMemo {
+		return
+	}
+	c.local.put(cq.key, e)
+	if c.Shared != nil {
+		c.Shared.put(cq.key, e)
+	}
 }
 
 // guessFromEqualities walks top-level conjunctions collecting var == const
@@ -162,10 +333,13 @@ type varInfo struct {
 }
 
 // probeBounds collects per-variable equalities, disequalities and unsigned
-// bounds from top-level conjuncts and proposes the smallest in-bounds,
-// non-excluded value for each variable. The caller re-checks the proposal
-// against every constraint, so this is purely a sound SAT witness guesser.
-func (c *Checker) probeBounds(constraints []*bv.Expr) (map[string]uint64, bool) {
+// bounds from top-level conjuncts. When the collected facts contradict
+// each other the set is UNSAT without search (conflict=true) — every fact
+// comes from a conjunct that must hold, so a per-variable contradiction is
+// proof, not heuristic. Otherwise it proposes the smallest in-bounds,
+// non-excluded value for each variable; the caller re-checks the proposal
+// against every constraint, so the witness side stays a pure guesser.
+func (c *Checker) probeBounds(constraints []*bv.Expr) (env map[string]uint64, conflict bool) {
 	infos := map[string]*varInfo{}
 	get := func(v *bv.Expr) *varInfo {
 		in, ok := infos[v.Name]
@@ -175,7 +349,6 @@ func (c *Checker) probeBounds(constraints []*bv.Expr) (map[string]uint64, bool) 
 		}
 		return in
 	}
-	ok := true
 	var visit func(e *bv.Expr, neg bool)
 	visit = func(e *bv.Expr, neg bool) {
 		switch e.Op {
@@ -199,7 +372,7 @@ func (c *Checker) probeBounds(constraints []*bv.Expr) (map[string]uint64, bool) 
 				in.excluded[b.Val] = true
 			} else {
 				if in.hasEq && in.eq != b.Val {
-					ok = false
+					conflict = true
 				}
 				in.hasEq, in.eq = true, b.Val
 			}
@@ -213,7 +386,7 @@ func (c *Checker) probeBounds(constraints []*bv.Expr) (map[string]uint64, bool) 
 					hi := b.Val
 					if strict {
 						if hi == 0 {
-							ok = false
+							conflict = true // a < 0: empty domain
 							return
 						}
 						hi--
@@ -224,6 +397,10 @@ func (c *Checker) probeBounds(constraints []*bv.Expr) (map[string]uint64, bool) 
 				} else { // !(a < c) => a >= c ; !(a <= c) => a > c
 					lo := b.Val
 					if !strict {
+						if lo == bv.Mask(in.width) {
+							conflict = true // a > max: lo+1 would wrap past the domain
+							return
+						}
 						lo++
 					}
 					if lo > in.lo {
@@ -235,6 +412,10 @@ func (c *Checker) probeBounds(constraints []*bv.Expr) (map[string]uint64, bool) 
 				if !neg { // c < b  or c <= b
 					lo := a.Val
 					if strict {
+						if lo == bv.Mask(in.width) {
+							conflict = true // max < b: lo+1 would wrap past the domain
+							return
+						}
 						lo++
 					}
 					if lo > in.lo {
@@ -244,7 +425,7 @@ func (c *Checker) probeBounds(constraints []*bv.Expr) (map[string]uint64, bool) 
 					hi := a.Val
 					if strict {
 						if hi == 0 {
-							ok = false
+							conflict = true // b < 0: empty domain
 							return
 						}
 						hi--
@@ -262,7 +443,7 @@ func (c *Checker) probeBounds(constraints []*bv.Expr) (map[string]uint64, bool) 
 					v = 0
 				}
 				if in.hasEq && in.eq != v {
-					ok = false
+					conflict = true
 				}
 				in.hasEq, in.eq = true, v
 			}
@@ -271,22 +452,34 @@ func (c *Checker) probeBounds(constraints []*bv.Expr) (map[string]uint64, bool) 
 	for _, e := range constraints {
 		visit(e, false)
 	}
-	if !ok {
-		return nil, false
+	if conflict {
+		return nil, true
 	}
-	env := map[string]uint64{}
+	env = map[string]uint64{}
 	for name, in := range infos {
 		if in.hasEq {
+			if in.eq < in.lo || in.eq > in.hi || in.excluded[in.eq] {
+				return nil, true
+			}
 			env[name] = in.eq
 			continue
+		}
+		if in.lo > in.hi {
+			return nil, true
 		}
 		v := in.lo
 		for in.excluded[v] && v < in.hi {
 			v++
 		}
-		env[name] = v
+		if in.excluded[v] {
+			return nil, true // every value in [lo,hi] is excluded
+		}
+		// Clamp defensively: with the wrap guards above v cannot leave the
+		// domain, and this keeps any future fact source from proposing a
+		// witness past Mask(width).
+		env[name] = v & bv.Mask(in.width)
 	}
-	return env, true
+	return env, false
 }
 
 // completeModel extends a witness with explicit zero entries for every

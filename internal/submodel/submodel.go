@@ -252,6 +252,7 @@ func Aggregate(subs []*model.Program, results []*sym.Result) *Result {
 		m.Solver.FullQueries += r.Metrics.Solver.FullQueries
 		m.Solver.BitblastVars += r.Metrics.Solver.BitblastVars
 		m.Solver.BitblastClauses += r.Metrics.Solver.BitblastClauses
+		m.Solver.Accel.Add(r.Metrics.Solver.Accel)
 		if r.Metrics.Instructions > out.WorstInstructions {
 			out.WorstInstructions = r.Metrics.Instructions
 		}

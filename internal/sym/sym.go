@@ -53,6 +53,14 @@ type Options struct {
 	// path (the paper's §6 "ongoing work": systematic test-case
 	// generation, p4pktgen's role). Results appear in Result.Tests.
 	CollectTests bool
+	// Solver configures the solver acceleration subsystem (incremental
+	// sessions, normalized memo, portfolio racing). The zero value
+	// enables everything; acceleration never changes reported results.
+	Solver solver.Config
+	// SolverMemo, when non-nil, is a run-wide normalized memo shared
+	// across executors (the parallel submodels of one verification run),
+	// a second lookup tier behind each Checker's private memo.
+	SolverMemo *solver.Memo
 }
 
 // PathTest is one generated test case: a concrete input driving the
@@ -262,6 +270,8 @@ func Execute(p *model.Program, opts Options) (*Result, error) {
 		chk:  solver.New(ctx),
 		byID: map[int]*Violation{},
 	}
+	ex.chk.Cfg = opts.Solver
+	ex.chk.Shared = opts.SolverMemo
 	if opts.CollectTests {
 		ex.egress = EgressGlobal(p)
 	}

@@ -117,8 +117,11 @@ func Key(source string, opts core.Options) string {
 	h := sha256.New()
 	// v3: counterexample input naming switched to per-hint numbering
 	// (hint#k for the k-th draw of that hint); v2 reports carry the old
-	// path-global names and would replay stale counterexamples.
-	io.WriteString(h, "p4assert-vcache-v3\x00")
+	// path-global names and would replay stale counterexamples. v4:
+	// full-query models became the canonical lexicographically-minimal
+	// witness (solver acceleration), so v3 reports carry whatever model
+	// CDCL happened to land on.
+	io.WriteString(h, "p4assert-vcache-v4\x00")
 	io.WriteString(h, CanonicalizeSource(source))
 	io.WriteString(h, "\x00")
 	writeOptions(h, opts)

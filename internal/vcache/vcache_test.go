@@ -45,6 +45,16 @@ func flipField(t *testing.T, opts core.Options, i int) core.Options {
 			t.Fatal(err)
 		}
 		f.Set(reflect.ValueOf(rs))
+	case reflect.Struct:
+		// Nested option structs (solver.Config) render through %v, so
+		// flipping any bool inside changes the key. Flip the first one.
+		for j := 0; j < f.NumField(); j++ {
+			if f.Field(j).Kind() == reflect.Bool {
+				f.Field(j).SetBool(true)
+				return opts
+			}
+		}
+		t.Fatalf("core.Options field %s: struct with no bool field; extend flipField (and check Key covers it)", name)
 	default:
 		t.Fatalf("core.Options field %s has kind %s; extend flipField (and check Key covers it)", name, f.Kind())
 	}
