@@ -12,6 +12,7 @@
 //
 //	POST   /v1/jobs             submit {filename, source, rules, options}
 //	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/events live progress feed (SSE, Last-Event-ID resumption)
 //	GET    /v1/jobs/{id}/report done job's report (core.Report JSON)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/healthz          liveness
@@ -305,6 +306,14 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the wrapped writer so SSE streams (the live job
+// event feed) deliver frames as they happen, not at request end.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // accessLog wraps the API handler with request-ID assignment and one
 // structured log line per request. A client-supplied X-Request-Id is
 // honoured (trusted proxies stamp one); otherwise a fresh ID is minted.
@@ -314,6 +323,10 @@ func accessLog(logger *slog.Logger, next http.Handler) http.Handler {
 		id := r.Header.Get("X-Request-Id")
 		if id == "" {
 			id = newRequestID()
+			// Stamp the minted ID into the inbound request too: the job
+			// layer copies it onto the submission, so the job's event
+			// feed and the access log share one correlation ID.
+			r.Header.Set("X-Request-Id", id)
 		}
 		w.Header().Set("X-Request-Id", id)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}

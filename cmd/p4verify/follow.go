@@ -1,0 +1,116 @@
+package main
+
+// -remote -follow: stream the job's live progress feed (SSE) while it
+// runs, rendering each pipeline stage as it completes. The stream rides
+// service.Client.Follow, so it survives disconnects and daemon restarts
+// by resuming from the last delivered sequence number.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"p4assert/internal/core"
+	"p4assert/internal/service"
+	"p4assert/internal/telemetry"
+)
+
+// followVerify submits the job and follows its event feed until the
+// terminal marker, then fetches the report. Progress goes to stderr
+// (stdout stays clean for -json). With traceOut set, the collected
+// events replay into a Chrome trace file — the remote counterpart of a
+// local -trace run.
+func followVerify(ctx context.Context, c *service.Client, jr service.JobRequest, traceOut string) (*core.Report, error) {
+	st, err := c.Submit(ctx, jr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "p4verify: following %s\n", st.ID)
+
+	var events []telemetry.Event
+	r := newRenderer(os.Stderr)
+	err = c.Follow(ctx, st.ID, 0, func(ev telemetry.Event) error {
+		if traceOut != "" {
+			events = append(events, ev)
+		}
+		r.render(ev)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if traceOut != "" {
+		writeTrace(telemetry.ReplayTrace(events), traceOut)
+	}
+
+	st, err = c.Status(ctx, st.ID)
+	if err != nil {
+		return nil, err
+	}
+	if st.State != service.StateDone {
+		return nil, fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	rep, _, err := c.Report(ctx, st.ID)
+	return rep, err
+}
+
+// renderer turns the event stream into per-stage progress lines. Span
+// durations come from the event timestamps (start seen → end seen);
+// spans replayed from a memoized cache are marked.
+type renderer struct {
+	out    *os.File
+	starts map[int64]telemetry.Event // span ID → its span_start
+	cached map[int64]bool
+	attrs  map[int64]int64 // span ID → paths attr (the headline figure)
+}
+
+func newRenderer(out *os.File) *renderer {
+	return &renderer{
+		out:    out,
+		starts: map[int64]telemetry.Event{},
+		cached: map[int64]bool{},
+		attrs:  map[int64]int64{},
+	}
+}
+
+func (r *renderer) render(ev telemetry.Event) {
+	switch ev.Kind {
+	case telemetry.KindJob:
+		switch {
+		case service.TerminalJobEvent(ev):
+			detail := ev.Str
+			if ev.Val > 0 {
+				detail = fmt.Sprintf("%s (%d violations)", ev.Str, ev.Val)
+			}
+			fmt.Fprintf(r.out, "  job %s: %s\n", ev.Name, detail)
+		default:
+			fmt.Fprintf(r.out, "  job %s\n", ev.Name)
+		}
+	case telemetry.KindSpanStart:
+		r.starts[ev.Span] = ev
+	case telemetry.KindCached:
+		r.cached[ev.Span] = true
+	case telemetry.KindAttr:
+		if ev.Key == "paths" {
+			r.attrs[ev.Span] = ev.Val
+		}
+	case telemetry.KindSpanEnd:
+		start, ok := r.starts[ev.Span]
+		if !ok {
+			return
+		}
+		delete(r.starts, ev.Span)
+		d := time.Duration(ev.TS - start.TS)
+		line := fmt.Sprintf("  %-14s %v", ev.Name, d.Round(10*time.Microsecond))
+		if p := r.attrs[ev.Span]; p > 0 {
+			line += fmt.Sprintf("  (%d paths)", p)
+		}
+		if r.cached[ev.Span] {
+			line += "  [cached]"
+		}
+		fmt.Fprintln(r.out, line)
+	case telemetry.KindDropped:
+		fmt.Fprintf(r.out, "  ... %d events dropped (slow consumer)\n", ev.Dropped)
+	}
+}

@@ -16,7 +16,10 @@
 // tree — including one span per submodel under -parallel — as a Chrome
 // trace-event file loadable in chrome://tracing or https://ui.perfetto.dev
 // (see docs/observability.md). -remote ADDR offloads the job to a
-// p4served daemon instead of verifying in-process. -watch re-verifies on
+// p4served daemon instead of verifying in-process; adding -follow streams
+// the job's live progress feed (SSE) to stderr while it runs, surviving
+// disconnects and daemon restarts, and with -trace writes the remote
+// pipeline's span tree from the streamed events. -watch re-verifies on
 // every save through the incremental engine (internal/incr) — only the
 // submodels an edit can affect re-execute — and prints the delta: changed
 // units, the submodel reuse ratio, and violations that appeared or
@@ -57,6 +60,7 @@ func main() {
 		dumpModel = flag.Bool("dump-model", false, "print the translated verification model (pseudo-C) and exit")
 		jsonOut   = flag.Bool("json", false, "emit the machine-readable report (core.Report JSON) instead of text")
 		remote    = flag.String("remote", "", "offload to a p4served daemon at this address (e.g. http://127.0.0.1:9464)")
+		follow    = flag.Bool("follow", false, "with -remote: stream the job's live progress feed to stderr while it runs")
 		watch     = flag.Bool("watch", false, "re-verify incrementally on every save, printing only the delta")
 		watchIvl  = flag.Duration("watch-interval", 200*time.Millisecond, "poll interval for -watch")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event file (Perfetto-loadable) of the pipeline span tree")
@@ -72,6 +76,10 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *follow && *remote == "" {
+		fmt.Fprintln(os.Stderr, "p4verify: -follow streams a remote job's progress feed and requires -remote")
 		os.Exit(2)
 	}
 
@@ -101,17 +109,21 @@ func main() {
 		opts.Rules = rs
 	}
 
-	// -trace records the span tree of the local pipeline; it excludes the
-	// modes that never run it (remote offload, watch loops, model dumps).
+	// -trace records the span tree of the local pipeline, or — with
+	// -remote -follow — replays the remote pipeline's tree from the
+	// streamed events. It excludes the modes that never produce one
+	// (non-followed remote offload, watch loops, model dumps).
 	ctx := context.Background()
 	var tr *telemetry.Trace
 	if *traceOut != "" {
-		if *remote != "" || *watch || *dumpModel || *genTests || *diffFile != "" || *suiteOut != "" || *replayIn != "" {
-			fmt.Fprintln(os.Stderr, "p4verify: -trace records a single local verification and excludes -remote, -watch, -dump-model, -gen-tests, -diff, -suite and -replay")
+		if (*remote != "" && !*follow) || *watch || *dumpModel || *genTests || *diffFile != "" || *suiteOut != "" || *replayIn != "" {
+			fmt.Fprintln(os.Stderr, "p4verify: -trace records a single verification (local, or -remote with -follow) and excludes -watch, -dump-model, -gen-tests, -diff, -suite and -replay")
 			os.Exit(2)
 		}
-		tr = telemetry.NewTrace()
-		ctx = telemetry.WithTrace(ctx, tr)
+		if *remote == "" {
+			tr = telemetry.NewTrace()
+			ctx = telemetry.WithTrace(ctx, tr)
+		}
 	}
 
 	if *watch {
@@ -152,7 +164,7 @@ func main() {
 	}
 
 	if *remote != "" || *jsonOut {
-		code := runCoreMode(ctx, *remote, *jsonOut, flag.Arg(0), rulesText, coreTechniques(opts))
+		code := runCoreMode(ctx, *remote, *jsonOut, *follow, flag.Arg(0), rulesText, coreTechniques(opts), *traceOut)
 		writeTrace(tr, *traceOut)
 		os.Exit(code)
 	}
@@ -249,7 +261,7 @@ func coreTechniques(o *p4assert.Options) service.Techniques {
 // p4assert.Report. It returns the exit status rather than exiting so the
 // caller can flush a -trace file first: 0 ok, 1 violations, 2 front-end or
 // transport errors.
-func runCoreMode(ctx context.Context, remoteAddr string, jsonOut bool, file, rulesText string, tech service.Techniques) int {
+func runCoreMode(ctx context.Context, remoteAddr string, jsonOut, follow bool, file, rulesText string, tech service.Techniques, traceOut string) int {
 	data, err := os.ReadFile(file)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "p4verify:", err)
@@ -259,12 +271,17 @@ func runCoreMode(ctx context.Context, remoteAddr string, jsonOut bool, file, rul
 	var rep *core.Report
 	if remoteAddr != "" {
 		client := &service.Client{Base: remoteAddr}
-		rep, _, err = client.Verify(ctx, service.JobRequest{
+		jr := service.JobRequest{
 			Filename: file,
 			Source:   string(data),
 			Rules:    rulesText,
 			Options:  tech,
-		})
+		}
+		if follow {
+			rep, err = followVerify(ctx, client, jr, traceOut)
+		} else {
+			rep, _, err = client.Verify(ctx, jr)
+		}
 	} else {
 		var opts core.Options
 		opts, err = tech.CoreOptions(rulesText)

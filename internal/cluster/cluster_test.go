@@ -25,6 +25,7 @@ import (
 	"p4assert/internal/progs"
 	"p4assert/internal/rules"
 	"p4assert/internal/sym"
+	"p4assert/internal/telemetry"
 )
 
 // memStore is an unbounded in-memory incr.Store for tests.
@@ -639,5 +640,93 @@ func TestEvictionAndHeartbeatRevival(t *testing.T) {
 	}
 	if coord.Nodes()[0].Dispatched < 2 {
 		t.Fatalf("post-revival dispatch did not reach the node: %+v", coord.Nodes())
+	}
+}
+
+// TestWorkerSpansForwardedToFeed: a clustered run under a traced context
+// with an attached bus sees the worker-side span tree — the pipeline
+// rebuild and the execute span with its work attrs — grafted under the
+// rpc lanes and published on the live event feed, while the report stays
+// byte-identical to a local run.
+func TestWorkerSpansForwardedToFeed(t *testing.T) {
+	p, err := progs.Get("vss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := startWorkers(t, 2)
+	opts := progOpts(t, p)
+	file := p.Name + ".p4"
+
+	local, err := core.VerifySourceCtx(context.Background(), file, p.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := telemetry.NewTrace()
+	bus := telemetry.NewBus(0)
+	tr.AttachBus(bus)
+	sub := bus.Subscribe(0, 0)
+	ctx := telemetry.WithTrace(context.Background(), tr)
+
+	coord := NewCoordinator(Config{Nodes: specs, StealAfter: -1})
+	defer coord.Close()
+	clustered, err := core.VerifySourceExec(ctx, file, p.Source, opts, coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSameReport(t, "traced cluster run", local, clustered)
+	bus.Close()
+
+	var rpcLanes, imported int
+	var execAttrs bool
+	byID := map[int64]string{}
+	for _, sp := range tr.Spans() {
+		byID[sp.ID] = sp.Name
+		if strings.HasPrefix(sp.Name, "rpc[") {
+			rpcLanes++
+		}
+	}
+	for _, sp := range tr.Spans() {
+		if parent, ok := byID[sp.Parent]; ok && strings.HasPrefix(parent, "rpc[") {
+			imported++
+			if sp.Name == "execute" && sp.Attrs()["paths"] > 0 {
+				execAttrs = true
+			}
+		}
+	}
+	if rpcLanes == 0 {
+		t.Fatal("no rpc lanes recorded")
+	}
+	if imported == 0 {
+		t.Fatal("no worker spans were grafted under the rpc lanes")
+	}
+	if !execAttrs {
+		t.Fatal("no forwarded execute span carries work attributes")
+	}
+
+	// The same spans reached the live feed, in seq order.
+	var events []telemetry.Event
+	for {
+		batch, err := sub.NextBatch(context.Background())
+		if err != nil {
+			break
+		}
+		events = append(events, batch...)
+	}
+	lastSeq := int64(0)
+	sawRemoteExec := false
+	for _, ev := range events {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("feed not strictly ordered: seq %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		if ev.Kind == telemetry.KindSpanStart && ev.Name == "execute" {
+			if parent, ok := byID[ev.Parent]; ok && strings.HasPrefix(parent, "rpc[") {
+				sawRemoteExec = true
+			}
+		}
+	}
+	if !sawRemoteExec {
+		t.Fatal("feed carries no remote execute span event")
 	}
 }

@@ -462,10 +462,37 @@ func (c *Coordinator) dispatch(ctx context.Context, n *node, req *exec.Request, 
 		c.counter("p4served_cluster_cache_hits_total", telemetry.L("node", n.name)).Inc()
 		sp.MarkCached()
 	}
+	c.importSpans(ctx, sp, t0, resp.Spans)
 	res := resp.Verdict.Result()
 	exec.AnnotateSpan(sp, res.Metrics)
 	sp.End()
 	ch <- outcome{n: n, res: res, cacheHit: resp.CacheHit}
+}
+
+// importSpans grafts worker-forwarded spans into the live trace under
+// the RPC's lane, re-anchored on the RPC start (worker clocks are not
+// trusted). This is how remote-submodel progress reaches the job's event
+// feed and Chrome trace.
+func (c *Coordinator) importSpans(ctx context.Context, rpcSpan *telemetry.Span, t0 time.Time, spans []WireSpan) {
+	tr := telemetry.TraceFrom(ctx)
+	if tr == nil || len(spans) == 0 {
+		return
+	}
+	imported := make([]telemetry.ImportedSpan, len(spans))
+	for i, ws := range spans {
+		imported[i] = telemetry.ImportedSpan{
+			ID:     ws.ID,
+			Parent: ws.Parent,
+			Name:   ws.Name,
+			Start:  t0.Add(time.Duration(ws.StartNS)),
+			Cached: ws.Cached,
+			Attrs:  ws.Attrs,
+		}
+		if ws.EndNS != 0 {
+			imported[i].End = t0.Add(time.Duration(ws.EndNS))
+		}
+	}
+	tr.Import(rpcSpan, imported)
 }
 
 // runLocalAttempt executes the submodel in-process (no live nodes, or a

@@ -82,6 +82,25 @@ type ExecResponse struct {
 	// Submodels is the size of the worker's rebuilt split (diagnostic).
 	Submodels int     `json:"submodels"`
 	Verdict   Verdict `json:"verdict"`
+	// Spans is the worker-side span tree of this execution, forwarded so
+	// the coordinator's live feed covers remote submodels. Spans ride
+	// outside Verdict on purpose: they are observability-only — never
+	// cached, never part of any comparable report surface — and they vary
+	// run to run (a memoized rebuild forwards no pipeline spans).
+	Spans []WireSpan `json:"spans,omitempty"`
+}
+
+// WireSpan is one worker span on the wire. Times are nanoseconds
+// relative to the worker's trace start; the coordinator re-anchors them
+// on the RPC's start time (clocks are not assumed synchronized).
+type WireSpan struct {
+	ID      int64            `json:"id"`
+	Parent  int64            `json:"parent,omitempty"`
+	Name    string           `json:"name"`
+	StartNS int64            `json:"start_ns"`
+	EndNS   int64            `json:"end_ns,omitempty"`
+	Cached  bool             `json:"cached,omitempty"`
+	Attrs   map[string]int64 `json:"attrs,omitempty"`
 }
 
 // wireError is the JSON body of a non-200 worker reply.

@@ -120,7 +120,14 @@ func (w *Worker) Execute(ctx context.Context, req *ExecRequest) (*ExecResponse, 
 		// Corrupt entry: fall through to a fresh execution (overwrites it).
 	}
 
-	job, err := w.prepare(ctx, req.Job)
+	// The execution runs under its own local trace; the recorded spans
+	// (pipeline rebuild on first sight of a job digest, then the
+	// execution itself) are forwarded on the response so the
+	// coordinator's live feed covers remote submodels.
+	tr := telemetry.NewTrace()
+	tctx := telemetry.WithTrace(ctx, tr)
+
+	job, err := w.prepare(tctx, req.Job)
 	if err != nil {
 		w.counter("p4served_worker_execute_total", telemetry.L("result", "build_error")).Inc()
 		return nil, err
@@ -136,16 +143,21 @@ func (w *Worker) Execute(ctx context.Context, req *ExecRequest) (*ExecResponse, 
 		MaxCallDepth: job.opts.MaxCallDepth,
 		MaxPaths:     job.opts.MaxPaths,
 		Opt:          job.opts.Opt,
-		Ctx:          ctx,
+		Ctx:          tctx,
 	}
 	if req.TimeoutMS > 0 {
 		symOpts.Deadline = time.Now().Add(time.Duration(req.TimeoutMS) * time.Millisecond)
 	}
+	_, execSp := telemetry.StartSpan(tctx, "execute")
 	res, err := sym.Execute(job.subs[idx], symOpts)
 	if err != nil {
+		execSp.End()
 		w.counter("p4served_worker_execute_total", telemetry.L("result", "exec_error")).Inc()
 		return nil, err
 	}
+	exec.AnnotateSpan(execSp, res.Metrics)
+	execSp.End()
+	resp.Spans = wireSpans(tr)
 	w.executed.Add(1)
 	w.counter("p4served_worker_execute_total", telemetry.L("result", "executed")).Inc()
 	// Verdicts are cache-grade artifacts: every field must be a
@@ -200,6 +212,29 @@ func (w *Worker) prepare(ctx context.Context, spec *exec.JobSpec) (*preparedJob,
 		w.order = w.order[1:]
 	}
 	return job, nil
+}
+
+// wireSpans renders a worker-local trace for the wire, with times
+// relative to the trace start.
+func wireSpans(tr *telemetry.Trace) []WireSpan {
+	base := tr.StartTime()
+	spans := tr.Spans()
+	out := make([]WireSpan, 0, len(spans))
+	for _, sp := range spans {
+		ws := WireSpan{
+			ID:      sp.ID,
+			Parent:  sp.Parent,
+			Name:    sp.Name,
+			StartNS: sp.Start.Sub(base).Nanoseconds(),
+			Cached:  sp.IsCached(),
+			Attrs:   sp.Attrs(),
+		}
+		if end := sp.EndTime(); !end.IsZero() {
+			ws.EndNS = end.Sub(base).Nanoseconds()
+		}
+		out = append(out, ws)
+	}
+	return out
 }
 
 // Health returns the worker's healthz body.

@@ -164,6 +164,12 @@ type JobRequest struct {
 	// shed (HTTP 429) under load. Interactive jobs always run before bulk
 	// ones and are only rejected at the hard queue bound.
 	Priority string `json:"priority,omitempty"`
+	// RequestID correlates the job with access logs: the HTTP layer fills
+	// it from the X-Request-Id header when the body leaves it empty. It is
+	// stamped onto every event on the job's progress feed and tagged onto
+	// the job's root span. Observability-only: it never affects the
+	// verification outcome, the report bytes or the cache key.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // JobState is the lifecycle state of a job:
@@ -262,15 +268,15 @@ type StatsResponse struct {
 
 // CacheStats mirrors vcache.Stats on the wire.
 type CacheStats struct {
-	Enabled    bool  `json:"enabled"`
-	Hits       int64 `json:"hits"`
-	Misses     int64 `json:"misses"`
-	MemHits    int64 `json:"mem_hits"`
-	DiskHits   int64 `json:"disk_hits"`
-	Evictions  int64 `json:"evictions"`
+	Enabled   bool  `json:"enabled"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	MemHits   int64 `json:"mem_hits"`
+	DiskHits  int64 `json:"disk_hits"`
+	Evictions int64 `json:"evictions"`
 	// Corrupt counts disk entries that failed their checksum and were
 	// quarantined (removed and recomputed), never returned.
-	Corrupt int64 `json:"corrupt,omitempty"`
+	Corrupt    int64 `json:"corrupt,omitempty"`
 	Entries    int   `json:"entries"`
 	MaxEntries int   `json:"max_entries"`
 	DiskTier   bool  `json:"disk_tier"`

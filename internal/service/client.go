@@ -1,18 +1,22 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"p4assert/internal/core"
 	"p4assert/internal/equiv"
+	"p4assert/internal/telemetry"
 )
 
 // Client talks to a p4served daemon. The zero value is usable: polls
@@ -44,14 +48,23 @@ func (c *Client) url(path string) string {
 	return strings.TrimRight(c.Base, "/") + path
 }
 
-// apiError decodes a non-2xx response into an error.
+// HTTPError is a non-2xx API response: the status code plus the
+// server's error message.
+type HTTPError struct {
+	Status int
+	Msg    string
+}
+
+func (e *HTTPError) Error() string { return e.Msg }
+
+// apiError decodes a non-2xx response into an *HTTPError.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	var e errorResponse
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		return &HTTPError{resp.StatusCode, fmt.Sprintf("server: %s (HTTP %d)", e.Error, resp.StatusCode)}
 	}
-	return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	return &HTTPError{resp.StatusCode, fmt.Sprintf("server: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))}
 }
 
 // retryableStatus reports whether a response status is worth retrying:
@@ -200,6 +213,131 @@ func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
 	err := c.getJSON(ctx, "/v1/stats", &s)
 	return s, err
 }
+
+// stopFollow wraps an error returned by a stream callback, so Follow
+// can tell "the caller wants out" from "the connection died".
+type stopFollow struct{ err error }
+
+func (e stopFollow) Error() string { return e.err.Error() }
+
+// Events opens one SSE connection to the job's progress feed and calls
+// fn for every received event, resuming after afterSeq (0 = full
+// history). It returns nil when the server ends the stream (the feed
+// closed), fn's error if fn fails, and the transport or HTTP error
+// otherwise. Most callers want Follow, which adds reconnection.
+func (c *Client) Events(ctx context.Context, id string, afterSeq int64, fn func(telemetry.Event) error) error {
+	resp, err := c.doReq(ctx, http.StatusOK, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/events"), nil)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Accept", "text/event-stream")
+		if afterSeq > 0 {
+			req.Header.Set("Last-Event-ID", strconv.FormatInt(afterSeq, 10))
+		}
+		return req, nil
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Frame boundary.
+			if len(data) == 0 {
+				continue
+			}
+			var ev telemetry.Event
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return fmt.Errorf("malformed event: %w", err)
+			}
+			data = nil
+			if err := fn(ev); err != nil {
+				return stopFollow{err}
+			}
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, line[len("data: "):]...)
+		default:
+			// id:/event: lines duplicate the JSON envelope; ":" lines
+			// are heartbeats. Both are ignored.
+		}
+	}
+	return sc.Err()
+}
+
+// Follow streams the job's progress feed until the terminal lifecycle
+// marker arrives, reconnecting through disconnects and daemon restarts
+// with jittered backoff and resuming from the last delivered sequence
+// number (so a restarted daemon replays only what was missed). fn sees
+// every event exactly once per delivered sequence; a fn error stops the
+// stream and is returned.
+func (c *Client) Follow(ctx context.Context, id string, afterSeq int64, fn func(telemetry.Event) error) error {
+	last := afterSeq
+	terminal := false
+	wrapped := func(ev telemetry.Event) error {
+		if ev.Seq > last {
+			last = ev.Seq
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+		if TerminalJobEvent(ev) {
+			terminal = true
+			return errStreamDone
+		}
+		return nil
+	}
+	base := c.RetryBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.Events(ctx, id, last, wrapped)
+		if terminal {
+			return nil
+		}
+		var stop stopFollow
+		if errors.As(err, &stop) {
+			return stop.err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		// Deterministic client errors (404: job unknown or evicted) will
+		// not improve with retrying.
+		var he *HTTPError
+		if errors.As(err, &he) && he.Status < 500 && he.Status != http.StatusTooManyRequests {
+			return err
+		}
+		// The stream ended without the terminal marker: a mid-job
+		// disconnect, a daemon restart, or an unreachable server. A
+		// terminal status means the feed is simply gone (e.g. the job
+		// was evicted) — report what we know instead of spinning.
+		if st, serr := c.Status(ctx, id); serr == nil && st.State.Terminal() && err == nil {
+			return nil
+		}
+		d := base << min(attempt, 4)
+		if max := 2 * time.Second; d > max {
+			d = max
+		}
+		d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(d):
+		}
+	}
+}
+
+// errStreamDone stops Events after the terminal marker; Follow never
+// surfaces it.
+var errStreamDone = errors.New("service: stream complete")
 
 // Wait polls until the job reaches a terminal state or ctx expires.
 func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {

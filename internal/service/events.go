@@ -1,0 +1,256 @@
+package service
+
+// Live job-progress streaming. Every job owns a telemetry.Bus — its
+// event feed — created at submission and closed when the job reaches a
+// terminal state. The job's trace publishes span transitions onto it
+// while the pipeline runs; the service adds lifecycle markers (KindJob)
+// so a consumer can follow a job from pending to its verdict. With a
+// durable store, a per-job journal consumer drains the feed into the
+// WAL ("events" records), so a client reconnecting after a daemon
+// restart replays the history it missed — then goes live if the job was
+// resubmitted. GET /v1/jobs/{id}/events serves the feed as SSE with
+// Last-Event-ID resumption.
+//
+// Events are observability-only: they never enter reports, cache
+// entries or any comparable surface. A job's report bytes are identical
+// with zero or many stream consumers attached.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"p4assert/internal/telemetry"
+)
+
+// streamHeartbeat is the SSE keep-alive interval: a comment line is
+// written whenever no event arrives for this long, so proxies and
+// clients can distinguish an idle stream from a dead one.
+const streamHeartbeat = 15 * time.Second
+
+// TerminalJobEvent reports whether ev is the lifecycle marker of a
+// terminal job state — the semantic end of a job's event feed.
+func TerminalJobEvent(ev telemetry.Event) bool {
+	return ev.Kind == telemetry.KindJob && JobState(ev.Name).Terminal()
+}
+
+// Feed returns the job's event bus, or nil if the job is unknown or its
+// feed was evicted with the job.
+func (m *Manager) Feed(id string) *telemetry.Bus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.feeds[id]
+}
+
+// openFeedLocked creates the job's event bus. Callers hold m.mu (or run
+// single-threaded in recovery) and have assigned j.id.
+func (m *Manager) openFeedLocked(j *job) *telemetry.Bus {
+	bus := telemetry.NewBus(0)
+	bus.SetRequestID(j.req.RequestID)
+	m.feeds[j.id] = bus
+	return bus
+}
+
+// lifecycleEvent renders a KindJob marker for the job's current state.
+// The terminal markers carry the summary a follower needs to stop:
+// verdict and violation count for done jobs, the error for failures.
+func lifecycleEvent(j *job) telemetry.Event {
+	ev := telemetry.Event{Kind: telemetry.KindJob, Name: string(j.state)}
+	switch j.state {
+	case StateDone:
+		ev.Str = j.verdict
+		ev.Val = int64(j.violations)
+	case StateFailed, StateCancelled:
+		ev.Str = j.err
+	}
+	return ev
+}
+
+// closeFeed publishes the job's terminal marker and ends the stream.
+// Subscribers drain what they have buffered and then see EOF; the feed
+// stays subscribable (history backfill) until the job is evicted.
+// Callers must not hold m.mu.
+func (m *Manager) closeFeed(j *job, bus *telemetry.Bus) {
+	if bus == nil {
+		return
+	}
+	bus.Publish(lifecycleEvent(j))
+	bus.Close()
+	published, dropped := bus.Stats()
+	m.reg.Counter("p4served_feed_events_total",
+		"Progress events published on job feeds (counted at feed close).").Add(published)
+	if dropped > 0 {
+		m.reg.Counter("p4served_feed_events_dropped_total",
+			"Progress events lost from slow subscriber buffers (counted at feed close).").Add(dropped)
+	}
+}
+
+// startJournal drains the feed into the durable store as "events"
+// records, so a client can replay a job's history across a daemon
+// restart. afterSeq skips events already journaled (recovery preloads
+// them into the bus). The consumer exits when the feed closes; Shutdown
+// waits for the final batches to land before the store is closed.
+func (m *Manager) startJournal(id string, bus *telemetry.Bus, afterSeq int64) {
+	if m.cfg.Store == nil {
+		return
+	}
+	m.journalWG.Add(1)
+	go func() {
+		defer m.journalWG.Done()
+		sub := bus.Subscribe(afterSeq, 0)
+		defer sub.Cancel()
+		for {
+			evs, err := sub.NextBatch(context.Background())
+			if err != nil {
+				return
+			}
+			raw := make([]json.RawMessage, 0, len(evs))
+			for _, ev := range evs {
+				if ev.Seq == 0 {
+					// Synthesized gap markers are consumer-local, not
+					// part of the canonical stream.
+					continue
+				}
+				if data, err := json.Marshal(ev); err == nil {
+					raw = append(raw, data)
+				}
+			}
+			if len(raw) == 0 {
+				continue
+			}
+			if err := m.cfg.Store.AppendEvents(id, raw); err != nil {
+				m.reg.Counter("p4served_store_errors_total",
+					"Durable-store writes that failed (service continues in memory).").Inc()
+			}
+		}
+	}()
+}
+
+// journaledEvents decodes a job's journaled event records. Records that
+// fail to decode are skipped (the journal is advisory history, not a
+// source of truth).
+func (m *Manager) journaledEvents(id string) []telemetry.Event {
+	if m.cfg.Store == nil {
+		return nil
+	}
+	raws := m.cfg.Store.Events(id)
+	evs := make([]telemetry.Event, 0, len(raws))
+	for _, raw := range raws {
+		var ev telemetry.Event
+		if json.Unmarshal(raw, &ev) == nil {
+			evs = append(evs, ev)
+		}
+	}
+	return evs
+}
+
+// handleEvents serves GET /v1/jobs/{id}/events: the job's feed as
+// Server-Sent Events. Each frame is
+//
+//	id: <seq>
+//	event: <kind>
+//	data: <telemetry.Event JSON>
+//
+// A Last-Event-ID header (or ?after= query parameter) resumes after a
+// previously delivered sequence number: journaled/buffered history past
+// it is replayed first, then the stream goes live. Gap markers
+// (event: dropped) carry no id line — they are synthesized, not part of
+// the canonical sequence. The stream ends when the job's feed closes,
+// after the terminal lifecycle marker; a comment ping is written every
+// streamHeartbeat while idle.
+func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	m.mu.Lock()
+	_, known := m.jobs[id]
+	bus := m.feeds[id]
+	m.mu.Unlock()
+	if !known || bus == nil {
+		writeError(w, http.StatusNotFound, ErrUnknownJob.Error()+": "+id)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	after, err := resumeSeq(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	m.reg.Counter("p4served_event_streams_total", "SSE event-stream connections accepted.").Inc()
+	sub := bus.Subscribe(after, 0)
+	defer sub.Cancel()
+	for {
+		bctx, cancel := context.WithTimeout(r.Context(), streamHeartbeat)
+		evs, err := sub.NextBatch(bctx)
+		cancel()
+		switch {
+		case err == nil:
+			for _, ev := range evs {
+				if writeSSE(w, ev) != nil {
+					return
+				}
+			}
+			flusher.Flush()
+			m.reg.Counter("p4served_events_streamed_total",
+				"Progress events delivered over SSE streams.").Add(int64(len(evs)))
+		case errors.Is(err, telemetry.ErrFeedClosed):
+			return
+		case r.Context().Err() != nil:
+			return
+		default:
+			// Heartbeat timeout with the client still connected.
+			if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// resumeSeq extracts the resumption point of an SSE request: the
+// standard Last-Event-ID header, or ?after= for clients that cannot set
+// headers. Zero means the full history.
+func resumeSeq(r *http.Request) (int64, error) {
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		raw = r.URL.Query().Get("after")
+	}
+	if raw == "" {
+		return 0, nil
+	}
+	seq, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || seq < 0 {
+		return 0, fmt.Errorf("invalid resume sequence %q", raw)
+	}
+	return seq, nil
+}
+
+// writeSSE renders one event as an SSE frame. Synthesized gap markers
+// (Seq 0) get no id line, so they never become a client's resumption
+// point.
+func writeSSE(w http.ResponseWriter, ev telemetry.Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	if ev.Seq > 0 {
+		if _, err := fmt.Fprintf(w, "id: %d\n", ev.Seq); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data)
+	return err
+}

@@ -1,0 +1,395 @@
+package service
+
+// Live job-progress streaming tests: feed lifecycle and ordering for
+// local, parallel, incremental and clustered runs, the SSE endpoint
+// with Last-Event-ID resumption, and journal replay across a restart.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"p4assert/internal/cluster"
+	"p4assert/internal/core"
+	"p4assert/internal/telemetry"
+	"p4assert/internal/vcache"
+)
+
+// drainFeed collects a job's whole feed: history plus live events until
+// the feed closes (the job must reach a terminal state for that).
+func drainFeed(t *testing.T, m *Manager, id string) []telemetry.Event {
+	t.Helper()
+	bus := m.Feed(id)
+	if bus == nil {
+		t.Fatalf("job %s has no feed", id)
+	}
+	sub := bus.Subscribe(0, 0)
+	defer sub.Cancel()
+	var out []telemetry.Event
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		evs, err := sub.NextBatch(ctx)
+		cancel()
+		if err != nil {
+			if err == telemetry.ErrFeedClosed {
+				return out
+			}
+			t.Fatalf("feed did not close: %v (got %d events)", err, len(out))
+		}
+		out = append(out, evs...)
+	}
+}
+
+// checkOrdered asserts strictly increasing sequence numbers (gap
+// markers carry Seq 0 and are exempt).
+func checkOrdered(t *testing.T, evs []telemetry.Event) {
+	t.Helper()
+	last := int64(0)
+	for _, ev := range evs {
+		if ev.Seq == 0 {
+			if ev.Kind != telemetry.KindDropped {
+				t.Fatalf("non-marker event without sequence: %+v", ev)
+			}
+			continue
+		}
+		if ev.Seq <= last {
+			t.Fatalf("sequence not increasing: %d after %d (%+v)", ev.Seq, last, ev)
+		}
+		last = ev.Seq
+	}
+}
+
+// comparable renders serialized report bytes on the report's comparable
+// surface (wall-clock and observability fields excluded).
+func comparable(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var rep core.Report
+	if err := rep.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	out, err := rep.ComparableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// hasEvent reports whether the feed contains an event of the given kind
+// (and name, unless empty).
+func hasEvent(evs []telemetry.Event, kind, name string) bool {
+	for _, ev := range evs {
+		if ev.Kind == kind && (name == "" || ev.Name == name) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestJobFeedLifecycle: a sequential job's feed delivers the lifecycle
+// markers and the pipeline's span events in order, with the request ID
+// stamped on every envelope and tagged on the root span.
+func TestJobFeedLifecycle(t *testing.T) {
+	m := New(Config{Workers: 2})
+	defer m.Shutdown(context.Background())
+
+	req := corpusRequest(t, "vss")
+	req.RequestID = "req-feed-1"
+	st, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, st.ID)
+	evs := drainFeed(t, m, st.ID)
+	checkOrdered(t, evs)
+
+	if evs[0].Kind != telemetry.KindJob || evs[0].Name != string(StatePending) {
+		t.Fatalf("first event %+v, want job/pending", evs[0])
+	}
+	lastEv := evs[len(evs)-1]
+	if !TerminalJobEvent(lastEv) || lastEv.Name != string(StateDone) {
+		t.Fatalf("last event %+v, want terminal job/done", lastEv)
+	}
+	if lastEv.Str == "" {
+		t.Fatal("terminal marker carries no verdict")
+	}
+	for _, name := range []string{"running"} {
+		if !hasEvent(evs, telemetry.KindJob, name) {
+			t.Fatalf("no job/%s marker in %d events", name, len(evs))
+		}
+	}
+	for _, name := range []string{"job", "parse", "typecheck", "translate", "execute"} {
+		if !hasEvent(evs, telemetry.KindSpanStart, name) || !hasEvent(evs, telemetry.KindSpanEnd, name) {
+			t.Fatalf("stage %q missing from feed", name)
+		}
+	}
+	var tagged bool
+	for _, ev := range evs {
+		if ev.RequestID != "req-feed-1" {
+			t.Fatalf("event missing request id: %+v", ev)
+		}
+		if ev.Kind == telemetry.KindTag && ev.Key == "request_id" && ev.Str == "req-feed-1" {
+			tagged = true
+		}
+	}
+	if !tagged {
+		t.Fatal("root span was not tagged with the request id")
+	}
+
+	// The feed replays from history after the job is done (a late
+	// subscriber still sees the full stream).
+	again := drainFeed(t, m, st.ID)
+	if len(again) != len(evs) {
+		t.Fatalf("replay has %d events, first drain %d", len(again), len(evs))
+	}
+}
+
+// TestFeedCoverageParallelIncremental: parallel jobs publish per-lane
+// submodel spans; an incremental resubmission (base_job) publishes
+// cached-replay events for reused submodels.
+func TestFeedCoverageParallelIncremental(t *testing.T) {
+	sub, err := vcache.NewSubmodelTier(256, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{Workers: 2, SubCache: sub})
+	defer m.Shutdown(context.Background())
+
+	req := corpusRequest(t, "vss")
+	req.Options.Parallel = 4
+	st, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitTerminal(t, m, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("parallel job: %s (%s)", st.State, st.Error)
+	}
+	evs := drainFeed(t, m, st.ID)
+	checkOrdered(t, evs)
+	var lanes int
+	for _, ev := range evs {
+		if ev.Kind == telemetry.KindSpanStart && strings.HasPrefix(ev.Name, "submodel[") {
+			lanes++
+		}
+	}
+	if lanes == 0 {
+		t.Fatal("parallel run published no submodel lane spans")
+	}
+
+	// Unchanged resubmission against the base: every submodel replays
+	// from the cache, visible as cached markers on the feed.
+	req2 := req
+	req2.BaseJob = st.ID
+	st2, err := m.Submit(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 = waitTerminal(t, m, st2.ID)
+	if st2.State != StateDone || st2.SubmodelsReused == 0 {
+		t.Fatalf("incremental job: %s, reused %d", st2.State, st2.SubmodelsReused)
+	}
+	evs2 := drainFeed(t, m, st2.ID)
+	checkOrdered(t, evs2)
+	var cached int
+	for _, ev := range evs2 {
+		if ev.Kind == telemetry.KindCached {
+			cached++
+		}
+	}
+	if cached < st2.SubmodelsReused {
+		t.Fatalf("feed shows %d cached replays, status says %d reused", cached, st2.SubmodelsReused)
+	}
+}
+
+// TestClusterJobFeed: a 2-worker clustered job streams the forwarded
+// worker-side spans (the remote execute with its work attrs) on the
+// job's feed, and the report bytes stay identical to a local run.
+func TestClusterJobFeed(t *testing.T) {
+	specs := make([]cluster.NodeSpec, 2)
+	for i := range specs {
+		w, err := cluster.NewWorker(cluster.WorkerConfig{Name: fmt.Sprintf("w%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(w.Handler())
+		t.Cleanup(srv.Close)
+		specs[i] = cluster.NodeSpec{Name: w.Name(), Addr: srv.URL}
+	}
+
+	req := corpusRequest(t, "vss")
+	req.Options.Parallel = 4
+
+	local := New(Config{Workers: 2})
+	stLocal, err := local.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, local, stLocal.ID)
+	localReport, err := local.Report(stLocal.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local.Shutdown(context.Background())
+
+	coord := cluster.NewCoordinator(cluster.Config{Nodes: specs, StealAfter: -1})
+	defer coord.Close()
+	m := New(Config{Workers: 2})
+	m.AttachCluster(coord)
+	defer m.Shutdown(context.Background())
+
+	st, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitTerminal(t, m, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("cluster job: %s (%s)", st.State, st.Error)
+	}
+	clusterReport, err := m.Report(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(comparable(t, localReport), comparable(t, clusterReport)) {
+		t.Fatal("clustered report differs from local run on the comparable surface")
+	}
+
+	evs := drainFeed(t, m, st.ID)
+	checkOrdered(t, evs)
+	var rpc, remoteExec bool
+	for _, ev := range evs {
+		if ev.Kind == telemetry.KindSpanStart && strings.HasPrefix(ev.Name, "rpc[") {
+			rpc = true
+		}
+		if ev.Kind == telemetry.KindAttr && ev.Name == "execute" && ev.Key == "paths" && ev.Val > 0 {
+			remoteExec = true
+		}
+	}
+	if !rpc {
+		t.Fatal("no rpc dispatch spans on the cluster job's feed")
+	}
+	if !remoteExec {
+		t.Fatal("no forwarded worker execute span on the feed")
+	}
+}
+
+// TestSSEStreamAndResume: the SSE endpoint delivers the full ordered
+// feed; a reconnect with Last-Event-ID resumes exactly after the last
+// delivered event, with no duplicates.
+func TestSSEStreamAndResume(t *testing.T) {
+	m := New(Config{Workers: 2})
+	defer m.Shutdown(context.Background())
+	srv := httptest.NewServer(Handler(m))
+	defer srv.Close()
+	c := &Client{Base: srv.URL}
+
+	st, err := c.Submit(context.Background(), corpusRequest(t, "vss"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []telemetry.Event
+	if err := c.Follow(context.Background(), st.ID, 0, func(ev telemetry.Event) error {
+		all = append(all, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	checkOrdered(t, all)
+	if len(all) < 5 || !TerminalJobEvent(all[len(all)-1]) {
+		t.Fatalf("SSE stream incomplete: %d events", len(all))
+	}
+
+	// Resume from the middle: the stream replays only what follows.
+	mid := all[len(all)/2].Seq
+	var resumed []telemetry.Event
+	if err := c.Follow(context.Background(), st.ID, mid, func(ev telemetry.Event) error {
+		resumed = append(resumed, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed) == 0 || resumed[0].Seq != mid+1 {
+		t.Fatalf("resume after %d started at %+v", mid, resumed[0])
+	}
+	want := all[len(all)/2+1:]
+	if len(resumed) != len(want) {
+		t.Fatalf("resumed %d events, want %d", len(resumed), len(want))
+	}
+	for i := range want {
+		if resumed[i].Seq != want[i].Seq || resumed[i].Kind != want[i].Kind {
+			t.Fatalf("resumed[%d] = %+v, want %+v", i, resumed[i], want[i])
+		}
+	}
+
+	// Unknown jobs 404 without retry loops.
+	err = c.Follow(context.Background(), "job-999", 0, func(telemetry.Event) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "unknown job") {
+		t.Fatalf("unknown job: %v", err)
+	}
+}
+
+// TestEventJournalReplayAfterRestart: with a durable store, a finished
+// job's feed replays after a clean restart — same sequence numbers,
+// same kinds, terminal marker included — so Last-Event-ID resumption
+// works across daemon generations.
+func TestEventJournalReplayAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	st1 := openStore(t, dir)
+	m1 := New(Config{Workers: 2, Store: st1})
+
+	req := corpusRequest(t, "vss")
+	req.RequestID = "req-restart"
+	st, err := m1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m1, st.ID)
+	before := drainFeed(t, m1, st.ID)
+	if err := m1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st1.Close()
+
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	m2 := New(Config{Workers: 2, Store: st2})
+	defer m2.Shutdown(context.Background())
+
+	after := drainFeed(t, m2, st.ID)
+	checkOrdered(t, after)
+	if len(after) != len(before) {
+		t.Fatalf("replayed %d events, original %d", len(after), len(before))
+	}
+	for i := range before {
+		if after[i].Seq != before[i].Seq || after[i].Kind != before[i].Kind ||
+			after[i].Name != before[i].Name || after[i].RequestID != before[i].RequestID {
+			t.Fatalf("replay[%d] = %+v, original %+v", i, after[i], before[i])
+		}
+	}
+	if !TerminalJobEvent(after[len(after)-1]) {
+		t.Fatalf("replayed feed does not end terminal: %+v", after[len(after)-1])
+	}
+
+	// SSE resumption against the replayed feed: a client that saw half
+	// the stream before the restart gets exactly the rest.
+	srv := httptest.NewServer(Handler(m2))
+	defer srv.Close()
+	c := &Client{Base: srv.URL}
+	mid := before[len(before)/2].Seq
+	var resumed []telemetry.Event
+	if err := c.Follow(context.Background(), st.ID, mid, func(ev telemetry.Event) error {
+		resumed = append(resumed, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed) != len(before)-(len(before)/2+1) {
+		t.Fatalf("resumed %d events after restart, want %d", len(resumed), len(before)-(len(before)/2+1))
+	}
+	if resumed[0].Seq != mid+1 {
+		t.Fatalf("restart resume started at seq %d, want %d", resumed[0].Seq, mid+1)
+	}
+}

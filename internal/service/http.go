@@ -17,6 +17,7 @@ const MaxRequestBytes = 16 << 20
 //
 //	POST   /v1/jobs             submit a job (202, body: JobStatus)
 //	GET    /v1/jobs/{id}        job status (JobStatus)
+//	GET    /v1/jobs/{id}/events live progress feed (SSE; service/events.go)
 //	GET    /v1/jobs/{id}/report done job's core.Report JSON
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/healthz          liveness probe
@@ -31,6 +32,11 @@ func Handler(m *Manager) http.Handler {
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
 			return
+		}
+		if req.RequestID == "" {
+			// Correlate the job's event feed with the access log (the
+			// daemon mints an ID when the client sends none).
+			req.RequestID = r.Header.Get("X-Request-Id")
 		}
 		st, err := m.Submit(req)
 		if err != nil {
@@ -48,6 +54,8 @@ func Handler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, st)
 	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/events", m.handleEvents)
 
 	mux.HandleFunc("GET /v1/jobs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
 		data, err := m.Report(r.PathValue("id"))

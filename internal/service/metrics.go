@@ -10,6 +10,8 @@ package service
 
 import (
 	"io"
+	"runtime"
+	"runtime/debug"
 	"time"
 
 	"p4assert/internal/core"
@@ -20,6 +22,24 @@ import (
 // Registry returns the manager's metric registry, for embedding into a
 // larger exposition or inspecting in tests.
 func (m *Manager) Registry() *telemetry.Registry { return m.reg }
+
+// registerBuildInfo exposes p4served_build_info: a constant-1 gauge
+// whose labels identify the running binary (the standard Prometheus
+// build-metadata idiom — join on it instead of scraping versions).
+func (m *Manager) registerBuildInfo() {
+	revision := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				revision = s.Value
+			}
+		}
+	}
+	m.reg.Gauge("p4served_build_info",
+		"Build metadata of the running daemon; the value is always 1.",
+		telemetry.L("go_version", runtime.Version()),
+		telemetry.L("revision", revision)).Set(1)
+}
 
 // WriteMetrics renders the registry in Prometheus text exposition format
 // (the GET /v1/metrics body), refreshing the point-in-time gauges first.
@@ -40,6 +60,8 @@ func (m *Manager) WriteMetrics(w io.Writer) error {
 	m.reg.Gauge("p4served_overloaded", "1 while the overload detector is shedding bulk work.").Set(overloaded)
 	m.reg.Gauge("p4served_jobs_running", "Jobs currently executing on the worker pool.").Set(running)
 	m.reg.Gauge("p4served_workers", "Worker-pool size.").Set(int64(m.cfg.Workers))
+	m.reg.Gauge("p4served_uptime_seconds", "Seconds since the service started.").
+		Set(int64(time.Since(m.started).Seconds()))
 	if m.cfg.Store != nil {
 		st := m.cfg.Store.Stats()
 		m.reg.Gauge("p4served_store_jobs", "Job records in the durable store.").Set(int64(st.Jobs))

@@ -107,18 +107,19 @@ type job struct {
 	baseSource string
 
 	state       JobState
-	rev         int64 // durable-record revision, bumped per transition
+	rev         int64           // durable-record revision, bumped per transition
+	root        *telemetry.Span // running job's root span (events feed)
 	err         string
 	cacheHit    bool
 	subReused   int
 	subExecuted int
-	reportData []byte // serialized core.Report of a done job
-	verdict    string
-	violations int
-	enqueued   time.Time
-	started    time.Time
-	finished   time.Time
-	cancel     context.CancelFunc // non-nil while running
+	reportData  []byte // serialized core.Report of a done job
+	verdict     string
+	violations  int
+	enqueued    time.Time
+	started     time.Time
+	finished    time.Time
+	cancel      context.CancelFunc // non-nil while running
 }
 
 // Manager owns the queues, the worker pool, the job table and the
@@ -134,10 +135,14 @@ type Manager struct {
 	// mu) — workers skip those on pop.
 	qInt, qBulk []*job
 	jobs        map[string]*job
-	order       []string // finished-job retention ring, oldest first
-	seq         int64
-	closed      bool
-	running     int64
+	// feeds maps a job ID to its live-progress event bus; created at
+	// submission, closed at the terminal transition, evicted with the
+	// job (service/events.go).
+	feeds   map[string]*telemetry.Bus
+	order   []string // finished-job retention ring, oldest first
+	seq     int64
+	closed  bool
+	running int64
 	// ewmaSec tracks executed-job latency (exponentially weighted, in
 	// seconds) for the overload detector's drain-time estimate.
 	ewmaSec  float64
@@ -151,6 +156,13 @@ type Manager struct {
 
 	// reg is the Prometheus-exposed metric registry (service/metrics.go).
 	reg *telemetry.Registry
+
+	// journalWG tracks the per-job feed-journal consumers; Shutdown
+	// waits for their final batches to land in the store.
+	journalWG sync.WaitGroup
+
+	// started anchors p4served_uptime_seconds.
+	started time.Time
 
 	// coord, when non-nil, dispatches parallel verify jobs' submodels
 	// across the worker cluster (AttachCluster).
@@ -184,12 +196,15 @@ func New(cfg Config) *Manager {
 		cfg.OverloadDeadline = DefaultOverloadDeadline
 	}
 	m := &Manager{
-		cfg:  cfg,
-		jobs: map[string]*job{},
-		hist: map[string]*Histogram{},
-		reg:  telemetry.NewRegistry(),
+		cfg:     cfg,
+		jobs:    map[string]*job{},
+		feeds:   map[string]*telemetry.Bus{},
+		hist:    map[string]*Histogram{},
+		reg:     telemetry.NewRegistry(),
+		started: time.Now(),
 	}
 	m.qCond = sync.NewCond(&m.mu)
+	m.registerBuildInfo()
 	if cfg.Store != nil {
 		m.recoverFromStore()
 	}
@@ -232,6 +247,11 @@ func (m *Manager) recoverFromStore() {
 			}
 			m.jobs[j.id] = j
 			m.order = append(m.order, j.id)
+			// The journaled feed (terminal marker included) replays to
+			// late subscribers; the stream is already complete.
+			bus := m.openFeedLocked(j)
+			bus.Preload(m.journaledEvents(j.id))
+			bus.Close()
 			continue
 		}
 
@@ -257,6 +277,10 @@ func (m *Manager) recoverFromStore() {
 			m.jobs[j.id] = j
 			m.order = append(m.order, j.id)
 			m.counters.failed++
+			bus := m.openFeedLocked(j)
+			bus.Preload(m.journaledEvents(j.id))
+			m.startJournal(j.id, bus, bus.Seq())
+			m.closeFeed(j, bus)
 			m.persist(m.snapshotLocked(j), nil)
 			continue
 		}
@@ -270,16 +294,17 @@ func (m *Manager) recoverFromStore() {
 		m.jobs[j.id] = j
 		m.enqueueLocked(j)
 		m.counters.recovered++
+		// The resumed feed continues the journaled stream: history
+		// replays with its original sequence numbers, the "resumed"
+		// marker and everything after extend it.
+		bus := m.openFeedLocked(j)
+		bus.Preload(m.journaledEvents(j.id))
+		m.startJournal(j.id, bus, bus.Seq())
+		bus.Publish(telemetry.Event{Kind: telemetry.KindJob, Name: "resumed"})
 		m.persist(m.snapshotLocked(j), nil)
 	}
 	// The restored history honors the in-memory retention bound too.
-	var evicted []string
-	for len(m.order) > m.cfg.RetainJobs {
-		delete(m.jobs, m.order[0])
-		evicted = append(evicted, m.order[0])
-		m.order = m.order[1:]
-	}
-	m.persist(nil, evicted)
+	m.persist(nil, m.evictLocked())
 	m.reg.Counter("p4served_jobs_recovered_total",
 		"Interrupted jobs resubmitted from the durable store at startup.").Add(m.counters.recovered)
 }
@@ -388,6 +413,7 @@ func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 	j.seq = m.seq
 	j.id = fmt.Sprintf("job-%d", m.seq)
 	m.jobs[j.id] = j
+	bus := m.openFeedLocked(j)
 	m.enqueueLocked(j)
 	m.counters.submitted++
 	m.reg.Counter("p4served_jobs_submitted_total", "Jobs accepted into the queue.").Inc()
@@ -395,6 +421,8 @@ func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 	rec := m.snapshotLocked(j)
 	m.mu.Unlock()
 
+	m.startJournal(j.id, bus, 0)
+	bus.Publish(telemetry.Event{Kind: telemetry.KindJob, Name: string(StatePending)})
 	m.persist(rec, nil)
 	return st, nil
 }
@@ -550,12 +578,14 @@ func (m *Manager) Cancel(id string) error {
 	}
 	var rec *store.Job
 	var evicted []string
+	var bus *telemetry.Bus
 	switch j.state {
 	case StatePending:
 		j.state = StateCancelled
 		j.finished = time.Now()
 		m.counters.cancelled++
 		m.reg.Counter("p4served_jobs_cancelled_total", "Jobs cancelled by the client or shutdown.").Inc()
+		bus = m.feeds[j.id]
 		evicted = m.retireLocked(j)
 		rec = m.snapshotLocked(j)
 	case StateRunning:
@@ -564,6 +594,7 @@ func (m *Manager) Cancel(id string) error {
 		}
 	}
 	m.mu.Unlock()
+	m.closeFeed(j, bus)
 	m.persist(rec, evicted)
 	return nil
 }
@@ -589,6 +620,9 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Every job is terminal, so every feed has closed; wait for the
+		// journal consumers' final batches to land in the store.
+		m.journalWG.Wait()
 		return nil
 	case <-ctx.Done():
 	}
@@ -597,6 +631,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	// workers to observe the cancellations.
 	m.mu.Lock()
 	var recs []*store.Job
+	var drained []*job
 	for _, j := range m.jobs {
 		switch j.state {
 		case StatePending:
@@ -605,6 +640,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 			m.counters.cancelled++
 			m.reg.Counter("p4served_jobs_cancelled_total", "Jobs cancelled by the client or shutdown.").Inc()
 			recs = append(recs, m.snapshotLocked(j))
+			drained = append(drained, j)
 		case StateRunning:
 			if j.cancel != nil {
 				j.cancel()
@@ -613,10 +649,14 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}
 	m.qCond.Broadcast()
 	m.mu.Unlock()
+	for _, j := range drained {
+		m.closeFeed(j, m.Feed(j.id))
+	}
 	for _, rec := range recs {
 		m.persist(rec, nil)
 	}
 	<-done
+	m.journalWG.Wait()
 	return ctx.Err()
 }
 
@@ -722,9 +762,29 @@ func (m *Manager) runJob(j *job) {
 	j.started = time.Now()
 	j.cancel = cancel
 	m.running++
+	bus := m.feeds[j.id]
 	rec := m.snapshotLocked(j)
 	m.mu.Unlock()
 	m.persist(rec, nil)
+
+	// The job's trace publishes onto its feed: every pipeline span the
+	// run records becomes a live progress event. The root "job" span
+	// carries the request correlation ID; core's stage and lane spans
+	// nest under it through ctx.
+	if bus != nil {
+		bus.Publish(telemetry.Event{Kind: telemetry.KindJob, Name: string(StateRunning)})
+	}
+	tr := telemetry.NewTrace()
+	tr.AttachBus(bus)
+	ctx = telemetry.WithTrace(ctx, tr)
+	var root *telemetry.Span
+	ctx, root = telemetry.StartSpan(ctx, "job")
+	if j.req.RequestID != "" {
+		root.SetTag("request_id", j.req.RequestID)
+	}
+	m.mu.Lock()
+	j.root = root
+	m.mu.Unlock()
 
 	// Cache lookup first: a hit finishes the job without touching the
 	// executor (no new metrics, near-zero latency).
@@ -858,10 +918,20 @@ func (m *Manager) finish(j *job, data []byte, cacheHit bool, err error) {
 		m.counters.failed++
 	}
 	m.recordJobMetrics(j, j.state, cacheHit, now.Sub(j.started))
+	root := j.root
+	j.root = nil
+	bus := m.feeds[j.id]
 	evicted := m.retireLocked(j)
 	rec := m.snapshotLocked(j)
 	m.mu.Unlock()
 
+	if root != nil {
+		if cacheHit {
+			root.MarkCached()
+		}
+		root.End()
+	}
+	m.closeFeed(j, bus)
 	m.persist(rec, evicted)
 }
 
@@ -870,10 +940,21 @@ func (m *Manager) finish(j *job, data []byte, cacheHit bool, err error) {
 // IDs for the durable store's matching drop. Callers hold m.mu.
 func (m *Manager) retireLocked(j *job) []string {
 	m.order = append(m.order, j.id)
+	return m.evictLocked()
+}
+
+// evictLocked forgets finished jobs beyond the retention bound — job
+// table entry and event feed both. Callers hold m.mu.
+func (m *Manager) evictLocked() []string {
 	var evicted []string
 	for len(m.order) > m.cfg.RetainJobs {
-		delete(m.jobs, m.order[0])
-		evicted = append(evicted, m.order[0])
+		id := m.order[0]
+		delete(m.jobs, id)
+		if bus := m.feeds[id]; bus != nil {
+			bus.Close()
+			delete(m.feeds, id)
+		}
+		evicted = append(evicted, id)
 		m.order = m.order[1:]
 	}
 	return evicted

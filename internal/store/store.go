@@ -93,9 +93,9 @@ type Job struct {
 	Error    string `json:"error,omitempty"`
 	Verdict  string `json:"verdict,omitempty"`
 	// Violations counts violated assertions (divergences for diff jobs).
-	Violations int    `json:"violations,omitempty"`
-	CacheHit   bool   `json:"cache_hit,omitempty"`
-	Technique  string `json:"technique,omitempty"`
+	Violations int       `json:"violations,omitempty"`
+	CacheHit   bool      `json:"cache_hit,omitempty"`
+	Technique  string    `json:"technique,omitempty"`
 	EnqueuedAt time.Time `json:"enqueued_at"`
 	StartedAt  time.Time `json:"started_at,omitempty"`
 	FinishedAt time.Time `json:"finished_at,omitempty"`
@@ -113,15 +113,22 @@ func (j *Job) clone() *Job {
 
 // record is one WAL entry.
 type record struct {
-	// Op is "put" (full job record) or "drop" (retention removal).
+	// Op is "put" (full job record), "drop" (retention removal) or
+	// "events" (a batch of progress events journaled for ID).
 	Op  string `json:"op"`
 	Job *Job   `json:"job,omitempty"`
 	ID  string `json:"id,omitempty"`
+	// Events carries op "events" payloads: opaque JSON envelopes from the
+	// service's live feed (telemetry.Event on the wire), appended in feed
+	// order so a reconnecting client can replay a job's history after a
+	// daemon restart.
+	Events []json.RawMessage `json:"events,omitempty"`
 }
 
 // snapshotState is the compacted form of the whole store.
 type snapshotState struct {
-	Jobs []*Job `json:"jobs"`
+	Jobs   []*Job                       `json:"jobs"`
+	Events map[string][]json.RawMessage `json:"events,omitempty"`
 }
 
 // Options configures a Store.
@@ -135,12 +142,19 @@ type Options struct {
 	// MaxFinished bounds retained finished jobs, oldest dropped first
 	// (0 = unbounded).
 	MaxFinished int
+	// MaxEventsPerJob bounds the journaled progress events retained per
+	// job, oldest dropped first (0 = DefaultMaxEventsPerJob; negative
+	// disables journaling entirely: AppendEvents becomes a no-op).
+	MaxEventsPerJob int
 	// NoSync skips fsync (tests that measure logic, not durability).
 	NoSync bool
 }
 
 // DefaultSnapshotEvery is the automatic compaction threshold.
 const DefaultSnapshotEvery = 4096
+
+// DefaultMaxEventsPerJob is the per-job event journal bound.
+const DefaultMaxEventsPerJob = 16384
 
 // Stats counts store activity since Open.
 type Stats struct {
@@ -163,6 +177,10 @@ type Stats struct {
 	SnapshotQuarantined bool `json:"snapshot_quarantined,omitempty"`
 	// Expired counts finished jobs dropped by TTL/bound retention.
 	Expired int64 `json:"expired"`
+	// Events is the number of progress events currently journaled across
+	// all jobs; EventAppends counts event batches made durable.
+	Events       int   `json:"events"`
+	EventAppends int64 `json:"event_appends"`
 	// Degraded reports that a write failed and appends are disabled.
 	Degraded bool `json:"degraded"`
 }
@@ -174,6 +192,7 @@ type Store struct {
 
 	mu        sync.Mutex
 	jobs      map[string]*Job
+	events    map[string][]json.RawMessage
 	walCount  int64 // records in the current WAL generation
 	stats     Stats
 	closed    bool
@@ -198,7 +217,10 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, opts: opts, jobs: map[string]*Job{}}
+	if opts.MaxEventsPerJob == 0 {
+		opts.MaxEventsPerJob = DefaultMaxEventsPerJob
+	}
+	s := &Store{dir: dir, opts: opts, jobs: map[string]*Job{}, events: map[string][]json.RawMessage{}}
 
 	// Snapshot: atomic-renamed and CRC-framed, so it is either a whole
 	// valid state or quarantined — never half-applied.
@@ -208,6 +230,7 @@ func Open(dir string, opts Options) (*Store, error) {
 			os.Rename(s.snapPath(), s.snapQuarPath())
 			s.stats.SnapshotQuarantined = true
 			s.jobs = map[string]*Job{}
+			s.events = map[string][]json.RawMessage{}
 		}
 	}
 
@@ -265,6 +288,9 @@ func (s *Store) loadSnapshot(data []byte) error {
 	for _, j := range snap.Jobs {
 		s.jobs[j.ID] = j
 	}
+	for id, evs := range snap.Events {
+		s.events[id] = evs
+	}
 	return nil
 }
 
@@ -286,6 +312,16 @@ func (s *Store) apply(rec *record) {
 		s.jobs[rec.Job.ID] = rec.Job
 	case "drop":
 		delete(s.jobs, rec.ID)
+		delete(s.events, rec.ID)
+	case "events":
+		if rec.ID == "" || len(rec.Events) == 0 {
+			return
+		}
+		evs := append(s.events[rec.ID], rec.Events...)
+		if max := s.opts.MaxEventsPerJob; max > 0 && len(evs) > max {
+			evs = append([]json.RawMessage(nil), evs[len(evs)-max:]...)
+		}
+		s.events[rec.ID] = evs
 	}
 }
 
@@ -296,9 +332,38 @@ func (s *Store) Put(j *Job) error {
 	return s.append(&record{Op: "put", Job: j.clone()})
 }
 
-// Drop durably removes a job record (retention).
+// Drop durably removes a job record (retention) and its event journal.
 func (s *Store) Drop(id string) error {
 	return s.append(&record{Op: "drop", ID: id})
+}
+
+// AppendEvents journals a batch of progress events for a job, preserving
+// feed order. The payloads are opaque envelopes (the service journals
+// telemetry.Event JSON); per-job retention keeps the newest
+// MaxEventsPerJob. A negative MaxEventsPerJob disables journaling.
+func (s *Store) AppendEvents(id string, events []json.RawMessage) error {
+	if len(events) == 0 || s.opts.MaxEventsPerJob < 0 {
+		return nil
+	}
+	if err := s.append(&record{Op: "events", ID: id, Events: events}); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.stats.EventAppends++
+	s.mu.Unlock()
+	return nil
+}
+
+// Events returns the journaled progress events for a job in feed order
+// (nil if none).
+func (s *Store) Events(id string) []json.RawMessage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evs := s.events[id]
+	if len(evs) == 0 {
+		return nil
+	}
+	return append([]json.RawMessage(nil), evs...)
 }
 
 func (s *Store) append(rec *record) error {
@@ -363,6 +428,18 @@ func (s *Store) Compact() error {
 		snap.Jobs = append(snap.Jobs, j)
 	}
 	sort.Slice(snap.Jobs, func(i, k int) bool { return snap.Jobs[i].Seq < snap.Jobs[k].Seq })
+	// Event journals ride along only for jobs that still exist; orphaned
+	// journals (a drop raced an in-flight AppendEvents) are pruned here.
+	for id := range s.events {
+		if _, ok := s.jobs[id]; !ok {
+			delete(s.events, id)
+			continue
+		}
+		if snap.Events == nil {
+			snap.Events = map[string][]json.RawMessage{}
+		}
+		snap.Events[id] = s.events[id]
+	}
 	s.mu.Unlock()
 
 	payload, err := json.Marshal(&snap)
@@ -421,6 +498,7 @@ func (s *Store) expireLocked(now time.Time) {
 	}
 	drop := func(j *Job) {
 		delete(s.jobs, j.ID)
+		delete(s.events, j.ID)
 		s.stats.Expired++
 	}
 	if s.opts.Retain > 0 {
@@ -492,6 +570,9 @@ func (s *Store) Stats() Stats {
 	}
 	st.WALRecords = s.walCount
 	st.Degraded = s.degraded.Load()
+	for _, evs := range s.events {
+		st.Events += len(evs)
+	}
 	return st
 }
 

@@ -497,3 +497,107 @@ func TestSnapshotFailpoint(t *testing.T) {
 		t.Fatalf("recovered %d jobs, want 3", got)
 	}
 }
+
+// TestEventJournal: op "events" batches survive reopen in order, ride
+// snapshots, honor the per-job cap, and vanish with their job.
+func TestEventJournal(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{NoSync: true})
+	if err := s.Put(job("j1", 1, 1, StatePending)); err != nil {
+		t.Fatal(err)
+	}
+	batch := func(seqs ...int) []json.RawMessage {
+		var out []json.RawMessage
+		for _, q := range seqs {
+			out = append(out, json.RawMessage(fmt.Sprintf(`{"seq":%d,"kind":"attr"}`, q)))
+		}
+		return out
+	}
+	if err := s.AppendEvents("j1", batch(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendEvents("j1", batch(4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendEvents("j1", nil); err != nil { // no-op, not a WAL record
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{NoSync: true})
+	evs := s2.Events("j1")
+	if len(evs) != 5 {
+		t.Fatalf("recovered %d events, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		want := fmt.Sprintf(`{"seq":%d,"kind":"attr"}`, i+1)
+		if string(ev) != want {
+			t.Fatalf("event %d = %s, want %s", i, ev, want)
+		}
+	}
+	if st := s2.Stats(); st.Events != 5 {
+		t.Fatalf("Stats.Events = %d, want 5", st.Events)
+	}
+
+	// Snapshot carries the journal; the reopened WAL is empty.
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3 := mustOpen(t, dir, Options{NoSync: true})
+	if got := len(s3.Events("j1")); got != 5 {
+		t.Fatalf("post-snapshot recovery: %d events, want 5", got)
+	}
+
+	// Dropping the job drops its journal.
+	if err := s3.Drop("j1"); err != nil {
+		t.Fatal(err)
+	}
+	if s3.Events("j1") != nil {
+		t.Fatal("events survived their job's drop")
+	}
+	s3.Close()
+	s4 := mustOpen(t, dir, Options{NoSync: true})
+	defer s4.Close()
+	if s4.Events("j1") != nil {
+		t.Fatal("events resurrected on replay after drop")
+	}
+}
+
+// TestEventJournalCap: the per-job bound keeps the newest events.
+func TestEventJournalCap(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{NoSync: true, MaxEventsPerJob: 4})
+	if err := s.Put(job("j1", 1, 1, StateRunning)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		ev := json.RawMessage(fmt.Sprintf(`{"seq":%d}`, i))
+		if err := s.AppendEvents("j1", []json.RawMessage{ev}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(s *Store, when string) {
+		t.Helper()
+		evs := s.Events("j1")
+		if len(evs) != 4 || string(evs[0]) != `{"seq":7}` || string(evs[3]) != `{"seq":10}` {
+			t.Fatalf("%s: journal = %v, want newest 4 (7..10)", when, evs)
+		}
+	}
+	check(s, "live")
+	s.Close()
+	s2 := mustOpen(t, dir, Options{NoSync: true, MaxEventsPerJob: 4})
+	defer s2.Close()
+	check(s2, "recovered")
+
+	// Journaling disabled entirely.
+	dir2 := t.TempDir()
+	s3 := mustOpen(t, dir2, Options{NoSync: true, MaxEventsPerJob: -1})
+	defer s3.Close()
+	if err := s3.AppendEvents("x", []json.RawMessage{json.RawMessage(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if s3.Events("x") != nil {
+		t.Fatal("MaxEventsPerJob<0 must disable journaling")
+	}
+}

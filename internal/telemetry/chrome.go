@@ -31,10 +31,18 @@ type chromeEvent struct {
 }
 
 // WriteChromeTrace renders the trace. Spans still open at export time are
-// closed at the current instant.
+// closed at the current instant — except on a trace rebuilt from a
+// journaled event stream (ReplayTrace), where the wall clock is
+// meaningless: there, still-open spans are closed at the replay boundary
+// (the last journaled event's timestamp), with a 1µs floor so a span
+// whose end was lost to a crash still renders as a visible slice in
+// Perfetto rather than a zero-duration artifact.
 func (t *Trace) WriteChromeTrace(w io.Writer) error {
 	spans := t.Spans()
 	now := time.Now()
+	if re := t.ReplayEnd(); !re.IsZero() {
+		now = re
+	}
 
 	events := make([]chromeEvent, 0, len(spans)+2)
 	events = append(events, chromeEvent{
@@ -53,6 +61,9 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 		end := sp.EndTime()
 		if end.IsZero() {
 			end = now
+			if !end.After(sp.Start) {
+				end = sp.Start.Add(time.Microsecond)
+			}
 		}
 		dur := float64(end.Sub(sp.Start)) / float64(time.Microsecond)
 		ev := chromeEvent{
@@ -64,7 +75,8 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 			PID:  1,
 			TID:  sp.Lane,
 		}
-		if attrs := sp.attrsCopy(); len(attrs) != 0 || sp.IsCached() {
+		attrs, tags := sp.attrsCopy(), sp.Tags()
+		if len(attrs) != 0 || len(tags) != 0 || sp.IsCached() {
 			args := map[string]any{}
 			keys := make([]string, 0, len(attrs))
 			for k := range attrs {
@@ -73,6 +85,9 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 			sort.Strings(keys)
 			for _, k := range keys {
 				args[k] = attrs[k]
+			}
+			for k, v := range tags {
+				args[k] = v
 			}
 			if sp.IsCached() {
 				args["cached"] = 1

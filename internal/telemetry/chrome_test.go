@@ -125,8 +125,8 @@ func TestLintPrometheusAcceptsRegistryOutput(t *testing.T) {
 
 func TestLintPrometheusRejectsMalformed(t *testing.T) {
 	cases := []string{
-		"p4_orphan_total 1\n",                       // sample without TYPE
-		"# TYPE m counter\nm{ 1\n",                  // malformed sample
+		"p4_orphan_total 1\n",      // sample without TYPE
+		"# TYPE m counter\nm{ 1\n", // malformed sample
 		"# TYPE m histogram\nm_bucket{le=\"1\"} 2\nm_bucket{le=\"+Inf\"} 1\nm_count 1\n", // non-cumulative
 	}
 	for _, c := range cases {

@@ -1,0 +1,487 @@
+package telemetry
+
+// Live event feed: every span transition on a traced run can be
+// published, in order, to subscribers while the run is still executing.
+// A Bus assigns each event a monotonically increasing sequence number,
+// keeps a bounded history ring so late subscribers can backfill, and
+// fans out to per-subscriber bounded rings. Publishing never blocks on a
+// consumer: a subscriber that falls behind loses its oldest buffered
+// events and sees an explicit "dropped" marker instead, so the
+// executor's hot path is insulated from slow SSE clients by one short
+// mutex hold per event.
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event kinds.
+const (
+	// KindSpanStart / KindSpanEnd bracket a span's lifetime.
+	KindSpanStart = "span_start"
+	KindSpanEnd   = "span_end"
+	// KindAttr reports one integer attribute set on a span (Key/Val).
+	KindAttr = "attr"
+	// KindTag reports one string attribute set on a span (Key/Str).
+	KindTag = "tag"
+	// KindCached marks a span as a memoized replay.
+	KindCached = "cached"
+	// KindJob is a service-level lifecycle marker (Name = pending,
+	// running, resumed, done, failed, cancelled; detail in Str/Val).
+	KindJob = "job"
+	// KindDropped is a synthesized gap marker: Dropped events between
+	// the previous delivered event and the next one were lost to a
+	// bounded buffer. It carries no sequence number of its own.
+	KindDropped = "dropped"
+)
+
+// Event is one record on the feed. Seq is assigned by the Bus and is
+// strictly increasing per trace; TS is Unix nanoseconds. Span-scoped
+// fields (Span/Parent/Lane/Name) identify the span; Key/Val/Str carry
+// attribute payloads; RequestID correlates the feed with access logs.
+type Event struct {
+	Seq       int64  `json:"seq"`
+	TS        int64  `json:"ts"`
+	Kind      string `json:"kind"`
+	Span      int64  `json:"span,omitempty"`
+	Parent    int64  `json:"parent,omitempty"`
+	Lane      int64  `json:"lane,omitempty"`
+	Name      string `json:"name,omitempty"`
+	Key       string `json:"key,omitempty"`
+	Val       int64  `json:"val,omitempty"`
+	Str       string `json:"str,omitempty"`
+	Dropped   int64  `json:"dropped,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// ErrFeedClosed is returned by Sub.NextBatch once the bus has closed and
+// every buffered event has been delivered.
+var ErrFeedClosed = errors.New("telemetry: event feed closed")
+
+// DefaultBusHistory is the history ring size used when NewBus is given a
+// non-positive capacity.
+const DefaultBusHistory = 8192
+
+// Bus is the per-trace event fanout. Safe for concurrent use.
+type Bus struct {
+	mu        sync.Mutex
+	requestID string
+	seq       int64
+	hist      []Event // ring, grown geometrically up to histCap
+	histCap   int
+	histHead  int // index of oldest
+	histLen   int
+	evicted   int64 // events pushed out of the history ring
+	subs      map[*Sub]struct{}
+	closed    bool
+	published int64
+	dropped   int64 // subscriber-side drops, summed
+}
+
+// NewBus returns a bus whose history ring holds histCap events
+// (DefaultBusHistory if histCap <= 0). The ring grows on demand, so an
+// idle or short-lived bus costs only what it actually records — a
+// service retains one bus per finished job.
+func NewBus(histCap int) *Bus {
+	if histCap <= 0 {
+		histCap = DefaultBusHistory
+	}
+	return &Bus{histCap: histCap, subs: map[*Sub]struct{}{}}
+}
+
+// SetRequestID sets the correlation ID stamped onto every subsequently
+// published event envelope.
+func (b *Bus) SetRequestID(id string) {
+	b.mu.Lock()
+	b.requestID = id
+	b.mu.Unlock()
+}
+
+// Publish assigns the next sequence number to ev, records it in history
+// and fans it out. It returns the assigned sequence, or 0 if the bus is
+// closed. A zero TS is stamped with the current time.
+func (b *Bus) Publish(ev Event) int64 {
+	if ev.TS == 0 {
+		ev.TS = time.Now().UnixNano()
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return 0
+	}
+	b.seq++
+	ev.Seq = b.seq
+	if ev.RequestID == "" {
+		ev.RequestID = b.requestID
+	}
+	b.histPush(ev)
+	b.published++
+	for s := range b.subs {
+		if s.push(ev) {
+			b.dropped++
+		}
+	}
+	b.mu.Unlock()
+	return ev.Seq
+}
+
+// histPush appends to the history ring, growing it up to histCap and
+// evicting the oldest entry beyond that. Caller holds b.mu.
+func (b *Bus) histPush(ev Event) {
+	if b.histLen == len(b.hist) {
+		if len(b.hist) < b.histCap {
+			b.hist = growRing(b.hist, b.histHead, b.histLen, b.histCap)
+			b.histHead = 0
+		} else {
+			b.hist[b.histHead] = ev
+			b.histHead = (b.histHead + 1) % len(b.hist)
+			b.evicted++
+			return
+		}
+	}
+	b.hist[(b.histHead+b.histLen)%len(b.hist)] = ev
+	b.histLen++
+}
+
+// growRing doubles a ring buffer (at least 64 slots, at most cap),
+// unrolling it so the oldest entry lands at index 0.
+func growRing(ring []Event, head, n, capacity int) []Event {
+	size := 2 * len(ring)
+	if size < 64 {
+		size = 64
+	}
+	if size > capacity {
+		size = capacity
+	}
+	out := make([]Event, size)
+	for i := 0; i < n; i++ {
+		out[i] = ring[(head+i)%len(ring)]
+	}
+	return out
+}
+
+// Preload seeds the bus with events recovered from a journal: they enter
+// the history ring (newest retained if the journal exceeds capacity) and
+// the sequence counter resumes after the highest preloaded Seq, so a
+// resumed run continues the same ordered stream.
+func (b *Bus) Preload(events []Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ev := range events {
+		if ev.Seq > b.seq {
+			b.seq = ev.Seq
+		}
+		b.histPush(ev)
+	}
+}
+
+// Seq returns the latest assigned sequence number.
+func (b *Bus) Seq() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}
+
+// Stats returns (published, dropped): events published on this bus and
+// events lost from subscriber buffers.
+func (b *Bus) Stats() (published, dropped int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.published, b.dropped
+}
+
+// Subscribe registers a consumer whose buffer holds up to bufCap events
+// (DefaultBusHistory if bufCap <= 0). History with Seq > afterSeq is
+// backfilled immediately; if part of that range has already been evicted
+// from the history ring, the subscriber's first delivery starts with a
+// KindDropped marker covering the gap. Subscribing to a closed bus still
+// backfills history and then reports ErrFeedClosed.
+func (b *Bus) Subscribe(afterSeq int64, bufCap int) *Sub {
+	if bufCap <= 0 {
+		bufCap = DefaultBusHistory
+	}
+	s := &Sub{bus: b, cap: bufCap, notify: make(chan struct{}, 1)}
+	b.mu.Lock()
+	oldest := int64(0) // seq of oldest event still in history
+	if b.histLen > 0 {
+		oldest = b.hist[b.histHead].Seq
+	}
+	if b.histLen == 0 {
+		if afterSeq < b.seq {
+			s.dropped += b.seq - afterSeq
+		}
+	} else if afterSeq+1 < oldest {
+		s.dropped += oldest - afterSeq - 1
+	}
+	for i := 0; i < b.histLen; i++ {
+		ev := b.hist[(b.histHead+i)%len(b.hist)]
+		if ev.Seq > afterSeq {
+			if s.push(ev) {
+				b.dropped++
+			}
+		}
+	}
+	if b.closed {
+		s.closed = true
+	} else {
+		b.subs[s] = struct{}{}
+	}
+	b.mu.Unlock()
+	return s
+}
+
+// Close ends the stream: subscribers drain whatever they have buffered
+// and then see ErrFeedClosed. Publish after Close is a no-op.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	subs := make([]*Sub, 0, len(b.subs))
+	for s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.subs = map[*Sub]struct{}{}
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.close()
+	}
+}
+
+// Sub is one subscription on a Bus. Not safe for concurrent NextBatch
+// calls; one consumer goroutine per Sub.
+type Sub struct {
+	bus *Bus
+
+	mu      sync.Mutex
+	buf     []Event // ring, grown geometrically up to cap
+	cap     int
+	head, n int
+	dropped int64
+	closed  bool
+	notify  chan struct{}
+}
+
+// push enqueues ev, dropping the oldest buffered event when full.
+// Reports whether an event was dropped.
+func (s *Sub) push(ev Event) bool {
+	s.mu.Lock()
+	droppedOne := false
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	if s.n == len(s.buf) {
+		if len(s.buf) < s.cap {
+			s.buf = growRing(s.buf, s.head, s.n, s.cap)
+			s.head = 0
+		} else {
+			s.head = (s.head + 1) % len(s.buf)
+			s.n--
+			s.dropped++
+			droppedOne = true
+		}
+	}
+	s.buf[(s.head+s.n)%len(s.buf)] = ev
+	s.n++
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+	return droppedOne
+}
+
+func (s *Sub) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Cancel detaches the subscription from the bus and discards its buffer.
+func (s *Sub) Cancel() {
+	s.bus.mu.Lock()
+	delete(s.bus.subs, s)
+	s.bus.mu.Unlock()
+	s.close()
+}
+
+// NextBatch blocks until at least one event is buffered, then returns
+// everything currently buffered in order. If events were lost to the
+// bounded buffer since the last delivery, the batch starts with a
+// synthesized KindDropped marker (Seq 0). It returns ctx.Err() when the
+// context ends and ErrFeedClosed once the bus has closed and the buffer
+// is drained.
+func (s *Sub) NextBatch(ctx context.Context) ([]Event, error) {
+	for {
+		s.mu.Lock()
+		if s.n > 0 {
+			out := make([]Event, 0, s.n+1)
+			if s.dropped > 0 {
+				out = append(out, Event{
+					Kind:    KindDropped,
+					TS:      time.Now().UnixNano(),
+					Dropped: s.dropped,
+				})
+				s.dropped = 0
+			}
+			for i := 0; i < s.n; i++ {
+				out = append(out, s.buf[(s.head+i)%len(s.buf)])
+			}
+			s.head, s.n = 0, 0
+			s.mu.Unlock()
+			return out, nil
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return nil, ErrFeedClosed
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-s.notify:
+		}
+	}
+}
+
+// ImportedSpan describes a span recorded in another process (a cluster
+// worker), with times already re-anchored to this process's clock by the
+// caller.
+type ImportedSpan struct {
+	ID     int64
+	Parent int64
+	Name   string
+	Start  time.Time
+	End    time.Time
+	Cached bool
+	Attrs  map[string]int64
+}
+
+// Import grafts remote spans into the trace as children of parent
+// (spans whose remote Parent is 0 or unknown attach directly to parent).
+// Imported spans get fresh local IDs, inherit parent's lane, and publish
+// the same event sequence a local span would — with the remote
+// timestamps — so a live feed covers distributed runs.
+func (t *Trace) Import(parent *Span, spans []ImportedSpan) {
+	idMap := make(map[int64]*Span, len(spans))
+	for i := range spans {
+		rs := &spans[i]
+		sp := &Span{tr: t, Name: rs.Name, Start: rs.Start, end: rs.End, cached: rs.Cached}
+		if len(rs.Attrs) > 0 {
+			sp.attrs = make(map[string]int64, len(rs.Attrs))
+			for k, v := range rs.Attrs {
+				sp.attrs[k] = v
+			}
+		}
+		var lane int64
+		if parent != nil {
+			sp.Parent = parent.ID
+			lane = parent.Lane
+		}
+		if p, ok := idMap[rs.Parent]; ok {
+			sp.Parent = p.ID
+			lane = p.Lane
+		}
+		t.mu.Lock()
+		t.nextID++
+		sp.ID = t.nextID
+		if lane == 0 {
+			t.nextLane++
+			lane = t.nextLane
+		}
+		sp.Lane = lane
+		t.spans = append(t.spans, sp)
+		t.mu.Unlock()
+		idMap[rs.ID] = sp
+		t.emit(Event{Kind: KindSpanStart, TS: rs.Start.UnixNano(), Span: sp.ID, Parent: sp.Parent, Lane: sp.Lane, Name: sp.Name})
+		for _, k := range sortedAttrKeys(rs.Attrs) {
+			t.emit(Event{Kind: KindAttr, TS: rs.End.UnixNano(), Span: sp.ID, Name: sp.Name, Key: k, Val: rs.Attrs[k]})
+		}
+		if rs.Cached {
+			t.emit(Event{Kind: KindCached, TS: rs.End.UnixNano(), Span: sp.ID, Name: sp.Name})
+		}
+		if !rs.End.IsZero() {
+			t.emit(Event{Kind: KindSpanEnd, TS: rs.End.UnixNano(), Span: sp.ID, Name: sp.Name})
+		}
+	}
+}
+
+// ReplayTrace reconstructs a span tree from a journaled event stream, so
+// a feed captured over SSE (or recovered from the WAL) can be rendered
+// as a Chrome trace. The trace's replay boundary is set to the last
+// event's timestamp; WriteChromeTrace closes still-open spans there
+// instead of at the meaningless current wall clock.
+func ReplayTrace(events []Event) *Trace {
+	t := NewTrace()
+	var last time.Time
+	byID := map[int64]*Span{}
+	for _, ev := range events {
+		ts := time.Unix(0, ev.TS)
+		if ev.TS != 0 && (last.IsZero() || ts.After(last)) {
+			last = ts
+		}
+		switch ev.Kind {
+		case KindSpanStart:
+			sp := &Span{tr: t, ID: ev.Span, Parent: ev.Parent, Lane: ev.Lane, Name: ev.Name, Start: ts}
+			byID[ev.Span] = sp
+			t.mu.Lock()
+			if ev.Span > t.nextID {
+				t.nextID = ev.Span
+			}
+			if ev.Lane > t.nextLane {
+				t.nextLane = ev.Lane
+			}
+			if t.start.IsZero() || ts.Before(t.start) {
+				t.start = ts
+			}
+			t.spans = append(t.spans, sp)
+			t.mu.Unlock()
+		case KindSpanEnd:
+			if sp := byID[ev.Span]; sp != nil {
+				sp.mu.Lock()
+				if sp.end.IsZero() {
+					sp.end = ts
+				}
+				sp.mu.Unlock()
+			}
+		case KindAttr:
+			if sp := byID[ev.Span]; sp != nil {
+				sp.SetAttr(ev.Key, ev.Val)
+			}
+		case KindTag:
+			if sp := byID[ev.Span]; sp != nil {
+				sp.SetTag(ev.Key, ev.Str)
+			}
+		case KindCached:
+			if sp := byID[ev.Span]; sp != nil {
+				sp.MarkCached()
+			}
+		}
+	}
+	t.mu.Lock()
+	t.replayEnd = last
+	t.mu.Unlock()
+	return t
+}
+
+func sortedAttrKeys(m map[string]int64) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

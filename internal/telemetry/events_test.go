@@ -1,0 +1,350 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// drain collects every buffered event without blocking on new ones.
+func drain(t *testing.T, s *Sub) []Event {
+	t.Helper()
+	var out []Event
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		evs, err := s.NextBatch(ctx)
+		cancel()
+		if err != nil {
+			return out
+		}
+		out = append(out, evs...)
+	}
+}
+
+func TestBusPublishesOrderedSpanEvents(t *testing.T) {
+	tr := NewTrace()
+	bus := NewBus(0)
+	tr.AttachBus(bus)
+	sub := bus.Subscribe(0, 0)
+
+	ctx := WithTrace(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "job")
+	root.SetTag("request_id", "req-1")
+	_, child := StartSpan(ctx, "parse")
+	child.SetAttr("tokens", 42)
+	child.End()
+	child.End() // second End must not publish again
+	root.End()
+	bus.Close()
+
+	var evs []Event
+	for {
+		batch, err := sub.NextBatch(context.Background())
+		if err != nil {
+			if !errors.Is(err, ErrFeedClosed) {
+				t.Fatalf("NextBatch: %v", err)
+			}
+			break
+		}
+		evs = append(evs, batch...)
+	}
+	kinds := make([]string, len(evs))
+	for i, ev := range evs {
+		kinds[i] = ev.Kind
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.TS == 0 {
+			t.Fatalf("event %d has zero timestamp", i)
+		}
+	}
+	want := []string{KindSpanStart, KindTag, KindSpanStart, KindAttr, KindSpanEnd, KindSpanEnd}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	if evs[1].Str != "req-1" || evs[1].Key != "request_id" {
+		t.Fatalf("tag event = %+v", evs[1])
+	}
+	if evs[3].Key != "tokens" || evs[3].Val != 42 || evs[3].Name != "parse" {
+		t.Fatalf("attr event = %+v", evs[3])
+	}
+	if evs[2].Parent != root.ID {
+		t.Fatalf("child span_start parent = %d, want %d", evs[2].Parent, root.ID)
+	}
+}
+
+func TestBusRequestIDStampedOnEnvelope(t *testing.T) {
+	bus := NewBus(0)
+	bus.SetRequestID("req-9")
+	sub := bus.Subscribe(0, 0)
+	bus.Publish(Event{Kind: KindJob, Name: "running"})
+	evs, err := sub.NextBatch(context.Background())
+	if err != nil || len(evs) != 1 {
+		t.Fatalf("NextBatch = %v, %v", evs, err)
+	}
+	if evs[0].RequestID != "req-9" {
+		t.Fatalf("RequestID = %q, want req-9", evs[0].RequestID)
+	}
+}
+
+func TestBusSlowConsumerDropsOldestWithMarker(t *testing.T) {
+	bus := NewBus(0)
+	sub := bus.Subscribe(0, 4)
+	for i := 0; i < 20; i++ {
+		bus.Publish(Event{Kind: KindAttr, Key: "i", Val: int64(i)})
+	}
+	evs, err := sub.NextBatch(context.Background())
+	if err != nil {
+		t.Fatalf("NextBatch: %v", err)
+	}
+	if evs[0].Kind != KindDropped || evs[0].Dropped != 16 {
+		t.Fatalf("first event = %+v, want dropped marker covering 16", evs[0])
+	}
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want marker + 4", len(evs))
+	}
+	for i, ev := range evs[1:] {
+		if ev.Seq != int64(17+i) {
+			t.Fatalf("kept event %d has seq %d, want %d", i, ev.Seq, 17+i)
+		}
+	}
+	// Publishing never blocked: all 20 publishes already completed above.
+	if pub, dropped := bus.Stats(); pub != 20 || dropped != 16 {
+		t.Fatalf("Stats = (%d, %d), want (20, 16)", pub, dropped)
+	}
+}
+
+func TestBusSubscribeBackfillsHistory(t *testing.T) {
+	bus := NewBus(0)
+	for i := 0; i < 5; i++ {
+		bus.Publish(Event{Kind: KindJob, Name: "n"})
+	}
+	sub := bus.Subscribe(2, 0) // resume after seq 2
+	bus.Publish(Event{Kind: KindJob, Name: "live"})
+	evs := drain(t, sub)
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4 (3 backfilled + 1 live): %+v", len(evs), evs)
+	}
+	for i, ev := range evs {
+		if ev.Seq != int64(3+i) {
+			t.Fatalf("event %d seq = %d, want %d", i, ev.Seq, 3+i)
+		}
+	}
+}
+
+func TestBusHistoryEvictionYieldsGapMarker(t *testing.T) {
+	bus := NewBus(4)
+	for i := 0; i < 10; i++ {
+		bus.Publish(Event{Kind: KindJob})
+	}
+	sub := bus.Subscribe(0, 0)
+	evs := drain(t, sub)
+	if evs[0].Kind != KindDropped || evs[0].Dropped != 6 {
+		t.Fatalf("first = %+v, want gap marker covering 6 evicted events", evs[0])
+	}
+	if len(evs) != 5 || evs[1].Seq != 7 || evs[4].Seq != 10 {
+		t.Fatalf("backfill = %+v, want seqs 7..10", evs[1:])
+	}
+}
+
+func TestBusPreloadResumesSequence(t *testing.T) {
+	journal := []Event{
+		{Seq: 1, TS: 100, Kind: KindJob, Name: "pending"},
+		{Seq: 2, TS: 200, Kind: KindSpanStart, Span: 1, Name: "job"},
+	}
+	bus := NewBus(0)
+	bus.Preload(journal)
+	if got := bus.Publish(Event{Kind: KindJob, Name: "resumed"}); got != 3 {
+		t.Fatalf("post-preload publish got seq %d, want 3", got)
+	}
+	evs := drain(t, bus.Subscribe(0, 0))
+	if len(evs) != 3 || evs[0].Seq != 1 || evs[2].Name != "resumed" {
+		t.Fatalf("replay+live = %+v", evs)
+	}
+}
+
+func TestBusSubscribeAfterCloseDrainsHistoryThenEOF(t *testing.T) {
+	bus := NewBus(0)
+	bus.Publish(Event{Kind: KindJob, Name: "done"})
+	bus.Close()
+	if bus.Publish(Event{Kind: KindJob}) != 0 {
+		t.Fatal("publish after close must be a no-op")
+	}
+	sub := bus.Subscribe(0, 0)
+	evs, err := sub.NextBatch(context.Background())
+	if err != nil || len(evs) != 1 || evs[0].Name != "done" {
+		t.Fatalf("backfill after close = %+v, %v", evs, err)
+	}
+	if _, err := sub.NextBatch(context.Background()); !errors.Is(err, ErrFeedClosed) {
+		t.Fatalf("err = %v, want ErrFeedClosed", err)
+	}
+}
+
+func TestImportGraftsRemoteSpansAndPublishes(t *testing.T) {
+	tr := NewTrace()
+	bus := NewBus(0)
+	tr.AttachBus(bus)
+	sub := bus.Subscribe(0, 0)
+
+	ctx := WithTrace(context.Background(), tr)
+	_, rpc := StartLane(ctx, "rpc[w0]")
+
+	t0 := time.Now()
+	tr.Import(rpc, []ImportedSpan{
+		{ID: 1, Name: "parse", Start: t0, End: t0.Add(time.Millisecond)},
+		{ID: 2, Parent: 1, Name: "execute", Start: t0, End: t0.Add(2 * time.Millisecond),
+			Attrs: map[string]int64{"paths": 7}, Cached: true},
+	})
+	rpc.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want rpc + 2 imported", len(spans))
+	}
+	var exec *Span
+	for _, sp := range spans {
+		if sp.Name == "execute" {
+			exec = sp
+		}
+	}
+	if exec == nil || !exec.IsCached() || exec.Attrs()["paths"] != 7 {
+		t.Fatalf("imported execute span = %+v", exec)
+	}
+	if exec.Lane != rpc.Lane {
+		t.Fatalf("imported span lane = %d, want rpc lane %d", exec.Lane, rpc.Lane)
+	}
+	if exec.EndTime().IsZero() {
+		t.Fatal("imported span must carry its remote end time")
+	}
+	evs := drain(t, sub)
+	var kinds []string
+	for _, ev := range evs {
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []string{KindSpanStart, KindSpanStart, KindSpanEnd, KindSpanStart, KindAttr, KindCached, KindSpanEnd, KindSpanEnd}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+}
+
+func TestReplayTraceRebuildsSpansFromEvents(t *testing.T) {
+	tr := NewTrace()
+	bus := NewBus(0)
+	tr.AttachBus(bus)
+	sub := bus.Subscribe(0, 0)
+
+	ctx := WithTrace(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "job")
+	root.SetTag("request_id", "r1")
+	_, lane := StartLane(ctx, "submodel[0]")
+	lane.SetAttr("paths", 3)
+	lane.MarkCached()
+	lane.End()
+	// root intentionally left open: simulates a crash mid-job.
+	bus.Close()
+
+	var evs []Event
+	for {
+		batch, err := sub.NextBatch(context.Background())
+		if err != nil {
+			break
+		}
+		evs = append(evs, batch...)
+	}
+
+	rt := ReplayTrace(evs)
+	spans := rt.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("replayed %d spans, want 2", len(spans))
+	}
+	rRoot, rLane := spans[0], spans[1]
+	if rRoot.Name != "job" || rRoot.Tags()["request_id"] != "r1" {
+		t.Fatalf("replayed root = %+v tags %v", rRoot, rRoot.Tags())
+	}
+	if rLane.Attrs()["paths"] != 3 || !rLane.IsCached() || rLane.Parent != rRoot.ID {
+		t.Fatalf("replayed lane = %+v", rLane)
+	}
+	if rt.ReplayEnd().IsZero() {
+		t.Fatal("replayed trace must record the replay boundary")
+	}
+
+	// The open root span gets a synthetic end at the replay boundary, so
+	// the Chrome export has no zero-duration artifacts.
+	var buf bytes.Buffer
+	if err := rt.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	for _, ev := range out {
+		if ev["ph"] != "X" {
+			continue
+		}
+		dur, _ := ev["dur"].(float64)
+		if dur <= 0 {
+			t.Fatalf("span %v exported with non-positive duration %v", ev["name"], dur)
+		}
+	}
+}
+
+func TestReplayTraceChromeEndIsBoundedByLastEvent(t *testing.T) {
+	base := time.Now().Add(-time.Hour) // far in the past: wall clock must not leak in
+	evs := []Event{
+		{Seq: 1, TS: base.UnixNano(), Kind: KindSpanStart, Span: 1, Lane: 1, Name: "job"},
+		{Seq: 2, TS: base.Add(time.Second).UnixNano(), Kind: KindSpanStart, Span: 2, Parent: 1, Lane: 1, Name: "execute"},
+		{Seq: 3, TS: base.Add(2 * time.Second).UnixNano(), Kind: KindSpanEnd, Span: 2, Name: "execute"},
+	}
+	rt := ReplayTrace(evs)
+	var buf bytes.Buffer
+	if err := rt.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	for _, ev := range out {
+		if ev["ph"] != "X" || ev["name"] != "job" {
+			continue
+		}
+		dur, _ := ev["dur"].(float64)
+		// Synthetic end = last event (base+2s), so duration is exactly 2s in
+		// microseconds — not an hour.
+		if dur <= 0 || dur > 2.1e6 {
+			t.Fatalf("open span duration = %vµs, want ~2e6 (bounded by replay end)", dur)
+		}
+	}
+}
+
+func TestLintPrometheusRejectsInterleavedSeries(t *testing.T) {
+	bad := "# HELP m jobs\n# TYPE m counter\n" +
+		"m{technique=\"O3\"} 1\n" +
+		"m{technique=\"original\"} 2\n" +
+		"m{technique=\"O3\"} 3\n"
+	if err := LintPrometheus(strings.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "interleave") {
+		t.Fatalf("err = %v, want interleave rejection", err)
+	}
+
+	// Histogram series are contiguous across their _bucket/_sum/_count
+	// lines; a second series following a complete first one is legal.
+	good := "# HELP h lat\n# TYPE h histogram\n" +
+		"h_bucket{t=\"a\",le=\"1\"} 1\nh_bucket{t=\"a\",le=\"+Inf\"} 1\nh_sum{t=\"a\"} 0.5\nh_count{t=\"a\"} 1\n" +
+		"h_bucket{t=\"b\",le=\"1\"} 2\nh_bucket{t=\"b\",le=\"+Inf\"} 2\nh_sum{t=\"b\"} 0.7\nh_count{t=\"b\"} 2\n"
+	if err := LintPrometheus(strings.NewReader(good)); err != nil {
+		t.Fatalf("contiguous histogram series rejected: %v", err)
+	}
+
+	badHist := "# HELP h lat\n# TYPE h histogram\n" +
+		"h_bucket{t=\"a\",le=\"+Inf\"} 1\nh_sum{t=\"a\"} 0.5\n" +
+		"h_bucket{t=\"b\",le=\"+Inf\"} 2\nh_sum{t=\"b\"} 0.7\nh_count{t=\"b\"} 2\n" +
+		"h_count{t=\"a\"} 1\n"
+	if err := LintPrometheus(strings.NewReader(badHist)); err == nil || !strings.Contains(err.Error(), "interleave") {
+		t.Fatalf("err = %v, want interleave rejection for split histogram series", err)
+	}
+}

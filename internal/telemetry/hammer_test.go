@@ -1,0 +1,112 @@
+package telemetry
+
+// Contention hammer tests: meaningful only under -race (the CI focused
+// race pass runs this package with -race -count=4), but cheap enough to
+// run everywhere.
+
+import (
+	"context"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestSpanMutationVsExportHammer drives concurrent SetAttr/SetTag/
+// MarkCached/End against Trace.Spans() and the Chrome exporter.
+func TestSpanMutationVsExportHammer(t *testing.T) {
+	tr := NewTrace()
+	bus := NewBus(256)
+	tr.AttachBus(bus)
+	ctx := WithTrace(context.Background(), tr)
+
+	const workers = 8
+	const iters = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				_, sp := StartLane(ctx, "lane")
+				sp.SetAttr("paths", int64(i))
+				sp.SetAttr("forks", int64(w))
+				sp.SetTag("request_id", "r")
+				if i%3 == 0 {
+					sp.MarkCached()
+				}
+				sp.End()
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters/8; i++ {
+				for _, sp := range tr.Spans() {
+					sp.Attrs()
+					sp.Tags()
+					sp.IsCached()
+					sp.Duration()
+				}
+				if err := tr.WriteChromeTrace(io.Discard); err != nil {
+					t.Errorf("WriteChromeTrace: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != workers*iters {
+		t.Fatalf("recorded %d spans, want %d", got, workers*iters)
+	}
+}
+
+// TestBusSubscribeUnsubscribeTeardownRace churns subscribers on and off
+// a bus while publishers run and the trace tears down (Close).
+func TestBusSubscribeUnsubscribeTeardownRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		bus := NewBus(64)
+		var wg sync.WaitGroup
+		for p := 0; p < 4; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					bus.Publish(Event{Kind: KindAttr, Key: "i", Val: int64(i)})
+				}
+			}(p)
+		}
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					sub := bus.Subscribe(int64(i), 8)
+					ctx, cancel := context.WithCancel(context.Background())
+					if i%2 == 0 {
+						cancel() // NextBatch must bail out on a dead context
+					}
+					_, _ = sub.NextBatch(ctx)
+					cancel()
+					sub.Cancel()
+				}
+			}(c)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bus.Close()
+		}()
+		wg.Wait()
+
+		// After teardown the stream stays well-formed: a late subscriber
+		// still drains history and then sees EOF.
+		sub := bus.Subscribe(0, 0)
+		for {
+			if _, err := sub.NextBatch(context.Background()); err != nil {
+				break
+			}
+		}
+	}
+}

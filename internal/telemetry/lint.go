@@ -5,7 +5,10 @@ package telemetry
 // surface well-formed and the metric names stable. It checks the subset
 // of the format this package emits: HELP/TYPE comment ordering, sample
 // name syntax, samples belonging to a declared family, histogram bucket
-// monotonicity and the mandatory +Inf bucket matching _count.
+// monotonicity, the mandatory +Inf bucket matching _count, and series
+// contiguity — all samples of one labeled series must be adjacent within
+// their family, since scrapers are allowed to treat a re-appearing
+// series as a duplicate.
 
 import (
 	"bufio"
@@ -29,6 +32,8 @@ func LintPrometheus(r io.Reader) error {
 	}
 	types := map[string]string{}
 	hists := map[string]*histState{}
+	curSeries := map[string]string{}           // family -> series currently being emitted
+	seenSeries := map[string]map[string]bool{} // family -> series already closed out
 
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -81,6 +86,27 @@ func LintPrometheus(r io.Reader) error {
 		}
 		if !known {
 			return fmt.Errorf("line %d: sample %s has no TYPE declaration", n, name)
+		}
+		famName := name
+		if _, direct := types[name]; !direct {
+			famName = base
+		}
+		// A histogram series spans its _bucket/_sum/_count lines, so key
+		// on the label set with le removed; other kinds key on the label
+		// set as rendered.
+		seriesKey, _, _ := extractLE(labels)
+		if famKind != "histogram" {
+			seriesKey = labels
+		}
+		if cur, active := curSeries[famName]; !active || cur != seriesKey {
+			if seenSeries[famName][seriesKey] {
+				return fmt.Errorf("line %d: series %s%s interleaves out of order", n, famName, seriesKey)
+			}
+			if seenSeries[famName] == nil {
+				seenSeries[famName] = map[string]bool{}
+			}
+			seenSeries[famName][seriesKey] = true
+			curSeries[famName] = seriesKey
 		}
 		if famKind != "histogram" {
 			continue

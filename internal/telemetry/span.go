@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,10 +15,43 @@ import (
 type Trace struct {
 	start time.Time
 
+	// bus, when attached, receives an Event for every span transition.
+	bus atomic.Pointer[Bus]
+
 	mu       sync.Mutex
 	nextID   int64
 	nextLane int64
 	spans    []*Span
+	// replayEnd, when non-zero, marks the last known instant of a trace
+	// rebuilt from a journaled event stream (see ReplayTrace).
+	replayEnd time.Time
+}
+
+// AttachBus routes every span transition on the trace to b as Events.
+// Attach before spans start; a trace without a bus publishes nothing.
+func (t *Trace) AttachBus(b *Bus) { t.bus.Store(b) }
+
+// Bus returns the attached event bus, or nil.
+func (t *Trace) Bus() *Bus { return t.bus.Load() }
+
+// emit publishes ev if a bus is attached; otherwise it is a no-op.
+func (t *Trace) emit(ev Event) {
+	if t == nil {
+		return
+	}
+	if b := t.bus.Load(); b != nil {
+		b.Publish(ev)
+	}
+}
+
+// StartTime returns the instant the trace was anchored at.
+func (t *Trace) StartTime() time.Time { return t.start }
+
+// ReplayEnd returns the replay boundary (zero for live traces).
+func (t *Trace) ReplayEnd() time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.replayEnd
 }
 
 // NewTrace returns an empty trace anchored at the current time.
@@ -48,6 +82,7 @@ type Span struct {
 	// rather than executed (the incremental engine's reused submodels).
 	cached bool
 	attrs  map[string]int64
+	tags   map[string]string
 }
 
 type ctxKey int
@@ -115,6 +150,7 @@ func start(ctx context.Context, name string, newLane bool) (context.Context, *Sp
 	}
 	tr.spans = append(tr.spans, sp)
 	tr.mu.Unlock()
+	tr.emit(Event{Kind: KindSpanStart, TS: sp.Start.UnixNano(), Span: sp.ID, Parent: sp.Parent, Lane: sp.Lane, Name: name})
 	return context.WithValue(ctx, spanKey, sp), sp
 }
 
@@ -125,10 +161,16 @@ func (s *Span) End() {
 		return
 	}
 	s.mu.Lock()
+	ended := false
 	if s.end.IsZero() {
 		s.end = time.Now()
+		ended = true
 	}
+	end := s.end
 	s.mu.Unlock()
+	if ended {
+		s.tr.emit(Event{Kind: KindSpanEnd, TS: end.UnixNano(), Span: s.ID, Name: s.Name})
+	}
 }
 
 // EndTime returns when the span ended (zero if still open).
@@ -153,6 +195,47 @@ func (s *Span) SetAttr(key string, v int64) {
 	}
 	s.attrs[key] = v
 	s.mu.Unlock()
+	s.tr.emit(Event{Kind: KindAttr, Span: s.ID, Name: s.Name, Key: key, Val: v})
+}
+
+// SetTag attaches a named string attribute (a correlation label such as
+// a request ID) to the span. No-op on a nil span.
+func (s *Span) SetTag(key, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.tags == nil {
+		s.tags = map[string]string{}
+	}
+	s.tags[key] = v
+	s.mu.Unlock()
+	s.tr.emit(Event{Kind: KindTag, Span: s.ID, Name: s.Name, Key: key, Str: v})
+}
+
+// Tags snapshots the span's string attributes (nil when empty).
+func (s *Span) Tags() map[string]string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.tags) == 0 {
+		return nil
+	}
+	cp := make(map[string]string, len(s.tags))
+	for k, v := range s.tags {
+		cp[k] = v
+	}
+	return cp
+}
+
+// Attrs snapshots the span's integer attributes (nil when empty).
+func (s *Span) Attrs() map[string]int64 {
+	if s == nil {
+		return nil
+	}
+	return s.attrsCopy()
 }
 
 // MarkCached flags the span as a zero-cost memoized replay. No-op on a
@@ -162,8 +245,12 @@ func (s *Span) MarkCached() {
 		return
 	}
 	s.mu.Lock()
+	first := !s.cached
 	s.cached = true
 	s.mu.Unlock()
+	if first {
+		s.tr.emit(Event{Kind: KindCached, Span: s.ID, Name: s.Name})
+	}
 }
 
 // IsCached reports whether the span was marked as a memoized replay.

@@ -1,0 +1,194 @@
+#!/usr/bin/env bash
+# Live-streaming smoke test of the job event feed: follow a remote job
+# end-to-end through p4verify -remote -follow, then open a raw SSE
+# stream on a slow job, SIGKILL the daemon mid-run, restart it on the
+# same store, and assert the resumed feed is a prefix-consistent
+# continuation — the pre-crash capture matches the restarted daemon's
+# replay up to the crash window, a "resumed" lifecycle marker appears,
+# and Last-Event-ID resumption returns exactly the remaining suffix.
+# Used by CI (stream-smoke job); runnable locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:9748
+BASE=http://$ADDR
+WORK=$(mktemp -d)
+SERVED_PID=
+trap 'kill -9 "$SERVED_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "== build"
+go build -o "$WORK/p4served" ./cmd/p4served
+go build -o "$WORK/p4verify" ./cmd/p4verify
+go build -o "$WORK/p4gen" ./cmd/p4gen
+
+echo "== materialize example programs"
+"$WORK/p4gen" -corpus fabric -o "$WORK/fabric.p4"
+
+# slow.p4: 21 sequential branches ~= 2M paths (tens of seconds on one
+# worker), so the job is still streaming events when the SIGKILL lands.
+{
+    printf 'header h_t {'
+    for i in $(seq 0 20); do printf ' bit<8> f%d;' "$i"; done
+    printf ' }\nstruct headers_t { h_t h; }\nstruct metadata_t { bit<8> m; }\n'
+    cat <<'EOF'
+parser P(packet_in pkt, out headers_t hdr, inout metadata_t meta,
+         inout standard_metadata_t standard_metadata) {
+    state start { pkt.extract(hdr.h); transition accept; }
+}
+control I(inout headers_t hdr, inout metadata_t meta,
+          inout standard_metadata_t standard_metadata) {
+    apply {
+EOF
+    for i in $(seq 0 20); do
+        printf '        if (hdr.h.f%d > 7) { meta.m = meta.m + 1; }\n' "$i"
+    done
+    cat <<'EOF'
+        @assert("meta.m != 255");
+    }
+}
+control D(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.h); } }
+V1Switch(P, I, D) main;
+EOF
+} > "$WORK/slow.p4"
+
+start_daemon() {
+    "$WORK/p4served" -addr "$ADDR" -store-dir "$WORK/store" -workers 1 -cache-entries 0 &
+    SERVED_PID=$!
+    for _ in $(seq 100); do
+        curl -sf "$BASE/v1/healthz" >/dev/null 2>&1 && return 0
+        sleep 0.2
+    done
+    echo "FAIL: daemon did not become healthy" >&2
+    exit 1
+}
+
+# submit FILE prints the new job's ID.
+submit() {
+    python3 - "$1" "$BASE" <<'EOF'
+import json, sys, urllib.request
+src = open(sys.argv[1]).read()
+req = {"filename": sys.argv[1].rsplit("/", 1)[-1], "source": src}
+r = urllib.request.Request(sys.argv[2] + "/v1/jobs",
+                           json.dumps(req).encode(), {"Content-Type": "application/json"})
+print(json.load(urllib.request.urlopen(r))["id"])
+EOF
+}
+
+# sse_lines FILE prints one "seq<TAB>kind<TAB>name" line per complete
+# SSE frame that carries an id, dropping a trailing partial frame (the
+# capture is cut mid-write by the SIGKILL).
+sse_lines() {
+    python3 - "$1" <<'EOF'
+import json, sys
+raw = open(sys.argv[1], "rb").read().decode("utf-8", "replace")
+frames = raw.split("\n\n")[:-1]  # last chunk is partial or empty
+for f in frames:
+    seq = kind = ""
+    data = None
+    for line in f.split("\n"):
+        if line.startswith("id: "):
+            seq = line[4:]
+        elif line.startswith("event: "):
+            kind = line[7:]
+        elif line.startswith("data: "):
+            data = line[6:]
+    if not seq:
+        continue  # unnumbered gap markers and comments
+    name = ""
+    if data:
+        try:
+            name = json.loads(data).get("name", "")
+        except ValueError:
+            continue  # truncated frame
+    print("%s\t%s\t%s" % (seq, kind, name))
+EOF
+}
+
+# assert_increasing FILE: sequence numbers must be strictly increasing.
+assert_increasing() {
+    python3 - "$1" <<'EOF'
+import sys
+prev = 0
+for line in open(sys.argv[1]):
+    seq = int(line.split("\t")[0])
+    assert seq > prev, "seq %d after %d in %s" % (seq, prev, sys.argv[1])
+    prev = seq
+EOF
+}
+
+start_daemon
+
+echo "== follow a job end-to-end through the CLI"
+"$WORK/p4verify" -remote "$BASE" -follow -trace "$WORK/fabric.trace.json" \
+    "$WORK/fabric.p4" >"$WORK/follow.out" 2>"$WORK/follow.err"
+grep -q "p4verify: following" "$WORK/follow.err" || { echo "FAIL: no follow banner"; cat "$WORK/follow.err"; exit 1; }
+grep -q "job done" "$WORK/follow.err" || { echo "FAIL: no terminal marker rendered"; cat "$WORK/follow.err"; exit 1; }
+grep -q '"ph":"X"' "$WORK/fabric.trace.json" || { echo "FAIL: -follow -trace produced no Chrome trace"; exit 1; }
+echo "   $(head -1 "$WORK/follow.out")"
+
+echo "== stream a slow job and SIGKILL the daemon mid-flight"
+SLOW=$(submit "$WORK/slow.p4")
+curl -sN --max-time 120 "$BASE/v1/jobs/$SLOW/events" >"$WORK/pre.sse" &
+CURL_PID=$!
+for _ in $(seq 100); do
+    grep -q "span_start" "$WORK/pre.sse" 2>/dev/null && break
+    sleep 0.2
+done
+sleep 1   # let more events flow
+kill -9 "$SERVED_PID"
+wait "$SERVED_PID" 2>/dev/null || true
+wait "$CURL_PID" 2>/dev/null || true
+sse_lines "$WORK/pre.sse" >"$WORK/pre.lines"
+assert_increasing "$WORK/pre.lines"
+PRE_COUNT=$(wc -l <"$WORK/pre.lines")
+[ "$PRE_COUNT" -ge 3 ] || { echo "FAIL: only $PRE_COUNT events captured before crash"; exit 1; }
+grep -q "running" "$WORK/pre.lines" || { echo "FAIL: no running marker before crash"; exit 1; }
+
+echo "== restart on the same store, replay the resumed feed from 0"
+start_daemon
+curl -sN --max-time 300 "$BASE/v1/jobs/$SLOW/events" >"$WORK/full.sse" || true
+sse_lines "$WORK/full.sse" >"$WORK/full.lines"
+assert_increasing "$WORK/full.lines"
+grep -q "resumed" "$WORK/full.lines" || { echo "FAIL: no resumed marker in replayed feed"; exit 1; }
+tail -1 "$WORK/full.lines" | grep -qE "job[[:space:]]+(done|failed)" || {
+    echo "FAIL: replayed feed does not end with a terminal marker"; tail -3 "$WORK/full.lines"; exit 1; }
+
+echo "== pre-crash capture must be a prefix of the resumed replay"
+# A just-published tail can miss the WAL when the SIGKILL lands, so the
+# comparison tolerates divergence inside that final in-flight window.
+LCP=$(python3 - "$WORK/pre.lines" "$WORK/full.lines" <<'EOF'
+import sys
+a = open(sys.argv[1]).read().splitlines()
+b = open(sys.argv[2]).read().splitlines()
+n = 0
+while n < min(len(a), len(b)) and a[n] == b[n]:
+    n += 1
+print(n)
+EOF
+)
+[ "$LCP" -ge 3 ] || { echo "FAIL: common prefix only $LCP events"; exit 1; }
+[ $((PRE_COUNT - LCP)) -le 16 ] || {
+    echo "FAIL: pre-crash capture diverges from replay after $LCP of $PRE_COUNT events"
+    diff <(head -$((LCP + 3)) "$WORK/pre.lines") <(head -$((LCP + 3)) "$WORK/full.lines") || true
+    exit 1
+}
+echo "   prefix-consistent: $LCP/$PRE_COUNT pre-crash events replayed"
+
+echo "== Last-Event-ID resumption must return exactly the remaining suffix"
+RESUME_SEQ=$(sed -n "${LCP}p" "$WORK/pre.lines" | cut -f1)
+curl -sN --max-time 60 -H "Last-Event-ID: $RESUME_SEQ" \
+    "$BASE/v1/jobs/$SLOW/events" >"$WORK/resumed.sse" || true
+sse_lines "$WORK/resumed.sse" >"$WORK/resumed.lines"
+tail -n +$((LCP + 1)) "$WORK/full.lines" >"$WORK/want.lines"
+cmp "$WORK/resumed.lines" "$WORK/want.lines" || {
+    echo "FAIL: resumed suffix differs from replay after seq $RESUME_SEQ"
+    diff "$WORK/resumed.lines" "$WORK/want.lines" | head -10
+    exit 1
+}
+
+echo "== the interrupted job itself must have completed"
+state=$(curl -sf "$BASE/v1/jobs/$SLOW" | grep -o '"state":"[a-z]*"' | cut -d'"' -f4)
+[ "$state" = done ] || { echo "FAIL: job $SLOW ended $state"; exit 1; }
+curl -sf "$BASE/v1/jobs/$SLOW/report" >/dev/null || { echo "FAIL: no report for $SLOW"; exit 1; }
+
+echo "PASS: stream smoke"
